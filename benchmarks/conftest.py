@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures/tables via the
+corresponding :mod:`repro.experiments` driver, prints the reproduced rows
+(the same rows/series the paper reports) and asserts the shape checks
+documented in DESIGN.md, while pytest-benchmark records the runtime.
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import format_table
+
+
+def emit(title: str, rows: list[dict[str, object]],
+         columns: list[str] | None = None) -> None:
+    """Print a reproduced table under a banner (visible with ``-s``)."""
+    print()
+    print("=" * 78)
+    print(format_table(rows, columns=columns, title=title))
+    print("=" * 78)

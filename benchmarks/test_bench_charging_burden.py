@@ -1,0 +1,24 @@
+"""E11 benchmark — charging burden vs number of wearables worn."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import charging_burden
+
+
+def test_bench_charging_burden(benchmark):
+    result = benchmark(charging_burden.run)
+
+    emit("Charging burden — charge events per week vs wearables worn",
+         result.rows())
+
+    # Shape checks: today's architecture scales linearly with the device
+    # count, the human-inspired one stays nearly flat, and beyond the
+    # already-charged hub the burden gap approaches an order of magnitude
+    # at a ten-device constellation (the paper's market argument).
+    one = result.at(1)
+    ten = result.at(10)
+    assert ten.conventional_events_per_week > 5.0 * one.conventional_events_per_week
+    assert ten.human_inspired_events_per_week <= 2.0 * one.human_inspired_events_per_week
+    assert result.incremental_burden_ratio_at(10) >= 5.0

@@ -1,0 +1,22 @@
+"""E2 benchmark — Fig. 2: battery life of current wearable devices."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import fig2_battery_survey
+
+
+def test_bench_fig2_battery_survey(benchmark):
+    result = benchmark(fig2_battery_survey.run)
+
+    emit("Fig. 2 — battery life of commercial wearables (modelled vs claimed band)",
+         result.rows,
+         columns=["device", "category", "capacity_mah", "average_power_mw",
+                  "life_hours", "life_days", "band", "claimed_band",
+                  "matches_claim"])
+
+    # Shape check (DESIGN.md E2): every surveyed device class lands in the
+    # battery-life band the paper's figure claims for it.
+    assert result.agreement_fraction == 1.0
+    assert result.device_count >= 10

@@ -1,0 +1,25 @@
+"""E12 benchmark (extension) — MQS-HBC body-assisted implant communication."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro import units
+from repro.comm.mqs_hbc import mqs_implant_link
+from repro.experiments import implant_extension
+
+
+def test_bench_implant_extension(benchmark):
+    result = benchmark(implant_extension.run)
+
+    emit("Implant extension — MQS-HBC vs BLE for implanted leaf nodes",
+         result.rows())
+
+    # Shape checks: the MQS link closes through tissue, keeps every implant
+    # in the multi-year battery regime, and beats a BLE implant radio.
+    for name, _rate, _sensing, _depth in implant_extension.IMPLANT_CLASSES:
+        case = result.case(name, mqs_implant_link().name)
+        assert case.link_closes
+        assert case.life_years > 3.0
+        assert result.life_advantage(name) > 1.5
+    assert result.relay_to_hub_power_watts < units.microwatt(100.0)

@@ -1,0 +1,25 @@
+"""E10 benchmark (ablation) — activation precision vs partition point."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments import quantization_ablation
+
+
+def test_bench_quantization_ablation(benchmark):
+    result = benchmark(quantization_ablation.run)
+
+    emit("Activation-precision ablation — optimal partition per width",
+         result.rows())
+
+    # Shape checks: Wi-R keeps offloading (and stays cheaper than BLE) at
+    # every precision; BLE's optimum computes locally regardless.
+    for workload in ("keyword_spotting", "ecg_arrhythmia", "vision_tiny"):
+        wir_series = result.series(workload, "Wi-R (EQS-HBC)")
+        ble_series = result.series(workload, "BLE 1M PHY")
+        for wir_point, ble_point in zip(wir_series, ble_series):
+            assert wir_point.leaf_energy_joules < ble_point.leaf_energy_joules
+    for point in result.series("keyword_spotting", "BLE 1M PHY"):
+        assert point.hub_mac_fraction < 0.5
+    assert result.series("keyword_spotting", "Wi-R (EQS-HBC)")[-1].hub_mac_fraction > 0.5

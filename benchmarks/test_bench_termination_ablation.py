@@ -1,0 +1,25 @@
+"""E9 benchmark (ablation) — EQS receiver termination (high-Z vs 50 ohm)."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro import units
+from repro.experiments import termination_ablation
+
+
+def test_bench_termination_ablation(benchmark):
+    result = benchmark(termination_ablation.run)
+
+    emit("EQS termination ablation — channel gain and required TX swing",
+         result.rows())
+
+    # Shape checks: the high-impedance termination the paper prescribes is
+    # always better, dramatically so at the low end of the EQS band, and
+    # keeps the required transmit swing at CMOS levels across the body.
+    assert result.min_penalty_db() > 0.0
+    low_band = result.at(units.kilohertz(100.0), 1.0)
+    top_band = result.at(units.megahertz(30.0), 1.0)
+    assert low_band.penalty_db > top_band.penalty_db + 20.0
+    assert all(point.required_swing_high_z_volts < 3.3 for point in result.points)
+    assert result.whole_body_flatness_db < 6.0

@@ -1,0 +1,87 @@
+"""Quickstart: design a three-node human-inspired wearable AI network.
+
+This example follows the paper's Fig. 1 (right): featherweight leaf nodes
+(an ECG patch, an audio AI pin and a wrist activity tracker) connected to
+one on-body hub over Wi-R, with each node's DNN partitioned between leaf
+and hub.  It prints, for every node, where the model was split, the node's
+average power, its projected battery life and whether it is perpetually
+operable — plus the shared-bus utilisation of the whole network.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.analysis.reporting import format_table
+from repro.body.landmarks import BodyLandmark
+from repro.core.designer import ApplicationSpec, NetworkDesigner
+from repro.isa.pipeline import audio_feature_pipeline
+from repro.sensors.catalog import SensorModality
+
+
+def build_applications() -> list[ApplicationSpec]:
+    """The three wearable-AI applications this walkthrough maps onto leaves."""
+    return [
+        ApplicationSpec(
+            name="arrhythmia monitor",
+            modality=SensorModality.ECG,
+            placement=BodyLandmark.STERNUM,
+            model_name="ecg_arrhythmia",
+            inference_rate_hz=1.2,
+            sensing_power_watts=units.microwatt(30.0),
+        ),
+        ApplicationSpec(
+            name="keyword spotter",
+            modality=SensorModality.AUDIO,
+            placement=BodyLandmark.CHEST,
+            model_name="keyword_spotting",
+            inference_rate_hz=1.0,
+            isa_pipeline=audio_feature_pipeline(),
+            sensing_power_watts=units.milliwatt(2.0),
+            latency_requirement_seconds=0.5,
+        ),
+        ApplicationSpec(
+            name="activity tracker",
+            modality=SensorModality.IMU,
+            placement=BodyLandmark.RIGHT_WRIST,
+            model_name="imu_har",
+            inference_rate_hz=1.0,
+            sensing_power_watts=units.microwatt(300.0),
+        ),
+    ]
+
+
+def main() -> None:
+    designer = NetworkDesigner(hub_placement=BodyLandmark.LEFT_POCKET)
+    plan = designer.plan(build_applications())
+
+    rows = []
+    for node in plan.nodes:
+        best = node.offload.chosen
+        rows.append({
+            "node": node.application.name,
+            "placement": node.application.placement.value,
+            "strategy": best.strategy.value,
+            "stream_kbps": node.streaming_rate_bps / 1000.0,
+            "leaf_power_uw": units.to_microwatt(node.average_power_watts),
+            "battery_life_days": node.battery_life_days,
+            "band": node.life_band.value,
+            "latency_ok": node.meets_latency_requirement,
+            "link_margin_db": node.link_margin_db,
+        })
+    print(format_table(rows, title="Human-inspired wearable AI network plan"))
+    print()
+    print(f"hub placement          : {plan.hub_placement.value}")
+    print(f"body link              : {plan.technology}")
+    print(f"total offered rate     : {plan.total_offered_rate_bps / 1000.0:.1f} kb/s")
+    print(f"body-bus utilisation   : {plan.bus_utilization * 100.0:.2f} %")
+    print(f"TDMA schedule feasible : {plan.schedule_feasible}")
+    print(f"hub compute power      : {plan.hub_compute_power_watts * 1000.0:.1f} mW "
+          "(the one daily-charged device)")
+
+
+if __name__ == "__main__":
+    main()

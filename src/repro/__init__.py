@@ -1,0 +1,48 @@
+"""repro — Human-Inspired Distributed Wearable AI (DAC 2024) reproduction.
+
+A simulation framework for the Internet of Bodies architecture proposed by
+Sen and Datta: ultra-low-power leaf nodes (sensors, in-sensor analytics,
+Wi-R transceivers) distributed over the body, connected to a single
+on-body hub ("wearable brain") by electro-quasistatic human body
+communication, with heavy DNN inference partitioned between leaf and hub.
+
+Top-level subpackages
+---------------------
+``repro.core``
+    The paper's contribution: node architectures, power budgets,
+    battery-life projection, offloading and DNN partitioning, the
+    end-to-end network designer.
+``repro.comm``
+    Link technologies: Wi-R / EQS-HBC, BLE, Wi-Fi, NFMI; channel,
+    security and MAC models.
+``repro.energy``
+    Batteries, energy harvesters, converters, energy accounting.
+``repro.sensors``
+    Sensing modalities, the AFE power survey, synthetic signal generators.
+``repro.isa``
+    In-sensor analytics: compression and feature extraction.
+``repro.nn``
+    From-scratch numpy DNN inference engine, profiler and model zoo.
+``repro.netsim``
+    Discrete-event body-area-network simulator.
+``repro.body``
+    Body graph, landmarks and on-body channel lengths.
+``repro.analysis``
+    Commercial device survey and report formatting.
+``repro.experiments``
+    One driver per reproduced figure/table (E1-E11).
+
+Quick start
+-----------
+>>> from repro.experiments import fig3_battery_projection
+>>> result = fig3_battery_projection.run(n_points=13)
+>>> result.bands_match_paper()
+True
+"""
+
+from . import units
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["units", "ReproError", "__version__"]

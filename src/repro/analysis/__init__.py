@@ -1,0 +1,23 @@
+"""Analysis utilities: the commercial-device survey and report formatting."""
+
+from .survey import (
+    DeviceCategory,
+    WearableDevice,
+    WEARABLE_SURVEY,
+    devices_by_category,
+    estimate_battery_life_seconds,
+    survey_rows,
+)
+from .reporting import format_table, format_quantity, markdown_table
+
+__all__ = [
+    "DeviceCategory",
+    "WearableDevice",
+    "WEARABLE_SURVEY",
+    "devices_by_category",
+    "estimate_battery_life_seconds",
+    "survey_rows",
+    "format_table",
+    "format_quantity",
+    "markdown_table",
+]

@@ -1,0 +1,30 @@
+"""Human body model: landmarks, on-body distances, node placement.
+
+The paper argues that IoB sensors and actuators "must be strategically
+distributed across the body" (sound near the ear, controllers at the
+wrist, cameras on the face or chest, ECG near the chest, EMG/IMU on the
+limbs) and that body channel lengths are 1--2 m while RF radiates 5--10 m.
+This package provides a graph model of the body surface so experiments can
+compute realistic on-body channel lengths between any two placements.
+"""
+
+from .landmarks import BodyLandmark, LANDMARK_DESCRIPTIONS
+from .model import BodyModel, Placement, default_adult_body
+from .posture import (
+    Posture,
+    channel_for_posture,
+    gain_variation_db,
+    worst_case_posture,
+)
+
+__all__ = [
+    "BodyLandmark",
+    "LANDMARK_DESCRIPTIONS",
+    "BodyModel",
+    "Placement",
+    "default_adult_body",
+    "Posture",
+    "channel_for_posture",
+    "gain_variation_db",
+    "worst_case_posture",
+]

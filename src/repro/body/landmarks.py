@@ -1,0 +1,93 @@
+"""Named body landmarks where IoB nodes can be placed."""
+
+from __future__ import annotations
+
+import enum
+
+
+class BodyLandmark(enum.Enum):
+    """Surface locations used for wearable placement.
+
+    The set covers every placement the paper mentions: ears (audio
+    output), wrists and fingers (controllers, rings, watches), face and
+    chest (first-person cameras, AI pins), chest (ECG), limbs (EMG, IMU),
+    head (EEG, headsets), waist/pocket (phones, pocket assistants).
+    """
+
+    HEAD_CROWN = "head_crown"
+    FOREHEAD = "forehead"
+    LEFT_EAR = "left_ear"
+    RIGHT_EAR = "right_ear"
+    LEFT_EYE = "left_eye"
+    RIGHT_EYE = "right_eye"
+    NECK = "neck"
+    CHEST = "chest"
+    STERNUM = "sternum"
+    WAIST = "waist"
+    LEFT_POCKET = "left_pocket"
+    RIGHT_POCKET = "right_pocket"
+    LEFT_SHOULDER = "left_shoulder"
+    RIGHT_SHOULDER = "right_shoulder"
+    LEFT_UPPER_ARM = "left_upper_arm"
+    RIGHT_UPPER_ARM = "right_upper_arm"
+    LEFT_ELBOW = "left_elbow"
+    RIGHT_ELBOW = "right_elbow"
+    LEFT_FOREARM = "left_forearm"
+    RIGHT_FOREARM = "right_forearm"
+    LEFT_WRIST = "left_wrist"
+    RIGHT_WRIST = "right_wrist"
+    LEFT_HAND = "left_hand"
+    RIGHT_HAND = "right_hand"
+    LEFT_INDEX_FINGER = "left_index_finger"
+    RIGHT_INDEX_FINGER = "right_index_finger"
+    LEFT_THIGH = "left_thigh"
+    RIGHT_THIGH = "right_thigh"
+    LEFT_KNEE = "left_knee"
+    RIGHT_KNEE = "right_knee"
+    LEFT_SHANK = "left_shank"
+    RIGHT_SHANK = "right_shank"
+    LEFT_ANKLE = "left_ankle"
+    RIGHT_ANKLE = "right_ankle"
+    LEFT_FOOT = "left_foot"
+    RIGHT_FOOT = "right_foot"
+
+
+#: Human-readable description and typical wearable for each landmark.
+LANDMARK_DESCRIPTIONS: dict[BodyLandmark, str] = {
+    BodyLandmark.HEAD_CROWN: "top of head (EEG headband, headphones)",
+    BodyLandmark.FOREHEAD: "forehead (EEG, mixed-reality headset)",
+    BodyLandmark.LEFT_EAR: "left ear (earbud, hearing aid)",
+    BodyLandmark.RIGHT_EAR: "right ear (earbud, hearing aid)",
+    BodyLandmark.LEFT_EYE: "left eye (smart glasses temple)",
+    BodyLandmark.RIGHT_EYE: "right eye (smart glasses temple)",
+    BodyLandmark.NECK: "neck (AI necklace / pendant)",
+    BodyLandmark.CHEST: "chest (AI pin, first-person camera)",
+    BodyLandmark.STERNUM: "sternum (ECG patch)",
+    BodyLandmark.WAIST: "waist (belt-worn hub)",
+    BodyLandmark.LEFT_POCKET: "left pocket (smartphone, pocket assistant)",
+    BodyLandmark.RIGHT_POCKET: "right pocket (smartphone, pocket assistant)",
+    BodyLandmark.LEFT_SHOULDER: "left shoulder (EMG)",
+    BodyLandmark.RIGHT_SHOULDER: "right shoulder (EMG)",
+    BodyLandmark.LEFT_UPPER_ARM: "left upper arm (EMG, blood pressure cuff)",
+    BodyLandmark.RIGHT_UPPER_ARM: "right upper arm (EMG, blood pressure cuff)",
+    BodyLandmark.LEFT_ELBOW: "left elbow (IMU)",
+    BodyLandmark.RIGHT_ELBOW: "right elbow (IMU)",
+    BodyLandmark.LEFT_FOREARM: "left forearm (EMG sleeve)",
+    BodyLandmark.RIGHT_FOREARM: "right forearm (EMG sleeve)",
+    BodyLandmark.LEFT_WRIST: "left wrist (smartwatch, fitness tracker)",
+    BodyLandmark.RIGHT_WRIST: "right wrist (smartwatch, fitness tracker)",
+    BodyLandmark.LEFT_HAND: "left hand (controller)",
+    BodyLandmark.RIGHT_HAND: "right hand (controller)",
+    BodyLandmark.LEFT_INDEX_FINGER: "left index finger (smart ring)",
+    BodyLandmark.RIGHT_INDEX_FINGER: "right index finger (smart ring)",
+    BodyLandmark.LEFT_THIGH: "left thigh (IMU, pocket)",
+    BodyLandmark.RIGHT_THIGH: "right thigh (IMU, pocket)",
+    BodyLandmark.LEFT_KNEE: "left knee (IMU, rehabilitation sensor)",
+    BodyLandmark.RIGHT_KNEE: "right knee (IMU, rehabilitation sensor)",
+    BodyLandmark.LEFT_SHANK: "left shank (IMU)",
+    BodyLandmark.RIGHT_SHANK: "right shank (IMU)",
+    BodyLandmark.LEFT_ANKLE: "left ankle (gait sensor)",
+    BodyLandmark.RIGHT_ANKLE: "right ankle (gait sensor)",
+    BodyLandmark.LEFT_FOOT: "left foot (insole pressure sensor)",
+    BodyLandmark.RIGHT_FOOT: "right foot (insole pressure sensor)",
+}

@@ -1,0 +1,84 @@
+"""Posture-dependent variation of the EQS body channel.
+
+Capacitive EQS-HBC returns its signal through the parasitic capacitance
+between the body and earth ground, so the channel gain shifts with posture
+and footwear: a standing subject on thin soles couples strongly to ground
+(larger ``c_body_ground``, *lower* gain), while a subject lying on an
+insulating mattress or standing on thick soles couples weakly (higher
+gain).  The effect is a few dB — enough to matter for worst-case link
+budgets, not enough to break them — and this module makes it explicit so
+the designer can check margins across postures rather than at a single
+nominal operating point.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import replace
+
+from ..errors import ConfigurationError
+from ..comm.channel import EQSChannelModel
+
+
+class Posture(enum.Enum):
+    """Whole-body postures with distinct ground-coupling behaviour."""
+
+    STANDING_BAREFOOT = "standing_barefoot"
+    STANDING_SHOES = "standing_shoes"
+    SITTING_OFFICE_CHAIR = "sitting_office_chair"
+    LYING_ON_BED = "lying_on_bed"
+    WALKING = "walking"
+
+
+#: Multiplier applied to the nominal body-to-earth-ground capacitance for
+#: each posture.  Standing barefoot on a conductive floor maximises the
+#: return-path capacitance; lying on an insulating mattress minimises it.
+GROUND_COUPLING_FACTOR: dict[Posture, float] = {
+    Posture.STANDING_BAREFOOT: 1.5,
+    Posture.STANDING_SHOES: 1.0,
+    Posture.SITTING_OFFICE_CHAIR: 1.2,
+    Posture.LYING_ON_BED: 0.6,
+    Posture.WALKING: 0.9,
+}
+
+
+def channel_for_posture(posture: Posture,
+                        base: EQSChannelModel | None = None) -> EQSChannelModel:
+    """Return an :class:`EQSChannelModel` adjusted for *posture*.
+
+    Only the body-to-ground capacitance changes; electrode and load
+    capacitances belong to the devices, not the posture.
+    """
+    if posture not in GROUND_COUPLING_FACTOR:
+        raise ConfigurationError(f"unknown posture: {posture!r}")
+    base = base or EQSChannelModel()
+    factor = GROUND_COUPLING_FACTOR[posture]
+    return replace(base, c_body_ground=base.c_body_ground * factor)
+
+
+def gain_variation_db(distance_metres: float = 1.5,
+                      frequency_hz: float = 20e6,
+                      base: EQSChannelModel | None = None) -> float:
+    """Spread of channel gain across all postures at one operating point."""
+    if distance_metres < 0:
+        raise ConfigurationError("distance must be non-negative")
+    gains = [
+        channel_for_posture(posture, base).channel_gain_db(distance_metres,
+                                                           frequency_hz)
+        for posture in Posture
+    ]
+    return max(gains) - min(gains)
+
+
+def worst_case_posture(distance_metres: float = 1.5,
+                       frequency_hz: float = 20e6,
+                       base: EQSChannelModel | None = None) -> Posture:
+    """The posture with the lowest channel gain (for link-budget margining)."""
+    if distance_metres < 0:
+        raise ConfigurationError("distance must be non-negative")
+    return min(
+        Posture,
+        key=lambda posture: channel_for_posture(posture, base).channel_gain_db(
+            distance_metres, frequency_hz
+        ),
+    )

@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the experiment drivers and a few utility reports so the figures
+and tables can be regenerated without writing any Python:
+
+.. code-block:: console
+
+    python -m repro list                    # available experiments
+    python -m repro run fig3                # one experiment, table to stdout
+    python -m repro run all                 # every experiment
+    python -m repro links                   # link-technology comparison
+    python -m repro survey                  # Fig. 2 device survey
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from .analysis.reporting import format_table
+from .analysis.survey import survey_rows
+from .comm.link import compare_technologies
+from .experiments import (
+    charging_burden,
+    implant_extension,
+    claims,
+    fig1_power_breakdown,
+    fig2_battery_survey,
+    fig3_battery_projection,
+    isa_ablation,
+    network_scaling,
+    partitioned_inference,
+    perpetual,
+    quantization_ablation,
+    termination_ablation,
+)
+
+
+def _rows_fig1() -> list[dict[str, object]]:
+    return fig1_power_breakdown.run().rows()
+
+
+def _rows_fig2() -> list[dict[str, object]]:
+    return fig2_battery_survey.run().rows
+
+
+def _rows_fig3() -> list[dict[str, object]]:
+    return fig3_battery_projection.run().device_rows()
+
+
+def _rows_claims() -> list[dict[str, object]]:
+    return claims.run().rows()
+
+
+def _rows_partition() -> list[dict[str, object]]:
+    return partitioned_inference.run().rows()
+
+
+def _rows_perpetual() -> list[dict[str, object]]:
+    return perpetual.run().rows()
+
+
+def _rows_isa() -> list[dict[str, object]]:
+    return isa_ablation.run().rows()
+
+
+def _rows_scaling() -> list[dict[str, object]]:
+    return network_scaling.run(simulated_seconds=1.0).rows()
+
+
+def _rows_termination() -> list[dict[str, object]]:
+    return termination_ablation.run().rows()
+
+
+def _rows_quantization() -> list[dict[str, object]]:
+    return quantization_ablation.run().rows()
+
+
+def _rows_charging() -> list[dict[str, object]]:
+    return charging_burden.run().rows()
+
+
+def _rows_implant() -> list[dict[str, object]]:
+    return implant_extension.run().rows()
+
+
+#: Experiment registry: CLI name -> (description, row producer).
+EXPERIMENTS: dict[str, tuple[str, Callable[[], list[dict[str, object]]]]] = {
+    "fig1": ("Fig. 1 — active-power breakdown of IoB node architectures",
+             _rows_fig1),
+    "fig2": ("Fig. 2 — battery life of commercial wearables", _rows_fig2),
+    "fig3": ("Fig. 3 — battery life vs data rate with Wi-R", _rows_fig3),
+    "claims": ("Quantitative Wi-R / BLE / RF claims table", _rows_claims),
+    "partition": ("Partitioned DNN inference across the body network",
+                  _rows_partition),
+    "perpetual": ("Perpetual operation under indoor harvesting", _rows_perpetual),
+    "isa": ("ISA ablation: {Wi-R, BLE} x {raw, ISA}", _rows_isa),
+    "scaling": ("Body-bus scaling with the number of leaf nodes", _rows_scaling),
+    "termination": ("EQS receiver-termination ablation", _rows_termination),
+    "quantization": ("Activation-precision / partition ablation",
+                     _rows_quantization),
+    "charging": ("Charging burden vs number of wearables worn", _rows_charging),
+    "implant": ("MQS-HBC implant extension (future-work direction)", _rows_implant),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Human-Inspired Distributed Wearable AI (DAC 2024) "
+                    "reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"],
+                            help="experiment to run")
+
+    subparsers.add_parser("links", help="print the link-technology comparison")
+    subparsers.add_parser("survey", help="print the Fig. 2 device survey")
+    return parser
+
+
+def _command_list(out) -> int:
+    rows = [{"experiment": name, "description": description}
+            for name, (description, _producer) in sorted(EXPERIMENTS.items())]
+    print(format_table(rows, title="available experiments"), file=out)
+    return 0
+
+
+def _command_run(experiment: str, out) -> int:
+    names = sorted(EXPERIMENTS) if experiment == "all" else [experiment]
+    for name in names:
+        description, producer = EXPERIMENTS[name]
+        print(format_table(producer(), title=f"{name}: {description}"), file=out)
+        print(file=out)
+    return 0
+
+
+def _command_links(out) -> int:
+    from .comm.ble import ble_1m_phy
+    from .comm.eqs_hbc import eqs_hbc_bodywire, eqs_hbc_sub_uw, wir_commercial
+    from .comm.mqs_hbc import mqs_implant_link
+    from .comm.nfmi import nfmi_hearing_aid
+    from .comm.wifi import wifi_hub_uplink
+
+    technologies = [wir_commercial(), eqs_hbc_bodywire(), eqs_hbc_sub_uw(),
+                    mqs_implant_link(), nfmi_hearing_aid(), ble_1m_phy(),
+                    wifi_hub_uplink()]
+    rows = [dict(report.__dict__) for report in compare_technologies(technologies)]
+    print(format_table(rows, title="link technologies"), file=out)
+    return 0
+
+
+def _command_survey(out) -> int:
+    print(format_table(survey_rows(), title="Fig. 2 device survey"), file=out)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    if arguments.command == "list":
+        return _command_list(out)
+    if arguments.command == "run":
+        return _command_run(arguments.experiment, out)
+    if arguments.command == "links":
+        return _command_links(out)
+    if arguments.command == "survey":
+        return _command_survey(out)
+    parser.print_help(out)
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

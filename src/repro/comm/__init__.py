@@ -1,0 +1,88 @@
+"""Communication substrate for the Internet of Bodies.
+
+The paper's central technical argument is that radiative RF communication
+is the wrong modality for body-area networks: its per-bit energy dwarfs
+computation, which forces every wearable to carry a CPU.  The alternative
+it champions is Wi-R / electro-quasistatic human body communication
+(EQS-HBC) at <=100 pJ/bit.  This package models all of the candidate
+"artificial nervous system" technologies on a common
+:class:`~repro.comm.link.CommTechnology` interface:
+
+* :mod:`repro.comm.eqs_hbc` — Wi-R / EQS-HBC (capacitive voltage-mode
+  body channel, published transceiver operating points).
+* :mod:`repro.comm.ble` — Bluetooth Low Energy baseline.
+* :mod:`repro.comm.wifi` — Wi-Fi baseline for hub-to-cloud links.
+* :mod:`repro.comm.nfmi` — near-field magnetic induction.
+* :mod:`repro.comm.channel` — physical channel models (EQS body channel
+  transfer function, free-space RF path loss, body shadowing).
+* :mod:`repro.comm.security` — physical-security / leakage-range model.
+* :mod:`repro.comm.mac` — TDMA / polling MAC for sharing one hub among
+  many leaf nodes.
+"""
+
+from .link import (
+    CommTechnology,
+    LinkBudgetReport,
+    TransferCost,
+    transfer_cost,
+    compare_technologies,
+)
+from .channel import (
+    EQSChannelModel,
+    RFPathLossModel,
+    BodyShadowingModel,
+    eqs_channel_gain_db,
+    free_space_path_loss_db,
+)
+from .eqs_hbc import (
+    EQSHBCTransceiver,
+    WiRLink,
+    wir_commercial,
+    wir_leaf_node,
+    eqs_hbc_sub_uw,
+    eqs_hbc_bodywire,
+    wir_downlink_capable,
+)
+from .mqs_hbc import MQSHBCTransceiver, mqs_implant_link, mqs_wearable_relay
+from .ble import BLERadio, ble_1m_phy, ble_2m_phy, ble_coded_phy
+from .wifi import WiFiRadio, wifi_hub_uplink
+from .nfmi import NFMIRadio, nfmi_hearing_aid
+from .security import SecurityModel, leakage_distance_metres, interception_report
+from .mac import TDMASchedule, PollingMAC, SlotAssignment
+
+__all__ = [
+    "CommTechnology",
+    "LinkBudgetReport",
+    "TransferCost",
+    "transfer_cost",
+    "compare_technologies",
+    "EQSChannelModel",
+    "RFPathLossModel",
+    "BodyShadowingModel",
+    "eqs_channel_gain_db",
+    "free_space_path_loss_db",
+    "EQSHBCTransceiver",
+    "WiRLink",
+    "wir_commercial",
+    "wir_leaf_node",
+    "eqs_hbc_sub_uw",
+    "eqs_hbc_bodywire",
+    "wir_downlink_capable",
+    "MQSHBCTransceiver",
+    "mqs_implant_link",
+    "mqs_wearable_relay",
+    "BLERadio",
+    "ble_1m_phy",
+    "ble_2m_phy",
+    "ble_coded_phy",
+    "WiFiRadio",
+    "wifi_hub_uplink",
+    "NFMIRadio",
+    "nfmi_hearing_aid",
+    "SecurityModel",
+    "leakage_distance_metres",
+    "interception_report",
+    "TDMASchedule",
+    "PollingMAC",
+    "SlotAssignment",
+]

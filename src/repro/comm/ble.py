@@ -1,0 +1,141 @@
+"""Bluetooth Low Energy radio model — the paper's primary baseline.
+
+The paper's comparison points for Wi-R are that it is ">10X faster than
+BLE" and "<100X lower power than BLE", and that RF radios in general burn
+1--10 mW while radiating a 5--10 m bubble around the body.  The BLE model
+here is a duty-cycled connection-event radio with published per-bit
+energies (a few nJ/bit at the application layer) and the three standard
+PHYs (1M, 2M, coded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from .. import units
+from .channel import RFPathLossModel
+from .link import CommTechnology
+
+
+@dataclass
+class BLERadio(CommTechnology):
+    """A duty-cycled BLE radio.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports.
+    phy_rate:
+        Raw PHY rate in bit/s (1 Mb/s, 2 Mb/s or 125/500 kb/s coded).
+    goodput_fraction:
+        Fraction of the PHY rate available to the application once
+        connection events, inter-frame spaces and protocol overhead are
+        paid (measured BLE application throughput on the 1M PHY is
+        typically 300--500 kb/s, i.e. 30--50 % of the PHY rate).
+    tx_power_watts / rx_power_watts:
+        Radio active power while transmitting / receiving, including the
+        MCU's radio-driver share (datasheet values are 3--30 mW).
+    sleep_power_watts:
+        Standby power between connection events.
+    connection_event_energy_joules / connection_event_latency_seconds:
+        Per-wakeup overhead of a connection event.
+    tx_power_dbm / rx_sensitivity_dbm:
+        RF link-budget parameters used for the radiation-range analysis.
+    """
+
+    name: str
+    phy_rate: float
+    goodput_fraction: float = 0.37
+    tx_power_watts: float = units.milliwatt(10.0)
+    rx_power_watts: float = units.milliwatt(10.0)
+    sleep_power_watts: float = units.microwatt(3.0)
+    connection_event_energy_joules: float = units.microjoule(30.0)
+    connection_event_latency_seconds: float = units.milliseconds(7.5)
+    tx_power_dbm: float = 0.0
+    rx_sensitivity_dbm: float = -95.0
+    path_loss: RFPathLossModel = field(default_factory=RFPathLossModel)
+    body_confined: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        if self.phy_rate <= 0:
+            raise ConfigurationError("PHY rate must be positive")
+        if not 0.0 < self.goodput_fraction <= 1.0:
+            raise ConfigurationError("goodput fraction must be in (0, 1]")
+        for attr in ("tx_power_watts", "rx_power_watts", "sleep_power_watts",
+                     "connection_event_energy_joules",
+                     "connection_event_latency_seconds"):
+            if getattr(self, attr) < 0:
+                raise ConfigurationError(f"{attr} must be non-negative")
+
+    # -- CommTechnology interface -------------------------------------------------
+    def data_rate_bps(self) -> float:
+        return self.phy_rate * self.goodput_fraction
+
+    def tx_energy_per_bit(self) -> float:
+        return self.tx_power_watts / self.data_rate_bps()
+
+    def rx_energy_per_bit(self) -> float:
+        return self.rx_power_watts / self.data_rate_bps()
+
+    def tx_active_power(self) -> float:
+        return self.tx_power_watts
+
+    def rx_active_power(self) -> float:
+        return self.rx_power_watts
+
+    def sleep_power(self) -> float:
+        return self.sleep_power_watts
+
+    def wakeup_energy(self) -> float:
+        return self.connection_event_energy_joules
+
+    def wakeup_latency(self) -> float:
+        return self.connection_event_latency_seconds
+
+    def max_range_metres(self) -> float:
+        """Free-space range for the configured power and sensitivity."""
+        return self.path_loss.range_for_sensitivity(
+            self.tx_power_dbm, self.rx_sensitivity_dbm,
+        )
+
+    def radiation_range_metres(self) -> float:
+        """Distance to which the signal is still decodable off-body.
+
+        This is the privacy-relevant 'bubble' the paper contrasts with the
+        1--2 m body channel; free-space (no body shadowing) is assumed for
+        an eavesdropper with line of sight.
+        """
+        unshadowed = RFPathLossModel(
+            frequency_hz=self.path_loss.frequency_hz, body_worn=False,
+        )
+        return unshadowed.range_for_sensitivity(
+            self.tx_power_dbm, self.rx_sensitivity_dbm,
+        )
+
+
+def ble_1m_phy() -> BLERadio:
+    """BLE 4.x/5.x 1M PHY: ~1 Mb/s raw, ~10 mW active."""
+    return BLERadio(name="BLE 1M PHY", phy_rate=units.megabit_per_second(1.0))
+
+
+def ble_2m_phy() -> BLERadio:
+    """BLE 5 2M PHY: ~2 Mb/s raw, slightly higher active power."""
+    return BLERadio(
+        name="BLE 2M PHY",
+        phy_rate=units.megabit_per_second(2.0),
+        tx_power_watts=units.milliwatt(12.0),
+        rx_power_watts=units.milliwatt(12.0),
+    )
+
+
+def ble_coded_phy() -> BLERadio:
+    """BLE 5 coded PHY (S=8): 125 kb/s long-range mode."""
+    return BLERadio(
+        name="BLE coded PHY",
+        phy_rate=units.kilobit_per_second(125.0),
+        goodput_fraction=0.6,
+        tx_power_watts=units.milliwatt(15.0),
+        rx_power_watts=units.milliwatt(15.0),
+        tx_power_dbm=8.0,
+    )

@@ -1,0 +1,211 @@
+"""Common link abstraction shared by every communication technology.
+
+A :class:`CommTechnology` answers three questions the experiments need:
+
+* how fast can it move bits (``data_rate_bps``),
+* what does a bit cost in energy at the transmitter and receiver
+  (``tx_energy_per_bit`` / ``rx_energy_per_bit``), and
+* what does the link electronics burn while idle or sleeping.
+
+On top of that, :func:`transfer_cost` turns "send N bits" into energy and
+latency for both ends of the link, including per-transfer wake-up
+overheads — the quantity the offloading and partitioning optimizers in
+:mod:`repro.core` minimise.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, LinkBudgetError
+from .. import units
+
+
+class CommTechnology(abc.ABC):
+    """Abstract base class for every modelled link technology.
+
+    Concrete subclasses must provide two attributes in addition to the
+    abstract methods below:
+
+    * ``name`` — human-readable technology name (e.g. ``"Wi-R (EQS-HBC)"``);
+    * ``body_confined`` — whether the signal is physically confined near
+      the body (EQS/NFMI) as opposed to radiated into the room (RF).
+
+    They are declared as bare annotations (no class-level defaults) so
+    that dataclass subclasses can declare their own required fields.
+    """
+
+    name: str
+    body_confined: bool
+
+    @abc.abstractmethod
+    def data_rate_bps(self) -> float:
+        """Sustained application-level data rate in bits per second."""
+
+    @abc.abstractmethod
+    def tx_energy_per_bit(self) -> float:
+        """Transmit-side energy per bit in joules/bit."""
+
+    @abc.abstractmethod
+    def rx_energy_per_bit(self) -> float:
+        """Receive-side energy per bit in joules/bit."""
+
+    @abc.abstractmethod
+    def tx_active_power(self) -> float:
+        """Transmit-side active power in watts while streaming."""
+
+    @abc.abstractmethod
+    def rx_active_power(self) -> float:
+        """Receive-side active power in watts while streaming."""
+
+    def sleep_power(self) -> float:
+        """Power burnt while the transceiver sleeps (default: zero)."""
+        return 0.0
+
+    def wakeup_energy(self) -> float:
+        """Energy cost of waking the link for one transfer (default: zero)."""
+        return 0.0
+
+    def wakeup_latency(self) -> float:
+        """Latency of waking the link for one transfer (default: zero)."""
+        return 0.0
+
+    def max_range_metres(self) -> float:
+        """Maximum usable link distance in metres."""
+        return math.inf
+
+    def average_power_at_rate(self, offered_rate_bps: float,
+                              direction: str = "tx") -> float:
+        """Average power when carrying *offered_rate_bps* with duty cycling.
+
+        The transceiver streams at its native rate for the duty-cycled
+        fraction of time and sleeps otherwise.  Raises
+        :class:`LinkBudgetError` if the offered rate exceeds the link rate.
+        """
+        if offered_rate_bps < 0:
+            raise ConfigurationError("offered rate must be non-negative")
+        native = self.data_rate_bps()
+        if offered_rate_bps > native:
+            raise LinkBudgetError(
+                f"{self.name}: offered rate {offered_rate_bps:.3g} bit/s exceeds "
+                f"link rate {native:.3g} bit/s"
+            )
+        if direction == "tx":
+            active = self.tx_active_power()
+        elif direction == "rx":
+            active = self.rx_active_power()
+        else:
+            raise ConfigurationError(f"direction must be 'tx' or 'rx', got {direction!r}")
+        if native == 0.0:
+            return self.sleep_power()
+        duty = offered_rate_bps / native
+        return duty * active + (1.0 - duty) * self.sleep_power()
+
+    def describe(self) -> dict[str, float | str | bool]:
+        """Summary of the link's headline numbers (for reports)."""
+        return {
+            "name": self.name,
+            "body_confined": self.body_confined,
+            "data_rate_bps": self.data_rate_bps(),
+            "tx_energy_pj_per_bit": units.to_picojoule_per_bit(self.tx_energy_per_bit()),
+            "rx_energy_pj_per_bit": units.to_picojoule_per_bit(self.rx_energy_per_bit()),
+            "tx_active_power_uw": units.to_microwatt(self.tx_active_power()),
+            "rx_active_power_uw": units.to_microwatt(self.rx_active_power()),
+            "sleep_power_uw": units.to_microwatt(self.sleep_power()),
+            "max_range_m": self.max_range_metres(),
+        }
+
+
+@dataclass(frozen=True)
+class TransferCost:
+    """Cost of moving a payload across a link, for both endpoints."""
+
+    technology: str
+    payload_bits: float
+    tx_energy_joules: float
+    rx_energy_joules: float
+    latency_seconds: float
+
+    @property
+    def total_energy_joules(self) -> float:
+        """Combined transmitter + receiver energy."""
+        return self.tx_energy_joules + self.rx_energy_joules
+
+    @property
+    def tx_energy_per_bit(self) -> float:
+        """Effective transmit energy per bit including overheads."""
+        if self.payload_bits == 0:
+            return 0.0
+        return self.tx_energy_joules / self.payload_bits
+
+
+def transfer_cost(technology: CommTechnology, payload_bits: float,
+                  include_wakeup: bool = True) -> TransferCost:
+    """Energy and latency to move *payload_bits* across *technology*.
+
+    The transmit energy is ``payload * tx_energy_per_bit`` plus the
+    one-time wake-up energy; latency is serialization time plus wake-up
+    latency.  Receiver energy is accounted symmetrically (the receiver is
+    awake for the same serialization window).
+    """
+    if payload_bits < 0:
+        raise ConfigurationError("payload must be non-negative")
+    rate = technology.data_rate_bps()
+    if payload_bits > 0 and rate <= 0:
+        raise LinkBudgetError(f"{technology.name}: zero data rate cannot carry payload")
+    serialization = payload_bits / rate if rate > 0 else 0.0
+    tx_energy = payload_bits * technology.tx_energy_per_bit()
+    rx_energy = payload_bits * technology.rx_energy_per_bit()
+    latency = serialization
+    if include_wakeup and payload_bits > 0:
+        tx_energy += technology.wakeup_energy()
+        rx_energy += technology.wakeup_energy()
+        latency += technology.wakeup_latency()
+    return TransferCost(
+        technology=technology.name,
+        payload_bits=payload_bits,
+        tx_energy_joules=tx_energy,
+        rx_energy_joules=rx_energy,
+        latency_seconds=latency,
+    )
+
+
+@dataclass(frozen=True)
+class LinkBudgetReport:
+    """Side-by-side comparison row produced by :func:`compare_technologies`."""
+
+    name: str
+    data_rate_bps: float
+    tx_energy_pj_per_bit: float
+    tx_active_power_uw: float
+    body_confined: bool
+    range_metres: float
+
+    def rate_ratio_over(self, other: "LinkBudgetReport") -> float:
+        """How many times faster this link is than *other*."""
+        if other.data_rate_bps == 0:
+            return math.inf
+        return self.data_rate_bps / other.data_rate_bps
+
+    def power_ratio_over(self, other: "LinkBudgetReport") -> float:
+        """How many times more active power this link burns than *other*."""
+        if other.tx_active_power_uw == 0:
+            return math.inf
+        return self.tx_active_power_uw / other.tx_active_power_uw
+
+
+def compare_technologies(technologies: list[CommTechnology]) -> list[LinkBudgetReport]:
+    """Build comparison rows for a list of technologies (claims table E4)."""
+    reports = []
+    for tech in technologies:
+        reports.append(LinkBudgetReport(
+            name=tech.name,
+            data_rate_bps=tech.data_rate_bps(),
+            tx_energy_pj_per_bit=units.to_picojoule_per_bit(tech.tx_energy_per_bit()),
+            tx_active_power_uw=units.to_microwatt(tech.tx_active_power()),
+            body_confined=tech.body_confined,
+            range_metres=tech.max_range_metres(),
+        ))
+    return reports

@@ -1,0 +1,195 @@
+"""Medium-access control for the shared body 'bus'.
+
+Section V describes many leaf nodes sharing one on-body hub over Wi-R.
+Because the body behaves as a single electrical node in the EQS regime,
+all leaves share one broadcast medium and need a MAC.  Two simple,
+deterministic schemes are modelled:
+
+* :class:`TDMASchedule` — fixed superframe with per-node slots sized to
+  each node's offered rate (what a hub-coordinated Wi-R network would use).
+* :class:`PollingMAC` — hub polls each leaf in turn; captures per-poll
+  overhead and is the natural fit for very bursty leaves.
+
+Both report per-node goodput, duty cycle and worst-case access latency so
+the network-scaling ablation (E8) can sweep the number of leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class SlotAssignment:
+    """One node's allocation within a TDMA superframe."""
+
+    node_name: str
+    offered_rate_bps: float
+    slot_seconds: float
+    goodput_bps: float
+    duty_cycle: float
+    worst_case_latency_seconds: float
+
+
+@dataclass
+class TDMASchedule:
+    """A fixed-superframe TDMA schedule over a shared link.
+
+    Parameters
+    ----------
+    link_rate_bps:
+        Raw rate of the shared medium (e.g. 4 Mb/s for Wi-R).
+    superframe_seconds:
+        Length of one scheduling round.
+    guard_seconds:
+        Guard/turnaround time charged per slot.
+    """
+
+    link_rate_bps: float
+    superframe_seconds: float = 0.010
+    guard_seconds: float = 50e-6
+    _demands: dict[str, float] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.link_rate_bps <= 0:
+            raise SchedulingError("link rate must be positive")
+        if self.superframe_seconds <= 0:
+            raise SchedulingError("superframe must be positive")
+        if self.guard_seconds < 0:
+            raise SchedulingError("guard time must be non-negative")
+
+    def add_node(self, node_name: str, offered_rate_bps: float) -> None:
+        """Register a leaf node with its average offered rate."""
+        if offered_rate_bps < 0:
+            raise SchedulingError("offered rate must be non-negative")
+        if node_name in self._demands:
+            raise SchedulingError(f"node {node_name!r} already registered")
+        self._demands[node_name] = offered_rate_bps
+
+    def remove_node(self, node_name: str) -> None:
+        """Deregister a leaf node."""
+        if node_name not in self._demands:
+            raise SchedulingError(f"node {node_name!r} is not registered")
+        del self._demands[node_name]
+
+    @property
+    def node_count(self) -> int:
+        """Number of registered nodes."""
+        return len(self._demands)
+
+    def total_offered_rate_bps(self) -> float:
+        """Sum of all offered rates."""
+        return sum(self._demands.values())
+
+    def total_guard_seconds(self) -> float:
+        """Guard time consumed per superframe."""
+        return self.guard_seconds * self.node_count
+
+    def utilization(self) -> float:
+        """Fraction of the superframe needed to serve all demands."""
+        payload_time = 0.0
+        for rate in self._demands.values():
+            bits_per_frame = rate * self.superframe_seconds
+            payload_time += bits_per_frame / self.link_rate_bps
+        return (payload_time + self.total_guard_seconds()) / self.superframe_seconds
+
+    def is_feasible(self) -> bool:
+        """Whether all demands plus guard overhead fit in the superframe."""
+        return self.utilization() <= 1.0
+
+    def max_additional_nodes(self, offered_rate_bps: float) -> int:
+        """How many more nodes at *offered_rate_bps* the schedule can admit."""
+        if offered_rate_bps < 0:
+            raise SchedulingError("offered rate must be non-negative")
+        per_node_time = (
+            offered_rate_bps * self.superframe_seconds / self.link_rate_bps
+            + self.guard_seconds
+        )
+        if per_node_time <= 0:
+            raise SchedulingError("per-node time must be positive")
+        slack = (1.0 - self.utilization()) * self.superframe_seconds
+        if slack <= 0:
+            return 0
+        return int(slack // per_node_time)
+
+    def build(self) -> list[SlotAssignment]:
+        """Compute the slot assignment; raises if the schedule is infeasible."""
+        if not self.is_feasible():
+            raise SchedulingError(
+                f"TDMA schedule infeasible: utilization {self.utilization():.2f} "
+                f"with {self.node_count} nodes"
+            )
+        assignments: list[SlotAssignment] = []
+        for name, rate in self._demands.items():
+            bits_per_frame = rate * self.superframe_seconds
+            slot = bits_per_frame / self.link_rate_bps + self.guard_seconds
+            goodput = bits_per_frame / self.superframe_seconds
+            assignments.append(SlotAssignment(
+                node_name=name,
+                offered_rate_bps=rate,
+                slot_seconds=slot,
+                goodput_bps=goodput,
+                duty_cycle=slot / self.superframe_seconds,
+                worst_case_latency_seconds=self.superframe_seconds,
+            ))
+        return assignments
+
+
+@dataclass
+class PollingMAC:
+    """Hub-driven polling over a shared link.
+
+    Each poll costs ``poll_overhead_bits`` on the downlink plus turnaround
+    time; a leaf with data responds with one payload burst.  Used to study
+    bursty leaves (e.g. event-driven sensors) where TDMA slots would sit
+    mostly idle.
+    """
+
+    link_rate_bps: float
+    poll_overhead_bits: float = 64.0
+    turnaround_seconds: float = 100e-6
+
+    def __post_init__(self) -> None:
+        if self.link_rate_bps <= 0:
+            raise SchedulingError("link rate must be positive")
+        if self.poll_overhead_bits < 0:
+            raise SchedulingError("poll overhead must be non-negative")
+        if self.turnaround_seconds < 0:
+            raise SchedulingError("turnaround must be non-negative")
+
+    def cycle_time_seconds(self, node_count: int,
+                           burst_bits: float) -> float:
+        """Time to poll *node_count* leaves each sending *burst_bits*."""
+        if node_count <= 0:
+            raise SchedulingError("node count must be positive")
+        if burst_bits < 0:
+            raise SchedulingError("burst size must be non-negative")
+        per_node = (
+            self.poll_overhead_bits / self.link_rate_bps
+            + self.turnaround_seconds
+            + burst_bits / self.link_rate_bps
+        )
+        return node_count * per_node
+
+    def per_node_goodput_bps(self, node_count: int, burst_bits: float) -> float:
+        """Sustained goodput each leaf achieves under round-robin polling."""
+        cycle = self.cycle_time_seconds(node_count, burst_bits)
+        if cycle == 0:
+            return 0.0
+        return burst_bits / cycle
+
+    def max_nodes_for_rate(self, required_rate_bps: float,
+                           burst_bits: float) -> int:
+        """Largest population for which each leaf still gets *required_rate_bps*."""
+        if required_rate_bps <= 0:
+            raise SchedulingError("required rate must be positive")
+        count = 1
+        while self.per_node_goodput_bps(count + 1, burst_bits) >= required_rate_bps:
+            count += 1
+            if count > 10_000:
+                break
+        if self.per_node_goodput_bps(1, burst_bits) < required_rate_bps:
+            return 0
+        return count

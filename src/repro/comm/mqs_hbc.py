@@ -1,0 +1,158 @@
+"""Magneto-quasistatic human body communication (MQS-HBC).
+
+Section IV-B closes with the paper's future-work direction: "exploring
+body-assisted communication for implantable devices in EQS regime and
+beyond using Magneto-Quasistatic Human Body Communication leveraging the
+human body's transparency to magnetic fields."  This module models that
+extension so the designer can place *implanted* leaf nodes:
+
+* the body is essentially transparent to low-frequency magnetic fields,
+  so an MQS link suffers almost no tissue absorption — unlike RF — but
+  its coupling falls off steeply with coil separation (near-field
+  |H| ~ 1/r^3);
+* published biphasic quasistatic / MQS implant links (e.g. ref [22],
+  Nature Electronics 2023) reach tens-to-hundreds of kb/s at tens of
+  pJ/bit through several centimetres of tissue.
+
+The transceiver model mirrors :class:`~repro.comm.eqs_hbc.EQSHBCTransceiver`
+so it plugs into every existing analysis (link comparison, battery-life
+projection, partitioning).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError, LinkBudgetError
+from .. import units
+from .link import CommTechnology
+
+#: Upper frequency of the magneto-quasistatic regime used here (40.68 MHz
+#: ISM band is the usual ceiling for inductive implant links).
+MQS_MAX_FREQUENCY_HZ = 40.68e6
+
+#: Relative permeability of human tissue is ~1: magnetic fields pass
+#: through the body essentially unattenuated (the property the paper
+#: leverages), so the only tissue-dependent loss we model is a small
+#: eddy-current term per centimetre of depth.
+TISSUE_EDDY_LOSS_DB_PER_CM = 0.1
+
+
+@dataclass
+class MQSHBCTransceiver(CommTechnology):
+    """A magneto-quasistatic (inductively coupled) body transceiver."""
+
+    name: str
+    data_rate: float
+    energy_per_bit: float
+    carrier_frequency_hz: float = 13.56e6
+    coil_radius_metres: float = 0.01
+    sleep_power_watts: float = units.nanowatt(50.0)
+    wakeup_energy_joules: float = units.nanojoule(20.0)
+    wakeup_latency_seconds: float = units.milliseconds(0.2)
+    max_link_distance_metres: float = 0.3
+    body_confined: bool = field(default=True, init=False)
+
+    def __post_init__(self) -> None:
+        if self.data_rate <= 0:
+            raise ConfigurationError("data rate must be positive")
+        if self.energy_per_bit < 0:
+            raise ConfigurationError("energy per bit must be non-negative")
+        if not 0 < self.carrier_frequency_hz <= MQS_MAX_FREQUENCY_HZ:
+            raise ConfigurationError(
+                "MQS carriers must be in (0, 40.68 MHz], got "
+                f"{self.carrier_frequency_hz:.3g} Hz"
+            )
+        if self.coil_radius_metres <= 0:
+            raise ConfigurationError("coil radius must be positive")
+        if self.max_link_distance_metres <= 0:
+            raise ConfigurationError("max link distance must be positive")
+
+    # -- CommTechnology interface -------------------------------------------------
+    def data_rate_bps(self) -> float:
+        return self.data_rate
+
+    def tx_energy_per_bit(self) -> float:
+        return self.energy_per_bit
+
+    def rx_energy_per_bit(self) -> float:
+        return self.energy_per_bit
+
+    def tx_active_power(self) -> float:
+        return self.energy_per_bit * self.data_rate
+
+    def rx_active_power(self) -> float:
+        return self.energy_per_bit * self.data_rate
+
+    def sleep_power(self) -> float:
+        return self.sleep_power_watts
+
+    def wakeup_energy(self) -> float:
+        return self.wakeup_energy_joules
+
+    def wakeup_latency(self) -> float:
+        return self.wakeup_latency_seconds
+
+    def max_range_metres(self) -> float:
+        return self.max_link_distance_metres
+
+    # -- MQS-specific channel physics ---------------------------------------------
+    def coupling_loss_db(self, distance_metres: float,
+                         tissue_depth_metres: float = 0.0) -> float:
+        """Near-field coupling loss between two coaxial coils.
+
+        The mutual-inductance (voltage) coupling of small coils falls as
+        ``1/d^3`` once the separation exceeds the coil radius, i.e.
+        60 dB per decade of distance; tissue adds only a small eddy-current
+        loss because mu_r ~ 1.
+        """
+        if distance_metres <= 0:
+            raise ConfigurationError("distance must be positive")
+        if tissue_depth_metres < 0:
+            raise ConfigurationError("tissue depth must be non-negative")
+        effective = max(distance_metres, self.coil_radius_metres)
+        geometric = 60.0 * math.log10(effective / self.coil_radius_metres)
+        tissue = TISSUE_EDDY_LOSS_DB_PER_CM * tissue_depth_metres * 100.0
+        return geometric + tissue
+
+    def link_closes(self, distance_metres: float,
+                    tissue_depth_metres: float = 0.0,
+                    max_loss_db: float = 60.0) -> bool:
+        """Whether the inductive link budget closes at *distance_metres*."""
+        if distance_metres > self.max_link_distance_metres:
+            return False
+        return self.coupling_loss_db(distance_metres, tissue_depth_metres) \
+            <= max_loss_db
+
+    def require_link(self, distance_metres: float,
+                     tissue_depth_metres: float = 0.0) -> None:
+        """Raise :class:`LinkBudgetError` if the link cannot close."""
+        if not self.link_closes(distance_metres, tissue_depth_metres):
+            raise LinkBudgetError(
+                f"MQS link does not close over {distance_metres:.2f} m "
+                f"({tissue_depth_metres * 100.0:.0f} cm of tissue)"
+            )
+
+
+def mqs_implant_link() -> MQSHBCTransceiver:
+    """Implant-class MQS link: 100 kb/s at ~30 pJ/bit through tissue."""
+    return MQSHBCTransceiver(
+        name="MQS-HBC implant link",
+        data_rate=units.kilobit_per_second(100.0),
+        energy_per_bit=units.picojoule_per_bit(30.0),
+        carrier_frequency_hz=units.megahertz(13.56),
+        max_link_distance_metres=0.2,
+    )
+
+
+def mqs_wearable_relay() -> MQSHBCTransceiver:
+    """On-skin relay coil that bridges an implant to the Wi-R body bus."""
+    return MQSHBCTransceiver(
+        name="MQS-HBC wearable relay",
+        data_rate=units.kilobit_per_second(250.0),
+        energy_per_bit=units.picojoule_per_bit(50.0),
+        carrier_frequency_hz=units.megahertz(13.56),
+        coil_radius_metres=0.015,
+        max_link_distance_metres=0.3,
+    )

@@ -1,0 +1,69 @@
+"""Near-field magnetic induction (NFMI) radio model.
+
+The paper names NFMI alongside radio as one of the "popular" body-area
+alternatives to EQS communication ("the body ... remains transparent to
+magnetic fields"), so it is included as a secondary baseline.  NFMI links
+(as used in hearing aids) achieve a few hundred kb/s at single-digit
+milliwatts with a ~1 m working range that decays as 1/r^6 in power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from .. import units
+from .link import CommTechnology
+
+
+@dataclass
+class NFMIRadio(CommTechnology):
+    """A near-field magnetic induction transceiver."""
+
+    name: str
+    data_rate: float = units.kilobit_per_second(400.0)
+    tx_power_watts: float = units.milliwatt(4.0)
+    rx_power_watts: float = units.milliwatt(3.0)
+    sleep_power_watts: float = units.microwatt(5.0)
+    wakeup_energy_joules: float = units.microjoule(10.0)
+    wakeup_latency_seconds: float = units.milliseconds(2.0)
+    working_range_metres: float = 1.0
+    body_confined: bool = field(default=True, init=False)
+
+    def __post_init__(self) -> None:
+        if self.data_rate <= 0:
+            raise ConfigurationError("data rate must be positive")
+        if self.working_range_metres <= 0:
+            raise ConfigurationError("working range must be positive")
+
+    def data_rate_bps(self) -> float:
+        return self.data_rate
+
+    def tx_energy_per_bit(self) -> float:
+        return self.tx_power_watts / self.data_rate
+
+    def rx_energy_per_bit(self) -> float:
+        return self.rx_power_watts / self.data_rate
+
+    def tx_active_power(self) -> float:
+        return self.tx_power_watts
+
+    def rx_active_power(self) -> float:
+        return self.rx_power_watts
+
+    def sleep_power(self) -> float:
+        return self.sleep_power_watts
+
+    def wakeup_energy(self) -> float:
+        return self.wakeup_energy_joules
+
+    def wakeup_latency(self) -> float:
+        return self.wakeup_latency_seconds
+
+    def max_range_metres(self) -> float:
+        return self.working_range_metres
+
+
+def nfmi_hearing_aid() -> NFMIRadio:
+    """NFMI link typical of hearing-aid ear-to-ear streaming."""
+    return NFMIRadio(name="NFMI (hearing aid)")

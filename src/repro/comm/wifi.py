@@ -1,0 +1,76 @@
+"""Wi-Fi radio model, used for the hub-to-cloud/fog uplink.
+
+Section V places the on-body hub as the gateway to fog and cloud servers.
+The hub is a daily-charged mW-to-W class device, so a conventional Wi-Fi
+link is appropriate there; the model exists so the end-to-end network
+designer can account for the hub's uplink energy as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from .. import units
+from .channel import RFPathLossModel
+from .link import CommTechnology
+
+
+@dataclass
+class WiFiRadio(CommTechnology):
+    """A Wi-Fi (802.11n/ac-class) station radio."""
+
+    name: str
+    phy_rate: float = units.megabit_per_second(150.0)
+    goodput_fraction: float = 0.6
+    tx_power_watts: float = 0.8
+    rx_power_watts: float = 0.5
+    sleep_power_watts: float = units.milliwatt(1.0)
+    wakeup_energy_joules: float = units.millijoule(5.0)
+    wakeup_latency_seconds: float = units.milliseconds(20.0)
+    tx_power_dbm: float = 15.0
+    rx_sensitivity_dbm: float = -82.0
+    path_loss: RFPathLossModel = field(
+        default_factory=lambda: RFPathLossModel(frequency_hz=5.0e9, body_worn=False)
+    )
+    body_confined: bool = field(default=False, init=False)
+
+    def __post_init__(self) -> None:
+        if self.phy_rate <= 0:
+            raise ConfigurationError("PHY rate must be positive")
+        if not 0.0 < self.goodput_fraction <= 1.0:
+            raise ConfigurationError("goodput fraction must be in (0, 1]")
+
+    def data_rate_bps(self) -> float:
+        return self.phy_rate * self.goodput_fraction
+
+    def tx_energy_per_bit(self) -> float:
+        return self.tx_power_watts / self.data_rate_bps()
+
+    def rx_energy_per_bit(self) -> float:
+        return self.rx_power_watts / self.data_rate_bps()
+
+    def tx_active_power(self) -> float:
+        return self.tx_power_watts
+
+    def rx_active_power(self) -> float:
+        return self.rx_power_watts
+
+    def sleep_power(self) -> float:
+        return self.sleep_power_watts
+
+    def wakeup_energy(self) -> float:
+        return self.wakeup_energy_joules
+
+    def wakeup_latency(self) -> float:
+        return self.wakeup_latency_seconds
+
+    def max_range_metres(self) -> float:
+        return self.path_loss.range_for_sensitivity(
+            self.tx_power_dbm, self.rx_sensitivity_dbm, max_distance_metres=200.0,
+        )
+
+
+def wifi_hub_uplink() -> WiFiRadio:
+    """Hub uplink to a home access point (fog/cloud gateway)."""
+    return WiFiRadio(name="Wi-Fi hub uplink")

@@ -1,0 +1,127 @@
+"""Core library: the human-inspired distributed wearable AI architecture.
+
+This package implements the paper's contribution on top of the substrates
+(:mod:`repro.comm`, :mod:`repro.energy`, :mod:`repro.sensors`,
+:mod:`repro.isa`, :mod:`repro.nn`, :mod:`repro.netsim`, :mod:`repro.body`):
+
+* :mod:`repro.core.compute` — compute-device energy models (leaf MCU,
+  in-sensor analytics block, hub SoC).
+* :mod:`repro.core.node` — leaf / hub / conventional node descriptions.
+* :mod:`repro.core.power_budget` — per-component power budgets (Fig. 1).
+* :mod:`repro.core.architecture` — today's standalone architecture versus
+  the human-inspired leaf+hub architecture.
+* :mod:`repro.core.battery_life` — battery-life projection versus data
+  rate (Fig. 3), including the "perpetually operable" classification.
+* :mod:`repro.core.offload` — where should a workload run: entirely on the
+  leaf, shipped raw to the hub, reduced by ISA first, or partitioned?
+* :mod:`repro.core.partition` — the DNN partitioner that chooses the
+  layer at which to split a profiled model between leaf and hub.
+* :mod:`repro.core.feasibility` — perpetual-operation feasibility under
+  energy harvesting.
+* :mod:`repro.core.designer` — end-to-end body-network designer combining
+  all of the above for a set of wearable applications.
+"""
+
+from .compute import ComputeDevice, leaf_mcu, isa_accelerator, hub_soc, cloud_server
+from .node import (
+    NodeRole,
+    SensorSuite,
+    LeafNodeSpec,
+    HubNodeSpec,
+    ConventionalNodeSpec,
+)
+from .power_budget import PowerBudget, PowerComponent
+from .architecture import (
+    ArchitectureComparison,
+    conventional_node_budget,
+    human_inspired_node_budget,
+    compare_architectures,
+)
+from .battery_life import (
+    BatteryLifeProjection,
+    BatteryLifePoint,
+    project_battery_life,
+    battery_life_vs_data_rate,
+    DeviceClassPlacement,
+    DEVICE_CLASS_PLACEMENTS,
+    classify_battery_life,
+    LifeBand,
+    PERPETUAL_THRESHOLD_SECONDS,
+)
+from .offload import (
+    OffloadStrategy,
+    OffloadOption,
+    OffloadDecision,
+    evaluate_offload_strategies,
+    choose_offload_strategy,
+)
+from .partition import (
+    PartitionObjective,
+    PartitionPoint,
+    PartitionDecision,
+    evaluate_split,
+    sweep_partitions,
+    optimal_partition,
+    min_cut_partition,
+)
+from .feasibility import (
+    FeasibilityReport,
+    perpetual_feasibility,
+    harvesting_headroom_watts,
+)
+from .designer import (
+    ApplicationSpec,
+    NodePlan,
+    NetworkPlan,
+    NetworkDesigner,
+)
+from .hub_analysis import HubLoadReport, analyse_hub_load
+
+__all__ = [
+    "ComputeDevice",
+    "leaf_mcu",
+    "isa_accelerator",
+    "hub_soc",
+    "cloud_server",
+    "NodeRole",
+    "SensorSuite",
+    "LeafNodeSpec",
+    "HubNodeSpec",
+    "ConventionalNodeSpec",
+    "PowerBudget",
+    "PowerComponent",
+    "ArchitectureComparison",
+    "conventional_node_budget",
+    "human_inspired_node_budget",
+    "compare_architectures",
+    "BatteryLifeProjection",
+    "BatteryLifePoint",
+    "project_battery_life",
+    "battery_life_vs_data_rate",
+    "DeviceClassPlacement",
+    "DEVICE_CLASS_PLACEMENTS",
+    "classify_battery_life",
+    "LifeBand",
+    "PERPETUAL_THRESHOLD_SECONDS",
+    "OffloadStrategy",
+    "OffloadOption",
+    "OffloadDecision",
+    "evaluate_offload_strategies",
+    "choose_offload_strategy",
+    "PartitionObjective",
+    "PartitionPoint",
+    "PartitionDecision",
+    "evaluate_split",
+    "sweep_partitions",
+    "optimal_partition",
+    "min_cut_partition",
+    "FeasibilityReport",
+    "perpetual_feasibility",
+    "harvesting_headroom_watts",
+    "ApplicationSpec",
+    "NodePlan",
+    "NetworkPlan",
+    "NetworkDesigner",
+    "HubLoadReport",
+    "analyse_hub_load",
+]

@@ -1,0 +1,197 @@
+"""Architecture comparison: today's IoB node versus human-inspired IoB node.
+
+This module regenerates the two stacked power breakdowns of the paper's
+Fig. 1:
+
+* **Today's IoB node** — every wearable carries a sensor front end, an
+  on-board CPU that must process the data locally (because the radio is
+  too expensive to ship raw data), and an RF radio.  Active powers land at
+  ~100s of uW (sensor), ~mW (CPU) and ~10s of mW (radio).
+* **Human-inspired IoB node** — a leaf node carries only the sensor, an
+  optional in-sensor-analytics block, and a Wi-R transceiver; the heavy
+  computation happens on the on-body hub.  Active powers land at 10--50 uW
+  (sensor), ~100 uW (ISA) and ~100 uW (Wi-R).
+
+Both *active* budgets (what the figure annotates) and *average* budgets
+(duty-cycled at the node's offered data rate, what battery life depends
+on) are produced, so E1 can report the figure's numbers and E3 can reuse
+the same code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..comm.link import CommTechnology
+from ..isa.pipeline import ISAPipeline
+from ..sensors.frontend import AFESurveyModel
+from .compute import ComputeDevice
+from .node import ConventionalNodeSpec, LeafNodeSpec
+from .power_budget import PowerBudget
+
+#: Default local-processing intensity of a conventional wearable's CPU:
+#: operations executed per raw sensor bit (signal conditioning, feature
+#: extraction, application logic).
+DEFAULT_CPU_OPS_PER_BIT = 50.0
+
+#: Fraction of the raw sensor rate a conventional node actually radios out
+#: after local processing (results, summaries, sync bursts).
+DEFAULT_LOCAL_REDUCTION = 0.05
+
+
+def _sensing_power(spec_power: float | None, data_rate_bps: float,
+                   survey: AFESurveyModel | None) -> float:
+    if spec_power is not None:
+        return spec_power
+    survey = survey or AFESurveyModel()
+    return survey.sensing_power_watts(data_rate_bps)
+
+
+def conventional_node_budget(
+    spec: ConventionalNodeSpec,
+    mode: str = "active",
+    cpu_ops_per_bit: float = DEFAULT_CPU_OPS_PER_BIT,
+    local_reduction: float = DEFAULT_LOCAL_REDUCTION,
+    survey: AFESurveyModel | None = None,
+) -> PowerBudget:
+    """Power budget of a today's-architecture wearable.
+
+    ``mode="active"`` reports each block's active power (Fig. 1's labels);
+    ``mode="average"`` duty-cycles the CPU and radio for the node's actual
+    workload (local processing of the raw stream at *cpu_ops_per_bit*,
+    radio carrying ``local_reduction`` of the raw rate).
+    """
+    if mode not in ("active", "average"):
+        raise ConfigurationError(f"mode must be 'active' or 'average', got {mode!r}")
+    if cpu_ops_per_bit < 0:
+        raise ConfigurationError("cpu_ops_per_bit must be non-negative")
+    if not 0.0 < local_reduction <= 1.0:
+        raise ConfigurationError("local_reduction must be in (0, 1]")
+
+    raw_rate = spec.sensors.raw_data_rate_bps()
+    sensing = _sensing_power(spec.sensors.sensing_power_watts, raw_rate, survey)
+    budget = PowerBudget(node_name=spec.name)
+    budget.add("sensor", sensing, category="sensing")
+
+    if mode == "active":
+        cpu_power = spec.cpu.energy_per_mac_joules * spec.cpu.macs_per_second
+        cpu_power += spec.cpu.idle_power_watts
+        radio_power = spec.radio.tx_active_power()
+    else:
+        mac_rate = cpu_ops_per_bit * raw_rate
+        cpu_power = mac_rate * spec.cpu.energy_per_mac_joules + spec.cpu.idle_power_watts
+        radio_power = spec.radio.average_power_at_rate(
+            min(raw_rate * local_reduction, spec.radio.data_rate_bps())
+        )
+    budget.add("cpu", cpu_power, category="compute")
+    budget.add("radio", radio_power, category="communication")
+    return budget
+
+
+def human_inspired_node_budget(
+    spec: LeafNodeSpec,
+    mode: str = "active",
+    isa_pipeline: ISAPipeline | None = None,
+    survey: AFESurveyModel | None = None,
+) -> PowerBudget:
+    """Power budget of a human-inspired leaf node.
+
+    The leaf senses, optionally reduces the stream with its ISA block, and
+    ships the (possibly reduced) stream to the hub over Wi-R.  In
+    ``"active"`` mode the ISA and Wi-R blocks are reported at their active
+    power; in ``"average"`` mode both are duty-cycled for the node's
+    offered data rate.
+    """
+    if mode not in ("active", "average"):
+        raise ConfigurationError(f"mode must be 'active' or 'average', got {mode!r}")
+
+    raw_rate = spec.sensors.raw_data_rate_bps()
+    sensing = _sensing_power(spec.sensors.sensing_power_watts, raw_rate, survey)
+    budget = PowerBudget(node_name=spec.name)
+    budget.add("sensor", sensing, category="sensing")
+
+    if isa_pipeline is not None:
+        isa_power = isa_pipeline.compute_power_watts(raw_rate)
+        offered_rate = isa_pipeline.output_rate_bps(raw_rate)
+    else:
+        isa_power = 0.0
+        offered_rate = raw_rate
+
+    if mode == "active":
+        isa_active = spec.isa.energy_per_mac_joules * spec.isa.macs_per_second
+        isa_active += spec.isa.idle_power_watts
+        budget.add("isa", max(isa_power, isa_active) if isa_pipeline else isa_active,
+                   category="compute")
+        budget.add("wi-r", spec.link.tx_active_power(), category="communication")
+    else:
+        budget.add("isa", isa_power + spec.isa.idle_power_watts, category="compute")
+        link_rate = spec.link.data_rate_bps()
+        budget.add(
+            "wi-r",
+            spec.link.average_power_at_rate(min(offered_rate, link_rate)),
+            category="communication",
+        )
+    return budget
+
+
+@dataclass(frozen=True)
+class ArchitectureComparison:
+    """Side-by-side result of the Fig. 1 reproduction for one node pair."""
+
+    conventional: PowerBudget
+    human_inspired: PowerBudget
+
+    @property
+    def power_reduction_factor(self) -> float:
+        """How many times lower the human-inspired node's total power is."""
+        return self.conventional.ratio_over(self.human_inspired)
+
+    @property
+    def communication_reduction_factor(self) -> float:
+        """Reduction factor of the communication block alone."""
+        conventional_radio = self.conventional.category_power("communication")
+        human_radio = self.human_inspired.category_power("communication")
+        if human_radio == 0.0:
+            return float("inf")
+        return conventional_radio / human_radio
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """Rows for the report formatter (both budgets plus the ratio)."""
+        rows = self.conventional.as_rows() + self.human_inspired.as_rows()
+        rows.append({
+            "node": f"{self.conventional.node_name} / {self.human_inspired.node_name}",
+            "component": "power reduction",
+            "category": "ratio",
+            "power_uw": self.power_reduction_factor,
+        })
+        return rows
+
+
+def compare_architectures(
+    conventional: ConventionalNodeSpec,
+    human_inspired: LeafNodeSpec,
+    mode: str = "active",
+    isa_pipeline: ISAPipeline | None = None,
+    cpu_ops_per_bit: float = DEFAULT_CPU_OPS_PER_BIT,
+    local_reduction: float = DEFAULT_LOCAL_REDUCTION,
+    survey: AFESurveyModel | None = None,
+) -> ArchitectureComparison:
+    """Build both budgets for the same sensing task and compare them."""
+    conventional_budget = conventional_node_budget(
+        conventional,
+        mode=mode,
+        cpu_ops_per_bit=cpu_ops_per_bit,
+        local_reduction=local_reduction,
+        survey=survey,
+    )
+    human_budget = human_inspired_node_budget(
+        human_inspired,
+        mode=mode,
+        isa_pipeline=isa_pipeline,
+        survey=survey,
+    )
+    return ArchitectureComparison(
+        conventional=conventional_budget,
+        human_inspired=human_budget,
+    )

@@ -1,0 +1,280 @@
+"""Battery-life projection versus data rate (the paper's Fig. 3).
+
+Fig. 3 plots the projected battery life (in days) of a human-inspired
+wearable node against its data rate, under the stated assumptions:
+
+* 1000 mAh battery,
+* Wi-R communication at 100 pJ/bit,
+* sensing power taken from a survey of analog front ends as a function of
+  data rate,
+* computation power treated as negligible to first order,
+* devices whose projected life exceeds one year labelled "perpetually
+  operable".
+
+The figure then places device classes on that curve: biopotential sensor
+patches, smart rings and fitness trackers fall in the perpetual region,
+audio-input wearable AI (pins, pocket assistants, ExG nodes) at all-week
+battery life, and AI video nodes at all-day battery life.  This module
+reproduces the curve, the device-class placements and the banding.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..comm.link import CommTechnology
+from ..comm.eqs_hbc import wir_commercial
+from ..energy.battery import BatterySpec, battery_life_seconds, coin_cell_high_capacity
+from ..sensors.frontend import AFESurveyModel
+from .. import units
+
+#: Devices lasting longer than this are "perpetually operable" (one year).
+PERPETUAL_THRESHOLD_SECONDS = units.years(1.0)
+
+
+class LifeBand(enum.Enum):
+    """Battery-life bands used by Figs. 2 and 3."""
+
+    SUB_DAY = "sub_day"              # < ~18 hours (headsets, phones)
+    ALL_DAY = "all_day"              # ~1 to a few days
+    ALL_WEEK = "all_week"            # a few days to a few weeks
+    ALL_MONTH = "all_month"          # weeks to a year
+    PERPETUAL = "perpetual"          # > 1 year (or net-positive harvesting)
+
+
+#: Band boundaries in days (upper edge of each band, in order).
+_BAND_EDGES_DAYS: tuple[tuple[LifeBand, float], ...] = (
+    (LifeBand.SUB_DAY, 0.75),
+    (LifeBand.ALL_DAY, 3.5),
+    (LifeBand.ALL_WEEK, 30.0),
+    (LifeBand.ALL_MONTH, units.to_days(PERPETUAL_THRESHOLD_SECONDS)),
+)
+
+
+def classify_battery_life(life_seconds: float) -> LifeBand:
+    """Map a projected battery life to its band."""
+    if life_seconds < 0:
+        raise ConfigurationError("battery life must be non-negative")
+    if math.isinf(life_seconds):
+        return LifeBand.PERPETUAL
+    life_days = units.to_days(life_seconds)
+    for band, upper_days in _BAND_EDGES_DAYS:
+        if life_days < upper_days:
+            return band
+    return LifeBand.PERPETUAL
+
+
+@dataclass(frozen=True)
+class BatteryLifePoint:
+    """One point on the battery-life-versus-data-rate curve."""
+
+    data_rate_bps: float
+    sensing_power_watts: float
+    communication_power_watts: float
+    compute_power_watts: float
+    total_power_watts: float
+    life_seconds: float
+    band: LifeBand
+
+    @property
+    def life_days(self) -> float:
+        """Projected life in days (``inf`` for net-positive harvesting)."""
+        if math.isinf(self.life_seconds):
+            return math.inf
+        return units.to_days(self.life_seconds)
+
+    @property
+    def is_perpetual(self) -> bool:
+        """Whether the point clears the one-year perpetual threshold."""
+        return self.life_seconds > PERPETUAL_THRESHOLD_SECONDS
+
+
+def project_battery_life(
+    data_rate_bps: float,
+    technology: CommTechnology | None = None,
+    battery: BatterySpec | None = None,
+    survey: AFESurveyModel | None = None,
+    sensing_power_watts: float | None = None,
+    compute_power_watts: float = 0.0,
+    harvested_power_watts: float = 0.0,
+) -> BatteryLifePoint:
+    """Project battery life for a node streaming *data_rate_bps* over Wi-R.
+
+    Defaults follow the paper's Fig. 3 assumptions: Wi-R at 100 pJ/bit, a
+    1000 mAh battery, survey-model sensing power, zero computation power
+    and no harvesting.  Passing an explicit ``sensing_power_watts``
+    overrides the survey model (used for device-class placements).
+    """
+    if data_rate_bps < 0:
+        raise ConfigurationError("data rate must be non-negative")
+    if compute_power_watts < 0:
+        raise ConfigurationError("compute power must be non-negative")
+    technology = technology or wir_commercial()
+    battery = battery or coin_cell_high_capacity()
+    if sensing_power_watts is None:
+        survey = survey or AFESurveyModel()
+        sensing_power_watts = survey.sensing_power_watts(data_rate_bps)
+    elif sensing_power_watts < 0:
+        raise ConfigurationError("sensing power must be non-negative")
+
+    communication_power = data_rate_bps * technology.tx_energy_per_bit()
+    communication_power += technology.sleep_power()
+    total = sensing_power_watts + communication_power + compute_power_watts
+    life = battery_life_seconds(
+        battery, total, harvested_power_watts=harvested_power_watts,
+    )
+    return BatteryLifePoint(
+        data_rate_bps=data_rate_bps,
+        sensing_power_watts=sensing_power_watts,
+        communication_power_watts=communication_power,
+        compute_power_watts=compute_power_watts,
+        total_power_watts=total,
+        life_seconds=life,
+        band=classify_battery_life(life),
+    )
+
+
+@dataclass(frozen=True)
+class DeviceClassPlacement:
+    """A device class placed on the Fig. 3 curve.
+
+    ``sensing_power_watts=None`` means "use the survey model"; explicit
+    values model complete commercial sensing subsystems (PPG optical
+    chains, microphone arrays, camera modules).
+    """
+
+    name: str
+    data_rate_bps: float
+    sensing_power_watts: float | None
+    expected_band: LifeBand
+
+
+#: The device classes Fig. 3 annotates, with their operating data rates.
+DEVICE_CLASS_PLACEMENTS: tuple[DeviceClassPlacement, ...] = (
+    DeviceClassPlacement(
+        name="biopotential sensor patch (ECG/ExG)",
+        data_rate_bps=units.kilobit_per_second(3.0),
+        sensing_power_watts=units.microwatt(30.0),
+        expected_band=LifeBand.PERPETUAL,
+    ),
+    DeviceClassPlacement(
+        name="smart ring",
+        data_rate_bps=units.kilobit_per_second(10.0),
+        sensing_power_watts=units.microwatt(200.0),
+        expected_band=LifeBand.PERPETUAL,
+    ),
+    DeviceClassPlacement(
+        name="fitness tracker",
+        data_rate_bps=units.kilobit_per_second(20.0),
+        sensing_power_watts=units.microwatt(250.0),
+        expected_band=LifeBand.PERPETUAL,
+    ),
+    DeviceClassPlacement(
+        name="wearable AI audio node (pin / pocket assistant)",
+        data_rate_bps=units.kilobit_per_second(256.0),
+        sensing_power_watts=units.milliwatt(15.0),
+        expected_band=LifeBand.ALL_WEEK,
+    ),
+    DeviceClassPlacement(
+        name="wearable AI video node (camera glasses)",
+        data_rate_bps=units.megabit_per_second(10.0),
+        sensing_power_watts=units.milliwatt(120.0),
+        expected_band=LifeBand.ALL_DAY,
+    ),
+)
+
+
+@dataclass(frozen=True)
+class BatteryLifeProjection:
+    """The full Fig. 3 reproduction: sweep curve plus device placements."""
+
+    curve: tuple[BatteryLifePoint, ...]
+    device_points: tuple[tuple[DeviceClassPlacement, BatteryLifePoint], ...]
+
+    def perpetual_max_rate_bps(self) -> float:
+        """Largest swept data rate that is still perpetually operable."""
+        perpetual_rates = [
+            point.data_rate_bps for point in self.curve if point.is_perpetual
+        ]
+        if not perpetual_rates:
+            return 0.0
+        return max(perpetual_rates)
+
+    def band_for_rate(self, data_rate_bps: float) -> LifeBand:
+        """Band of the closest swept point to *data_rate_bps*."""
+        if not self.curve:
+            raise ConfigurationError("projection has an empty curve")
+        closest = min(
+            self.curve, key=lambda p: abs(p.data_rate_bps - data_rate_bps)
+        )
+        return closest.band
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """Rows for the report formatter (device placements)."""
+        rows: list[dict[str, object]] = []
+        for placement, point in self.device_points:
+            rows.append({
+                "device_class": placement.name,
+                "data_rate_bps": placement.data_rate_bps,
+                "total_power_uw": units.to_microwatt(point.total_power_watts),
+                "life_days": point.life_days,
+                "band": point.band.value,
+                "expected_band": placement.expected_band.value,
+                "matches_paper": point.band == placement.expected_band,
+            })
+        return rows
+
+
+def battery_life_vs_data_rate(
+    data_rates_bps: Iterable[float] | None = None,
+    technology: CommTechnology | None = None,
+    battery: BatterySpec | None = None,
+    survey: AFESurveyModel | None = None,
+    compute_power_watts: float = 0.0,
+    harvested_power_watts: float = 0.0,
+    device_classes: Sequence[DeviceClassPlacement] = DEVICE_CLASS_PLACEMENTS,
+) -> BatteryLifeProjection:
+    """Sweep data rate and project battery life (the Fig. 3 reproduction).
+
+    The default sweep covers 100 bit/s to 100 Mb/s logarithmically, which
+    spans every device class the figure annotates.
+    """
+    if data_rates_bps is None:
+        data_rates_bps = np.logspace(2, 8, num=61)
+    technology = technology or wir_commercial()
+    battery = battery or coin_cell_high_capacity()
+    survey = survey or AFESurveyModel()
+
+    curve = tuple(
+        project_battery_life(
+            float(rate),
+            technology=technology,
+            battery=battery,
+            survey=survey,
+            compute_power_watts=compute_power_watts,
+            harvested_power_watts=harvested_power_watts,
+        )
+        for rate in data_rates_bps
+    )
+    device_points = tuple(
+        (
+            placement,
+            project_battery_life(
+                placement.data_rate_bps,
+                technology=technology,
+                battery=battery,
+                survey=survey,
+                sensing_power_watts=placement.sensing_power_watts,
+                compute_power_watts=compute_power_watts,
+                harvested_power_watts=harvested_power_watts,
+            ),
+        )
+        for placement in device_classes
+    )
+    return BatteryLifeProjection(curve=curve, device_points=device_points)

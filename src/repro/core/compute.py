@@ -1,0 +1,150 @@
+"""Compute-device energy models.
+
+The paper's architectural argument rests on the relative energy of
+computing versus communicating a bit: "the energy consumption for radio
+communication per bit far exceeds that of computing per bit by several
+orders of magnitude" (Section I, citing refs [13], [14]).  To make that
+argument quantitative — and to drive the DNN partitioner — we model each
+compute tier as a device with an energy per multiply-accumulate, a
+sustained MAC throughput and an idle power:
+
+* leaf MCU: a Cortex-M-class microcontroller in a conventional wearable,
+  ~100 pJ/MAC effective and a few MHz-equivalent of sustained ML throughput;
+* ISA accelerator: a near-threshold fixed-point block inside a
+  human-inspired leaf node, ~1 pJ/MAC but only suitable for small kernels;
+* hub SoC: the smartphone/headset-class application processor with an NPU,
+  ~5 pJ/MAC effective at orders of magnitude higher throughput;
+* cloud server: effectively unlimited throughput reached through the
+  hub's uplink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from .. import units
+
+
+@dataclass(frozen=True)
+class ComputeDevice:
+    """A compute tier available to run (part of) a workload.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports.
+    energy_per_mac_joules:
+        Marginal energy of one multiply-accumulate, including memory access.
+    macs_per_second:
+        Sustained ML throughput.
+    idle_power_watts:
+        Power burnt while the device is on but not computing.
+    wakeup_energy_joules / wakeup_latency_seconds:
+        One-time cost of bringing the device out of sleep for a burst.
+    """
+
+    name: str
+    energy_per_mac_joules: float
+    macs_per_second: float
+    idle_power_watts: float = 0.0
+    wakeup_energy_joules: float = 0.0
+    wakeup_latency_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.energy_per_mac_joules < 0:
+            raise ConfigurationError("energy per MAC must be non-negative")
+        if self.macs_per_second <= 0:
+            raise ConfigurationError("MAC throughput must be positive")
+        for attr in ("idle_power_watts", "wakeup_energy_joules",
+                     "wakeup_latency_seconds"):
+            if getattr(self, attr) < 0:
+                raise ConfigurationError(f"{attr} must be non-negative")
+
+    def compute_energy_joules(self, macs: float,
+                              include_wakeup: bool = False) -> float:
+        """Energy to execute *macs* multiply-accumulates."""
+        if macs < 0:
+            raise ConfigurationError("MAC count must be non-negative")
+        energy = macs * self.energy_per_mac_joules
+        if include_wakeup and macs > 0:
+            energy += self.wakeup_energy_joules
+        return energy
+
+    def compute_latency_seconds(self, macs: float,
+                                include_wakeup: bool = False) -> float:
+        """Time to execute *macs* multiply-accumulates."""
+        if macs < 0:
+            raise ConfigurationError("MAC count must be non-negative")
+        latency = macs / self.macs_per_second
+        if include_wakeup and macs > 0:
+            latency += self.wakeup_latency_seconds
+        return latency
+
+    def average_power_watts(self, macs_per_inference: float,
+                            inferences_per_second: float) -> float:
+        """Average power for a periodic inference workload."""
+        if inferences_per_second < 0:
+            raise ConfigurationError("inference rate must be non-negative")
+        dynamic = (
+            self.compute_energy_joules(macs_per_inference) * inferences_per_second
+        )
+        return dynamic + self.idle_power_watts
+
+    def sustainable_inference_rate_hz(self, macs_per_inference: float) -> float:
+        """Maximum inference rate the device can sustain."""
+        if macs_per_inference <= 0:
+            raise ConfigurationError("MACs per inference must be positive")
+        return self.macs_per_second / macs_per_inference
+
+
+def leaf_mcu() -> ComputeDevice:
+    """Cortex-M-class MCU in a conventional wearable (mW when active)."""
+    return ComputeDevice(
+        name="leaf MCU",
+        energy_per_mac_joules=units.picojoule(100.0),
+        macs_per_second=50e6,
+        idle_power_watts=units.microwatt(50.0),
+        wakeup_energy_joules=units.microjoule(5.0),
+        wakeup_latency_seconds=units.milliseconds(1.0),
+    )
+
+
+def isa_accelerator() -> ComputeDevice:
+    """Near-threshold fixed-point ISA block in a human-inspired leaf node."""
+    return ComputeDevice(
+        name="ISA accelerator",
+        energy_per_mac_joules=units.picojoule(2.0),
+        macs_per_second=50e6,
+        idle_power_watts=units.microwatt(2.0),
+        wakeup_energy_joules=units.nanojoule(100.0),
+        wakeup_latency_seconds=units.milliseconds(0.1),
+    )
+
+
+def hub_soc() -> ComputeDevice:
+    """Smartphone/headset application processor with an NPU."""
+    return ComputeDevice(
+        name="hub SoC",
+        energy_per_mac_joules=units.picojoule(5.0),
+        macs_per_second=2e12,
+        idle_power_watts=units.milliwatt(30.0),
+        wakeup_energy_joules=units.millijoule(1.0),
+        wakeup_latency_seconds=units.milliseconds(5.0),
+    )
+
+
+def cloud_server() -> ComputeDevice:
+    """Cloud inference reached through the hub's uplink.
+
+    The energy per MAC here is the energy *billed to the wearable system*
+    (zero — the datacentre pays), so only latency and the uplink transfer
+    matter when the designer considers a cloud tier.
+    """
+    return ComputeDevice(
+        name="cloud server",
+        energy_per_mac_joules=0.0,
+        macs_per_second=100e12,
+        idle_power_watts=0.0,
+        wakeup_latency_seconds=units.milliseconds(50.0),
+    )

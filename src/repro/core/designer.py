@@ -1,0 +1,251 @@
+"""End-to-end body-network designer.
+
+The designer ties every substrate together: given a set of wearable AI
+applications (each with a sensing modality, a body placement, a DNN
+workload and an inference rate), it
+
+1. profiles each application's model,
+2. chooses the offload strategy / partition point for the configured
+   leaf-to-hub link,
+3. computes the node's streaming data rate, average power, battery life
+   and life band,
+4. verifies the Wi-R link budget over the actual on-body channel length
+   between the node's placement and the hub, and
+5. checks that all nodes together fit in a TDMA schedule on the shared
+   body bus.
+
+The result is a :class:`NetworkPlan` — the machine-checkable version of
+the paper's Fig. 1 (right): a constellation of featherweight leaf nodes
+around one wearable brain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..body.landmarks import BodyLandmark
+from ..body.model import BodyModel, default_adult_body
+from ..comm.eqs_hbc import EQSHBCTransceiver, WiRLink, wir_leaf_node
+from ..comm.link import CommTechnology
+from ..comm.mac import TDMASchedule
+from ..energy.battery import BatterySpec, coin_cell_high_capacity
+from ..isa.pipeline import ISAPipeline
+from ..nn.profile import ModelProfile, profile_model
+from ..nn.zoo import build_model
+from ..sensors.catalog import SensorModality, modality_spec
+from ..sensors.frontend import AFESurveyModel
+from .. import units
+from .battery_life import LifeBand, classify_battery_life
+from .compute import ComputeDevice, hub_soc, isa_accelerator
+from .offload import OffloadDecision, choose_offload_strategy
+from .partition import PartitionObjective
+from ..energy.battery import battery_life_seconds
+
+
+@dataclass(frozen=True)
+class ApplicationSpec:
+    """One wearable-AI application to be mapped onto a leaf node."""
+
+    name: str
+    modality: SensorModality
+    placement: BodyLandmark
+    model_name: str
+    inference_rate_hz: float
+    model_kwargs: dict[str, object] = field(default_factory=dict)
+    isa_pipeline: ISAPipeline | None = None
+    latency_requirement_seconds: float | None = None
+    sensing_power_watts: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("application name must be non-empty")
+        if self.inference_rate_hz <= 0:
+            raise ConfigurationError("inference rate must be positive")
+        if (self.latency_requirement_seconds is not None
+                and self.latency_requirement_seconds <= 0):
+            raise ConfigurationError("latency requirement must be positive")
+        if self.sensing_power_watts is not None and self.sensing_power_watts < 0:
+            raise ConfigurationError("sensing power must be non-negative")
+
+
+@dataclass(frozen=True)
+class NodePlan:
+    """The designer's plan for one leaf node."""
+
+    application: ApplicationSpec
+    offload: OffloadDecision
+    profile: ModelProfile
+    sensing_power_watts: float
+    streaming_rate_bps: float
+    average_power_watts: float
+    battery_life_seconds: float
+    life_band: LifeBand
+    channel_length_metres: float
+    link_margin_db: float
+    meets_latency_requirement: bool
+
+    @property
+    def battery_life_days(self) -> float:
+        """Projected battery life in days."""
+        import math
+
+        if math.isinf(self.battery_life_seconds):
+            return math.inf
+        return units.to_days(self.battery_life_seconds)
+
+
+@dataclass(frozen=True)
+class NetworkPlan:
+    """The designer's plan for the whole body network."""
+
+    nodes: tuple[NodePlan, ...]
+    hub_placement: BodyLandmark
+    technology: str
+    total_offered_rate_bps: float
+    bus_utilization: float
+    schedule_feasible: bool
+    hub_compute_power_watts: float
+
+    def node(self, application_name: str) -> NodePlan:
+        """Look up the plan for one application by name."""
+        for plan in self.nodes:
+            if plan.application.name == application_name:
+                return plan
+        raise ConfigurationError(f"no planned node for {application_name!r}")
+
+    def all_leaves_perpetual_or_better_than(self, band: LifeBand) -> bool:
+        """Whether every leaf reaches at least the given life band."""
+        order = [LifeBand.SUB_DAY, LifeBand.ALL_DAY, LifeBand.ALL_WEEK,
+                 LifeBand.ALL_MONTH, LifeBand.PERPETUAL]
+        threshold = order.index(band)
+        return all(order.index(plan.life_band) >= threshold for plan in self.nodes)
+
+
+class NetworkDesigner:
+    """Maps a set of applications onto a human-inspired body network."""
+
+    def __init__(
+        self,
+        hub_placement: BodyLandmark = BodyLandmark.LEFT_POCKET,
+        technology: CommTechnology | None = None,
+        leaf_device: ComputeDevice | None = None,
+        hub_device: ComputeDevice | None = None,
+        body: BodyModel | None = None,
+        battery: BatterySpec | None = None,
+        survey: AFESurveyModel | None = None,
+        objective: PartitionObjective = PartitionObjective.LEAF_ENERGY,
+        superframe_seconds: float = 0.010,
+    ) -> None:
+        self.hub_placement = hub_placement
+        self.technology = technology or wir_leaf_node()
+        self.leaf_device = leaf_device or isa_accelerator()
+        self.hub_device = hub_device or hub_soc()
+        self.body = body or default_adult_body()
+        self.battery = battery or coin_cell_high_capacity()
+        self.survey = survey or AFESurveyModel()
+        self.objective = objective
+        self.superframe_seconds = superframe_seconds
+
+    def plan_node(self, application: ApplicationSpec) -> NodePlan:
+        """Plan a single application's leaf node."""
+        model = build_model(application.model_name, **application.model_kwargs)
+        profile = profile_model(model)
+        offload = choose_offload_strategy(
+            profile,
+            self.leaf_device,
+            self.hub_device,
+            self.technology,
+            application.inference_rate_hz,
+            isa_pipeline=application.isa_pipeline,
+            objective=self.objective,
+        )
+
+        spec = modality_spec(application.modality)
+        if application.sensing_power_watts is not None:
+            sensing_power = application.sensing_power_watts
+        else:
+            sensing_power = self.survey.sensing_power_watts(spec.raw_data_rate_bps)
+
+        streaming_rate = offload.chosen.transfer_bits * application.inference_rate_hz
+        link_power = self.technology.average_power_at_rate(
+            min(streaming_rate, self.technology.data_rate_bps())
+        )
+        # Leaf average power: sensing + (leaf compute + tx) amortised over time.
+        compute_and_tx_power = offload.chosen.leaf_average_power_watts
+        average_power = sensing_power + compute_and_tx_power
+        # Avoid double counting transmit energy: leaf_average_power already
+        # includes transmit energy per inference; add only the link's sleep
+        # floor from the duty-cycled estimate.
+        average_power += self.technology.sleep_power()
+        del link_power
+
+        life = battery_life_seconds(self.battery, average_power)
+        band = classify_battery_life(life)
+
+        channel_length = self.body.channel_length(
+            application.placement, self.hub_placement
+        )
+        if isinstance(self.technology, EQSHBCTransceiver):
+            link = WiRLink(
+                transceiver=self.technology,
+                channel_length_metres=channel_length,
+            )
+            margin = link.link_margin_db()
+        else:
+            margin = float("inf")
+
+        if application.latency_requirement_seconds is None:
+            meets_latency = True
+        else:
+            meets_latency = (
+                offload.chosen.latency_seconds
+                <= application.latency_requirement_seconds
+            )
+
+        return NodePlan(
+            application=application,
+            offload=offload,
+            profile=profile,
+            sensing_power_watts=sensing_power,
+            streaming_rate_bps=streaming_rate,
+            average_power_watts=average_power,
+            battery_life_seconds=life,
+            life_band=band,
+            channel_length_metres=channel_length,
+            link_margin_db=margin,
+            meets_latency_requirement=meets_latency,
+        )
+
+    def plan(self, applications: list[ApplicationSpec]) -> NetworkPlan:
+        """Plan the whole network for a list of applications."""
+        if not applications:
+            raise ConfigurationError("at least one application is required")
+        names = [application.name for application in applications]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("application names must be unique")
+
+        node_plans = tuple(self.plan_node(application) for application in applications)
+
+        schedule = TDMASchedule(
+            link_rate_bps=self.technology.data_rate_bps(),
+            superframe_seconds=self.superframe_seconds,
+        )
+        for plan in node_plans:
+            schedule.add_node(plan.application.name, plan.streaming_rate_bps)
+        feasible = schedule.is_feasible()
+
+        hub_compute_power = sum(
+            plan.offload.chosen.hub_energy_joules * plan.application.inference_rate_hz
+            for plan in node_plans
+        ) + self.hub_device.idle_power_watts
+
+        return NetworkPlan(
+            nodes=node_plans,
+            hub_placement=self.hub_placement,
+            technology=self.technology.name,
+            total_offered_rate_bps=schedule.total_offered_rate_bps(),
+            bus_utilization=schedule.utilization(),
+            schedule_feasible=feasible,
+            hub_compute_power_watts=hub_compute_power,
+        )

@@ -1,0 +1,172 @@
+"""Hub-side analysis: can one daily-charged 'wearable brain' carry the load?
+
+The paper's architecture concentrates all heavy computation on the on-body
+hub, which "requires daily charging, akin to current practices".  That is
+a real constraint: the hub must absorb every leaf's offloaded MACs, the
+body-bus receive energy, its own uplink traffic to fog/cloud and its idle
+platform power, all from a smartphone-class battery in a day.  This module
+checks it, per :class:`~repro.core.designer.NetworkPlan`:
+
+* the hub's average power broken down into idle, body-bus receive,
+  offloaded compute and cloud uplink;
+* the projected hub battery life and whether it clears the configured
+  charging interval (one day by default);
+* the compute headroom — how many times the current offloaded load the
+  hub's SoC could absorb before saturating its sustained throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..comm.link import CommTechnology
+from ..comm.wifi import wifi_hub_uplink
+from ..energy.battery import BatterySpec, battery_life_seconds, lipo_smartphone
+from .. import units
+from .compute import ComputeDevice, hub_soc
+from .designer import NetworkPlan
+
+
+@dataclass(frozen=True)
+class HubLoadReport:
+    """The hub's energy situation for one network plan."""
+
+    idle_power_watts: float
+    body_rx_power_watts: float
+    offloaded_compute_power_watts: float
+    uplink_power_watts: float
+    battery: BatterySpec
+    charging_interval_seconds: float
+    offered_macs_per_second: float
+    soc_macs_per_second: float
+
+    @property
+    def total_power_watts(self) -> float:
+        """Average hub platform power."""
+        return (
+            self.idle_power_watts
+            + self.body_rx_power_watts
+            + self.offloaded_compute_power_watts
+            + self.uplink_power_watts
+        )
+
+    @property
+    def battery_life_seconds(self) -> float:
+        """Projected hub battery life at the total average power."""
+        return battery_life_seconds(self.battery, self.total_power_watts)
+
+    @property
+    def battery_life_hours(self) -> float:
+        """Projected hub battery life in hours."""
+        return units.to_hours(self.battery_life_seconds)
+
+    @property
+    def survives_charging_interval(self) -> bool:
+        """Whether the hub lasts until its next charge."""
+        return self.battery_life_seconds >= self.charging_interval_seconds
+
+    @property
+    def compute_headroom(self) -> float:
+        """SoC sustained throughput divided by the offered offloaded MACs."""
+        if self.offered_macs_per_second == 0.0:
+            return float("inf")
+        return self.soc_macs_per_second / self.offered_macs_per_second
+
+    @property
+    def offload_share_of_power(self) -> float:
+        """Fraction of hub power spent on the leaves' offloaded work."""
+        total = self.total_power_watts
+        if total == 0.0:
+            return 0.0
+        return (self.offloaded_compute_power_watts + self.body_rx_power_watts) / total
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """Rows for the report formatter."""
+        return [
+            {"component": "idle platform",
+             "power_mw": units.to_milliwatt(self.idle_power_watts)},
+            {"component": "body-bus receive",
+             "power_mw": units.to_milliwatt(self.body_rx_power_watts)},
+            {"component": "offloaded leaf compute",
+             "power_mw": units.to_milliwatt(self.offloaded_compute_power_watts)},
+            {"component": "cloud uplink",
+             "power_mw": units.to_milliwatt(self.uplink_power_watts)},
+            {"component": "TOTAL",
+             "power_mw": units.to_milliwatt(self.total_power_watts)},
+        ]
+
+
+def analyse_hub_load(
+    plan: NetworkPlan,
+    hub_device: ComputeDevice | None = None,
+    body_link: CommTechnology | None = None,
+    uplink: CommTechnology | None = None,
+    uplink_fraction: float = 0.1,
+    battery: BatterySpec | None = None,
+    charging_interval_seconds: float = units.days(1.0),
+) -> HubLoadReport:
+    """Evaluate the hub's power budget for a planned body network.
+
+    Parameters
+    ----------
+    plan:
+        The :class:`NetworkPlan` produced by the designer.
+    hub_device:
+        The hub SoC (defaults to :func:`~repro.core.compute.hub_soc`).
+    body_link:
+        Technology used on the body bus for receive-energy accounting; if
+        omitted, receive energy is approximated from each node's offload
+        decision (which already carries the link's rx energy).
+    uplink:
+        Hub-to-cloud link (defaults to Wi-Fi).
+    uplink_fraction:
+        Fraction of the aggregate leaf traffic the hub forwards to the
+        cloud after edge processing (results and summaries, not raw data).
+    battery:
+        Hub battery (defaults to a smartphone pack).
+    charging_interval_seconds:
+        The paper's assumption is daily charging (the default).
+    """
+    if not 0.0 <= uplink_fraction <= 1.0:
+        raise ConfigurationError("uplink fraction must be in [0, 1]")
+    if charging_interval_seconds <= 0:
+        raise ConfigurationError("charging interval must be positive")
+    hub_device = hub_device or hub_soc()
+    uplink = uplink or wifi_hub_uplink()
+    battery = battery or lipo_smartphone()
+
+    offloaded_macs_per_second = 0.0
+    compute_power = 0.0
+    rx_power = 0.0
+    for node in plan.nodes:
+        rate = node.application.inference_rate_hz
+        chosen = node.offload.chosen
+        if chosen.partition is not None:
+            hub_macs = chosen.partition.best.hub_macs
+        elif chosen.strategy.value in ("offload_raw", "offload_features"):
+            hub_macs = node.profile.total_macs
+        else:
+            hub_macs = 0
+        offloaded_macs_per_second += hub_macs * rate
+        compute_power += hub_device.compute_energy_joules(hub_macs) * rate
+        if body_link is not None:
+            rx_power += body_link.rx_energy_per_bit() * node.streaming_rate_bps
+        else:
+            rx_power += chosen.hub_energy_joules * rate - \
+                hub_device.compute_energy_joules(hub_macs) * rate
+
+    total_leaf_rate = sum(node.streaming_rate_bps for node in plan.nodes)
+    uplink_rate = min(total_leaf_rate * uplink_fraction, uplink.data_rate_bps())
+    uplink_power = uplink.average_power_at_rate(uplink_rate)
+
+    return HubLoadReport(
+        idle_power_watts=hub_device.idle_power_watts,
+        body_rx_power_watts=max(rx_power, 0.0),
+        offloaded_compute_power_watts=compute_power,
+        uplink_power_watts=uplink_power,
+        battery=battery,
+        charging_interval_seconds=charging_interval_seconds,
+        offered_macs_per_second=offloaded_macs_per_second,
+        soc_macs_per_second=hub_device.macs_per_second,
+    )

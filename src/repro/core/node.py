@@ -1,0 +1,111 @@
+"""Node specifications: leaves, hubs, and today's conventional wearables.
+
+The paper's Fig. 1 distinguishes three kinds of on-body devices:
+
+* today's IoB node — sensor + on-board CPU + radio, every device an island;
+* the human-inspired leaf node — sensor + optional ISA + Wi-R, no CPU;
+* the on-body hub ("wearable brain") — the one daily-charged device that
+  hosts edge intelligence and gateways to the cloud.
+
+These dataclasses bundle the substrate models needed to evaluate each kind
+of node: the sensing suite, the compute device (if any), the link
+technology and the battery.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from ..body.landmarks import BodyLandmark
+from ..comm.link import CommTechnology
+from ..energy.battery import BatterySpec, coin_cell_high_capacity, lipo_smartphone
+from ..sensors.catalog import SensorModality, modality_spec
+from .compute import ComputeDevice, hub_soc, isa_accelerator, leaf_mcu
+
+
+class NodeRole(enum.Enum):
+    """Role a node plays in the body network."""
+
+    CONVENTIONAL = "conventional"
+    LEAF = "leaf"
+    HUB = "hub"
+
+
+@dataclass(frozen=True)
+class SensorSuite:
+    """The sensing modalities carried by one node."""
+
+    modalities: tuple[SensorModality, ...]
+    sensing_power_watts: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.modalities:
+            raise ConfigurationError("a sensor suite needs at least one modality")
+        if self.sensing_power_watts is not None and self.sensing_power_watts < 0:
+            raise ConfigurationError("sensing power must be non-negative")
+
+    def raw_data_rate_bps(self) -> float:
+        """Combined raw data rate of all modalities."""
+        return sum(
+            modality_spec(modality).raw_data_rate_bps for modality in self.modalities
+        )
+
+    def compressed_data_rate_bps(self) -> float:
+        """Combined data rate after typical per-modality compression."""
+        return sum(
+            modality_spec(modality).compressed_data_rate_bps
+            for modality in self.modalities
+        )
+
+
+@dataclass
+class LeafNodeSpec:
+    """A human-inspired ultra-low-power leaf node."""
+
+    name: str
+    sensors: SensorSuite
+    placement: BodyLandmark
+    link: CommTechnology
+    isa: ComputeDevice = field(default_factory=isa_accelerator)
+    battery: BatterySpec = field(default_factory=coin_cell_high_capacity)
+    role: NodeRole = field(default=NodeRole.LEAF, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("node name must be non-empty")
+
+
+@dataclass
+class ConventionalNodeSpec:
+    """A today's-architecture wearable: sensor + CPU + radio in one device."""
+
+    name: str
+    sensors: SensorSuite
+    placement: BodyLandmark
+    radio: CommTechnology
+    cpu: ComputeDevice = field(default_factory=leaf_mcu)
+    battery: BatterySpec = field(default_factory=coin_cell_high_capacity)
+    role: NodeRole = field(default=NodeRole.CONVENTIONAL, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("node name must be non-empty")
+
+
+@dataclass
+class HubNodeSpec:
+    """The on-body hub: wearable brain and gateway to fog/cloud."""
+
+    name: str
+    placement: BodyLandmark
+    body_link: CommTechnology
+    uplink: CommTechnology | None = None
+    soc: ComputeDevice = field(default_factory=hub_soc)
+    battery: BatterySpec = field(default_factory=lipo_smartphone)
+    role: NodeRole = field(default=NodeRole.HUB, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("node name must be non-empty")

@@ -1,0 +1,215 @@
+"""Offload strategy selection for a leaf-node workload.
+
+The paper's Section V describes the choices a human-inspired leaf node
+has: run everything locally (what today's wearables do), ship the raw
+stream to the hub, run in-sensor analytics / compression first and ship
+the reduced stream, or split a DNN somewhere in the middle (partitioned
+inference).  This module costs all four strategies on a common basis —
+leaf energy per inference, system energy, latency and sustained leaf
+average power — and picks the best one for a given objective.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, PartitionError
+from ..comm.link import CommTechnology, transfer_cost
+from ..isa.pipeline import ISAPipeline
+from ..nn.profile import ModelProfile
+from .compute import ComputeDevice
+from .partition import (
+    PartitionDecision,
+    PartitionObjective,
+    optimal_partition,
+)
+
+
+class OffloadStrategy(enum.Enum):
+    """Where the inference work happens."""
+
+    LOCAL_ALL = "local_all"
+    OFFLOAD_RAW = "offload_raw"
+    OFFLOAD_FEATURES = "offload_features"
+    PARTITIONED = "partitioned"
+
+
+@dataclass(frozen=True)
+class OffloadOption:
+    """Cost of one strategy for one workload."""
+
+    strategy: OffloadStrategy
+    leaf_energy_joules: float
+    hub_energy_joules: float
+    latency_seconds: float
+    transfer_bits: float
+    leaf_average_power_watts: float
+    partition: PartitionDecision | None = None
+
+    @property
+    def total_energy_joules(self) -> float:
+        """System energy per inference."""
+        return self.leaf_energy_joules + self.hub_energy_joules
+
+
+@dataclass(frozen=True)
+class OffloadDecision:
+    """The chosen strategy plus every evaluated alternative."""
+
+    chosen: OffloadOption
+    options: tuple[OffloadOption, ...]
+    objective: PartitionObjective
+
+    def option(self, strategy: OffloadStrategy) -> OffloadOption:
+        """Look up the evaluated option for *strategy*."""
+        for option in self.options:
+            if option.strategy is strategy:
+                return option
+        raise ConfigurationError(f"strategy {strategy} was not evaluated")
+
+    def leaf_energy_ratio(self, strategy: OffloadStrategy) -> float:
+        """Leaf energy of *strategy* divided by the chosen strategy's."""
+        chosen_energy = self.chosen.leaf_energy_joules
+        if chosen_energy == 0.0:
+            return float("inf")
+        return self.option(strategy).leaf_energy_joules / chosen_energy
+
+
+def _objective_value(option: OffloadOption, objective: PartitionObjective) -> float:
+    if objective is PartitionObjective.LEAF_ENERGY:
+        return option.leaf_energy_joules
+    if objective is PartitionObjective.TOTAL_ENERGY:
+        return option.total_energy_joules
+    if objective is PartitionObjective.LATENCY:
+        return option.latency_seconds
+    if objective is PartitionObjective.ENERGY_DELAY_PRODUCT:
+        return option.leaf_energy_joules * option.latency_seconds
+    raise PartitionError(f"unknown objective: {objective!r}")
+
+
+def evaluate_offload_strategies(
+    profile: ModelProfile,
+    leaf_device: ComputeDevice,
+    hub_device: ComputeDevice,
+    technology: CommTechnology,
+    inference_rate_hz: float,
+    isa_pipeline: ISAPipeline | None = None,
+    result_bits: float | None = None,
+) -> tuple[OffloadOption, ...]:
+    """Cost every applicable strategy for one profiled workload.
+
+    Parameters
+    ----------
+    profile:
+        Profiled model (gives MACs and activation sizes).
+    leaf_device / hub_device:
+        Compute tiers available on the node and the hub.
+    technology:
+        Leaf-to-hub link.
+    inference_rate_hz:
+        How often an inference runs (sets the leaf's average power).
+    isa_pipeline:
+        Optional feature-extraction/compression front end; enables the
+        ``OFFLOAD_FEATURES`` strategy.
+    result_bits:
+        Size of the final inference result shipped by ``LOCAL_ALL``
+        (defaults to the model's output activation size).
+    """
+    if inference_rate_hz < 0:
+        raise ConfigurationError("inference rate must be non-negative")
+    if result_bits is None:
+        result_bits = profile.output_bits
+    if result_bits < 0:
+        raise ConfigurationError("result size must be non-negative")
+
+    options: list[OffloadOption] = []
+    total_macs = profile.total_macs
+
+    # 1. LOCAL_ALL: the leaf runs the whole model, ships only the result.
+    local_cost = transfer_cost(technology, result_bits)
+    local_energy = leaf_device.compute_energy_joules(total_macs)
+    local_latency = leaf_device.compute_latency_seconds(total_macs)
+    options.append(OffloadOption(
+        strategy=OffloadStrategy.LOCAL_ALL,
+        leaf_energy_joules=local_energy + local_cost.tx_energy_joules,
+        hub_energy_joules=local_cost.rx_energy_joules,
+        latency_seconds=local_latency + local_cost.latency_seconds,
+        transfer_bits=result_bits,
+        leaf_average_power_watts=(
+            (local_energy + local_cost.tx_energy_joules) * inference_rate_hz
+        ),
+    ))
+
+    # 2. OFFLOAD_RAW: ship the raw input, hub runs the whole model.
+    raw_cost = transfer_cost(technology, profile.input_bits)
+    hub_energy = hub_device.compute_energy_joules(total_macs)
+    options.append(OffloadOption(
+        strategy=OffloadStrategy.OFFLOAD_RAW,
+        leaf_energy_joules=raw_cost.tx_energy_joules,
+        hub_energy_joules=hub_energy + raw_cost.rx_energy_joules,
+        latency_seconds=(
+            raw_cost.latency_seconds + hub_device.compute_latency_seconds(total_macs)
+        ),
+        transfer_bits=profile.input_bits,
+        leaf_average_power_watts=raw_cost.tx_energy_joules * inference_rate_hz,
+    ))
+
+    # 3. OFFLOAD_FEATURES: ISA reduces the input, hub runs the whole model
+    #    on features (hub compute kept equal as a conservative bound).
+    if isa_pipeline is not None:
+        feature_bits = isa_pipeline.output_rate_bps(profile.input_bits)
+        isa_ops = profile.input_bits * sum(
+            stage.ops_per_input_bit for stage in isa_pipeline.stages
+        )
+        isa_energy = leaf_device.compute_energy_joules(isa_ops)
+        feature_cost = transfer_cost(technology, feature_bits)
+        options.append(OffloadOption(
+            strategy=OffloadStrategy.OFFLOAD_FEATURES,
+            leaf_energy_joules=isa_energy + feature_cost.tx_energy_joules,
+            hub_energy_joules=hub_energy + feature_cost.rx_energy_joules,
+            latency_seconds=(
+                leaf_device.compute_latency_seconds(isa_ops)
+                + feature_cost.latency_seconds
+                + hub_device.compute_latency_seconds(total_macs)
+            ),
+            transfer_bits=feature_bits,
+            leaf_average_power_watts=(
+                (isa_energy + feature_cost.tx_energy_joules) * inference_rate_hz
+            ),
+        ))
+
+    # 4. PARTITIONED: optimal layer split.
+    decision = optimal_partition(
+        profile, leaf_device, hub_device, technology,
+        objective=PartitionObjective.LEAF_ENERGY,
+    )
+    best = decision.best
+    options.append(OffloadOption(
+        strategy=OffloadStrategy.PARTITIONED,
+        leaf_energy_joules=best.leaf_energy_joules,
+        hub_energy_joules=best.hub_energy_joules,
+        latency_seconds=best.latency_seconds,
+        transfer_bits=best.transfer_bits,
+        leaf_average_power_watts=best.leaf_energy_joules * inference_rate_hz,
+        partition=decision,
+    ))
+    return tuple(options)
+
+
+def choose_offload_strategy(
+    profile: ModelProfile,
+    leaf_device: ComputeDevice,
+    hub_device: ComputeDevice,
+    technology: CommTechnology,
+    inference_rate_hz: float,
+    isa_pipeline: ISAPipeline | None = None,
+    objective: PartitionObjective = PartitionObjective.LEAF_ENERGY,
+) -> OffloadDecision:
+    """Evaluate all strategies and pick the best under *objective*."""
+    options = evaluate_offload_strategies(
+        profile, leaf_device, hub_device, technology, inference_rate_hz,
+        isa_pipeline=isa_pipeline,
+    )
+    chosen = min(options, key=lambda option: _objective_value(option, objective))
+    return OffloadDecision(chosen=chosen, options=options, objective=objective)

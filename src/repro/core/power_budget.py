@@ -1,0 +1,129 @@
+"""Per-component power budgets for IoB nodes.
+
+Fig. 1 of the paper contrasts the active-power breakdown of today's IoB
+node (sensor ~100s of uW, CPU ~mW, radio ~10s of mW) against a
+human-inspired IoB node (sensor 10--50 uW, ISA ~100 uW, Wi-R ~100 uW).  A
+:class:`PowerBudget` is simply a named list of :class:`PowerComponent`
+entries with helpers for totals, dominant components and ratios between
+budgets — enough to regenerate the figure from the underlying models and
+to feed the battery-life projections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigurationError
+from .. import units
+
+
+@dataclass(frozen=True)
+class PowerComponent:
+    """One contributor to a node's power budget."""
+
+    name: str
+    power_watts: float
+    category: str = "other"
+
+    def __post_init__(self) -> None:
+        if self.power_watts < 0:
+            raise ConfigurationError(
+                f"component power must be non-negative, got {self.power_watts}"
+            )
+
+    @property
+    def power_microwatts(self) -> float:
+        """Component power in microwatts (reporting convenience)."""
+        return units.to_microwatt(self.power_watts)
+
+
+@dataclass
+class PowerBudget:
+    """A named collection of power components for one node."""
+
+    node_name: str
+    components: list[PowerComponent] = field(default_factory=list)
+
+    def add(self, name: str, power_watts: float,
+            category: str = "other") -> "PowerBudget":
+        """Append a component and return self (builder style)."""
+        self.components.append(
+            PowerComponent(name=name, power_watts=power_watts, category=category)
+        )
+        return self
+
+    def total_watts(self) -> float:
+        """Total node power."""
+        return sum(component.power_watts for component in self.components)
+
+    def total_microwatts(self) -> float:
+        """Total node power in microwatts."""
+        return units.to_microwatt(self.total_watts())
+
+    def component_power(self, name: str) -> float:
+        """Power of the named component (summing duplicates)."""
+        matched = [c.power_watts for c in self.components if c.name == name]
+        if not matched:
+            raise ConfigurationError(
+                f"budget for {self.node_name!r} has no component {name!r}"
+            )
+        return sum(matched)
+
+    def category_power(self, category: str) -> float:
+        """Total power across components in a category."""
+        return sum(
+            c.power_watts for c in self.components if c.category == category
+        )
+
+    def categories(self) -> list[str]:
+        """All categories present, in first-seen order."""
+        seen: list[str] = []
+        for component in self.components:
+            if component.category not in seen:
+                seen.append(component.category)
+        return seen
+
+    def breakdown(self) -> dict[str, float]:
+        """Component name -> power in watts."""
+        result: dict[str, float] = {}
+        for component in self.components:
+            result[component.name] = result.get(component.name, 0.0) + component.power_watts
+        return result
+
+    def fractions(self) -> dict[str, float]:
+        """Component name -> fraction of the total power."""
+        total = self.total_watts()
+        if total == 0.0:
+            return {name: 0.0 for name in self.breakdown()}
+        return {name: power / total for name, power in self.breakdown().items()}
+
+    def dominant_component(self) -> PowerComponent:
+        """The single largest contributor."""
+        if not self.components:
+            raise ConfigurationError(f"budget for {self.node_name!r} is empty")
+        return max(self.components, key=lambda c: c.power_watts)
+
+    def ratio_over(self, other: "PowerBudget") -> float:
+        """This budget's total divided by *other*'s total."""
+        other_total = other.total_watts()
+        if other_total == 0.0:
+            return float("inf")
+        return self.total_watts() / other_total
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """Rows suitable for the report formatter."""
+        rows: list[dict[str, object]] = []
+        for component in self.components:
+            rows.append({
+                "node": self.node_name,
+                "component": component.name,
+                "category": component.category,
+                "power_uw": component.power_microwatts,
+            })
+        rows.append({
+            "node": self.node_name,
+            "component": "TOTAL",
+            "category": "total",
+            "power_uw": self.total_microwatts(),
+        })
+        return rows

@@ -1,0 +1,77 @@
+"""Power-conversion models (DC-DC converters and LDOs).
+
+Real IoB nodes never see the battery directly: an LDO or a switching
+converter sits between the cell and the load, and its efficiency inflates
+the battery drain.  The paper's first-order projections ignore this; we
+model it so ablations can quantify how much it matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DCDCConverter:
+    """A simple two-regime converter efficiency model.
+
+    Below ``light_load_threshold_watts`` the converter operates in a
+    degraded light-load regime (quiescent current dominates); above it the
+    nominal efficiency applies.
+    """
+
+    name: str
+    efficiency: float
+    light_load_efficiency: float
+    light_load_threshold_watts: float
+    quiescent_power_watts: float = 0.0
+
+    def __post_init__(self) -> None:
+        for attr in ("efficiency", "light_load_efficiency"):
+            value = getattr(self, attr)
+            if not 0.0 < value <= 1.0:
+                raise ConfigurationError(f"{attr} must be in (0, 1], got {value}")
+        if self.light_load_threshold_watts < 0:
+            raise ConfigurationError("light_load_threshold_watts must be >= 0")
+        if self.quiescent_power_watts < 0:
+            raise ConfigurationError("quiescent_power_watts must be >= 0")
+
+    def input_power(self, load_power_watts: float) -> float:
+        """Battery-side power required to deliver *load_power_watts*."""
+        if load_power_watts < 0:
+            raise ConfigurationError("load power must be non-negative")
+        if load_power_watts == 0.0:
+            return self.quiescent_power_watts
+        if load_power_watts < self.light_load_threshold_watts:
+            eta = self.light_load_efficiency
+        else:
+            eta = self.efficiency
+        return load_power_watts / eta + self.quiescent_power_watts
+
+    def loss(self, load_power_watts: float) -> float:
+        """Power dissipated in the converter itself."""
+        return self.input_power(load_power_watts) - load_power_watts
+
+
+def ldo_regulator() -> DCDCConverter:
+    """A low-dropout regulator typical of uW-class sensor nodes."""
+    return DCDCConverter(
+        name="LDO",
+        efficiency=0.85,
+        light_load_efficiency=0.80,
+        light_load_threshold_watts=1e-5,
+        quiescent_power_watts=5e-7,
+    )
+
+
+def buck_converter() -> DCDCConverter:
+    """A buck converter typical of mW-class hub devices."""
+    return DCDCConverter(
+        name="buck",
+        efficiency=0.92,
+        light_load_efficiency=0.70,
+        light_load_threshold_watts=1e-3,
+        quiescent_power_watts=2e-6,
+    )

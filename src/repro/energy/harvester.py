@@ -1,0 +1,188 @@
+"""Energy-harvesting models for perpetual IoB nodes.
+
+Section V of the paper states that "with current energy harvesting
+modalities, 10--200 uW power harvesting is possible in indoor conditions"
+and uses that to argue that sub-100 uW nodes become perpetually operable.
+This module models the common wearable harvesting modalities (indoor and
+outdoor photovoltaic, body thermoelectric, kinetic, ambient RF) with
+simple area/temperature/motion scaling laws so experiments can sweep the
+harvesting environment.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..errors import ConfigurationError
+from .. import units
+
+
+class HarvestingEnvironment(enum.Enum):
+    """Coarse environment classes that scale harvester output."""
+
+    INDOOR_DIM = "indoor_dim"          # ~100 lux office corridor
+    INDOOR_OFFICE = "indoor_office"    # ~500 lux desk
+    INDOOR_BRIGHT = "indoor_bright"    # ~1000 lux near window
+    OUTDOOR_OVERCAST = "outdoor_overcast"
+    OUTDOOR_SUN = "outdoor_sun"
+
+
+#: Illuminance (lux) per environment, used by the photovoltaic model.
+ILLUMINANCE_LUX = {
+    HarvestingEnvironment.INDOOR_DIM: 100.0,
+    HarvestingEnvironment.INDOOR_OFFICE: 500.0,
+    HarvestingEnvironment.INDOOR_BRIGHT: 1000.0,
+    HarvestingEnvironment.OUTDOOR_OVERCAST: 10_000.0,
+    HarvestingEnvironment.OUTDOOR_SUN: 100_000.0,
+}
+
+#: Approximate irradiance conversion for white LED / daylight spectra.
+WATT_PER_M2_PER_LUX = 1.0 / 120.0
+
+
+@dataclass(frozen=True)
+class HarvesterSpec:
+    """Description of a single harvester attached to a node.
+
+    ``power_watts(environment)`` is computed by the owning
+    :class:`EnergyHarvester`; the spec just stores sizing parameters.
+    """
+
+    name: str
+    kind: str
+    area_cm2: float = 0.0
+    efficiency: float = 0.0
+    delta_t_kelvin: float = 0.0
+    seebeck_w_per_cm2_per_k: float = 0.0
+    motion_intensity: float = 0.0
+    peak_power_watts: float = 0.0
+
+    def __post_init__(self) -> None:
+        for attr in ("area_cm2", "efficiency", "delta_t_kelvin",
+                     "seebeck_w_per_cm2_per_k", "motion_intensity",
+                     "peak_power_watts"):
+            if getattr(self, attr) < 0:
+                raise ConfigurationError(f"{attr} must be non-negative")
+        if self.efficiency > 1.0:
+            raise ConfigurationError("efficiency must be <= 1")
+
+
+class EnergyHarvester:
+    """Computes average harvested power for a :class:`HarvesterSpec`.
+
+    The scaling laws are deliberately simple — the paper only needs the
+    10--200 uW indoor range to be reachable with centimetre-scale
+    harvesters — but they respond to the physically meaningful knobs
+    (area, illuminance, temperature gradient, motion intensity).
+    """
+
+    def __init__(self, spec: HarvesterSpec) -> None:
+        self.spec = spec
+
+    def power_watts(
+        self,
+        environment: HarvestingEnvironment = HarvestingEnvironment.INDOOR_OFFICE,
+    ) -> float:
+        """Average harvested power in the given environment."""
+        kind = self.spec.kind
+        if kind == "photovoltaic":
+            return self._photovoltaic_power(environment)
+        if kind == "thermoelectric":
+            return self._thermoelectric_power()
+        if kind == "kinetic":
+            return self._kinetic_power()
+        if kind == "rf":
+            return self._rf_power(environment)
+        raise ConfigurationError(f"unknown harvester kind: {kind!r}")
+
+    def _photovoltaic_power(self, environment: HarvestingEnvironment) -> float:
+        irradiance = ILLUMINANCE_LUX[environment] * WATT_PER_M2_PER_LUX
+        area_m2 = self.spec.area_cm2 * 1e-4
+        return irradiance * area_m2 * self.spec.efficiency
+
+    def _thermoelectric_power(self) -> float:
+        return (
+            self.spec.seebeck_w_per_cm2_per_k
+            * self.spec.area_cm2
+            * self.spec.delta_t_kelvin
+        )
+
+    def _kinetic_power(self) -> float:
+        return self.spec.peak_power_watts * min(self.spec.motion_intensity, 1.0)
+
+    def _rf_power(self, environment: HarvestingEnvironment) -> float:
+        indoor = environment in (
+            HarvestingEnvironment.INDOOR_DIM,
+            HarvestingEnvironment.INDOOR_OFFICE,
+            HarvestingEnvironment.INDOOR_BRIGHT,
+        )
+        scale = 1.0 if indoor else 0.2
+        return self.spec.peak_power_watts * scale
+
+
+def indoor_photovoltaic(area_cm2: float = 3.0,
+                        efficiency: float = 0.10) -> EnergyHarvester:
+    """Small indoor PV cell; ~125 uW at 500 lux for 3 cm^2 at 10 %.
+
+    Amorphous-silicon indoor cells convert LED/fluorescent light at
+    roughly 10 % effective efficiency, which keeps centimetre-scale cells
+    inside the paper's 10--200 uW indoor harvesting range.
+    """
+    return EnergyHarvester(HarvesterSpec(
+        name="indoor photovoltaic",
+        kind="photovoltaic",
+        area_cm2=area_cm2,
+        efficiency=efficiency,
+    ))
+
+
+def outdoor_photovoltaic(area_cm2: float = 3.0,
+                         efficiency: float = 0.18) -> EnergyHarvester:
+    """Same cell rated for outdoor use; milliwatts in sunlight."""
+    return EnergyHarvester(HarvesterSpec(
+        name="outdoor photovoltaic",
+        kind="photovoltaic",
+        area_cm2=area_cm2,
+        efficiency=efficiency,
+    ))
+
+
+def thermoelectric_body(area_cm2: float = 6.0,
+                        delta_t_kelvin: float = 2.0) -> EnergyHarvester:
+    """Body-worn TEG; ~10 uW/cm^2/K-class devices give 10s of uW on skin."""
+    return EnergyHarvester(HarvesterSpec(
+        name="body thermoelectric",
+        kind="thermoelectric",
+        area_cm2=area_cm2,
+        delta_t_kelvin=delta_t_kelvin,
+        seebeck_w_per_cm2_per_k=5e-6,
+    ))
+
+
+def kinetic_wrist(motion_intensity: float = 0.3) -> EnergyHarvester:
+    """Wrist-worn kinetic harvester; ~100 uW peak, scaled by activity."""
+    return EnergyHarvester(HarvesterSpec(
+        name="kinetic wrist",
+        kind="kinetic",
+        motion_intensity=motion_intensity,
+        peak_power_watts=units.microwatt(100.0),
+    ))
+
+
+def rf_ambient(peak_power_watts: float = units.microwatt(5.0)) -> EnergyHarvester:
+    """Ambient RF harvesting; single-digit uW indoors."""
+    return EnergyHarvester(HarvesterSpec(
+        name="ambient RF",
+        kind="rf",
+        peak_power_watts=peak_power_watts,
+    ))
+
+
+def total_harvested_power(
+    harvesters: Iterable[EnergyHarvester],
+    environment: HarvestingEnvironment = HarvestingEnvironment.INDOOR_OFFICE,
+) -> float:
+    """Sum the average power of several co-located harvesters."""
+    return sum(h.power_watts(environment) for h in harvesters)

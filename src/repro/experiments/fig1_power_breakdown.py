@@ -1,0 +1,142 @@
+"""E1 — Fig. 1: active-power breakdown, today's vs human-inspired IoB node.
+
+The paper's Fig. 1 annotates a today's IoB node with sensor ~100s of uW,
+CPU ~mW and radio ~10s of mW of active power, and the human-inspired node
+with sensor 10--50 uW, ISA ~100 uW and Wi-R ~100 uW.  This experiment
+builds both node types for three representative applications (an ECG
+patch, an audio AI pin and a camera-glasses node) from the underlying
+models and reports each component's active power and the total reduction
+factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..body.landmarks import BodyLandmark
+from ..comm.ble import ble_1m_phy
+from ..comm.eqs_hbc import wir_commercial, wir_leaf_node
+from ..core.architecture import ArchitectureComparison, compare_architectures
+from ..core.node import ConventionalNodeSpec, LeafNodeSpec, SensorSuite
+from ..sensors.catalog import SensorModality
+from .. import units
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    """All per-application architecture comparisons."""
+
+    comparisons: dict[str, ArchitectureComparison]
+
+    def reduction_factors(self) -> dict[str, float]:
+        """Total node-power reduction per application."""
+        return {
+            name: comparison.power_reduction_factor
+            for name, comparison in self.comparisons.items()
+        }
+
+    def rows(self) -> list[dict[str, object]]:
+        """Flattened rows for the report table."""
+        rows: list[dict[str, object]] = []
+        for name, comparison in self.comparisons.items():
+            for budget in (comparison.conventional, comparison.human_inspired):
+                for component in budget.components:
+                    rows.append({
+                        "application": name,
+                        "node": budget.node_name,
+                        "component": component.name,
+                        "active_power_uw": component.power_microwatts,
+                    })
+                rows.append({
+                    "application": name,
+                    "node": budget.node_name,
+                    "component": "TOTAL",
+                    "active_power_uw": budget.total_microwatts(),
+                })
+            rows.append({
+                "application": name,
+                "node": "(ratio)",
+                "component": "power reduction factor",
+                "active_power_uw": comparison.power_reduction_factor,
+            })
+        return rows
+
+
+def _ecg_patch_pair() -> tuple[ConventionalNodeSpec, LeafNodeSpec]:
+    conventional = ConventionalNodeSpec(
+        name="ECG patch (today)",
+        sensors=SensorSuite(
+            modalities=(SensorModality.ECG,),
+            sensing_power_watts=units.microwatt(150.0),
+        ),
+        placement=BodyLandmark.STERNUM,
+        radio=ble_1m_phy(),
+    )
+    human = LeafNodeSpec(
+        name="ECG patch (human-inspired)",
+        sensors=SensorSuite(
+            modalities=(SensorModality.ECG,),
+            sensing_power_watts=units.microwatt(20.0),
+        ),
+        placement=BodyLandmark.STERNUM,
+        link=wir_leaf_node(),
+    )
+    return conventional, human
+
+
+def _audio_pin_pair() -> tuple[ConventionalNodeSpec, LeafNodeSpec]:
+    conventional = ConventionalNodeSpec(
+        name="audio AI pin (today)",
+        sensors=SensorSuite(
+            modalities=(SensorModality.AUDIO,),
+            sensing_power_watts=units.microwatt(500.0),
+        ),
+        placement=BodyLandmark.CHEST,
+        radio=ble_1m_phy(),
+    )
+    human = LeafNodeSpec(
+        name="audio AI pin (human-inspired)",
+        sensors=SensorSuite(
+            modalities=(SensorModality.AUDIO,),
+            sensing_power_watts=units.microwatt(50.0),
+        ),
+        placement=BodyLandmark.CHEST,
+        link=wir_leaf_node(),
+    )
+    return conventional, human
+
+
+def _video_glasses_pair() -> tuple[ConventionalNodeSpec, LeafNodeSpec]:
+    conventional = ConventionalNodeSpec(
+        name="camera glasses (today)",
+        sensors=SensorSuite(
+            modalities=(SensorModality.VIDEO_QVGA,),
+            sensing_power_watts=units.milliwatt(40.0),
+        ),
+        placement=BodyLandmark.RIGHT_EYE,
+        radio=ble_1m_phy(),
+    )
+    human = LeafNodeSpec(
+        name="camera glasses (human-inspired)",
+        sensors=SensorSuite(
+            modalities=(SensorModality.VIDEO_QVGA,),
+            sensing_power_watts=units.milliwatt(40.0),
+        ),
+        placement=BodyLandmark.RIGHT_EYE,
+        link=wir_commercial(),
+    )
+    return conventional, human
+
+
+def run(mode: str = "active") -> Fig1Result:
+    """Build the Fig. 1 comparison for the three representative nodes."""
+    pairs = {
+        "ECG patch": _ecg_patch_pair(),
+        "audio AI pin": _audio_pin_pair(),
+        "camera glasses": _video_glasses_pair(),
+    }
+    comparisons = {
+        name: compare_architectures(conventional, human, mode=mode)
+        for name, (conventional, human) in pairs.items()
+    }
+    return Fig1Result(comparisons=comparisons)

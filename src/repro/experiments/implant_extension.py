@@ -1,0 +1,143 @@
+"""E12 (extension) — body-assisted communication for implantable devices.
+
+Section IV-B's closing future-work sentence: "Future research in HBC is
+focused on ... exploring body-assisted communication for implantable
+devices in EQS regime and beyond using Magneto-Quasistatic Human Body
+Communication leveraging the human body's transparency to magnetic
+fields."  This extension experiment models that path with the
+:mod:`repro.comm.mqs_hbc` substrate:
+
+* an implanted leaf (e.g. a neural or cardiac implant) streams its data
+  over an MQS link to an on-skin relay, which forwards it onto the Wi-R
+  body bus toward the hub;
+* the implant's battery life is projected for a realistic implant cell
+  and compared against a conventional BLE implant radio;
+* the MQS link budget is checked across implant depths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..comm.ble import ble_1m_phy
+from ..comm.eqs_hbc import wir_leaf_node
+from ..comm.link import CommTechnology
+from ..comm.mqs_hbc import MQSHBCTransceiver, mqs_implant_link
+from ..energy.battery import BatterySpec, battery_life_seconds
+from .. import units
+
+#: Implant device classes: (name, data rate, sensing power, implant depth).
+IMPLANT_CLASSES: tuple[tuple[str, float, float, float], ...] = (
+    ("neural recording implant", units.kilobit_per_second(10.0),
+     units.microwatt(5.0), 0.02),
+    ("cardiac rhythm implant", units.kilobit_per_second(1.0),
+     units.microwatt(2.0), 0.05),
+    ("glucose sensing implant", units.bit_per_second(200.0),
+     units.microwatt(3.0), 0.01),
+)
+
+
+def implant_battery() -> BatterySpec:
+    """A small medical-implant primary cell (~120 mAh, lithium)."""
+    return BatterySpec(name="implant cell", capacity_mah=120.0)
+
+
+@dataclass(frozen=True)
+class ImplantCase:
+    """Battery-life outcome for one implant class over one link."""
+
+    name: str
+    technology: str
+    data_rate_bps: float
+    implant_depth_metres: float
+    link_closes: bool
+    communication_power_watts: float
+    total_power_watts: float
+    life_seconds: float
+
+    @property
+    def life_years(self) -> float:
+        """Projected implant battery life in years."""
+        return units.to_years(self.life_seconds)
+
+
+@dataclass(frozen=True)
+class ImplantExtensionResult:
+    """All implant x link cases plus the relay hop budget."""
+
+    cases: tuple[ImplantCase, ...]
+    relay_to_hub_power_watts: float
+
+    def case(self, name: str, technology: str) -> ImplantCase:
+        """Look up one implant/link cell."""
+        for case in self.cases:
+            if case.name == name and case.technology == technology:
+                return case
+        raise KeyError((name, technology))
+
+    def life_advantage(self, name: str) -> float:
+        """MQS implant life divided by BLE implant life."""
+        mqs = self.case(name, mqs_implant_link().name)
+        ble = self.case(name, ble_1m_phy().name)
+        if ble.life_seconds == 0:
+            return float("inf")
+        return mqs.life_seconds / ble.life_seconds
+
+    def rows(self) -> list[dict[str, object]]:
+        """Rows for the report table."""
+        rows: list[dict[str, object]] = []
+        for case in self.cases:
+            rows.append({
+                "implant": case.name,
+                "link": case.technology,
+                "rate_kbps": case.data_rate_bps / 1000.0,
+                "depth_cm": case.implant_depth_metres * 100.0,
+                "link_closes": case.link_closes,
+                "comm_power_uw": units.to_microwatt(case.communication_power_watts),
+                "total_power_uw": units.to_microwatt(case.total_power_watts),
+                "life_years": case.life_years,
+            })
+        return rows
+
+
+def _evaluate(name: str, rate_bps: float, sensing_power: float,
+              depth_metres: float, technology: CommTechnology) -> ImplantCase:
+    if isinstance(technology, MQSHBCTransceiver):
+        closes = technology.link_closes(depth_metres + 0.01,
+                                        tissue_depth_metres=depth_metres)
+    else:
+        closes = rate_bps <= technology.data_rate_bps()
+    comm_power = technology.average_power_at_rate(
+        min(rate_bps, technology.data_rate_bps())
+    )
+    total = sensing_power + comm_power
+    life = battery_life_seconds(implant_battery(), total)
+    return ImplantCase(
+        name=name,
+        technology=technology.name,
+        data_rate_bps=rate_bps,
+        implant_depth_metres=depth_metres,
+        link_closes=closes,
+        communication_power_watts=comm_power,
+        total_power_watts=total,
+        life_seconds=life,
+    )
+
+
+def run() -> ImplantExtensionResult:
+    """Evaluate every implant class over the MQS link and a BLE baseline."""
+    links: tuple[CommTechnology, ...] = (mqs_implant_link(), ble_1m_phy())
+    cases = []
+    for name, rate, sensing, depth in IMPLANT_CLASSES:
+        for technology in links:
+            cases.append(_evaluate(name, rate, sensing, depth, technology))
+
+    # The on-skin relay aggregates all implant streams onto the Wi-R bus.
+    aggregate_rate = sum(rate for _name, rate, _sensing, _depth in IMPLANT_CLASSES)
+    relay_power = wir_leaf_node().average_power_at_rate(
+        min(aggregate_rate, wir_leaf_node().data_rate_bps())
+    )
+    return ImplantExtensionResult(
+        cases=tuple(cases),
+        relay_to_hub_power_watts=relay_power,
+    )

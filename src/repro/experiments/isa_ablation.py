@@ -1,0 +1,160 @@
+"""E7 (ablation) — does in-sensor analytics matter once the link is Wi-R?
+
+The paper mentions ISA almost in passing ("the ULP nodes in some cases may
+use low power in-sensor analytics (ISA) or data compression (example MJPEG
+compression for video)") and then neglects its power in the Fig. 3
+projection.  This ablation evaluates a 2x2 design for each node class —
+{Wi-R, BLE} x {raw stream, ISA-reduced stream} — and reports node power
+and battery life for each cell.  The expected shape: with BLE, ISA (or
+local computation) is mandatory because the radio dominates; with Wi-R the
+communication term is so small that ISA changes battery life only
+marginally, which is exactly why the paper can treat ISA power as
+negligible and still ship data to the hub.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..comm.ble import ble_1m_phy
+from ..comm.eqs_hbc import wir_commercial
+from ..comm.link import CommTechnology
+from ..core.battery_life import LifeBand, classify_battery_life
+from ..energy.battery import battery_life_seconds, coin_cell_high_capacity
+from ..isa.pipeline import (
+    ISAPipeline,
+    audio_feature_pipeline,
+    biopotential_delta_pipeline,
+    mjpeg_video_pipeline,
+)
+from ..sensors.catalog import SensorModality, modality_spec
+from .. import units
+
+
+@dataclass(frozen=True)
+class ISAConfiguration:
+    """One cell of the 2x2 (link x ISA) design."""
+
+    node: str
+    technology: str
+    uses_isa: bool
+    link_rate_bps: float
+    link_feasible: bool
+    isa_power_watts: float
+    communication_power_watts: float
+    total_power_watts: float
+    life_seconds: float
+
+    @property
+    def life_days(self) -> float:
+        """Projected battery life in days."""
+        if math.isinf(self.life_seconds):
+            return math.inf
+        return units.to_days(self.life_seconds)
+
+    @property
+    def band(self) -> LifeBand:
+        """Battery-life band of this configuration."""
+        return classify_battery_life(self.life_seconds)
+
+
+@dataclass(frozen=True)
+class ISAAblationResult:
+    """All evaluated configurations."""
+
+    configurations: tuple[ISAConfiguration, ...]
+
+    def cell(self, node: str, technology: str, uses_isa: bool) -> ISAConfiguration:
+        """Look up one cell of the design."""
+        for config in self.configurations:
+            if (config.node == node and config.technology == technology
+                    and config.uses_isa is uses_isa):
+                return config
+        raise KeyError((node, technology, uses_isa))
+
+    def isa_life_gain(self, node: str, technology: str) -> float:
+        """Battery-life ratio (with ISA / without ISA) for one node and link."""
+        with_isa = self.cell(node, technology, True)
+        without = self.cell(node, technology, False)
+        if without.life_seconds == 0:
+            return float("inf")
+        return with_isa.life_seconds / without.life_seconds
+
+    def rows(self) -> list[dict[str, object]]:
+        """Rows for the report table."""
+        rows: list[dict[str, object]] = []
+        for config in self.configurations:
+            rows.append({
+                "node": config.node,
+                "link": config.technology,
+                "isa": config.uses_isa,
+                "stream_kbps": config.link_rate_bps / 1000.0,
+                "link_feasible": config.link_feasible,
+                "isa_power_uw": units.to_microwatt(config.isa_power_watts),
+                "comm_power_uw": units.to_microwatt(config.communication_power_watts),
+                "total_power_uw": units.to_microwatt(config.total_power_watts),
+                "life_days": config.life_days,
+                "band": config.band.value,
+            })
+        return rows
+
+
+#: Node classes evaluated by the ablation: (name, modality, sensing power,
+#: ISA pipeline builder).
+_CASES: tuple[tuple[str, SensorModality, float, ISAPipeline], ...] = (
+    ("ECG patch", SensorModality.ECG, units.microwatt(30.0),
+     biopotential_delta_pipeline()),
+    ("audio AI node", SensorModality.AUDIO, units.milliwatt(2.0),
+     audio_feature_pipeline()),
+    ("video node (QVGA)", SensorModality.VIDEO_QVGA, units.milliwatt(60.0),
+     mjpeg_video_pipeline()),
+)
+
+
+def _evaluate_cell(node: str, modality: SensorModality,
+                   sensing_power_watts: float, pipeline: ISAPipeline,
+                   technology: CommTechnology,
+                   uses_isa: bool) -> ISAConfiguration:
+    raw_rate = modality_spec(modality).raw_data_rate_bps
+    if uses_isa:
+        stream_rate = pipeline.output_rate_bps(raw_rate)
+        isa_power = pipeline.compute_power_watts(raw_rate)
+    else:
+        stream_rate = raw_rate
+        isa_power = 0.0
+
+    feasible = stream_rate <= technology.data_rate_bps()
+    if feasible:
+        comm_power = technology.average_power_at_rate(stream_rate)
+    else:
+        # The link saturates: it stays active continuously and still cannot
+        # carry the stream; report the active power as a lower bound.
+        comm_power = technology.tx_active_power()
+
+    total = sensing_power_watts + isa_power + comm_power
+    life = battery_life_seconds(coin_cell_high_capacity(), total)
+    return ISAConfiguration(
+        node=node,
+        technology=technology.name,
+        uses_isa=uses_isa,
+        link_rate_bps=stream_rate,
+        link_feasible=feasible,
+        isa_power_watts=isa_power,
+        communication_power_watts=comm_power,
+        total_power_watts=total,
+        life_seconds=life,
+    )
+
+
+def run() -> ISAAblationResult:
+    """Evaluate the 2x2 (link x ISA) ablation for each node class."""
+    technologies: tuple[CommTechnology, ...] = (wir_commercial(), ble_1m_phy())
+    configurations: list[ISAConfiguration] = []
+    for node, modality, sensing_power, pipeline in _CASES:
+        for technology in technologies:
+            for uses_isa in (False, True):
+                configurations.append(_evaluate_cell(
+                    node, modality, sensing_power, pipeline, technology, uses_isa,
+                ))
+    return ISAAblationResult(configurations=tuple(configurations))

@@ -1,0 +1,122 @@
+"""E8 (ablation) — how many leaf nodes can share one Wi-R hub?
+
+The paper's vision ("10x-ing the wearables market") implies one hub
+serving many featherweight leaves.  This ablation sweeps the number of
+leaves on the shared body bus using both the analytical TDMA model and the
+discrete-event simulator, and reports per-node goodput, delivery latency
+and leaf power as the population grows — including where the bus saturates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..comm.eqs_hbc import wir_commercial
+from ..comm.link import CommTechnology
+from ..comm.mac import TDMASchedule
+from ..netsim.simulator import BodyNetworkSimulator, SimulationResult
+from ..netsim.traffic import PeriodicSource
+from .. import units
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Network behaviour at one leaf-node population."""
+
+    node_count: int
+    per_node_rate_bps: float
+    tdma_feasible: bool
+    tdma_utilization: float
+    simulated: SimulationResult | None
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Mean packet latency from the simulator (0 if not simulated)."""
+        if self.simulated is None:
+            return 0.0
+        return self.simulated.mean_latency_seconds * 1000.0
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Delivered / offered packets from the simulator (1 if not simulated)."""
+        if self.simulated is None:
+            return 1.0
+        offered = self.simulated.delivered_packets + self.simulated.dropped_packets
+        if offered == 0:
+            return 1.0
+        return self.simulated.delivered_packets / offered
+
+
+@dataclass(frozen=True)
+class NetworkScalingResult:
+    """The population sweep."""
+
+    technology: str
+    per_node_rate_bps: float
+    points: tuple[ScalingPoint, ...]
+
+    def max_feasible_nodes(self) -> int:
+        """Largest swept population with a feasible TDMA schedule."""
+        feasible = [p.node_count for p in self.points if p.tdma_feasible]
+        return max(feasible) if feasible else 0
+
+    def rows(self) -> list[dict[str, object]]:
+        """Rows for the report table."""
+        rows: list[dict[str, object]] = []
+        for point in self.points:
+            rows.append({
+                "nodes": point.node_count,
+                "per_node_rate_kbps": point.per_node_rate_bps / 1000.0,
+                "tdma_feasible": point.tdma_feasible,
+                "tdma_utilization": point.tdma_utilization,
+                "mean_latency_ms": point.mean_latency_ms,
+                "delivered_fraction": point.delivered_fraction,
+            })
+        return rows
+
+
+def run(
+    node_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+    per_node_rate_bps: float = units.kilobit_per_second(64.0),
+    technology: CommTechnology | None = None,
+    simulate: bool = True,
+    simulated_seconds: float = 2.0,
+    seed: int = 0,
+) -> NetworkScalingResult:
+    """Sweep the leaf population sharing one hub.
+
+    ``per_node_rate_bps`` defaults to 64 kb/s — an audio-feature-class
+    stream, the kind of traffic the hub would see from several always-on
+    AI leaves.
+    """
+    technology = technology or wir_commercial()
+    points: list[ScalingPoint] = []
+    for count in node_counts:
+        schedule = TDMASchedule(link_rate_bps=technology.data_rate_bps())
+        for index in range(count):
+            schedule.add_node(f"leaf{index}", per_node_rate_bps)
+        feasible = schedule.is_feasible()
+
+        simulated: SimulationResult | None = None
+        if simulate:
+            simulator = BodyNetworkSimulator(technology, rng=seed)
+            for index in range(count):
+                simulator.add_node(
+                    f"leaf{index}",
+                    PeriodicSource.from_rate(per_node_rate_bps),
+                    sensing_power_watts=units.microwatt(30.0),
+                )
+            simulated = simulator.run(simulated_seconds)
+
+        points.append(ScalingPoint(
+            node_count=count,
+            per_node_rate_bps=per_node_rate_bps,
+            tdma_feasible=feasible,
+            tdma_utilization=schedule.utilization(),
+            simulated=simulated,
+        ))
+    return NetworkScalingResult(
+        technology=technology.name,
+        per_node_rate_bps=per_node_rate_bps,
+        points=tuple(points),
+    )

@@ -1,0 +1,155 @@
+"""E5 — partitioned DNN inference across the leaf-hub Wi-R link.
+
+Section V's distributed IoB network lets "perpetually operating wearables
+... use the computational resources of the hub to perform power hungry
+tasks using ultra-low-power communication enabled by Wi-R".  This
+experiment makes that quantitative for the model-zoo workloads:
+
+* For every workload, sweep the DNN split point and find the optimum
+  under the leaf-energy objective, over Wi-R and over BLE.
+* Report the expected crossover behaviour: with Wi-R the optimum moves
+  toward shipping data early (full or near-full offload) and the leaf's
+  energy per inference drops by orders of magnitude compared with running
+  the model on a conventional node's MCU; with BLE the communication
+  penalty pushes the optimum toward local computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..comm.ble import ble_1m_phy
+from ..comm.eqs_hbc import wir_commercial
+from ..comm.link import CommTechnology
+from ..core.compute import ComputeDevice, hub_soc, isa_accelerator, leaf_mcu
+from ..core.partition import (
+    PartitionDecision,
+    PartitionObjective,
+    optimal_partition,
+)
+from ..nn.profile import ModelProfile, profile_model
+from ..nn.zoo import build_model
+from .. import units
+
+#: Workloads evaluated by this experiment and their inference rates (Hz):
+#: keyword spotting runs continuously on 1 s windows, ECG beats arrive at
+#: ~1.2 Hz, vision runs at a 2 fps "ambient awareness" rate, HAR at 1 Hz.
+WORKLOADS: tuple[tuple[str, dict[str, object], float], ...] = (
+    ("keyword_spotting", {}, 1.0),
+    ("ecg_arrhythmia", {}, 1.2),
+    ("vision_tiny", {}, 2.0),
+    ("imu_har", {}, 1.0),
+)
+
+
+@dataclass(frozen=True)
+class WorkloadPartitionResult:
+    """Partitioning outcome for one workload over one link."""
+
+    workload: str
+    technology: str
+    inference_rate_hz: float
+    decision: PartitionDecision
+    local_leaf_energy_joules: float
+
+    @property
+    def best_leaf_energy_joules(self) -> float:
+        """Leaf energy per inference at the optimal split."""
+        return self.decision.best.leaf_energy_joules
+
+    @property
+    def leaf_energy_reduction(self) -> float:
+        """Local-MCU energy divided by the optimal partitioned leaf energy."""
+        if self.best_leaf_energy_joules == 0.0:
+            return float("inf")
+        return self.local_leaf_energy_joules / self.best_leaf_energy_joules
+
+    @property
+    def offload_fraction(self) -> float:
+        """Fraction of the model's MACs executed on the hub at the optimum."""
+        total = self.decision.best.leaf_macs + self.decision.best.hub_macs
+        if total == 0:
+            return 0.0
+        return self.decision.best.hub_macs / total
+
+    @property
+    def leaf_average_power_watts(self) -> float:
+        """Sustained leaf power for compute + transmit at the workload rate."""
+        return self.best_leaf_energy_joules * self.inference_rate_hz
+
+
+@dataclass(frozen=True)
+class PartitionedInferenceResult:
+    """All workload x link results."""
+
+    results: tuple[WorkloadPartitionResult, ...]
+
+    def for_workload(self, workload: str,
+                     technology_name: str) -> WorkloadPartitionResult:
+        """Look up one (workload, link) cell."""
+        for result in self.results:
+            if result.workload == workload and result.technology == technology_name:
+                return result
+        raise KeyError((workload, technology_name))
+
+    def rows(self) -> list[dict[str, object]]:
+        """Rows for the report table."""
+        rows: list[dict[str, object]] = []
+        for result in self.results:
+            best = result.decision.best
+            rows.append({
+                "workload": result.workload,
+                "link": result.technology,
+                "best_split": best.split_index,
+                "boundary_layer": best.boundary_layer,
+                "hub_mac_fraction": result.offload_fraction,
+                "transfer_kbits": best.transfer_bits / 1000.0,
+                "leaf_energy_uj": best.leaf_energy_joules / units.MICRO,
+                "local_energy_uj": result.local_leaf_energy_joules / units.MICRO,
+                "leaf_energy_reduction": result.leaf_energy_reduction,
+                "latency_ms": best.latency_seconds * 1000.0,
+                "leaf_avg_power_uw": units.to_microwatt(result.leaf_average_power_watts),
+            })
+        return rows
+
+
+def _evaluate(
+    profile: ModelProfile,
+    technology: CommTechnology,
+    leaf_device: ComputeDevice,
+    hub_device: ComputeDevice,
+    local_device: ComputeDevice,
+    workload: str,
+    inference_rate_hz: float,
+    objective: PartitionObjective,
+) -> WorkloadPartitionResult:
+    decision = optimal_partition(
+        profile, leaf_device, hub_device, technology, objective=objective,
+    )
+    local_energy = local_device.compute_energy_joules(profile.total_macs)
+    return WorkloadPartitionResult(
+        workload=workload,
+        technology=technology.name,
+        inference_rate_hz=inference_rate_hz,
+        decision=decision,
+        local_leaf_energy_joules=local_energy,
+    )
+
+
+def run(objective: PartitionObjective = PartitionObjective.LEAF_ENERGY,
+        ) -> PartitionedInferenceResult:
+    """Partition every zoo workload over Wi-R and over BLE."""
+    leaf = isa_accelerator()
+    hub = hub_soc()
+    mcu = leaf_mcu()
+    links: tuple[CommTechnology, ...] = (wir_commercial(), ble_1m_phy())
+
+    results: list[WorkloadPartitionResult] = []
+    for workload, kwargs, rate_hz in WORKLOADS:
+        model = build_model(workload, **kwargs)
+        profile = profile_model(model)
+        for technology in links:
+            results.append(_evaluate(
+                profile, technology, leaf, hub, mcu, workload, rate_hz, objective,
+            ))
+    return PartitionedInferenceResult(results=tuple(results))

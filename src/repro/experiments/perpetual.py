@@ -1,0 +1,119 @@
+"""E6 — perpetual operation under indoor energy harvesting.
+
+Section V: "With current energy harvesting modalities, 10-200 uW power
+harvesting is possible in indoor conditions.  Using Wi-R to communicate
+between leaf and edge nodes, it is projected that wearable devices like
+biopotential sensors, smart rings and fitness trackers can be made
+perpetually operable."  This experiment sweeps harvested power over the
+10--200 uW range and reports which device classes become energy-neutral
+(no battery needed) and which are battery-perpetual (>1 year on the
+1000 mAh cell).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.battery_life import (
+    DEVICE_CLASS_PLACEMENTS,
+    PERPETUAL_THRESHOLD_SECONDS,
+    project_battery_life,
+)
+from ..core.feasibility import FeasibilityReport
+from ..energy.battery import battery_life_seconds, coin_cell_high_capacity
+from ..energy.harvester import (
+    HarvestingEnvironment,
+    indoor_photovoltaic,
+    thermoelectric_body,
+    total_harvested_power,
+)
+from .. import units
+
+
+@dataclass(frozen=True)
+class PerpetualResult:
+    """Feasibility of each device class across the harvesting sweep."""
+
+    harvest_levels_watts: tuple[float, ...]
+    reports: dict[str, tuple[FeasibilityReport, ...]]
+    reference_harvester_power_watts: float
+
+    def energy_neutral_classes(self, harvest_watts: float) -> list[str]:
+        """Device classes that are energy-neutral at *harvest_watts*."""
+        index = self._level_index(harvest_watts)
+        return [
+            name for name, reports in self.reports.items()
+            if reports[index].is_energy_neutral
+        ]
+
+    def perpetual_classes(self, harvest_watts: float) -> list[str]:
+        """Device classes that are perpetual (either route) at *harvest_watts*."""
+        index = self._level_index(harvest_watts)
+        return [
+            name for name, reports in self.reports.items()
+            if reports[index].is_perpetual
+        ]
+
+    def _level_index(self, harvest_watts: float) -> int:
+        levels = np.asarray(self.harvest_levels_watts)
+        return int(np.argmin(np.abs(levels - harvest_watts)))
+
+    def rows(self) -> list[dict[str, object]]:
+        """Rows for the report table (one per device class x harvest level)."""
+        rows: list[dict[str, object]] = []
+        for name, reports in self.reports.items():
+            for level, report in zip(self.harvest_levels_watts, reports):
+                rows.append({
+                    "device_class": name,
+                    "harvest_uw": units.to_microwatt(level),
+                    "load_uw": units.to_microwatt(report.load_power_watts),
+                    "life_days": report.battery_life_days,
+                    "energy_neutral": report.is_energy_neutral,
+                    "perpetual": report.is_perpetual,
+                })
+        return rows
+
+
+def run(harvest_levels_watts: tuple[float, ...] | None = None) -> PerpetualResult:
+    """Sweep harvested power over the paper's 10--200 uW indoor range."""
+    if harvest_levels_watts is None:
+        harvest_levels_watts = tuple(
+            units.microwatt(level) for level in (0.0, 10.0, 50.0, 100.0, 200.0)
+        )
+
+    reports: dict[str, tuple[FeasibilityReport, ...]] = {}
+    for placement in DEVICE_CLASS_PLACEMENTS:
+        point = project_battery_life(
+            placement.data_rate_bps,
+            sensing_power_watts=placement.sensing_power_watts,
+        )
+        class_reports = []
+        for harvest in harvest_levels_watts:
+            # The sweep is over abstract harvested power levels (the paper's
+            # 10-200 uW indoor range), not a specific harvester stack.
+            life = battery_life_seconds(
+                coin_cell_high_capacity(), point.total_power_watts,
+                harvested_power_watts=harvest,
+            )
+            class_reports.append(FeasibilityReport(
+                node_name=placement.name,
+                load_power_watts=point.total_power_watts,
+                harvested_power_watts=harvest,
+                battery_life_seconds=life,
+                is_energy_neutral=harvest >= point.total_power_watts,
+                is_perpetual=(harvest >= point.total_power_watts
+                              or life > PERPETUAL_THRESHOLD_SECONDS),
+            ))
+        reports[placement.name] = tuple(class_reports)
+
+    reference = total_harvested_power(
+        [indoor_photovoltaic(), thermoelectric_body()],
+        HarvestingEnvironment.INDOOR_OFFICE,
+    )
+    return PerpetualResult(
+        harvest_levels_watts=tuple(harvest_levels_watts),
+        reports=reports,
+        reference_harvester_power_watts=reference,
+    )

@@ -1,0 +1,121 @@
+"""E9 (ablation) — receiver termination of the EQS body channel.
+
+Section IV-A of the paper: "At EQS frequencies, a high impedance
+termination voltage-mode communication provides a communication channel
+which allows data transfer across the whole body at ultra-low
+communication powers."  This ablation quantifies that design choice using
+the circuit-level channel model: for a sweep of carrier frequencies and
+on-body distances it compares the high-impedance (capacitive) termination
+against a conventional 50-ohm termination, reporting the channel gain,
+the gain penalty of the 50-ohm choice, the flatness across the body, and
+the transmit swing a receiver of given sensitivity would require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..comm.channel import EQSChannelModel
+from .. import units
+
+
+@dataclass(frozen=True)
+class TerminationPoint:
+    """Channel behaviour at one (frequency, distance) operating point."""
+
+    frequency_hz: float
+    distance_metres: float
+    high_z_gain_db: float
+    low_z_gain_db: float
+    required_swing_high_z_volts: float
+    required_swing_low_z_volts: float
+
+    @property
+    def penalty_db(self) -> float:
+        """Gain penalty of the 50-ohm termination versus high impedance."""
+        return self.high_z_gain_db - self.low_z_gain_db
+
+    @property
+    def low_z_swing_feasible(self) -> bool:
+        """Whether a CMOS-level (<= 3.3 V) driver could close the 50-ohm link."""
+        return self.required_swing_low_z_volts <= 3.3
+
+
+@dataclass(frozen=True)
+class TerminationAblationResult:
+    """The full frequency x distance sweep."""
+
+    points: tuple[TerminationPoint, ...]
+    whole_body_flatness_db: float
+
+    def at(self, frequency_hz: float, distance_metres: float) -> TerminationPoint:
+        """Closest evaluated point to the requested operating point."""
+        return min(
+            self.points,
+            key=lambda p: (abs(np.log10(p.frequency_hz / frequency_hz)),
+                           abs(p.distance_metres - distance_metres)),
+        )
+
+    def max_penalty_db(self) -> float:
+        """Worst-case gain penalty of the 50-ohm termination in the sweep."""
+        return max(point.penalty_db for point in self.points)
+
+    def min_penalty_db(self) -> float:
+        """Best-case (smallest) penalty — at the top of the EQS band."""
+        return min(point.penalty_db for point in self.points)
+
+    def rows(self) -> list[dict[str, object]]:
+        """Rows for the report table."""
+        rows: list[dict[str, object]] = []
+        for point in self.points:
+            rows.append({
+                "frequency_mhz": point.frequency_hz / 1e6,
+                "distance_m": point.distance_metres,
+                "high_z_gain_db": point.high_z_gain_db,
+                "low_z_gain_db": point.low_z_gain_db,
+                "penalty_db": point.penalty_db,
+                "swing_high_z_v": point.required_swing_high_z_volts,
+                "swing_low_z_v": point.required_swing_low_z_volts,
+                "low_z_cmos_feasible": point.low_z_swing_feasible,
+            })
+        return rows
+
+
+def run(
+    frequencies_hz: tuple[float, ...] = (
+        units.kilohertz(100.0),
+        units.megahertz(1.0),
+        units.megahertz(10.0),
+        units.megahertz(30.0),
+    ),
+    distances_metres: tuple[float, ...] = (0.2, 1.0, 1.8),
+    receiver_sensitivity_volts: float = 1e-4,
+    channel: EQSChannelModel | None = None,
+) -> TerminationAblationResult:
+    """Sweep termination choice across the EQS band and the body."""
+    channel = channel or EQSChannelModel()
+    points: list[TerminationPoint] = []
+    for frequency in frequencies_hz:
+        for distance in distances_metres:
+            high_z = channel.channel_gain_db(distance, frequency,
+                                             termination="high_impedance")
+            low_z = channel.channel_gain_db(distance, frequency,
+                                            termination="low_impedance")
+            swing_high = receiver_sensitivity_volts / (10.0 ** (high_z / 20.0))
+            swing_low = receiver_sensitivity_volts / (10.0 ** (low_z / 20.0))
+            points.append(TerminationPoint(
+                frequency_hz=frequency,
+                distance_metres=distance,
+                high_z_gain_db=high_z,
+                low_z_gain_db=low_z,
+                required_swing_high_z_volts=swing_high,
+                required_swing_low_z_volts=swing_low,
+            ))
+    flatness = channel.channel_flatness_db(min(distances_metres),
+                                           max(distances_metres))
+    return TerminationAblationResult(
+        points=tuple(points),
+        whole_body_flatness_db=flatness,
+    )

@@ -1,0 +1,49 @@
+"""In-sensor analytics (ISA): compression and feature extraction.
+
+Section V of the paper notes that "the ULP nodes in some cases may use low
+power in-sensor analytics (ISA) or data compression (example MJPEG
+compression for video) to reduce the data volume to be communicated".
+This package implements those data-reduction stages together with an
+energy cost model, so the offloading optimizer can trade ISA compute
+energy against communication energy saved.
+"""
+
+from .compression import (
+    CompressionResult,
+    delta_encode,
+    delta_decode,
+    run_length_encode,
+    run_length_decode,
+    downsample,
+    quantize_signal,
+    dequantize_signal,
+    MJPEGLikeCodec,
+)
+from .features import (
+    detect_r_peaks,
+    heart_rate_from_peaks,
+    log_mel_energies,
+    imu_window_features,
+    FeatureSummary,
+)
+from .pipeline import ISAStage, ISAPipeline, isa_compute_energy_joules
+
+__all__ = [
+    "CompressionResult",
+    "delta_encode",
+    "delta_decode",
+    "run_length_encode",
+    "run_length_decode",
+    "downsample",
+    "quantize_signal",
+    "dequantize_signal",
+    "MJPEGLikeCodec",
+    "detect_r_peaks",
+    "heart_rate_from_peaks",
+    "log_mel_energies",
+    "imu_window_features",
+    "FeatureSummary",
+    "ISAStage",
+    "ISAPipeline",
+    "isa_compute_energy_joules",
+]

@@ -1,0 +1,305 @@
+"""Lossless and lossy data-reduction primitives for ULP leaf nodes.
+
+The compressors are deliberately simple — delta coding, run-length coding,
+downsampling, uniform quantisation and a DCT-based MJPEG-like image codec
+— because that is what fits in a microwatt-class in-sensor analytics
+block.  Every lossy stage reports the achieved compression ratio and
+reconstruction error so experiments can trade fidelity against the
+communication energy saved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.fft import dctn, idctn
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CompressionResult:
+    """Outcome of a compression stage."""
+
+    original_bits: float
+    compressed_bits: float
+    reconstruction_rmse: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.original_bits < 0 or self.compressed_bits < 0:
+            raise ConfigurationError("bit counts must be non-negative")
+        if self.reconstruction_rmse < 0:
+            raise ConfigurationError("RMSE must be non-negative")
+
+    @property
+    def compression_ratio(self) -> float:
+        """Original size divided by compressed size (>= 1 when it helps)."""
+        if self.compressed_bits == 0:
+            return float("inf")
+        return self.original_bits / self.compressed_bits
+
+    @property
+    def rate_fraction(self) -> float:
+        """Compressed size as a fraction of the original."""
+        if self.original_bits == 0:
+            return 0.0
+        return self.compressed_bits / self.original_bits
+
+
+# ---------------------------------------------------------------------------
+# Delta coding
+# ---------------------------------------------------------------------------
+
+def delta_encode(samples: np.ndarray) -> np.ndarray:
+    """First-order delta encoding (first sample kept verbatim)."""
+    samples = np.asarray(samples)
+    if samples.ndim != 1:
+        raise ConfigurationError("delta encoding expects a 1-D array")
+    if samples.size == 0:
+        return samples.copy()
+    return np.concatenate(([samples[0]], np.diff(samples)))
+
+
+def delta_decode(deltas: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`delta_encode`."""
+    deltas = np.asarray(deltas)
+    if deltas.ndim != 1:
+        raise ConfigurationError("delta decoding expects a 1-D array")
+    if deltas.size == 0:
+        return deltas.copy()
+    return np.cumsum(deltas)
+
+
+def delta_encoded_bits(samples: np.ndarray, sample_bits: int = 16) -> CompressionResult:
+    """Estimate the size of a delta-coded integer stream.
+
+    Deltas are entropy-friendly for slowly varying biopotential signals;
+    we estimate the compressed size from the actual bit width needed per
+    delta (sign + magnitude) rather than running a full entropy coder.
+    """
+    samples = np.asarray(samples, dtype=np.int64)
+    if samples.ndim != 1:
+        raise ConfigurationError("expected a 1-D integer array")
+    if sample_bits <= 0:
+        raise ConfigurationError("sample bits must be positive")
+    original = float(samples.size * sample_bits)
+    if samples.size == 0:
+        return CompressionResult(original_bits=0.0, compressed_bits=0.0)
+    deltas = np.diff(samples)
+    if deltas.size == 0:
+        return CompressionResult(original_bits=original, compressed_bits=float(sample_bits))
+    magnitudes = np.abs(deltas)
+    bits_per_delta = np.where(magnitudes > 0, np.ceil(np.log2(magnitudes + 1)) + 1, 1)
+    compressed = float(sample_bits + np.sum(bits_per_delta))
+    return CompressionResult(original_bits=original, compressed_bits=compressed)
+
+
+# ---------------------------------------------------------------------------
+# Run-length coding
+# ---------------------------------------------------------------------------
+
+def run_length_encode(values: np.ndarray) -> list[tuple[float, int]]:
+    """Run-length encode a 1-D array into (value, run-length) pairs."""
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise ConfigurationError("run-length encoding expects a 1-D array")
+    if values.size == 0:
+        return []
+    runs: list[tuple[float, int]] = []
+    current = values[0]
+    count = 1
+    for value in values[1:]:
+        if value == current:
+            count += 1
+        else:
+            runs.append((current.item() if hasattr(current, "item") else current, count))
+            current = value
+            count = 1
+    runs.append((current.item() if hasattr(current, "item") else current, count))
+    return runs
+
+
+def run_length_decode(runs: list[tuple[float, int]]) -> np.ndarray:
+    """Inverse of :func:`run_length_encode`."""
+    if not runs:
+        return np.asarray([])
+    pieces = []
+    for value, count in runs:
+        if count <= 0:
+            raise ConfigurationError("run lengths must be positive")
+        pieces.append(np.full(count, value))
+    return np.concatenate(pieces)
+
+
+# ---------------------------------------------------------------------------
+# Downsampling and quantisation
+# ---------------------------------------------------------------------------
+
+def downsample(samples: np.ndarray, factor: int) -> np.ndarray:
+    """Average-and-decimate by an integer factor (simple anti-aliasing)."""
+    samples = np.asarray(samples, dtype=float)
+    if samples.ndim != 1:
+        raise ConfigurationError("downsampling expects a 1-D array")
+    if factor <= 0:
+        raise ConfigurationError("downsampling factor must be positive")
+    if factor == 1 or samples.size == 0:
+        return samples.copy()
+    usable = (samples.size // factor) * factor
+    if usable == 0:
+        return np.asarray([np.mean(samples)])
+    return samples[:usable].reshape(-1, factor).mean(axis=1)
+
+
+def quantize_signal(samples: np.ndarray, bits: int,
+                    signal_range: tuple[float, float] | None = None,
+                    ) -> tuple[np.ndarray, float, float]:
+    """Uniformly quantise *samples* to *bits* resolution.
+
+    Returns ``(codes, scale, offset)`` such that
+    ``samples ~= codes * scale + offset``.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if bits <= 0 or bits > 32:
+        raise ConfigurationError("quantisation bits must be in 1..32")
+    if samples.size == 0:
+        return samples.astype(np.int64), 1.0, 0.0
+    if signal_range is None:
+        low, high = float(np.min(samples)), float(np.max(samples))
+    else:
+        low, high = signal_range
+    if high <= low:
+        high = low + 1.0
+    levels = (1 << bits) - 1
+    scale = (high - low) / levels
+    codes = np.clip(np.round((samples - low) / scale), 0, levels).astype(np.int64)
+    return codes, scale, low
+
+
+def dequantize_signal(codes: np.ndarray, scale: float, offset: float) -> np.ndarray:
+    """Inverse of :func:`quantize_signal`."""
+    if scale <= 0:
+        raise ConfigurationError("scale must be positive")
+    return np.asarray(codes, dtype=float) * scale + offset
+
+
+# ---------------------------------------------------------------------------
+# MJPEG-like image codec
+# ---------------------------------------------------------------------------
+
+class MJPEGLikeCodec:
+    """Block-DCT image codec approximating MJPEG behaviour.
+
+    Each frame is split into 8x8 blocks, transformed with a 2-D DCT,
+    quantised with a quality-scaled step matrix, and the surviving
+    non-zero coefficients are counted to estimate the compressed bitstream
+    size (coefficient value + position costs).  The decoder inverts the
+    pipeline so reconstruction error can be measured.  The paper names
+    MJPEG explicitly as the video ISA example, and intra-only coding is
+    the realistic choice for a microwatt-class encoder.
+    """
+
+    BLOCK = 8
+
+    #: Base luminance quantisation steps (JPEG Annex K style, simplified to
+    #: a radial ramp so the implementation stays dependency-free).
+    def __init__(self, quality: int = 50) -> None:
+        if not 1 <= quality <= 100:
+            raise ConfigurationError("quality must be in 1..100")
+        self.quality = quality
+        ramp = np.add.outer(np.arange(self.BLOCK), np.arange(self.BLOCK)).astype(float)
+        base_table = 16.0 + 6.0 * ramp
+        if quality < 50:
+            scale = 5000.0 / quality / 100.0
+        else:
+            scale = (200.0 - 2.0 * quality) / 100.0
+        self.quant_table = np.maximum(np.round(base_table * scale), 1.0)
+
+    def _pad(self, frame: np.ndarray) -> np.ndarray:
+        height, width = frame.shape
+        pad_h = (-height) % self.BLOCK
+        pad_w = (-width) % self.BLOCK
+        if pad_h or pad_w:
+            frame = np.pad(frame, ((0, pad_h), (0, pad_w)), mode="edge")
+        return frame
+
+    def encode(self, frame: np.ndarray) -> tuple[np.ndarray, tuple[int, int]]:
+        """Encode a 2-D uint8/float frame into quantised DCT coefficients."""
+        frame = np.asarray(frame, dtype=float)
+        if frame.ndim != 2:
+            raise ConfigurationError("codec expects a 2-D greyscale frame")
+        original_shape = frame.shape
+        padded = self._pad(frame - 128.0)
+        height, width = padded.shape
+        blocks = padded.reshape(
+            height // self.BLOCK, self.BLOCK, width // self.BLOCK, self.BLOCK
+        ).swapaxes(1, 2)
+        coefficients = dctn(blocks, axes=(-2, -1), norm="ortho")
+        quantised = np.round(coefficients / self.quant_table)
+        return quantised, original_shape
+
+    def decode(self, quantised: np.ndarray, original_shape: tuple[int, int]) -> np.ndarray:
+        """Reconstruct a frame from quantised coefficients."""
+        quantised = np.asarray(quantised, dtype=float)
+        if quantised.ndim != 4:
+            raise ConfigurationError("expected coefficients of shape (by, bx, 8, 8)")
+        coefficients = quantised * self.quant_table
+        blocks = idctn(coefficients, axes=(-2, -1), norm="ortho")
+        by, bx = quantised.shape[:2]
+        frame = blocks.swapaxes(1, 2).reshape(by * self.BLOCK, bx * self.BLOCK)
+        frame = frame[: original_shape[0], : original_shape[1]] + 128.0
+        return np.clip(frame, 0.0, 255.0)
+
+    def compressed_bits(self, quantised: np.ndarray) -> float:
+        """Estimate the bitstream size for quantised coefficients.
+
+        Each non-zero coefficient costs its magnitude bits plus a 4-bit
+        run/position token; each 8x8 block pays a small header.  This
+        tracks real MJPEG sizes to within a factor of ~1.5 without
+        implementing Huffman tables.
+        """
+        quantised = np.asarray(quantised)
+        nonzero = quantised[quantised != 0]
+        n_blocks = quantised.shape[0] * quantised.shape[1]
+        if nonzero.size == 0:
+            return float(n_blocks * 8)
+        magnitude_bits = np.ceil(np.log2(np.abs(nonzero) + 1)) + 1
+        return float(np.sum(magnitude_bits + 4) + n_blocks * 8)
+
+    def compress_frame(self, frame: np.ndarray,
+                       bits_per_pixel: int = 8) -> CompressionResult:
+        """End-to-end compression of one frame with quality measurement."""
+        frame = np.asarray(frame, dtype=float)
+        quantised, original_shape = self.encode(frame)
+        reconstructed = self.decode(quantised, original_shape)
+        rmse = float(np.sqrt(np.mean((frame - reconstructed) ** 2)))
+        original_bits = float(frame.size * bits_per_pixel)
+        compressed = self.compressed_bits(quantised)
+        return CompressionResult(
+            original_bits=original_bits,
+            compressed_bits=compressed,
+            reconstruction_rmse=rmse,
+        )
+
+    def compress_video(self, frames: np.ndarray,
+                       bits_per_pixel: int = 8) -> CompressionResult:
+        """Compress a stack of frames and aggregate the result."""
+        frames = np.asarray(frames)
+        if frames.ndim != 3:
+            raise ConfigurationError("expected frames of shape (n, height, width)")
+        total_original = 0.0
+        total_compressed = 0.0
+        squared_error = 0.0
+        count = 0
+        for frame in frames:
+            result = self.compress_frame(frame, bits_per_pixel=bits_per_pixel)
+            total_original += result.original_bits
+            total_compressed += result.compressed_bits
+            squared_error += result.reconstruction_rmse ** 2 * frame.size
+            count += frame.size
+        rmse = float(np.sqrt(squared_error / count)) if count else 0.0
+        return CompressionResult(
+            original_bits=total_original,
+            compressed_bits=total_compressed,
+            reconstruction_rmse=rmse,
+        )

@@ -1,0 +1,229 @@
+"""Feature extraction for in-sensor analytics.
+
+These are the "low power in-sensor analytics" stages a ULP leaf node can
+run before communication: R-peak detection for ECG (ship beat intervals
+instead of waveforms), log-mel energies for audio (ship acoustic features
+instead of PCM), and statistical window features for IMU streams (ship a
+feature vector per window instead of raw samples).  Each extractor reports
+the output data volume so the offload optimizer can quantify the data-rate
+reduction ISA buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FeatureSummary:
+    """Data-volume accounting for a feature-extraction stage."""
+
+    name: str
+    input_bits: float
+    output_bits: float
+
+    def __post_init__(self) -> None:
+        if self.input_bits < 0 or self.output_bits < 0:
+            raise ConfigurationError("bit counts must be non-negative")
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Input bits divided by output bits."""
+        if self.output_bits == 0:
+            return float("inf")
+        return self.input_bits / self.output_bits
+
+
+# ---------------------------------------------------------------------------
+# ECG: R-peak detection
+# ---------------------------------------------------------------------------
+
+def detect_r_peaks(signal: np.ndarray, sample_rate_hz: float,
+                   refractory_seconds: float = 0.25,
+                   threshold_fraction: float = 0.5) -> np.ndarray:
+    """Detect R-peak sample indices in a single-lead ECG.
+
+    A lightweight Pan–Tompkins-style detector: band-limit by differencing,
+    square, integrate over a short window, then apply an adaptive
+    threshold with a refractory period.  Suitable for the synthetic ECG in
+    :class:`repro.sensors.biopotential.ECGGenerator` and clean recordings.
+    """
+    signal = np.asarray(signal, dtype=float)
+    if signal.ndim != 1:
+        raise ConfigurationError("expected a 1-D ECG signal")
+    if sample_rate_hz <= 0:
+        raise ConfigurationError("sample rate must be positive")
+    if signal.size < int(sample_rate_hz):
+        raise ConfigurationError("need at least one second of signal")
+    if not 0.0 < threshold_fraction < 1.0:
+        raise ConfigurationError("threshold fraction must be in (0, 1)")
+
+    differenced = np.diff(signal, prepend=signal[0])
+    squared = differenced ** 2
+    window = max(int(0.08 * sample_rate_hz), 1)
+    kernel = np.ones(window) / window
+    integrated = np.convolve(squared, kernel, mode="same")
+
+    threshold = threshold_fraction * np.max(integrated)
+    refractory = int(refractory_seconds * sample_rate_hz)
+    peaks: list[int] = []
+    index = 0
+    while index < integrated.size:
+        if integrated[index] >= threshold:
+            window_end = min(index + refractory, integrated.size)
+            local = index + int(np.argmax(signal[index:window_end]))
+            peaks.append(local)
+            index = window_end
+        else:
+            index += 1
+    return np.asarray(peaks, dtype=int)
+
+
+def heart_rate_from_peaks(peak_indices: np.ndarray,
+                          sample_rate_hz: float) -> float:
+    """Mean heart rate in beats per minute from R-peak indices."""
+    peak_indices = np.asarray(peak_indices)
+    if sample_rate_hz <= 0:
+        raise ConfigurationError("sample rate must be positive")
+    if peak_indices.size < 2:
+        raise ConfigurationError("need at least two peaks to estimate heart rate")
+    intervals = np.diff(peak_indices) / sample_rate_hz
+    return float(60.0 / np.mean(intervals))
+
+
+def ecg_feature_summary(n_samples: int, n_peaks: int,
+                        sample_bits: int = 12,
+                        interval_bits: int = 16) -> FeatureSummary:
+    """Data reduction from shipping beat intervals instead of waveforms."""
+    if n_samples < 0 or n_peaks < 0:
+        raise ConfigurationError("counts must be non-negative")
+    return FeatureSummary(
+        name="ecg_r_peaks",
+        input_bits=float(n_samples * sample_bits),
+        output_bits=float(n_peaks * interval_bits),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Audio: log-mel energies
+# ---------------------------------------------------------------------------
+
+def _mel_scale(frequency_hz: np.ndarray | float) -> np.ndarray | float:
+    return 2595.0 * np.log10(1.0 + np.asarray(frequency_hz, dtype=float) / 700.0)
+
+
+def _inverse_mel(mel: np.ndarray | float) -> np.ndarray | float:
+    return 700.0 * (10.0 ** (np.asarray(mel, dtype=float) / 2595.0) - 1.0)
+
+
+def log_mel_energies(signal: np.ndarray, sample_rate_hz: float,
+                     frame_seconds: float = 0.025,
+                     hop_seconds: float = 0.010,
+                     n_mels: int = 40) -> np.ndarray:
+    """Compute a log-mel energy spectrogram of shape ``(frames, n_mels)``.
+
+    This is the classic keyword-spotting front end: it reduces a 256 kb/s
+    PCM stream to a few kb/s of features, which is exactly the kind of ISA
+    stage the paper expects a leaf node to run before Wi-R transmission.
+    """
+    signal = np.asarray(signal, dtype=float)
+    if signal.ndim != 1:
+        raise ConfigurationError("expected mono audio")
+    if sample_rate_hz <= 0:
+        raise ConfigurationError("sample rate must be positive")
+    if frame_seconds <= 0 or hop_seconds <= 0:
+        raise ConfigurationError("frame and hop must be positive")
+    if n_mels <= 0:
+        raise ConfigurationError("n_mels must be positive")
+
+    frame = int(round(frame_seconds * sample_rate_hz))
+    hop = int(round(hop_seconds * sample_rate_hz))
+    if frame <= 0 or hop <= 0:
+        raise ConfigurationError("frame/hop too small for the sample rate")
+    if signal.size < frame:
+        raise ConfigurationError("signal shorter than one frame")
+
+    n_frames = 1 + (signal.size - frame) // hop
+    window = np.hanning(frame)
+    n_fft = 1
+    while n_fft < frame:
+        n_fft *= 2
+    freqs = np.fft.rfftfreq(n_fft, d=1.0 / sample_rate_hz)
+
+    # Triangular mel filterbank between 40 Hz and Nyquist.
+    low_mel = _mel_scale(40.0)
+    high_mel = _mel_scale(sample_rate_hz / 2.0)
+    mel_points = np.linspace(low_mel, high_mel, n_mels + 2)
+    hz_points = _inverse_mel(mel_points)
+    filterbank = np.zeros((n_mels, freqs.size))
+    for m in range(n_mels):
+        left, center, right = hz_points[m], hz_points[m + 1], hz_points[m + 2]
+        rising = (freqs - left) / max(center - left, 1e-9)
+        falling = (right - freqs) / max(right - center, 1e-9)
+        filterbank[m] = np.clip(np.minimum(rising, falling), 0.0, 1.0)
+
+    features = np.empty((n_frames, n_mels))
+    for i in range(n_frames):
+        chunk = signal[i * hop: i * hop + frame] * window
+        spectrum = np.abs(np.fft.rfft(chunk, n=n_fft)) ** 2
+        mel_energy = filterbank @ spectrum
+        features[i] = np.log(mel_energy + 1e-10)
+    return features
+
+
+def audio_feature_summary(n_samples: int, n_frames: int, n_mels: int,
+                          sample_bits: int = 16,
+                          feature_bits: int = 8) -> FeatureSummary:
+    """Data reduction from shipping log-mel features instead of PCM."""
+    if min(n_samples, n_frames, n_mels) < 0:
+        raise ConfigurationError("counts must be non-negative")
+    return FeatureSummary(
+        name="audio_log_mel",
+        input_bits=float(n_samples * sample_bits),
+        output_bits=float(n_frames * n_mels * feature_bits),
+    )
+
+
+# ---------------------------------------------------------------------------
+# IMU: window statistics
+# ---------------------------------------------------------------------------
+
+def imu_window_features(window: np.ndarray) -> np.ndarray:
+    """Statistical features for one IMU window of shape ``(axes, samples)``.
+
+    Per axis: mean, standard deviation, min, max, RMS and mean absolute
+    jerk — the standard hand-crafted HAR feature set.  Returns a flat
+    vector of length ``6 * axes``.
+    """
+    window = np.asarray(window, dtype=float)
+    if window.ndim != 2:
+        raise ConfigurationError("expected an (axes, samples) window")
+    if window.shape[1] < 2:
+        raise ConfigurationError("need at least two samples per window")
+    jerk = np.diff(window, axis=1)
+    features = np.concatenate([
+        np.mean(window, axis=1),
+        np.std(window, axis=1),
+        np.min(window, axis=1),
+        np.max(window, axis=1),
+        np.sqrt(np.mean(window ** 2, axis=1)),
+        np.mean(np.abs(jerk), axis=1),
+    ])
+    return features
+
+
+def imu_feature_summary(n_axes: int, n_samples: int,
+                        sample_bits: int = 16,
+                        feature_bits: int = 32) -> FeatureSummary:
+    """Data reduction from shipping window features instead of raw IMU."""
+    if n_axes <= 0 or n_samples <= 0:
+        raise ConfigurationError("axes and samples must be positive")
+    return FeatureSummary(
+        name="imu_window_features",
+        input_bits=float(n_axes * n_samples * sample_bits),
+        output_bits=float(6 * n_axes * feature_bits),
+    )

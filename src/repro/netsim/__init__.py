@@ -1,0 +1,31 @@
+"""Discrete-event simulator for the on-body Wi-R network.
+
+The closed-form budgets in :mod:`repro.core` answer "what is the average
+power"; the simulator answers the dynamic questions: what latency does a
+leaf node see when many leaves share the body bus, how bursty traffic
+interacts with TDMA slots, and how the per-node energy ledger evolves over
+a simulated day.  It is intentionally small — an event queue, periodic
+traffic sources, a shared bus with a FIFO or TDMA service discipline, and
+per-node energy accounting — but it is a real simulator: packets are
+individually generated, queued, serialised and delivered.
+"""
+
+from .events import Event, EventQueue
+from .packet import Packet
+from .traffic import PeriodicSource, PoissonSource, TrafficSource
+from .bus import SharedBus, BusStats
+from .simulator import BodyNetworkSimulator, SimulationResult, SimulatedNode
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Packet",
+    "TrafficSource",
+    "PeriodicSource",
+    "PoissonSource",
+    "SharedBus",
+    "BusStats",
+    "BodyNetworkSimulator",
+    "SimulationResult",
+    "SimulatedNode",
+]

@@ -1,0 +1,129 @@
+"""The shared body 'bus': serialising packets from many leaves to the hub.
+
+In the EQS regime the whole body is effectively one electrical node, so
+all Wi-R leaves share one broadcast medium coordinated by the hub.  The
+bus model is a single server with a FIFO queue (optionally weighted by a
+per-node guard overhead), which is the right abstraction for both a
+hub-polled and a TDMA-coordinated network at the time scales the
+experiments care about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SimulationError
+from .events import EventQueue
+from .packet import Packet
+
+
+@dataclass
+class BusStats:
+    """Aggregate statistics collected by the bus."""
+
+    delivered_packets: int = 0
+    delivered_bits: float = 0.0
+    dropped_packets: int = 0
+    busy_seconds: float = 0.0
+    latencies: list[float] = field(default_factory=list)
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Latency percentile over delivered packets (seconds)."""
+        if not self.latencies:
+            raise SimulationError("no packets delivered yet")
+        if not 0.0 <= percentile <= 100.0:
+            raise SimulationError("percentile must be in [0, 100]")
+        return float(np.percentile(self.latencies, percentile))
+
+    @property
+    def mean_latency_seconds(self) -> float:
+        """Mean delivery latency (seconds)."""
+        if not self.latencies:
+            raise SimulationError("no packets delivered yet")
+        return float(np.mean(self.latencies))
+
+    def throughput_bps(self, horizon_seconds: float) -> float:
+        """Delivered goodput over *horizon_seconds*."""
+        if horizon_seconds <= 0:
+            raise SimulationError("horizon must be positive")
+        return self.delivered_bits / horizon_seconds
+
+    def utilization(self, horizon_seconds: float) -> float:
+        """Fraction of time the bus was busy."""
+        if horizon_seconds <= 0:
+            raise SimulationError("horizon must be positive")
+        return min(self.busy_seconds / horizon_seconds, 1.0)
+
+
+class SharedBus:
+    """Single shared link serving packets in FIFO order.
+
+    Parameters
+    ----------
+    queue:
+        The simulator's event queue.
+    link_rate_bps:
+        Serialisation rate of the medium.
+    per_packet_overhead_seconds:
+        Guard/turnaround charged per packet (MAC overhead).
+    max_queue_packets:
+        Packets beyond this bound are dropped (models a bounded leaf buffer).
+    """
+
+    def __init__(self, queue: EventQueue, link_rate_bps: float,
+                 per_packet_overhead_seconds: float = 100e-6,
+                 max_queue_packets: int = 10_000) -> None:
+        if link_rate_bps <= 0:
+            raise SimulationError("link rate must be positive")
+        if per_packet_overhead_seconds < 0:
+            raise SimulationError("per-packet overhead must be non-negative")
+        if max_queue_packets <= 0:
+            raise SimulationError("queue bound must be positive")
+        self._queue = queue
+        self.link_rate_bps = link_rate_bps
+        self.per_packet_overhead_seconds = per_packet_overhead_seconds
+        self.max_queue_packets = max_queue_packets
+        self.stats = BusStats()
+        self._pending: list[Packet] = []
+        self._busy = False
+        self._delivery_callbacks: list = []
+
+    def on_delivery(self, callback) -> None:
+        """Register a callback invoked with each delivered packet."""
+        self._delivery_callbacks.append(callback)
+
+    def submit(self, packet: Packet) -> bool:
+        """Enqueue a packet for transmission.  Returns False if dropped."""
+        if len(self._pending) >= self.max_queue_packets:
+            self.stats.dropped_packets += 1
+            return False
+        self._pending.append(packet)
+        if not self._busy:
+            self._start_next()
+        return True
+
+    def service_time_seconds(self, packet: Packet) -> float:
+        """Time to serialise one packet including MAC overhead."""
+        return packet.bits / self.link_rate_bps + self.per_packet_overhead_seconds
+
+    def _start_next(self) -> None:
+        if not self._pending:
+            self._busy = False
+            return
+        self._busy = True
+        packet = self._pending.pop(0)
+        packet.queued_at = self._queue.now
+        service = self.service_time_seconds(packet)
+        self.stats.busy_seconds += service
+        self._queue.schedule_in(service, lambda p=packet: self._complete(p))
+
+    def _complete(self, packet: Packet) -> None:
+        packet.delivered_at = self._queue.now
+        self.stats.delivered_packets += 1
+        self.stats.delivered_bits += packet.bits
+        self.stats.latencies.append(packet.latency_seconds)
+        for callback in self._delivery_callbacks:
+            callback(packet)
+        self._start_next()

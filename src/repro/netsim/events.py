@@ -1,0 +1,93 @@
+"""Event queue for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by time, then by insertion sequence so simultaneous
+    events fire in the order they were scheduled (deterministic runs).
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule *callback* at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past: {time} < now {self._now}"
+            )
+        event = Event(time=time, sequence=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule *callback* after a relative delay."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def step(self) -> bool:
+        """Pop and run the next event.  Returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, end_time: float) -> float:
+        """Run events until *end_time* (exclusive of later events).
+
+        Returns the final simulation time, which is *end_time* even when
+        the queue drains earlier.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"end time {end_time} is before current time {self._now}"
+            )
+        while self._heap:
+            next_event = self._heap[0]
+            if next_event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if next_event.time > end_time:
+                break
+            self.step()
+        self._now = end_time
+        return self._now

@@ -1,0 +1,45 @@
+"""Packets exchanged on the body network."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+
+@dataclass
+class Packet:
+    """One data unit travelling from a leaf node to the hub (or back)."""
+
+    source: str
+    destination: str
+    bits: float
+    created_at: float
+    delivered_at: float | None = None
+    queued_at: float | None = None
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.bits < 0:
+            raise SimulationError("packet size must be non-negative")
+        if self.created_at < 0:
+            raise SimulationError("creation time must be non-negative")
+
+    @property
+    def delivered(self) -> bool:
+        """Whether the packet has reached its destination."""
+        return self.delivered_at is not None
+
+    @property
+    def latency_seconds(self) -> float:
+        """End-to-end latency; raises if the packet has not been delivered."""
+        if self.delivered_at is None:
+            raise SimulationError("packet has not been delivered yet")
+        return self.delivered_at - self.created_at
+
+    @property
+    def queueing_delay_seconds(self) -> float:
+        """Time spent waiting before transmission started."""
+        if self.queued_at is None:
+            return 0.0
+        return self.queued_at - self.created_at

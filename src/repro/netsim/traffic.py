@@ -1,0 +1,93 @@
+"""Traffic sources: how leaf nodes generate data.
+
+Two arrival processes cover the paper's workloads: periodic sources for
+streaming sensors (ECG samples batched into packets, audio frames, video
+frames) and Poisson sources for event-driven traffic (gesture detections,
+voice-activity triggered uploads).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+class TrafficSource(abc.ABC):
+    """Generates the next inter-arrival time and packet size."""
+
+    @abc.abstractmethod
+    def next_interarrival_seconds(self, rng: np.random.Generator) -> float:
+        """Time until the next packet is produced."""
+
+    @abc.abstractmethod
+    def packet_bits(self, rng: np.random.Generator) -> float:
+        """Size of the next packet in bits."""
+
+    @abc.abstractmethod
+    def average_rate_bps(self) -> float:
+        """Long-run average offered data rate."""
+
+
+@dataclass
+class PeriodicSource(TrafficSource):
+    """Fixed-size packets at a fixed period (streaming sensors)."""
+
+    period_seconds: float
+    bits_per_packet: float
+
+    def __post_init__(self) -> None:
+        if self.period_seconds <= 0:
+            raise SimulationError("period must be positive")
+        if self.bits_per_packet <= 0:
+            raise SimulationError("packet size must be positive")
+
+    def next_interarrival_seconds(self, rng: np.random.Generator) -> float:
+        return self.period_seconds
+
+    def packet_bits(self, rng: np.random.Generator) -> float:
+        return self.bits_per_packet
+
+    def average_rate_bps(self) -> float:
+        return self.bits_per_packet / self.period_seconds
+
+    @classmethod
+    def from_rate(cls, rate_bps: float,
+                  bits_per_packet: float = 8192.0) -> "PeriodicSource":
+        """Build a periodic source that offers *rate_bps* on average."""
+        if rate_bps <= 0:
+            raise SimulationError("rate must be positive")
+        if bits_per_packet <= 0:
+            raise SimulationError("packet size must be positive")
+        return cls(period_seconds=bits_per_packet / rate_bps,
+                   bits_per_packet=bits_per_packet)
+
+
+@dataclass
+class PoissonSource(TrafficSource):
+    """Exponential inter-arrivals with geometric-ish packet size jitter."""
+
+    mean_interarrival_seconds: float
+    mean_bits_per_packet: float
+    size_jitter_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.mean_interarrival_seconds <= 0:
+            raise SimulationError("mean inter-arrival must be positive")
+        if self.mean_bits_per_packet <= 0:
+            raise SimulationError("mean packet size must be positive")
+        if not 0.0 <= self.size_jitter_fraction < 1.0:
+            raise SimulationError("size jitter must be in [0, 1)")
+
+    def next_interarrival_seconds(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean_interarrival_seconds))
+
+    def packet_bits(self, rng: np.random.Generator) -> float:
+        jitter = 1.0 + self.size_jitter_fraction * float(rng.standard_normal())
+        return max(self.mean_bits_per_packet * jitter, 8.0)
+
+    def average_rate_bps(self) -> float:
+        return self.mean_bits_per_packet / self.mean_interarrival_seconds

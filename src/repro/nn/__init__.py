@@ -1,0 +1,87 @@
+"""From-scratch numpy DNN inference engine.
+
+The reproduction hint for this paper is to "simulate partitioned inference
+... on laptop".  PyTorch is not available offline, so this package
+provides a small but real inference engine: layers with exact tensor
+shapes and forward passes, a profiler that counts multiply-accumulates,
+parameters and activation sizes per layer, int8 quantisation for
+in-sensor deployment, and a model zoo covering the workloads the paper's
+wearable-AI classes imply (keyword spotting for audio pins, ECG arrhythmia
+detection for biopotential patches, a MobileNet-style vision model for
+camera glasses, an IMU human-activity-recognition MLP).
+
+Layer-by-layer profiles are the input to the DNN partitioner in
+:mod:`repro.core.partition`, which decides how much of each model runs on
+the leaf node versus the on-body hub.
+"""
+
+from .layers import (
+    Layer,
+    Dense,
+    Conv2D,
+    DepthwiseConv2D,
+    MaxPool2D,
+    AvgPool2D,
+    GlobalAveragePool,
+    Flatten,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    Softmax,
+    BatchNorm,
+)
+from .model import Sequential
+from .profile import LayerProfile, ModelProfile, profile_model
+from .quantize import QuantizedTensor, quantize_tensor, dequantize_tensor, quantize_model_weights
+from .zoo import (
+    keyword_spotting_cnn,
+    ecg_arrhythmia_cnn,
+    mobilenet_tiny,
+    imu_har_mlp,
+    MODEL_ZOO,
+    build_model,
+)
+from .train import (
+    SGDTrainer,
+    TrainingHistory,
+    accuracy,
+    cross_entropy_loss,
+    make_imu_har_dataset,
+    train_imu_har_classifier,
+)
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "DepthwiseConv2D",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAveragePool",
+    "Flatten",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "BatchNorm",
+    "Sequential",
+    "LayerProfile",
+    "ModelProfile",
+    "profile_model",
+    "QuantizedTensor",
+    "quantize_tensor",
+    "dequantize_tensor",
+    "quantize_model_weights",
+    "keyword_spotting_cnn",
+    "ecg_arrhythmia_cnn",
+    "mobilenet_tiny",
+    "imu_har_mlp",
+    "MODEL_ZOO",
+    "build_model",
+    "SGDTrainer",
+    "TrainingHistory",
+    "accuracy",
+    "cross_entropy_loss",
+    "make_imu_har_dataset",
+    "train_imu_har_classifier",
+]

@@ -1,0 +1,494 @@
+"""Inference-only neural-network layers backed by numpy.
+
+Conventions
+-----------
+* Activations are ``float64`` numpy arrays with a leading batch axis.
+* Image tensors are NHWC: ``(batch, height, width, channels)``.
+* ``output_shape`` and ``macs`` take/return *per-sample* shapes (no batch
+  axis) so the profiler's numbers are per inference.
+* Every layer knows its parameter count and its multiply-accumulate count,
+  which is what the leaf/hub energy models consume.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+Shape = tuple[int, ...]
+
+
+def _as_shape(shape: Shape) -> Shape:
+    return tuple(int(dim) for dim in shape)
+
+
+class Layer(abc.ABC):
+    """Base class for all layers."""
+
+    def __init__(self, name: str | None = None) -> None:
+        self.name = name or type(self).__name__
+
+    @abc.abstractmethod
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the layer on a batched input."""
+
+    @abc.abstractmethod
+    def output_shape(self, input_shape: Shape) -> Shape:
+        """Per-sample output shape for a per-sample input shape."""
+
+    def num_params(self) -> int:
+        """Number of trainable parameters."""
+        return 0
+
+    def macs(self, input_shape: Shape) -> int:
+        """Multiply-accumulate operations per inference."""
+        return 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+# ---------------------------------------------------------------------------
+# Dense
+# ---------------------------------------------------------------------------
+
+class Dense(Layer):
+    """Fully connected layer ``y = x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator | None = None,
+                 name: str | None = None) -> None:
+        super().__init__(name)
+        if in_features <= 0 or out_features <= 0:
+            raise ShapeError("Dense dimensions must be positive")
+        rng = rng or np.random.default_rng(0)
+        scale = math.sqrt(2.0 / in_features)
+        self.weight = rng.normal(0.0, scale, size=(in_features, out_features))
+        self.bias = np.zeros(out_features)
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.shape[1]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ShapeError(
+                f"{self.name}: expected input of shape (batch, {self.in_features}), "
+                f"got {x.shape}"
+            )
+        return x @ self.weight + self.bias
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        input_shape = _as_shape(input_shape)
+        if len(input_shape) != 1 or input_shape[0] != self.in_features:
+            raise ShapeError(
+                f"{self.name}: expected per-sample shape ({self.in_features},), "
+                f"got {input_shape}"
+            )
+        return (self.out_features,)
+
+    def num_params(self) -> int:
+        return self.weight.size + self.bias.size
+
+    def macs(self, input_shape: Shape) -> int:
+        self.output_shape(input_shape)
+        return self.in_features * self.out_features
+
+
+# ---------------------------------------------------------------------------
+# Convolutions
+# ---------------------------------------------------------------------------
+
+def _conv_output_size(size: int, kernel: int, stride: int, padding: str) -> int:
+    if padding == "same":
+        return int(math.ceil(size / stride))
+    if padding == "valid":
+        return int(math.floor((size - kernel) / stride)) + 1
+    raise ShapeError(f"padding must be 'same' or 'valid', got {padding!r}")
+
+
+def _pad_amounts(size: int, kernel: int, stride: int, padding: str) -> tuple[int, int]:
+    if padding == "valid":
+        return 0, 0
+    out_size = _conv_output_size(size, kernel, stride, padding)
+    total = max((out_size - 1) * stride + kernel - size, 0)
+    before = total // 2
+    return before, total - before
+
+
+def _im2col(x: np.ndarray, kernel_h: int, kernel_w: int, stride_h: int,
+            stride_w: int, padding: str) -> tuple[np.ndarray, int, int]:
+    """Gather sliding windows: returns (patches, out_h, out_w).
+
+    ``patches`` has shape ``(batch, out_h, out_w, kernel_h*kernel_w*channels)``.
+    """
+    batch, height, width, channels = x.shape
+    pad_top, pad_bottom = _pad_amounts(height, kernel_h, stride_h, padding)
+    pad_left, pad_right = _pad_amounts(width, kernel_w, stride_w, padding)
+    if pad_top or pad_bottom or pad_left or pad_right:
+        x = np.pad(x, ((0, 0), (pad_top, pad_bottom), (pad_left, pad_right), (0, 0)))
+    out_h = _conv_output_size(height, kernel_h, stride_h, padding)
+    out_w = _conv_output_size(width, kernel_w, stride_w, padding)
+    patches = np.empty((batch, out_h, out_w, kernel_h * kernel_w * channels),
+                       dtype=x.dtype)
+    column = 0
+    for di in range(kernel_h):
+        for dj in range(kernel_w):
+            block = x[
+                :,
+                di:di + stride_h * out_h:stride_h,
+                dj:dj + stride_w * out_w:stride_w,
+                :,
+            ]
+            patches[:, :, :, column * channels:(column + 1) * channels] = block
+            column += 1
+    return patches, out_h, out_w
+
+
+class Conv2D(Layer):
+    """2-D convolution over NHWC tensors."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 stride: int = 1, padding: str = "same",
+                 rng: np.random.Generator | None = None,
+                 name: str | None = None) -> None:
+        super().__init__(name)
+        if min(in_channels, out_channels, kernel_size, stride) <= 0:
+            raise ShapeError("Conv2D dimensions must be positive")
+        if padding not in ("same", "valid"):
+            raise ShapeError(f"padding must be 'same' or 'valid', got {padding!r}")
+        rng = rng or np.random.default_rng(0)
+        fan_in = kernel_size * kernel_size * in_channels
+        scale = math.sqrt(2.0 / fan_in)
+        self.weight = rng.normal(
+            0.0, scale, size=(kernel_size, kernel_size, in_channels, out_channels)
+        )
+        self.bias = np.zeros(out_channels)
+        self.stride = stride
+        self.padding = padding
+
+    @property
+    def kernel_size(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def in_channels(self) -> int:
+        return self.weight.shape[2]
+
+    @property
+    def out_channels(self) -> int:
+        return self.weight.shape[3]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 4 or x.shape[3] != self.in_channels:
+            raise ShapeError(
+                f"{self.name}: expected NHWC input with {self.in_channels} channels, "
+                f"got shape {x.shape}"
+            )
+        patches, out_h, out_w = _im2col(
+            x, self.kernel_size, self.kernel_size, self.stride, self.stride,
+            self.padding,
+        )
+        kernel_matrix = self.weight.reshape(-1, self.out_channels)
+        output = patches @ kernel_matrix + self.bias
+        return output.reshape(x.shape[0], out_h, out_w, self.out_channels)
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        input_shape = _as_shape(input_shape)
+        if len(input_shape) != 3 or input_shape[2] != self.in_channels:
+            raise ShapeError(
+                f"{self.name}: expected per-sample shape (H, W, {self.in_channels}), "
+                f"got {input_shape}"
+            )
+        height, width, _ = input_shape
+        out_h = _conv_output_size(height, self.kernel_size, self.stride, self.padding)
+        out_w = _conv_output_size(width, self.kernel_size, self.stride, self.padding)
+        if out_h <= 0 or out_w <= 0:
+            raise ShapeError(f"{self.name}: input {input_shape} too small for kernel")
+        return (out_h, out_w, self.out_channels)
+
+    def num_params(self) -> int:
+        return self.weight.size + self.bias.size
+
+    def macs(self, input_shape: Shape) -> int:
+        out_h, out_w, out_c = self.output_shape(input_shape)
+        return (
+            out_h * out_w * out_c
+            * self.kernel_size * self.kernel_size * self.in_channels
+        )
+
+
+class DepthwiseConv2D(Layer):
+    """Depthwise 2-D convolution (one filter per input channel)."""
+
+    def __init__(self, channels: int, kernel_size: int, stride: int = 1,
+                 padding: str = "same",
+                 rng: np.random.Generator | None = None,
+                 name: str | None = None) -> None:
+        super().__init__(name)
+        if min(channels, kernel_size, stride) <= 0:
+            raise ShapeError("DepthwiseConv2D dimensions must be positive")
+        if padding not in ("same", "valid"):
+            raise ShapeError(f"padding must be 'same' or 'valid', got {padding!r}")
+        rng = rng or np.random.default_rng(0)
+        fan_in = kernel_size * kernel_size
+        scale = math.sqrt(2.0 / fan_in)
+        self.weight = rng.normal(0.0, scale, size=(kernel_size, kernel_size, channels))
+        self.bias = np.zeros(channels)
+        self.stride = stride
+        self.padding = padding
+
+    @property
+    def kernel_size(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def channels(self) -> int:
+        return self.weight.shape[2]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 4 or x.shape[3] != self.channels:
+            raise ShapeError(
+                f"{self.name}: expected NHWC input with {self.channels} channels, "
+                f"got shape {x.shape}"
+            )
+        patches, out_h, out_w = _im2col(
+            x, self.kernel_size, self.kernel_size, self.stride, self.stride,
+            self.padding,
+        )
+        batch = x.shape[0]
+        patches = patches.reshape(
+            batch, out_h, out_w, self.kernel_size * self.kernel_size, self.channels
+        )
+        kernel = self.weight.reshape(self.kernel_size * self.kernel_size, self.channels)
+        output = np.einsum("bhwkc,kc->bhwc", patches, kernel) + self.bias
+        return output
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        input_shape = _as_shape(input_shape)
+        if len(input_shape) != 3 or input_shape[2] != self.channels:
+            raise ShapeError(
+                f"{self.name}: expected per-sample shape (H, W, {self.channels}), "
+                f"got {input_shape}"
+            )
+        height, width, _ = input_shape
+        out_h = _conv_output_size(height, self.kernel_size, self.stride, self.padding)
+        out_w = _conv_output_size(width, self.kernel_size, self.stride, self.padding)
+        if out_h <= 0 or out_w <= 0:
+            raise ShapeError(f"{self.name}: input {input_shape} too small for kernel")
+        return (out_h, out_w, self.channels)
+
+    def num_params(self) -> int:
+        return self.weight.size + self.bias.size
+
+    def macs(self, input_shape: Shape) -> int:
+        out_h, out_w, channels = self.output_shape(input_shape)
+        return out_h * out_w * channels * self.kernel_size * self.kernel_size
+
+
+# ---------------------------------------------------------------------------
+# Pooling and reshaping
+# ---------------------------------------------------------------------------
+
+class _Pool2D(Layer):
+    """Shared plumbing for max/average pooling.
+
+    ``pool_size`` and ``stride`` accept either an int (square window) or an
+    ``(height, width)`` tuple, so 1-D-style models (ECG beats represented
+    as Hx1 images) can pool along the long axis only.
+    """
+
+    def __init__(self, pool_size: int | tuple[int, int] = 2,
+                 stride: int | tuple[int, int] | None = None,
+                 name: str | None = None) -> None:
+        super().__init__(name)
+        self.pool_h, self.pool_w = self._pair(pool_size, "pool size")
+        if stride is None:
+            self.stride_h, self.stride_w = self.pool_h, self.pool_w
+        else:
+            self.stride_h, self.stride_w = self._pair(stride, "stride")
+
+    @staticmethod
+    def _pair(value: int | tuple[int, int], what: str) -> tuple[int, int]:
+        if isinstance(value, tuple):
+            if len(value) != 2:
+                raise ShapeError(f"{what} tuple must have two entries")
+            first, second = int(value[0]), int(value[1])
+        else:
+            first = second = int(value)
+        if first <= 0 or second <= 0:
+            raise ShapeError(f"{what} must be positive")
+        return first, second
+
+    def _reduce(self, windows: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 4:
+            raise ShapeError(f"{self.name}: expected NHWC input, got shape {x.shape}")
+        patches, out_h, out_w = _im2col(
+            x, self.pool_h, self.pool_w, self.stride_h, self.stride_w, "valid"
+        )
+        batch, _, _, _ = x.shape
+        channels = x.shape[3]
+        windows = patches.reshape(
+            batch, out_h, out_w, self.pool_h * self.pool_w, channels
+        )
+        return self._reduce(windows)
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        input_shape = _as_shape(input_shape)
+        if len(input_shape) != 3:
+            raise ShapeError(f"{self.name}: expected (H, W, C), got {input_shape}")
+        height, width, channels = input_shape
+        if height < self.pool_h or width < self.pool_w:
+            raise ShapeError(f"{self.name}: input {input_shape} too small for pool")
+        out_h = _conv_output_size(height, self.pool_h, self.stride_h, "valid")
+        out_w = _conv_output_size(width, self.pool_w, self.stride_w, "valid")
+        if out_h <= 0 or out_w <= 0:
+            raise ShapeError(f"{self.name}: input {input_shape} too small for pool")
+        return (out_h, out_w, channels)
+
+
+class MaxPool2D(_Pool2D):
+    """Max pooling."""
+
+    def _reduce(self, windows: np.ndarray) -> np.ndarray:
+        return windows.max(axis=3)
+
+
+class AvgPool2D(_Pool2D):
+    """Average pooling."""
+
+    def _reduce(self, windows: np.ndarray) -> np.ndarray:
+        return windows.mean(axis=3)
+
+
+class GlobalAveragePool(Layer):
+    """Mean over the spatial dimensions of an NHWC tensor."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 4:
+            raise ShapeError(f"{self.name}: expected NHWC input, got shape {x.shape}")
+        return x.mean(axis=(1, 2))
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        input_shape = _as_shape(input_shape)
+        if len(input_shape) != 3:
+            raise ShapeError(f"{self.name}: expected (H, W, C), got {input_shape}")
+        return (input_shape[2],)
+
+
+class Flatten(Layer):
+    """Flatten all per-sample dimensions into one vector."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.ndim < 2:
+            raise ShapeError(f"{self.name}: expected a batched input, got shape {x.shape}")
+        return x.reshape(x.shape[0], -1)
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        input_shape = _as_shape(input_shape)
+        size = 1
+        for dim in input_shape:
+            size *= dim
+        return (size,)
+
+
+# ---------------------------------------------------------------------------
+# Activations and normalisation
+# ---------------------------------------------------------------------------
+
+class _Elementwise(Layer):
+    """Shared plumbing for shape-preserving elementwise layers."""
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return _as_shape(input_shape)
+
+
+class ReLU(_Elementwise):
+    """Rectified linear activation."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(np.asarray(x, dtype=float), 0.0)
+
+
+class Sigmoid(_Elementwise):
+    """Logistic activation."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        return 1.0 / (1.0 + np.exp(-x))
+
+
+class Tanh(_Elementwise):
+    """Hyperbolic tangent activation."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(np.asarray(x, dtype=float))
+
+
+class Softmax(_Elementwise):
+    """Softmax over the last axis (numerically stabilised)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        shifted = x - x.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=-1, keepdims=True)
+
+
+class BatchNorm(_Elementwise):
+    """Inference-time batch normalisation over the channel (last) axis."""
+
+    def __init__(self, channels: int, epsilon: float = 1e-5,
+                 name: str | None = None) -> None:
+        super().__init__(name)
+        if channels <= 0:
+            raise ShapeError("channel count must be positive")
+        if epsilon <= 0:
+            raise ShapeError("epsilon must be positive")
+        self.gamma = np.ones(channels)
+        self.beta = np.zeros(channels)
+        self.moving_mean = np.zeros(channels)
+        self.moving_var = np.ones(channels)
+        self.epsilon = epsilon
+
+    @property
+    def channels(self) -> int:
+        return self.gamma.size
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.shape[-1] != self.channels:
+            raise ShapeError(
+                f"{self.name}: expected last axis of {self.channels}, got {x.shape}"
+            )
+        scale = self.gamma / np.sqrt(self.moving_var + self.epsilon)
+        return (x - self.moving_mean) * scale + self.beta
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        input_shape = _as_shape(input_shape)
+        if input_shape[-1] != self.channels:
+            raise ShapeError(
+                f"{self.name}: expected last axis of {self.channels}, got {input_shape}"
+            )
+        return input_shape
+
+    def num_params(self) -> int:
+        return self.gamma.size + self.beta.size

@@ -1,0 +1,124 @@
+"""Sequential model container."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import GraphError, ShapeError
+from .layers import Layer, Shape
+
+
+class Sequential:
+    """An ordered chain of layers with a fixed per-sample input shape.
+
+    The input shape is declared up front so that shapes, parameter counts
+    and MAC counts for every layer can be computed without running data
+    through the model — that static profile is what the partitioner uses.
+    """
+
+    def __init__(self, input_shape: Shape, layers: Sequence[Layer] | None = None,
+                 name: str = "model") -> None:
+        input_shape = tuple(int(dim) for dim in input_shape)
+        if not input_shape or any(dim <= 0 for dim in input_shape):
+            raise ShapeError(f"input shape must be positive, got {input_shape}")
+        self.input_shape = input_shape
+        self.name = name
+        self.layers: list[Layer] = []
+        if layers:
+            for layer in layers:
+                self.add(layer)
+
+    def add(self, layer: Layer) -> "Sequential":
+        """Append a layer, validating shape compatibility immediately."""
+        if not isinstance(layer, Layer):
+            raise GraphError(f"expected a Layer, got {type(layer).__name__}")
+        # Raises ShapeError if the layer cannot accept the current output shape.
+        layer.output_shape(self.output_shape())
+        self.layers.append(layer)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self) -> Iterable[Layer]:
+        return iter(self.layers)
+
+    def layer_shapes(self) -> list[Shape]:
+        """Per-sample output shape after each layer (index 0 = input shape)."""
+        shapes = [self.input_shape]
+        for layer in self.layers:
+            shapes.append(layer.output_shape(shapes[-1]))
+        return shapes
+
+    def output_shape(self, upto_layer: int | None = None) -> Shape:
+        """Per-sample output shape after ``upto_layer`` layers (default: all)."""
+        shapes = self.layer_shapes()
+        if upto_layer is None:
+            return shapes[-1]
+        if not 0 <= upto_layer <= len(self.layers):
+            raise GraphError(
+                f"layer index {upto_layer} out of range for {len(self.layers)} layers"
+            )
+        return shapes[upto_layer]
+
+    def num_params(self) -> int:
+        """Total trainable parameters."""
+        return sum(layer.num_params() for layer in self.layers)
+
+    def total_macs(self) -> int:
+        """Total multiply-accumulates per inference."""
+        shapes = self.layer_shapes()
+        return sum(
+            layer.macs(shapes[index]) for index, layer in enumerate(self.layers)
+        )
+
+    def forward(self, x: np.ndarray, start: int = 0, stop: int | None = None) -> np.ndarray:
+        """Run layers ``start`` (inclusive) to ``stop`` (exclusive).
+
+        The default runs the whole model.  Partitioned execution uses the
+        same method: the leaf runs ``forward(x, 0, split)`` and the hub runs
+        ``forward(intermediate, split, None)``.
+        """
+        x = np.asarray(x, dtype=float)
+        if stop is None:
+            stop = len(self.layers)
+        if not 0 <= start <= stop <= len(self.layers):
+            raise GraphError(
+                f"invalid layer range [{start}, {stop}) for {len(self.layers)} layers"
+            )
+        if start == 0:
+            expected = self.input_shape
+            if x.shape[1:] != expected:
+                raise ShapeError(
+                    f"{self.name}: expected input of per-sample shape {expected}, "
+                    f"got {x.shape[1:]}"
+                )
+        for layer in self.layers[start:stop]:
+            x = layer.forward(x)
+        return x
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def predict_classes(self, x: np.ndarray) -> np.ndarray:
+        """Class index with the highest output score for each sample."""
+        output = self.forward(x)
+        if output.ndim != 2:
+            raise ShapeError("predict_classes requires a 2-D (batch, classes) output")
+        return np.argmax(output, axis=1)
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable per-layer summary (name, output shape, params, MACs)."""
+        lines = [f"model: {self.name}  input {self.input_shape}"]
+        shapes = self.layer_shapes()
+        for index, layer in enumerate(self.layers):
+            lines.append(
+                f"  [{index:2d}] {layer.name:<22s} out={shapes[index + 1]!s:<18s} "
+                f"params={layer.num_params():>8d} macs={layer.macs(shapes[index]):>10d}"
+            )
+        lines.append(
+            f"  total params={self.num_params()} macs={self.total_macs()}"
+        )
+        return lines

@@ -1,0 +1,92 @@
+"""Int8 quantisation for in-sensor deployment.
+
+ULP leaf nodes cannot afford floating-point inference; the in-sensor
+analytics path runs integer arithmetic.  This module provides symmetric
+per-tensor int8 quantisation for weights and activations plus a helper
+that quantises every weight tensor in a :class:`~repro.nn.model.Sequential`
+model in place (storing quantisation metadata on the layers) so that the
+accuracy impact of int8 deployment can be measured by the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .layers import BatchNorm, Conv2D, Dense, DepthwiseConv2D
+from .model import Sequential
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """A symmetric int8 quantised tensor with its scale."""
+
+    codes: np.ndarray
+    scale: float
+    bits: int = 8
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ConfigurationError("scale must be positive")
+        if not 1 <= self.bits <= 16:
+            raise ConfigurationError("bits must be in 1..16")
+
+    @property
+    def size_bits(self) -> float:
+        """Serialised size of the tensor in bits."""
+        return float(self.codes.size * self.bits)
+
+
+def quantize_tensor(values: np.ndarray, bits: int = 8) -> QuantizedTensor:
+    """Symmetric per-tensor quantisation of *values* to signed *bits*."""
+    values = np.asarray(values, dtype=float)
+    if not 1 <= bits <= 16:
+        raise ConfigurationError("bits must be in 1..16")
+    max_abs = float(np.max(np.abs(values))) if values.size else 0.0
+    q_max = (1 << (bits - 1)) - 1
+    scale = max_abs / q_max if max_abs > 0 else 1.0
+    codes = np.clip(np.round(values / scale), -q_max - 1, q_max).astype(np.int32)
+    return QuantizedTensor(codes=codes, scale=scale, bits=bits)
+
+
+def dequantize_tensor(quantized: QuantizedTensor) -> np.ndarray:
+    """Reconstruct float values from a quantised tensor."""
+    return quantized.codes.astype(float) * quantized.scale
+
+
+def quantization_error(values: np.ndarray, bits: int = 8) -> float:
+    """RMS error introduced by quantising *values* to *bits*."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return 0.0
+    reconstructed = dequantize_tensor(quantize_tensor(values, bits=bits))
+    return float(np.sqrt(np.mean((values - reconstructed) ** 2)))
+
+
+def quantize_model_weights(model: Sequential, bits: int = 8) -> dict[str, float]:
+    """Quantise-and-dequantise every weight tensor in *model* in place.
+
+    This emulates int8 deployment: the stored float weights are replaced
+    by their quantised reconstruction so subsequent forward passes reflect
+    quantisation error.  Returns the per-layer RMS weight error keyed by
+    layer name (useful for reporting accuracy/energy trade-offs).
+    """
+    if not 1 <= bits <= 16:
+        raise ConfigurationError("bits must be in 1..16")
+    errors: dict[str, float] = {}
+    for layer in model.layers:
+        if isinstance(layer, (Dense, Conv2D, DepthwiseConv2D)):
+            original = layer.weight.copy()
+            layer.weight = dequantize_tensor(quantize_tensor(layer.weight, bits=bits))
+            errors[layer.name] = float(
+                np.sqrt(np.mean((original - layer.weight) ** 2))
+            )
+        elif isinstance(layer, BatchNorm):
+            for attr in ("gamma", "beta"):
+                original = getattr(layer, attr)
+                setattr(layer, attr,
+                        dequantize_tensor(quantize_tensor(original, bits=bits)))
+            errors[layer.name] = 0.0
+    return errors

@@ -1,0 +1,268 @@
+"""Minibatch SGD training for small dense classifiers.
+
+The paper's workloads arrive as *trained* models on the hub; for the
+reproduction the energy/latency analysis only needs architectures and
+tensor shapes (random weights suffice).  Training support exists so the
+examples can demonstrate a complete loop — synthetic sensor data in,
+learned classifier out, partitioned deployment — and so accuracy can be
+reported alongside energy when int8 quantisation or feature-extraction
+choices are ablated.
+
+The trainer covers the layer types used by the dense model-zoo members
+(``Dense``, ``ReLU``, ``Tanh``, ``Sigmoid``, ``Flatten``, ``BatchNorm``
+and a terminal ``Softmax``) with categorical cross-entropy loss and
+SGD + momentum.  Convolutional models are intentionally out of scope —
+training them in pure numpy would be slow and adds nothing to the
+reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError, GraphError
+from .layers import BatchNorm, Dense, Flatten, ReLU, Sigmoid, Softmax, Tanh
+from .model import Sequential
+
+_SUPPORTED_HIDDEN = (Dense, ReLU, Tanh, Sigmoid, Flatten, BatchNorm)
+
+
+@dataclass
+class TrainingHistory:
+    """Loss and accuracy per epoch."""
+
+    losses: list[float] = field(default_factory=list)
+    accuracies: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        """Loss of the last epoch."""
+        if not self.losses:
+            raise ConfigurationError("no epochs recorded")
+        return self.losses[-1]
+
+    @property
+    def final_accuracy(self) -> float:
+        """Training accuracy of the last epoch."""
+        if not self.accuracies:
+            raise ConfigurationError("no epochs recorded")
+        return self.accuracies[-1]
+
+
+class SGDTrainer:
+    """Minibatch SGD + momentum trainer for dense classifiers.
+
+    Parameters
+    ----------
+    model:
+        A :class:`Sequential` whose hidden layers are all in the supported
+        set and whose final layer is :class:`Softmax`.
+    learning_rate / momentum / weight_decay:
+        Standard SGD hyperparameters.
+    """
+
+    def __init__(self, model: Sequential, learning_rate: float = 0.05,
+                 momentum: float = 0.9, weight_decay: float = 0.0) -> None:
+        if learning_rate <= 0:
+            raise ConfigurationError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError("momentum must be in [0, 1)")
+        if weight_decay < 0:
+            raise ConfigurationError("weight decay must be non-negative")
+        self._validate_model(model)
+        self.model = model
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: dict[int, dict[str, np.ndarray]] = {}
+
+    @staticmethod
+    def _validate_model(model: Sequential) -> None:
+        if not model.layers:
+            raise GraphError("cannot train an empty model")
+        if not isinstance(model.layers[-1], Softmax):
+            raise GraphError("the trainer requires a terminal Softmax layer")
+        for layer in model.layers[:-1]:
+            if not isinstance(layer, _SUPPORTED_HIDDEN):
+                raise GraphError(
+                    f"layer {layer.name!r} ({type(layer).__name__}) is not "
+                    "supported by the dense trainer"
+                )
+
+    # -- forward / backward ------------------------------------------------------
+    def _forward_with_cache(self, x: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        cache = [x]
+        activation = x
+        for layer in self.model.layers:
+            activation = layer.forward(activation)
+            cache.append(activation)
+        return activation, cache
+
+    def _backward(self, cache: list[np.ndarray], labels: np.ndarray,
+                  ) -> dict[int, dict[str, np.ndarray]]:
+        batch = labels.shape[0]
+        probabilities = cache[-1]
+        one_hot = np.zeros_like(probabilities)
+        one_hot[np.arange(batch), labels] = 1.0
+        # Combined Softmax + cross-entropy gradient w.r.t. the logits.
+        gradient = (probabilities - one_hot) / batch
+
+        gradients: dict[int, dict[str, np.ndarray]] = {}
+        # Skip the Softmax layer itself (its gradient is folded in above).
+        for index in range(len(self.model.layers) - 2, -1, -1):
+            layer = self.model.layers[index]
+            layer_input = cache[index]
+            layer_output = cache[index + 1]
+            if isinstance(layer, Dense):
+                gradients[index] = {
+                    "weight": layer_input.T @ gradient
+                    + self.weight_decay * layer.weight,
+                    "bias": gradient.sum(axis=0),
+                }
+                gradient = gradient @ layer.weight.T
+            elif isinstance(layer, ReLU):
+                gradient = gradient * (layer_input > 0.0)
+            elif isinstance(layer, Tanh):
+                gradient = gradient * (1.0 - layer_output ** 2)
+            elif isinstance(layer, Sigmoid):
+                gradient = gradient * layer_output * (1.0 - layer_output)
+            elif isinstance(layer, Flatten):
+                gradient = gradient.reshape(layer_input.shape)
+            elif isinstance(layer, BatchNorm):
+                scale = layer.gamma / np.sqrt(layer.moving_var + layer.epsilon)
+                normalised = (layer_input - layer.moving_mean) * (
+                    1.0 / np.sqrt(layer.moving_var + layer.epsilon)
+                )
+                axes = tuple(range(gradient.ndim - 1))
+                gradients[index] = {
+                    "gamma": (gradient * normalised).sum(axis=axes),
+                    "beta": gradient.sum(axis=axes),
+                }
+                gradient = gradient * scale
+            else:  # pragma: no cover - _validate_model prevents this
+                raise GraphError(f"unsupported layer in backward pass: {layer!r}")
+        return gradients
+
+    def _apply(self, gradients: dict[int, dict[str, np.ndarray]]) -> None:
+        for index, grads in gradients.items():
+            layer = self.model.layers[index]
+            state = self._velocity.setdefault(index, {})
+            for name, grad in grads.items():
+                parameter = getattr(layer, name if name not in ("weight", "bias")
+                                    else name)
+                velocity = state.get(name)
+                if velocity is None:
+                    velocity = np.zeros_like(parameter)
+                velocity = self.momentum * velocity - self.learning_rate * grad
+                state[name] = velocity
+                setattr(layer, name, parameter + velocity)
+
+    # -- public API --------------------------------------------------------------
+    def train_step(self, x: np.ndarray, labels: np.ndarray) -> float:
+        """One SGD step on a minibatch; returns the batch loss."""
+        x = np.asarray(x, dtype=float)
+        labels = np.asarray(labels, dtype=int)
+        if x.shape[0] != labels.shape[0]:
+            raise ConfigurationError("inputs and labels must have the same length")
+        probabilities, cache = self._forward_with_cache(x)
+        loss = cross_entropy_loss(probabilities, labels)
+        self._apply(self._backward(cache, labels))
+        return loss
+
+    def fit(self, x: np.ndarray, labels: np.ndarray, epochs: int = 20,
+            batch_size: int = 32,
+            rng: np.random.Generator | int | None = 0) -> TrainingHistory:
+        """Train for *epochs* passes over the dataset."""
+        x = np.asarray(x, dtype=float)
+        labels = np.asarray(labels, dtype=int)
+        if epochs <= 0:
+            raise ConfigurationError("epochs must be positive")
+        if batch_size <= 0:
+            raise ConfigurationError("batch size must be positive")
+        if x.shape[0] != labels.shape[0] or x.shape[0] == 0:
+            raise ConfigurationError("dataset must be non-empty and consistent")
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+
+        history = TrainingHistory()
+        n_samples = x.shape[0]
+        for _ in range(epochs):
+            order = rng.permutation(n_samples)
+            epoch_loss = 0.0
+            for start in range(0, n_samples, batch_size):
+                batch_index = order[start:start + batch_size]
+                epoch_loss += self.train_step(x[batch_index], labels[batch_index]) \
+                    * len(batch_index)
+            history.losses.append(epoch_loss / n_samples)
+            history.accuracies.append(accuracy(self.model, x, labels))
+        return history
+
+
+def cross_entropy_loss(probabilities: np.ndarray, labels: np.ndarray) -> float:
+    """Mean categorical cross-entropy of softmax outputs."""
+    probabilities = np.asarray(probabilities, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    if probabilities.ndim != 2:
+        raise ConfigurationError("probabilities must be (batch, classes)")
+    if labels.shape[0] != probabilities.shape[0]:
+        raise ConfigurationError("labels and probabilities must align")
+    picked = probabilities[np.arange(labels.shape[0]), labels]
+    return float(-np.mean(np.log(np.clip(picked, 1e-12, 1.0))))
+
+
+def accuracy(model: Sequential, x: np.ndarray, labels: np.ndarray) -> float:
+    """Classification accuracy of *model* on a labelled dataset."""
+    labels = np.asarray(labels, dtype=int)
+    predictions = model.predict_classes(np.asarray(x, dtype=float))
+    if predictions.shape[0] != labels.shape[0]:
+        raise ConfigurationError("dataset and predictions must align")
+    return float(np.mean(predictions == labels))
+
+
+def make_imu_har_dataset(windows_per_class: int = 20,
+                         window_seconds: float = 2.0,
+                         rng: np.random.Generator | int | None = 0,
+                         ) -> tuple[np.ndarray, np.ndarray, list[str]]:
+    """Build a labelled HAR dataset of IMU window features.
+
+    Combines :class:`repro.sensors.imu.IMUGenerator` and
+    :func:`repro.isa.features.imu_window_features` into the feature matrix
+    the ``imu_har`` zoo model consumes (36 features per window).
+    """
+    from ..isa.features import imu_window_features
+    from ..sensors.imu import IMUGenerator
+
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    generator = IMUGenerator()
+    windows, labels, class_names = generator.generate_labelled_windows(
+        window_seconds, windows_per_class, rng=rng,
+    )
+    features = np.stack([imu_window_features(window) for window in windows])
+    # Per-feature standardisation keeps SGD well-conditioned.
+    mean = features.mean(axis=0)
+    std = features.std(axis=0)
+    std[std == 0.0] = 1.0
+    features = (features - mean) / std
+    return features, labels, class_names
+
+
+def train_imu_har_classifier(windows_per_class: int = 20, epochs: int = 30,
+                             seed: int = 0) -> tuple[Sequential, TrainingHistory]:
+    """Train the ``imu_har`` zoo model on synthetic IMU data.
+
+    Returns the trained model and its training history; used by the
+    activity-recognition example and the quantisation-accuracy tests.
+    """
+    from .zoo import imu_har_mlp
+
+    features, labels, class_names = make_imu_har_dataset(
+        windows_per_class=windows_per_class, rng=seed,
+    )
+    model = imu_har_mlp(n_features=features.shape[1],
+                        n_classes=len(class_names), seed=seed)
+    trainer = SGDTrainer(model, learning_rate=0.05, momentum=0.9)
+    history = trainer.fit(features, labels, epochs=epochs, batch_size=16, rng=seed)
+    return model, history

@@ -1,0 +1,189 @@
+"""Model zoo: the wearable-AI workloads the paper's device classes imply.
+
+Each builder returns an untrained (randomly initialised) but fully
+executable :class:`~repro.nn.model.Sequential` model whose architecture
+and input geometry match a realistic wearable workload:
+
+* :func:`keyword_spotting_cnn` — audio pins / pocket assistants: a small
+  CNN over log-mel spectrogram patches (Google Speech-Commands scale).
+* :func:`ecg_arrhythmia_cnn` — biopotential patches: a 1-D-style CNN over
+  one ECG beat window (implemented as Hx1 images).
+* :func:`mobilenet_tiny` — camera glasses / AI pins with cameras: a
+  depthwise-separable CNN over QVGA-downscaled frames.
+* :func:`imu_har_mlp` — smart rings / fitness trackers: an MLP over IMU
+  window features for human activity recognition.
+
+Architectural fidelity (layer mix, tensor shapes, MAC counts) is what the
+partitioning experiments need; trained weights are not, because energy and
+latency do not depend on the weight values.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .layers import (
+    AvgPool2D,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Flatten,
+    GlobalAveragePool,
+    MaxPool2D,
+    ReLU,
+    Softmax,
+)
+from .model import Sequential
+
+
+def keyword_spotting_cnn(n_mels: int = 40, n_frames: int = 49,
+                         n_classes: int = 12,
+                         seed: int = 0) -> Sequential:
+    """Small keyword-spotting CNN over a (frames, mels, 1) spectrogram."""
+    if min(n_mels, n_frames, n_classes) <= 0:
+        raise ConfigurationError("model dimensions must be positive")
+    rng = np.random.default_rng(seed)
+    model = Sequential(input_shape=(n_frames, n_mels, 1), name="keyword_spotting_cnn")
+    model.add(Conv2D(1, 16, kernel_size=3, stride=1, padding="same", rng=rng,
+                     name="conv1"))
+    model.add(BatchNorm(16, name="bn1"))
+    model.add(ReLU(name="relu1"))
+    model.add(MaxPool2D(pool_size=2, name="pool1"))
+    model.add(Conv2D(16, 32, kernel_size=3, stride=1, padding="same", rng=rng,
+                     name="conv2"))
+    model.add(BatchNorm(32, name="bn2"))
+    model.add(ReLU(name="relu2"))
+    model.add(MaxPool2D(pool_size=2, name="pool2"))
+    model.add(Conv2D(32, 64, kernel_size=3, stride=1, padding="same", rng=rng,
+                     name="conv3"))
+    model.add(ReLU(name="relu3"))
+    model.add(GlobalAveragePool(name="gap"))
+    model.add(Dense(64, 64, rng=rng, name="fc1"))
+    model.add(ReLU(name="relu4"))
+    model.add(Dense(64, n_classes, rng=rng, name="fc2"))
+    model.add(Softmax(name="softmax"))
+    return model
+
+
+def ecg_arrhythmia_cnn(window_samples: int = 256, n_classes: int = 5,
+                       seed: int = 0) -> Sequential:
+    """1-D CNN for beat-level arrhythmia classification.
+
+    The single-lead beat window is represented as a ``(window, 1, 1)``
+    image so the same Conv2D machinery applies (kernel height acts as the
+    1-D kernel length).
+    """
+    if window_samples < 32 or n_classes <= 0:
+        raise ConfigurationError("window must be >= 32 samples and classes positive")
+    rng = np.random.default_rng(seed)
+    model = Sequential(input_shape=(window_samples, 1, 1), name="ecg_arrhythmia_cnn")
+    model.add(Conv2D(1, 8, kernel_size=5, stride=1, padding="same", rng=rng,
+                     name="conv1"))
+    model.add(ReLU(name="relu1"))
+    model.add(MaxPool2D(pool_size=(2, 1), name="pool1"))
+    model.add(Conv2D(8, 16, kernel_size=5, stride=1, padding="same", rng=rng,
+                     name="conv2"))
+    model.add(ReLU(name="relu2"))
+    model.add(MaxPool2D(pool_size=(2, 1), name="pool2"))
+    model.add(Conv2D(16, 32, kernel_size=3, stride=1, padding="same", rng=rng,
+                     name="conv3"))
+    model.add(ReLU(name="relu3"))
+    model.add(GlobalAveragePool(name="gap"))
+    model.add(Dense(32, 32, rng=rng, name="fc1"))
+    model.add(ReLU(name="relu4"))
+    model.add(Dense(32, n_classes, rng=rng, name="fc2"))
+    model.add(Softmax(name="softmax"))
+    return model
+
+
+def _separable_block(model: Sequential, in_channels: int, out_channels: int,
+                     stride: int, rng: np.random.Generator, index: int) -> None:
+    model.add(DepthwiseConv2D(in_channels, kernel_size=3, stride=stride,
+                              padding="same", rng=rng, name=f"dwconv{index}"))
+    model.add(BatchNorm(in_channels, name=f"bn_dw{index}"))
+    model.add(ReLU(name=f"relu_dw{index}"))
+    model.add(Conv2D(in_channels, out_channels, kernel_size=1, stride=1,
+                     padding="same", rng=rng, name=f"pwconv{index}"))
+    model.add(BatchNorm(out_channels, name=f"bn_pw{index}"))
+    model.add(ReLU(name=f"relu_pw{index}"))
+
+
+def mobilenet_tiny(input_size: int = 96, n_classes: int = 10,
+                   width_multiplier: float = 0.5,
+                   seed: int = 0) -> Sequential:
+    """MobileNet-style depthwise-separable CNN for on-body vision.
+
+    Sized like the "visual wake words" models used on embedded cameras:
+    96x96 greyscale input, 0.5 width multiplier, ~7 separable blocks
+    (about 15 M MACs per frame — the heaviest workload in the zoo, as a
+    camera node's model should be).
+    """
+    if input_size < 32 or n_classes <= 0:
+        raise ConfigurationError("input must be >= 32 px and classes positive")
+    if not 0.0 < width_multiplier <= 1.0:
+        raise ConfigurationError("width multiplier must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+
+    def width(channels: int) -> int:
+        return max(int(round(channels * width_multiplier)), 4)
+
+    model = Sequential(input_shape=(input_size, input_size, 1), name="mobilenet_tiny")
+    model.add(Conv2D(1, width(32), kernel_size=3, stride=2, padding="same", rng=rng,
+                     name="conv_stem"))
+    model.add(BatchNorm(width(32), name="bn_stem"))
+    model.add(ReLU(name="relu_stem"))
+    channel_plan = [
+        (width(32), width(64), 1),
+        (width(64), width(128), 2),
+        (width(128), width(128), 1),
+        (width(128), width(256), 2),
+        (width(256), width(256), 1),
+        (width(256), width(512), 2),
+        (width(512), width(512), 1),
+    ]
+    for index, (c_in, c_out, stride) in enumerate(channel_plan, start=1):
+        _separable_block(model, c_in, c_out, stride, rng, index)
+    model.add(GlobalAveragePool(name="gap"))
+    model.add(Dense(channel_plan[-1][1], n_classes, rng=rng, name="classifier"))
+    model.add(Softmax(name="softmax"))
+    return model
+
+
+def imu_har_mlp(n_features: int = 36, n_classes: int = 5, hidden: int = 64,
+                seed: int = 0) -> Sequential:
+    """MLP over IMU window features for human activity recognition."""
+    if min(n_features, n_classes, hidden) <= 0:
+        raise ConfigurationError("model dimensions must be positive")
+    rng = np.random.default_rng(seed)
+    model = Sequential(input_shape=(n_features,), name="imu_har_mlp")
+    model.add(Dense(n_features, hidden, rng=rng, name="fc1"))
+    model.add(ReLU(name="relu1"))
+    model.add(Dense(hidden, hidden, rng=rng, name="fc2"))
+    model.add(ReLU(name="relu2"))
+    model.add(Dense(hidden, n_classes, rng=rng, name="fc3"))
+    model.add(Softmax(name="softmax"))
+    return model
+
+
+#: Registry mapping workload names to model builders.
+MODEL_ZOO: dict[str, Callable[..., Sequential]] = {
+    "keyword_spotting": keyword_spotting_cnn,
+    "ecg_arrhythmia": ecg_arrhythmia_cnn,
+    "vision_tiny": mobilenet_tiny,
+    "imu_har": imu_har_mlp,
+}
+
+
+def build_model(name: str, **kwargs: object) -> Sequential:
+    """Construct a zoo model by name."""
+    try:
+        builder = MODEL_ZOO[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown model {name!r}; available: {sorted(MODEL_ZOO)}"
+        ) from exc
+    return builder(**kwargs)

@@ -1,0 +1,48 @@
+"""Sensor substrate: modalities, analog front ends, synthetic signals.
+
+Fig. 3 of the paper plots battery life against node data rate, with the
+sensing power "characterized as a function of data rate with a survey of
+past literature and commercially available analog front-ends".  This
+package provides that survey model (:mod:`repro.sensors.frontend`), a
+catalog of the sensing modalities the paper names
+(:mod:`repro.sensors.catalog`), and synthetic signal generators used by
+the examples and the network simulator.
+"""
+
+from .catalog import (
+    SensorModality,
+    ModalitySpec,
+    MODALITY_CATALOG,
+    modality_spec,
+    modality_data_rate_bps,
+)
+from .frontend import (
+    AFESurveyModel,
+    AFESurveyPoint,
+    sensing_power_watts,
+    DEFAULT_SURVEY_POINTS,
+)
+from .biopotential import ECGGenerator, EMGGenerator, EEGGenerator
+from .imu import IMUGenerator
+from .audio import AudioGenerator
+from .video import VideoGenerator
+from .ppg import PPGGenerator
+
+__all__ = [
+    "SensorModality",
+    "ModalitySpec",
+    "MODALITY_CATALOG",
+    "modality_spec",
+    "modality_data_rate_bps",
+    "AFESurveyModel",
+    "AFESurveyPoint",
+    "sensing_power_watts",
+    "DEFAULT_SURVEY_POINTS",
+    "ECGGenerator",
+    "EMGGenerator",
+    "EEGGenerator",
+    "IMUGenerator",
+    "AudioGenerator",
+    "VideoGenerator",
+    "PPGGenerator",
+]

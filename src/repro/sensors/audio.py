@@ -1,0 +1,93 @@
+"""Synthetic audio generator for voice-interface workloads.
+
+Voice-based wearable AI (AI pins, pocket assistants, pendants) streams
+microphone audio — or features extracted from it — to the hub.  The
+generator synthesises formant-like voiced segments separated by silence so
+keyword-spotting style workloads see realistic voice activity patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class AudioGenerator:
+    """Synthetic speech-like audio.
+
+    The waveform alternates silence and "utterances".  Each utterance is a
+    harmonic series at a randomised fundamental (approximating voiced
+    speech) shaped by an envelope; background noise is added throughout.
+    """
+
+    sample_rate_hz: float = 16_000.0
+    utterance_rate_hz: float = 0.2
+    utterance_duration_seconds: float = 1.0
+    fundamental_hz: float = 160.0
+    noise_level: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.sample_rate_hz <= 0:
+            raise ConfigurationError("sample rate must be positive")
+        if self.utterance_rate_hz < 0:
+            raise ConfigurationError("utterance rate must be non-negative")
+        if self.utterance_duration_seconds <= 0:
+            raise ConfigurationError("utterance duration must be positive")
+        if self.fundamental_hz <= 0:
+            raise ConfigurationError("fundamental must be positive")
+        if self.noise_level < 0:
+            raise ConfigurationError("noise level must be non-negative")
+
+    def generate(self, duration_seconds: float,
+                 rng: np.random.Generator | int | None = None) -> np.ndarray:
+        """Generate *duration_seconds* of mono audio in [-1, 1]."""
+        if duration_seconds <= 0:
+            raise ConfigurationError("duration must be positive")
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        n_samples = int(round(duration_seconds * self.sample_rate_hz))
+        t = np.arange(n_samples) / self.sample_rate_hz
+        signal = rng.standard_normal(n_samples) * self.noise_level
+
+        n_utterances = rng.poisson(self.utterance_rate_hz * duration_seconds)
+        for _ in range(n_utterances):
+            start = rng.uniform(
+                0.0, max(duration_seconds - self.utterance_duration_seconds, 0.0)
+            )
+            mask = (t >= start) & (t < start + self.utterance_duration_seconds)
+            local_t = t[mask] - start
+            fundamental = self.fundamental_hz * (1.0 + 0.2 * rng.standard_normal())
+            fundamental = max(fundamental, 60.0)
+            envelope = np.sin(np.pi * local_t / self.utterance_duration_seconds) ** 2
+            utterance = np.zeros_like(local_t)
+            for harmonic, weight in ((1, 1.0), (2, 0.6), (3, 0.4), (4, 0.2)):
+                phase = rng.uniform(0.0, 2.0 * np.pi)
+                utterance += weight * np.sin(
+                    2.0 * np.pi * harmonic * fundamental * local_t + phase
+                )
+            signal[mask] += 0.3 * envelope * utterance
+        return np.clip(signal, -1.0, 1.0)
+
+    def voice_activity(self, signal: np.ndarray,
+                       frame_seconds: float = 0.02,
+                       threshold: float = 0.02) -> np.ndarray:
+        """Simple energy-based voice-activity decision per frame."""
+        if frame_seconds <= 0:
+            raise ConfigurationError("frame length must be positive")
+        frame = max(int(round(frame_seconds * self.sample_rate_hz)), 1)
+        n_frames = len(signal) // frame
+        if n_frames == 0:
+            return np.zeros(0, dtype=bool)
+        trimmed = np.asarray(signal[: n_frames * frame], dtype=float)
+        energy = np.sqrt(np.mean(trimmed.reshape(n_frames, frame) ** 2, axis=1))
+        return energy > threshold
+
+    def data_rate_bps(self, bits_per_sample: int = 16) -> float:
+        """Raw PCM data rate of the microphone stream."""
+        if bits_per_sample <= 0:
+            raise ConfigurationError("bits per sample must be positive")
+        return self.sample_rate_hz * bits_per_sample

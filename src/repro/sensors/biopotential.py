@@ -1,0 +1,229 @@
+"""Synthetic biopotential signal generators (ECG, EMG, EEG).
+
+The paper's leaf nodes stream biopotential signals (ECG near the chest,
+EMG on the limbs, EEG/ECoG on the head) to the hub.  Clinical recordings
+are not redistributable offline, so these generators synthesise signals
+with the right morphology, bandwidth and amplitude statistics: a PQRST
+template train for ECG, burst-modulated coloured noise for EMG, and a
+band-mixed oscillation model for EEG.  They are used by the examples, the
+ISA feature extractors and the end-to-end network simulation workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+def _require_positive(value: float, name: str) -> float:
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")
+    return float(value)
+
+
+def _make_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+@dataclass
+class ECGGenerator:
+    """Synthetic single-lead ECG with PQRST morphology.
+
+    The waveform is a sum of Gaussian bumps per beat (P, Q, R, S, T waves)
+    placed on a beat grid with configurable heart rate and heart-rate
+    variability, plus baseline wander and measurement noise.  Amplitudes
+    are in millivolts, matching skin-electrode levels.
+    """
+
+    sample_rate_hz: float = 250.0
+    heart_rate_bpm: float = 70.0
+    heart_rate_variability: float = 0.03
+    noise_mv: float = 0.02
+    baseline_wander_mv: float = 0.05
+
+    #: (delay fraction of beat, width fraction of beat, amplitude mV)
+    _WAVES = (
+        ("P", -0.25, 0.035, 0.12),
+        ("Q", -0.05, 0.012, -0.15),
+        ("R", 0.0, 0.015, 1.0),
+        ("S", 0.05, 0.012, -0.25),
+        ("T", 0.30, 0.060, 0.30),
+    )
+
+    def __post_init__(self) -> None:
+        _require_positive(self.sample_rate_hz, "sample rate")
+        _require_positive(self.heart_rate_bpm, "heart rate")
+        if self.heart_rate_variability < 0 or self.heart_rate_variability >= 0.5:
+            raise ConfigurationError("heart rate variability must be in [0, 0.5)")
+        if self.noise_mv < 0 or self.baseline_wander_mv < 0:
+            raise ConfigurationError("noise amplitudes must be non-negative")
+
+    def beat_interval_seconds(self) -> float:
+        """Mean interval between R peaks."""
+        return 60.0 / self.heart_rate_bpm
+
+    def generate(self, duration_seconds: float,
+                 rng: np.random.Generator | int | None = None) -> np.ndarray:
+        """Generate *duration_seconds* of ECG in millivolts."""
+        _require_positive(duration_seconds, "duration")
+        rng = _make_rng(rng)
+        n_samples = int(round(duration_seconds * self.sample_rate_hz))
+        t = np.arange(n_samples) / self.sample_rate_hz
+        signal = np.zeros(n_samples)
+
+        r_peak_times = self.r_peak_times(duration_seconds, rng)
+        mean_interval = self.beat_interval_seconds()
+        for r_time in r_peak_times:
+            for _name, delay, width, amplitude in self._WAVES:
+                center = r_time + delay * mean_interval
+                sigma = width * mean_interval
+                signal += amplitude * np.exp(-0.5 * ((t - center) / sigma) ** 2)
+
+        if self.baseline_wander_mv > 0:
+            wander_freq = 0.3
+            phase = rng.uniform(0.0, 2.0 * np.pi)
+            signal += self.baseline_wander_mv * np.sin(
+                2.0 * np.pi * wander_freq * t + phase
+            )
+        if self.noise_mv > 0:
+            signal += rng.normal(0.0, self.noise_mv, size=n_samples)
+        return signal
+
+    def r_peak_times(self, duration_seconds: float,
+                     rng: np.random.Generator | int | None = None) -> np.ndarray:
+        """Ground-truth R-peak times for a *duration_seconds* recording."""
+        _require_positive(duration_seconds, "duration")
+        rng = _make_rng(rng)
+        mean_interval = self.beat_interval_seconds()
+        times = []
+        current = mean_interval * 0.5
+        while current < duration_seconds:
+            times.append(current)
+            jitter = 1.0 + self.heart_rate_variability * rng.standard_normal()
+            current += mean_interval * max(jitter, 0.5)
+        return np.asarray(times)
+
+    def data_rate_bps(self, bits_per_sample: int = 12) -> float:
+        """Raw output data rate of the digitised lead."""
+        if bits_per_sample <= 0:
+            raise ConfigurationError("bits per sample must be positive")
+        return self.sample_rate_hz * bits_per_sample
+
+
+@dataclass
+class EMGGenerator:
+    """Synthetic surface EMG: burst-modulated band-limited noise.
+
+    Muscle activations are modelled as random bursts whose envelope
+    modulates zero-mean noise band-passed to the 20--450 Hz EMG band.
+    """
+
+    sample_rate_hz: float = 1000.0
+    channels: int = 4
+    burst_rate_hz: float = 0.5
+    burst_duration_seconds: float = 0.4
+    rest_amplitude_mv: float = 0.01
+    burst_amplitude_mv: float = 0.5
+
+    def __post_init__(self) -> None:
+        _require_positive(self.sample_rate_hz, "sample rate")
+        if self.channels <= 0:
+            raise ConfigurationError("channel count must be positive")
+        _require_positive(self.burst_rate_hz, "burst rate")
+        _require_positive(self.burst_duration_seconds, "burst duration")
+        if self.rest_amplitude_mv < 0 or self.burst_amplitude_mv < 0:
+            raise ConfigurationError("amplitudes must be non-negative")
+
+    def generate(self, duration_seconds: float,
+                 rng: np.random.Generator | int | None = None) -> np.ndarray:
+        """Generate EMG of shape ``(channels, samples)`` in millivolts."""
+        _require_positive(duration_seconds, "duration")
+        rng = _make_rng(rng)
+        n_samples = int(round(duration_seconds * self.sample_rate_hz))
+        t = np.arange(n_samples) / self.sample_rate_hz
+
+        envelope = np.full(n_samples, self.rest_amplitude_mv)
+        n_bursts = rng.poisson(self.burst_rate_hz * duration_seconds)
+        for _ in range(n_bursts):
+            start = rng.uniform(0.0, max(duration_seconds - self.burst_duration_seconds, 0.0))
+            mask = (t >= start) & (t < start + self.burst_duration_seconds)
+            ramp = np.sin(
+                np.pi * (t[mask] - start) / self.burst_duration_seconds
+            ) ** 2
+            envelope[mask] = np.maximum(
+                envelope[mask], self.rest_amplitude_mv + self.burst_amplitude_mv * ramp
+            )
+
+        signal = rng.standard_normal((self.channels, n_samples)) * envelope
+        # Crude band-pass: difference filter removes DC, moving average caps HF.
+        signal = np.diff(signal, axis=1, prepend=signal[:, :1])
+        kernel = np.ones(3) / 3.0
+        for ch in range(self.channels):
+            signal[ch] = np.convolve(signal[ch], kernel, mode="same")
+        return signal
+
+    def data_rate_bps(self, bits_per_sample: int = 12) -> float:
+        """Raw output data rate across all channels."""
+        if bits_per_sample <= 0:
+            raise ConfigurationError("bits per sample must be positive")
+        return self.sample_rate_hz * bits_per_sample * self.channels
+
+
+@dataclass
+class EEGGenerator:
+    """Synthetic multi-channel EEG as a mixture of canonical bands.
+
+    Each channel mixes delta/theta/alpha/beta oscillations with 1/f
+    background noise; the alpha-band weight can be modulated to emulate
+    eyes-open/eyes-closed state changes used by the example applications.
+    """
+
+    sample_rate_hz: float = 256.0
+    channels: int = 8
+    alpha_power: float = 1.0
+    noise_uv: float = 2.0
+
+    _BANDS = (
+        ("delta", 2.0, 4.0),
+        ("theta", 6.0, 2.0),
+        ("alpha", 10.0, 5.0),
+        ("beta", 20.0, 1.0),
+    )
+
+    def __post_init__(self) -> None:
+        _require_positive(self.sample_rate_hz, "sample rate")
+        if self.channels <= 0:
+            raise ConfigurationError("channel count must be positive")
+        if self.alpha_power < 0:
+            raise ConfigurationError("alpha power must be non-negative")
+        if self.noise_uv < 0:
+            raise ConfigurationError("noise must be non-negative")
+
+    def generate(self, duration_seconds: float,
+                 rng: np.random.Generator | int | None = None) -> np.ndarray:
+        """Generate EEG of shape ``(channels, samples)`` in microvolts."""
+        _require_positive(duration_seconds, "duration")
+        rng = _make_rng(rng)
+        n_samples = int(round(duration_seconds * self.sample_rate_hz))
+        t = np.arange(n_samples) / self.sample_rate_hz
+        signal = np.zeros((self.channels, n_samples))
+        for ch in range(self.channels):
+            for name, freq, amplitude in self._BANDS:
+                if name == "alpha":
+                    amplitude = amplitude * self.alpha_power
+                phase = rng.uniform(0.0, 2.0 * np.pi)
+                drift = 1.0 + 0.05 * rng.standard_normal()
+                signal[ch] += amplitude * np.sin(2.0 * np.pi * freq * drift * t + phase)
+            signal[ch] += rng.standard_normal(n_samples) * self.noise_uv
+        return signal
+
+    def data_rate_bps(self, bits_per_sample: int = 16) -> float:
+        """Raw output data rate across all channels."""
+        if bits_per_sample <= 0:
+            raise ConfigurationError("bits per sample must be positive")
+        return self.sample_rate_hz * bits_per_sample * self.channels

@@ -1,0 +1,160 @@
+"""Catalog of wearable sensing modalities and their data rates.
+
+The modalities are the ones the paper names explicitly: biopotential
+signals (ECG, EMG, EEG), photoplethysmography and other fitness-tracking
+channels, inertial motion, audio for voice interfaces, and first-person
+video.  Each entry records the native sampling parameters from which the
+raw data rate follows, plus a typical compressed rate when in-sensor
+analytics (ISA) or codec compression is applied — the two x-axis
+positions a device class occupies in Fig. 3.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+class SensorModality(enum.Enum):
+    """Sensing modalities considered by the experiments."""
+
+    TEMPERATURE = "temperature"
+    PPG = "ppg"
+    ECG = "ecg"
+    EMG = "emg"
+    EEG = "eeg"
+    IMU = "imu"
+    AUDIO = "audio"
+    VIDEO_QVGA = "video_qvga"
+    VIDEO_720P = "video_720p"
+
+
+@dataclass(frozen=True)
+class ModalitySpec:
+    """Sampling parameters and rates for one sensing modality."""
+
+    modality: SensorModality
+    description: str
+    sample_rate_hz: float
+    bits_per_sample: int
+    channels: int
+    compressed_rate_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.sample_rate_hz <= 0:
+            raise ConfigurationError("sample rate must be positive")
+        if self.bits_per_sample <= 0:
+            raise ConfigurationError("bits per sample must be positive")
+        if self.channels <= 0:
+            raise ConfigurationError("channel count must be positive")
+        if not 0.0 < self.compressed_rate_fraction <= 1.0:
+            raise ConfigurationError("compressed fraction must be in (0, 1]")
+
+    @property
+    def raw_data_rate_bps(self) -> float:
+        """Uncompressed data rate in bits per second."""
+        return self.sample_rate_hz * self.bits_per_sample * self.channels
+
+    @property
+    def compressed_data_rate_bps(self) -> float:
+        """Data rate after typical ISA / codec compression."""
+        return self.raw_data_rate_bps * self.compressed_rate_fraction
+
+
+#: The survey catalog.  Sample rates and resolutions follow common
+#: clinical/consumer practice; video uses 8 bit/pixel luma-equivalent with
+#: the compression fraction standing in for MJPEG (~10:1) and the audio
+#: fraction for a speech codec (~4:1).
+MODALITY_CATALOG: dict[SensorModality, ModalitySpec] = {
+    SensorModality.TEMPERATURE: ModalitySpec(
+        modality=SensorModality.TEMPERATURE,
+        description="skin temperature (1 sample/s, 16 bit)",
+        sample_rate_hz=1.0,
+        bits_per_sample=16,
+        channels=1,
+        compressed_rate_fraction=1.0,
+    ),
+    SensorModality.PPG: ModalitySpec(
+        modality=SensorModality.PPG,
+        description="photoplethysmogram for heart rate / SpO2",
+        sample_rate_hz=100.0,
+        bits_per_sample=16,
+        channels=2,
+        compressed_rate_fraction=0.5,
+    ),
+    SensorModality.ECG: ModalitySpec(
+        modality=SensorModality.ECG,
+        description="single-lead electrocardiogram patch",
+        sample_rate_hz=250.0,
+        bits_per_sample=12,
+        channels=1,
+        compressed_rate_fraction=0.5,
+    ),
+    SensorModality.EMG: ModalitySpec(
+        modality=SensorModality.EMG,
+        description="surface electromyogram (gesture sensing)",
+        sample_rate_hz=1000.0,
+        bits_per_sample=12,
+        channels=4,
+        compressed_rate_fraction=0.5,
+    ),
+    SensorModality.EEG: ModalitySpec(
+        modality=SensorModality.EEG,
+        description="electroencephalogram headband",
+        sample_rate_hz=256.0,
+        bits_per_sample=16,
+        channels=8,
+        compressed_rate_fraction=0.5,
+    ),
+    SensorModality.IMU: ModalitySpec(
+        modality=SensorModality.IMU,
+        description="6-axis inertial measurement unit",
+        sample_rate_hz=100.0,
+        bits_per_sample=16,
+        channels=6,
+        compressed_rate_fraction=0.5,
+    ),
+    SensorModality.AUDIO: ModalitySpec(
+        modality=SensorModality.AUDIO,
+        description="single microphone voice capture (16 kHz, 16 bit)",
+        sample_rate_hz=16_000.0,
+        bits_per_sample=16,
+        channels=1,
+        compressed_rate_fraction=0.25,
+    ),
+    SensorModality.VIDEO_QVGA: ModalitySpec(
+        modality=SensorModality.VIDEO_QVGA,
+        description="QVGA first-person video, 15 fps, MJPEG-class compression",
+        sample_rate_hz=320.0 * 240.0 * 15.0,
+        bits_per_sample=8,
+        channels=1,
+        compressed_rate_fraction=0.1,
+    ),
+    SensorModality.VIDEO_720P: ModalitySpec(
+        modality=SensorModality.VIDEO_720P,
+        description="720p first-person video, 30 fps, MJPEG-class compression",
+        sample_rate_hz=1280.0 * 720.0 * 30.0,
+        bits_per_sample=8,
+        channels=1,
+        compressed_rate_fraction=0.1,
+    ),
+}
+
+
+def modality_spec(modality: SensorModality) -> ModalitySpec:
+    """Look up the catalog entry for *modality*."""
+    try:
+        return MODALITY_CATALOG[modality]
+    except KeyError as exc:
+        raise ConfigurationError(f"unknown modality: {modality!r}") from exc
+
+
+def modality_data_rate_bps(modality: SensorModality,
+                           compressed: bool = False) -> float:
+    """Raw or compressed data rate for *modality* in bit/s."""
+    spec = modality_spec(modality)
+    if compressed:
+        return spec.compressed_data_rate_bps
+    return spec.raw_data_rate_bps

@@ -1,0 +1,170 @@
+"""Analog-front-end (AFE) sensing-power survey model.
+
+The paper's Fig. 3 needs "sensing power ... characterized as a function of
+data rate with a survey of past literature and commercially available
+analog front-ends" (ref [29]).  We reproduce that survey with a set of
+published/representative design points spanning skin-temperature sensors
+(bits per second, microwatts) up to 720p camera modules (hundreds of
+megabits per second, hundreds of milliwatts), and fit a log-log linear
+(power-law) model
+
+    P_sense(R) = coefficient * R ** exponent
+
+so battery-life projections can evaluate sensing power at any data rate.
+
+Two kinds of survey points coexist:
+
+* ``"afe"`` — bare analog front ends (instrumentation amplifier + ADC),
+  the lower envelope of sensing power at a given rate.
+* ``"subsystem"`` — complete commercial sensing subsystems (LED drivers
+  for PPG, microphone arrays with always-on codecs for AI pins, camera
+  modules with ISPs), which is what the paper's device classes actually
+  ship and what places audio nodes at all-week and video nodes at all-day
+  battery life in Fig. 3.
+
+The default fit uses all points; callers can restrict to either category
+to obtain optimistic (bare AFE) or conservative (full subsystem) curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .. import units
+
+
+@dataclass(frozen=True)
+class AFESurveyPoint:
+    """One surveyed sensing design point."""
+
+    name: str
+    data_rate_bps: float
+    sensing_power_watts: float
+    category: str = "afe"
+
+    def __post_init__(self) -> None:
+        if self.data_rate_bps <= 0:
+            raise ConfigurationError("survey data rate must be positive")
+        if self.sensing_power_watts <= 0:
+            raise ConfigurationError("survey sensing power must be positive")
+        if self.category not in ("afe", "subsystem"):
+            raise ConfigurationError(
+                f"category must be 'afe' or 'subsystem', got {self.category!r}"
+            )
+
+
+#: Survey of sensing power versus output data rate.  Bare-AFE entries
+#: follow ultra-low-power biopotential/IMU front ends from the literature;
+#: subsystem entries follow the sensing blocks of commercial wearables
+#: (PPG optical chains, AI-pin microphone arrays, camera modules).
+DEFAULT_SURVEY_POINTS: tuple[AFESurveyPoint, ...] = (
+    AFESurveyPoint("skin temperature sensor", 16.0, units.microwatt(2.0), "afe"),
+    AFESurveyPoint("single-lead ECG AFE", 3_000.0, units.microwatt(20.0), "afe"),
+    AFESurveyPoint("galvanic skin response AFE", 256.0, units.microwatt(5.0), "afe"),
+    AFESurveyPoint("PPG optical front end", 3_200.0, units.microwatt(150.0), "subsystem"),
+    AFESurveyPoint("6-axis IMU (low-power mode)", 9_600.0, units.microwatt(300.0), "afe"),
+    AFESurveyPoint("8-channel EEG AFE", 32_768.0, units.microwatt(250.0), "afe"),
+    AFESurveyPoint("4-channel EMG AFE", 48_000.0, units.microwatt(400.0), "afe"),
+    AFESurveyPoint("MEMS microphone + codec", 256_000.0, units.milliwatt(2.0), "afe"),
+    AFESurveyPoint("AI-pin microphone array + always-on audio", 1_000_000.0,
+                   units.milliwatt(15.0), "subsystem"),
+    AFESurveyPoint("QVGA camera module (15 fps)", 9_216_000.0,
+                   units.milliwatt(60.0), "subsystem"),
+    AFESurveyPoint("720p camera module + ISP (30 fps)", 221_184_000.0,
+                   units.milliwatt(300.0), "subsystem"),
+)
+
+
+class AFESurveyModel:
+    """Power-law fit of sensing power versus data rate.
+
+    Parameters
+    ----------
+    points:
+        Survey points to fit.  Defaults to :data:`DEFAULT_SURVEY_POINTS`.
+    category:
+        Restrict the fit to ``"afe"`` or ``"subsystem"`` points, or use
+        ``None`` (default) to fit everything.
+    """
+
+    def __init__(self, points: Sequence[AFESurveyPoint] | None = None,
+                 category: str | None = None) -> None:
+        if points is None:
+            points = DEFAULT_SURVEY_POINTS
+        if category is not None:
+            points = [p for p in points if p.category == category]
+        if len(points) < 2:
+            raise ConfigurationError(
+                "at least two survey points are required to fit the model"
+            )
+        self.points: tuple[AFESurveyPoint, ...] = tuple(points)
+        log_rate = np.log10([p.data_rate_bps for p in self.points])
+        log_power = np.log10([p.sensing_power_watts for p in self.points])
+        slope, intercept = np.polyfit(log_rate, log_power, deg=1)
+        self._exponent = float(slope)
+        self._coefficient = float(10.0 ** intercept)
+
+    @property
+    def exponent(self) -> float:
+        """Fitted power-law exponent (dimensionless, typically 0.6--0.8)."""
+        return self._exponent
+
+    @property
+    def coefficient(self) -> float:
+        """Fitted power-law coefficient in W / (bit/s)^exponent."""
+        return self._coefficient
+
+    def sensing_power_watts(self, data_rate_bps: float) -> float:
+        """Predicted sensing power at *data_rate_bps*."""
+        if data_rate_bps < 0:
+            raise ConfigurationError("data rate must be non-negative")
+        if data_rate_bps == 0.0:
+            return 0.0
+        return self._coefficient * data_rate_bps ** self._exponent
+
+    def sensing_power_curve(self, data_rates_bps: Iterable[float]) -> np.ndarray:
+        """Vectorised prediction over a sweep of data rates."""
+        rates = np.asarray(list(data_rates_bps), dtype=float)
+        if np.any(rates < 0):
+            raise ConfigurationError("data rates must be non-negative")
+        powers = np.where(
+            rates == 0.0,
+            0.0,
+            self._coefficient * np.power(rates, self._exponent,
+                                         where=rates > 0, out=np.ones_like(rates)),
+        )
+        return powers
+
+    def residuals_db(self) -> np.ndarray:
+        """Fit residuals per survey point in dB (10*log10 predicted/actual)."""
+        residuals = []
+        for point in self.points:
+            predicted = self.sensing_power_watts(point.data_rate_bps)
+            residuals.append(10.0 * np.log10(predicted / point.sensing_power_watts))
+        return np.asarray(residuals)
+
+    def describe(self) -> dict[str, float | int]:
+        """Summary of the fit for reports."""
+        residuals = self.residuals_db()
+        return {
+            "points": len(self.points),
+            "exponent": self.exponent,
+            "coefficient_w_per_bps_exp": self.coefficient,
+            "max_abs_residual_db": float(np.max(np.abs(residuals))),
+            "rms_residual_db": float(np.sqrt(np.mean(residuals ** 2))),
+        }
+
+
+_DEFAULT_MODEL: AFESurveyModel | None = None
+
+
+def sensing_power_watts(data_rate_bps: float) -> float:
+    """Sensing power at *data_rate_bps* using the default survey fit."""
+    global _DEFAULT_MODEL
+    if _DEFAULT_MODEL is None:
+        _DEFAULT_MODEL = AFESurveyModel()
+    return _DEFAULT_MODEL.sensing_power_watts(data_rate_bps)

@@ -1,0 +1,83 @@
+"""Synthetic first-person video generator.
+
+Image/video wearable AI (smart glasses, AI pins with cameras, headsets)
+streams frames to the hub for vision models.  The generator produces
+greyscale frames containing moving geometric objects over a textured
+background, so the MJPEG-style compressor and the vision inference
+workloads operate on frames with realistic spatial structure and
+frame-to-frame correlation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class VideoGenerator:
+    """Synthetic greyscale video generator."""
+
+    width: int = 160
+    height: int = 120
+    frame_rate_hz: float = 15.0
+    object_count: int = 3
+    noise_level: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ConfigurationError("frame dimensions must be positive")
+        if self.frame_rate_hz <= 0:
+            raise ConfigurationError("frame rate must be positive")
+        if self.object_count < 0:
+            raise ConfigurationError("object count must be non-negative")
+        if self.noise_level < 0:
+            raise ConfigurationError("noise level must be non-negative")
+
+    def generate(self, duration_seconds: float,
+                 rng: np.random.Generator | int | None = None) -> np.ndarray:
+        """Generate frames of shape ``(frames, height, width)`` as uint8."""
+        if duration_seconds <= 0:
+            raise ConfigurationError("duration must be positive")
+        if not isinstance(rng, np.random.Generator):
+            rng = np.random.default_rng(rng)
+        n_frames = max(int(round(duration_seconds * self.frame_rate_hz)), 1)
+
+        yy, xx = np.mgrid[0:self.height, 0:self.width]
+        background = (
+            96.0
+            + 32.0 * np.sin(2.0 * np.pi * xx / self.width)
+            + 16.0 * np.sin(2.0 * np.pi * yy / (self.height / 2.0))
+        )
+
+        positions = rng.uniform(0.0, 1.0, size=(self.object_count, 2))
+        velocities = rng.uniform(-0.02, 0.02, size=(self.object_count, 2))
+        radii = rng.uniform(0.05, 0.15, size=self.object_count)
+        intensities = rng.uniform(150.0, 255.0, size=self.object_count)
+
+        frames = np.empty((n_frames, self.height, self.width), dtype=np.uint8)
+        for index in range(n_frames):
+            frame = background.copy()
+            for obj in range(self.object_count):
+                positions[obj] = (positions[obj] + velocities[obj]) % 1.0
+                cx = positions[obj, 0] * self.width
+                cy = positions[obj, 1] * self.height
+                radius = radii[obj] * min(self.width, self.height)
+                mask = (xx - cx) ** 2 + (yy - cy) ** 2 <= radius ** 2
+                frame[mask] = intensities[obj]
+            frame += rng.standard_normal(frame.shape) * self.noise_level
+            frames[index] = np.clip(frame, 0, 255).astype(np.uint8)
+        return frames
+
+    def frame_bits(self, bits_per_pixel: int = 8) -> float:
+        """Raw size of one frame in bits."""
+        if bits_per_pixel <= 0:
+            raise ConfigurationError("bits per pixel must be positive")
+        return float(self.width * self.height * bits_per_pixel)
+
+    def data_rate_bps(self, bits_per_pixel: int = 8) -> float:
+        """Raw (uncompressed) video data rate."""
+        return self.frame_bits(bits_per_pixel) * self.frame_rate_hz

@@ -1,0 +1,103 @@
+"""Tests for repro.analysis.survey and repro.analysis.reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.analysis.reporting import format_quantity, format_table, markdown_table
+from repro.analysis.survey import (
+    WEARABLE_SURVEY,
+    DeviceCategory,
+    devices_by_category,
+    estimate_battery_life_seconds,
+    survey_rows,
+)
+from repro.core.battery_life import LifeBand, classify_battery_life
+from repro.errors import ConfigurationError, SurveyError
+
+
+class TestWearableSurvey:
+    def test_survey_covers_both_columns_of_fig2(self):
+        pre = devices_by_category(DeviceCategory.PRE_2024)
+        ai = devices_by_category(DeviceCategory.WEARABLE_AI_2024)
+        assert len(pre) >= 5
+        assert len(ai) >= 4
+
+    def test_fig2_device_classes_present(self):
+        names = " ".join(device.name for device in WEARABLE_SURVEY).lower()
+        for keyword in ("ring", "fitness", "earbud", "smartwatch", "smartphone",
+                        "pin", "pocket", "necklace", "glasses", "headset"):
+            assert keyword in names
+
+    def test_modelled_band_matches_paper_claim_for_every_device(self):
+        for row in survey_rows():
+            assert row["matches_claim"], row["device"]
+
+    def test_smart_ring_all_week(self):
+        ring = next(d for d in WEARABLE_SURVEY if d.name == "smart ring")
+        band = classify_battery_life(estimate_battery_life_seconds(ring))
+        assert band is LifeBand.ALL_WEEK
+
+    def test_smartphone_under_ten_hours(self):
+        phone = next(d for d in WEARABLE_SURVEY if d.name == "smartphone")
+        assert estimate_battery_life_seconds(phone) < units.hours(10.0)
+
+    def test_mixed_reality_headset_three_to_five_hours(self):
+        headset = next(d for d in WEARABLE_SURVEY if "headset" in d.name)
+        life = estimate_battery_life_seconds(headset)
+        assert units.hours(3.0) <= life <= units.hours(5.0)
+
+    def test_every_ai_device_is_all_day_or_less(self):
+        """Fig. 2's point: the 2024 AI wave is all-day class at best."""
+        for device in devices_by_category(DeviceCategory.WEARABLE_AI_2024):
+            band = classify_battery_life(estimate_battery_life_seconds(device))
+            assert band in (LifeBand.SUB_DAY, LifeBand.ALL_DAY)
+
+    def test_invalid_device_rejected(self):
+        from repro.analysis.survey import WearableDevice
+
+        with pytest.raises(SurveyError):
+            WearableDevice("bad", DeviceCategory.PRE_2024, 0.0, 3.7, 1.0,
+                           LifeBand.ALL_DAY)
+
+
+class TestReporting:
+    def test_format_quantity_styles(self):
+        assert format_quantity(True) == "yes"
+        assert format_quantity(False) == "no"
+        assert format_quantity(0.0) == "0"
+        assert format_quantity(float("inf")) == "inf"
+        assert "e" in format_quantity(1.23e-7)
+        assert format_quantity("text") == "text"
+
+    def test_format_table_alignment_and_title(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        table = format_table(rows, title="demo")
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 2 + 1 + len(rows)
+
+    def test_format_table_column_subset(self):
+        rows = [{"a": 1, "b": 2}]
+        table = format_table(rows, columns=["b"])
+        assert "a" not in table.splitlines()[0]
+
+    def test_markdown_table_shape(self):
+        rows = [{"x": 1.0, "y": "foo"}]
+        markdown = markdown_table(rows)
+        lines = markdown.splitlines()
+        assert lines[0].startswith("| x | y |")
+        assert set(lines[1].replace("|", "").split()) == {"---"}
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_table([])
+        with pytest.raises(ConfigurationError):
+            markdown_table([])
+
+    def test_experiment_rows_render(self):
+        """Smoke test: real experiment rows pass through the formatter."""
+        table = format_table(survey_rows())
+        assert "smartphone" in table

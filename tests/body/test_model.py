@@ -1,0 +1,137 @@
+"""Tests for repro.body (landmarks and body graph)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.body.landmarks import LANDMARK_DESCRIPTIONS, BodyLandmark
+from repro.body.model import BodyModel, default_adult_body
+from repro.errors import PlacementError
+
+
+class TestLandmarks:
+    def test_every_landmark_has_description(self):
+        for landmark in BodyLandmark:
+            assert landmark in LANDMARK_DESCRIPTIONS
+            assert LANDMARK_DESCRIPTIONS[landmark]
+
+    def test_paper_placements_exist(self):
+        """The placements named in the paper's Section I are all modelled."""
+        named = [
+            BodyLandmark.LEFT_EAR,      # sound output near the ear
+            BodyLandmark.RIGHT_WRIST,   # controllers near fingers or wrist
+            BodyLandmark.CHEST,         # cameras on the face or chest
+            BodyLandmark.STERNUM,       # ECG near the chest
+            BodyLandmark.LEFT_FOREARM,  # EMG on limbs
+            BodyLandmark.RIGHT_THIGH,   # IMU on limbs
+        ]
+        body = default_adult_body()
+        for landmark in named:
+            assert landmark in body.landmarks()
+
+
+class TestBodyGraph:
+    def test_graph_is_connected(self, body):
+        import networkx as nx
+
+        assert nx.is_connected(body.graph)
+
+    def test_all_landmarks_in_graph(self, body):
+        assert set(body.landmarks()) == set(BodyLandmark)
+
+    def test_channel_length_symmetric(self, body):
+        a = body.channel_length(BodyLandmark.LEFT_WRIST, BodyLandmark.RIGHT_EAR)
+        b = body.channel_length(BodyLandmark.RIGHT_EAR, BodyLandmark.LEFT_WRIST)
+        assert a == pytest.approx(b)
+
+    def test_channel_length_zero_for_same_landmark(self, body):
+        assert body.channel_length(BodyLandmark.CHEST, BodyLandmark.CHEST) == 0.0
+
+    def test_max_channel_length_matches_paper_range(self, body):
+        """Section III-B: IoB channel lengths are typically 1-2 m."""
+        assert 1.0 <= body.max_channel_length() <= 2.5
+
+    def test_wrist_to_pocket_is_about_a_metre(self, body):
+        length = body.channel_length(
+            BodyLandmark.RIGHT_WRIST, BodyLandmark.LEFT_POCKET
+        )
+        assert 0.5 <= length <= 1.5
+
+    def test_ear_to_ear_shorter_than_hand_to_foot(self, body):
+        ears = body.channel_length(BodyLandmark.LEFT_EAR, BodyLandmark.RIGHT_EAR)
+        extremities = body.channel_length(
+            BodyLandmark.LEFT_INDEX_FINGER, BodyLandmark.RIGHT_FOOT
+        )
+        assert ears < extremities
+
+    def test_channel_path_endpoints(self, body):
+        path = body.channel_path(BodyLandmark.LEFT_EAR, BodyLandmark.RIGHT_WRIST)
+        assert path[0] == BodyLandmark.LEFT_EAR
+        assert path[-1] == BodyLandmark.RIGHT_WRIST
+
+    def test_path_length_consistent_with_channel_length(self, body):
+        path = body.channel_path(BodyLandmark.FOREHEAD, BodyLandmark.LEFT_ANKLE)
+        total = sum(
+            body.segment_length(path[i], path[i + 1]) for i in range(len(path) - 1)
+        )
+        assert total == pytest.approx(
+            body.channel_length(BodyLandmark.FOREHEAD, BodyLandmark.LEFT_ANKLE)
+        )
+
+    def test_segment_length_requires_direct_edge(self, body):
+        with pytest.raises(PlacementError):
+            body.segment_length(BodyLandmark.LEFT_EAR, BodyLandmark.RIGHT_FOOT)
+
+    def test_lengths_scale_with_height(self):
+        short = BodyModel(height_metres=1.5)
+        tall = BodyModel(height_metres=2.0)
+        ratio = (
+            tall.channel_length(BodyLandmark.HEAD_CROWN, BodyLandmark.LEFT_FOOT)
+            / short.channel_length(BodyLandmark.HEAD_CROWN, BodyLandmark.LEFT_FOOT)
+        )
+        assert ratio == pytest.approx(2.0 / 1.5)
+
+    def test_invalid_height_rejected(self):
+        with pytest.raises(PlacementError):
+            BodyModel(height_metres=0.0)
+
+    @given(st.sampled_from(list(BodyLandmark)), st.sampled_from(list(BodyLandmark)),
+           st.sampled_from(list(BodyLandmark)))
+    def test_triangle_inequality(self, a, b, c):
+        body = default_adult_body()
+        direct = body.channel_length(a, c)
+        detour = body.channel_length(a, b) + body.channel_length(b, c)
+        assert direct <= detour + 1e-9
+
+
+class TestPlacement:
+    def test_place_and_lookup(self, body):
+        body.place("smartwatch", BodyLandmark.LEFT_WRIST)
+        placement = body.placement("smartwatch")
+        assert placement.landmark == BodyLandmark.LEFT_WRIST
+        assert placement.device_name == "smartwatch"
+
+    def test_device_distance(self, body):
+        body.place("watch", BodyLandmark.LEFT_WRIST)
+        body.place("phone", BodyLandmark.LEFT_POCKET)
+        distance = body.device_distance("watch", "phone")
+        assert distance == pytest.approx(
+            body.channel_length(BodyLandmark.LEFT_WRIST, BodyLandmark.LEFT_POCKET)
+        )
+
+    def test_replacing_a_device_updates_location(self, body):
+        body.place("ring", BodyLandmark.LEFT_INDEX_FINGER)
+        body.place("ring", BodyLandmark.RIGHT_INDEX_FINGER)
+        assert body.placement("ring").landmark == BodyLandmark.RIGHT_INDEX_FINGER
+        assert len(body.placements()) == 1
+
+    def test_unplaced_device_raises(self, body):
+        with pytest.raises(PlacementError):
+            body.placement("ghost")
+
+    def test_placements_keep_insertion_order(self, body):
+        body.place("a", BodyLandmark.CHEST)
+        body.place("b", BodyLandmark.NECK)
+        names = [placement.device_name for placement in body.placements()]
+        assert names == ["a", "b"]

@@ -1,0 +1,61 @@
+"""Tests for repro.body.posture (posture-dependent EQS channel variation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.body.posture import (
+    GROUND_COUPLING_FACTOR,
+    Posture,
+    channel_for_posture,
+    gain_variation_db,
+    worst_case_posture,
+)
+from repro.comm.channel import EQSChannelModel
+from repro.comm.eqs_hbc import WiRLink, wir_commercial
+from repro import units
+
+
+class TestPostureChannel:
+    def test_every_posture_has_a_coupling_factor(self):
+        for posture in Posture:
+            assert posture in GROUND_COUPLING_FACTOR
+            assert GROUND_COUPLING_FACTOR[posture] > 0.0
+
+    def test_base_model_untouched(self):
+        base = EQSChannelModel()
+        adjusted = channel_for_posture(Posture.LYING_ON_BED, base)
+        assert adjusted is not base
+        assert base.c_body_ground == EQSChannelModel().c_body_ground
+
+    def test_weaker_ground_coupling_gives_higher_gain(self):
+        """Lying on an insulating mattress improves the capacitive return path."""
+        standing = channel_for_posture(Posture.STANDING_BAREFOOT)
+        lying = channel_for_posture(Posture.LYING_ON_BED)
+        frequency = units.megahertz(20.0)
+        assert lying.channel_gain_db(1.5, frequency) \
+            > standing.channel_gain_db(1.5, frequency)
+
+    def test_gain_variation_is_a_few_db(self):
+        """Posture moves the channel by single-digit dB, not tens of dB."""
+        variation = gain_variation_db()
+        assert 1.0 <= variation <= 10.0
+
+    def test_worst_case_is_the_strongest_ground_coupling(self):
+        assert worst_case_posture() is Posture.STANDING_BAREFOOT
+
+    def test_wir_link_budget_closes_in_every_posture(self):
+        """The Wi-R link keeps positive margin finger-to-toe in all postures."""
+        for posture in Posture:
+            link = WiRLink(
+                transceiver=wir_commercial(),
+                channel=channel_for_posture(posture),
+                channel_length_metres=1.8,
+            )
+            assert link.link_margin_db() > 0.0
+
+    def test_negative_distance_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            gain_variation_db(distance_metres=-1.0)

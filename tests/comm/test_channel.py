@@ -1,0 +1,156 @@
+"""Tests for repro.comm.channel (EQS body channel and RF path loss)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.comm.channel import (
+    EQS_MAX_FREQUENCY_HZ,
+    BodyShadowingModel,
+    EQSChannelModel,
+    RFPathLossModel,
+    eqs_channel_gain_db,
+    free_space_path_loss_db,
+)
+from repro.errors import ChannelError
+from repro import units
+
+
+class TestFreeSpacePathLoss:
+    def test_increases_with_distance(self):
+        close = free_space_path_loss_db(1.0, 2.4e9)
+        far = free_space_path_loss_db(10.0, 2.4e9)
+        assert far > close
+
+    def test_20db_per_decade_of_distance(self):
+        loss_1m = free_space_path_loss_db(1.0, 2.4e9)
+        loss_10m = free_space_path_loss_db(10.0, 2.4e9)
+        assert loss_10m - loss_1m == pytest.approx(20.0, abs=1e-6)
+
+    def test_known_value_at_2_4ghz_1m(self):
+        # Textbook value: ~40 dB at 1 m, 2.4 GHz.
+        assert free_space_path_loss_db(1.0, 2.4e9) == pytest.approx(40.05, abs=0.2)
+
+    def test_zero_distance_rejected(self):
+        with pytest.raises(ChannelError):
+            free_space_path_loss_db(0.0, 2.4e9)
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ChannelError):
+            free_space_path_loss_db(1.0, 0.0)
+
+
+class TestRFPathLossModel:
+    def test_body_shadowing_adds_loss(self):
+        body_worn = RFPathLossModel(body_worn=True)
+        free = RFPathLossModel(body_worn=False)
+        assert body_worn.path_loss_db(1.5) > free.path_loss_db(1.5)
+
+    def test_received_power_decreases_with_distance(self):
+        model = RFPathLossModel(body_worn=False)
+        assert model.received_power_dbm(0.0, 1.0) > model.received_power_dbm(0.0, 5.0)
+
+    def test_ble_free_space_range_is_room_scale(self):
+        """Section III-B: RF radiates data 5-10+ m away from the body."""
+        model = RFPathLossModel(frequency_hz=2.4e9, body_worn=False)
+        ble_range = model.range_for_sensitivity(0.0, -95.0)
+        assert ble_range >= 5.0
+
+    def test_range_zero_when_link_cannot_close(self):
+        model = RFPathLossModel(body_worn=False)
+        assert model.range_for_sensitivity(-100.0, -10.0) == 0.0
+
+    def test_range_caps_at_max_distance(self):
+        model = RFPathLossModel(body_worn=False)
+        assert model.range_for_sensitivity(30.0, -110.0, max_distance_metres=50.0) \
+            == pytest.approx(50.0)
+
+    def test_range_solution_closes_link(self):
+        model = RFPathLossModel(frequency_hz=2.4e9, body_worn=True)
+        distance = model.range_for_sensitivity(0.0, -95.0)
+        assert model.received_power_dbm(0.0, distance) >= -95.0 - 0.1
+
+    def test_shadowing_model_zero_at_zero_distance(self):
+        assert BodyShadowingModel().loss_db(0.0) == 0.0
+
+    def test_shadowing_negative_distance_rejected(self):
+        with pytest.raises(ChannelError):
+            BodyShadowingModel().loss_db(-1.0)
+
+
+class TestEQSChannelModel:
+    def test_gain_is_negative_db(self):
+        """The capacitive divider attenuates: gain well below 0 dB."""
+        gain = eqs_channel_gain_db(1.5, units.megahertz(1.0))
+        assert gain < -20.0
+
+    def test_flat_with_frequency_for_high_impedance(self):
+        model = EQSChannelModel()
+        low = model.channel_gain_db(1.0, units.kilohertz(100.0))
+        high = model.channel_gain_db(1.0, units.megahertz(20.0))
+        assert low == pytest.approx(high, abs=0.01)
+
+    def test_high_pass_for_low_impedance_termination(self):
+        """50-ohm termination attenuates low EQS frequencies heavily."""
+        model = EQSChannelModel()
+        low = model.channel_gain_db(1.0, units.kilohertz(100.0),
+                                    termination="low_impedance")
+        high = model.channel_gain_db(1.0, units.megahertz(20.0),
+                                     termination="low_impedance")
+        assert high > low + 20.0
+
+    def test_high_impedance_beats_low_impedance_in_eqs_band(self):
+        model = EQSChannelModel()
+        high_z = model.channel_gain_db(1.0, units.megahertz(1.0))
+        low_z = model.channel_gain_db(1.0, units.megahertz(1.0),
+                                      termination="low_impedance")
+        assert high_z > low_z
+
+    def test_nearly_flat_with_distance(self):
+        """Whole-body channel flatness: a few dB finger-to-toe at most."""
+        model = EQSChannelModel()
+        assert model.channel_flatness_db(0.1, 1.8) < 6.0
+
+    def test_rejects_frequencies_above_eqs_regime(self):
+        model = EQSChannelModel()
+        with pytest.raises(ChannelError):
+            model.channel_gain_db(1.0, EQS_MAX_FREQUENCY_HZ * 2.0)
+
+    def test_rejects_unknown_termination(self):
+        with pytest.raises(ChannelError):
+            EQSChannelModel().channel_gain_db(1.0, 1e6, termination="magic")
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(ChannelError):
+            EQSChannelModel().channel_gain_db(-1.0, 1e6)
+
+    def test_quasistatic_criterion(self):
+        model = EQSChannelModel()
+        assert model.is_quasistatic(units.megahertz(1.0))
+        assert not model.is_quasistatic(units.gigahertz(2.4))
+
+    def test_electrophysiology_interference_boundary(self):
+        """Carriers above 10 kHz do not overlap body-generated signals."""
+        model = EQSChannelModel()
+        assert model.interferes_with_electrophysiology(units.kilohertz(5.0))
+        assert not model.interferes_with_electrophysiology(units.megahertz(1.0))
+
+    def test_minimum_detectable_swing_within_cmos_levels(self):
+        """A 100 uV-sensitive receiver needs only a CMOS-level drive swing."""
+        model = EQSChannelModel()
+        swing = model.minimum_detectable_swing(1e-4, 1.5, units.megahertz(20.0))
+        assert swing < 3.3
+
+    def test_body_potential_gain_matches_capacitor_divider(self):
+        model = EQSChannelModel(c_return_tx=300e-15, c_body_ground=150e-12)
+        expected = 300e-15 / (300e-15 + 150e-12)
+        assert model.body_potential_gain() == pytest.approx(expected)
+
+    @given(st.floats(min_value=0.0, max_value=2.0),
+           st.floats(min_value=1e5, max_value=EQS_MAX_FREQUENCY_HZ))
+    def test_gain_monotone_non_increasing_with_distance(self, distance, frequency):
+        model = EQSChannelModel()
+        near = model.channel_gain_db(distance, frequency)
+        far = model.channel_gain_db(distance + 0.5, frequency)
+        assert far <= near + 1e-9

@@ -1,0 +1,144 @@
+"""Tests for repro.comm.eqs_hbc (Wi-R transceivers and links)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.comm.eqs_hbc import (
+    EQSHBCTransceiver,
+    WiRLink,
+    eqs_hbc_bodywire,
+    eqs_hbc_sub_uw,
+    wir_commercial,
+    wir_downlink_capable,
+    wir_leaf_node,
+)
+from repro.errors import ConfigurationError, LinkBudgetError
+
+
+class TestOperatingPoints:
+    def test_commercial_wir_matches_paper(self):
+        """Ref [29]/[30]: 4 Mb/s at ~100 pJ/bit."""
+        wir = wir_commercial()
+        assert wir.data_rate_bps() == pytest.approx(units.megabit_per_second(4.0))
+        assert units.to_picojoule_per_bit(wir.tx_energy_per_bit()) == pytest.approx(100.0)
+
+    def test_commercial_wir_active_power_sub_milliwatt(self):
+        wir = wir_commercial()
+        assert wir.tx_active_power() < units.milliwatt(1.0)
+
+    def test_leaf_node_wir_is_100_microwatts(self):
+        """Fig. 1's "Wi-R ~100 uW" block: 1 Mb/s at 100 pJ/bit."""
+        leaf = wir_leaf_node()
+        assert units.to_microwatt(leaf.tx_active_power()) == pytest.approx(100.0)
+
+    def test_sub_uw_point_matches_paper(self):
+        """Ref [21]: 415 nW at 1-10 kb/s."""
+        node = eqs_hbc_sub_uw()
+        assert node.tx_active_power() == pytest.approx(units.nanowatt(415.0))
+        assert node.data_rate_bps() == pytest.approx(units.kilobit_per_second(10.0))
+
+    def test_bodywire_point_matches_paper(self):
+        """Ref [20]: 6.3 pJ/bit at 30 Mb/s."""
+        node = eqs_hbc_bodywire()
+        assert units.to_picojoule_per_bit(node.tx_energy_per_bit()) == pytest.approx(6.3)
+        assert node.data_rate_bps() == pytest.approx(units.megabit_per_second(30.0))
+
+    def test_all_points_are_body_confined(self):
+        for factory in (wir_commercial, wir_leaf_node, eqs_hbc_sub_uw,
+                        eqs_hbc_bodywire, wir_downlink_capable):
+            assert factory().body_confined
+
+    def test_all_points_stay_in_eqs_regime(self):
+        for factory in (wir_commercial, wir_leaf_node, eqs_hbc_sub_uw,
+                        eqs_hbc_bodywire, wir_downlink_capable):
+            assert factory().carrier_frequency_hz <= 30e6
+
+    def test_range_is_body_scale(self):
+        assert wir_commercial().max_range_metres() <= 2.5
+
+
+class TestTransceiverValidation:
+    def test_rejects_carrier_above_30mhz(self):
+        with pytest.raises(ConfigurationError):
+            EQSHBCTransceiver(name="bad", data_rate=1e6, energy_per_bit=1e-10,
+                              carrier_frequency_hz=100e6)
+
+    def test_rejects_zero_data_rate(self):
+        with pytest.raises(ConfigurationError):
+            EQSHBCTransceiver(name="bad", data_rate=0.0, energy_per_bit=1e-10)
+
+    def test_rx_energy_defaults_to_tx(self):
+        node = EQSHBCTransceiver(name="x", data_rate=1e6, energy_per_bit=1e-10)
+        assert node.rx_energy_per_bit() == pytest.approx(node.tx_energy_per_bit())
+
+    def test_describe_has_expected_keys(self):
+        description = wir_commercial().describe()
+        for key in ("name", "data_rate_bps", "tx_energy_pj_per_bit",
+                    "tx_active_power_uw", "body_confined"):
+            assert key in description
+
+
+class TestDutyCycling:
+    def test_average_power_scales_with_offered_rate(self, wir):
+        low = wir.average_power_at_rate(units.kilobit_per_second(10.0))
+        high = wir.average_power_at_rate(units.megabit_per_second(1.0))
+        assert low < high
+
+    def test_average_power_at_zero_rate_is_sleep_power(self, wir):
+        assert wir.average_power_at_rate(0.0) == pytest.approx(wir.sleep_power())
+
+    def test_average_power_at_full_rate_is_active_power(self, wir):
+        assert wir.average_power_at_rate(wir.data_rate_bps()) == pytest.approx(
+            wir.tx_active_power()
+        )
+
+    def test_offered_rate_above_capacity_rejected(self, wir):
+        with pytest.raises(LinkBudgetError):
+            wir.average_power_at_rate(wir.data_rate_bps() * 2.0)
+
+    def test_ecg_stream_duty_cycled_power_under_microwatt_class(self, wir):
+        """A 3 kb/s biopotential stream keeps the Wi-R radio essentially asleep."""
+        power = wir.average_power_at_rate(units.kilobit_per_second(3.0))
+        assert power < units.microwatt(1.0)
+
+
+class TestWiRLink:
+    def test_budget_closes_over_full_body(self):
+        link = WiRLink(transceiver=wir_commercial(), channel_length_metres=1.8)
+        link.check_budget()
+        assert link.link_margin_db() > 0.0
+
+    def test_margin_decreases_with_distance(self):
+        near = WiRLink(transceiver=wir_commercial(), channel_length_metres=0.2)
+        far = WiRLink(transceiver=wir_commercial(), channel_length_metres=1.8)
+        assert near.link_margin_db() > far.link_margin_db()
+
+    def test_budget_fails_for_deaf_receiver(self):
+        deaf = EQSHBCTransceiver(
+            name="deaf", data_rate=1e6, energy_per_bit=1e-10,
+            rx_sensitivity_volts=10.0,
+        )
+        link = WiRLink(transceiver=deaf, channel_length_metres=1.5)
+        with pytest.raises(LinkBudgetError):
+            link.check_budget()
+
+    def test_transfer_energy_uses_energy_per_bit(self):
+        link = WiRLink(transceiver=wir_commercial(), channel_length_metres=1.0)
+        energy = link.transfer_energy_joules(1e6)
+        assert energy == pytest.approx(1e6 * units.picojoule_per_bit(100.0))
+
+    def test_transfer_latency_uses_data_rate(self):
+        link = WiRLink(transceiver=wir_commercial(), channel_length_metres=1.0)
+        latency = link.transfer_latency_seconds(units.megabit_per_second(4.0))
+        assert latency == pytest.approx(1.0)
+
+    def test_negative_payload_rejected(self):
+        link = WiRLink(transceiver=wir_commercial())
+        with pytest.raises(ConfigurationError):
+            link.transfer_energy_joules(-1.0)
+
+    def test_received_swing_below_drive_swing(self):
+        link = WiRLink(transceiver=wir_commercial(), channel_length_metres=1.5)
+        assert link.received_swing_volts() < link.transceiver.tx_swing_volts

@@ -1,0 +1,101 @@
+"""Tests for repro.comm.link (transfer costs and technology comparison)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+from repro.comm.ble import ble_1m_phy
+from repro.comm.eqs_hbc import wir_commercial
+from repro.comm.link import compare_technologies, transfer_cost
+from repro.errors import ConfigurationError, LinkBudgetError
+
+
+class TestTransferCost:
+    def test_energy_proportional_to_payload(self, wir):
+        small = transfer_cost(wir, 1e3, include_wakeup=False)
+        large = transfer_cost(wir, 1e6, include_wakeup=False)
+        assert large.tx_energy_joules == pytest.approx(
+            1000.0 * small.tx_energy_joules
+        )
+
+    def test_latency_is_serialization_time(self, wir):
+        cost = transfer_cost(wir, wir.data_rate_bps(), include_wakeup=False)
+        assert cost.latency_seconds == pytest.approx(1.0)
+
+    def test_wakeup_adds_fixed_overhead(self, ble):
+        without = transfer_cost(ble, 1e4, include_wakeup=False)
+        with_wakeup = transfer_cost(ble, 1e4, include_wakeup=True)
+        assert with_wakeup.tx_energy_joules - without.tx_energy_joules \
+            == pytest.approx(ble.wakeup_energy())
+        assert with_wakeup.latency_seconds - without.latency_seconds \
+            == pytest.approx(ble.wakeup_latency())
+
+    def test_zero_payload_costs_nothing(self, wir):
+        cost = transfer_cost(wir, 0.0)
+        assert cost.tx_energy_joules == 0.0
+        assert cost.rx_energy_joules == 0.0
+        assert cost.latency_seconds == 0.0
+
+    def test_effective_energy_per_bit(self, wir):
+        cost = transfer_cost(wir, 1e6, include_wakeup=False)
+        assert cost.tx_energy_per_bit == pytest.approx(wir.tx_energy_per_bit())
+
+    def test_total_energy_sums_both_ends(self, wir):
+        cost = transfer_cost(wir, 1e5, include_wakeup=False)
+        assert cost.total_energy_joules == pytest.approx(
+            cost.tx_energy_joules + cost.rx_energy_joules
+        )
+
+    def test_negative_payload_rejected(self, wir):
+        with pytest.raises(ConfigurationError):
+            transfer_cost(wir, -1.0)
+
+    def test_wir_transfer_cheaper_than_ble(self, wir, ble):
+        payload = units.kibibytes(10.0)
+        wir_cost = transfer_cost(wir, payload, include_wakeup=False)
+        ble_cost = transfer_cost(ble, payload, include_wakeup=False)
+        assert wir_cost.tx_energy_joules < ble_cost.tx_energy_joules / 50.0
+
+    @given(st.floats(min_value=0.0, max_value=1e9))
+    def test_energy_non_negative_property(self, payload):
+        cost = transfer_cost(wir_commercial(), payload)
+        assert cost.tx_energy_joules >= 0.0
+        assert cost.rx_energy_joules >= 0.0
+        assert cost.latency_seconds >= 0.0
+
+
+class TestAveragePower:
+    def test_direction_validation(self, wir):
+        with pytest.raises(ConfigurationError):
+            wir.average_power_at_rate(1e3, direction="sideways")
+
+    def test_rx_direction_uses_rx_power(self, ble):
+        tx = ble.average_power_at_rate(1e4, direction="tx")
+        rx = ble.average_power_at_rate(1e4, direction="rx")
+        # For the symmetric BLE model they coincide.
+        assert tx == pytest.approx(rx)
+
+    def test_offered_rate_above_link_rate_raises(self, ble):
+        with pytest.raises(LinkBudgetError):
+            ble.average_power_at_rate(ble.data_rate_bps() * 1.01)
+
+
+class TestCompareTechnologies:
+    def test_report_row_per_technology(self, wir, ble):
+        reports = compare_technologies([wir, ble])
+        assert len(reports) == 2
+        assert {report.name for report in reports} == {wir.name, ble.name}
+
+    def test_rate_and_power_ratios(self, wir, ble):
+        reports = {r.name: r for r in compare_technologies([wir, ble])}
+        wir_report = reports[wir.name]
+        ble_report = reports[ble.name]
+        assert wir_report.rate_ratio_over(ble_report) >= 10.0
+        assert ble_report.power_ratio_over(wir_report) > 20.0
+
+    def test_body_confinement_flag_propagates(self, wir, ble):
+        reports = {r.name: r for r in compare_technologies([wir, ble])}
+        assert reports[wir.name].body_confined
+        assert not reports[ble.name].body_confined

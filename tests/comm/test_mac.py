@@ -1,0 +1,139 @@
+"""Tests for repro.comm.mac (TDMA and polling on the body bus)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+from repro.comm.mac import PollingMAC, TDMASchedule
+from repro.errors import SchedulingError
+
+
+def make_schedule(link_rate_bps: float = 4e6) -> TDMASchedule:
+    return TDMASchedule(link_rate_bps=link_rate_bps)
+
+
+class TestTDMASchedule:
+    def test_empty_schedule_feasible(self):
+        assert make_schedule().is_feasible()
+        assert make_schedule().utilization() == pytest.approx(0.0)
+
+    def test_add_and_remove_nodes(self):
+        schedule = make_schedule()
+        schedule.add_node("ecg", 3e3)
+        assert schedule.node_count == 1
+        schedule.remove_node("ecg")
+        assert schedule.node_count == 0
+
+    def test_duplicate_node_rejected(self):
+        schedule = make_schedule()
+        schedule.add_node("ecg", 3e3)
+        with pytest.raises(SchedulingError):
+            schedule.add_node("ecg", 3e3)
+
+    def test_remove_unknown_node_rejected(self):
+        with pytest.raises(SchedulingError):
+            make_schedule().remove_node("ghost")
+
+    def test_utilization_grows_with_demand(self):
+        schedule = make_schedule()
+        schedule.add_node("a", 1e5)
+        low = schedule.utilization()
+        schedule.add_node("b", 1e6)
+        assert schedule.utilization() > low
+
+    def test_infeasible_when_demand_exceeds_link(self):
+        schedule = make_schedule(link_rate_bps=1e6)
+        schedule.add_node("video", 2e6)
+        assert not schedule.is_feasible()
+        with pytest.raises(SchedulingError):
+            schedule.build()
+
+    def test_build_goodput_matches_offered_rate(self):
+        schedule = make_schedule()
+        schedule.add_node("audio", 256e3)
+        schedule.add_node("imu", 9.6e3)
+        assignments = {a.node_name: a for a in schedule.build()}
+        assert assignments["audio"].goodput_bps == pytest.approx(256e3)
+        assert assignments["imu"].goodput_bps == pytest.approx(9.6e3)
+
+    def test_slot_durations_fit_in_superframe(self):
+        schedule = make_schedule()
+        for index in range(10):
+            schedule.add_node(f"leaf{index}", 64e3)
+        assignments = schedule.build()
+        assert sum(a.slot_seconds for a in assignments) <= schedule.superframe_seconds
+
+    def test_worst_case_latency_is_superframe(self):
+        schedule = make_schedule()
+        schedule.add_node("a", 1e4)
+        assignment = schedule.build()[0]
+        assert assignment.worst_case_latency_seconds == pytest.approx(
+            schedule.superframe_seconds
+        )
+
+    def test_many_ecg_leaves_fit_on_one_wir_hub(self):
+        """Dozens of biopotential leaves share a single 4 Mb/s Wi-R bus."""
+        schedule = make_schedule()
+        for index in range(30):
+            schedule.add_node(f"ecg{index}", units.kilobit_per_second(3.0))
+        assert schedule.is_feasible()
+
+    def test_max_additional_nodes_consistent_with_feasibility(self):
+        schedule = make_schedule()
+        schedule.add_node("seed", 64e3)
+        extra = schedule.max_additional_nodes(64e3)
+        for index in range(extra):
+            schedule.add_node(f"extra{index}", 64e3)
+        assert schedule.is_feasible()
+        schedule.add_node("one_too_many", 64e3)
+        assert not schedule.is_feasible()
+
+    def test_invalid_link_rate_rejected(self):
+        with pytest.raises(SchedulingError):
+            TDMASchedule(link_rate_bps=0.0)
+
+    @given(st.lists(st.floats(min_value=1e2, max_value=1e5), min_size=1,
+                    max_size=20))
+    def test_utilization_additive_property(self, rates):
+        schedule = make_schedule()
+        for index, rate in enumerate(rates):
+            schedule.add_node(f"n{index}", rate)
+        payload_fraction = sum(rates) / schedule.link_rate_bps
+        guard_fraction = (
+            schedule.guard_seconds * len(rates) / schedule.superframe_seconds
+        )
+        assert schedule.utilization() == pytest.approx(
+            payload_fraction + guard_fraction, rel=1e-9
+        )
+
+
+class TestPollingMAC:
+    def test_cycle_time_grows_with_population(self):
+        mac = PollingMAC(link_rate_bps=4e6)
+        assert mac.cycle_time_seconds(10, 8192) > mac.cycle_time_seconds(2, 8192)
+
+    def test_per_node_goodput_shrinks_with_population(self):
+        mac = PollingMAC(link_rate_bps=4e6)
+        assert mac.per_node_goodput_bps(2, 8192) > mac.per_node_goodput_bps(20, 8192)
+
+    def test_max_nodes_for_rate(self):
+        mac = PollingMAC(link_rate_bps=4e6)
+        capacity = mac.max_nodes_for_rate(64e3, 8192)
+        assert capacity >= 1
+        assert mac.per_node_goodput_bps(capacity, 8192) >= 64e3
+        assert mac.per_node_goodput_bps(capacity + 1, 8192) < 64e3
+
+    def test_zero_capacity_when_rate_unreachable(self):
+        mac = PollingMAC(link_rate_bps=1e5, turnaround_seconds=0.01)
+        assert mac.max_nodes_for_rate(1e6, 1000) == 0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SchedulingError):
+            PollingMAC(link_rate_bps=0.0)
+        mac = PollingMAC(link_rate_bps=1e6)
+        with pytest.raises(SchedulingError):
+            mac.cycle_time_seconds(0, 100)
+        with pytest.raises(SchedulingError):
+            mac.max_nodes_for_rate(0.0, 100)

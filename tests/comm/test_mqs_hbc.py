@@ -1,0 +1,93 @@
+"""Tests for repro.comm.mqs_hbc (magneto-quasistatic implant links)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.comm.eqs_hbc import wir_commercial
+from repro.comm.link import compare_technologies, transfer_cost
+from repro.comm.mqs_hbc import (
+    MQSHBCTransceiver,
+    mqs_implant_link,
+    mqs_wearable_relay,
+)
+from repro.comm.security import leakage_distance_metres
+from repro.errors import ConfigurationError, LinkBudgetError
+
+
+class TestOperatingPoints:
+    def test_implant_link_is_ulp(self):
+        link = mqs_implant_link()
+        assert link.tx_active_power() < units.microwatt(10.0)
+        assert link.tx_energy_per_bit() <= units.picojoule_per_bit(50.0)
+
+    def test_relay_faster_than_implant(self):
+        assert mqs_wearable_relay().data_rate_bps() > mqs_implant_link().data_rate_bps()
+
+    def test_body_confined_and_short_range(self):
+        link = mqs_implant_link()
+        assert link.body_confined
+        assert link.max_range_metres() <= 0.5
+
+    def test_carrier_must_stay_quasistatic(self):
+        with pytest.raises(ConfigurationError):
+            MQSHBCTransceiver(name="bad", data_rate=1e5, energy_per_bit=1e-11,
+                              carrier_frequency_hz=2.4e9)
+
+    def test_invalid_coil_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MQSHBCTransceiver(name="bad", data_rate=1e5, energy_per_bit=1e-11,
+                              coil_radius_metres=0.0)
+
+
+class TestCouplingPhysics:
+    def test_loss_increases_steeply_with_distance(self):
+        link = mqs_implant_link()
+        near = link.coupling_loss_db(0.02)
+        far = link.coupling_loss_db(0.2)
+        assert far - near == pytest.approx(60.0, abs=1.0)
+
+    def test_tissue_adds_little_loss(self):
+        """The body is transparent to magnetic fields (paper, Section I)."""
+        link = mqs_implant_link()
+        through_air = link.coupling_loss_db(0.05)
+        through_tissue = link.coupling_loss_db(0.05, tissue_depth_metres=0.05)
+        assert through_tissue - through_air < 1.0
+
+    def test_link_closes_at_implant_depths(self):
+        link = mqs_implant_link()
+        assert link.link_closes(0.05, tissue_depth_metres=0.05)
+        link.require_link(0.05, tissue_depth_metres=0.05)
+
+    def test_link_fails_across_the_room(self):
+        link = mqs_implant_link()
+        assert not link.link_closes(1.0)
+        with pytest.raises(LinkBudgetError):
+            link.require_link(1.0)
+
+    def test_invalid_distance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mqs_implant_link().coupling_loss_db(0.0)
+
+
+class TestIntegrationWithLinkLayer:
+    def test_transfer_cost_works(self):
+        cost = transfer_cost(mqs_implant_link(), 1e5)
+        assert cost.tx_energy_joules > 0.0
+        assert cost.latency_seconds > 0.0
+
+    def test_comparison_table_includes_mqs(self):
+        reports = compare_technologies([wir_commercial(), mqs_implant_link()])
+        assert {report.name for report in reports} == {
+            wir_commercial().name, mqs_implant_link().name,
+        }
+
+    def test_security_model_treats_mqs_as_body_confined(self):
+        assert leakage_distance_metres(mqs_implant_link()) < 1.0
+
+    def test_implant_streaming_power_is_nanowatt_class_when_duty_cycled(self):
+        """A 1 kb/s neural-implant stream costs well under a microwatt."""
+        link = mqs_implant_link()
+        power = link.average_power_at_rate(units.kilobit_per_second(1.0))
+        assert power < units.microwatt(0.5)

@@ -1,0 +1,91 @@
+"""Tests for the RF baselines: BLE, Wi-Fi and NFMI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.comm.ble import BLERadio, ble_1m_phy, ble_2m_phy, ble_coded_phy
+from repro.comm.nfmi import NFMIRadio, nfmi_hearing_aid
+from repro.comm.wifi import WiFiRadio, wifi_hub_uplink
+from repro.errors import ConfigurationError
+
+
+class TestBLE:
+    def test_active_power_in_paper_range(self, ble):
+        """Section III-B: RF-based communication burns 1-10 mW."""
+        assert units.milliwatt(1.0) <= ble.tx_active_power() <= units.milliwatt(20.0)
+
+    def test_goodput_below_phy_rate(self, ble):
+        assert ble.data_rate_bps() < ble.phy_rate
+
+    def test_energy_per_bit_is_nanojoule_class(self, ble):
+        energy = ble.tx_energy_per_bit()
+        assert units.nanojoule_per_bit(1.0) <= energy <= units.nanojoule_per_bit(100.0)
+
+    def test_2m_phy_faster_than_1m(self):
+        assert ble_2m_phy().data_rate_bps() > ble_1m_phy().data_rate_bps()
+
+    def test_coded_phy_slower_but_longer_range(self):
+        coded = ble_coded_phy()
+        standard = ble_1m_phy()
+        assert coded.data_rate_bps() < standard.data_rate_bps()
+        assert coded.max_range_metres() >= standard.max_range_metres()
+
+    def test_radiation_range_is_room_scale(self, ble):
+        """The privacy bubble the paper criticises: >= 5 m for an RF radio."""
+        assert ble.radiation_range_metres() >= 5.0
+
+    def test_radiation_range_exceeds_body_range(self, ble, body):
+        assert ble.radiation_range_metres() > body.max_channel_length()
+
+    def test_not_body_confined(self, ble):
+        assert not ble.body_confined
+
+    def test_connection_event_overhead_positive(self, ble):
+        assert ble.wakeup_energy() > 0.0
+        assert ble.wakeup_latency() > 0.0
+
+    def test_invalid_goodput_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BLERadio(name="bad", phy_rate=1e6, goodput_fraction=0.0)
+
+    def test_invalid_phy_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BLERadio(name="bad", phy_rate=0.0)
+
+
+class TestWiFi:
+    def test_hub_uplink_rate_exceeds_body_links(self, wir):
+        assert wifi_hub_uplink().data_rate_bps() > wir.data_rate_bps()
+
+    def test_active_power_is_hub_class(self):
+        """Wi-Fi belongs on the daily-charged hub, not on a leaf node."""
+        assert wifi_hub_uplink().tx_active_power() > units.milliwatt(100.0)
+
+    def test_range_exceeds_ble(self, ble):
+        assert wifi_hub_uplink().max_range_metres() > ble.max_range_metres()
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WiFiRadio(name="bad", phy_rate=-1.0)
+
+
+class TestNFMI:
+    def test_body_confined(self):
+        assert nfmi_hearing_aid().body_confined
+
+    def test_range_is_body_scale(self):
+        assert nfmi_hearing_aid().max_range_metres() <= 2.0
+
+    def test_rate_between_sub_uw_hbc_and_wir(self, wir):
+        nfmi = nfmi_hearing_aid()
+        assert units.kilobit_per_second(100.0) <= nfmi.data_rate_bps()
+        assert nfmi.data_rate_bps() < wir.data_rate_bps()
+
+    def test_energy_per_bit_worse_than_wir(self, wir):
+        assert nfmi_hearing_aid().tx_energy_per_bit() > wir.tx_energy_per_bit()
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NFMIRadio(name="bad", working_range_metres=0.0)

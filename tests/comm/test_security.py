@@ -1,0 +1,78 @@
+"""Tests for repro.comm.security (physical-security / leakage model)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.ble import ble_1m_phy
+from repro.comm.eqs_hbc import wir_commercial
+from repro.comm.nfmi import nfmi_hearing_aid
+from repro.comm.security import (
+    EQS_LEAKAGE_DISTANCE_METRES,
+    SecurityModel,
+    interception_report,
+    leakage_distance_metres,
+)
+from repro.comm.wifi import wifi_hub_uplink
+from repro.errors import ConfigurationError
+
+
+class TestLeakageDistance:
+    def test_eqs_leakage_is_personal_bubble(self, wir):
+        assert leakage_distance_metres(wir) == pytest.approx(
+            EQS_LEAKAGE_DISTANCE_METRES
+        )
+        assert leakage_distance_metres(wir) < 0.5
+
+    def test_ble_leakage_is_room_scale(self, ble):
+        assert leakage_distance_metres(ble) >= 5.0
+
+    def test_wifi_leaks_furthest(self, ble):
+        assert leakage_distance_metres(wifi_hub_uplink()) > leakage_distance_metres(ble)
+
+    def test_nfmi_between_eqs_and_rf(self, wir, ble):
+        nfmi = leakage_distance_metres(nfmi_hearing_aid())
+        assert leakage_distance_metres(wir) < nfmi < leakage_distance_metres(ble)
+
+
+class TestSecurityModel:
+    def test_wir_is_physically_secure(self, wir):
+        model = SecurityModel(intended_channel_length_metres=1.5)
+        assert model.is_physically_secure(wir)
+
+    def test_ble_is_not_physically_secure(self, ble):
+        model = SecurityModel(intended_channel_length_metres=1.5)
+        assert not model.is_physically_secure(ble)
+
+    def test_exposure_ratio_ordering(self, wir, ble):
+        model = SecurityModel()
+        assert model.exposure_ratio(wir) < 1.0 < model.exposure_ratio(ble)
+
+    def test_interception_area_grows_quadratically(self, ble):
+        model = SecurityModel()
+        radius = model.leakage_distance(ble)
+        assert model.interception_area_m2(ble) == pytest.approx(
+            3.141592653589793 * radius * radius
+        )
+
+    def test_invalid_channel_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SecurityModel(intended_channel_length_metres=0.0)
+
+    def test_invalid_threshold_rejected(self, wir):
+        with pytest.raises(ConfigurationError):
+            SecurityModel().is_physically_secure(wir, threshold_ratio=0.0)
+
+
+class TestInterceptionReport:
+    def test_report_covers_all_technologies(self, wir, ble):
+        rows = interception_report([wir, ble, wifi_hub_uplink()])
+        assert len(rows) == 3
+        names = {row["name"] for row in rows}
+        assert wir.name in names and ble.name in names
+
+    def test_only_body_confined_links_marked_secure(self):
+        rows = interception_report([wir_commercial(), ble_1m_phy()])
+        by_name = {row["name"]: row for row in rows}
+        assert by_name[wir_commercial().name]["physically_secure"]
+        assert not by_name[ble_1m_phy().name]["physically_secure"]

@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.body.model import default_adult_body
+from repro.comm.ble import ble_1m_phy
+from repro.comm.eqs_hbc import wir_commercial, wir_leaf_node
+from repro.core.compute import hub_soc, isa_accelerator, leaf_mcu
+from repro.energy.battery import coin_cell_high_capacity
+from repro.sensors.frontend import AFESurveyModel
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for signal-generation tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def wir():
+    """Commercial Wi-R operating point (4 Mb/s, 100 pJ/bit)."""
+    return wir_commercial()
+
+
+@pytest.fixture
+def wir_leaf():
+    """Leaf-class Wi-R operating point (1 Mb/s, 100 pJ/bit)."""
+    return wir_leaf_node()
+
+
+@pytest.fixture
+def ble():
+    """BLE 1M PHY baseline radio."""
+    return ble_1m_phy()
+
+
+@pytest.fixture
+def body():
+    """Default 1.75 m adult body model."""
+    return default_adult_body()
+
+
+@pytest.fixture
+def battery_1000mah():
+    """The paper's Fig. 3 battery assumption."""
+    return coin_cell_high_capacity()
+
+
+@pytest.fixture
+def survey_model():
+    """Default AFE sensing-power survey fit."""
+    return AFESurveyModel()
+
+
+@pytest.fixture
+def leaf_accelerator():
+    """ISA compute device on a human-inspired leaf node."""
+    return isa_accelerator()
+
+
+@pytest.fixture
+def mcu():
+    """Conventional wearable MCU."""
+    return leaf_mcu()
+
+
+@pytest.fixture
+def hub():
+    """On-body hub SoC."""
+    return hub_soc()

@@ -1,0 +1,127 @@
+"""Tests for repro.core.architecture (the Fig. 1 comparison)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.body.landmarks import BodyLandmark
+from repro.comm.ble import ble_1m_phy
+from repro.comm.eqs_hbc import wir_leaf_node
+from repro.core.architecture import (
+    compare_architectures,
+    conventional_node_budget,
+    human_inspired_node_budget,
+)
+from repro.core.node import ConventionalNodeSpec, LeafNodeSpec, SensorSuite
+from repro.errors import ConfigurationError
+from repro.isa.pipeline import biopotential_delta_pipeline
+from repro.sensors.catalog import SensorModality
+
+
+def ecg_conventional() -> ConventionalNodeSpec:
+    return ConventionalNodeSpec(
+        name="ECG patch (today)",
+        sensors=SensorSuite(
+            modalities=(SensorModality.ECG,),
+            sensing_power_watts=units.microwatt(150.0),
+        ),
+        placement=BodyLandmark.STERNUM,
+        radio=ble_1m_phy(),
+    )
+
+
+def ecg_human() -> LeafNodeSpec:
+    return LeafNodeSpec(
+        name="ECG patch (human-inspired)",
+        sensors=SensorSuite(
+            modalities=(SensorModality.ECG,),
+            sensing_power_watts=units.microwatt(20.0),
+        ),
+        placement=BodyLandmark.STERNUM,
+        link=wir_leaf_node(),
+    )
+
+
+class TestConventionalBudget:
+    def test_fig1_component_bands_active_mode(self):
+        """Fig. 1 left: sensor ~100s uW, CPU ~mW, radio ~10s mW."""
+        budget = conventional_node_budget(ecg_conventional(), mode="active")
+        sensor = budget.component_power("sensor")
+        cpu = budget.component_power("cpu")
+        radio = budget.component_power("radio")
+        assert units.microwatt(50.0) <= sensor <= units.microwatt(500.0)
+        assert units.milliwatt(1.0) <= cpu <= units.milliwatt(20.0)
+        assert units.milliwatt(5.0) <= radio <= units.milliwatt(50.0)
+
+    def test_radio_dominates_active_budget(self):
+        budget = conventional_node_budget(ecg_conventional(), mode="active")
+        assert budget.dominant_component().name == "radio"
+
+    def test_average_mode_below_active_mode(self):
+        active = conventional_node_budget(ecg_conventional(), mode="active")
+        average = conventional_node_budget(ecg_conventional(), mode="average")
+        assert average.total_watts() < active.total_watts()
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            conventional_node_budget(ecg_conventional(), mode="peak")
+
+    def test_survey_model_used_when_no_explicit_sensing_power(self):
+        spec = ConventionalNodeSpec(
+            name="imu node",
+            sensors=SensorSuite(modalities=(SensorModality.IMU,)),
+            placement=BodyLandmark.RIGHT_THIGH,
+            radio=ble_1m_phy(),
+        )
+        budget = conventional_node_budget(spec, mode="active")
+        assert budget.component_power("sensor") > 0.0
+
+
+class TestHumanInspiredBudget:
+    def test_fig1_component_bands_active_mode(self):
+        """Fig. 1 right: sensor 10-50 uW, ISA ~100 uW, Wi-R ~100 uW."""
+        budget = human_inspired_node_budget(ecg_human(), mode="active")
+        sensor = budget.component_power("sensor")
+        isa = budget.component_power("isa")
+        wir = budget.component_power("wi-r")
+        assert units.microwatt(10.0) <= sensor <= units.microwatt(50.0)
+        assert units.microwatt(20.0) <= isa <= units.microwatt(300.0)
+        assert units.microwatt(50.0) <= wir <= units.microwatt(300.0)
+
+    def test_total_active_power_sub_milliwatt(self):
+        budget = human_inspired_node_budget(ecg_human(), mode="active")
+        assert budget.total_watts() < units.milliwatt(1.0)
+
+    def test_average_mode_with_isa_pipeline(self):
+        budget = human_inspired_node_budget(
+            ecg_human(), mode="average", isa_pipeline=biopotential_delta_pipeline(),
+        )
+        # Duty-cycled at 3 kb/s, the Wi-R radio contributes almost nothing.
+        assert budget.component_power("wi-r") < units.microwatt(2.0)
+        assert budget.total_watts() < units.microwatt(50.0)
+
+
+class TestComparison:
+    def test_power_reduction_factor_large(self):
+        """The architecture shift buys >= 50x on a biopotential node."""
+        comparison = compare_architectures(ecg_conventional(), ecg_human(),
+                                           mode="active")
+        assert comparison.power_reduction_factor >= 50.0
+
+    def test_communication_reduction_is_the_main_lever(self):
+        comparison = compare_architectures(ecg_conventional(), ecg_human(),
+                                           mode="active")
+        assert comparison.communication_reduction_factor >= 50.0
+        assert comparison.communication_reduction_factor >= \
+            comparison.power_reduction_factor * 0.5
+
+    def test_rows_include_ratio_entry(self):
+        comparison = compare_architectures(ecg_conventional(), ecg_human())
+        rows = comparison.as_rows()
+        assert any(row["component"] == "power reduction" for row in rows)
+
+    def test_average_mode_comparison_also_favours_human_inspired(self):
+        comparison = compare_architectures(ecg_conventional(), ecg_human(),
+                                           mode="average")
+        assert comparison.power_reduction_factor > 3.0

@@ -1,0 +1,139 @@
+"""Tests for repro.core.battery_life (the Fig. 3 projection)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+from repro.comm.ble import ble_1m_phy
+from repro.core.battery_life import (
+    DEVICE_CLASS_PLACEMENTS,
+    PERPETUAL_THRESHOLD_SECONDS,
+    LifeBand,
+    battery_life_vs_data_rate,
+    classify_battery_life,
+    project_battery_life,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBandClassification:
+    def test_band_boundaries(self):
+        assert classify_battery_life(units.hours(5.0)) is LifeBand.SUB_DAY
+        assert classify_battery_life(units.days(1.5)) is LifeBand.ALL_DAY
+        assert classify_battery_life(units.days(7.0)) is LifeBand.ALL_WEEK
+        assert classify_battery_life(units.days(90.0)) is LifeBand.ALL_MONTH
+        assert classify_battery_life(units.years(2.0)) is LifeBand.PERPETUAL
+
+    def test_one_year_is_the_perpetual_threshold(self):
+        assert PERPETUAL_THRESHOLD_SECONDS == pytest.approx(units.years(1.0))
+        just_under = classify_battery_life(units.years(1.0) - 1.0)
+        assert just_under is LifeBand.ALL_MONTH
+
+    def test_infinite_life_is_perpetual(self):
+        assert classify_battery_life(math.inf) is LifeBand.PERPETUAL
+
+    def test_negative_life_rejected(self):
+        with pytest.raises(ConfigurationError):
+            classify_battery_life(-1.0)
+
+
+class TestProjectBatteryLife:
+    def test_fig3_assumptions_defaults(self):
+        """Defaults are the paper's: 1000 mAh, 100 pJ/bit Wi-R, no compute."""
+        point = project_battery_life(units.kilobit_per_second(3.0))
+        assert point.compute_power_watts == 0.0
+        assert point.communication_power_watts == pytest.approx(
+            3000.0 * 100e-12, rel=0.5
+        )
+
+    def test_biopotential_node_is_perpetual(self):
+        point = project_battery_life(
+            units.kilobit_per_second(3.0),
+            sensing_power_watts=units.microwatt(30.0),
+        )
+        assert point.is_perpetual
+        assert point.band is LifeBand.PERPETUAL
+
+    def test_video_node_is_all_day(self):
+        point = project_battery_life(
+            units.megabit_per_second(10.0),
+            sensing_power_watts=units.milliwatt(120.0),
+        )
+        assert point.band is LifeBand.ALL_DAY
+
+    def test_life_decreases_with_data_rate(self):
+        low = project_battery_life(units.kilobit_per_second(1.0))
+        high = project_battery_life(units.megabit_per_second(1.0))
+        assert high.life_seconds < low.life_seconds
+
+    def test_harvesting_can_make_any_leaf_node_infinite(self):
+        point = project_battery_life(
+            units.kilobit_per_second(3.0),
+            sensing_power_watts=units.microwatt(30.0),
+            harvested_power_watts=units.microwatt(200.0),
+        )
+        assert math.isinf(point.life_seconds)
+        assert point.life_days == math.inf
+
+    def test_ble_counterfactual_shorter_life(self):
+        wir_point = project_battery_life(units.kilobit_per_second(100.0))
+        ble_point = project_battery_life(units.kilobit_per_second(100.0),
+                                         technology=ble_1m_phy())
+        assert ble_point.life_seconds < wir_point.life_seconds
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            project_battery_life(-1.0)
+
+    def test_negative_sensing_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            project_battery_life(1e3, sensing_power_watts=-1.0)
+
+    @given(st.floats(min_value=1e2, max_value=1e8))
+    def test_total_power_is_sum_of_parts(self, rate):
+        point = project_battery_life(rate)
+        assert point.total_power_watts == pytest.approx(
+            point.sensing_power_watts + point.communication_power_watts
+            + point.compute_power_watts
+        )
+
+
+class TestFig3Sweep:
+    def test_curve_monotone_in_life(self):
+        projection = battery_life_vs_data_rate(np.logspace(2, 7, 21))
+        lives = [point.life_seconds for point in projection.curve]
+        assert all(later <= earlier + 1e-6 for earlier, later in zip(lives, lives[1:]))
+
+    def test_device_class_bands_match_paper(self):
+        """The three claimed regions of Fig. 3 are reproduced."""
+        projection = battery_life_vs_data_rate(np.logspace(2, 8, 25))
+        for placement, point in projection.device_points:
+            assert point.band is placement.expected_band, placement.name
+
+    def test_perpetual_region_covers_kbps_class_nodes(self):
+        """Perpetual operation extends through the biopotential/ring rates."""
+        projection = battery_life_vs_data_rate(np.logspace(2, 8, 49))
+        limit = projection.perpetual_max_rate_bps()
+        assert limit >= units.kilobit_per_second(10.0)
+        assert limit <= units.megabit_per_second(1.0)
+
+    def test_band_for_rate_lookup(self):
+        projection = battery_life_vs_data_rate(np.logspace(2, 8, 25))
+        assert projection.band_for_rate(units.kilobit_per_second(1.0)) \
+            is LifeBand.PERPETUAL
+
+    def test_rows_report_every_device_class(self):
+        projection = battery_life_vs_data_rate(np.logspace(2, 8, 13))
+        rows = projection.as_rows()
+        assert len(rows) == len(DEVICE_CLASS_PLACEMENTS)
+        assert all(row["matches_paper"] for row in rows)
+
+    def test_device_class_catalog_covers_paper_annotations(self):
+        names = " ".join(p.name for p in DEVICE_CLASS_PLACEMENTS).lower()
+        for keyword in ("biopotential", "ring", "fitness", "audio", "video"):
+            assert keyword in names

@@ -1,0 +1,186 @@
+"""Tests for repro.core.compute, repro.core.power_budget and repro.core.node."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.body.landmarks import BodyLandmark
+from repro.comm.ble import ble_1m_phy
+from repro.comm.eqs_hbc import wir_leaf_node
+from repro.core.compute import (
+    ComputeDevice,
+    cloud_server,
+    hub_soc,
+    isa_accelerator,
+    leaf_mcu,
+)
+from repro.core.node import (
+    ConventionalNodeSpec,
+    HubNodeSpec,
+    LeafNodeSpec,
+    NodeRole,
+    SensorSuite,
+)
+from repro.core.power_budget import PowerBudget, PowerComponent
+from repro.errors import ConfigurationError
+from repro.sensors.catalog import SensorModality
+
+
+class TestComputeDevice:
+    def test_energy_proportional_to_macs(self, hub):
+        assert hub.compute_energy_joules(2e6) == pytest.approx(
+            2.0 * hub.compute_energy_joules(1e6)
+        )
+
+    def test_latency_inverse_of_throughput(self, hub):
+        assert hub.compute_latency_seconds(hub.macs_per_second) == pytest.approx(1.0)
+
+    def test_wakeup_costs_added_on_request(self, mcu):
+        base = mcu.compute_energy_joules(1e3)
+        with_wakeup = mcu.compute_energy_joules(1e3, include_wakeup=True)
+        assert with_wakeup - base == pytest.approx(mcu.wakeup_energy_joules)
+
+    def test_average_power_includes_idle(self, leaf_accelerator):
+        power = leaf_accelerator.average_power_watts(0.0, 0.0)
+        assert power == pytest.approx(leaf_accelerator.idle_power_watts)
+
+    def test_sustainable_inference_rate(self, hub):
+        rate = hub.sustainable_inference_rate_hz(1e9)
+        assert rate == pytest.approx(hub.macs_per_second / 1e9)
+
+    def test_tier_energy_ordering(self):
+        """ISA accelerator < hub SoC < leaf MCU in energy per MAC."""
+        assert isa_accelerator().energy_per_mac_joules \
+            < hub_soc().energy_per_mac_joules \
+            < leaf_mcu().energy_per_mac_joules
+
+    def test_tier_throughput_ordering(self):
+        assert hub_soc().macs_per_second > leaf_mcu().macs_per_second
+        assert cloud_server().macs_per_second > hub_soc().macs_per_second
+
+    def test_isa_active_power_is_100_microwatt_class(self):
+        """Fig. 1: the ISA block in a human-inspired node is ~100 uW."""
+        isa = isa_accelerator()
+        active = isa.energy_per_mac_joules * isa.macs_per_second
+        assert units.microwatt(20.0) <= active <= units.microwatt(300.0)
+
+    def test_mcu_active_power_is_milliwatt_class(self):
+        """Fig. 1: the CPU block in a today's node is ~mW."""
+        mcu = leaf_mcu()
+        active = mcu.energy_per_mac_joules * mcu.macs_per_second
+        assert units.milliwatt(1.0) <= active <= units.milliwatt(20.0)
+
+    def test_cloud_compute_is_free_for_the_wearable(self):
+        assert cloud_server().compute_energy_joules(1e12) == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ComputeDevice(name="bad", energy_per_mac_joules=-1.0, macs_per_second=1.0)
+        with pytest.raises(ConfigurationError):
+            ComputeDevice(name="bad", energy_per_mac_joules=1.0, macs_per_second=0.0)
+        with pytest.raises(ConfigurationError):
+            hub_soc().compute_energy_joules(-1.0)
+
+
+class TestPowerBudget:
+    def make_budget(self) -> PowerBudget:
+        budget = PowerBudget(node_name="test node")
+        budget.add("sensor", units.microwatt(30.0), category="sensing")
+        budget.add("isa", units.microwatt(100.0), category="compute")
+        budget.add("wi-r", units.microwatt(100.0), category="communication")
+        return budget
+
+    def test_total(self):
+        assert self.make_budget().total_watts() == pytest.approx(units.microwatt(230.0))
+
+    def test_component_lookup(self):
+        assert self.make_budget().component_power("isa") == pytest.approx(
+            units.microwatt(100.0)
+        )
+
+    def test_unknown_component_raises(self):
+        with pytest.raises(ConfigurationError):
+            self.make_budget().component_power("gpu")
+
+    def test_category_power(self):
+        budget = self.make_budget()
+        assert budget.category_power("communication") == pytest.approx(
+            units.microwatt(100.0)
+        )
+        assert budget.categories() == ["sensing", "compute", "communication"]
+
+    def test_fractions_sum_to_one(self):
+        fractions = self.make_budget().fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_dominant_component(self):
+        budget = self.make_budget()
+        assert budget.dominant_component().name in ("isa", "wi-r")
+
+    def test_ratio_over(self):
+        small = self.make_budget()
+        large = PowerBudget(node_name="big")
+        large.add("radio", units.milliwatt(10.0))
+        assert large.ratio_over(small) > 40.0
+
+    def test_empty_budget_dominant_raises(self):
+        with pytest.raises(ConfigurationError):
+            PowerBudget(node_name="empty").dominant_component()
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerComponent(name="bad", power_watts=-1.0)
+
+    def test_as_rows_includes_total(self):
+        rows = self.make_budget().as_rows()
+        assert rows[-1]["component"] == "TOTAL"
+        assert len(rows) == 4
+
+
+class TestNodeSpecs:
+    def test_sensor_suite_rates(self):
+        suite = SensorSuite(modalities=(SensorModality.ECG, SensorModality.IMU))
+        assert suite.raw_data_rate_bps() == pytest.approx(3000.0 + 9600.0)
+        assert suite.compressed_data_rate_bps() < suite.raw_data_rate_bps()
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SensorSuite(modalities=())
+
+    def test_leaf_node_role(self):
+        leaf = LeafNodeSpec(
+            name="ecg patch",
+            sensors=SensorSuite(modalities=(SensorModality.ECG,)),
+            placement=BodyLandmark.STERNUM,
+            link=wir_leaf_node(),
+        )
+        assert leaf.role is NodeRole.LEAF
+        assert leaf.battery.capacity_mah == 1000.0
+
+    def test_conventional_node_role(self):
+        node = ConventionalNodeSpec(
+            name="smartwatch",
+            sensors=SensorSuite(modalities=(SensorModality.PPG,)),
+            placement=BodyLandmark.LEFT_WRIST,
+            radio=ble_1m_phy(),
+        )
+        assert node.role is NodeRole.CONVENTIONAL
+
+    def test_hub_node_defaults(self):
+        hub = HubNodeSpec(
+            name="phone hub",
+            placement=BodyLandmark.LEFT_POCKET,
+            body_link=wir_leaf_node(),
+        )
+        assert hub.role is NodeRole.HUB
+        assert hub.soc.macs_per_second > 1e9
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LeafNodeSpec(
+                name="",
+                sensors=SensorSuite(modalities=(SensorModality.ECG,)),
+                placement=BodyLandmark.STERNUM,
+                link=wir_leaf_node(),
+            )

@@ -1,0 +1,149 @@
+"""Tests for repro.core.designer (the end-to-end network designer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.body.landmarks import BodyLandmark
+from repro.comm.ble import ble_1m_phy
+from repro.core.battery_life import LifeBand
+from repro.core.designer import ApplicationSpec, NetworkDesigner
+from repro.core.offload import OffloadStrategy
+from repro.errors import ConfigurationError
+from repro.isa.pipeline import audio_feature_pipeline
+from repro.sensors.catalog import SensorModality
+
+
+def standard_applications() -> list[ApplicationSpec]:
+    return [
+        ApplicationSpec(
+            name="arrhythmia monitor",
+            modality=SensorModality.ECG,
+            placement=BodyLandmark.STERNUM,
+            model_name="ecg_arrhythmia",
+            inference_rate_hz=1.2,
+            sensing_power_watts=units.microwatt(30.0),
+        ),
+        ApplicationSpec(
+            name="keyword spotter",
+            modality=SensorModality.AUDIO,
+            placement=BodyLandmark.CHEST,
+            model_name="keyword_spotting",
+            inference_rate_hz=1.0,
+            isa_pipeline=audio_feature_pipeline(),
+            sensing_power_watts=units.milliwatt(2.0),
+        ),
+        ApplicationSpec(
+            name="activity tracker",
+            modality=SensorModality.IMU,
+            placement=BodyLandmark.RIGHT_WRIST,
+            model_name="imu_har",
+            inference_rate_hz=1.0,
+            sensing_power_watts=units.microwatt(300.0),
+        ),
+    ]
+
+
+class TestNodePlanning:
+    def test_plan_produces_entry_per_application(self):
+        designer = NetworkDesigner()
+        plan = designer.plan(standard_applications())
+        assert len(plan.nodes) == 3
+        assert plan.node("keyword spotter").application.modality is SensorModality.AUDIO
+
+    def test_biopotential_leaf_is_perpetual(self):
+        designer = NetworkDesigner()
+        plan = designer.plan(standard_applications())
+        ecg_plan = plan.node("arrhythmia monitor")
+        assert ecg_plan.life_band is LifeBand.PERPETUAL
+        assert ecg_plan.battery_life_days > 365.0
+
+    def test_all_leaves_reach_all_week_or_better(self):
+        designer = NetworkDesigner()
+        plan = designer.plan(standard_applications())
+        assert plan.all_leaves_perpetual_or_better_than(LifeBand.ALL_WEEK)
+
+    def test_schedule_feasible_for_standard_suite(self):
+        plan = NetworkDesigner().plan(standard_applications())
+        assert plan.schedule_feasible
+        assert plan.bus_utilization < 1.0
+
+    def test_link_budget_margin_positive_for_all_placements(self):
+        plan = NetworkDesigner().plan(standard_applications())
+        for node in plan.nodes:
+            assert node.link_margin_db > 0.0
+            assert node.channel_length_metres <= 2.0
+
+    def test_hub_power_is_hub_class(self):
+        plan = NetworkDesigner().plan(standard_applications())
+        assert plan.hub_compute_power_watts >= units.milliwatt(10.0)
+        assert plan.hub_compute_power_watts <= 5.0
+
+    def test_leaf_power_orders_of_magnitude_below_hub(self):
+        plan = NetworkDesigner().plan(standard_applications())
+        for node in plan.nodes:
+            assert node.average_power_watts * 10.0 < plan.hub_compute_power_watts
+
+    def test_latency_requirement_checked(self):
+        application = ApplicationSpec(
+            name="strict voice assistant",
+            modality=SensorModality.AUDIO,
+            placement=BodyLandmark.CHEST,
+            model_name="keyword_spotting",
+            inference_rate_hz=1.0,
+            latency_requirement_seconds=1.0,
+            sensing_power_watts=units.milliwatt(2.0),
+        )
+        plan = NetworkDesigner().plan_node(application)
+        assert plan.meets_latency_requirement
+
+    def test_offload_decision_attached(self):
+        plan = NetworkDesigner().plan_node(standard_applications()[0])
+        assert plan.offload.chosen.strategy in set(OffloadStrategy)
+        assert plan.profile.total_macs > 0
+
+
+class TestDesignerConfiguration:
+    def test_ble_designer_yields_shorter_lives(self):
+        wir_plan = NetworkDesigner().plan(standard_applications())
+        ble_plan = NetworkDesigner(technology=ble_1m_phy()).plan(standard_applications())
+        for application in ("arrhythmia monitor", "keyword spotter"):
+            assert ble_plan.node(application).average_power_watts >= \
+                wir_plan.node(application).average_power_watts
+
+    def test_duplicate_application_names_rejected(self):
+        applications = standard_applications()
+        applications[1] = ApplicationSpec(
+            name="arrhythmia monitor",
+            modality=SensorModality.AUDIO,
+            placement=BodyLandmark.CHEST,
+            model_name="keyword_spotting",
+            inference_rate_hz=1.0,
+        )
+        with pytest.raises(ConfigurationError):
+            NetworkDesigner().plan(applications)
+
+    def test_empty_application_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkDesigner().plan([])
+
+    def test_unknown_plan_lookup_rejected(self):
+        plan = NetworkDesigner().plan(standard_applications()[:1])
+        with pytest.raises(ConfigurationError):
+            plan.node("nonexistent")
+
+    def test_invalid_application_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ApplicationSpec(
+                name="bad",
+                modality=SensorModality.ECG,
+                placement=BodyLandmark.STERNUM,
+                model_name="ecg_arrhythmia",
+                inference_rate_hz=0.0,
+            )
+
+    def test_hub_placement_configurable(self):
+        designer = NetworkDesigner(hub_placement=BodyLandmark.LEFT_WRIST)
+        plan = designer.plan(standard_applications()[:1])
+        assert plan.hub_placement is BodyLandmark.LEFT_WRIST

@@ -1,0 +1,83 @@
+"""Tests for repro.core.hub_analysis (the daily-charged wearable brain)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.body.landmarks import BodyLandmark
+from repro.core.designer import ApplicationSpec, NetworkDesigner
+from repro.core.hub_analysis import analyse_hub_load
+from repro.energy.battery import BatterySpec
+from repro.errors import ConfigurationError
+from repro.isa.pipeline import audio_feature_pipeline
+from repro.sensors.catalog import SensorModality
+
+
+@pytest.fixture(scope="module")
+def plan():
+    applications = [
+        ApplicationSpec("ecg", SensorModality.ECG, BodyLandmark.STERNUM,
+                        "ecg_arrhythmia", 1.2,
+                        sensing_power_watts=units.microwatt(30.0)),
+        ApplicationSpec("kws", SensorModality.AUDIO, BodyLandmark.CHEST,
+                        "keyword_spotting", 1.0,
+                        isa_pipeline=audio_feature_pipeline(),
+                        sensing_power_watts=units.milliwatt(2.0)),
+        ApplicationSpec("vision", SensorModality.VIDEO_QVGA,
+                        BodyLandmark.RIGHT_EYE, "vision_tiny", 2.0,
+                        sensing_power_watts=units.milliwatt(60.0)),
+        ApplicationSpec("har", SensorModality.IMU, BodyLandmark.RIGHT_WRIST,
+                        "imu_har", 1.0,
+                        sensing_power_watts=units.microwatt(300.0)),
+    ]
+    return NetworkDesigner().plan(applications)
+
+
+class TestHubLoadReport:
+    def test_total_is_sum_of_components(self, plan):
+        report = analyse_hub_load(plan)
+        assert report.total_power_watts == pytest.approx(
+            report.idle_power_watts + report.body_rx_power_watts
+            + report.offloaded_compute_power_watts + report.uplink_power_watts
+        )
+
+    def test_hub_survives_daily_charging(self, plan):
+        """The paper's premise: the hub is the one daily-charged device."""
+        report = analyse_hub_load(plan)
+        assert report.survives_charging_interval
+        assert report.battery_life_hours >= 24.0
+
+    def test_hub_power_is_hub_class_not_leaf_class(self, plan):
+        report = analyse_hub_load(plan)
+        assert units.milliwatt(10.0) <= report.total_power_watts <= 5.0
+
+    def test_compute_headroom_is_large(self, plan):
+        """A smartphone-class NPU barely notices a few wearable DNNs."""
+        report = analyse_hub_load(plan)
+        assert report.compute_headroom > 1e3
+
+    def test_offload_share_bounded(self, plan):
+        report = analyse_hub_load(plan)
+        assert 0.0 <= report.offload_share_of_power <= 1.0
+
+    def test_rows_include_total(self, plan):
+        rows = analyse_hub_load(plan).as_rows()
+        assert rows[-1]["component"] == "TOTAL"
+        assert len(rows) == 5
+
+    def test_tiny_hub_battery_fails_the_day(self, plan):
+        small = BatterySpec(name="tiny hub", capacity_mah=100.0)
+        report = analyse_hub_load(plan, battery=small)
+        assert not report.survives_charging_interval
+
+    def test_uplink_fraction_increases_power(self, plan):
+        low = analyse_hub_load(plan, uplink_fraction=0.0)
+        high = analyse_hub_load(plan, uplink_fraction=1.0)
+        assert high.total_power_watts >= low.total_power_watts
+
+    def test_invalid_parameters_rejected(self, plan):
+        with pytest.raises(ConfigurationError):
+            analyse_hub_load(plan, uplink_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            analyse_hub_load(plan, charging_interval_seconds=0.0)

@@ -1,0 +1,186 @@
+"""Tests for repro.core.offload and repro.core.feasibility."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import units
+from repro.core.feasibility import harvesting_headroom_watts, perpetual_feasibility
+from repro.core.offload import (
+    OffloadStrategy,
+    choose_offload_strategy,
+    evaluate_offload_strategies,
+)
+from repro.core.partition import PartitionObjective
+from repro.energy.battery import BatterySpec
+from repro.energy.harvester import (
+    HarvestingEnvironment,
+    indoor_photovoltaic,
+    thermoelectric_body,
+)
+from repro.errors import ConfigurationError
+from repro.isa.pipeline import audio_feature_pipeline
+from repro.nn.profile import profile_model
+from repro.nn.zoo import keyword_spotting_cnn
+
+
+@pytest.fixture(scope="module")
+def kws_profile():
+    return profile_model(keyword_spotting_cnn())
+
+
+class TestOffloadStrategies:
+    def test_all_strategies_evaluated_with_isa(self, kws_profile, leaf_accelerator,
+                                               hub, wir):
+        options = evaluate_offload_strategies(
+            kws_profile, leaf_accelerator, hub, wir, inference_rate_hz=1.0,
+            isa_pipeline=audio_feature_pipeline(),
+        )
+        strategies = {option.strategy for option in options}
+        assert strategies == {
+            OffloadStrategy.LOCAL_ALL,
+            OffloadStrategy.OFFLOAD_RAW,
+            OffloadStrategy.OFFLOAD_FEATURES,
+            OffloadStrategy.PARTITIONED,
+        }
+
+    def test_features_strategy_absent_without_pipeline(self, kws_profile,
+                                                       leaf_accelerator, hub, wir):
+        options = evaluate_offload_strategies(
+            kws_profile, leaf_accelerator, hub, wir, inference_rate_hz=1.0,
+        )
+        strategies = {option.strategy for option in options}
+        assert OffloadStrategy.OFFLOAD_FEATURES not in strategies
+
+    def test_partitioned_never_worse_than_extremes(self, kws_profile,
+                                                   leaf_accelerator, hub, wir):
+        decision = choose_offload_strategy(
+            kws_profile, leaf_accelerator, hub, wir, inference_rate_hz=1.0,
+        )
+        partitioned = decision.option(OffloadStrategy.PARTITIONED)
+        local = decision.option(OffloadStrategy.LOCAL_ALL)
+        raw = decision.option(OffloadStrategy.OFFLOAD_RAW)
+        assert partitioned.leaf_energy_joules <= local.leaf_energy_joules + 1e-15
+        assert partitioned.leaf_energy_joules <= raw.leaf_energy_joules + 1e-15
+
+    def test_wir_chooses_offload_ble_prefers_local(self, kws_profile,
+                                                   leaf_accelerator, hub, wir, ble):
+        """The central architectural claim as an offload decision."""
+        over_wir = choose_offload_strategy(
+            kws_profile, leaf_accelerator, hub, wir, inference_rate_hz=1.0,
+        )
+        over_ble = choose_offload_strategy(
+            kws_profile, leaf_accelerator, hub, ble, inference_rate_hz=1.0,
+        )
+        wir_hub_macs = over_wir.chosen.partition.best.hub_macs \
+            if over_wir.chosen.partition else (
+                kws_profile.total_macs
+                if over_wir.chosen.strategy is OffloadStrategy.OFFLOAD_RAW else 0
+            )
+        ble_hub_macs = over_ble.chosen.partition.best.hub_macs \
+            if over_ble.chosen.partition else (
+                kws_profile.total_macs
+                if over_ble.chosen.strategy is OffloadStrategy.OFFLOAD_RAW else 0
+            )
+        assert wir_hub_macs >= ble_hub_macs
+        assert over_wir.chosen.leaf_energy_joules < over_ble.chosen.leaf_energy_joules
+
+    def test_leaf_average_power_scales_with_inference_rate(self, kws_profile,
+                                                           leaf_accelerator, hub, wir):
+        slow = choose_offload_strategy(
+            kws_profile, leaf_accelerator, hub, wir, inference_rate_hz=0.5,
+        )
+        fast = choose_offload_strategy(
+            kws_profile, leaf_accelerator, hub, wir, inference_rate_hz=2.0,
+        )
+        assert fast.chosen.leaf_average_power_watts == pytest.approx(
+            4.0 * slow.chosen.leaf_average_power_watts, rel=1e-6
+        )
+
+    def test_always_on_kws_leaf_power_is_microwatt_class_over_wir(
+            self, kws_profile, leaf_accelerator, hub, wir):
+        """A once-per-second keyword-spotting leaf stays in the uW class."""
+        decision = choose_offload_strategy(
+            kws_profile, leaf_accelerator, hub, wir, inference_rate_hz=1.0,
+        )
+        assert decision.chosen.leaf_average_power_watts < units.microwatt(50.0)
+
+    def test_latency_objective_supported(self, kws_profile, leaf_accelerator,
+                                         hub, wir):
+        decision = choose_offload_strategy(
+            kws_profile, leaf_accelerator, hub, wir, inference_rate_hz=1.0,
+            objective=PartitionObjective.LATENCY,
+        )
+        fastest = min(option.latency_seconds for option in decision.options)
+        assert decision.chosen.latency_seconds == pytest.approx(fastest)
+
+    def test_leaf_energy_ratio_lookup(self, kws_profile, leaf_accelerator, hub, wir):
+        decision = choose_offload_strategy(
+            kws_profile, leaf_accelerator, hub, wir, inference_rate_hz=1.0,
+        )
+        assert decision.leaf_energy_ratio(OffloadStrategy.LOCAL_ALL) >= 1.0
+
+    def test_unknown_option_lookup_rejected(self, kws_profile, leaf_accelerator,
+                                            hub, wir):
+        decision = choose_offload_strategy(
+            kws_profile, leaf_accelerator, hub, wir, inference_rate_hz=1.0,
+        )
+        with pytest.raises(ConfigurationError):
+            decision.option(OffloadStrategy.OFFLOAD_FEATURES)
+
+    def test_negative_inference_rate_rejected(self, kws_profile, leaf_accelerator,
+                                              hub, wir):
+        with pytest.raises(ConfigurationError):
+            evaluate_offload_strategies(
+                kws_profile, leaf_accelerator, hub, wir, inference_rate_hz=-1.0,
+            )
+
+
+class TestFeasibility:
+    def test_leaf_node_perpetual_with_indoor_harvesting(self):
+        """A 50 uW leaf node is energy-neutral on indoor PV + TEG."""
+        report = perpetual_feasibility(
+            "ecg leaf", units.microwatt(50.0),
+            harvesters=[indoor_photovoltaic(), thermoelectric_body()],
+        )
+        assert report.is_energy_neutral
+        assert report.is_perpetual
+        assert report.battery_life_days == math.inf
+
+    def test_millwatt_node_not_energy_neutral_indoors(self):
+        report = perpetual_feasibility(
+            "audio node", units.milliwatt(15.0),
+            harvesters=[indoor_photovoltaic(), thermoelectric_body()],
+        )
+        assert not report.is_energy_neutral
+        assert not report.is_perpetual
+        assert report.harvesting_margin_watts < 0.0
+
+    def test_battery_perpetual_without_harvesting(self):
+        """A 30 uW node exceeds one year on the 1000 mAh cell alone."""
+        report = perpetual_feasibility("biopotential patch", units.microwatt(30.0))
+        assert not report.is_energy_neutral
+        assert report.is_perpetual
+
+    def test_small_battery_changes_the_verdict(self):
+        tiny = BatterySpec(name="tiny", capacity_mah=20.0)
+        report = perpetual_feasibility("ring", units.microwatt(100.0), battery=tiny)
+        assert not report.is_perpetual
+
+    def test_headroom_sign(self):
+        headroom = harvesting_headroom_watts(
+            units.microwatt(30.0),
+            [indoor_photovoltaic(), thermoelectric_body()],
+            HarvestingEnvironment.INDOOR_OFFICE,
+        )
+        assert headroom > 0.0
+        shortfall = harvesting_headroom_watts(
+            units.milliwatt(10.0), [indoor_photovoltaic()],
+        )
+        assert shortfall < 0.0
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ConfigurationError):
+            perpetual_feasibility("bad", -1.0)

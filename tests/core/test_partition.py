@@ -1,0 +1,164 @@
+"""Tests for repro.core.partition (the DNN partitioner)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.comm.ble import ble_1m_phy
+from repro.comm.eqs_hbc import wir_commercial
+from repro.core.compute import hub_soc, isa_accelerator
+from repro.core.partition import (
+    PartitionObjective,
+    evaluate_split,
+    min_cut_partition,
+    optimal_partition,
+    sweep_partitions,
+)
+from repro.errors import PartitionError
+from repro.nn.profile import profile_model
+from repro.nn.zoo import imu_har_mlp, keyword_spotting_cnn, mobilenet_tiny
+
+
+@pytest.fixture(scope="module")
+def kws_profile():
+    return profile_model(keyword_spotting_cnn())
+
+
+@pytest.fixture(scope="module")
+def vision_profile():
+    return profile_model(mobilenet_tiny())
+
+
+@pytest.fixture(scope="module")
+def har_profile():
+    return profile_model(imu_har_mlp())
+
+
+class TestEvaluateSplit:
+    def test_split_zero_ships_raw_input(self, kws_profile, leaf_accelerator, hub, wir):
+        point = evaluate_split(kws_profile, 0, leaf_accelerator, hub, wir)
+        assert point.leaf_macs == 0
+        assert point.hub_macs == kws_profile.total_macs
+        assert point.transfer_bits == pytest.approx(kws_profile.input_bits)
+        assert point.boundary_layer == "<input>"
+
+    def test_full_split_runs_everything_on_leaf(self, kws_profile,
+                                                leaf_accelerator, hub, wir):
+        last = len(kws_profile.layers)
+        point = evaluate_split(kws_profile, last, leaf_accelerator, hub, wir)
+        assert point.hub_macs == 0
+        assert point.leaf_macs == kws_profile.total_macs
+        assert point.transfer_bits == pytest.approx(kws_profile.output_bits)
+
+    def test_energy_components_sum(self, kws_profile, leaf_accelerator, hub, wir):
+        point = evaluate_split(kws_profile, 3, leaf_accelerator, hub, wir)
+        assert point.leaf_energy_joules == pytest.approx(
+            point.leaf_compute_energy_joules + point.link_tx_energy_joules
+        )
+        assert point.total_energy_joules == pytest.approx(
+            point.leaf_energy_joules + point.hub_energy_joules
+        )
+
+    def test_latency_is_sum_of_stages(self, kws_profile, leaf_accelerator, hub, wir):
+        point = evaluate_split(kws_profile, 3, leaf_accelerator, hub, wir)
+        assert point.latency_seconds == pytest.approx(
+            point.leaf_latency_seconds + point.transfer_latency_seconds
+            + point.hub_latency_seconds
+        )
+
+    def test_out_of_range_split_rejected(self, kws_profile, leaf_accelerator, hub, wir):
+        with pytest.raises(PartitionError):
+            evaluate_split(kws_profile, 999, leaf_accelerator, hub, wir)
+
+
+class TestSweepAndOptimal:
+    def test_sweep_covers_all_split_points(self, kws_profile, leaf_accelerator,
+                                           hub, wir):
+        points = sweep_partitions(kws_profile, leaf_accelerator, hub, wir)
+        assert len(points) == len(kws_profile.layers) + 1
+        assert [p.split_index for p in points] == kws_profile.split_points()
+
+    def test_optimal_is_minimum_of_sweep(self, kws_profile, leaf_accelerator,
+                                         hub, wir):
+        decision = optimal_partition(kws_profile, leaf_accelerator, hub, wir)
+        sweep_min = min(
+            p.leaf_energy_joules for p in decision.points
+        )
+        assert decision.best.leaf_energy_joules == pytest.approx(sweep_min)
+
+    def test_wir_prefers_early_offload_for_kws(self, kws_profile,
+                                               leaf_accelerator, hub, wir):
+        """With 100 pJ/bit communication, shipping data early wins."""
+        decision = optimal_partition(kws_profile, leaf_accelerator, hub, wir)
+        assert decision.runs_fully_on_hub or decision.best.split_index <= 2
+
+    def test_ble_prefers_local_compute_for_kws(self, kws_profile,
+                                               leaf_accelerator, hub, ble):
+        """With nJ/bit communication, the optimum keeps compute on the leaf."""
+        decision = optimal_partition(kws_profile, leaf_accelerator, hub, ble)
+        assert decision.best.split_index > 2
+        fraction_on_hub = decision.best.hub_macs / kws_profile.total_macs
+        assert fraction_on_hub < 0.5
+
+    def test_wir_leaf_energy_below_ble_leaf_energy(self, kws_profile,
+                                                   leaf_accelerator, hub, wir, ble):
+        wir_best = optimal_partition(kws_profile, leaf_accelerator, hub, wir).best
+        ble_best = optimal_partition(kws_profile, leaf_accelerator, hub, ble).best
+        assert wir_best.leaf_energy_joules < ble_best.leaf_energy_joules
+
+    def test_latency_objective_can_differ_from_energy_objective(
+            self, vision_profile, leaf_accelerator, hub, wir):
+        energy = optimal_partition(vision_profile, leaf_accelerator, hub, wir,
+                                   objective=PartitionObjective.LEAF_ENERGY)
+        latency = optimal_partition(vision_profile, leaf_accelerator, hub, wir,
+                                    objective=PartitionObjective.LATENCY)
+        assert latency.best.latency_seconds <= energy.best.latency_seconds + 1e-12
+
+    def test_total_energy_objective(self, har_profile, leaf_accelerator, hub, wir):
+        decision = optimal_partition(har_profile, leaf_accelerator, hub, wir,
+                                     objective=PartitionObjective.TOTAL_ENERGY)
+        best_total = min(p.total_energy_joules for p in decision.points)
+        assert decision.best.total_energy_joules == pytest.approx(best_total)
+
+    def test_energy_delay_product_objective(self, har_profile, leaf_accelerator,
+                                            hub, wir):
+        decision = optimal_partition(har_profile, leaf_accelerator, hub, wir,
+                                     objective=PartitionObjective.ENERGY_DELAY_PRODUCT)
+        best = min(p.energy_delay_product for p in decision.points)
+        assert decision.best.energy_delay_product == pytest.approx(best)
+
+    def test_improvement_over_reports_ratio(self, kws_profile, leaf_accelerator,
+                                            hub, wir):
+        decision = optimal_partition(kws_profile, leaf_accelerator, hub, wir)
+        full_local = len(kws_profile.layers)
+        assert decision.improvement_over(full_local) >= 1.0
+
+    def test_improvement_over_unknown_split_rejected(self, kws_profile,
+                                                     leaf_accelerator, hub, wir):
+        decision = optimal_partition(kws_profile, leaf_accelerator, hub, wir)
+        with pytest.raises(PartitionError):
+            decision.improvement_over(999)
+
+
+class TestMinCutCrossCheck:
+    @pytest.mark.parametrize("model_builder", [keyword_spotting_cnn, imu_har_mlp])
+    def test_min_cut_matches_exhaustive_for_wir(self, model_builder,
+                                                leaf_accelerator, hub, wir):
+        profile = profile_model(model_builder())
+        exhaustive = optimal_partition(profile, leaf_accelerator, hub, wir)
+        flow_based = min_cut_partition(profile, leaf_accelerator, hub, wir)
+        exhaustive_value = exhaustive.best.leaf_energy_joules
+        flow_value = evaluate_split(
+            profile, flow_based, leaf_accelerator, hub, wir
+        ).leaf_energy_joules
+        assert flow_value == pytest.approx(exhaustive_value, rel=1e-9)
+
+    def test_min_cut_matches_exhaustive_for_ble(self, leaf_accelerator, hub, ble):
+        profile = profile_model(keyword_spotting_cnn())
+        exhaustive = optimal_partition(profile, leaf_accelerator, hub, ble)
+        flow_based = min_cut_partition(profile, leaf_accelerator, hub, ble)
+        flow_value = evaluate_split(
+            profile, flow_based, leaf_accelerator, hub, ble
+        ).leaf_energy_joules
+        assert flow_value == pytest.approx(exhaustive.best.leaf_energy_joules,
+                                           rel=1e-9)

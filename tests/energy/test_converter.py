@@ -1,0 +1,60 @@
+"""Tests for repro.energy.converter."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.energy.converter import DCDCConverter, buck_converter, ldo_regulator
+from repro.errors import ConfigurationError
+
+
+class TestConverterModel:
+    def test_input_exceeds_output(self):
+        converter = buck_converter()
+        load = 1e-3
+        assert converter.input_power(load) > load
+
+    def test_zero_load_draws_quiescent_only(self):
+        converter = ldo_regulator()
+        assert converter.input_power(0.0) == pytest.approx(
+            converter.quiescent_power_watts
+        )
+
+    def test_light_load_regime_less_efficient(self):
+        converter = buck_converter()
+        light = converter.light_load_threshold_watts / 10.0
+        heavy = converter.light_load_threshold_watts * 10.0
+        light_efficiency = light / converter.input_power(light)
+        heavy_efficiency = heavy / converter.input_power(heavy)
+        assert light_efficiency < heavy_efficiency
+
+    def test_loss_is_input_minus_output(self):
+        converter = ldo_regulator()
+        load = 5e-5
+        assert converter.loss(load) == pytest.approx(
+            converter.input_power(load) - load
+        )
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ldo_regulator().input_power(-1.0)
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DCDCConverter(name="bad", efficiency=0.0, light_load_efficiency=0.5,
+                          light_load_threshold_watts=1e-3)
+
+    def test_efficiency_above_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DCDCConverter(name="bad", efficiency=1.2, light_load_efficiency=0.5,
+                          light_load_threshold_watts=1e-3)
+
+    @given(st.floats(min_value=1e-9, max_value=10.0))
+    def test_input_power_monotone_in_load(self, load):
+        converter = buck_converter()
+        assert converter.input_power(load * 2.0) > converter.input_power(load)
+
+    @given(st.floats(min_value=1e-9, max_value=10.0))
+    def test_loss_non_negative(self, load):
+        assert ldo_regulator().loss(load) >= 0.0

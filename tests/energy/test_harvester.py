@@ -1,0 +1,116 @@
+"""Tests for repro.energy.harvester."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.energy.harvester import (
+    EnergyHarvester,
+    HarvesterSpec,
+    HarvestingEnvironment,
+    indoor_photovoltaic,
+    kinetic_wrist,
+    outdoor_photovoltaic,
+    rf_ambient,
+    thermoelectric_body,
+    total_harvested_power,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPhotovoltaic:
+    def test_indoor_office_power_in_paper_range(self):
+        """The paper quotes 10--200 uW for indoor harvesting."""
+        power = indoor_photovoltaic().power_watts(HarvestingEnvironment.INDOOR_OFFICE)
+        assert units.microwatt(10.0) <= power <= units.microwatt(200.0)
+
+    def test_brighter_environment_harvests_more(self):
+        harvester = indoor_photovoltaic()
+        dim = harvester.power_watts(HarvestingEnvironment.INDOOR_DIM)
+        office = harvester.power_watts(HarvestingEnvironment.INDOOR_OFFICE)
+        bright = harvester.power_watts(HarvestingEnvironment.INDOOR_BRIGHT)
+        sun = harvester.power_watts(HarvestingEnvironment.OUTDOOR_SUN)
+        assert dim < office < bright < sun
+
+    def test_outdoor_sun_reaches_milliwatts(self):
+        power = outdoor_photovoltaic().power_watts(HarvestingEnvironment.OUTDOOR_SUN)
+        assert power > units.milliwatt(1.0)
+
+    def test_power_scales_with_area(self):
+        small = indoor_photovoltaic(area_cm2=2.0).power_watts()
+        large = indoor_photovoltaic(area_cm2=8.0).power_watts()
+        assert large == pytest.approx(4.0 * small)
+
+    def test_power_scales_with_efficiency(self):
+        low = indoor_photovoltaic(efficiency=0.10).power_watts()
+        high = indoor_photovoltaic(efficiency=0.20).power_watts()
+        assert high == pytest.approx(2.0 * low)
+
+
+class TestOtherHarvesters:
+    def test_thermoelectric_in_tens_of_microwatts(self):
+        power = thermoelectric_body().power_watts()
+        assert units.microwatt(10.0) <= power <= units.microwatt(200.0)
+
+    def test_thermoelectric_scales_with_delta_t(self):
+        cold = thermoelectric_body(delta_t_kelvin=1.0).power_watts()
+        warm = thermoelectric_body(delta_t_kelvin=3.0).power_watts()
+        assert warm == pytest.approx(3.0 * cold)
+
+    def test_kinetic_scales_with_motion(self):
+        resting = kinetic_wrist(motion_intensity=0.1).power_watts()
+        active = kinetic_wrist(motion_intensity=0.9).power_watts()
+        assert active > resting
+
+    def test_kinetic_motion_saturates_at_one(self):
+        capped = kinetic_wrist(motion_intensity=1.0).power_watts()
+        over = EnergyHarvester(HarvesterSpec(
+            name="over", kind="kinetic", motion_intensity=5.0,
+            peak_power_watts=units.microwatt(100.0),
+        )).power_watts()
+        assert over == pytest.approx(capped)
+
+    def test_rf_indoor_single_digit_microwatts(self):
+        power = rf_ambient().power_watts(HarvestingEnvironment.INDOOR_OFFICE)
+        assert power <= units.microwatt(10.0)
+
+    def test_rf_weaker_outdoors(self):
+        harvester = rf_ambient()
+        indoor = harvester.power_watts(HarvestingEnvironment.INDOOR_OFFICE)
+        outdoor = harvester.power_watts(HarvestingEnvironment.OUTDOOR_SUN)
+        assert outdoor < indoor
+
+
+class TestSpecValidation:
+    def test_unknown_kind_rejected_on_use(self):
+        harvester = EnergyHarvester(HarvesterSpec(name="x", kind="fusion"))
+        with pytest.raises(ConfigurationError):
+            harvester.power_watts()
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HarvesterSpec(name="x", kind="photovoltaic", area_cm2=-1.0)
+
+    def test_efficiency_above_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HarvesterSpec(name="x", kind="photovoltaic", efficiency=1.5)
+
+
+class TestTotalHarvestedPower:
+    def test_sums_harvesters(self):
+        harvesters = [indoor_photovoltaic(), thermoelectric_body()]
+        total = total_harvested_power(harvesters)
+        parts = sum(h.power_watts() for h in harvesters)
+        assert total == pytest.approx(parts)
+
+    def test_combined_stack_supports_leaf_node(self):
+        """PV + TEG indoors covers a sub-50 uW human-inspired leaf node."""
+        total = total_harvested_power(
+            [indoor_photovoltaic(), thermoelectric_body()],
+            HarvestingEnvironment.INDOOR_OFFICE,
+        )
+        assert total > units.microwatt(50.0)
+
+    def test_empty_list_is_zero(self):
+        assert total_harvested_power([]) == 0.0

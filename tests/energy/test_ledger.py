@@ -1,0 +1,94 @@
+"""Tests for repro.energy.ledger."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.energy.ledger import EnergyLedger
+from repro.errors import EnergyError
+
+
+class TestEnergyLedger:
+    def test_post_and_total(self):
+        ledger = EnergyLedger()
+        ledger.post("radio", 1.0)
+        ledger.post("radio", 2.0)
+        ledger.post("sensor", 0.5)
+        assert ledger.total_energy() == pytest.approx(3.5)
+        assert ledger.total_energy("radio") == pytest.approx(3.0)
+        assert ledger.total_energy("sensor") == pytest.approx(0.5)
+
+    def test_post_power_integrates_duration(self):
+        ledger = EnergyLedger()
+        ledger.post_power("cpu", power_watts=2.0, duration_seconds=3.0)
+        assert ledger.total_energy("cpu") == pytest.approx(6.0)
+
+    def test_breakdown(self):
+        ledger = EnergyLedger()
+        ledger.post("a", 1.0)
+        ledger.post("b", 2.0)
+        ledger.post("a", 3.0)
+        assert ledger.breakdown() == {"a": 4.0, "b": 2.0}
+
+    def test_components_preserve_first_seen_order(self):
+        ledger = EnergyLedger()
+        ledger.post("z", 1.0)
+        ledger.post("a", 1.0)
+        ledger.post("z", 1.0)
+        assert ledger.components() == ["z", "a"]
+
+    def test_average_power(self):
+        ledger = EnergyLedger()
+        ledger.post("x", 10.0)
+        assert ledger.average_power(5.0) == pytest.approx(2.0)
+
+    def test_average_power_requires_positive_horizon(self):
+        ledger = EnergyLedger()
+        ledger.post("x", 1.0)
+        with pytest.raises(EnergyError):
+            ledger.average_power(0.0)
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(EnergyError):
+            EnergyLedger().post("x", -1.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(EnergyError):
+            EnergyLedger().post_power("x", -1.0, 1.0)
+
+    def test_merge_combines_entries(self):
+        first = EnergyLedger()
+        first.post("a", 1.0)
+        second = EnergyLedger()
+        second.post("b", 2.0)
+        merged = first.merge(second)
+        assert merged.total_energy() == pytest.approx(3.0)
+        # Originals are untouched.
+        assert first.total_energy() == pytest.approx(1.0)
+        assert second.total_energy() == pytest.approx(2.0)
+
+    def test_clear(self):
+        ledger = EnergyLedger()
+        ledger.post("a", 1.0)
+        ledger.clear()
+        assert ledger.total_energy() == 0.0
+        assert ledger.components() == []
+
+    def test_unknown_component_total_is_zero(self):
+        ledger = EnergyLedger()
+        ledger.post("a", 1.0)
+        assert ledger.total_energy("missing") == 0.0
+
+    @given(st.lists(
+        st.tuples(st.sampled_from(["radio", "cpu", "sensor"]),
+                  st.floats(min_value=0.0, max_value=100.0)),
+        max_size=50,
+    ))
+    def test_total_equals_sum_of_breakdown(self, postings):
+        ledger = EnergyLedger()
+        for component, energy in postings:
+            ledger.post(component, energy)
+        assert ledger.total_energy() == pytest.approx(
+            sum(ledger.breakdown().values())
+        )

@@ -1,0 +1,94 @@
+"""Tests for the E9/E10 ablation experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.experiments import quantization_ablation, termination_ablation
+
+
+class TestE9TerminationAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return termination_ablation.run()
+
+    def test_sweep_covers_all_operating_points(self, result):
+        assert len(result.points) == 4 * 3
+
+    def test_high_impedance_always_wins(self, result):
+        for point in result.points:
+            assert point.penalty_db > 0.0
+
+    def test_penalty_largest_at_low_frequency(self, result):
+        """The 50-ohm termination forms a high-pass: worst at 100 kHz."""
+        low_freq = result.at(units.kilohertz(100.0), 1.0)
+        high_freq = result.at(units.megahertz(30.0), 1.0)
+        assert low_freq.penalty_db > high_freq.penalty_db + 20.0
+
+    def test_high_z_needs_only_cmos_swings(self, result):
+        for point in result.points:
+            assert point.required_swing_high_z_volts < 3.3
+
+    def test_low_z_infeasible_at_low_frequencies(self, result):
+        low_freq = result.at(units.kilohertz(100.0), 1.8)
+        assert not low_freq.low_z_swing_feasible
+
+    def test_whole_body_flatness_small(self, result):
+        assert result.whole_body_flatness_db < 6.0
+
+    def test_rows_table_ready(self, result):
+        rows = result.rows()
+        assert len(rows) == len(result.points)
+        assert {"frequency_mhz", "penalty_db", "low_z_cmos_feasible"} <= set(rows[0])
+
+    def test_penalty_extremes_ordered(self, result):
+        assert result.max_penalty_db() > result.min_penalty_db() > 0.0
+
+
+class TestE10QuantizationAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return quantization_ablation.run()
+
+    def test_full_factorial_evaluated(self, result):
+        expected = len(quantization_ablation.WORKLOADS) \
+            * len(quantization_ablation.ACTIVATION_BITS) * 2
+        assert len(result.points) == expected
+
+    def test_leaf_energy_grows_with_activation_width_over_ble(self, result):
+        for workload in ("keyword_spotting", "ecg_arrhythmia"):
+            series = result.series(workload, "BLE 1M PHY")
+            energies = [point.leaf_energy_joules for point in series]
+            assert energies == sorted(energies)
+
+    def test_wir_leaf_energy_below_ble_at_every_precision(self, result):
+        for workload in ("keyword_spotting", "ecg_arrhythmia", "vision_tiny"):
+            wir_series = result.series(workload, "Wi-R (EQS-HBC)")
+            ble_series = result.series(workload, "BLE 1M PHY")
+            for wir_point, ble_point in zip(wir_series, ble_series):
+                assert wir_point.leaf_energy_joules < ble_point.leaf_energy_joules
+
+    def test_ble_optimum_computes_locally_at_every_precision(self, result):
+        for workload in ("keyword_spotting", "ecg_arrhythmia"):
+            for point in result.series(workload, "BLE 1M PHY"):
+                assert point.hub_mac_fraction < 0.5
+
+    def test_wir_keeps_offloading_even_at_32_bits(self, result):
+        series = result.series("keyword_spotting", "Wi-R (EQS-HBC)")
+        widest = series[-1]
+        assert widest.activation_bits == 32
+        assert widest.hub_mac_fraction > 0.5
+
+    def test_transfer_volume_scales_with_bits_when_split_fixed(self, result):
+        series = result.series("ecg_arrhythmia", "Wi-R (EQS-HBC)")
+        by_bits = {point.activation_bits: point for point in series}
+        if by_bits[8].best_split == by_bits[16].best_split:
+            assert by_bits[16].transfer_bits == pytest.approx(
+                2.0 * by_bits[8].transfer_bits
+            )
+
+    def test_rows_table_ready(self, result):
+        rows = result.rows()
+        assert len(rows) == len(result.points)
+        assert {"workload", "link", "activation_bits", "best_split"} <= set(rows[0])

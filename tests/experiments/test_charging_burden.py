@@ -1,0 +1,69 @@
+"""Tests for the E11 charging-burden experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import charging_burden
+
+
+class TestChargingBurden:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return charging_burden.run()
+
+    def test_sweep_covers_requested_counts(self, result):
+        counts = [point.device_count for point in result.points]
+        assert counts == list(range(1, 16))
+
+    def test_conventional_burden_grows_linearly(self, result):
+        one = result.at(1).conventional_events_per_week
+        ten = result.at(10).conventional_events_per_week
+        assert ten == pytest.approx(10.0 * one, rel=1e-9)
+
+    def test_human_inspired_burden_nearly_flat(self, result):
+        """Adding leaves barely changes the weekly charging routine."""
+        one = result.at(1).human_inspired_events_per_week
+        ten = result.at(10).human_inspired_events_per_week
+        assert ten <= 2.0 * one
+
+    def test_conventional_mean_life_matches_fig2_scale(self, result):
+        """Today's wearables average hours-to-days of battery (Fig. 2)."""
+        assert 0.5 <= result.conventional_mean_life_days <= 7.0
+
+    def test_most_leaf_classes_perpetual(self, result):
+        assert result.leaf_classes_perpetual >= 3
+        assert result.leaf_classes_perpetual <= result.leaf_classes_total
+
+    def test_incremental_burden_ratio_near_tenfold_at_full_constellation(self, result):
+        """The paper's '10x-ing the wearables market' framing: the charging
+        burden beyond the already-daily-charged hub is ~an order of
+        magnitude lower with the human-inspired architecture."""
+        assert result.incremental_burden_ratio_at(10) >= 5.0
+
+    def test_total_burden_ratio_grows_with_device_count(self, result):
+        ratios = [point.burden_ratio for point in result.points]
+        assert ratios == sorted(ratios)
+
+    def test_crossover_below_three_devices(self, result):
+        """The new architecture wins outright once a few devices are worn."""
+        crossover = next(
+            point.device_count for point in result.points
+            if point.conventional_events_per_week
+            > point.human_inspired_events_per_week
+        )
+        assert crossover <= 3
+
+    def test_rows_table_ready(self, result):
+        rows = result.rows()
+        assert len(rows) == len(result.points)
+        assert {"wearables_worn", "burden_ratio", "incremental_burden_ratio"} \
+            <= set(rows[0])
+
+    def test_invalid_device_count_rejected(self):
+        with pytest.raises(ValueError):
+            charging_burden.run(max_devices=0)
+
+    def test_unknown_lookup_raises(self, result):
+        with pytest.raises(KeyError):
+            result.at(999)

@@ -1,0 +1,51 @@
+"""Tests for the E12 implant-extension experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+from repro.comm.ble import ble_1m_phy
+from repro.comm.mqs_hbc import mqs_implant_link
+from repro.experiments import implant_extension
+
+
+class TestImplantExtension:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return implant_extension.run()
+
+    def test_every_implant_evaluated_on_both_links(self, result):
+        assert len(result.cases) == len(implant_extension.IMPLANT_CLASSES) * 2
+
+    def test_mqs_links_close_at_implant_depths(self, result):
+        for name, _rate, _sensing, _depth in implant_extension.IMPLANT_CLASSES:
+            case = result.case(name, mqs_implant_link().name)
+            assert case.link_closes
+
+    def test_mqs_implants_last_years(self, result):
+        """Body-assisted MQS communication keeps implants in the multi-year
+        regime expected of implanted medical devices."""
+        for name, _rate, _sensing, _depth in implant_extension.IMPLANT_CLASSES:
+            case = result.case(name, mqs_implant_link().name)
+            assert case.life_years > 3.0
+
+    def test_mqs_beats_ble_for_every_implant(self, result):
+        for name, _rate, _sensing, _depth in implant_extension.IMPLANT_CLASSES:
+            assert result.life_advantage(name) > 1.5
+
+    def test_relay_power_is_leaf_class(self, result):
+        assert result.relay_to_hub_power_watts < units.microwatt(100.0)
+
+    def test_communication_power_below_sensing_for_low_rate_implants(self, result):
+        case = result.case("glucose sensing implant", mqs_implant_link().name)
+        assert case.communication_power_watts < units.microwatt(1.0)
+
+    def test_rows_table_ready(self, result):
+        rows = result.rows()
+        assert len(rows) == len(result.cases)
+        assert {"implant", "link", "life_years", "link_closes"} <= set(rows[0])
+
+    def test_unknown_case_lookup_raises(self, result):
+        with pytest.raises(KeyError):
+            result.case("pacemaker", ble_1m_phy().name)

@@ -1,0 +1,168 @@
+"""Tests for repro.isa.compression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ConfigurationError
+from repro.isa.compression import (
+    CompressionResult,
+    MJPEGLikeCodec,
+    delta_decode,
+    delta_encode,
+    delta_encoded_bits,
+    dequantize_signal,
+    downsample,
+    quantize_signal,
+    run_length_decode,
+    run_length_encode,
+)
+from repro.sensors.video import VideoGenerator
+
+
+class TestCompressionResult:
+    def test_ratio_and_fraction(self):
+        result = CompressionResult(original_bits=1000.0, compressed_bits=100.0)
+        assert result.compression_ratio == pytest.approx(10.0)
+        assert result.rate_fraction == pytest.approx(0.1)
+
+    def test_zero_compressed_is_infinite_ratio(self):
+        result = CompressionResult(original_bits=10.0, compressed_bits=0.0)
+        assert result.compression_ratio == float("inf")
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompressionResult(original_bits=-1.0, compressed_bits=0.0)
+
+
+class TestDeltaCoding:
+    def test_round_trip(self):
+        samples = np.array([5.0, 7.0, 6.5, 6.5, 10.0])
+        assert np.allclose(delta_decode(delta_encode(samples)), samples)
+
+    def test_empty_input(self):
+        assert delta_encode(np.array([])).size == 0
+        assert delta_decode(np.array([])).size == 0
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(ConfigurationError):
+            delta_encode(np.zeros((2, 2)))
+
+    def test_delta_bits_smaller_for_smooth_signals(self):
+        smooth = np.cumsum(np.ones(1000, dtype=np.int64))
+        result = delta_encoded_bits(smooth, sample_bits=16)
+        assert result.compression_ratio > 3.0
+
+    def test_delta_bits_do_not_help_white_noise_much(self):
+        rng = np.random.default_rng(0)
+        noisy = rng.integers(-30000, 30000, size=1000)
+        result = delta_encoded_bits(noisy, sample_bits=16)
+        assert result.compression_ratio < 2.0
+
+    @given(hnp.arrays(dtype=np.float64, shape=st.integers(1, 200),
+                      elements=st.floats(-1e6, 1e6)))
+    def test_round_trip_property(self, samples):
+        assert np.allclose(delta_decode(delta_encode(samples)), samples, atol=1e-6)
+
+
+class TestRunLengthCoding:
+    def test_round_trip(self):
+        values = np.array([1, 1, 1, 2, 2, 3, 1, 1])
+        assert np.array_equal(run_length_decode(run_length_encode(values)), values)
+
+    def test_constant_signal_compresses_to_one_run(self):
+        runs = run_length_encode(np.zeros(1000))
+        assert len(runs) == 1
+        assert runs[0][1] == 1000
+
+    def test_empty(self):
+        assert run_length_encode(np.array([])) == []
+        assert run_length_decode([]).size == 0
+
+    def test_invalid_run_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_length_decode([(1.0, 0)])
+
+
+class TestDownsampleAndQuantize:
+    def test_downsample_averages(self):
+        samples = np.array([0.0, 2.0, 4.0, 6.0])
+        assert np.allclose(downsample(samples, 2), [1.0, 5.0])
+
+    def test_downsample_factor_one_is_identity(self):
+        samples = np.arange(10.0)
+        assert np.allclose(downsample(samples, 1), samples)
+
+    def test_downsample_invalid_factor(self):
+        with pytest.raises(ConfigurationError):
+            downsample(np.arange(4.0), 0)
+
+    def test_quantize_round_trip_error_bounded(self):
+        rng = np.random.default_rng(1)
+        signal = rng.normal(size=1000)
+        codes, scale, offset = quantize_signal(signal, bits=10)
+        reconstructed = dequantize_signal(codes, scale, offset)
+        assert np.max(np.abs(signal - reconstructed)) <= scale
+
+    def test_more_bits_less_error(self):
+        rng = np.random.default_rng(2)
+        signal = rng.normal(size=500)
+        def rmse(bits):
+            codes, scale, offset = quantize_signal(signal, bits=bits)
+            return np.sqrt(np.mean((dequantize_signal(codes, scale, offset) - signal) ** 2))
+        assert rmse(12) < rmse(6)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            quantize_signal(np.arange(4.0), bits=0)
+
+
+class TestMJPEGLikeCodec:
+    def test_round_trip_shape(self):
+        codec = MJPEGLikeCodec(quality=75)
+        frame = VideoGenerator(width=64, height=48).generate(0.2, rng=0)[0]
+        coefficients, shape = codec.encode(frame)
+        reconstructed = codec.decode(coefficients, shape)
+        assert reconstructed.shape == frame.shape
+
+    def test_compression_ratio_meaningful(self):
+        """MJPEG-class intra coding: roughly 5-30x on structured frames."""
+        codec = MJPEGLikeCodec(quality=50)
+        frame = VideoGenerator(width=160, height=120).generate(0.1, rng=1)[0]
+        result = codec.compress_frame(frame)
+        assert 3.0 <= result.compression_ratio <= 60.0
+
+    def test_higher_quality_larger_and_more_accurate(self):
+        frame = VideoGenerator(width=96, height=96).generate(0.1, rng=2)[0]
+        low = MJPEGLikeCodec(quality=20).compress_frame(frame)
+        high = MJPEGLikeCodec(quality=90).compress_frame(frame)
+        assert high.compressed_bits > low.compressed_bits
+        assert high.reconstruction_rmse < low.reconstruction_rmse
+
+    def test_reconstruction_error_reasonable(self):
+        frame = VideoGenerator(width=64, height=64).generate(0.1, rng=3)[0]
+        result = MJPEGLikeCodec(quality=80).compress_frame(frame)
+        assert result.reconstruction_rmse < 20.0
+
+    def test_video_aggregation(self):
+        frames = VideoGenerator(width=48, height=32, frame_rate_hz=5.0).generate(1.0, rng=4)
+        result = MJPEGLikeCodec().compress_video(frames)
+        assert result.original_bits == pytest.approx(frames.size * 8)
+        assert result.compressed_bits < result.original_bits
+
+    def test_non_multiple_of_block_size_supported(self):
+        codec = MJPEGLikeCodec()
+        frame = VideoGenerator(width=50, height=30).generate(0.1, rng=5)[0]
+        result = codec.compress_frame(frame)
+        assert result.compression_ratio > 1.0
+
+    def test_invalid_quality_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MJPEGLikeCodec(quality=0)
+
+    def test_non_2d_frame_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MJPEGLikeCodec().encode(np.zeros((2, 2, 3)))

@@ -1,0 +1,184 @@
+"""Tests for repro.isa.features and repro.isa.pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.isa.features import (
+    FeatureSummary,
+    audio_feature_summary,
+    detect_r_peaks,
+    ecg_feature_summary,
+    heart_rate_from_peaks,
+    imu_feature_summary,
+    imu_window_features,
+    log_mel_energies,
+)
+from repro.isa.pipeline import (
+    ISAPipeline,
+    ISAStage,
+    audio_feature_pipeline,
+    biopotential_delta_pipeline,
+    isa_compute_energy_joules,
+    mjpeg_video_pipeline,
+)
+from repro.sensors.audio import AudioGenerator
+from repro.sensors.biopotential import ECGGenerator
+from repro.sensors.imu import IMUGenerator
+
+
+class TestRPeakDetection:
+    def test_detects_peaks_close_to_ground_truth(self):
+        generator = ECGGenerator(heart_rate_bpm=72.0, noise_mv=0.01,
+                                 heart_rate_variability=0.01)
+        signal = generator.generate(30.0, rng=0)
+        truth = generator.r_peak_times(30.0, rng=0)
+        peaks = detect_r_peaks(signal, generator.sample_rate_hz)
+        assert abs(len(peaks) - len(truth)) <= 2
+
+    def test_heart_rate_estimate_matches(self):
+        generator = ECGGenerator(heart_rate_bpm=65.0, noise_mv=0.01,
+                                 heart_rate_variability=0.01)
+        signal = generator.generate(30.0, rng=1)
+        peaks = detect_r_peaks(signal, generator.sample_rate_hz)
+        assert heart_rate_from_peaks(peaks, generator.sample_rate_hz) \
+            == pytest.approx(65.0, abs=5.0)
+
+    def test_too_short_signal_rejected(self):
+        with pytest.raises(ConfigurationError):
+            detect_r_peaks(np.zeros(10), 250.0)
+
+    def test_heart_rate_needs_two_peaks(self):
+        with pytest.raises(ConfigurationError):
+            heart_rate_from_peaks(np.array([5]), 250.0)
+
+    def test_ecg_feature_summary_reduction(self):
+        summary = ecg_feature_summary(n_samples=250 * 60, n_peaks=70)
+        assert summary.reduction_ratio > 100.0
+
+
+class TestLogMel:
+    def test_shape(self):
+        audio = AudioGenerator().generate(1.0, rng=2)
+        features = log_mel_energies(audio, 16000.0, n_mels=40)
+        assert features.shape[1] == 40
+        assert features.shape[0] > 90
+
+    def test_features_finite(self):
+        audio = AudioGenerator().generate(1.0, rng=3)
+        features = log_mel_energies(audio, 16000.0)
+        assert np.all(np.isfinite(features))
+
+    def test_reduction_ratio(self):
+        summary = audio_feature_summary(n_samples=16000, n_frames=98, n_mels=40)
+        assert summary.reduction_ratio > 5.0
+
+    def test_too_short_signal_rejected(self):
+        with pytest.raises(ConfigurationError):
+            log_mel_energies(np.zeros(10), 16000.0)
+
+    def test_stereo_rejected(self):
+        with pytest.raises(ConfigurationError):
+            log_mel_energies(np.zeros((2, 16000)), 16000.0)
+
+
+class TestIMUFeatures:
+    def test_feature_vector_length(self):
+        window = IMUGenerator().generate(2.0, "walking", rng=4)
+        features = imu_window_features(window)
+        assert features.shape == (36,)
+
+    def test_features_distinguish_activities(self):
+        generator = IMUGenerator()
+        rest = imu_window_features(generator.generate(2.0, "rest", rng=5))
+        run = imu_window_features(generator.generate(2.0, "running", rng=6))
+        # Standard deviation block (features 6..11) separates rest from running.
+        assert np.sum(run[6:12]) > np.sum(rest[6:12])
+
+    def test_reduction_ratio(self):
+        summary = imu_feature_summary(n_axes=6, n_samples=200)
+        assert summary.reduction_ratio > 2.0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            imu_window_features(np.zeros((6, 1)))
+
+
+class TestFeatureSummary:
+    def test_infinite_reduction_when_output_empty(self):
+        assert FeatureSummary("x", 100.0, 0.0).reduction_ratio == float("inf")
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FeatureSummary("x", -1.0, 0.0)
+
+
+class TestISAPipeline:
+    def test_stage_validation(self):
+        with pytest.raises(ConfigurationError):
+            ISAStage(name="bad", rate_reduction=0.0)
+        with pytest.raises(ConfigurationError):
+            ISAStage(name="bad", rate_reduction=1.5)
+
+    def test_output_rate_composes_stages(self):
+        pipeline = ISAPipeline(stages=[
+            ISAStage(name="a", rate_reduction=0.5),
+            ISAStage(name="b", rate_reduction=0.25),
+        ])
+        assert pipeline.output_rate_bps(1000.0) == pytest.approx(125.0)
+        assert pipeline.total_rate_reduction() == pytest.approx(0.125)
+
+    def test_compute_power_counts_every_stage(self):
+        pipeline = ISAPipeline(stages=[
+            ISAStage(name="a", rate_reduction=0.5, ops_per_input_bit=1.0),
+            ISAStage(name="b", rate_reduction=0.5, ops_per_input_bit=1.0),
+        ])
+        # Stage a sees 1000 bit/s, stage b sees 500 bit/s; 1 pJ/op each.
+        assert pipeline.compute_power_watts(1000.0) == pytest.approx(1.5e-9)
+
+    def test_empty_pipeline_is_identity(self):
+        pipeline = ISAPipeline()
+        assert pipeline.output_rate_bps(12345.0) == 12345.0
+        assert pipeline.compute_power_watts(12345.0) == 0.0
+
+    def test_describe_keys(self):
+        description = audio_feature_pipeline().describe(256_000.0)
+        for key in ("input_rate_bps", "output_rate_bps", "compute_power_uw"):
+            assert key in description
+
+    def test_compute_energy_helper(self):
+        assert isa_compute_energy_joules(1e6) == pytest.approx(1e-6)
+        with pytest.raises(ConfigurationError):
+            isa_compute_energy_joules(-1.0)
+
+
+class TestBuiltInPipelines:
+    def test_mjpeg_pipeline_reduction_about_ten_to_one(self):
+        pipeline = mjpeg_video_pipeline(quality=50)
+        assert 5.0 <= 1.0 / pipeline.total_rate_reduction() <= 20.0
+
+    def test_audio_pipeline_reduces_to_features(self):
+        pipeline = audio_feature_pipeline()
+        out = pipeline.output_rate_bps(units.kilobit_per_second(256.0))
+        assert out == pytest.approx(units.kilobit_per_second(32.0))
+
+    def test_biopotential_pipeline_power_is_microwatt_class(self):
+        """The paper's assumption: ISA compute is negligible (uW class)."""
+        pipeline = biopotential_delta_pipeline()
+        power = pipeline.compute_power_watts(units.kilobit_per_second(3.0))
+        assert power < units.microwatt(1.0)
+
+    def test_mjpeg_pipeline_power_scales_with_video_rate(self):
+        pipeline = mjpeg_video_pipeline()
+        qvga = pipeline.compute_power_watts(9.2e6)
+        hd = pipeline.compute_power_watts(221e6)
+        assert hd > qvga
+        # Even for 720p the MJPEG ISA block stays in the milliwatt class.
+        assert hd < units.milliwatt(5.0)
+
+    def test_invalid_quality_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mjpeg_video_pipeline(quality=0)

@@ -1,0 +1,153 @@
+"""Tests for repro.netsim.events, packet and traffic sources."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.netsim.events import EventQueue
+from repro.netsim.packet import Packet
+from repro.netsim.traffic import PeriodicSource, PoissonSource
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule_at(2.0, lambda: fired.append("late"))
+        queue.schedule_at(1.0, lambda: fired.append("early"))
+        queue.run_until(10.0)
+        assert fired == ["early", "late"]
+
+    def test_simultaneous_events_fire_in_scheduling_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule_at(1.0, lambda: fired.append("first"))
+        queue.schedule_at(1.0, lambda: fired.append("second"))
+        queue.run_until(2.0)
+        assert fired == ["first", "second"]
+
+    def test_run_until_stops_before_later_events(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule_at(5.0, lambda: fired.append("too late"))
+        queue.run_until(2.0)
+        assert fired == []
+        assert queue.now == pytest.approx(2.0)
+        queue.run_until(6.0)
+        assert fired == ["too late"]
+
+    def test_schedule_in_is_relative(self):
+        queue = EventQueue()
+        times = []
+        queue.schedule_in(1.0, lambda: times.append(queue.now))
+        queue.run_until(5.0)
+        assert times == [pytest.approx(1.0)]
+
+    def test_cancelled_events_do_not_fire(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.schedule_at(1.0, lambda: fired.append("x"))
+        event.cancel()
+        queue.run_until(2.0)
+        assert fired == []
+
+    def test_cannot_schedule_in_the_past(self):
+        queue = EventQueue()
+        queue.schedule_at(1.0, lambda: None)
+        queue.run_until(5.0)
+        with pytest.raises(SimulationError):
+            queue.schedule_at(2.0, lambda: None)
+
+    def test_cannot_run_backwards(self):
+        queue = EventQueue()
+        queue.run_until(3.0)
+        with pytest.raises(SimulationError):
+            queue.run_until(1.0)
+
+    def test_events_can_schedule_more_events(self):
+        queue = EventQueue()
+        fired = []
+
+        def chain() -> None:
+            fired.append(queue.now)
+            if len(fired) < 5:
+                queue.schedule_in(1.0, chain)
+
+        queue.schedule_at(0.0, chain)
+        queue.run_until(10.0)
+        assert fired == [pytest.approx(t) for t in (0.0, 1.0, 2.0, 3.0, 4.0)]
+
+    def test_step_returns_false_when_empty(self):
+        assert EventQueue().step() is False
+
+    def test_len_counts_pending_events(self):
+        queue = EventQueue()
+        queue.schedule_at(1.0, lambda: None)
+        event = queue.schedule_at(2.0, lambda: None)
+        event.cancel()
+        assert len(queue) == 1
+
+
+class TestPacket:
+    def test_latency_requires_delivery(self):
+        packet = Packet(source="a", destination="hub", bits=100.0, created_at=0.0)
+        with pytest.raises(SimulationError):
+            _ = packet.latency_seconds
+        packet.delivered_at = 0.5
+        assert packet.latency_seconds == pytest.approx(0.5)
+
+    def test_queueing_delay(self):
+        packet = Packet(source="a", destination="hub", bits=1.0, created_at=1.0)
+        packet.queued_at = 1.2
+        assert packet.queueing_delay_seconds == pytest.approx(0.2)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(SimulationError):
+            Packet(source="a", destination="b", bits=-1.0, created_at=0.0)
+
+
+class TestTrafficSources:
+    def test_periodic_average_rate(self):
+        source = PeriodicSource(period_seconds=0.5, bits_per_packet=1000.0)
+        assert source.average_rate_bps() == pytest.approx(2000.0)
+
+    def test_periodic_from_rate_round_trip(self):
+        source = PeriodicSource.from_rate(64_000.0, bits_per_packet=8192.0)
+        assert source.average_rate_bps() == pytest.approx(64_000.0)
+
+    def test_periodic_deterministic(self, rng):
+        source = PeriodicSource(period_seconds=0.25, bits_per_packet=100.0)
+        assert source.next_interarrival_seconds(rng) == 0.25
+        assert source.packet_bits(rng) == 100.0
+
+    def test_poisson_mean_rate_approximately_correct(self):
+        source = PoissonSource(mean_interarrival_seconds=0.1,
+                               mean_bits_per_packet=1000.0)
+        rng = np.random.default_rng(0)
+        intervals = [source.next_interarrival_seconds(rng) for _ in range(5000)]
+        assert np.mean(intervals) == pytest.approx(0.1, rel=0.1)
+
+    def test_poisson_packet_sizes_positive(self):
+        source = PoissonSource(mean_interarrival_seconds=1.0,
+                               mean_bits_per_packet=100.0,
+                               size_jitter_fraction=0.5)
+        rng = np.random.default_rng(1)
+        sizes = [source.packet_bits(rng) for _ in range(1000)]
+        assert min(sizes) >= 8.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(SimulationError):
+            PeriodicSource(period_seconds=0.0, bits_per_packet=1.0)
+        with pytest.raises(SimulationError):
+            PoissonSource(mean_interarrival_seconds=1.0, mean_bits_per_packet=0.0)
+        with pytest.raises(SimulationError):
+            PeriodicSource.from_rate(0.0)
+
+    @given(st.floats(min_value=1e-3, max_value=10.0),
+           st.floats(min_value=8.0, max_value=1e6))
+    def test_periodic_rate_property(self, period, bits):
+        source = PeriodicSource(period_seconds=period, bits_per_packet=bits)
+        assert source.average_rate_bps() == pytest.approx(bits / period)

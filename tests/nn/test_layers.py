@@ -1,0 +1,204 @@
+"""Tests for repro.nn.layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ShapeError
+from repro.nn.layers import (
+    AvgPool2D,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Flatten,
+    GlobalAveragePool,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = Dense(8, 4, rng=rng)
+        output = layer.forward(rng.normal(size=(3, 8)))
+        assert output.shape == (3, 4)
+
+    def test_known_matmul(self):
+        layer = Dense(2, 2)
+        layer.weight = np.array([[1.0, 0.0], [0.0, 2.0]])
+        layer.bias = np.array([1.0, -1.0])
+        output = layer.forward(np.array([[3.0, 4.0]]))
+        assert np.allclose(output, [[4.0, 7.0]])
+
+    def test_params_and_macs(self):
+        layer = Dense(10, 5)
+        assert layer.num_params() == 10 * 5 + 5
+        assert layer.macs((10,)) == 50
+
+    def test_wrong_input_shape_raises(self, rng):
+        layer = Dense(8, 4)
+        with pytest.raises(ShapeError):
+            layer.forward(rng.normal(size=(3, 7)))
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ShapeError):
+            Dense(0, 4)
+
+
+class TestConv2D:
+    def test_same_padding_preserves_spatial_size(self, rng):
+        layer = Conv2D(3, 8, kernel_size=3, padding="same", rng=rng)
+        output = layer.forward(rng.normal(size=(2, 16, 16, 3)))
+        assert output.shape == (2, 16, 16, 8)
+
+    def test_valid_padding_shrinks(self, rng):
+        layer = Conv2D(1, 4, kernel_size=3, padding="valid", rng=rng)
+        assert layer.output_shape((10, 10, 1)) == (8, 8, 4)
+
+    def test_stride_two_halves_spatial_size(self, rng):
+        layer = Conv2D(1, 4, kernel_size=3, stride=2, padding="same", rng=rng)
+        assert layer.output_shape((16, 16, 1)) == (8, 8, 4)
+
+    def test_identity_kernel_reproduces_input(self):
+        layer = Conv2D(1, 1, kernel_size=1, padding="same")
+        layer.weight = np.ones((1, 1, 1, 1))
+        layer.bias = np.zeros(1)
+        x = np.arange(16.0).reshape(1, 4, 4, 1)
+        assert np.allclose(layer.forward(x), x)
+
+    def test_convolution_matches_manual_computation(self):
+        layer = Conv2D(1, 1, kernel_size=3, padding="valid")
+        layer.weight = np.ones((3, 3, 1, 1))
+        layer.bias = np.zeros(1)
+        x = np.ones((1, 5, 5, 1))
+        output = layer.forward(x)
+        assert np.allclose(output, 9.0)
+
+    def test_macs_formula(self):
+        layer = Conv2D(3, 16, kernel_size=3, padding="same")
+        assert layer.macs((8, 8, 3)) == 8 * 8 * 16 * 3 * 3 * 3
+
+    def test_channel_mismatch_raises(self, rng):
+        layer = Conv2D(3, 8, kernel_size=3)
+        with pytest.raises(ShapeError):
+            layer.forward(rng.normal(size=(1, 8, 8, 4)))
+
+    def test_invalid_padding_rejected(self):
+        with pytest.raises(ShapeError):
+            Conv2D(1, 1, kernel_size=3, padding="circular")
+
+
+class TestDepthwiseConv2D:
+    def test_channel_count_preserved(self, rng):
+        layer = DepthwiseConv2D(6, kernel_size=3, rng=rng)
+        output = layer.forward(rng.normal(size=(2, 10, 10, 6)))
+        assert output.shape == (2, 10, 10, 6)
+
+    def test_channels_are_independent(self):
+        layer = DepthwiseConv2D(2, kernel_size=1)
+        layer.weight = np.zeros((1, 1, 2))
+        layer.weight[0, 0, 0] = 2.0
+        layer.weight[0, 0, 1] = 3.0
+        layer.bias = np.zeros(2)
+        x = np.ones((1, 2, 2, 2))
+        output = layer.forward(x)
+        assert np.allclose(output[..., 0], 2.0)
+        assert np.allclose(output[..., 1], 3.0)
+
+    def test_macs_cheaper_than_full_conv(self):
+        depthwise = DepthwiseConv2D(16, kernel_size=3)
+        full = Conv2D(16, 16, kernel_size=3)
+        shape = (8, 8, 16)
+        assert depthwise.macs(shape) * 10 < full.macs(shape)
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        layer = MaxPool2D(pool_size=2)
+        x = np.array([[1.0, 2.0], [3.0, 4.0]]).reshape(1, 2, 2, 1)
+        assert layer.forward(x)[0, 0, 0, 0] == pytest.approx(4.0)
+
+    def test_avg_pool_values(self):
+        layer = AvgPool2D(pool_size=2)
+        x = np.array([[1.0, 2.0], [3.0, 4.0]]).reshape(1, 2, 2, 1)
+        assert layer.forward(x)[0, 0, 0, 0] == pytest.approx(2.5)
+
+    def test_rectangular_pool_for_1d_models(self, rng):
+        layer = MaxPool2D(pool_size=(2, 1))
+        output = layer.forward(rng.normal(size=(1, 8, 1, 3)))
+        assert output.shape == (1, 4, 1, 3)
+
+    def test_output_shape_matches_forward(self, rng):
+        layer = MaxPool2D(pool_size=2)
+        x = rng.normal(size=(2, 9, 9, 4))
+        assert layer.forward(x).shape[1:] == layer.output_shape((9, 9, 4))
+
+    def test_too_small_input_rejected(self):
+        with pytest.raises(ShapeError):
+            MaxPool2D(pool_size=4).output_shape((2, 2, 1))
+
+    def test_global_average_pool(self, rng):
+        layer = GlobalAveragePool()
+        x = rng.normal(size=(2, 5, 5, 3))
+        output = layer.forward(x)
+        assert output.shape == (2, 3)
+        assert np.allclose(output, x.mean(axis=(1, 2)))
+
+
+class TestActivationsAndNorm:
+    def test_relu_clamps_negatives(self):
+        assert np.allclose(ReLU().forward(np.array([[-1.0, 2.0]])), [[0.0, 2.0]])
+
+    def test_sigmoid_range(self, rng):
+        output = Sigmoid().forward(rng.normal(size=(4, 7)) * 10)
+        assert np.all(output > 0.0) and np.all(output < 1.0)
+
+    def test_tanh_range(self, rng):
+        output = Tanh().forward(rng.normal(size=(4, 7)) * 10)
+        assert np.all(np.abs(output) <= 1.0)
+
+    def test_softmax_sums_to_one(self, rng):
+        output = Softmax().forward(rng.normal(size=(5, 9)))
+        assert np.allclose(output.sum(axis=-1), 1.0)
+
+    def test_softmax_is_stable_for_large_logits(self):
+        output = Softmax().forward(np.array([[1e4, 1e4 - 1.0]]))
+        assert np.all(np.isfinite(output))
+
+    def test_flatten(self, rng):
+        output = Flatten().forward(rng.normal(size=(2, 3, 4, 5)))
+        assert output.shape == (2, 60)
+
+    def test_batchnorm_identity_by_default(self, rng):
+        layer = BatchNorm(4)
+        x = rng.normal(size=(3, 4))
+        assert np.allclose(layer.forward(x), x, atol=1e-4)
+
+    def test_batchnorm_normalises_with_statistics(self):
+        layer = BatchNorm(1, epsilon=1e-12)
+        layer.moving_mean = np.array([2.0])
+        layer.moving_var = np.array([4.0])
+        output = layer.forward(np.array([[4.0]]))
+        assert output[0, 0] == pytest.approx(1.0)
+
+    def test_batchnorm_rejects_non_positive_epsilon(self):
+        with pytest.raises(ShapeError):
+            BatchNorm(1, epsilon=0.0)
+
+    def test_batchnorm_channel_mismatch_raises(self, rng):
+        with pytest.raises(ShapeError):
+            BatchNorm(4).forward(rng.normal(size=(2, 5)))
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=20, deadline=None)
+    def test_elementwise_layers_preserve_shape(self, rows, cols):
+        x = np.ones((rows, cols))
+        for layer in (ReLU(), Sigmoid(), Tanh(), Softmax()):
+            assert layer.forward(x).shape == x.shape
+            assert layer.output_shape((cols,)) == (cols,)

@@ -1,0 +1,223 @@
+"""Tests for repro.nn.model, repro.nn.profile, repro.nn.quantize and the zoo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, ShapeError
+from repro.nn.layers import Dense, Flatten, ReLU, Softmax
+from repro.nn.model import Sequential
+from repro.nn.profile import profile_model
+from repro.nn.quantize import (
+    dequantize_tensor,
+    quantize_model_weights,
+    quantize_tensor,
+    quantization_error,
+)
+from repro.nn.zoo import (
+    MODEL_ZOO,
+    build_model,
+    ecg_arrhythmia_cnn,
+    imu_har_mlp,
+    keyword_spotting_cnn,
+    mobilenet_tiny,
+)
+
+
+def tiny_mlp() -> Sequential:
+    model = Sequential(input_shape=(8,), name="tiny")
+    model.add(Dense(8, 16, name="fc1"))
+    model.add(ReLU(name="relu"))
+    model.add(Dense(16, 4, name="fc2"))
+    model.add(Softmax(name="softmax"))
+    return model
+
+
+class TestSequential:
+    def test_forward_output_shape(self, rng):
+        model = tiny_mlp()
+        output = model(rng.normal(size=(5, 8)))
+        assert output.shape == (5, 4)
+
+    def test_layer_shapes_tracked(self):
+        model = tiny_mlp()
+        shapes = model.layer_shapes()
+        assert shapes[0] == (8,)
+        assert shapes[-1] == (4,)
+
+    def test_incompatible_layer_rejected_at_add_time(self):
+        model = Sequential(input_shape=(8,))
+        model.add(Dense(8, 16))
+        with pytest.raises(ShapeError):
+            model.add(Dense(8, 4))
+
+    def test_non_layer_rejected(self):
+        with pytest.raises(GraphError):
+            Sequential(input_shape=(4,)).add("not a layer")
+
+    def test_partial_forward_equals_full_forward(self, rng):
+        model = tiny_mlp()
+        x = rng.normal(size=(3, 8))
+        split = 2
+        intermediate = model.forward(x, 0, split)
+        resumed = model.forward(intermediate, split, None)
+        assert np.allclose(resumed, model(x))
+
+    def test_invalid_layer_range_rejected(self, rng):
+        model = tiny_mlp()
+        with pytest.raises(GraphError):
+            model.forward(rng.normal(size=(1, 8)), 3, 1)
+
+    def test_wrong_input_shape_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            tiny_mlp()(rng.normal(size=(1, 9)))
+
+    def test_predict_classes(self, rng):
+        predictions = tiny_mlp().predict_classes(rng.normal(size=(6, 8)))
+        assert predictions.shape == (6,)
+        assert np.all((predictions >= 0) & (predictions < 4))
+
+    def test_num_params_and_macs(self):
+        model = tiny_mlp()
+        assert model.num_params() == (8 * 16 + 16) + (16 * 4 + 4)
+        assert model.total_macs() == 8 * 16 + 16 * 4
+
+    def test_summary_lines_cover_all_layers(self):
+        lines = tiny_mlp().summary_lines()
+        assert len(lines) == len(tiny_mlp()) + 2
+
+    def test_invalid_input_shape_rejected(self):
+        with pytest.raises(ShapeError):
+            Sequential(input_shape=(0,))
+
+
+class TestModelProfile:
+    def test_totals_match_model(self):
+        model = tiny_mlp()
+        profile = profile_model(model)
+        assert profile.total_macs == model.total_macs()
+        assert profile.total_params == model.num_params()
+
+    def test_transfer_bits_at_input_and_output(self):
+        profile = profile_model(tiny_mlp(), activation_bits_per_element=8)
+        assert profile.transfer_bits_at(0) == pytest.approx(8 * 8)
+        assert profile.transfer_bits_at(len(profile.layers)) == pytest.approx(4 * 8)
+
+    def test_macs_before_after_partition_sum(self):
+        profile = profile_model(tiny_mlp())
+        for split in profile.split_points():
+            assert profile.macs_before(split) + profile.macs_after(split) \
+                == profile.total_macs
+
+    def test_invalid_split_rejected(self):
+        profile = profile_model(tiny_mlp())
+        with pytest.raises(GraphError):
+            profile.transfer_bits_at(99)
+
+    def test_activation_bits_scale(self):
+        profile8 = profile_model(tiny_mlp(), activation_bits_per_element=8)
+        profile32 = profile_model(tiny_mlp(), activation_bits_per_element=32)
+        assert profile32.transfer_bits_at(1) == pytest.approx(
+            4.0 * profile8.transfer_bits_at(1)
+        )
+
+    def test_invalid_activation_bits_rejected(self):
+        with pytest.raises(GraphError):
+            profile_model(tiny_mlp(), activation_bits_per_element=0)
+
+
+class TestQuantization:
+    def test_round_trip_bounded_error(self, rng):
+        values = rng.normal(size=(32, 32))
+        quantized = quantize_tensor(values, bits=8)
+        restored = dequantize_tensor(quantized)
+        assert np.max(np.abs(values - restored)) <= quantized.scale
+
+    def test_more_bits_lower_error(self, rng):
+        values = rng.normal(size=1000)
+        assert quantization_error(values, bits=12) < quantization_error(values, bits=4)
+
+    def test_size_bits(self, rng):
+        quantized = quantize_tensor(rng.normal(size=100), bits=8)
+        assert quantized.size_bits == pytest.approx(800.0)
+
+    def test_quantize_model_weights_keeps_predictions_close(self, rng):
+        model = imu_har_mlp(seed=3)
+        x = rng.normal(size=(16, 36))
+        before = model(x)
+        errors = quantize_model_weights(model, bits=8)
+        after = model(x)
+        assert errors  # at least the Dense layers were quantised
+        assert np.mean(np.argmax(before, axis=1) == np.argmax(after, axis=1)) >= 0.8
+
+    def test_invalid_bits_rejected(self, rng):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            quantize_tensor(rng.normal(size=4), bits=0)
+
+
+class TestModelZoo:
+    def test_zoo_registry_complete(self):
+        assert set(MODEL_ZOO) == {
+            "keyword_spotting", "ecg_arrhythmia", "vision_tiny", "imu_har",
+        }
+
+    def test_build_model_by_name(self):
+        model = build_model("imu_har")
+        assert model.name == "imu_har_mlp"
+
+    def test_unknown_model_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            build_model("transformer_13b")
+
+    def test_keyword_spotting_runs_forward(self, rng):
+        model = keyword_spotting_cnn()
+        output = model(rng.normal(size=(2, 49, 40, 1)))
+        assert output.shape == (2, 12)
+        assert np.allclose(output.sum(axis=1), 1.0)
+
+    def test_ecg_model_runs_forward(self, rng):
+        model = ecg_arrhythmia_cnn()
+        output = model(rng.normal(size=(2, 256, 1, 1)))
+        assert output.shape == (2, 5)
+
+    def test_imu_model_runs_forward(self, rng):
+        model = imu_har_mlp()
+        output = model(rng.normal(size=(4, 36)))
+        assert output.shape == (4, 5)
+
+    def test_vision_model_runs_forward(self, rng):
+        model = mobilenet_tiny(input_size=32)
+        output = model(rng.normal(size=(1, 32, 32, 1)))
+        assert output.shape == (1, 10)
+
+    def test_vision_model_is_largest_workload(self):
+        vision = profile_model(mobilenet_tiny()).total_macs
+        kws = profile_model(keyword_spotting_cnn()).total_macs
+        ecg = profile_model(ecg_arrhythmia_cnn()).total_macs
+        har = profile_model(imu_har_mlp()).total_macs
+        assert vision > kws > ecg > har
+
+    def test_zoo_models_have_reasonable_mac_counts(self):
+        """Sanity bands: embedded-class models, not server models."""
+        assert 1e5 < profile_model(keyword_spotting_cnn()).total_macs < 1e8
+        assert 1e3 < profile_model(imu_har_mlp()).total_macs < 1e6
+
+    def test_width_multiplier_shrinks_vision_model(self):
+        small = profile_model(mobilenet_tiny(width_multiplier=0.25)).total_macs
+        large = profile_model(mobilenet_tiny(width_multiplier=0.5)).total_macs
+        assert small < large
+
+    def test_invalid_zoo_parameters_rejected(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            keyword_spotting_cnn(n_classes=0)
+        with pytest.raises(ConfigurationError):
+            mobilenet_tiny(width_multiplier=2.0)
+        with pytest.raises(ConfigurationError):
+            ecg_arrhythmia_cnn(window_samples=8)

@@ -1,0 +1,172 @@
+"""Tests for repro.nn.train (SGD training of dense classifiers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, GraphError
+from repro.nn.layers import Conv2D, Dense, ReLU, Softmax
+from repro.nn.model import Sequential
+from repro.nn.quantize import quantize_model_weights
+from repro.nn.train import (
+    SGDTrainer,
+    accuracy,
+    cross_entropy_loss,
+    make_imu_har_dataset,
+    train_imu_har_classifier,
+)
+from repro.nn.zoo import imu_har_mlp
+
+
+def make_blobs(n_per_class: int = 60, n_features: int = 8, n_classes: int = 3,
+               seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Linearly separable Gaussian blobs."""
+    rng = np.random.default_rng(seed)
+    centres = rng.normal(scale=4.0, size=(n_classes, n_features))
+    features = []
+    labels = []
+    for index, centre in enumerate(centres):
+        features.append(centre + rng.normal(scale=0.5,
+                                            size=(n_per_class, n_features)))
+        labels.extend([index] * n_per_class)
+    return np.concatenate(features), np.asarray(labels)
+
+
+def small_classifier(n_features: int = 8, n_classes: int = 3,
+                     seed: int = 1) -> Sequential:
+    rng = np.random.default_rng(seed)
+    model = Sequential(input_shape=(n_features,), name="blob classifier")
+    model.add(Dense(n_features, 16, rng=rng, name="fc1"))
+    model.add(ReLU(name="relu1"))
+    model.add(Dense(16, n_classes, rng=rng, name="fc2"))
+    model.add(Softmax(name="softmax"))
+    return model
+
+
+class TestLossAndAccuracy:
+    def test_cross_entropy_of_perfect_prediction_is_zero(self):
+        probabilities = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert cross_entropy_loss(probabilities, np.array([0, 1])) \
+            == pytest.approx(0.0, abs=1e-9)
+
+    def test_cross_entropy_of_uniform_prediction(self):
+        probabilities = np.full((4, 4), 0.25)
+        assert cross_entropy_loss(probabilities, np.array([0, 1, 2, 3])) \
+            == pytest.approx(np.log(4.0))
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cross_entropy_loss(np.full((2, 2), 0.5), np.array([0]))
+
+    def test_accuracy_range(self):
+        model = small_classifier()
+        features, labels = make_blobs(n_per_class=10)
+        value = accuracy(model, features, labels)
+        assert 0.0 <= value <= 1.0
+
+
+class TestSGDTrainer:
+    def test_training_reduces_loss(self):
+        features, labels = make_blobs()
+        model = small_classifier()
+        trainer = SGDTrainer(model, learning_rate=0.05)
+        history = trainer.fit(features, labels, epochs=15, batch_size=16, rng=0)
+        assert history.final_loss < history.losses[0]
+
+    def test_learns_separable_blobs_to_high_accuracy(self):
+        features, labels = make_blobs()
+        model = small_classifier()
+        trainer = SGDTrainer(model, learning_rate=0.05)
+        history = trainer.fit(features, labels, epochs=30, batch_size=16, rng=0)
+        assert history.final_accuracy >= 0.95
+
+    def test_train_step_returns_finite_loss(self):
+        features, labels = make_blobs(n_per_class=8)
+        trainer = SGDTrainer(small_classifier())
+        loss = trainer.train_step(features[:16], labels[:16])
+        assert np.isfinite(loss)
+
+    def test_gradients_match_numerical_estimate(self):
+        """Backprop through Dense/ReLU matches a finite-difference check."""
+        rng = np.random.default_rng(3)
+        features = rng.normal(size=(8, 4))
+        labels = rng.integers(0, 2, size=8)
+        model = Sequential(input_shape=(4,))
+        model.add(Dense(4, 5, rng=rng, name="fc1"))
+        model.add(ReLU(name="relu"))
+        model.add(Dense(5, 2, rng=rng, name="fc2"))
+        model.add(Softmax(name="softmax"))
+        trainer = SGDTrainer(model, learning_rate=1e-9, momentum=0.0)
+
+        probabilities, cache = trainer._forward_with_cache(features)
+        gradients = trainer._backward(cache, labels)
+        layer = model.layers[0]
+        analytic = gradients[0]["weight"][1, 2]
+
+        epsilon = 1e-6
+        layer.weight[1, 2] += epsilon
+        loss_plus = cross_entropy_loss(model(features), labels)
+        layer.weight[1, 2] -= 2 * epsilon
+        loss_minus = cross_entropy_loss(model(features), labels)
+        layer.weight[1, 2] += epsilon
+        numerical = (loss_plus - loss_minus) / (2 * epsilon)
+        assert analytic == pytest.approx(numerical, rel=1e-4, abs=1e-7)
+
+    def test_rejects_unsupported_architectures(self):
+        model = Sequential(input_shape=(8, 8, 1))
+        model.add(Conv2D(1, 4, kernel_size=3))
+        with pytest.raises(GraphError):
+            SGDTrainer(model)
+
+    def test_rejects_model_without_softmax(self):
+        model = Sequential(input_shape=(4,))
+        model.add(Dense(4, 2))
+        with pytest.raises(GraphError):
+            SGDTrainer(model)
+
+    def test_invalid_hyperparameters_rejected(self):
+        model = small_classifier()
+        with pytest.raises(ConfigurationError):
+            SGDTrainer(model, learning_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            SGDTrainer(model, momentum=1.0)
+        with pytest.raises(ConfigurationError):
+            SGDTrainer(model, weight_decay=-0.1)
+
+    def test_invalid_fit_arguments_rejected(self):
+        features, labels = make_blobs(n_per_class=4)
+        trainer = SGDTrainer(small_classifier())
+        with pytest.raises(ConfigurationError):
+            trainer.fit(features, labels, epochs=0)
+        with pytest.raises(ConfigurationError):
+            trainer.fit(features, labels[:-1])
+
+
+class TestHARTraining:
+    def test_dataset_shapes(self):
+        features, labels, class_names = make_imu_har_dataset(windows_per_class=3)
+        assert features.shape == (3 * len(class_names), 36)
+        assert set(labels.tolist()) == set(range(len(class_names)))
+
+    def test_har_classifier_beats_chance_comfortably(self):
+        model, history = train_imu_har_classifier(windows_per_class=12, epochs=25,
+                                                  seed=0)
+        n_classes = model.output_shape()[-1]
+        assert history.final_accuracy > 2.0 / n_classes
+
+    def test_trained_har_model_survives_int8_quantisation(self):
+        model, history = train_imu_har_classifier(windows_per_class=12, epochs=25,
+                                                  seed=1)
+        features, labels, _ = make_imu_har_dataset(windows_per_class=12, rng=1)
+        float_accuracy = accuracy(model, features, labels)
+        quantize_model_weights(model, bits=8)
+        int8_accuracy = accuracy(model, features, labels)
+        assert int8_accuracy >= float_accuracy - 0.1
+
+    def test_zoo_model_compatible_with_trainer(self):
+        model = imu_har_mlp()
+        trainer = SGDTrainer(model)
+        features, labels, _ = make_imu_har_dataset(windows_per_class=2)
+        loss = trainer.train_step(features, labels)
+        assert np.isfinite(loss)

@@ -1,0 +1,124 @@
+"""Tests for repro.sensors.catalog and repro.sensors.frontend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+from repro.errors import ConfigurationError
+from repro.sensors.catalog import (
+    MODALITY_CATALOG,
+    SensorModality,
+    modality_data_rate_bps,
+    modality_spec,
+)
+from repro.sensors.frontend import (
+    DEFAULT_SURVEY_POINTS,
+    AFESurveyModel,
+    AFESurveyPoint,
+    sensing_power_watts,
+)
+
+
+class TestModalityCatalog:
+    def test_every_modality_present(self):
+        for modality in SensorModality:
+            assert modality in MODALITY_CATALOG
+
+    def test_raw_rate_formula(self):
+        spec = modality_spec(SensorModality.ECG)
+        assert spec.raw_data_rate_bps == pytest.approx(250.0 * 12 * 1)
+
+    def test_compressed_rate_below_raw(self):
+        for modality in SensorModality:
+            spec = modality_spec(modality)
+            assert spec.compressed_data_rate_bps <= spec.raw_data_rate_bps
+
+    def test_rate_ordering_matches_physics(self):
+        """Temperature << biopotential << audio << video."""
+        temperature = modality_data_rate_bps(SensorModality.TEMPERATURE)
+        ecg = modality_data_rate_bps(SensorModality.ECG)
+        audio = modality_data_rate_bps(SensorModality.AUDIO)
+        video = modality_data_rate_bps(SensorModality.VIDEO_720P)
+        assert temperature < ecg < audio < video
+
+    def test_audio_rate_is_256_kbps(self):
+        assert modality_data_rate_bps(SensorModality.AUDIO) == pytest.approx(
+            units.kilobit_per_second(256.0)
+        )
+
+    def test_video_720p_raw_rate_hundreds_of_mbps(self):
+        rate = modality_data_rate_bps(SensorModality.VIDEO_720P)
+        assert rate > units.megabit_per_second(100.0)
+
+    def test_compressed_flag(self):
+        raw = modality_data_rate_bps(SensorModality.VIDEO_QVGA)
+        compressed = modality_data_rate_bps(SensorModality.VIDEO_QVGA, compressed=True)
+        assert compressed == pytest.approx(raw * 0.1)
+
+
+class TestAFESurveyModel:
+    def test_default_fit_has_positive_exponent_below_one(self, survey_model):
+        """Sensing power grows sublinearly with data rate (economies of scale)."""
+        assert 0.3 < survey_model.exponent < 1.0
+
+    def test_power_increases_with_rate(self, survey_model):
+        assert survey_model.sensing_power_watts(1e6) > \
+            survey_model.sensing_power_watts(1e3)
+
+    def test_zero_rate_zero_power(self, survey_model):
+        assert survey_model.sensing_power_watts(0.0) == 0.0
+
+    def test_negative_rate_rejected(self, survey_model):
+        with pytest.raises(ConfigurationError):
+            survey_model.sensing_power_watts(-1.0)
+
+    def test_biopotential_prediction_microwatt_class(self, survey_model):
+        """Fig. 1: human-inspired sensors sit at 10s-to-100s of microwatts."""
+        power = survey_model.sensing_power_watts(units.kilobit_per_second(3.0))
+        assert units.microwatt(5.0) <= power <= units.microwatt(500.0)
+
+    def test_video_prediction_tens_of_milliwatts_or_more(self, survey_model):
+        power = survey_model.sensing_power_watts(units.megabit_per_second(10.0))
+        assert power >= units.milliwatt(5.0)
+
+    def test_residuals_bounded(self, survey_model):
+        """The power-law fit stays within ~10 dB of every survey point."""
+        description = survey_model.describe()
+        assert description["max_abs_residual_db"] < 10.0
+
+    def test_curve_matches_pointwise_prediction(self, survey_model):
+        rates = [1e3, 1e4, 1e5]
+        curve = survey_model.sensing_power_curve(rates)
+        expected = [survey_model.sensing_power_watts(rate) for rate in rates]
+        assert np.allclose(curve, expected)
+
+    def test_subsystem_fit_above_afe_fit(self):
+        """Complete sensing subsystems burn more than bare AFEs at any rate."""
+        afe = AFESurveyModel(category="afe")
+        subsystem = AFESurveyModel(category="subsystem")
+        for rate in (1e4, 1e5, 1e6):
+            assert subsystem.sensing_power_watts(rate) > afe.sensing_power_watts(rate)
+
+    def test_needs_at_least_two_points(self):
+        with pytest.raises(ConfigurationError):
+            AFESurveyModel(points=DEFAULT_SURVEY_POINTS[:1])
+
+    def test_invalid_survey_point_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AFESurveyPoint("bad", data_rate_bps=0.0, sensing_power_watts=1.0)
+        with pytest.raises(ConfigurationError):
+            AFESurveyPoint("bad", data_rate_bps=1.0, sensing_power_watts=1.0,
+                           category="imaginary")
+
+    def test_module_level_helper_uses_default_model(self):
+        assert sensing_power_watts(1e4) == pytest.approx(
+            AFESurveyModel().sensing_power_watts(1e4)
+        )
+
+    @given(st.floats(min_value=1.0, max_value=1e9))
+    def test_power_monotone_property(self, rate):
+        model = AFESurveyModel()
+        assert model.sensing_power_watts(rate * 2.0) >= model.sensing_power_watts(rate)

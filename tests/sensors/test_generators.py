@@ -1,0 +1,171 @@
+"""Tests for the synthetic signal generators (ECG, EMG, EEG, IMU, audio, video, PPG)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sensors.audio import AudioGenerator
+from repro.sensors.biopotential import ECGGenerator, EEGGenerator, EMGGenerator
+from repro.sensors.imu import ACTIVITY_PROFILES, IMUGenerator
+from repro.sensors.ppg import PPGGenerator
+from repro.sensors.video import VideoGenerator
+
+
+class TestECGGenerator:
+    def test_length_matches_duration(self, rng):
+        generator = ECGGenerator(sample_rate_hz=250.0)
+        signal = generator.generate(10.0, rng)
+        assert signal.shape == (2500,)
+
+    def test_r_peak_count_matches_heart_rate(self, rng):
+        generator = ECGGenerator(heart_rate_bpm=60.0, heart_rate_variability=0.0)
+        peaks = generator.r_peak_times(60.0, rng)
+        assert 58 <= len(peaks) <= 61
+
+    def test_r_peaks_dominate_amplitude(self, rng):
+        generator = ECGGenerator(noise_mv=0.0, baseline_wander_mv=0.0)
+        signal = generator.generate(10.0, rng)
+        assert np.max(signal) == pytest.approx(1.0, abs=0.3)
+
+    def test_deterministic_with_seed(self):
+        generator = ECGGenerator()
+        first = generator.generate(5.0, rng=42)
+        second = generator.generate(5.0, rng=42)
+        assert np.array_equal(first, second)
+
+    def test_data_rate(self):
+        assert ECGGenerator(sample_rate_hz=250.0).data_rate_bps(12) == pytest.approx(3000.0)
+
+    def test_invalid_duration_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            ECGGenerator().generate(0.0, rng)
+
+    def test_invalid_hrv_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ECGGenerator(heart_rate_variability=0.9)
+
+
+class TestEMGGenerator:
+    def test_shape_channels_by_samples(self, rng):
+        generator = EMGGenerator(channels=4, sample_rate_hz=1000.0)
+        signal = generator.generate(2.0, rng)
+        assert signal.shape == (4, 2000)
+
+    def test_bursts_raise_signal_energy(self, rng):
+        quiet = EMGGenerator(burst_rate_hz=1e-6).generate(5.0, rng)
+        busy = EMGGenerator(burst_rate_hz=3.0).generate(5.0, np.random.default_rng(7))
+        assert np.std(busy) > np.std(quiet)
+
+    def test_data_rate_scales_with_channels(self):
+        assert EMGGenerator(channels=8).data_rate_bps() == pytest.approx(
+            2.0 * EMGGenerator(channels=4).data_rate_bps()
+        )
+
+
+class TestEEGGenerator:
+    def test_shape(self, rng):
+        signal = EEGGenerator(channels=8, sample_rate_hz=256.0).generate(4.0, rng)
+        assert signal.shape == (8, 1024)
+
+    def test_alpha_power_visible_in_spectrum(self, rng):
+        generator = EEGGenerator(alpha_power=5.0, noise_uv=0.5)
+        signal = generator.generate(8.0, rng)[0]
+        spectrum = np.abs(np.fft.rfft(signal - signal.mean()))
+        freqs = np.fft.rfftfreq(signal.size, 1.0 / generator.sample_rate_hz)
+        alpha_band = spectrum[(freqs >= 8) & (freqs <= 12)].max()
+        beta_band = spectrum[(freqs >= 25) & (freqs <= 35)].max()
+        assert alpha_band > beta_band
+
+    def test_invalid_channels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EEGGenerator(channels=0)
+
+
+class TestIMUGenerator:
+    def test_shape_six_axes(self, rng):
+        trace = IMUGenerator(sample_rate_hz=100.0).generate(3.0, "walking", rng)
+        assert trace.shape == (6, 300)
+
+    def test_gravity_on_z_axis_at_rest(self, rng):
+        trace = IMUGenerator().generate(5.0, "rest", rng)
+        assert np.mean(trace[2]) == pytest.approx(9.81, abs=0.2)
+
+    def test_running_more_energetic_than_walking(self, rng):
+        generator = IMUGenerator()
+        walking = generator.generate(5.0, "walking", rng)
+        running = generator.generate(5.0, "running", np.random.default_rng(5))
+        assert np.std(running[0]) > np.std(walking[0])
+
+    def test_unknown_activity_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            IMUGenerator().generate(1.0, "flying", rng)
+
+    def test_labelled_windows_cover_all_classes(self, rng):
+        features, labels, names = IMUGenerator().generate_labelled_windows(
+            1.0, windows_per_class=2, rng=rng
+        )
+        assert features.shape[0] == 2 * len(ACTIVITY_PROFILES)
+        assert set(labels.tolist()) == set(range(len(names)))
+
+    def test_data_rate(self):
+        assert IMUGenerator(sample_rate_hz=100.0).data_rate_bps(16) == pytest.approx(9600.0)
+
+
+class TestAudioGenerator:
+    def test_output_in_unit_range(self, rng):
+        signal = AudioGenerator().generate(2.0, rng)
+        assert np.all(signal <= 1.0) and np.all(signal >= -1.0)
+
+    def test_length(self, rng):
+        signal = AudioGenerator(sample_rate_hz=16000.0).generate(1.5, rng)
+        assert signal.shape == (24000,)
+
+    def test_voice_activity_detects_utterances(self):
+        generator = AudioGenerator(utterance_rate_hz=1.0, noise_level=0.001)
+        signal = generator.generate(10.0, rng=3)
+        activity = generator.voice_activity(signal)
+        assert activity.any()
+        assert not activity.all()
+
+    def test_data_rate_is_256_kbps(self):
+        assert AudioGenerator(sample_rate_hz=16000.0).data_rate_bps(16) \
+            == pytest.approx(256_000.0)
+
+
+class TestVideoGenerator:
+    def test_frame_stack_shape_and_dtype(self, rng):
+        generator = VideoGenerator(width=64, height=48, frame_rate_hz=10.0)
+        frames = generator.generate(1.0, rng)
+        assert frames.shape == (10, 48, 64)
+        assert frames.dtype == np.uint8
+
+    def test_consecutive_frames_differ(self, rng):
+        frames = VideoGenerator(width=64, height=48).generate(1.0, rng)
+        assert not np.array_equal(frames[0], frames[-1])
+
+    def test_frame_bits(self):
+        generator = VideoGenerator(width=160, height=120)
+        assert generator.frame_bits(8) == pytest.approx(160 * 120 * 8)
+
+    def test_data_rate(self):
+        generator = VideoGenerator(width=320, height=240, frame_rate_hz=15.0)
+        assert generator.data_rate_bps(8) == pytest.approx(320 * 240 * 8 * 15.0)
+
+
+class TestPPGGenerator:
+    def test_heart_rate_recovered_from_signal(self):
+        generator = PPGGenerator(heart_rate_bpm=72.0, noise_level=0.005)
+        signal = generator.generate(30.0, rng=11)
+        estimate = generator.estimate_heart_rate_bpm(signal)
+        assert estimate == pytest.approx(72.0, abs=4.0)
+
+    def test_short_signal_rejected_for_estimation(self):
+        generator = PPGGenerator()
+        with pytest.raises(ConfigurationError):
+            generator.estimate_heart_rate_bpm(np.zeros(10))
+
+    def test_data_rate(self):
+        assert PPGGenerator(sample_rate_hz=100.0).data_rate_bps(16, channels=2) \
+            == pytest.approx(3200.0)

@@ -1,0 +1,67 @@
+"""Tests for the repro command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command_parses(self):
+        arguments = build_parser().parse_args(["list"])
+        assert arguments.command == "list"
+
+    def test_run_command_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "does-not-exist"])
+
+    def test_run_all_is_accepted(self):
+        arguments = build_parser().parse_args(["run", "all"])
+        assert arguments.experiment == "all"
+
+
+class TestCommands:
+    def test_no_command_prints_help_and_fails(self):
+        out = io.StringIO()
+        assert main([], out=out) == 1
+        assert "usage" in out.getvalue()
+
+    def test_list_names_every_experiment(self):
+        out = io.StringIO()
+        assert main(["list"], out=out) == 0
+        text = out.getvalue()
+        for name in EXPERIMENTS:
+            assert name in text
+
+    def test_run_fig2_prints_survey_rows(self):
+        out = io.StringIO()
+        assert main(["run", "fig2"], out=out) == 0
+        text = out.getvalue()
+        assert "smartphone" in text
+        assert "matches_claim" in text
+
+    def test_run_fig1_prints_power_rows(self):
+        out = io.StringIO()
+        assert main(["run", "fig1"], out=out) == 0
+        assert "power reduction factor" in out.getvalue()
+
+    def test_links_table_includes_wir_and_ble(self):
+        out = io.StringIO()
+        assert main(["links"], out=out) == 0
+        text = out.getvalue()
+        assert "Wi-R" in text
+        assert "BLE" in text
+        assert "MQS" in text
+
+    def test_survey_command(self):
+        out = io.StringIO()
+        assert main(["survey"], out=out) == 0
+        assert "smart ring" in out.getvalue()
+
+    def test_registry_descriptions_nonempty(self):
+        for name, (description, producer) in EXPERIMENTS.items():
+            assert description
+            assert callable(producer)

@@ -1,0 +1,200 @@
+"""Cross-module integration tests.
+
+These tests exercise full pipelines spanning several subpackages — the
+kind of end-to-end flows a user of the library would run — rather than
+individual units:
+
+* signal generation -> ISA feature extraction -> DNN inference,
+* DNN profiling -> partitioning -> discrete-event simulation of the
+  resulting traffic on the body bus,
+* the network designer's closed-form plan cross-checked against the
+  simulator,
+* closed-form Fig. 3 battery life cross-checked against the stateful
+  battery model.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.body.landmarks import BodyLandmark
+from repro.comm.eqs_hbc import WiRLink, wir_commercial
+from repro.core.battery_life import project_battery_life
+from repro.core.compute import hub_soc, isa_accelerator
+from repro.core.designer import ApplicationSpec, NetworkDesigner
+from repro.core.partition import optimal_partition
+from repro.energy.battery import Battery, coin_cell_high_capacity
+from repro.isa.features import log_mel_energies
+from repro.isa.pipeline import audio_feature_pipeline
+from repro.netsim.simulator import BodyNetworkSimulator
+from repro.netsim.traffic import PeriodicSource
+from repro.nn.profile import profile_model
+from repro.nn.zoo import keyword_spotting_cnn
+from repro.sensors.audio import AudioGenerator
+from repro.sensors.catalog import SensorModality
+
+
+class TestAudioToInferencePipeline:
+    def test_microphone_to_keyword_scores(self):
+        """Raw audio -> log-mel features -> KWS CNN posterior, end to end."""
+        generator = AudioGenerator(utterance_rate_hz=1.0)
+        audio = generator.generate(1.0, rng=0)
+        features = log_mel_energies(audio, generator.sample_rate_hz,
+                                    frame_seconds=0.025, hop_seconds=0.020,
+                                    n_mels=40)
+        model = keyword_spotting_cnn(n_mels=40, n_frames=features.shape[0])
+        batch = features[np.newaxis, :, :, np.newaxis]
+        posterior = model(batch)
+        assert posterior.shape == (1, 12)
+        assert posterior.sum() == pytest.approx(1.0)
+
+    def test_partitioned_execution_matches_monolithic_output(self):
+        """Running leaf layers then hub layers reproduces the full forward pass."""
+        model = keyword_spotting_cnn()
+        profile = profile_model(model)
+        decision = optimal_partition(
+            profile, isa_accelerator(), hub_soc(), wir_commercial(),
+        )
+        split = max(decision.best.split_index, 1)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 49, 40, 1))
+        leaf_output = model.forward(x, 0, split)
+        hub_output = model.forward(leaf_output, split, None)
+        assert np.allclose(hub_output, model(x))
+
+
+class TestPartitionFeedsSimulation:
+    def test_partitioned_traffic_runs_on_the_body_bus(self):
+        """The partitioner's transfer size becomes simulated traffic."""
+        profile = profile_model(keyword_spotting_cnn())
+        decision = optimal_partition(
+            profile, isa_accelerator(), hub_soc(), wir_commercial(),
+        )
+        inference_rate_hz = 2.0
+        simulator = BodyNetworkSimulator(wir_commercial(), rng=1)
+        simulator.add_node(
+            "kws leaf",
+            PeriodicSource(period_seconds=1.0 / inference_rate_hz,
+                           bits_per_packet=max(decision.best.transfer_bits, 8.0)),
+            sensing_power_watts=units.milliwatt(2.0),
+        )
+        result = simulator.run(10.0)
+        assert result.delivered_packets >= 18
+        assert result.dropped_packets == 0
+        # The simulated per-inference transmit energy matches the analytical one.
+        simulated_tx = result.per_node_goodput_bps["kws leaf"] \
+            * wir_commercial().tx_energy_per_bit()
+        analytical_tx = decision.best.link_tx_energy_joules * inference_rate_hz
+        assert simulated_tx == pytest.approx(analytical_tx, rel=0.1)
+
+    def test_simulated_latency_bounded_by_partition_latency_budget(self):
+        profile = profile_model(keyword_spotting_cnn())
+        decision = optimal_partition(
+            profile, isa_accelerator(), hub_soc(), wir_commercial(),
+        )
+        simulator = BodyNetworkSimulator(wir_commercial(), rng=2)
+        simulator.add_node("kws leaf", PeriodicSource(
+            period_seconds=1.0, bits_per_packet=max(decision.best.transfer_bits, 8.0),
+        ))
+        result = simulator.run(10.0)
+        assert result.mean_latency_seconds == pytest.approx(
+            decision.best.transfer_latency_seconds, rel=0.5, abs=1e-3,
+        )
+
+
+class TestDesignerAgainstSimulator:
+    def test_planned_rates_are_simulatable(self):
+        applications = [
+            ApplicationSpec(
+                name="ecg", modality=SensorModality.ECG,
+                placement=BodyLandmark.STERNUM, model_name="ecg_arrhythmia",
+                inference_rate_hz=1.2,
+                sensing_power_watts=units.microwatt(30.0),
+            ),
+            ApplicationSpec(
+                name="kws", modality=SensorModality.AUDIO,
+                placement=BodyLandmark.CHEST, model_name="keyword_spotting",
+                inference_rate_hz=1.0, isa_pipeline=audio_feature_pipeline(),
+                sensing_power_watts=units.milliwatt(2.0),
+            ),
+        ]
+        designer = NetworkDesigner()
+        plan = designer.plan(applications)
+        assert plan.schedule_feasible
+
+        simulator = BodyNetworkSimulator(designer.technology, rng=3)
+        for node_plan in plan.nodes:
+            simulator.add_node(
+                node_plan.application.name,
+                PeriodicSource.from_rate(max(node_plan.streaming_rate_bps, 64.0)),
+                sensing_power_watts=node_plan.sensing_power_watts,
+            )
+        result = simulator.run(5.0)
+        assert result.dropped_packets == 0
+        assert result.bus_utilization < 0.5
+
+    def test_planned_node_power_consistent_with_simulation(self):
+        application = ApplicationSpec(
+            name="ecg", modality=SensorModality.ECG,
+            placement=BodyLandmark.STERNUM, model_name="ecg_arrhythmia",
+            inference_rate_hz=1.2,
+            sensing_power_watts=units.microwatt(30.0),
+        )
+        designer = NetworkDesigner()
+        plan = designer.plan_node(application)
+
+        simulator = BodyNetworkSimulator(designer.technology, rng=4)
+        simulator.add_node(
+            "ecg",
+            PeriodicSource.from_rate(max(plan.streaming_rate_bps, 64.0)),
+            sensing_power_watts=plan.sensing_power_watts,
+        )
+        result = simulator.run(20.0)
+        simulated = result.per_node_average_power_watts["ecg"]
+        # Within 3x: the simulator adds sleep power and packet quantisation,
+        # the plan adds leaf compute; both stay in the tens of microwatts.
+        assert simulated < 3.0 * plan.average_power_watts + units.microwatt(10.0)
+        assert plan.average_power_watts < units.microwatt(100.0)
+
+
+class TestEnergyModelsAgree:
+    def test_fig3_projection_matches_stateful_battery(self):
+        point = project_battery_life(
+            units.kilobit_per_second(3.0),
+            sensing_power_watts=units.microwatt(30.0),
+        )
+        cell = Battery(spec=coin_cell_high_capacity())
+        # Without self-discharge the cell sustains exactly capacity / load;
+        # run it 1 % past that and check it empties at the expected time.
+        ideal_life = cell.spec.usable_energy_joules / point.total_power_watts
+        sustained = cell.run(point.total_power_watts, ideal_life * 1.01)
+        assert cell.is_empty
+        assert sustained == pytest.approx(ideal_life, rel=1e-6)
+        # The closed-form projection is more conservative because it folds
+        # in the cell's self-discharge, but stays within ~15 %.
+        assert point.life_seconds <= ideal_life
+        assert point.life_seconds == pytest.approx(ideal_life, rel=0.15)
+
+    def test_wir_link_budget_closes_for_every_designer_placement(self):
+        body_placements = [BodyLandmark.STERNUM, BodyLandmark.CHEST,
+                           BodyLandmark.RIGHT_WRIST, BodyLandmark.LEFT_ANKLE,
+                           BodyLandmark.FOREHEAD]
+        designer = NetworkDesigner()
+        for placement in body_placements:
+            length = designer.body.channel_length(placement, designer.hub_placement)
+            link = WiRLink(transceiver=wir_commercial(),
+                           channel_length_metres=length)
+            assert link.link_margin_db() > 0.0
+
+    def test_infinite_life_reported_consistently(self):
+        point = project_battery_life(
+            units.kilobit_per_second(1.0),
+            sensing_power_watts=units.microwatt(10.0),
+            harvested_power_watts=units.microwatt(100.0),
+        )
+        assert math.isinf(point.life_seconds)
+        assert point.is_perpetual

@@ -1,0 +1,181 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These invariants span module boundaries and hold for *any* valid input,
+not just the handful of named operating points used elsewhere:
+
+* energy accounting is conservative (no component of a transfer or a
+  partition can be negative; totals equal the sum of their parts);
+* the partitioner's optimum is never worse than any explicitly evaluated
+  split, for arbitrary device/link parameters;
+* battery life is monotone in load and in harvested power;
+* the TDMA schedule admits a set of flows iff their utilisation fits.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.comm.eqs_hbc import EQSHBCTransceiver
+from repro.comm.link import transfer_cost
+from repro.comm.mac import TDMASchedule
+from repro.core.battery_life import classify_battery_life, project_battery_life
+from repro.core.compute import ComputeDevice
+from repro.core.partition import PartitionObjective, optimal_partition, sweep_partitions
+from repro.energy.battery import BatterySpec, battery_life_seconds
+from repro.nn.profile import profile_model
+from repro.nn.zoo import imu_har_mlp
+
+# A fixed small profile keeps the partition properties fast.
+_HAR_PROFILE = profile_model(imu_har_mlp())
+
+
+def _transceiver(rate_bps: float, energy_per_bit: float) -> EQSHBCTransceiver:
+    return EQSHBCTransceiver(name="prop link", data_rate=rate_bps,
+                             energy_per_bit=energy_per_bit)
+
+
+def _device(energy_per_mac: float, macs_per_second: float) -> ComputeDevice:
+    return ComputeDevice(name="prop device", energy_per_mac_joules=energy_per_mac,
+                         macs_per_second=macs_per_second)
+
+
+class TestTransferCostProperties:
+    @given(rate=st.floats(min_value=1e3, max_value=1e8),
+           energy=st.floats(min_value=1e-13, max_value=1e-8),
+           payload=st.floats(min_value=0.0, max_value=1e9))
+    @settings(max_examples=60, deadline=None)
+    def test_costs_non_negative_and_additive(self, rate, energy, payload):
+        link = _transceiver(rate, energy)
+        cost = transfer_cost(link, payload)
+        assert cost.tx_energy_joules >= 0.0
+        assert cost.rx_energy_joules >= 0.0
+        assert cost.total_energy_joules == pytest.approx(
+            cost.tx_energy_joules + cost.rx_energy_joules
+        )
+
+    @given(rate=st.floats(min_value=1e3, max_value=1e8),
+           energy=st.floats(min_value=1e-13, max_value=1e-8),
+           payload=st.floats(min_value=1.0, max_value=1e8))
+    @settings(max_examples=60, deadline=None)
+    def test_doubling_payload_doubles_marginal_energy(self, rate, energy, payload):
+        link = _transceiver(rate, energy)
+        single = transfer_cost(link, payload, include_wakeup=False)
+        double = transfer_cost(link, 2.0 * payload, include_wakeup=False)
+        assert double.tx_energy_joules == pytest.approx(
+            2.0 * single.tx_energy_joules, rel=1e-9
+        )
+
+
+class TestPartitionProperties:
+    @given(leaf_energy=st.floats(min_value=1e-13, max_value=1e-9),
+           hub_energy=st.floats(min_value=1e-13, max_value=1e-10),
+           link_energy=st.floats(min_value=1e-12, max_value=1e-8),
+           link_rate=st.floats(min_value=1e4, max_value=1e7))
+    @settings(max_examples=40, deadline=None)
+    def test_optimum_never_worse_than_any_split(self, leaf_energy, hub_energy,
+                                                link_energy, link_rate):
+        leaf = _device(leaf_energy, 1e7)
+        hub = _device(hub_energy, 1e12)
+        link = _transceiver(link_rate, link_energy)
+        decision = optimal_partition(_HAR_PROFILE, leaf, hub, link)
+        for point in sweep_partitions(_HAR_PROFILE, leaf, hub, link):
+            assert decision.best.leaf_energy_joules <= point.leaf_energy_joules + 1e-18
+
+    @given(link_energy=st.floats(min_value=1e-12, max_value=1e-8))
+    @settings(max_examples=40, deadline=None)
+    def test_energy_components_consistent(self, link_energy):
+        leaf = _device(2e-12, 5e7)
+        hub = _device(5e-12, 1e12)
+        link = _transceiver(1e6, link_energy)
+        for point in sweep_partitions(_HAR_PROFILE, leaf, hub, link):
+            assert point.leaf_macs + point.hub_macs == _HAR_PROFILE.total_macs
+            assert point.total_energy_joules >= point.leaf_energy_joules
+            assert point.latency_seconds >= point.transfer_latency_seconds
+
+    @given(link_energy_cheap=st.floats(min_value=1e-12, max_value=1e-10),
+           multiplier=st.floats(min_value=2.0, max_value=1e3))
+    @settings(max_examples=40, deadline=None)
+    def test_cheaper_link_never_increases_offload_cost(self, link_energy_cheap,
+                                                       multiplier):
+        leaf = _device(2e-12, 5e7)
+        hub = _device(5e-12, 1e12)
+        cheap = _transceiver(1e6, link_energy_cheap)
+        costly = _transceiver(1e6, link_energy_cheap * multiplier)
+        cheap_best = optimal_partition(_HAR_PROFILE, leaf, hub, cheap).best
+        costly_best = optimal_partition(_HAR_PROFILE, leaf, hub, costly).best
+        assert cheap_best.leaf_energy_joules <= costly_best.leaf_energy_joules + 1e-18
+
+    def test_all_objectives_produce_valid_optima(self):
+        leaf = _device(2e-12, 5e7)
+        hub = _device(5e-12, 1e12)
+        link = _transceiver(4e6, 1e-10)
+        for objective in PartitionObjective:
+            decision = optimal_partition(_HAR_PROFILE, leaf, hub, link,
+                                         objective=objective)
+            assert 0 <= decision.best.split_index <= len(_HAR_PROFILE.layers)
+
+
+class TestBatteryLifeProperties:
+    @given(capacity=st.floats(min_value=10.0, max_value=5000.0),
+           load=st.floats(min_value=1e-6, max_value=1.0),
+           extra=st.floats(min_value=1e-7, max_value=1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_life_monotone_in_load(self, capacity, load, extra):
+        spec = BatterySpec(name="prop", capacity_mah=capacity,
+                           self_discharge_per_year=0.0)
+        assert battery_life_seconds(spec, load + extra) <= \
+            battery_life_seconds(spec, load)
+
+    @given(load=st.floats(min_value=1e-6, max_value=1e-2),
+           harvest=st.floats(min_value=0.0, max_value=1e-2))
+    @settings(max_examples=60, deadline=None)
+    def test_life_monotone_in_harvest(self, load, harvest):
+        spec = BatterySpec(name="prop", capacity_mah=1000.0,
+                           self_discharge_per_year=0.0)
+        with_harvest = battery_life_seconds(spec, load, harvested_power_watts=harvest)
+        without = battery_life_seconds(spec, load)
+        assert with_harvest >= without
+
+    @given(rate=st.floats(min_value=10.0, max_value=1e8))
+    @settings(max_examples=60, deadline=None)
+    def test_projection_band_consistent_with_life(self, rate):
+        point = project_battery_life(rate)
+        assert point.band is classify_battery_life(point.life_seconds)
+        assert point.life_seconds > 0.0 or math.isinf(point.life_seconds)
+
+    @given(rate_a=st.floats(min_value=10.0, max_value=1e7),
+           factor=st.floats(min_value=1.1, max_value=100.0))
+    @settings(max_examples=60, deadline=None)
+    def test_projection_monotone_in_rate(self, rate_a, factor):
+        slow = project_battery_life(rate_a)
+        fast = project_battery_life(rate_a * factor)
+        assert fast.life_seconds <= slow.life_seconds
+
+
+class TestTDMAProperties:
+    @given(rates=st.lists(st.floats(min_value=100.0, max_value=5e5),
+                          min_size=1, max_size=25),
+           link_rate=st.floats(min_value=1e6, max_value=1e7))
+    @settings(max_examples=60, deadline=None)
+    def test_feasibility_matches_utilisation(self, rates, link_rate):
+        schedule = TDMASchedule(link_rate_bps=link_rate)
+        for index, rate in enumerate(rates):
+            schedule.add_node(f"node{index}", rate)
+        assert schedule.is_feasible() == (schedule.utilization() <= 1.0)
+
+    @given(rates=st.lists(st.floats(min_value=100.0, max_value=2e4),
+                          min_size=1, max_size=15))
+    @settings(max_examples=60, deadline=None)
+    def test_built_schedule_serves_every_flow(self, rates):
+        schedule = TDMASchedule(link_rate_bps=units.megabit_per_second(4.0))
+        for index, rate in enumerate(rates):
+            schedule.add_node(f"node{index}", rate)
+        assignments = schedule.build()
+        served = {assignment.node_name: assignment.goodput_bps
+                  for assignment in assignments}
+        for index, rate in enumerate(rates):
+            assert served[f"node{index}"] == pytest.approx(rate, rel=1e-9)

@@ -1,0 +1,187 @@
+"""Tests for repro.units."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+from repro.errors import UnitError
+
+
+class TestPowerHelpers:
+    def test_watt_identity(self):
+        assert units.watt(1.5) == 1.5
+
+    def test_milliwatt_scale(self):
+        assert units.milliwatt(10.0) == pytest.approx(0.010)
+
+    def test_microwatt_scale(self):
+        assert units.microwatt(100.0) == pytest.approx(1e-4)
+
+    def test_nanowatt_scale(self):
+        assert units.nanowatt(415.0) == pytest.approx(415e-9)
+
+    def test_round_trip_microwatt(self):
+        assert units.to_microwatt(units.microwatt(42.0)) == pytest.approx(42.0)
+
+    def test_round_trip_milliwatt(self):
+        assert units.to_milliwatt(units.milliwatt(7.0)) == pytest.approx(7.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(UnitError):
+            units.milliwatt(-1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(UnitError):
+            units.watt(float("nan"))
+
+    def test_infinity_rejected(self):
+        with pytest.raises(UnitError):
+            units.watt(float("inf"))
+
+
+class TestEnergyHelpers:
+    def test_picojoule_per_bit(self):
+        assert units.picojoule_per_bit(100.0) == pytest.approx(1e-10)
+
+    def test_nanojoule_per_bit(self):
+        assert units.nanojoule_per_bit(1.0) == pytest.approx(1e-9)
+
+    def test_to_picojoule_per_bit_round_trip(self):
+        assert units.to_picojoule_per_bit(
+            units.picojoule_per_bit(6.3)
+        ) == pytest.approx(6.3)
+
+    def test_mah_default_voltage(self):
+        # 1000 mAh at 3 V = 1 Ah * 3 V * 3600 s = 10.8 kJ.
+        assert units.mAh(1000.0) == pytest.approx(10_800.0)
+
+    def test_mah_explicit_voltage(self):
+        assert units.mAh(100.0, volts=3.7) == pytest.approx(0.1 * 3.7 * 3600.0)
+
+    def test_mah_zero_voltage_rejected(self):
+        with pytest.raises(UnitError):
+            units.mAh(100.0, volts=0.0)
+
+    def test_watt_hour(self):
+        assert units.watt_hour(1.0) == pytest.approx(3600.0)
+
+    def test_energy_prefixes_ordering(self):
+        assert units.picojoule(1.0) < units.nanojoule(1.0) < units.microjoule(1.0) \
+            < units.millijoule(1.0) < units.joule(1.0)
+
+
+class TestRateAndSizeHelpers:
+    def test_kilobit_per_second(self):
+        assert units.kilobit_per_second(10.0) == pytest.approx(1e4)
+
+    def test_megabit_per_second(self):
+        assert units.megabit_per_second(4.0) == pytest.approx(4e6)
+
+    def test_byte_per_second(self):
+        assert units.byte_per_second(1.0) == pytest.approx(8.0)
+
+    def test_to_megabit_round_trip(self):
+        assert units.to_megabit_per_second(
+            units.megabit_per_second(1.5)
+        ) == pytest.approx(1.5)
+
+    def test_bytes_to_bits(self):
+        assert units.bytes_(2.0) == pytest.approx(16.0)
+
+    def test_kibibytes(self):
+        assert units.kibibytes(1.0) == pytest.approx(8192.0)
+
+
+class TestTimeHelpers:
+    def test_days(self):
+        assert units.days(1.0) == pytest.approx(86_400.0)
+
+    def test_weeks(self):
+        assert units.weeks(1.0) == pytest.approx(7 * 86_400.0)
+
+    def test_years(self):
+        assert units.years(1.0) == pytest.approx(365.25 * 86_400.0)
+
+    def test_to_days_round_trip(self):
+        assert units.to_days(units.days(3.0)) == pytest.approx(3.0)
+
+    def test_to_years_round_trip(self):
+        assert units.to_years(units.years(2.0)) == pytest.approx(2.0)
+
+    def test_hours_to_seconds(self):
+        assert units.hours(2.0) == pytest.approx(7200.0)
+
+    def test_milliseconds(self):
+        assert units.milliseconds(7.5) == pytest.approx(0.0075)
+
+
+class TestFrequencyAndDistance:
+    def test_megahertz(self):
+        assert units.megahertz(30.0) == pytest.approx(30e6)
+
+    def test_gigahertz(self):
+        assert units.gigahertz(2.4) == pytest.approx(2.4e9)
+
+    def test_centimetre(self):
+        assert units.centimetre(150.0) == pytest.approx(1.5)
+
+    def test_picofarad(self):
+        assert units.picofarad(150.0) == pytest.approx(150e-12)
+
+    def test_femtofarad(self):
+        assert units.femtofarad(300.0) == pytest.approx(3e-13)
+
+
+class TestDecibelHelpers:
+    def test_db_to_linear(self):
+        assert units.db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_linear_to_db(self):
+        assert units.linear_to_db(100.0) == pytest.approx(20.0)
+
+    def test_db_round_trip(self):
+        assert units.db_to_linear(units.linear_to_db(42.0)) == pytest.approx(42.0)
+
+    def test_dbm_to_watt_zero_dbm(self):
+        assert units.dbm_to_watt(0.0) == pytest.approx(1e-3)
+
+    def test_watt_to_dbm_round_trip(self):
+        assert units.watt_to_dbm(units.dbm_to_watt(7.0)) == pytest.approx(7.0)
+
+    def test_watt_to_dbm_rejects_zero(self):
+        with pytest.raises(UnitError):
+            units.watt_to_dbm(0.0)
+
+
+class TestUnitProperties:
+    @given(st.floats(min_value=0.0, max_value=1e9, allow_nan=False))
+    def test_microwatt_round_trip_property(self, value):
+        assert units.to_microwatt(units.microwatt(value)) == pytest.approx(value)
+
+    @given(st.floats(min_value=1e-6, max_value=1e6))
+    def test_db_linear_round_trip_property(self, ratio):
+        assert units.db_to_linear(units.linear_to_db(ratio)) == pytest.approx(
+            ratio, rel=1e-9
+        )
+
+    @given(st.floats(min_value=0.0, max_value=1e7, allow_nan=False),
+           st.floats(min_value=0.5, max_value=12.0))
+    def test_mah_scales_linearly_with_voltage(self, capacity, voltage):
+        assert units.mAh(capacity, volts=voltage) == pytest.approx(
+            capacity * 1e-3 * 3600.0 * voltage
+        )
+
+    @given(st.floats(min_value=0.0, max_value=1e12, allow_nan=False))
+    def test_time_conversions_consistent(self, seconds_value):
+        assert units.to_days(seconds_value) * 86_400.0 == pytest.approx(
+            seconds_value, rel=1e-12, abs=1e-9
+        )
+        assert math.isclose(
+            units.to_years(seconds_value) * 365.25,
+            units.to_days(seconds_value),
+            rel_tol=1e-12, abs_tol=1e-9,
+        )
