@@ -4,11 +4,11 @@ from __future__ import annotations
 
 from conftest import emit
 
-from repro.experiments import charging_burden
+from repro.runner import resolve
 
 
 def test_bench_charging_burden(benchmark):
-    result = benchmark(charging_burden.run)
+    result = benchmark(resolve("charging").execute)
 
     emit("Charging burden — charge events per week vs wearables worn",
          result.rows())

@@ -4,11 +4,11 @@ from __future__ import annotations
 
 from conftest import emit
 
-from repro.experiments import claims
+from repro.runner import resolve
 
 
 def test_bench_claims_wir_vs_ble(benchmark):
-    result = benchmark(claims.run)
+    result = benchmark(resolve("claims").execute)
 
     emit("Claims table — paper statement vs model measurement", result.rows())
     emit("Link technology comparison", result.technology_rows)

@@ -4,11 +4,11 @@ from __future__ import annotations
 
 from conftest import emit
 
-from repro.experiments import fig1_power_breakdown
+from repro.runner import resolve
 
 
 def test_bench_fig1_power_breakdown(benchmark):
-    result = benchmark(fig1_power_breakdown.run)
+    result = benchmark(resolve("fig1").execute)
 
     emit("Fig. 1 — active power per component (uW), today's vs human-inspired",
          result.rows())

@@ -4,11 +4,11 @@ from __future__ import annotations
 
 from conftest import emit
 
-from repro.experiments import fig2_battery_survey
+from repro.runner import resolve
 
 
 def test_bench_fig2_battery_survey(benchmark):
-    result = benchmark(fig2_battery_survey.run)
+    result = benchmark(resolve("fig2").execute)
 
     emit("Fig. 2 — battery life of commercial wearables (modelled vs claimed band)",
          result.rows,

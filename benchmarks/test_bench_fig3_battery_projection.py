@@ -5,11 +5,11 @@ from __future__ import annotations
 from conftest import emit
 
 from repro import units
-from repro.experiments import fig3_battery_projection
+from repro.runner import resolve
 
 
 def test_bench_fig3_battery_projection(benchmark):
-    result = benchmark(fig3_battery_projection.run)
+    result = benchmark(resolve("fig3").execute)
 
     emit("Fig. 3 — battery life vs data rate (1000 mAh, 100 pJ/bit Wi-R): curve",
          result.curve_rows()[::6])

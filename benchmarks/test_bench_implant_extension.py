@@ -7,10 +7,11 @@ from conftest import emit
 from repro import units
 from repro.comm.mqs_hbc import mqs_implant_link
 from repro.experiments import implant_extension
+from repro.runner import resolve
 
 
 def test_bench_implant_extension(benchmark):
-    result = benchmark(implant_extension.run)
+    result = benchmark(resolve("implant").execute)
 
     emit("Implant extension — MQS-HBC vs BLE for implanted leaf nodes",
          result.rows())

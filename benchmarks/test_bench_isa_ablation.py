@@ -4,11 +4,11 @@ from __future__ import annotations
 
 from conftest import emit
 
-from repro.experiments import isa_ablation
+from repro.runner import resolve
 
 
 def test_bench_isa_ablation(benchmark):
-    result = benchmark(isa_ablation.run)
+    result = benchmark(resolve("isa").execute)
 
     emit("ISA ablation — {Wi-R, BLE} x {raw, ISA-reduced} per node class",
          result.rows())

@@ -4,12 +4,12 @@ from __future__ import annotations
 
 from conftest import emit
 
-from repro.experiments import network_scaling
+from repro.runner import resolve
 
 
 def run_scaling():
-    return network_scaling.run(node_counts=(1, 2, 4, 8, 16, 32),
-                               simulated_seconds=1.0)
+    return resolve("scaling").execute(node_counts=(1, 2, 4, 8, 16, 32),
+                                      simulated_seconds=1.0)
 
 
 def test_bench_network_scaling(benchmark):

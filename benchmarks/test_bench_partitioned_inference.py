@@ -5,11 +5,11 @@ from __future__ import annotations
 from conftest import emit
 
 from repro import units
-from repro.experiments import partitioned_inference
+from repro.runner import resolve
 
 
 def test_bench_partitioned_inference(benchmark):
-    result = benchmark(partitioned_inference.run)
+    result = benchmark(resolve("partition").execute)
 
     emit("Partitioned inference — optimal split per workload and link",
          result.rows())

@@ -5,11 +5,11 @@ from __future__ import annotations
 from conftest import emit
 
 from repro import units
-from repro.experiments import perpetual
+from repro.runner import resolve
 
 
 def test_bench_perpetual_feasibility(benchmark):
-    result = benchmark(perpetual.run)
+    result = benchmark(resolve("perpetual").execute)
 
     emit("Perpetual-operation feasibility vs harvested power (10-200 uW indoor)",
          result.rows())

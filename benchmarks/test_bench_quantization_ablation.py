@@ -4,11 +4,11 @@ from __future__ import annotations
 
 from conftest import emit
 
-from repro.experiments import quantization_ablation
+from repro.runner import resolve
 
 
 def test_bench_quantization_ablation(benchmark):
-    result = benchmark(quantization_ablation.run)
+    result = benchmark(resolve("quantization").execute)
 
     emit("Activation-precision ablation — optimal partition per width",
          result.rows())

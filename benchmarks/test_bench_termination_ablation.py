@@ -5,11 +5,11 @@ from __future__ import annotations
 from conftest import emit
 
 from repro import units
-from repro.experiments import termination_ablation
+from repro.runner import resolve
 
 
 def test_bench_termination_ablation(benchmark):
-    result = benchmark(termination_ablation.run)
+    result = benchmark(resolve("termination").execute)
 
     emit("EQS termination ablation — channel gain and required TX swing",
          result.rows())

@@ -1,7 +1,9 @@
-"""Regenerate every reproduced figure/table (E1-E11) and print the rows.
+"""Regenerate every reproduced figure/table (E1-E12) and print the rows.
 
-This is the one-shot driver behind EXPERIMENTS.md: it runs every
-experiment module and prints its table, so the paper-versus-measured
+This is the one-shot driver behind EXPERIMENTS.md: it walks the central
+experiment registry (:mod:`repro.runner`) — the same code path the CLI,
+the benchmarks and the tests use — runs every registered experiment and
+prints its table plus summary lines, so the paper-versus-measured
 comparison can be refreshed after any model change.
 
 Run with::
@@ -12,19 +14,7 @@ Run with::
 from __future__ import annotations
 
 from repro.analysis.reporting import format_table
-from repro.experiments import (
-    charging_burden,
-    claims,
-    fig1_power_breakdown,
-    fig2_battery_survey,
-    fig3_battery_projection,
-    isa_ablation,
-    network_scaling,
-    partitioned_inference,
-    perpetual,
-    quantization_ablation,
-    termination_ablation,
-)
+from repro.runner import all_specs
 
 
 def banner(title: str) -> None:
@@ -35,60 +25,12 @@ def banner(title: str) -> None:
 
 
 def main() -> None:
-    banner("E1 / Fig. 1 — active-power breakdown")
-    result1 = fig1_power_breakdown.run()
-    print(format_table(result1.rows()))
-    print("power reduction factors:", {
-        name: round(value, 1) for name, value in result1.reduction_factors().items()
-    })
-
-    banner("E2 / Fig. 2 — battery life of commercial wearables")
-    result2 = fig2_battery_survey.run()
-    print(format_table(result2.rows))
-    print(f"band agreement with the paper: {result2.agreement_fraction * 100.0:.0f} %")
-
-    banner("E3 / Fig. 3 — projected battery life vs data rate (Wi-R)")
-    result3 = fig3_battery_projection.run()
-    print(format_table(result3.device_rows()))
-    print(f"perpetual region extends to "
-          f"{result3.perpetual_rate_limit_bps() / 1000.0:.0f} kb/s")
-
-    banner("E4 — quantitative claims (Wi-R vs BLE vs RF)")
-    result4 = claims.run()
-    print(format_table(result4.rows()))
-    print(format_table(result4.security_rows, title="physical security"))
-
-    banner("E5 — partitioned DNN inference")
-    result5 = partitioned_inference.run()
-    print(format_table(result5.rows()))
-
-    banner("E6 — perpetual operation with indoor harvesting")
-    result6 = perpetual.run()
-    print(format_table(result6.rows()))
-
-    banner("E7 — ISA ablation ({Wi-R, BLE} x {raw, ISA})")
-    result7 = isa_ablation.run()
-    print(format_table(result7.rows()))
-
-    banner("E8 — body-bus scaling")
-    result8 = network_scaling.run(simulated_seconds=1.0)
-    print(format_table(result8.rows()))
-    print(f"max feasible 64 kb/s leaves on one hub: {result8.max_feasible_nodes()}")
-
-    banner("E9 — EQS receiver-termination ablation")
-    result9 = termination_ablation.run()
-    print(format_table(result9.rows()))
-    print(f"whole-body gain flatness: {result9.whole_body_flatness_db:.1f} dB")
-
-    banner("E10 — activation-precision / partition ablation")
-    result10 = quantization_ablation.run()
-    print(format_table(result10.rows()))
-
-    banner("E11 — charging burden vs number of wearables")
-    result11 = charging_burden.run()
-    print(format_table(result11.rows()))
-    print(f"incremental burden ratio at 10 wearables: "
-          f"{result11.incremental_burden_ratio_at(10):.1f}x")
+    for spec in all_specs():
+        banner(f"{spec.eid} / {spec.id} — {spec.title}")
+        result = spec.execute()
+        print(format_table(spec.extract_rows(result)))
+        for line in spec.summary_lines(result):
+            print(line)
 
 
 if __name__ == "__main__":

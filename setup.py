@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file only enables
+``pip install --no-use-pep517 -e .`` in minimal environments that lack
+the ``wheel`` package (PEP-517 editable installs require it).
+"""
+
+from setuptools import setup
+
+setup()

@@ -5,104 +5,115 @@ and tables can be regenerated without writing any Python:
 
 .. code-block:: console
 
-    python -m repro list                    # available experiments
-    python -m repro run fig3                # one experiment, table to stdout
-    python -m repro run all                 # every experiment
-    python -m repro links                   # link-technology comparison
-    python -m repro survey                  # Fig. 2 device survey
+    repro list                              # available experiments
+    repro run fig3                          # one experiment, table to stdout
+    repro run all --parallel 4              # every experiment, 4 processes
+    repro sweep network_scaling             # default parameter grid
+    repro sweep scaling --grid seed=0,1,2,3 --parallel 4
+    repro report artifacts                  # re-print saved JSON artifacts
+    repro links                             # link-technology comparison
+    repro survey                            # Fig. 2 device survey
+
+Every ``run``/``sweep`` execution writes one schema-versioned JSON
+artifact per task into ``--out`` (default ``artifacts/``); re-running an
+unchanged configuration is served from that cache without recomputation.
+All experiment lookups go through :mod:`repro.runner`, the single
+registry shared with the examples, benchmarks and tests.
 """
 
 from __future__ import annotations
 
 import argparse
+import ast
+import os
 import sys
-from typing import Callable, Sequence
+from pathlib import Path
+from typing import Sequence
 
 from .analysis.reporting import format_table
 from .analysis.survey import survey_rows
 from .comm.link import compare_technologies
-from .experiments import (
-    charging_burden,
-    implant_extension,
-    claims,
-    fig1_power_breakdown,
-    fig2_battery_survey,
-    fig3_battery_projection,
-    isa_ablation,
-    network_scaling,
-    partitioned_inference,
-    perpetual,
-    quantization_ablation,
-    termination_ablation,
+from .errors import ReproError
+from .runner import (
+    DEFAULT_OUT_DIR,
+    ExperimentSpec,
+    SweepRunner,
+    all_specs,
+    resolve,
 )
+from .runner.artifacts import scan_artifacts, source_fingerprint
 
 
-def _rows_fig1() -> list[dict[str, object]]:
-    return fig1_power_breakdown.run().rows()
+def _split_values(values: str) -> list[str]:
+    """Split on commas outside brackets and quotes, so tuple values like
+    ``(1,2)`` and quoted strings like ``"a,b"`` survive intact."""
+    tokens: list[str] = []
+    depth = 0
+    quote: str | None = None
+    current = ""
+    for character in values:
+        if quote is not None:
+            if character == quote:
+                quote = None
+        elif character in "'\"":
+            quote = character
+        elif character in "([{":
+            depth += 1
+        elif character in ")]}":
+            depth -= 1
+        if character == "," and depth == 0 and quote is None:
+            tokens.append(current)
+            current = ""
+        else:
+            current += character
+    tokens.append(current)
+    return [token for token in tokens if token.strip()]
 
 
-def _rows_fig2() -> list[dict[str, object]]:
-    return fig2_battery_survey.run().rows
+def parse_grid(assignments: Sequence[str]) -> dict[str, list[object]]:
+    """Parse ``key=v1,v2,...`` CLI assignments into a sweep grid.
 
-
-def _rows_fig3() -> list[dict[str, object]]:
-    return fig3_battery_projection.run().device_rows()
-
-
-def _rows_claims() -> list[dict[str, object]]:
-    return claims.run().rows()
-
-
-def _rows_partition() -> list[dict[str, object]]:
-    return partitioned_inference.run().rows()
-
-
-def _rows_perpetual() -> list[dict[str, object]]:
-    return perpetual.run().rows()
-
-
-def _rows_isa() -> list[dict[str, object]]:
-    return isa_ablation.run().rows()
-
-
-def _rows_scaling() -> list[dict[str, object]]:
-    return network_scaling.run(simulated_seconds=1.0).rows()
-
-
-def _rows_termination() -> list[dict[str, object]]:
-    return termination_ablation.run().rows()
-
-
-def _rows_quantization() -> list[dict[str, object]]:
-    return quantization_ablation.run().rows()
-
-
-def _rows_charging() -> list[dict[str, object]]:
-    return charging_burden.run().rows()
-
-
-def _rows_implant() -> list[dict[str, object]]:
-    return implant_extension.run().rows()
-
-
-#: Experiment registry: CLI name -> (description, row producer).
-EXPERIMENTS: dict[str, tuple[str, Callable[[], list[dict[str, object]]]]] = {
-    "fig1": ("Fig. 1 — active-power breakdown of IoB node architectures",
-             _rows_fig1),
-    "fig2": ("Fig. 2 — battery life of commercial wearables", _rows_fig2),
-    "fig3": ("Fig. 3 — battery life vs data rate with Wi-R", _rows_fig3),
-    "claims": ("Quantitative Wi-R / BLE / RF claims table", _rows_claims),
-    "partition": ("Partitioned DNN inference across the body network",
-                  _rows_partition),
-    "perpetual": ("Perpetual operation under indoor harvesting", _rows_perpetual),
-    "isa": ("ISA ablation: {Wi-R, BLE} x {raw, ISA}", _rows_isa),
-    "scaling": ("Body-bus scaling with the number of leaf nodes", _rows_scaling),
-    "termination": ("EQS receiver-termination ablation", _rows_termination),
-    "quantization": ("Activation-precision / partition ablation",
-                     _rows_quantization),
-    "charging": ("Charging burden vs number of wearables worn", _rows_charging),
-    "implant": ("MQS-HBC implant extension (future-work direction)", _rows_implant),
-}
+    Values are ``ast.literal_eval``-ed when possible (ints, floats,
+    tuples like ``(1,2,4)``) and kept as strings otherwise.
+    """
+    grid: dict[str, list[object]] = {}
+    for assignment in assignments:
+        key, separator, values = assignment.partition("=")
+        key = key.strip()
+        if not separator or not key or not values.strip():
+            raise ReproError(
+                f"grid assignment {assignment!r} is not of the form key=v1,v2,..."
+            )
+        if key in grid:
+            raise ReproError(f"grid key {key!r} given more than once")
+        parsed: list[object] = []
+        for token in _split_values(values):
+            token = token.strip()
+            try:
+                parsed.append(ast.literal_eval(token))
+            except (ValueError, SyntaxError):
+                # Bare words are legitimate string values; anything that
+                # *looks* like a literal (brackets, quotes, leading digit
+                # or sign, float words like inf/nan) but fails to parse is
+                # a user mistake — erroring here beats a TypeError deep
+                # inside the experiment.
+                if token.lstrip("+-").lower() in ("inf", "infinity", "nan"):
+                    try:
+                        parsed.append(float(token))
+                    except ValueError:
+                        raise ReproError(
+                            f"grid value {token!r} for {key!r} is not a "
+                            "valid Python literal"
+                        ) from None
+                elif token[0] in "([{'\"+-" or token[0].isdigit():
+                    raise ReproError(
+                        f"grid value {token!r} for {key!r} is not a valid "
+                        "Python literal"
+                    ) from None
+                else:
+                    parsed.append(token)
+        grid[key] = parsed
+    return grid
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -116,27 +127,150 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("list", help="list available experiments")
 
+    specs = all_specs()
+    run_names = sorted(spec.id for spec in specs)
+    aliases = (sorted(spec.module for spec in specs if spec.module != spec.id)
+               + [spec.eid for spec in specs]
+               + [spec.eid.lower() for spec in specs])
+
     run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
-    run_parser.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"],
-                            help="experiment to run")
+    run_parser.add_argument("experiment",
+                            choices=run_names + aliases + ["all"],
+                            metavar="experiment",
+                            help="experiment to run: one of "
+                                 f"{', '.join(run_names)}, a module name, "
+                                 "or 'all'")
+    _add_runner_options(run_parser)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a parameter grid for one experiment")
+    sweep_parser.add_argument("experiment",
+                              choices=run_names + aliases,
+                              metavar="experiment",
+                              help="experiment to sweep")
+    sweep_parser.add_argument("--grid", nargs="+", action="extend",
+                              default=[], metavar="KEY=V1,V2,...",
+                              help="grid axes (repeatable); omit to use the "
+                                   "experiment's default sweep grid")
+    sweep_parser.add_argument("--base-seed", type=int, default=0,
+                              help="root of the deterministic per-task "
+                                   "seed derivation (default 0)")
+    _add_runner_options(sweep_parser)
+
+    report_parser = subparsers.add_parser(
+        "report", help="re-print the tables stored in an artifact directory")
+    report_parser.add_argument("artifact_dir", help="directory of JSON artifacts")
+    report_parser.add_argument("--all", action="store_true", dest="include_stale",
+                               help="also print artifacts written before the "
+                                    "sources last changed (skipped by default)")
 
     subparsers.add_parser("links", help="print the link-technology comparison")
     subparsers.add_parser("survey", help="print the Fig. 2 device survey")
     return parser
 
 
+def _add_runner_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--parallel", type=int, default=1, metavar="N",
+                        help="worker processes (default 1 = in-process)")
+    parser.add_argument("--out", default=str(DEFAULT_OUT_DIR), metavar="DIR",
+                        help="artifact directory (default 'artifacts'); "
+                             "'none' disables artifacts and caching")
+    parser.add_argument("--force", action="store_true",
+                        help="recompute even when a cached artifact exists")
+
+
+def _out_dir(value: str) -> Path | None:
+    return None if value.lower() in ("none", "-") else Path(value)
+
+
 def _command_list(out) -> int:
-    rows = [{"experiment": name, "description": description}
-            for name, (description, _producer) in sorted(EXPERIMENTS.items())]
+    rows = [{"experiment": spec.id, "paper id": spec.eid,
+             "description": spec.title}
+            for spec in all_specs()]
     print(format_table(rows, title="available experiments"), file=out)
     return 0
 
 
-def _command_run(experiment: str, out) -> int:
-    names = sorted(EXPERIMENTS) if experiment == "all" else [experiment]
-    for name in names:
-        description, producer = EXPERIMENTS[name]
-        print(format_table(producer(), title=f"{name}: {description}"), file=out)
+def _print_task(spec: ExperimentSpec, rows: list[dict[str, object]],
+                summary: Sequence[str], cached: bool, out) -> None:
+    suffix = " [cached]" if cached else ""
+    print(format_table(rows, title=f"{spec.id}: {spec.title}{suffix}"),
+          file=out)
+    for line in summary:
+        print(line, file=out)
+    print(file=out)
+
+
+def _command_run(experiment: str, out, parallel: int,
+                 out_dir: Path | None, force: bool) -> int:
+    if experiment == "all":
+        names = [spec.id for spec in all_specs()]
+    else:
+        names = [resolve(experiment).id]
+    runner = SweepRunner(out_dir=out_dir, parallel=parallel, force=force)
+    for name, result in zip(names, runner.run_many(names)):
+        _print_task(resolve(name), result.rows, result.summary,
+                    result.cached, out)
+    _print_warnings(runner, out)
+    return 0
+
+
+def _command_sweep(experiment: str, grid_args: Sequence[str] | None, out,
+                   parallel: int, out_dir: Path | None, force: bool,
+                   base_seed: int) -> int:
+    spec = resolve(experiment)
+    grid = parse_grid(grid_args) if grid_args else None
+    runner = SweepRunner(out_dir=out_dir, parallel=parallel,
+                         base_seed=base_seed, force=force)
+    sweep = runner.run_sweep(spec.id, grid)
+    title = (f"sweep {spec.id}: {len(sweep.results)} tasks, "
+             f"{sweep.cached_count} cached")
+    print(format_table(sweep.rows(), title=title), file=out)
+    if sweep.manifest_path is not None:
+        print(f"manifest: {sweep.manifest_path}", file=out)
+    _print_warnings(runner, out)
+    return 0
+
+
+def _print_warnings(runner: SweepRunner, out) -> None:
+    for warning in runner.warnings:
+        print(f"warning: {warning}", file=out)
+
+
+def _command_report(artifact_dir: str, out, include_stale: bool = False) -> int:
+    documents, incompatible = scan_artifacts(artifact_dir)
+    if incompatible:
+        print(f"note: skipped {incompatible} artifact(s) written with an "
+              "incompatible schema version", file=out)
+    current_fingerprint = source_fingerprint()
+    if not include_stale:
+        fresh = [document for document in documents
+                 if document.get("source_fingerprint")
+                 in (None, current_fingerprint)]
+        stale_count = len(documents) - len(fresh)
+        if stale_count:
+            print(f"note: skipped {stale_count} stale artifact(s) written "
+                  "before the sources last changed; pass --all to include "
+                  "them", file=out)
+        documents = fresh
+    if not documents:
+        print(f"no artifacts found in {artifact_dir}", file=out)
+        return 1
+    for document in documents:
+        rows = document.get("rows") or []
+        name = document.get("experiment", "?")
+        title = str(document.get("title", ""))
+        digest = document.get("digest", "")
+        header = f"{name}: {title} [{digest}]"
+        written_by = document.get("source_fingerprint")
+        if written_by is not None and written_by != current_fingerprint:
+            header += " [stale: sources changed since this was written]"
+        if rows:
+            print(format_table(rows, title=header), file=out)
+        else:
+            print(f"{header} (no rows)", file=out)
+        for line in document.get("summary") or []:
+            print(line, file=out)
         print(file=out)
     return 0
 
@@ -166,14 +300,33 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = build_parser()
     arguments = parser.parse_args(argv)
-    if arguments.command == "list":
-        return _command_list(out)
-    if arguments.command == "run":
-        return _command_run(arguments.experiment, out)
-    if arguments.command == "links":
-        return _command_links(out)
-    if arguments.command == "survey":
-        return _command_survey(out)
+    try:
+        if arguments.command == "list":
+            return _command_list(out)
+        if arguments.command == "run":
+            return _command_run(arguments.experiment, out, arguments.parallel,
+                                _out_dir(arguments.out), arguments.force)
+        if arguments.command == "sweep":
+            return _command_sweep(arguments.experiment, arguments.grid, out,
+                                  arguments.parallel, _out_dir(arguments.out),
+                                  arguments.force, arguments.base_seed)
+        if arguments.command == "report":
+            return _command_report(arguments.artifact_dir, out,
+                                   arguments.include_stale)
+        if arguments.command == "links":
+            return _command_links(out)
+        if arguments.command == "survey":
+            return _command_survey(out)
+    except (ReproError, ValueError, TypeError) as error:
+        # ReproError is the library's own contract; ValueError/TypeError
+        # reach here when --grid feeds a driver a value it validates or
+        # chokes on itself — still user input, still a clean error.
+        print(f"error: {error}", file=out)
+        return 2
+    except BrokenPipeError:  # e.g. `repro run all | head`
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     parser.print_help(out)
     return 1
 

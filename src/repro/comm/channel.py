@@ -24,7 +24,6 @@ import math
 from dataclasses import dataclass
 
 from ..errors import ChannelError
-from .. import units
 
 #: Speed of light in vacuum (m/s).
 SPEED_OF_LIGHT = 299_792_458.0

@@ -23,10 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError
-from ..comm.link import CommTechnology
 from ..isa.pipeline import ISAPipeline
 from ..sensors.frontend import AFESurveyModel
-from .compute import ComputeDevice
 from .node import ConventionalNodeSpec, LeafNodeSpec
 from .power_budget import PowerBudget
 

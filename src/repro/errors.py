@@ -37,6 +37,18 @@ class PlacementError(ReproError):
     """A node was placed at an unknown body landmark."""
 
 
+class RegistryError(ReproError):
+    """An experiment registry lookup or registration was invalid."""
+
+
+class SweepError(ReproError):
+    """A parameter sweep was configured or executed incorrectly."""
+
+
+class ArtifactError(ReproError):
+    """A result artifact could not be written, read or validated."""
+
+
 class ShapeError(ReproError):
     """A tensor shape mismatch was detected in the NN engine."""
 

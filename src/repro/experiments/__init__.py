@@ -1,8 +1,12 @@
 """Experiment drivers: one module per reproduced figure/table.
 
 Each module exposes a ``run(...)`` function returning a plain result
-object plus ``rows()``-style helpers, so the unit tests, the examples and
-the pytest-benchmark harness all execute exactly the same code path.
+object and registers an :class:`repro.runner.ExperimentSpec` into the
+central registry, so the CLI, the unit tests, the examples, the sweep
+runner and the pytest-benchmark harness all execute exactly the same
+code path.  Importing this package populates the registry; resolve
+experiments with :func:`repro.runner.resolve` (by CLI name, module name
+or paper id) instead of importing driver modules directly.
 
 | id | paper artifact                                   | module                    |
 |----|--------------------------------------------------|---------------------------|

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from ..analysis.survey import WEARABLE_SURVEY, estimate_battery_life_seconds
 from ..core.battery_life import DEVICE_CLASS_PLACEMENTS, project_battery_life
 from .. import units
+from ..runner.registry import ExperimentSpec, register
 
 
 @dataclass(frozen=True)
@@ -162,3 +163,21 @@ def run(max_devices: int = 15,
         leaf_classes_perpetual=perpetual_classes,
         leaf_classes_total=total_classes,
     )
+
+def _registry_summary(result: ChargingBurdenResult) -> list[str]:
+    # Clamp to the largest swept population so small max_devices grids
+    # (e.g. the default sweep's 5-device point) still summarise cleanly.
+    count = min(10, max(point.device_count for point in result.points))
+    return [f"incremental burden ratio at {count} wearables: "
+            f"{result.incremental_burden_ratio_at(count):.1f}x"]
+
+
+register(ExperimentSpec(
+    id="charging",
+    eid="E11",
+    title="Charging burden vs number of wearables worn",
+    module="charging_burden",
+    run=run,
+    summarize=_registry_summary,
+    sweep_defaults={"max_devices": (5, 10, 15)},
+))

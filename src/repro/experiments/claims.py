@@ -28,6 +28,8 @@ from ..comm.wifi import wifi_hub_uplink
 from ..body.model import default_adult_body
 from ..body.landmarks import BodyLandmark
 from .. import units
+from ..analysis.reporting import format_table
+from ..runner.registry import ExperimentSpec, register
 
 
 @dataclass(frozen=True)
@@ -214,3 +216,16 @@ def run() -> ClaimsResult:
         technology_rows=technology_rows,
         security_rows=security_rows,
     )
+
+def _registry_summary(result: ClaimsResult) -> list[str]:
+    return [format_table(result.security_rows, title="physical security")]
+
+
+register(ExperimentSpec(
+    id="claims",
+    eid="E4",
+    title="Quantitative Wi-R / BLE / RF claims table",
+    module="claims",
+    run=run,
+    summarize=_registry_summary,
+))

@@ -20,6 +20,7 @@ from ..core.architecture import ArchitectureComparison, compare_architectures
 from ..core.node import ConventionalNodeSpec, LeafNodeSpec, SensorSuite
 from ..sensors.catalog import SensorModality
 from .. import units
+from ..runner.registry import ExperimentSpec, register
 
 
 @dataclass(frozen=True)
@@ -140,3 +141,19 @@ def run(mode: str = "active") -> Fig1Result:
         for name, (conventional, human) in pairs.items()
     }
     return Fig1Result(comparisons=comparisons)
+
+def _registry_summary(result: Fig1Result) -> list[str]:
+    factors = {name: round(value, 1)
+               for name, value in result.reduction_factors().items()}
+    return [f"power reduction factors: {factors}"]
+
+
+register(ExperimentSpec(
+    id="fig1",
+    eid="E1",
+    title="Fig. 1 — active-power breakdown of IoB node architectures",
+    module="fig1_power_breakdown",
+    run=run,
+    summarize=_registry_summary,
+    sweep_defaults={"mode": ("active", "average")},
+))

@@ -18,6 +18,7 @@ from ..analysis.survey import (
     survey_rows,
 )
 from ..core.battery_life import LifeBand, classify_battery_life
+from ..runner.registry import ExperimentSpec, register
 
 
 @dataclass(frozen=True)
@@ -80,3 +81,17 @@ def band_histogram() -> dict[str, int]:
         band = classify_battery_life(estimate_battery_life_seconds(device))
         counts[band.value] = counts.get(band.value, 0) + 1
     return counts
+
+def _registry_summary(result: Fig2Result) -> list[str]:
+    return ["band agreement with the paper: "
+            f"{result.agreement_fraction * 100.0:.0f} %"]
+
+
+register(ExperimentSpec(
+    id="fig2",
+    eid="E2",
+    title="Fig. 2 — battery life of commercial wearables",
+    module="fig2_battery_survey",
+    run=run,
+    summarize=_registry_summary,
+))

@@ -22,6 +22,7 @@ from ..core.battery_life import (
     battery_life_vs_data_rate,
 )
 from .. import units
+from ..runner.registry import ExperimentSpec, register
 
 
 @dataclass(frozen=True)
@@ -98,3 +99,19 @@ def expected_bands() -> dict[str, LifeBand]:
         str(row["device_class"]): LifeBand(str(row["expected_band"]))
         for row in run(n_points=13).device_rows()
     }
+
+def _registry_summary(result: Fig3Result) -> list[str]:
+    return ["perpetual region extends to "
+            f"{result.perpetual_rate_limit_bps() / 1000.0:.0f} kb/s"]
+
+
+register(ExperimentSpec(
+    id="fig3",
+    eid="E3",
+    title="Fig. 3 — battery life vs data rate with Wi-R",
+    module="fig3_battery_projection",
+    run=run,
+    rows=lambda result: result.device_rows(),
+    summarize=_registry_summary,
+    sweep_defaults={"n_points": (31, 61, 121)},
+))

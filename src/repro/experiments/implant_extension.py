@@ -25,6 +25,7 @@ from ..comm.link import CommTechnology
 from ..comm.mqs_hbc import MQSHBCTransceiver, mqs_implant_link
 from ..energy.battery import BatterySpec, battery_life_seconds
 from .. import units
+from ..runner.registry import ExperimentSpec, register
 
 #: Implant device classes: (name, data rate, sensing power, implant depth).
 IMPLANT_CLASSES: tuple[tuple[str, float, float, float], ...] = (
@@ -141,3 +142,11 @@ def run() -> ImplantExtensionResult:
         cases=tuple(cases),
         relay_to_hub_power_watts=relay_power,
     )
+
+register(ExperimentSpec(
+    id="implant",
+    eid="E12",
+    title="MQS-HBC implant extension (future-work direction)",
+    module="implant_extension",
+    run=run,
+))

@@ -30,6 +30,7 @@ from ..isa.pipeline import (
 )
 from ..sensors.catalog import SensorModality, modality_spec
 from .. import units
+from ..runner.registry import ExperimentSpec, register
 
 
 @dataclass(frozen=True)
@@ -158,3 +159,11 @@ def run() -> ISAAblationResult:
                     node, modality, sensing_power, pipeline, technology, uses_isa,
                 ))
     return ISAAblationResult(configurations=tuple(configurations))
+
+register(ExperimentSpec(
+    id="isa",
+    eid="E7",
+    title="ISA ablation: {Wi-R, BLE} x {raw, ISA}",
+    module="isa_ablation",
+    run=run,
+))

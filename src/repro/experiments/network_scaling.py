@@ -17,6 +17,7 @@ from ..comm.mac import TDMASchedule
 from ..netsim.simulator import BodyNetworkSimulator, SimulationResult
 from ..netsim.traffic import PeriodicSource
 from .. import units
+from ..runner.registry import ExperimentSpec, register
 
 
 @dataclass(frozen=True)
@@ -120,3 +121,19 @@ def run(
         per_node_rate_bps=per_node_rate_bps,
         points=tuple(points),
     )
+
+def _registry_summary(result: NetworkScalingResult) -> list[str]:
+    return ["max feasible 64 kb/s leaves on one hub: "
+            f"{result.max_feasible_nodes()}"]
+
+
+register(ExperimentSpec(
+    id="scaling",
+    eid="E8",
+    title="Body-bus scaling with the number of leaf nodes",
+    module="network_scaling",
+    run=run,
+    defaults={"simulated_seconds": 1.0},
+    summarize=_registry_summary,
+    sweep_defaults={"seed": (0, 1, 2), "simulated_seconds": (0.5,)},
+))

@@ -30,6 +30,7 @@ from ..core.partition import (
 from ..nn.profile import ModelProfile, profile_model
 from ..nn.zoo import build_model
 from .. import units
+from ..runner.registry import ExperimentSpec, register
 
 #: Workloads evaluated by this experiment and their inference rates (Hz):
 #: keyword spotting runs continuously on 1 s windows, ECG beats arrive at
@@ -153,3 +154,12 @@ def run(objective: PartitionObjective = PartitionObjective.LEAF_ENERGY,
                 profile, technology, leaf, hub, mcu, workload, rate_hz, objective,
             ))
     return PartitionedInferenceResult(results=tuple(results))
+
+register(ExperimentSpec(
+    id="partition",
+    eid="E5",
+    title="Partitioned DNN inference across the body network",
+    module="partitioned_inference",
+    run=run,
+    sweep_defaults={"objective": tuple(PartitionObjective)},
+))

@@ -30,6 +30,7 @@ from ..energy.harvester import (
     total_harvested_power,
 )
 from .. import units
+from ..runner.registry import ExperimentSpec, register
 
 
 @dataclass(frozen=True)
@@ -117,3 +118,11 @@ def run(harvest_levels_watts: tuple[float, ...] | None = None) -> PerpetualResul
         reports=reports,
         reference_harvester_power_watts=reference,
     )
+
+register(ExperimentSpec(
+    id="perpetual",
+    eid="E6",
+    title="Perpetual operation under indoor harvesting",
+    module="perpetual",
+    run=run,
+))

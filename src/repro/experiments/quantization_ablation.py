@@ -26,6 +26,7 @@ from ..core.partition import PartitionObjective, optimal_partition
 from ..nn.profile import profile_model
 from ..nn.zoo import build_model
 from .. import units
+from ..runner.registry import ExperimentSpec, register
 
 #: Workloads included in the ablation (name, builder kwargs).
 WORKLOADS: tuple[tuple[str, dict[str, object]], ...] = (
@@ -119,3 +120,12 @@ def run(objective: PartitionObjective = PartitionObjective.LEAF_ENERGY,
                     latency_seconds=best.latency_seconds,
                 ))
     return QuantizationAblationResult(points=tuple(points))
+
+register(ExperimentSpec(
+    id="quantization",
+    eid="E10",
+    title="Activation-precision / partition ablation",
+    module="quantization_ablation",
+    run=run,
+    sweep_defaults={"objective": tuple(PartitionObjective)},
+))

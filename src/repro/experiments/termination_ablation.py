@@ -19,6 +19,7 @@ import numpy as np
 
 from ..comm.channel import EQSChannelModel
 from .. import units
+from ..runner.registry import ExperimentSpec, register
 
 
 @dataclass(frozen=True)
@@ -119,3 +120,17 @@ def run(
         points=tuple(points),
         whole_body_flatness_db=flatness,
     )
+
+def _registry_summary(result: TerminationAblationResult) -> list[str]:
+    return [f"whole-body gain flatness: {result.whole_body_flatness_db:.1f} dB"]
+
+
+register(ExperimentSpec(
+    id="termination",
+    eid="E9",
+    title="EQS receiver-termination ablation",
+    module="termination_ablation",
+    run=run,
+    summarize=_registry_summary,
+    sweep_defaults={"receiver_sensitivity_volts": (5e-5, 1e-4, 2e-4)},
+))

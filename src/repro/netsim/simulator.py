@@ -137,8 +137,8 @@ class BodyNetworkSimulator:
 
     def run(self, duration_seconds: float) -> SimulationResult:
         """Run the network for *duration_seconds* of simulated time."""
-        if duration_seconds <= 0:
-            raise SimulationError("duration must be positive")
+        if duration_seconds <= 0 or not np.isfinite(duration_seconds):
+            raise SimulationError("duration must be positive and finite")
         if not self.nodes:
             raise SimulationError("no nodes attached to the simulator")
 

@@ -26,12 +26,10 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from .layers import (
-    AvgPool2D,
     BatchNorm,
     Conv2D,
     Dense,
     DepthwiseConv2D,
-    Flatten,
     GlobalAveragePool,
     MaxPool2D,
     ReLU,

@@ -1,0 +1,65 @@
+"""Experiment registry, artifact store and parallel sweep runner.
+
+This subsystem is the single entry point from "experiment name" to
+"result rows" used by the CLI, the examples, the benchmarks and the test
+suite:
+
+>>> from repro.runner import resolve
+>>> spec = resolve("network_scaling")          # or "scaling" or "E8"
+>>> result = spec.execute(simulated_seconds=0.5)
+>>> len(spec.extract_rows(result)) > 0
+True
+
+:class:`SweepRunner` adds process-parallel parameter grids with
+deterministic per-task seeding and a digest-keyed JSON artifact cache.
+"""
+
+from .artifacts import (
+    ARTIFACT_SCHEMA_VERSION,
+    artifact_path,
+    digest_key,
+    load_artifact,
+    load_artifacts,
+    sanitize,
+    write_artifact,
+)
+from .registry import (
+    ExperimentSpec,
+    all_specs,
+    default_rows,
+    experiment_ids,
+    register,
+    resolve,
+)
+from .sweep import (
+    DEFAULT_OUT_DIR,
+    SweepResult,
+    SweepRunner,
+    SweepTask,
+    TaskResult,
+    derive_seed,
+    expand_grid,
+)
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "DEFAULT_OUT_DIR",
+    "ExperimentSpec",
+    "SweepResult",
+    "SweepRunner",
+    "SweepTask",
+    "TaskResult",
+    "all_specs",
+    "artifact_path",
+    "default_rows",
+    "derive_seed",
+    "digest_key",
+    "expand_grid",
+    "experiment_ids",
+    "load_artifact",
+    "load_artifacts",
+    "register",
+    "resolve",
+    "sanitize",
+    "write_artifact",
+]

@@ -1,0 +1,196 @@
+"""Schema-versioned JSON artifacts with a digest-keyed on-disk cache.
+
+Every experiment execution (single run or sweep task) can be serialised
+to one JSON file whose name embeds a digest of everything that determines
+the result: artifact schema version, ``repro`` version, experiment id and
+the fully resolved keyword arguments.  Re-running the same configuration
+finds the existing artifact and skips recomputation; changing any input
+(or bumping the schema/package version) changes the digest and forces a
+fresh run.
+"""
+
+from __future__ import annotations
+
+import enum
+import functools
+import hashlib
+import json
+import math
+import os
+from pathlib import Path
+from typing import Mapping
+
+from .. import __version__
+from ..errors import ArtifactError
+
+#: Bump when the artifact layout changes incompatibly.
+ARTIFACT_SCHEMA_VERSION = 1
+
+
+def sanitize(value: object) -> object:
+    """Coerce a value into plain JSON-serialisable types.
+
+    Handles the types experiment rows actually contain — numpy scalars,
+    enums, tuples, nested mappings — and falls back to ``str`` for
+    anything exotic, so artifact writing never fails on a new row type.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        return value
+    if isinstance(value, enum.Enum):
+        return sanitize(value.value)
+    if isinstance(value, Mapping):
+        return {str(key): sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [sanitize(item) for item in value]
+    for attribute in ("item",):  # numpy scalars
+        method = getattr(value, attribute, None)
+        if callable(method):
+            try:
+                return sanitize(method())
+            except (TypeError, ValueError):
+                break
+    return str(value)
+
+
+def _digest_encode(value: object) -> object:
+    """Type-preserving encoding for digests.
+
+    Unlike :func:`sanitize` (which coerces for JSON output), this keeps
+    distinct configurations distinct: an enum never collides with its
+    ``.value`` string, a tuple never collides with a list, ``nan``/``inf``
+    never collide with their string spellings.  Collisions here would be
+    false cache hits.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return {"~float": repr(value)}
+    if isinstance(value, enum.Enum):
+        return {"~enum": [type(value).__name__, _digest_encode(value.value)]}
+    if isinstance(value, Mapping):
+        return {"~map": [[str(key), _digest_encode(item)]
+                         for key, item in sorted(value.items(),
+                                                 key=lambda kv: str(kv[0]))]}
+    if isinstance(value, tuple):
+        return {"~tuple": [_digest_encode(item) for item in value]}
+    if isinstance(value, list):
+        return {"~list": [_digest_encode(item) for item in value]}
+    if isinstance(value, (set, frozenset)):
+        return {"~set": sorted(repr(item) for item in value)}
+    return {"~repr": repr(value)}
+
+
+def canonical_json(value: object) -> str:
+    """Deterministic, type-preserving encoding used for digests and seeds."""
+    return json.dumps(_digest_encode(value), sort_keys=True,
+                      separators=(",", ":"))
+
+
+@functools.lru_cache(maxsize=1)
+def source_fingerprint() -> str:
+    """Content hash of the installed ``repro`` sources.
+
+    Folded into every cache digest so editing any model invalidates the
+    artifact cache — a reproduction toolkit must never serve pre-edit
+    tables from cache after a model change.
+    """
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        digest.update(path.relative_to(package_root).as_posix().encode("utf-8"))
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+def digest_key(experiment: str, kwargs: Mapping[str, object]) -> str:
+    """Cache key for one (experiment, kwargs, source-tree) configuration."""
+    blob = canonical_json({
+        "schema": ARTIFACT_SCHEMA_VERSION,
+        "version": __version__,
+        "source": source_fingerprint(),
+        "experiment": experiment,
+        "kwargs": kwargs,
+    })
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def artifact_path(out_dir: Path | str, experiment: str, digest: str) -> Path:
+    """Canonical artifact location inside an output directory."""
+    return Path(out_dir) / f"{experiment}-{digest}.json"
+
+
+def write_artifact(path: Path | str,
+                   payload: Mapping[str, object]) -> Path:
+    """Write one artifact atomically (tmp file + rename)."""
+    path = Path(path)
+    document = {"schema_version": ARTIFACT_SCHEMA_VERSION,
+                "repro_version": __version__,
+                "source_fingerprint": source_fingerprint(),
+                **sanitize(dict(payload))}
+    # Per-process temp name keeps the write atomic even when two CLI
+    # invocations race on the same artifact path.
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # No key sorting: row dicts keep their column order for `repro report`.
+        tmp.write_text(json.dumps(document, indent=1), encoding="utf-8")
+        tmp.replace(path)
+    except OSError as error:
+        raise ArtifactError(f"cannot write artifact {path}: {error}") from error
+    return path
+
+
+def load_artifact(path: Path | str) -> dict[str, object]:
+    """Read and validate one artifact file."""
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        raise ArtifactError(f"cannot read artifact {path}: {error}") from error
+    if not isinstance(document, dict) or "schema_version" not in document:
+        raise ArtifactError(f"{path} is not a repro artifact")
+    if document["schema_version"] != ARTIFACT_SCHEMA_VERSION:
+        raise ArtifactError(
+            f"{path} has schema {document['schema_version']}, "
+            f"expected {ARTIFACT_SCHEMA_VERSION}"
+        )
+    return document
+
+
+def scan_artifacts(
+        directory: Path | str) -> tuple[list[dict[str, object]], int]:
+    """Valid artifacts in a directory, plus a count of incompatible ones.
+
+    Unrelated JSON files are silently skipped; files that *are* repro
+    artifacts but carry a different schema version are counted so callers
+    can tell "empty directory" apart from "artifacts from another version".
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ArtifactError(f"{directory} is not a directory")
+    documents = []
+    incompatible = 0
+    for path in sorted(directory.glob("*.json")):
+        try:
+            documents.append(load_artifact(path))
+        except ArtifactError:
+            try:
+                raw = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue
+            if isinstance(raw, dict) and "schema_version" in raw:
+                incompatible += 1
+    documents.sort(key=lambda doc: (str(doc.get("experiment", "")),
+                                    str(doc.get("digest", ""))))
+    return documents, incompatible
+
+
+def load_artifacts(directory: Path | str) -> list[dict[str, object]]:
+    """All valid artifacts in a directory, sorted by experiment then digest."""
+    return scan_artifacts(directory)[0]

@@ -1,0 +1,157 @@
+"""Central experiment registry.
+
+Every module in :mod:`repro.experiments` registers an
+:class:`ExperimentSpec` describing how to run it, how to extract its
+report rows and (optionally) how to summarise the result.  The CLI, the
+examples, the benchmarks and the sweep runner all resolve experiments
+through this registry, so there is exactly one code path from "experiment
+name" to "table rows".
+
+The rows contract is normalised here: a spec's ``rows`` extractor always
+returns a non-empty ``list[dict]`` regardless of whether the underlying
+result exposes ``rows()`` as a method, ``rows`` as an attribute or a
+differently named accessor (e.g. Fig. 3's ``device_rows()``).
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from ..errors import RegistryError
+
+#: Extractor turning a run() result into report rows.
+RowsExtractor = Callable[[object], "list[dict[str, object]]"]
+
+#: Extractor turning a run() result into human-readable summary lines.
+Summarizer = Callable[[object], "list[str]"]
+
+
+def default_rows(result: object) -> list[dict[str, object]]:
+    """Normalise the rows contract: accept ``rows()`` methods and ``rows`` attributes."""
+    rows = getattr(result, "rows", None)
+    if rows is None:
+        raise RegistryError(
+            f"result {type(result).__name__} exposes no 'rows' accessor; "
+            "give the ExperimentSpec an explicit rows extractor"
+        )
+    if callable(rows):
+        rows = rows()
+    return list(rows)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Everything the toolkit needs to know about one experiment driver.
+
+    Attributes
+    ----------
+    id:
+        Short CLI name (``"fig1"``, ``"scaling"``, ...).
+    eid:
+        Paper experiment id (``"E1"``..``"E12"``), used for ordering.
+    title:
+        One-line description shown by ``repro list``.
+    module:
+        Short module name under :mod:`repro.experiments`
+        (``"network_scaling"``); accepted as an alias when resolving.
+    run:
+        The driver's ``run`` callable.
+    defaults:
+        Keyword arguments applied on every execution (CLI ``run``,
+        sweeps, benchmarks) unless explicitly overridden.
+    rows:
+        Extractor from the ``run`` result to report rows.
+    summarize:
+        Optional extractor producing extra human-readable lines printed
+        after the table (reduction factors, agreement fractions, ...).
+    sweep_defaults:
+        Default parameter grid for ``repro sweep`` when the user supplies
+        no ``--grid``: mapping of keyword name to the values swept.
+    """
+
+    id: str
+    eid: str
+    title: str
+    module: str
+    run: Callable[..., object]
+    defaults: Mapping[str, object] = field(default_factory=dict)
+    rows: RowsExtractor = default_rows
+    summarize: Summarizer | None = None
+    sweep_defaults: Mapping[str, Sequence[object]] = field(default_factory=dict)
+
+    def execute(self, **overrides: object) -> object:
+        """Run the experiment with defaults merged under ``overrides``."""
+        kwargs = {**self.defaults, **overrides}
+        return self.run(**kwargs)
+
+    def extract_rows(self, result: object) -> list[dict[str, object]]:
+        """Report rows for a result, validated to be non-empty dicts."""
+        rows = self.rows(result)
+        if not rows:
+            raise RegistryError(f"experiment {self.id!r} produced no rows")
+        return rows
+
+    def summary_lines(self, result: object) -> list[str]:
+        """Human-readable summary lines (empty when no summariser is set)."""
+        if self.summarize is None:
+            return []
+        return list(self.summarize(result))
+
+    def accepts(self, name: str) -> bool:
+        """Whether ``run`` takes a keyword parameter called ``name``."""
+        try:
+            parameters = inspect.signature(self.run).parameters
+        except (TypeError, ValueError):  # builtins / C callables
+            return False
+        if any(p.kind is inspect.Parameter.VAR_KEYWORD
+               for p in parameters.values()):
+            return True
+        return name in parameters
+
+
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+
+def register(spec: ExperimentSpec) -> ExperimentSpec:
+    """Add a spec to the registry (idempotent for identical re-registration)."""
+    existing = _REGISTRY.get(spec.id)
+    if existing is not None and existing.module != spec.module:
+        raise RegistryError(
+            f"experiment id {spec.id!r} registered twice "
+            f"({existing.module} and {spec.module})"
+        )
+    _REGISTRY[spec.id] = spec
+    return spec
+
+
+def _ensure_loaded() -> None:
+    importlib.import_module("repro.experiments")
+
+
+def all_specs() -> list[ExperimentSpec]:
+    """Every registered spec, ordered by paper experiment id (E1..E12)."""
+    _ensure_loaded()
+    return sorted(_REGISTRY.values(), key=lambda spec: int(spec.eid[1:]))
+
+
+def experiment_ids() -> list[str]:
+    """Sorted short names of all registered experiments."""
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def resolve(name: str) -> ExperimentSpec:
+    """Look up a spec by short name, module name or paper id (E1..E12)."""
+    _ensure_loaded()
+    spec = _REGISTRY.get(name)
+    if spec is not None:
+        return spec
+    lowered = name.lower()
+    for candidate in _REGISTRY.values():
+        if lowered in (candidate.module.lower(), candidate.eid.lower()):
+            return candidate
+    known = ", ".join(sorted(_REGISTRY))
+    raise RegistryError(f"unknown experiment {name!r} (known: {known})")

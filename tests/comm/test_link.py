@@ -6,7 +6,6 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro import units
-from repro.comm.ble import ble_1m_phy
 from repro.comm.eqs_hbc import wir_commercial
 from repro.comm.link import compare_technologies, transfer_cost
 from repro.errors import ConfigurationError, LinkBudgetError

@@ -4,9 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.comm.ble import ble_1m_phy
-from repro.comm.eqs_hbc import wir_commercial
-from repro.core.compute import hub_soc, isa_accelerator
 from repro.core.partition import (
     PartitionObjective,
     evaluate_split,

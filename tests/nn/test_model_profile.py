@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.errors import GraphError, ShapeError
-from repro.nn.layers import Dense, Flatten, ReLU, Softmax
+from repro.nn.layers import Dense, ReLU, Softmax
 from repro.nn.model import Sequential
 from repro.nn.profile import profile_model
 from repro.nn.quantize import (

@@ -1,0 +1,134 @@
+"""Tests for JSON artifact serialisation and the digest-keyed cache."""
+
+from __future__ import annotations
+
+import enum
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ArtifactError
+from repro.runner import (
+    ARTIFACT_SCHEMA_VERSION,
+    artifact_path,
+    digest_key,
+    load_artifact,
+    load_artifacts,
+    sanitize,
+    write_artifact,
+)
+from repro.runner.artifacts import source_fingerprint
+
+
+class Colour(enum.Enum):
+    RED = "red"
+
+
+class TestSanitize:
+    def test_plain_types_pass_through(self):
+        assert sanitize({"a": 1, "b": "x", "c": True, "d": None}) == \
+            {"a": 1, "b": "x", "c": True, "d": None}
+
+    def test_tuples_become_lists(self):
+        assert sanitize((1, 2, (3,))) == [1, 2, [3]]
+
+    def test_enums_use_their_value(self):
+        assert sanitize(Colour.RED) == "red"
+
+    def test_numpy_scalars_become_python_numbers(self):
+        assert sanitize(np.float64(1.5)) == 1.5
+        assert sanitize(np.int64(3)) == 3
+
+    def test_non_finite_floats_become_strings(self):
+        assert sanitize(float("nan")) == "nan"
+        assert sanitize(float("inf")) == "inf"
+        assert sanitize(float("-inf")) == "-inf"
+
+    def test_everything_is_json_encodable(self):
+        payload = sanitize({"rows": [(Colour.RED, np.float64(2.0))],
+                            "weird": object()})
+        json.dumps(payload)  # must not raise
+
+
+class TestDigest:
+    def test_digest_is_stable_across_key_order(self):
+        assert digest_key("fig1", {"a": 1, "b": 2}) == \
+            digest_key("fig1", {"b": 2, "a": 1})
+
+    def test_digest_changes_with_kwargs(self):
+        assert digest_key("fig1", {"a": 1}) != digest_key("fig1", {"a": 2})
+
+    def test_digest_changes_with_experiment(self):
+        assert digest_key("fig1", {}) != digest_key("fig2", {})
+
+    def test_digest_distinguishes_enum_from_its_value(self):
+        # A false cache hit here would serve an enum run's rows for a
+        # string configuration that actually fails when executed.
+        assert digest_key("partition", {"objective": Colour.RED}) != \
+            digest_key("partition", {"objective": "red"})
+
+    def test_digest_distinguishes_tuple_from_list(self):
+        assert digest_key("scaling", {"node_counts": (1, 2)}) != \
+            digest_key("scaling", {"node_counts": [1, 2]})
+
+    def test_digest_distinguishes_nonfinite_from_strings(self):
+        assert digest_key("x", {"a": float("nan")}) != digest_key("x", {"a": "nan"})
+        assert digest_key("x", {"a": float("inf")}) != digest_key("x", {"a": "inf"})
+
+    def test_digest_covers_the_source_tree(self):
+        # Editing any model source must invalidate cached artifacts.
+        fingerprint = source_fingerprint()
+        assert fingerprint == source_fingerprint()
+        int(fingerprint, 16)
+        source_fingerprint.cache_clear()
+        assert source_fingerprint() == fingerprint
+
+
+class TestArtifactIO:
+    def test_roundtrip(self, tmp_path):
+        path = artifact_path(tmp_path, "fig1", "abc123")
+        written = write_artifact(path, {"experiment": "fig1",
+                                        "rows": [{"x": 1}]})
+        document = load_artifact(written)
+        assert document["schema_version"] == ARTIFACT_SCHEMA_VERSION
+        assert document["experiment"] == "fig1"
+        assert document["rows"] == [{"x": 1}]
+        assert document["source_fingerprint"] == source_fingerprint()
+
+    def test_row_column_order_is_preserved(self, tmp_path):
+        rows = [{"zeta": 1, "alpha": 2, "mid": 3}]
+        path = write_artifact(tmp_path / "a.json", {"rows": rows})
+        loaded = load_artifact(path)
+        assert list(loaded["rows"][0]) == ["zeta", "alpha", "mid"]
+
+    def test_load_rejects_non_artifact_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(ArtifactError):
+            load_artifact(path)
+
+    def test_load_rejects_wrong_schema_version(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({"schema_version": -1}))
+        with pytest.raises(ArtifactError):
+            load_artifact(path)
+
+    def test_load_artifacts_skips_foreign_files(self, tmp_path):
+        write_artifact(tmp_path / "good.json", {"experiment": "fig1",
+                                                "digest": "d1", "rows": []})
+        (tmp_path / "junk.json").write_text("not json at all")
+        (tmp_path / "foreign.json").write_text(json.dumps([1, 2, 3]))
+        documents = load_artifacts(tmp_path)
+        assert len(documents) == 1
+        assert documents[0]["experiment"] == "fig1"
+
+    def test_load_artifacts_requires_directory(self, tmp_path):
+        with pytest.raises(ArtifactError):
+            load_artifacts(tmp_path / "missing")
+
+    def test_write_failure_raises_artifact_error(self, tmp_path):
+        blocker = tmp_path / "file.txt"
+        blocker.write_text("plain file, not a directory")
+        with pytest.raises(ArtifactError, match="cannot write"):
+            write_artifact(blocker / "x.json", {"rows": []})

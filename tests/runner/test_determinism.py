@@ -1,0 +1,80 @@
+"""Determinism regression tests: same seed, bit-identical results."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.comm.eqs_hbc import wir_commercial
+from repro.netsim.simulator import BodyNetworkSimulator
+from repro.netsim.traffic import PeriodicSource
+from repro.runner import SweepRunner
+from repro import units
+
+
+def _simulate(seed: int):
+    simulator = BodyNetworkSimulator(wir_commercial(), rng=seed)
+    for index in range(4):
+        simulator.add_node(
+            f"leaf{index}",
+            PeriodicSource.from_rate(units.kilobit_per_second(64.0)),
+            sensing_power_watts=units.microwatt(30.0),
+        )
+    return simulator.run(0.5)
+
+
+def test_non_finite_duration_rejected():
+    # A sweep grid can legitimately parse `inf`; the simulator must refuse
+    # it cleanly instead of running forever.
+    import pytest
+
+    from repro.errors import SimulationError
+
+    simulator = BodyNetworkSimulator(wir_commercial(), rng=0)
+    simulator.add_node("leaf0", PeriodicSource.from_rate(
+        units.kilobit_per_second(64.0)))
+    for bad in (float("inf"), float("nan")):
+        with pytest.raises(SimulationError):
+            simulator.run(bad)
+
+
+class TestSimulatorDeterminism:
+    def test_same_seed_identical_result_fields(self):
+        first = dataclasses.asdict(_simulate(seed=1234))
+        second = dataclasses.asdict(_simulate(seed=1234))
+        assert first == second
+
+    def test_different_seed_still_converges_on_counts(self):
+        # Periodic sources make the *derived* packet totals seed-independent
+        # even though per-packet timing may differ; this guards the seed
+        # plumbing without asserting an input constant back.
+        first = _simulate(seed=1)
+        second = _simulate(seed=2)
+        assert first.delivered_packets == second.delivered_packets
+        assert first.dropped_packets == second.dropped_packets
+        assert first.delivered_bits == second.delivered_bits
+
+
+class TestSweepDeterminism:
+    GRID = {"seed": [11, 12], "simulated_seconds": [0.25],
+            "node_counts": [(1, 2, 4)]}
+
+    def test_two_parallel_executions_identical(self):
+        first = SweepRunner(out_dir=None, parallel=2).run_sweep(
+            "scaling", self.GRID).rows()
+        second = SweepRunner(out_dir=None, parallel=2).run_sweep(
+            "scaling", self.GRID).rows()
+        assert first == second
+
+    def test_parallel_identical_to_serial(self):
+        parallel = SweepRunner(out_dir=None, parallel=2).run_sweep(
+            "scaling", self.GRID).rows()
+        serial = SweepRunner(out_dir=None, parallel=1).run_sweep(
+            "scaling", self.GRID).rows()
+        assert parallel == serial
+
+    def test_derived_seeds_stable_across_runners(self):
+        grid = {"simulated_seconds": [0.25], "node_counts": [(1, 2)]}
+        first = SweepRunner(out_dir=None, base_seed=5).tasks("scaling", grid)
+        second = SweepRunner(out_dir=None, base_seed=5).tasks("scaling", grid)
+        assert [task.kwargs for task in first] == \
+            [task.kwargs for task in second]

@@ -1,0 +1,103 @@
+"""Tests for the central experiment registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.errors import RegistryError
+from repro.runner import ExperimentSpec, all_specs, experiment_ids, resolve
+
+
+class TestRegistryContents:
+    def test_all_twelve_experiments_registered(self):
+        specs = all_specs()
+        assert len(specs) == 12
+        assert [spec.eid for spec in specs] == [f"E{i}" for i in range(1, 13)]
+
+    def test_ids_and_modules_are_unique(self):
+        specs = all_specs()
+        assert len({spec.id for spec in specs}) == 12
+        assert len({spec.module for spec in specs}) == 12
+
+    def test_experiment_ids_sorted(self):
+        ids = experiment_ids()
+        assert ids == sorted(ids)
+        assert "fig1" in ids and "scaling" in ids
+
+    def test_titles_nonempty_and_runnable(self):
+        for spec in all_specs():
+            assert spec.title
+            assert callable(spec.run)
+
+
+class TestResolution:
+    def test_resolve_by_short_name(self):
+        assert resolve("scaling").module == "network_scaling"
+
+    def test_resolve_by_module_name(self):
+        assert resolve("network_scaling") is resolve("scaling")
+
+    def test_resolve_by_paper_id(self):
+        assert resolve("E8") is resolve("scaling")
+        assert resolve("e1") is resolve("fig1")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(RegistryError):
+            resolve("does-not-exist")
+
+
+class TestRowsContract:
+    """Every registered experiment must yield non-empty, formattable rows."""
+
+    @pytest.mark.parametrize("spec", all_specs(), ids=lambda spec: spec.id)
+    def test_rows_nonempty_and_table_formattable(self, spec: ExperimentSpec):
+        overrides = ({"simulated_seconds": 0.25}
+                     if spec.accepts("simulated_seconds") else {})
+        result = spec.execute(**overrides)
+        rows = spec.extract_rows(result)
+        assert rows, f"{spec.id} produced no rows"
+        for row in rows:
+            assert isinstance(row, dict) and row
+        table = format_table(rows, title=spec.title)
+        assert spec.title in table
+        for line in spec.summary_lines(result):
+            assert isinstance(line, str) and line
+
+    def test_fig2_rows_attribute_normalised(self):
+        # Fig. 2's result exposes `rows` as a plain attribute; the registry
+        # must still hand back a list of dicts like every other experiment.
+        spec = resolve("fig2")
+        rows = spec.extract_rows(spec.execute())
+        assert isinstance(rows, list)
+        assert all(isinstance(row, dict) for row in rows)
+
+
+class TestDefaultSweepGrids:
+    """Every spec's default sweep grid must execute end to end."""
+
+    @pytest.mark.parametrize(
+        "spec", [spec for spec in all_specs() if spec.sweep_defaults],
+        ids=lambda spec: spec.id)
+    def test_every_default_grid_point_summarises(self, spec: ExperimentSpec):
+        for params in ({key: values[0] for key, values in
+                        spec.sweep_defaults.items()},
+                       {key: values[-1] for key, values in
+                        spec.sweep_defaults.items()}):
+            if spec.accepts("simulated_seconds"):
+                params.setdefault("simulated_seconds", 0.25)
+            result = spec.execute(**params)
+            assert spec.extract_rows(result)
+            spec.summary_lines(result)  # must not raise on any grid point
+
+
+class TestSpecBehaviour:
+    def test_execute_merges_defaults_under_overrides(self):
+        spec = resolve("scaling")
+        assert spec.defaults["simulated_seconds"] == 1.0
+        result = spec.execute(node_counts=(1, 2), simulated_seconds=0.25)
+        assert len(result.points) == 2
+
+    def test_accepts_reports_run_signature(self):
+        assert resolve("scaling").accepts("seed")
+        assert not resolve("fig2").accepts("seed")

@@ -3,10 +3,12 @@
 from __future__ import annotations
 
 import io
+import json
 
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.cli import build_parser, main
+from repro.runner import all_specs
 
 
 class TestParser:
@@ -33,20 +35,32 @@ class TestCommands:
         out = io.StringIO()
         assert main(["list"], out=out) == 0
         text = out.getvalue()
-        for name in EXPERIMENTS:
-            assert name in text
+        for spec in all_specs():
+            assert spec.id in text
 
     def test_run_fig2_prints_survey_rows(self):
         out = io.StringIO()
-        assert main(["run", "fig2"], out=out) == 0
+        assert main(["run", "fig2", "--out", "none"], out=out) == 0
         text = out.getvalue()
         assert "smartphone" in text
         assert "matches_claim" in text
 
     def test_run_fig1_prints_power_rows(self):
         out = io.StringIO()
-        assert main(["run", "fig1"], out=out) == 0
+        assert main(["run", "fig1", "--out", "none"], out=out) == 0
         assert "power reduction factor" in out.getvalue()
+
+    def test_run_accepts_module_name_alias(self):
+        out = io.StringIO()
+        assert main(["run", "fig2_battery_survey", "--out", "none"],
+                    out=out) == 0
+        assert "matches_claim" in out.getvalue()
+
+    def test_run_accepts_paper_id_alias(self):
+        for alias in ("E2", "e2"):
+            out = io.StringIO()
+            assert main(["run", alias, "--out", "none"], out=out) == 0
+            assert "matches_claim" in out.getvalue()
 
     def test_links_table_includes_wir_and_ble(self):
         out = io.StringIO()
@@ -62,6 +76,183 @@ class TestCommands:
         assert "smart ring" in out.getvalue()
 
     def test_registry_descriptions_nonempty(self):
-        for name, (description, producer) in EXPERIMENTS.items():
-            assert description
-            assert callable(producer)
+        for spec in all_specs():
+            assert spec.title
+            assert callable(spec.run)
+
+
+class TestArtifactsAndCache:
+    def test_run_writes_artifact_then_hits_cache(self, tmp_path):
+        out = io.StringIO()
+        assert main(["run", "fig2", "--out", str(tmp_path)], out=out) == 0
+        assert "[cached]" not in out.getvalue()
+        assert len(list(tmp_path.glob("fig2-*.json"))) == 1
+
+        again = io.StringIO()
+        assert main(["run", "fig2", "--out", str(tmp_path)], out=again) == 0
+        text = again.getvalue()
+        assert "[cached]" in text
+        assert "smartphone" in text  # cached rows still render the table
+        assert len(list(tmp_path.glob("fig2-*.json"))) == 1
+
+    def test_run_force_recomputes(self, tmp_path):
+        assert main(["run", "fig2", "--out", str(tmp_path)],
+                    out=io.StringIO()) == 0
+        out = io.StringIO()
+        assert main(["run", "fig2", "--out", str(tmp_path), "--force"],
+                    out=out) == 0
+        assert "[cached]" not in out.getvalue()
+
+
+class TestSweepCommand:
+    def test_sweep_with_explicit_grid(self, tmp_path):
+        out = io.StringIO()
+        assert main(["sweep", "scaling", "--out", str(tmp_path),
+                     "--grid", "seed=0,1", "simulated_seconds=0.25",
+                     "node_counts=(1,2)"], out=out) == 0
+        text = out.getvalue()
+        assert "sweep scaling: 2 tasks" in text
+        assert "manifest:" in text
+        assert len(list(tmp_path.glob("scaling-*.json"))) == 2
+        assert len(list(tmp_path.glob("sweep-scaling-*.json"))) == 1
+
+    def test_sweep_accepts_module_name(self, tmp_path):
+        out = io.StringIO()
+        assert main(["sweep", "network_scaling", "--out", str(tmp_path),
+                     "--grid", "seed=0", "simulated_seconds=0.25",
+                     "node_counts=(1,)"], out=out) == 0
+        assert "sweep scaling: 1 tasks" in out.getvalue()
+
+    def test_grid_parsing_preserves_quoted_and_tuple_values(self):
+        from repro.cli import parse_grid
+
+        grid = parse_grid(['mode="a,b","c"', "node_counts=(1,2),(3,)",
+                           "seed=0,1"])
+        assert grid["mode"] == ["a,b", "c"]
+        assert grid["node_counts"] == [(1, 2), (3,)]
+        assert grid["seed"] == [0, 1]
+
+    def test_grid_parsing_handles_float_words(self):
+        import math
+
+        from repro.cli import parse_grid
+
+        grid = parse_grid(["x=inf,-inf,nan"])
+        assert grid["x"][0] == float("inf")
+        assert grid["x"][1] == float("-inf")
+        assert math.isnan(grid["x"][2])
+
+        from repro.errors import ReproError
+        with pytest.raises(ReproError, match="not a valid Python literal"):
+            parse_grid(["x=+-inf"])
+
+    def test_malformed_grid_fails_cleanly(self, tmp_path):
+        out = io.StringIO()
+        assert main(["sweep", "scaling", "--out", str(tmp_path),
+                     "--grid", "seed"], out=out) == 2
+        assert "error:" in out.getvalue()
+
+    def test_enum_parameter_expressible_from_grid(self):
+        out = io.StringIO()
+        assert main(["sweep", "partition", "--out", "none",
+                     "--grid", "objective=leaf_energy"], out=out) == 0
+        assert "sweep partition: 1 tasks" in out.getvalue()
+
+    def test_repeated_grid_flags_combine(self, tmp_path):
+        out = io.StringIO()
+        assert main(["sweep", "scaling", "--out", str(tmp_path),
+                     "--grid", "seed=0,1", "--grid", "simulated_seconds=0.25",
+                     "--grid", "node_counts=(1,)"], out=out) == 0
+        assert "sweep scaling: 2 tasks" in out.getvalue()
+
+    def test_sweep_without_grid_or_defaults_errors(self, tmp_path):
+        out = io.StringIO()
+        assert main(["sweep", "claims", "--out", str(tmp_path)], out=out) == 2
+        assert "no default sweep grid" in out.getvalue()
+
+    def test_duplicate_grid_key_rejected(self, tmp_path):
+        out = io.StringIO()
+        assert main(["sweep", "scaling", "--out", str(tmp_path),
+                     "--grid", "seed=0,1", "seed=2"], out=out) == 2
+        assert "more than once" in out.getvalue()
+
+    def test_malformed_literal_grid_value_rejected(self, tmp_path):
+        out = io.StringIO()
+        assert main(["sweep", "scaling", "--out", str(tmp_path),
+                     "--grid", "node_counts=(1,2"], out=out) == 2
+        assert "not a valid Python literal" in out.getvalue()
+
+    def test_driver_value_error_reported_cleanly(self, tmp_path):
+        # Drivers validate their own inputs with plain ValueError; the CLI
+        # must turn that into `error: ...`, not a traceback.
+        out = io.StringIO()
+        assert main(["sweep", "charging", "--out", str(tmp_path),
+                     "--grid", "max_devices=0"], out=out) == 2
+        assert "error:" in out.getvalue()
+
+
+class TestReportCommand:
+    def test_report_reprints_saved_tables(self, tmp_path):
+        assert main(["run", "fig2", "--out", str(tmp_path)],
+                    out=io.StringIO()) == 0
+        out = io.StringIO()
+        assert main(["report", str(tmp_path)], out=out) == 0
+        text = out.getvalue()
+        assert "fig2" in text
+        assert "smartphone" in text
+
+    def test_report_empty_directory_fails(self, tmp_path):
+        out = io.StringIO()
+        assert main(["report", str(tmp_path)], out=out) == 1
+        assert "no artifacts" in out.getvalue()
+
+    def test_unwritable_out_dir_still_prints_tables(self, tmp_path):
+        blocker = tmp_path / "plain-file"
+        blocker.write_text("not a directory")
+        out = io.StringIO()
+        assert main(["run", "fig2", "--out", str(blocker / "sub")],
+                    out=out) == 0
+        text = out.getvalue()
+        assert "smartphone" in text  # results were not lost
+        assert "warning: cannot write artifact" in text
+
+    def test_report_notes_incompatible_schema(self, tmp_path):
+        (tmp_path / "old.json").write_text(json.dumps({"schema_version": -1}))
+        out = io.StringIO()
+        assert main(["report", str(tmp_path)], out=out) == 1
+        text = out.getvalue()
+        assert "incompatible schema version" in text
+        assert "no artifacts" in text
+
+    def test_report_flags_stale_artifacts(self, tmp_path):
+        from repro.runner import write_artifact
+
+        write_artifact(tmp_path / "fig2-old.json",
+                       {"experiment": "fig2", "digest": "old",
+                        "rows": [{"x": 1}]})
+        document = json.loads((tmp_path / "fig2-old.json").read_text())
+        document["source_fingerprint"] = "0" * 16
+        (tmp_path / "fig2-old.json").write_text(json.dumps(document))
+
+        # Default report skips stale artifacts with a note...
+        out = io.StringIO()
+        assert main(["report", str(tmp_path)], out=out) == 1
+        text = out.getvalue()
+        assert "skipped 1 stale artifact" in text
+        assert "no artifacts" in text
+        # ...and --all prints them, flagged.
+        out = io.StringIO()
+        assert main(["report", str(tmp_path), "--all"], out=out) == 0
+        assert "[stale" in out.getvalue()
+
+    def test_report_does_not_duplicate_sweep_rows(self, tmp_path):
+        assert main(["sweep", "scaling", "--out", str(tmp_path),
+                     "--grid", "seed=0", "simulated_seconds=0.25",
+                     "node_counts=(1,)"], out=io.StringIO()) == 0
+        out = io.StringIO()
+        assert main(["report", str(tmp_path)], out=out) == 0
+        text = out.getvalue()
+        # One task table plus a row-less manifest line; the combined rows
+        # are not embedded in the manifest a second time.
+        assert text.count("tdma_utilization") == 1
+        assert "(no rows)" in text
