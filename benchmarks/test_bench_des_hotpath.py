@@ -1,0 +1,69 @@
+"""DES hot-path benchmarks: the simulator kernel under sustained load.
+
+Two timings guard the discrete-event hot path:
+
+* ``dense_50_leaf`` — the 1-hour, 50-leaf TDMA stress scenario
+  (~175k delivered packets).  It runs past the latency accumulator's
+  exact window, so this benchmark also asserts the streaming/bounded
+  memory contract: raw sample retention stays at zero after the spill
+  while count, mean and percentiles keep working.
+* event-queue churn — schedule/cancel pressure on the
+  :class:`~repro.netsim.events.EventQueue`, guarding the lazy-compaction
+  bound (cancelled events can never exceed half the heap).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.netsim.events import EventQueue
+from repro.scenarios import get_scenario
+
+
+def run_dense_hour():
+    spec = get_scenario("dense_50_leaf")
+    simulator = spec.build(seed=0)
+    result = simulator.run(spec.duration_seconds)
+    return simulator, result
+
+
+def test_bench_dense_50_leaf_hour(benchmark):
+    simulator, result = benchmark.pedantic(run_dense_hour, rounds=1,
+                                           iterations=1)
+
+    emit("DES hot path — dense_50_leaf, 1 simulated hour",
+         [{"delivered": result.delivered_packets,
+           "dropped": result.dropped_packets,
+           "mean_latency_ms": result.mean_latency_seconds * 1e3,
+           "p99_latency_ms": result.p99_latency_seconds * 1e3,
+           "bus_utilization": result.bus_utilization}])
+
+    # Throughput shape: ~50 leaves x ~1 pkt/s x 3600 s.
+    assert result.delivered_packets > 100_000
+    assert result.delivered_fraction > 0.95
+    # Bounded-memory contract: the run spilled out of the exact window
+    # and holds no raw samples, yet the statistics are still live.
+    accumulator = simulator.bus.stats.latency
+    assert not accumulator.is_exact
+    assert accumulator.retained_samples == 0
+    assert accumulator.count == result.delivered_packets
+    assert 0.0 < result.mean_latency_seconds < result.p99_latency_seconds
+
+
+def churn_queue(events: int = 20_000) -> int:
+    queue = EventQueue()
+    handles = [queue.schedule_at(float(index), lambda: None)
+               for index in range(events)]
+    # Cancel every other event; lazy compaction must keep the heap from
+    # carrying more cancelled entries than live ones.
+    for handle in handles[::2]:
+        handle.cancel()
+    fired = 0
+    while queue.step():
+        fired += 1
+    return fired
+
+
+def test_bench_event_queue_churn(benchmark):
+    fired = benchmark(churn_queue)
+    assert fired == 10_000

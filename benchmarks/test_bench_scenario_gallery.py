@@ -1,0 +1,30 @@
+"""E13 benchmark (extension) — the scenario gallery across MAC policies."""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.runner import resolve
+
+
+def run_gallery():
+    return resolve("gallery").execute(duration_scale=0.02)
+
+
+def test_bench_scenario_gallery(benchmark):
+    result = benchmark(run_gallery)
+
+    emit("Scenario gallery — every registered scenario, 2% duration",
+         result.rows())
+
+    # Shape checks: the gallery covers >= 6 scenarios, all three
+    # arbitration policies and at least three link technologies, and
+    # every scenario delivers its traffic.
+    assert len(result.results) >= 6
+    assert {r.arbitration for r in result.results} == {"fifo", "tdma",
+                                                       "polling"}
+    technologies = {key for r in result.results for key in r.technologies}
+    assert len(technologies) >= 3
+    for scenario_result in result.results:
+        assert scenario_result.simulated.delivered_packets > 0
+        assert scenario_result.simulated.delivered_fraction > 0.9

@@ -13,6 +13,9 @@ and tables can be regenerated without writing any Python:
     repro report artifacts                  # re-print saved JSON artifacts
     repro links                             # link-technology comparison
     repro survey                            # Fig. 2 device survey
+    repro scenarios list                    # named body-network scenarios
+    repro scenarios run sleep_night         # compile + simulate one scenario
+    repro scenarios run all --scale 0.1     # whole gallery, 10% duration
 
 Every ``run``/``sweep`` execution writes one schema-versioned JSON
 artifact per task into ``--out`` (default ``artifacts/``); re-running an
@@ -41,7 +44,13 @@ from .runner import (
     all_specs,
     resolve,
 )
-from .runner.artifacts import scan_artifacts, source_fingerprint
+from .runner.artifacts import (
+    digest_key,
+    scan_artifacts,
+    source_fingerprint,
+    write_artifact,
+)
+from .scenarios import all_scenarios, get_scenario, scenario_names
 
 
 def _split_values(values: str) -> list[str]:
@@ -140,6 +149,14 @@ def build_parser() -> argparse.ArgumentParser:
                             help="experiment to run: one of "
                                  f"{', '.join(run_names)}, a module name, "
                                  "or 'all'")
+    run_parser.add_argument("--grid", nargs="*", action="extend",
+                            default=None, metavar="KEY=V1,V2,...",
+                            help="run as a parameter sweep instead: grid "
+                                 "axes, or no values for the experiment's "
+                                 "default sweep grid")
+    run_parser.add_argument("--base-seed", type=int, default=0,
+                            help="deterministic per-task seed root for "
+                                 "--grid runs (default 0)")
     _add_runner_options(run_parser)
 
     sweep_parser = subparsers.add_parser(
@@ -166,6 +183,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("links", help="print the link-technology comparison")
     subparsers.add_parser("survey", help="print the Fig. 2 device survey")
+
+    scenarios_parser = subparsers.add_parser(
+        "scenarios", help="list or run named body-network scenarios")
+    scenarios_sub = scenarios_parser.add_subparsers(dest="scenarios_command")
+    scenarios_sub.add_parser("list", help="list the registered scenarios")
+    scenario_run = scenarios_sub.add_parser(
+        "run", help="compile and simulate one scenario (or 'all')")
+    scenario_run.add_argument("scenario",
+                              choices=scenario_names() + ["all"],
+                              metavar="scenario",
+                              help="scenario name (see 'scenarios list') "
+                                   "or 'all'")
+    scenario_run.add_argument("--duration", type=float, default=None,
+                              metavar="SECONDS",
+                              help="override the simulated duration")
+    scenario_run.add_argument("--scale", type=float, default=1.0,
+                              metavar="FACTOR",
+                              help="scale each scenario's own duration "
+                                   "(ignored when --duration is given)")
+    scenario_run.add_argument("--seed", type=int, default=0,
+                              help="traffic RNG seed (default 0)")
+    scenario_run.add_argument("--out", default=str(DEFAULT_OUT_DIR),
+                              metavar="DIR",
+                              help="artifact directory (default 'artifacts'); "
+                                   "'none' disables artifacts")
     return parser
 
 
@@ -275,6 +317,49 @@ def _command_report(artifact_dir: str, out, include_stale: bool = False) -> int:
     return 0
 
 
+def _command_scenarios_list(out) -> int:
+    rows = [spec.describe() for spec in all_scenarios()]
+    print(format_table(rows, title="registered scenarios"), file=out)
+    return 0
+
+
+def _command_scenarios_run(scenario: str, out, duration: float | None,
+                           scale: float, seed: int,
+                           out_dir: Path | None) -> int:
+    if scale <= 0:
+        raise ReproError("--scale must be positive")
+    names = scenario_names() if scenario == "all" else [scenario]
+    rows: list[dict[str, object]] = []
+    for name in names:
+        spec = get_scenario(name)
+        resolved = (duration if duration is not None
+                    else spec.duration_seconds * scale)
+        result = spec.run(seed=seed, duration_seconds=resolved)
+        row = result.row()
+        rows.append(row)
+        if out_dir is not None:
+            kwargs = {"scenario": name, "seed": seed,
+                      "duration_seconds": resolved}
+            digest = digest_key(f"scenario:{name}", kwargs)
+            write_artifact(
+                out_dir / f"scenario-{name}-{digest}.json",
+                {
+                    "experiment": f"scenario:{name}",
+                    "eid": "E13",
+                    "title": spec.description,
+                    "digest": digest,
+                    "params": kwargs,
+                    "kwargs": kwargs,
+                    "rows": [row],
+                    "summary": [f"arbitration: {spec.arbitration}",
+                                "technologies: "
+                                + ", ".join(spec.technologies())],
+                },
+            )
+    print(format_table(rows, title="scenario runs"), file=out)
+    return 0
+
+
 def _command_links(out) -> int:
     from .comm.ble import ble_1m_phy
     from .comm.eqs_hbc import eqs_hbc_bodywire, eqs_hbc_sub_uw, wir_commercial
@@ -304,6 +389,15 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         if arguments.command == "list":
             return _command_list(out)
         if arguments.command == "run":
+            if arguments.grid is not None:
+                # `run EXP --grid ...` is sweep spelled differently; an
+                # empty --grid selects the experiment's default grid.
+                if arguments.experiment == "all":
+                    raise ReproError("--grid needs a single experiment")
+                return _command_sweep(arguments.experiment, arguments.grid,
+                                      out, arguments.parallel,
+                                      _out_dir(arguments.out),
+                                      arguments.force, arguments.base_seed)
             return _command_run(arguments.experiment, out, arguments.parallel,
                                 _out_dir(arguments.out), arguments.force)
         if arguments.command == "sweep":
@@ -317,6 +411,16 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _command_links(out)
         if arguments.command == "survey":
             return _command_survey(out)
+        if arguments.command == "scenarios":
+            if arguments.scenarios_command == "list":
+                return _command_scenarios_list(out)
+            if arguments.scenarios_command == "run":
+                return _command_scenarios_run(
+                    arguments.scenario, out, arguments.duration,
+                    arguments.scale, arguments.seed,
+                    _out_dir(arguments.out))
+            print("usage: repro scenarios {list,run}", file=out)
+            return 1
     except (ReproError, ValueError, TypeError) as error:
         # ReproError is the library's own contract; ValueError/TypeError
         # reach here when --grid feeds a driver a value it validates or

@@ -107,11 +107,12 @@ class TDMASchedule:
             offered_rate_bps * self.superframe_seconds / self.link_rate_bps
             + self.guard_seconds
         )
-        if per_node_time <= 0:
-            raise SchedulingError("per-node time must be positive")
         slack = (1.0 - self.utilization()) * self.superframe_seconds
         if slack <= 0:
+            # A saturated superframe admits nobody, whatever they cost.
             return 0
+        if per_node_time <= 0:
+            raise SchedulingError("per-node time must be positive")
         return int(slack // per_node_time)
 
     def build(self) -> list[SlotAssignment]:

@@ -71,3 +71,7 @@ class SimulationError(ReproError):
 
 class SurveyError(ReproError):
     """A device-survey lookup failed."""
+
+
+class ScenarioError(ReproError):
+    """A scenario specification is invalid or could not be compiled."""

@@ -22,6 +22,7 @@ or paper id) instead of importing driver modules directly.
 | E10| Activation-precision / partition ablation        | ``quantization_ablation`` |
 | E11| Charging burden vs number of wearables           | ``charging_burden``       |
 | E12| MQS-HBC implant extension (future work)          | ``implant_extension``     |
+| E13| Scenario gallery (MAC policies, link mixes)      | ``scenario_gallery``      |
 """
 
 from . import (
@@ -36,6 +37,7 @@ from . import (
     partitioned_inference,
     perpetual,
     quantization_ablation,
+    scenario_gallery,
     termination_ablation,
 )
 
@@ -52,4 +54,5 @@ __all__ = [
     "quantization_ablation",
     "charging_burden",
     "implant_extension",
+    "scenario_gallery",
 ]

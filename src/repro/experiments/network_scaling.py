@@ -5,6 +5,9 @@ serving many featherweight leaves.  This ablation sweeps the number of
 leaves on the shared body bus using both the analytical TDMA model and the
 discrete-event simulator, and reports per-node goodput, delivery latency
 and leaf power as the population grows — including where the bus saturates.
+The simulator side can run under any arbitration policy (``mac_policy`` =
+``fifo`` / ``tdma`` / ``polling``), and the default sweep grid ablates all
+three.
 """
 
 from __future__ import annotations
@@ -55,6 +58,7 @@ class NetworkScalingResult:
     technology: str
     per_node_rate_bps: float
     points: tuple[ScalingPoint, ...]
+    mac_policy: str = "fifo"
 
     def max_feasible_nodes(self) -> int:
         """Largest swept population with a feasible TDMA schedule."""
@@ -83,12 +87,15 @@ def run(
     simulate: bool = True,
     simulated_seconds: float = 2.0,
     seed: int = 0,
+    mac_policy: str = "fifo",
 ) -> NetworkScalingResult:
     """Sweep the leaf population sharing one hub.
 
     ``per_node_rate_bps`` defaults to 64 kb/s — an audio-feature-class
     stream, the kind of traffic the hub would see from several always-on
-    AI leaves.
+    AI leaves.  ``mac_policy`` selects the simulator's arbitration
+    (``fifo``, ``tdma`` or ``polling``); the analytical TDMA feasibility
+    columns are policy-independent.
     """
     technology = technology or wir_commercial()
     points: list[ScalingPoint] = []
@@ -100,7 +107,8 @@ def run(
 
         simulated: SimulationResult | None = None
         if simulate:
-            simulator = BodyNetworkSimulator(technology, rng=seed)
+            simulator = BodyNetworkSimulator(technology, rng=seed,
+                                             arbitration=mac_policy)
             for index in range(count):
                 simulator.add_node(
                     f"leaf{index}",
@@ -120,10 +128,12 @@ def run(
         technology=technology.name,
         per_node_rate_bps=per_node_rate_bps,
         points=tuple(points),
+        mac_policy=mac_policy,
     )
 
 def _registry_summary(result: NetworkScalingResult) -> list[str]:
-    return ["max feasible 64 kb/s leaves on one hub: "
+    return [f"mac policy: {result.mac_policy}",
+            "max feasible 64 kb/s leaves on one hub: "
             f"{result.max_feasible_nodes()}"]
 
 
@@ -135,5 +145,6 @@ register(ExperimentSpec(
     run=run,
     defaults={"simulated_seconds": 1.0},
     summarize=_registry_summary,
-    sweep_defaults={"seed": (0, 1, 2), "simulated_seconds": (0.5,)},
+    sweep_defaults={"seed": (0, 1, 2), "simulated_seconds": (0.5,),
+                    "mac_policy": ("fifo", "tdma", "polling")},
 ))

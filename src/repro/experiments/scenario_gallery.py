@@ -1,0 +1,82 @@
+"""E13 (extension) — the scenario gallery as a regression surface.
+
+Runs every registered scenario (see :mod:`repro.scenarios`) through the
+discrete-event simulator and reports one row per scenario: delivered
+traffic, latency, medium utilisation and leaf/hub power.  This is the
+workload-diversity counterpart of the single-population scaling ablation
+(E8): mixed link technologies, all three MAC arbitration policies and
+duty-cycle events exercised in one table.
+
+``duration_scale`` shrinks every scenario's representative duration so
+the whole gallery runs in CI-smoke time; pass ``1.0`` for the full
+durations (the DES benchmark does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ScenarioError
+from ..scenarios import ScenarioResult, get_scenario, scenario_names
+from ..runner.registry import ExperimentSpec, register
+
+
+@dataclass(frozen=True)
+class ScenarioGalleryResult:
+    """One run of the whole gallery."""
+
+    duration_scale: float
+    results: tuple[ScenarioResult, ...]
+
+    def rows(self) -> list[dict[str, object]]:
+        """One report row per scenario."""
+        return [result.row() for result in self.results]
+
+    def scenario(self, name: str) -> ScenarioResult:
+        """Result of one named scenario in this gallery run."""
+        for result in self.results:
+            if result.scenario == name:
+                return result
+        raise ScenarioError(f"scenario {name!r} not part of this gallery run")
+
+
+def run(scenarios: tuple[str, ...] | None = None,
+        duration_scale: float = 1.0,
+        seed: int = 0) -> ScenarioGalleryResult:
+    """Run the named *scenarios* (default: all registered), scaled in time."""
+    if duration_scale <= 0:
+        raise ScenarioError("duration scale must be positive")
+    names = list(scenarios) if scenarios is not None else scenario_names()
+    results = []
+    for name in names:
+        spec = get_scenario(name)
+        results.append(spec.run(
+            seed=seed,
+            duration_seconds=spec.duration_seconds * duration_scale,
+        ))
+    return ScenarioGalleryResult(duration_scale=duration_scale,
+                                 results=tuple(results))
+
+
+def _summary(result: ScenarioGalleryResult) -> list[str]:
+    worst = max(result.results,
+                key=lambda r: r.simulated.p99_latency_seconds)
+    policies = sorted({r.arbitration for r in result.results})
+    return [
+        f"{len(result.results)} scenarios, arbitration policies: "
+        + ", ".join(policies),
+        f"worst p99 latency: {worst.simulated.p99_latency_seconds * 1e3:.1f} ms "
+        f"({worst.scenario})",
+    ]
+
+
+register(ExperimentSpec(
+    id="gallery",
+    eid="E13",
+    title="Scenario gallery across MAC policies and link mixes",
+    module="scenario_gallery",
+    run=run,
+    defaults={"duration_scale": 0.02},
+    summarize=_summary,
+    sweep_defaults={"seed": (0, 1, 2), "duration_scale": (0.01,)},
+))

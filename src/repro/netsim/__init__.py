@@ -1,19 +1,36 @@
-"""Discrete-event simulator for the on-body Wi-R network.
+"""Discrete-event simulator for the on-body network.
 
 The closed-form budgets in :mod:`repro.core` answer "what is the average
 power"; the simulator answers the dynamic questions: what latency does a
-leaf node see when many leaves share the body bus, how bursty traffic
-interacts with TDMA slots, and how the per-node energy ledger evolves over
-a simulated day.  It is intentionally small — an event queue, periodic
-traffic sources, a shared bus with a FIFO or TDMA service discipline, and
-per-node energy accounting — but it is a real simulator: packets are
-individually generated, queued, serialised and delivered.
+leaf node see when many leaves share the body medium, how bursty traffic
+interacts with TDMA slots or hub polling, and how the per-node energy
+ledger evolves over a simulated day.  The kernel is layered:
+
+* :mod:`repro.netsim.events` — the event queue (lazy compaction of
+  cancelled events, O(1) length).
+* :mod:`repro.netsim.stats` — bounded/streaming latency statistics.
+* :mod:`repro.netsim.bus` — the :class:`Medium` serialisation resource
+  (per-node link rates, bounded buffer, statistics).
+* :mod:`repro.netsim.arbitration` — pluggable MAC arbitration policies
+  (FIFO, TDMA slots, hub polling) reusing :mod:`repro.comm.mac` math.
+* :mod:`repro.netsim.simulator` — nodes, traffic, energy accounting.
+
+It is intentionally small, but it is a real simulator: packets are
+individually generated, queued, granted, serialised and delivered.
 """
 
 from .events import Event, EventQueue
 from .packet import Packet
 from .traffic import PeriodicSource, PoissonSource, TrafficSource
-from .bus import SharedBus, BusStats
+from .stats import LatencyAccumulator
+from .arbitration import (
+    ArbitrationPolicy,
+    FIFOArbitration,
+    HubPollingArbitration,
+    TDMAArbitration,
+    make_policy,
+)
+from .bus import Medium, SharedBus, BusStats
 from .simulator import BodyNetworkSimulator, SimulationResult, SimulatedNode
 
 __all__ = [
@@ -23,6 +40,13 @@ __all__ = [
     "TrafficSource",
     "PeriodicSource",
     "PoissonSource",
+    "LatencyAccumulator",
+    "ArbitrationPolicy",
+    "FIFOArbitration",
+    "TDMAArbitration",
+    "HubPollingArbitration",
+    "make_policy",
+    "Medium",
     "SharedBus",
     "BusStats",
     "BodyNetworkSimulator",

@@ -1,48 +1,67 @@
-"""The shared body 'bus': serialising packets from many leaves to the hub.
+"""The shared body medium: serialising packets from many leaves to the hub.
 
 In the EQS regime the whole body is effectively one electrical node, so
-all Wi-R leaves share one broadcast medium coordinated by the hub.  The
-bus model is a single server with a FIFO queue (optionally weighted by a
-per-node guard overhead), which is the right abstraction for both a
-hub-polled and a TDMA-coordinated network at the time scales the
-experiments care about.
+all leaves share one broadcast medium coordinated by the hub.  The model
+is split in two layers:
+
+* :class:`Medium` — the physical serialisation resource: one transmission
+  at a time, per-node serialisation rates (mixed link technologies on one
+  body), a bounded pending buffer and streaming statistics.
+* an :class:`~repro.netsim.arbitration.ArbitrationPolicy` — decides *who*
+  transmits next and after what access delay (FIFO, TDMA slots, hub
+  polling).
+
+:class:`SharedBus` remains as the FIFO-arbitrated medium under its
+historical name and constructor signature; existing seed configurations
+reproduce bit-identically through it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from ..errors import SimulationError
+from .arbitration import ArbitrationPolicy, FIFOArbitration, make_policy
 from .events import EventQueue
 from .packet import Packet
+from .stats import LatencyAccumulator
 
 
 @dataclass
 class BusStats:
-    """Aggregate statistics collected by the bus."""
+    """Aggregate statistics collected by the medium.
+
+    Latencies are held in a :class:`LatencyAccumulator`: exact (and
+    bit-identical to the historical list-based implementation) up to its
+    capacity, streaming with bounded memory beyond it.
+    """
 
     delivered_packets: int = 0
     delivered_bits: float = 0.0
     dropped_packets: int = 0
     busy_seconds: float = 0.0
-    latencies: list[float] = field(default_factory=list)
+    latency: LatencyAccumulator = field(default_factory=LatencyAccumulator)
+
+    def record_delivery(self, packet: Packet) -> None:
+        """Account one delivered packet."""
+        self.delivered_packets += 1
+        self.delivered_bits += packet.bits
+        self.latency.add(packet.latency_seconds)
 
     def latency_percentile(self, percentile: float) -> float:
         """Latency percentile over delivered packets (seconds)."""
-        if not self.latencies:
+        if self.latency.count == 0:
             raise SimulationError("no packets delivered yet")
         if not 0.0 <= percentile <= 100.0:
             raise SimulationError("percentile must be in [0, 100]")
-        return float(np.percentile(self.latencies, percentile))
+        return self.latency.percentile(percentile)
 
     @property
     def mean_latency_seconds(self) -> float:
         """Mean delivery latency (seconds)."""
-        if not self.latencies:
+        if self.latency.count == 0:
             raise SimulationError("no packets delivered yet")
-        return float(np.mean(self.latencies))
+        return self.latency.mean
 
     def throughput_bps(self, horizon_seconds: float) -> float:
         """Delivered goodput over *horizon_seconds*."""
@@ -51,30 +70,40 @@ class BusStats:
         return self.delivered_bits / horizon_seconds
 
     def utilization(self, horizon_seconds: float) -> float:
-        """Fraction of time the bus was busy."""
+        """Fraction of time the medium was busy."""
         if horizon_seconds <= 0:
             raise SimulationError("horizon must be positive")
         return min(self.busy_seconds / horizon_seconds, 1.0)
 
 
-class SharedBus:
-    """Single shared link serving packets in FIFO order.
+class Medium:
+    """Single shared serialisation resource with pluggable arbitration.
 
     Parameters
     ----------
     queue:
         The simulator's event queue.
     link_rate_bps:
-        Serialisation rate of the medium.
+        Default serialisation rate of the medium (used for nodes without
+        a per-node rate, and by slot/poll overhead math).
     per_packet_overhead_seconds:
         Guard/turnaround charged per packet (MAC overhead).
     max_queue_packets:
-        Packets beyond this bound are dropped (models a bounded leaf buffer).
+        Packets beyond this bound (summed over all nodes) are dropped
+        (models a bounded leaf buffer).
+    policy:
+        Arbitration policy instance or short name (``"fifo"``, ``"tdma"``,
+        ``"polling"``).  Defaults to FIFO.
+    latency_exact_capacity:
+        Exact-sample capacity of the latency accumulator; beyond it the
+        statistics stream with bounded memory.
     """
 
     def __init__(self, queue: EventQueue, link_rate_bps: float,
                  per_packet_overhead_seconds: float = 100e-6,
-                 max_queue_packets: int = 10_000) -> None:
+                 max_queue_packets: int = 10_000,
+                 policy: ArbitrationPolicy | str | None = None,
+                 latency_exact_capacity: int | None = None) -> None:
         if link_rate_bps <= 0:
             raise SimulationError("link rate must be positive")
         if per_packet_overhead_seconds < 0:
@@ -85,45 +114,96 @@ class SharedBus:
         self.link_rate_bps = link_rate_bps
         self.per_packet_overhead_seconds = per_packet_overhead_seconds
         self.max_queue_packets = max_queue_packets
-        self.stats = BusStats()
-        self._pending: list[Packet] = []
+        if policy is None:
+            policy = FIFOArbitration()
+        elif isinstance(policy, str):
+            policy = make_policy(policy)
+        self.policy: ArbitrationPolicy = policy
+        # Slot sizing and poll overheads need the medium rate; attach it
+        # when the policy exposes the knob and the caller left it unset.
+        if getattr(policy, "link_rate_bps", False) is None:
+            policy.link_rate_bps = link_rate_bps  # type: ignore[attr-defined]
+        if latency_exact_capacity is None:
+            self.stats = BusStats()
+        else:
+            self.stats = BusStats(
+                latency=LatencyAccumulator(exact_capacity=latency_exact_capacity))
+        self._node_rates: dict[str, float] = {}
         self._busy = False
         self._delivery_callbacks: list = []
+
+    # -- configuration -----------------------------------------------------
+
+    def register_node(self, name: str, offered_rate_bps: float,
+                      link_rate_bps: float | None = None) -> None:
+        """Announce a node: offered rate for the policy, optional own rate."""
+        self.policy.register_node(name, offered_rate_bps)
+        if link_rate_bps is not None:
+            if link_rate_bps <= 0:
+                raise SimulationError("per-node link rate must be positive")
+            self._node_rates[name] = link_rate_bps
 
     def on_delivery(self, callback) -> None:
         """Register a callback invoked with each delivered packet."""
         self._delivery_callbacks.append(callback)
 
+    # -- data path ---------------------------------------------------------
+
     def submit(self, packet: Packet) -> bool:
         """Enqueue a packet for transmission.  Returns False if dropped."""
-        if len(self._pending) >= self.max_queue_packets:
+        if self.policy.pending_count() >= self.max_queue_packets:
             self.stats.dropped_packets += 1
             return False
-        self._pending.append(packet)
+        self.policy.enqueue(packet)
         if not self._busy:
-            self._start_next()
+            self._grant_next()
         return True
 
     def service_time_seconds(self, packet: Packet) -> float:
-        """Time to serialise one packet including MAC overhead."""
-        return packet.bits / self.link_rate_bps + self.per_packet_overhead_seconds
+        """Time to serialise one packet including MAC overhead.
 
-    def _start_next(self) -> None:
-        if not self._pending:
+        Serialisation runs at the transmitting node's own link rate when
+        one was registered (mixed technologies on one body), else at the
+        medium's default rate.
+        """
+        rate = self._node_rates.get(packet.source, self.link_rate_bps)
+        return packet.bits / rate + self.per_packet_overhead_seconds
+
+    def _grant_next(self) -> None:
+        grant = self.policy.next_grant(self._queue.now)
+        if grant is None:
             self._busy = False
             return
         self._busy = True
-        packet = self._pending.pop(0)
-        packet.queued_at = self._queue.now
+        packet, access_delay = grant
         service = self.service_time_seconds(packet)
         self.stats.busy_seconds += service
+        if access_delay == 0.0:
+            self._begin_transmission(packet, service)
+        else:
+            self._queue.schedule_in(
+                access_delay,
+                lambda p=packet, s=service: self._begin_transmission(p, s))
+
+    def _begin_transmission(self, packet: Packet, service: float) -> None:
+        packet.queued_at = self._queue.now
         self._queue.schedule_in(service, lambda p=packet: self._complete(p))
 
     def _complete(self, packet: Packet) -> None:
         packet.delivered_at = self._queue.now
-        self.stats.delivered_packets += 1
-        self.stats.delivered_bits += packet.bits
-        self.stats.latencies.append(packet.latency_seconds)
+        self.stats.record_delivery(packet)
         for callback in self._delivery_callbacks:
             callback(packet)
-        self._start_next()
+        self._grant_next()
+
+
+class SharedBus(Medium):
+    """FIFO-arbitrated medium under its historical name and signature."""
+
+    def __init__(self, queue: EventQueue, link_rate_bps: float,
+                 per_packet_overhead_seconds: float = 100e-6,
+                 max_queue_packets: int = 10_000) -> None:
+        super().__init__(queue, link_rate_bps,
+                         per_packet_overhead_seconds=per_packet_overhead_seconds,
+                         max_queue_packets=max_queue_packets,
+                         policy=FIFOArbitration())

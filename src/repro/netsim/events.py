@@ -1,4 +1,11 @@
-"""Event queue for the discrete-event simulator."""
+"""Event queue for the discrete-event simulator.
+
+Cancelled events are skipped lazily when popped, but the queue keeps a
+live count of them and compacts the heap (filter + re-heapify) as soon as
+cancelled entries outnumber live ones, so a workload that schedules and
+cancels aggressively (e.g. duty-cycled scenario events) cannot grow the
+heap without bound.  ``len(queue)`` is O(1).
+"""
 
 from __future__ import annotations
 
@@ -22,10 +29,17 @@ class Event:
     sequence: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    _queue: "EventQueue | None" = field(default=None, compare=False,
+                                        repr=False)
+    _in_heap: bool = field(default=False, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the queue skips it when popped."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._in_heap and self._queue is not None:
+            self._queue._note_cancelled()
 
 
 class EventQueue:
@@ -35,6 +49,7 @@ class EventQueue:
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._now = 0.0
+        self._cancelled_count = 0
 
     @property
     def now(self) -> float:
@@ -42,7 +57,25 @@ class EventQueue:
         return self._now
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return len(self._heap) - self._cancelled_count
+
+    def _note_cancelled(self) -> None:
+        """Track a cancellation and compact once the heap is mostly dead."""
+        self._cancelled_count += 1
+        if self._cancelled_count > len(self._heap) // 2:
+            self._compact()
+
+    def _compact(self) -> None:
+        self._heap = [event for event in self._heap if not event.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_count = 0
+
+    def _pop(self) -> Event:
+        event = heapq.heappop(self._heap)
+        event._in_heap = False
+        if event.cancelled:
+            self._cancelled_count -= 1
+        return event
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
         """Schedule *callback* at an absolute simulation time."""
@@ -50,7 +83,8 @@ class EventQueue:
             raise SimulationError(
                 f"cannot schedule event in the past: {time} < now {self._now}"
             )
-        event = Event(time=time, sequence=next(self._counter), callback=callback)
+        event = Event(time=time, sequence=next(self._counter),
+                      callback=callback, _queue=self, _in_heap=True)
         heapq.heappush(self._heap, event)
         return event
 
@@ -63,7 +97,7 @@ class EventQueue:
     def step(self) -> bool:
         """Pop and run the next event.  Returns False when the queue is empty."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = self._pop()
             if event.cancelled:
                 continue
             self._now = event.time
@@ -84,7 +118,7 @@ class EventQueue:
         while self._heap:
             next_event = self._heap[0]
             if next_event.cancelled:
-                heapq.heappop(self._heap)
+                self._pop()
                 continue
             if next_event.time > end_time:
                 break

@@ -1,11 +1,14 @@
-"""End-to-end body-network simulation: leaves, hub, shared Wi-R bus.
+"""End-to-end body-network simulation: leaves, hub, shared body medium.
 
 A :class:`BodyNetworkSimulator` wires together traffic sources (one per
-leaf node), a shared bus, a link technology (for energy per bit) and
-per-node energy ledgers, then runs the event queue for a simulated
-duration.  The result reports per-node average power, per-node goodput and
-latency statistics — the dynamic counterpart of the closed-form budgets in
-:mod:`repro.core`, and the engine behind the network-scaling ablation.
+leaf node), a shared :class:`~repro.netsim.bus.Medium` with a pluggable
+arbitration policy (FIFO, TDMA slots, hub polling), per-node link
+technologies (mixed Wi-R / MQS implant / BLE legacy populations on one
+body) and per-node energy ledgers, then runs the event queue for a
+simulated duration.  The result reports per-node average power, per-node
+goodput and latency statistics — the dynamic counterpart of the
+closed-form budgets in :mod:`repro.core`, and the engine behind the
+network-scaling ablation and the scenario gallery.
 """
 
 from __future__ import annotations
@@ -18,7 +21,8 @@ from ..errors import SimulationError
 from ..comm.link import CommTechnology
 from ..energy.ledger import EnergyLedger
 from .. import units
-from .bus import SharedBus
+from .arbitration import ArbitrationPolicy
+from .bus import Medium
 from .events import EventQueue
 from .packet import Packet
 from .traffic import TrafficSource
@@ -30,8 +34,10 @@ class SimulatedNode:
 
     name: str
     source: TrafficSource
+    technology: CommTechnology
     sensing_power_watts: float = 0.0
     isa_power_watts: float = 0.0
+    active: bool = True
     ledger: EnergyLedger = field(default_factory=EnergyLedger)
     packets_sent: int = 0
     bits_sent: float = 0.0
@@ -55,38 +61,67 @@ class SimulationResult:
     per_node_average_power_watts: dict[str, float]
     per_node_goodput_bps: dict[str, float]
     hub_rx_energy_joules: float
+    arbitration: str = "fifo"
+    hub_energy_joules: float = 0.0
+    hub_average_power_watts: float = 0.0
+    offered_packets: int = 0
 
     @property
     def total_leaf_power_watts(self) -> float:
         """Sum of all leaf nodes' average power."""
         return sum(self.per_node_average_power_watts.values())
 
+    @property
+    def delivered_fraction(self) -> float:
+        """Delivered / offered packets (1.0 when nothing was offered).
+
+        Offered counts every generated packet — dropped ones and those
+        still queued or in flight at the horizon — so a saturated medium
+        that merely backlogs traffic reads below 1.0 even before its
+        buffer bound starts dropping.
+        """
+        if self.offered_packets == 0:
+            return 1.0
+        return self.delivered_packets / self.offered_packets
+
 
 class BodyNetworkSimulator:
-    """Discrete-event simulation of leaves streaming to one hub over Wi-R.
+    """Discrete-event simulation of leaves streaming to one hub.
 
     Parameters
     ----------
     technology:
-        Link technology shared by every leaf (sets rate and energy/bit).
+        Default link technology (sets the medium rate and, for nodes that
+        do not override it, energy/bit and sleep power).
     rng:
         Random generator (or seed) driving stochastic traffic sources.
     per_packet_overhead_seconds:
-        MAC guard time per packet on the shared bus.
+        MAC guard time per packet on the shared medium.
+    arbitration:
+        Arbitration policy instance or short name (``"fifo"``, ``"tdma"``,
+        ``"polling"``).  Defaults to FIFO, which reproduces the historical
+        shared-bus behaviour bit-identically.
+    latency_exact_capacity:
+        Exact-sample capacity of the latency statistics; beyond it the
+        accumulator streams with bounded memory (multi-hour runs).
     """
 
     def __init__(self, technology: CommTechnology,
                  rng: np.random.Generator | int | None = 0,
-                 per_packet_overhead_seconds: float = 100e-6) -> None:
+                 per_packet_overhead_seconds: float = 100e-6,
+                 arbitration: ArbitrationPolicy | str | None = None,
+                 latency_exact_capacity: int | None = None) -> None:
         self.technology = technology
         if not isinstance(rng, np.random.Generator):
             rng = np.random.default_rng(rng)
         self.rng = rng
         self.queue = EventQueue()
-        self.bus = SharedBus(
+        self.bus = Medium(
             self.queue,
             link_rate_bps=technology.data_rate_bps(),
             per_packet_overhead_seconds=per_packet_overhead_seconds,
+            policy=arbitration,
+            latency_exact_capacity=latency_exact_capacity,
         )
         self.nodes: dict[str, SimulatedNode] = {}
         self.hub_ledger = EnergyLedger()
@@ -94,23 +129,43 @@ class BodyNetworkSimulator:
 
     def add_node(self, name: str, source: TrafficSource,
                  sensing_power_watts: float = 0.0,
-                 isa_power_watts: float = 0.0) -> SimulatedNode:
-        """Attach a leaf node with its traffic source and static powers."""
+                 isa_power_watts: float = 0.0,
+                 technology: CommTechnology | None = None) -> SimulatedNode:
+        """Attach a leaf node with its traffic source and static powers.
+
+        ``technology`` overrides the simulator default for this node only:
+        its packets serialise at that technology's rate and its energy is
+        accounted at that technology's per-bit costs (mixed link layers on
+        one body).
+        """
         if name in self.nodes:
             raise SimulationError(f"node {name!r} already exists")
         node = SimulatedNode(
             name=name,
             source=source,
+            technology=technology if technology is not None else self.technology,
             sensing_power_watts=sensing_power_watts,
             isa_power_watts=isa_power_watts,
         )
         self.nodes[name] = node
+        self.bus.register_node(
+            name, source.average_rate_bps(),
+            link_rate_bps=(technology.data_rate_bps()
+                           if technology is not None else None),
+        )
         return node
+
+    def set_node_active(self, name: str, active: bool) -> None:
+        """Gate a node's traffic generation (duty-cycle / posture events)."""
+        try:
+            self.nodes[name].active = active
+        except KeyError:
+            raise SimulationError(f"unknown node {name!r}") from None
 
     def _account_delivery(self, packet: Packet) -> None:
         node = self.nodes[packet.source]
-        tx_energy = packet.bits * self.technology.tx_energy_per_bit()
-        rx_energy = packet.bits * self.technology.rx_energy_per_bit()
+        tx_energy = packet.bits * node.technology.tx_energy_per_bit()
+        rx_energy = packet.bits * node.technology.rx_energy_per_bit()
         node.ledger.post("wir_tx", tx_energy, timestamp_seconds=self.queue.now)
         self.hub_ledger.post("wir_rx", rx_energy, timestamp_seconds=self.queue.now)
 
@@ -119,17 +174,18 @@ class BodyNetworkSimulator:
         next_time = self.queue.now + delay
 
         def generate() -> None:
-            bits = node.source.packet_bits(self.rng)
-            packet = Packet(
-                source=node.name,
-                destination="hub",
-                bits=bits,
-                created_at=self.queue.now,
-            )
-            accepted = self.bus.submit(packet)
-            if accepted:
-                node.packets_sent += 1
-                node.bits_sent += bits
+            if node.active:
+                bits = node.source.packet_bits(self.rng)
+                packet = Packet(
+                    source=node.name,
+                    destination="hub",
+                    bits=bits,
+                    created_at=self.queue.now,
+                )
+                accepted = self.bus.submit(packet)
+                if accepted:
+                    node.packets_sent += 1
+                    node.bits_sent += bits
             self._schedule_generation(node, end_time)
 
         if next_time <= end_time:
@@ -154,15 +210,22 @@ class BodyNetworkSimulator:
                                    duration_seconds)
             node.ledger.post_power("isa", node.isa_power_watts, duration_seconds)
             # Sleep power of the transceiver when not transmitting.
-            tx_time = node.bits_sent / self.technology.data_rate_bps()
+            tx_time = node.bits_sent / node.technology.data_rate_bps()
             sleep_time = max(duration_seconds - tx_time, 0.0)
-            node.ledger.post_power("wir_sleep", self.technology.sleep_power(),
+            node.ledger.post_power("wir_sleep", node.technology.sleep_power(),
                                    sleep_time)
             per_node_power[name] = node.ledger.average_power(duration_seconds)
             per_node_goodput[name] = node.bits_sent / duration_seconds
 
         stats = self.bus.stats
-        if stats.latencies:
+        # The hub receiver is awake while the medium carries traffic and
+        # sleeps otherwise; without this the hub ledger undercounts every
+        # idle second of a duty-cycled day.
+        rx_busy = min(stats.busy_seconds, duration_seconds)
+        self.hub_ledger.post_power("wir_sleep", self.technology.sleep_power(),
+                                   max(duration_seconds - rx_busy, 0.0),
+                                   timestamp_seconds=duration_seconds)
+        if stats.latency.count:
             mean_latency = stats.mean_latency_seconds
             p99_latency = stats.latency_percentile(99.0)
         else:
@@ -178,11 +241,20 @@ class BodyNetworkSimulator:
             bus_utilization=stats.utilization(duration_seconds),
             per_node_average_power_watts=per_node_power,
             per_node_goodput_bps=per_node_goodput,
-            hub_rx_energy_joules=self.hub_ledger.total_energy(),
+            hub_rx_energy_joules=self.hub_ledger.total_energy("wir_rx"),
+            arbitration=self.bus.policy.name,
+            hub_energy_joules=self.hub_ledger.total_energy(),
+            hub_average_power_watts=self.hub_ledger.average_power(
+                duration_seconds),
+            offered_packets=(sum(node.packets_sent
+                                 for node in self.nodes.values())
+                             + stats.dropped_packets),
         )
 
     def describe(self) -> dict[str, object]:
         """Summary of the configured network (for reports)."""
+        technologies = sorted({node.technology.name
+                               for node in self.nodes.values()})
         return {
             "technology": self.technology.name,
             "link_rate_mbps": units.to_megabit_per_second(self.technology.data_rate_bps()),
@@ -190,4 +262,6 @@ class BodyNetworkSimulator:
             "offered_rate_bps": sum(
                 node.source.average_rate_bps() for node in self.nodes.values()
             ),
+            "arbitration": self.bus.policy.name,
+            "node_technologies": technologies,
         }

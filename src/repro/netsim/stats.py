@@ -1,0 +1,173 @@
+"""Bounded-memory latency statistics for long simulations.
+
+The bus used to keep every delivered packet's latency in a Python list and
+run ``np.percentile`` over the whole history on demand — O(n) memory and
+O(n log n) per query, which makes multi-hour scenario runs slow and
+unbounded.  :class:`LatencyAccumulator` keeps the exact sample window up
+to a fixed capacity (so short runs report *bit-identical* statistics to
+the old list-based code), then spills into a fixed-size log-spaced
+histogram plus running moments and answers percentile queries from the
+histogram from then on.  Memory is bounded by ``exact_capacity`` samples
+plus ``bins`` counters regardless of how long the simulation runs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import SimulationError
+
+#: Samples kept exactly before spilling to the histogram.  Large enough
+#: that every seed experiment config stays in exact mode (bit-identical
+#: to the pre-streaming implementation), small enough to bound memory.
+DEFAULT_EXACT_CAPACITY = 65_536
+
+#: Histogram resolution after the spill.
+DEFAULT_BINS = 512
+
+
+class LatencyAccumulator:
+    """Streaming mean / percentile estimator with an exact warm-up window.
+
+    Parameters
+    ----------
+    exact_capacity:
+        Number of samples retained exactly.  While under this bound the
+        accumulator behaves identically to keeping a list (``mean`` uses
+        ``np.mean``, ``percentile`` uses ``np.percentile``).  Beyond it,
+        the samples are folded into a log-spaced histogram.
+    bins:
+        Number of histogram bins used after the spill.
+    """
+
+    def __init__(self, exact_capacity: int = DEFAULT_EXACT_CAPACITY,
+                 bins: int = DEFAULT_BINS) -> None:
+        if exact_capacity < 1:
+            raise SimulationError("exact capacity must be positive")
+        if bins < 2:
+            raise SimulationError("histogram needs at least two bins")
+        self.exact_capacity = exact_capacity
+        self.bins = bins
+        self.count = 0
+        self._samples: list[float] | None = []
+        self._total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._edges: np.ndarray | None = None
+        self._counts: np.ndarray | None = None
+
+    # -- recording ---------------------------------------------------------
+
+    def add(self, value: float) -> None:
+        """Record one latency sample (seconds)."""
+        if value < 0:
+            raise SimulationError(f"latency must be non-negative: {value}")
+        self.count += 1
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if self._samples is not None:
+            self._samples.append(value)
+            if len(self._samples) > self.exact_capacity:
+                self._spill()
+            return
+        self._total += value
+        self._counts[self._bin_index(value)] += 1
+
+    def _spill(self) -> None:
+        """Fold the exact window into the histogram and drop it."""
+        samples = self._samples
+        assert samples is not None
+        self._total = math.fsum(samples)
+        low = max(self._min, 1e-9)
+        high = max(self._max, low * (1.0 + 1e-9))
+        # Log-spaced interior edges; the outermost bins are open-ended so
+        # later samples outside the observed range still land somewhere.
+        self._edges = np.logspace(math.log10(low), math.log10(high),
+                                  self.bins - 1)
+        self._counts = np.zeros(self.bins, dtype=np.int64)
+        indices = np.searchsorted(self._edges, np.asarray(samples),
+                                  side="right")
+        np.add.at(self._counts, indices, 1)
+        self._samples = None
+
+    def _bin_index(self, value: float) -> int:
+        return int(np.searchsorted(self._edges, value, side="right"))
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether every sample is still held exactly."""
+        return self._samples is not None
+
+    @property
+    def retained_samples(self) -> int:
+        """Number of raw samples currently held in memory."""
+        return len(self._samples) if self._samples is not None else 0
+
+    @property
+    def min_seconds(self) -> float:
+        self._require_data()
+        return self._min
+
+    @property
+    def max_seconds(self) -> float:
+        self._require_data()
+        return self._max
+
+    @property
+    def mean(self) -> float:
+        """Mean latency (exact in the warm-up window, running sum after)."""
+        self._require_data()
+        if self._samples is not None:
+            return float(np.mean(self._samples))
+        return self._total / self.count
+
+    def percentile(self, percentile: float) -> float:
+        """Latency percentile; exact before the spill, histogram after."""
+        self._require_data()
+        if not 0.0 <= percentile <= 100.0:
+            raise SimulationError("percentile must be in [0, 100]")
+        if self._samples is not None:
+            return float(np.percentile(self._samples, percentile))
+        target = percentile / 100.0 * self.count
+        cumulative = np.cumsum(self._counts)
+        index = int(np.searchsorted(cumulative, target, side="left"))
+        index = min(index, self.bins - 1)
+        below = float(cumulative[index - 1]) if index > 0 else 0.0
+        in_bin = float(self._counts[index])
+        fraction = 0.5
+        if in_bin > 0.0:
+            fraction = min(max((target - below) / in_bin, 0.0), 1.0)
+        low, high = self._bin_bounds(index)
+        # Geometric rank interpolation matches the log spacing of the
+        # edges; fall back to linear if a bound ever touches zero.
+        if low > 0.0 and high > 0.0:
+            estimate = low * (high / low) ** fraction
+        else:
+            estimate = low + fraction * (high - low)
+        return float(min(max(estimate, self._min), self._max))
+
+    def _bin_bounds(self, index: int) -> tuple[float, float]:
+        """The value range of one bin.
+
+        The outermost bins are open-ended and collect samples outside the
+        warm-up range; they are bounded by the exactly tracked min/max so
+        a tail that grows after the spill is not capped at the frozen
+        edges (congestion onset after warm-up).
+        """
+        edges = self._edges
+        assert edges is not None
+        if index == 0:
+            return min(self._min, float(edges[0])), float(edges[0])
+        if index >= len(edges):
+            return float(edges[-1]), max(self._max, float(edges[-1]))
+        return float(edges[index - 1]), float(edges[index])
+
+    def _require_data(self) -> None:
+        if self.count == 0:
+            raise SimulationError("no packets delivered yet")

@@ -1,0 +1,39 @@
+"""Declarative scenarios: named body-network workloads for the simulator.
+
+This package turns the discrete-event simulator from a single-figure prop
+into a load-testing engine: a :class:`ScenarioSpec` declares the leaf
+population (sensor-catalog modalities or explicit rates), per-node link
+technologies, the MAC arbitration policy and duty-cycle events, and
+compiles to a ready-to-run simulator.  A registry of named scenarios
+(``sleep_night``, ``workout``, ``clinical_ward``, ``dense_50_leaf``,
+``implant_mix``, ``legacy_ble_island``, ...) backs ``repro scenarios
+list/run``, the ``scenario_gallery`` experiment and the DES benchmarks.
+"""
+
+from .spec import (
+    TECHNOLOGY_FACTORIES,
+    ScenarioEvent,
+    ScenarioNodeSpec,
+    ScenarioResult,
+    ScenarioSpec,
+    technology_for,
+)
+from .registry import (
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "TECHNOLOGY_FACTORIES",
+    "technology_for",
+    "ScenarioNodeSpec",
+    "ScenarioEvent",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "register_scenario",
+    "scenario_names",
+    "get_scenario",
+    "all_scenarios",
+]

@@ -1,0 +1,192 @@
+"""The built-in scenario gallery: one body-network workload per use case.
+
+Each factory compiles a paper-flavoured situation — a night of sleep
+monitoring, a workout, a clinical ward patient, a stress-test body with
+50 leaves, an implant-carrying user, a body with legacy BLE islands —
+into a :class:`~repro.scenarios.spec.ScenarioSpec`.  Durations are a
+representative slice of the real situation (an hour of the night, half
+an hour of workout) so every scenario runs in seconds of wall time while
+still exercising the streaming-statistics and arbitration machinery.
+"""
+
+from __future__ import annotations
+
+from .. import units
+from ..sensors.catalog import SensorModality
+from .registry import register_scenario
+from .spec import ScenarioEvent, ScenarioNodeSpec, ScenarioSpec
+
+
+@register_scenario
+def sleep_night() -> ScenarioSpec:
+    """Overnight monitoring: sparse clinical streams, hub polls the body.
+
+    The IMU wristband only matters during restless phases: it sleeps for
+    the quiet middle of the night and wakes towards morning.
+    """
+    return ScenarioSpec(
+        name="sleep_night",
+        description="overnight vitals, duty-cycled IMU, hub polling",
+        duration_seconds=units.hours(1.0),
+        arbitration="polling",
+        nodes=(
+            ScenarioNodeSpec(name="ecg_patch", modality=SensorModality.ECG,
+                             bits_per_packet=4096.0,
+                             sensing_power_watts=units.microwatt(30.0)),
+            ScenarioNodeSpec(name="temp_core", modality=SensorModality.TEMPERATURE,
+                             bits_per_packet=128.0,
+                             sensing_power_watts=units.microwatt(2.0)),
+            ScenarioNodeSpec(name="ppg_ring", modality=SensorModality.PPG,
+                             bits_per_packet=4096.0,
+                             sensing_power_watts=units.microwatt(80.0)),
+            ScenarioNodeSpec(name="imu_wrist", modality=SensorModality.IMU,
+                             bits_per_packet=4096.0,
+                             sensing_power_watts=units.microwatt(15.0)),
+        ),
+        events=(
+            ScenarioEvent(at_fraction=0.10, action="sleep",
+                          node_prefixes=("imu_wrist",)),
+            ScenarioEvent(at_fraction=0.85, action="wake",
+                          node_prefixes=("imu_wrist",)),
+        ),
+    )
+
+
+@register_scenario
+def workout() -> ScenarioSpec:
+    """A training session: limb IMUs, EMG sleeves, voice coach on TDMA."""
+    return ScenarioSpec(
+        name="workout",
+        description="limb IMUs + EMG + PPG + voice coaching, TDMA slots",
+        duration_seconds=30.0 * 60.0,
+        arbitration="tdma",
+        nodes=(
+            ScenarioNodeSpec(name="imu_limb", modality=SensorModality.IMU,
+                             count=4, bits_per_packet=4096.0,
+                             sensing_power_watts=units.microwatt(15.0)),
+            ScenarioNodeSpec(name="emg_sleeve", modality=SensorModality.EMG,
+                             count=2,
+                             sensing_power_watts=units.microwatt(60.0)),
+            ScenarioNodeSpec(name="ppg_chest", modality=SensorModality.PPG,
+                             bits_per_packet=4096.0,
+                             sensing_power_watts=units.microwatt(80.0)),
+            ScenarioNodeSpec(name="audio_coach", modality=SensorModality.AUDIO,
+                             sensing_power_watts=units.microwatt(140.0),
+                             isa_power_watts=units.microwatt(50.0)),
+        ),
+        events=(
+            # Voice coaching only during the second half of the session.
+            ScenarioEvent(at_fraction=0.0, action="sleep",
+                          node_prefixes=("audio_coach",)),
+            ScenarioEvent(at_fraction=0.5, action="wake",
+                          node_prefixes=("audio_coach",)),
+        ),
+    )
+
+
+@register_scenario
+def clinical_ward() -> ScenarioSpec:
+    """A monitored ward patient: continuous clinical-grade streams, FIFO."""
+    return ScenarioSpec(
+        name="clinical_ward",
+        description="continuous EEG/ECG/EMG clinical monitoring",
+        duration_seconds=15.0 * 60.0,
+        arbitration="fifo",
+        nodes=(
+            ScenarioNodeSpec(name="eeg_band", modality=SensorModality.EEG,
+                             sensing_power_watts=units.microwatt(200.0),
+                             isa_power_watts=units.microwatt(40.0)),
+            ScenarioNodeSpec(name="ecg_lead", modality=SensorModality.ECG,
+                             count=3, bits_per_packet=4096.0,
+                             sensing_power_watts=units.microwatt(30.0)),
+            ScenarioNodeSpec(name="emg_probe", modality=SensorModality.EMG,
+                             sensing_power_watts=units.microwatt(60.0)),
+            ScenarioNodeSpec(name="temp_axilla",
+                             modality=SensorModality.TEMPERATURE,
+                             count=2, bits_per_packet=128.0,
+                             sensing_power_watts=units.microwatt(2.0)),
+        ),
+    )
+
+
+@register_scenario
+def dense_50_leaf() -> ScenarioSpec:
+    """The stress test: 50 featherweight leaves on one hub, TDMA slots.
+
+    An hour of simulated time delivers ~180k packets — well past the
+    exact window of the latency accumulator, so this scenario is the
+    standing proof that long runs stay flat in memory.
+    """
+    return ScenarioSpec(
+        name="dense_50_leaf",
+        description="50 x 8 kb/s leaves saturating one hub's schedule",
+        duration_seconds=units.hours(1.0),
+        arbitration="tdma",
+        nodes=(
+            ScenarioNodeSpec(name="leaf", rate_bps=units.kilobit_per_second(8.0),
+                             count=50, bits_per_packet=8192.0,
+                             sensing_power_watts=units.microwatt(20.0)),
+        ),
+    )
+
+
+@register_scenario
+def implant_mix() -> ScenarioSpec:
+    """Wearables plus implants: MQS pacemaker telemetry joins the body bus."""
+    return ScenarioSpec(
+        name="implant_mix",
+        description="Wi-R wearables + MQS implant + sub-uW EQS node, polling",
+        duration_seconds=15.0 * 60.0,
+        arbitration="polling",
+        nodes=(
+            ScenarioNodeSpec(name="ppg_watch", modality=SensorModality.PPG,
+                             bits_per_packet=4096.0,
+                             sensing_power_watts=units.microwatt(80.0)),
+            ScenarioNodeSpec(name="imu_watch", modality=SensorModality.IMU,
+                             bits_per_packet=4096.0,
+                             sensing_power_watts=units.microwatt(15.0)),
+            ScenarioNodeSpec(name="pacemaker",
+                             rate_bps=units.kilobit_per_second(2.0),
+                             bits_per_packet=2048.0,
+                             technology="mqs_implant", traffic="poisson",
+                             sensing_power_watts=units.microwatt(5.0)),
+            ScenarioNodeSpec(name="glucose_implant",
+                             rate_bps=units.kilobit_per_second(1.0),
+                             bits_per_packet=1024.0,
+                             technology="mqs_implant", traffic="poisson",
+                             sensing_power_watts=units.microwatt(8.0)),
+            ScenarioNodeSpec(name="temp_pill",
+                             modality=SensorModality.TEMPERATURE,
+                             bits_per_packet=128.0,
+                             technology="sub_uw",
+                             sensing_power_watts=units.nanowatt(500.0)),
+        ),
+    )
+
+
+@register_scenario
+def legacy_ble_island() -> ScenarioSpec:
+    """Migration reality: new Wi-R leaves coexist with legacy BLE devices."""
+    return ScenarioSpec(
+        name="legacy_ble_island",
+        description="Wi-R leaves + legacy BLE earbud and scale island",
+        duration_seconds=10.0 * 60.0,
+        arbitration="fifo",
+        nodes=(
+            ScenarioNodeSpec(name="ecg_patch", modality=SensorModality.ECG,
+                             bits_per_packet=4096.0,
+                             sensing_power_watts=units.microwatt(30.0)),
+            ScenarioNodeSpec(name="imu_shoe", modality=SensorModality.IMU,
+                             count=2, bits_per_packet=4096.0,
+                             sensing_power_watts=units.microwatt(15.0)),
+            ScenarioNodeSpec(name="ble_earbud", modality=SensorModality.AUDIO,
+                             technology="ble",
+                             sensing_power_watts=units.microwatt(140.0)),
+            ScenarioNodeSpec(name="ble_scale",
+                             rate_bps=units.kilobit_per_second(4.0),
+                             bits_per_packet=2048.0,
+                             technology="ble", traffic="poisson",
+                             sensing_power_watts=units.microwatt(25.0)),
+        ),
+    )
+

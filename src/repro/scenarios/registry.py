@@ -1,0 +1,68 @@
+"""Named-scenario registry.
+
+Scenario builders register a zero-argument factory under a short name;
+the CLI (``repro scenarios list/run``), the ``scenario_gallery``
+experiment and the benchmarks all resolve scenarios here, so there is
+exactly one code path from "scenario name" to "ready-to-run simulator".
+
+To add a scenario: write a factory returning a
+:class:`~repro.scenarios.spec.ScenarioSpec` and decorate it with
+:func:`register_scenario` (see :mod:`repro.scenarios.gallery` for the
+built-in set), or call :func:`register_scenario` directly with a factory.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ScenarioError
+from .spec import ScenarioSpec
+
+ScenarioFactory = Callable[[], ScenarioSpec]
+
+_SCENARIOS: dict[str, ScenarioFactory] = {}
+
+
+def register_scenario(factory: ScenarioFactory) -> ScenarioFactory:
+    """Register a scenario factory under the name of the spec it builds.
+
+    Usable as a decorator.  The factory is invoked once at registration
+    to validate the spec and learn its name; scenarios must therefore be
+    cheap to construct (they are — construction never runs a simulation).
+    """
+    spec = factory()
+    if not isinstance(spec, ScenarioSpec):
+        raise ScenarioError(
+            f"scenario factory {factory!r} did not return a ScenarioSpec")
+    existing = _SCENARIOS.get(spec.name)
+    if existing is not None and existing is not factory:
+        raise ScenarioError(f"scenario {spec.name!r} registered twice")
+    _SCENARIOS[spec.name] = factory
+    return factory
+
+
+def scenario_names() -> list[str]:
+    """Sorted names of all registered scenarios."""
+    _ensure_loaded()
+    return sorted(_SCENARIOS)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Build the spec registered under *name*."""
+    _ensure_loaded()
+    try:
+        factory = _SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(_SCENARIOS))
+        raise ScenarioError(
+            f"unknown scenario {name!r} (known: {known})") from None
+    return factory()
+
+
+def all_scenarios() -> list[ScenarioSpec]:
+    """Every registered scenario spec, sorted by name."""
+    return [get_scenario(name) for name in scenario_names()]
+
+
+def _ensure_loaded() -> None:
+    from . import gallery  # noqa: F401  (registers the built-in set)

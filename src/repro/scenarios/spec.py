@@ -1,0 +1,321 @@
+"""Declarative scenario specifications for the body-network simulator.
+
+A :class:`ScenarioSpec` describes a whole on-body workload — which leaf
+nodes exist (compiled from :mod:`repro.sensors.catalog` modalities or
+explicit rates), which link technology each one carries (mixed Wi-R /
+MQS implant / BLE legacy populations), how the medium is arbitrated
+(FIFO, TDMA, hub polling) and which duty-cycle events fire during the
+run — and compiles it into a ready-to-run
+:class:`~repro.netsim.simulator.BodyNetworkSimulator`.
+
+Specs are plain frozen dataclasses: they can be defined in one
+expression, registered under a name (see :mod:`repro.scenarios.registry`)
+and reproduced exactly from their parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..comm.ble import ble_1m_phy, ble_2m_phy
+from ..comm.eqs_hbc import (
+    eqs_hbc_sub_uw,
+    wir_commercial,
+    wir_leaf_node,
+)
+from ..comm.link import CommTechnology
+from ..comm.mqs_hbc import mqs_implant_link, mqs_wearable_relay
+from ..comm.nfmi import nfmi_hearing_aid
+from ..errors import ScenarioError
+from ..netsim.arbitration import POLICY_FACTORIES
+from ..netsim.simulator import BodyNetworkSimulator, SimulationResult
+from ..netsim.traffic import PeriodicSource, PoissonSource, TrafficSource
+from ..sensors.catalog import SensorModality, modality_spec
+
+#: Link technologies a scenario node may carry, by short name.
+TECHNOLOGY_FACTORIES: dict[str, Callable[[], CommTechnology]] = {
+    "wir": wir_commercial,
+    "wir_leaf": wir_leaf_node,
+    "sub_uw": eqs_hbc_sub_uw,
+    "mqs_implant": mqs_implant_link,
+    "mqs_relay": mqs_wearable_relay,
+    "ble": ble_1m_phy,
+    "ble_2m": ble_2m_phy,
+    "nfmi": nfmi_hearing_aid,
+}
+
+
+def technology_for(key: str) -> CommTechnology:
+    """Instantiate the link technology registered under *key*."""
+    try:
+        return TECHNOLOGY_FACTORIES[key]()
+    except KeyError:
+        known = ", ".join(sorted(TECHNOLOGY_FACTORIES))
+        raise ScenarioError(
+            f"unknown technology {key!r} (known: {known})") from None
+
+
+@dataclass(frozen=True)
+class ScenarioNodeSpec:
+    """One leaf population in a scenario.
+
+    Either ``modality`` (rate taken from the sensor catalog's compressed
+    rate) or an explicit ``rate_bps`` must be given.  ``count > 1``
+    replicates the node as ``name0..nameN-1``.
+    """
+
+    name: str
+    modality: SensorModality | None = None
+    rate_bps: float | None = None
+    bits_per_packet: float = 8192.0
+    technology: str = "wir"
+    traffic: str = "periodic"
+    count: int = 1
+    sensing_power_watts: float = 30e-6
+    isa_power_watts: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("node name must be non-empty")
+        if self.modality is None and self.rate_bps is None:
+            raise ScenarioError(
+                f"node {self.name!r} needs a modality or an explicit rate")
+        if self.rate_bps is not None and self.rate_bps <= 0:
+            raise ScenarioError(f"node {self.name!r} rate must be positive")
+        if self.bits_per_packet <= 0:
+            raise ScenarioError(
+                f"node {self.name!r} packet size must be positive")
+        if self.count < 1:
+            raise ScenarioError(f"node {self.name!r} count must be >= 1")
+        if self.traffic not in ("periodic", "poisson"):
+            raise ScenarioError(
+                f"node {self.name!r} traffic must be 'periodic' or 'poisson'")
+        if self.technology not in TECHNOLOGY_FACTORIES:
+            technology_for(self.technology)  # raises with the known list
+        if self.sensing_power_watts < 0 or self.isa_power_watts < 0:
+            raise ScenarioError(
+                f"node {self.name!r} powers must be non-negative")
+
+    def resolved_rate_bps(self) -> float:
+        """The offered rate: explicit override, else catalog compressed rate."""
+        if self.rate_bps is not None:
+            return self.rate_bps
+        return modality_spec(self.modality).compressed_data_rate_bps
+
+    def expanded_names(self) -> list[str]:
+        """Concrete node names after replication."""
+        if self.count == 1:
+            return [self.name]
+        return [f"{self.name}{index}" for index in range(self.count)]
+
+    def make_source(self) -> TrafficSource:
+        """Build this node's traffic source."""
+        rate = self.resolved_rate_bps()
+        if self.traffic == "periodic":
+            return PeriodicSource.from_rate(rate,
+                                            bits_per_packet=self.bits_per_packet)
+        return PoissonSource(
+            mean_interarrival_seconds=self.bits_per_packet / rate,
+            mean_bits_per_packet=self.bits_per_packet,
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """A duty-cycle / posture event during the run.
+
+    Fires at ``at_fraction`` of the simulated duration and puts every
+    node whose name starts with one of the ``node_prefixes`` to sleep
+    (``action="sleep"``) or wakes it back up (``action="wake"``).
+    """
+
+    at_fraction: float
+    action: str
+    node_prefixes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.at_fraction <= 1.0:
+            raise ScenarioError("event fraction must be in [0, 1]")
+        if self.action not in ("sleep", "wake"):
+            raise ScenarioError("event action must be 'sleep' or 'wake'")
+        if not self.node_prefixes:
+            raise ScenarioError("event needs at least one node prefix")
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One scenario execution: the spec's identity plus the sim outcome."""
+
+    scenario: str
+    duration_seconds: float
+    arbitration: str
+    node_count: int
+    technologies: tuple[str, ...]
+    simulated: SimulationResult
+
+    def row(self) -> dict[str, object]:
+        """One report-table row for this scenario run."""
+        sim = self.simulated
+        return {
+            "scenario": self.scenario,
+            "nodes": self.node_count,
+            "mac": self.arbitration,
+            "technologies": len(self.technologies),
+            "sim_seconds": self.duration_seconds,
+            "delivered": sim.delivered_packets,
+            "delivered_fraction": round(sim.delivered_fraction, 4),
+            "mean_latency_ms": sim.mean_latency_seconds * 1e3,
+            "p99_latency_ms": sim.p99_latency_seconds * 1e3,
+            "bus_utilization": round(sim.bus_utilization, 4),
+            "leaf_power_uw": sim.total_leaf_power_watts * 1e6,
+            "hub_power_uw": sim.hub_average_power_watts * 1e6,
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete, named body-network workload."""
+
+    name: str
+    description: str
+    duration_seconds: float
+    nodes: tuple[ScenarioNodeSpec, ...]
+    arbitration: str = "fifo"
+    hub_technology: str = "wir"
+    events: tuple[ScenarioEvent, ...] = ()
+    per_packet_overhead_seconds: float = 100e-6
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("scenario name must be non-empty")
+        if self.duration_seconds <= 0:
+            raise ScenarioError("scenario duration must be positive")
+        if not self.nodes:
+            raise ScenarioError(f"scenario {self.name!r} has no nodes")
+        if self.arbitration not in POLICY_FACTORIES:
+            known = ", ".join(sorted(POLICY_FACTORIES))
+            raise ScenarioError(
+                f"scenario {self.name!r}: unknown arbitration "
+                f"{self.arbitration!r} (known: {known})")
+        technology_for(self.hub_technology)
+        seen: set[str] = set()
+        for node in self.nodes:
+            for concrete in node.expanded_names():
+                if concrete in seen:
+                    raise ScenarioError(
+                        f"scenario {self.name!r}: duplicate node "
+                        f"{concrete!r}")
+                seen.add(concrete)
+            # A node faster than its own link can never drain its queue.
+            link_rate = technology_for(node.technology).data_rate_bps()
+            if node.resolved_rate_bps() > link_rate:
+                raise ScenarioError(
+                    f"scenario {self.name!r}: node {node.name!r} offers "
+                    f"{node.resolved_rate_bps():.3g} bit/s over a "
+                    f"{link_rate:.3g} bit/s link")
+        for event in self.events:
+            prefixes = tuple(event.node_prefixes)
+            if not any(concrete.startswith(prefix)
+                       for prefix in prefixes
+                       for node in self.nodes
+                       for concrete in node.expanded_names()):
+                raise ScenarioError(
+                    f"scenario {self.name!r}: event prefixes {prefixes!r} "
+                    "match no node")
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def leaf_count(self) -> int:
+        """Total concrete leaf nodes after replication."""
+        return sum(node.count for node in self.nodes)
+
+    def offered_rate_bps(self) -> float:
+        """Aggregate offered rate of all leaves."""
+        return sum(node.resolved_rate_bps() * node.count
+                   for node in self.nodes)
+
+    def technologies(self) -> tuple[str, ...]:
+        """Sorted set of technology keys used by the leaves."""
+        return tuple(sorted({node.technology for node in self.nodes}))
+
+    # -- compilation -------------------------------------------------------
+
+    def build(self, seed: int = 0,
+              duration_seconds: float | None = None,
+              latency_exact_capacity: int | None = None
+              ) -> BodyNetworkSimulator:
+        """Compile the spec into a configured simulator.
+
+        Duty-cycle events are pre-scheduled on the simulator's queue
+        against the resolved duration; call :meth:`run` (or
+        ``simulator.run`` with the same duration) to execute.
+        """
+        duration = (duration_seconds if duration_seconds is not None
+                    else self.duration_seconds)
+        if duration <= 0:
+            raise ScenarioError("duration must be positive")
+        hub_technology = technology_for(self.hub_technology)
+        simulator = BodyNetworkSimulator(
+            hub_technology,
+            rng=seed,
+            per_packet_overhead_seconds=self.per_packet_overhead_seconds,
+            arbitration=self.arbitration,
+            latency_exact_capacity=latency_exact_capacity,
+        )
+        for node in self.nodes:
+            technology = (None if node.technology == self.hub_technology
+                          else technology_for(node.technology))
+            for concrete in node.expanded_names():
+                simulator.add_node(
+                    concrete,
+                    node.make_source(),
+                    sensing_power_watts=node.sensing_power_watts,
+                    isa_power_watts=node.isa_power_watts,
+                    technology=technology,
+                )
+        for event in self.events:
+            active = event.action == "wake"
+            targets = [name for name in simulator.nodes
+                       if any(name.startswith(prefix)
+                              for prefix in event.node_prefixes)]
+            simulator.queue.schedule_at(
+                event.at_fraction * duration,
+                lambda targets=targets, active=active: [
+                    simulator.set_node_active(name, active)
+                    for name in targets
+                ],
+            )
+        return simulator
+
+    def run(self, seed: int = 0,
+            duration_seconds: float | None = None,
+            latency_exact_capacity: int | None = None) -> ScenarioResult:
+        """Compile and execute; returns the scenario-labelled result."""
+        duration = (duration_seconds if duration_seconds is not None
+                    else self.duration_seconds)
+        simulator = self.build(seed=seed, duration_seconds=duration,
+                               latency_exact_capacity=latency_exact_capacity)
+        simulated = simulator.run(duration)
+        return ScenarioResult(
+            scenario=self.name,
+            duration_seconds=duration,
+            arbitration=self.arbitration,
+            node_count=self.leaf_count,
+            technologies=self.technologies(),
+            simulated=simulated,
+        )
+
+    def describe(self) -> dict[str, object]:
+        """Summary row for ``repro scenarios list``."""
+        return {
+            "scenario": self.name,
+            "nodes": self.leaf_count,
+            "mac": self.arbitration,
+            "technologies": ",".join(self.technologies()),
+            "offered_kbps": self.offered_rate_bps() / 1e3,
+            "sim_seconds": self.duration_seconds,
+            "events": len(self.events),
+            "description": self.description,
+        }

@@ -94,6 +94,32 @@ class TestTDMASchedule:
         with pytest.raises(SchedulingError):
             TDMASchedule(link_rate_bps=0.0)
 
+    def test_max_additional_nodes_at_exact_saturation(self):
+        """A schedule whose demand exactly fills the superframe admits 0."""
+        schedule = TDMASchedule(link_rate_bps=1e6, superframe_seconds=0.010,
+                                guard_seconds=0.0)
+        schedule.add_node("full", 1e6)  # payload time == superframe exactly
+        assert schedule.utilization() == pytest.approx(1.0, abs=0.0)
+        assert schedule.is_feasible()
+        assert schedule.max_additional_nodes(1.0) == 0
+        assert schedule.max_additional_nodes(0.0) == 0
+
+    def test_max_additional_nodes_guard_only_saturation(self):
+        """Guards alone can saturate: 200 x 50 us guards fill 10 ms."""
+        schedule = TDMASchedule(link_rate_bps=1e6, superframe_seconds=0.010,
+                                guard_seconds=50e-6)
+        for index in range(200):
+            schedule.add_node(f"n{index}", 0.0)
+        assert schedule.utilization() == pytest.approx(1.0)
+        assert schedule.max_additional_nodes(0.0) == 0
+
+    def test_max_additional_nodes_zero_rate_counts_guards(self):
+        """Zero-rate nodes still consume guard time, bounding admission."""
+        schedule = TDMASchedule(link_rate_bps=1e6, superframe_seconds=0.010,
+                                guard_seconds=50e-6)
+        admitted = schedule.max_additional_nodes(0.0)
+        assert admitted == int(0.010 // 50e-6)
+
     @given(st.lists(st.floats(min_value=1e2, max_value=1e5), min_size=1,
                     max_size=20))
     def test_utilization_additive_property(self, rates):
@@ -137,3 +163,24 @@ class TestPollingMAC:
             mac.cycle_time_seconds(0, 100)
         with pytest.raises(SchedulingError):
             mac.max_nodes_for_rate(0.0, 100)
+
+    def test_zero_burst_leaves_yield_zero_goodput(self):
+        """Polling idle leaves burns cycle time but moves no payload."""
+        mac = PollingMAC(link_rate_bps=4e6)
+        for count in (1, 5, 100):
+            cycle = mac.cycle_time_seconds(count, 0.0)
+            assert cycle == pytest.approx(
+                count * (mac.poll_overhead_bits / mac.link_rate_bps
+                         + mac.turnaround_seconds))
+            assert mac.per_node_goodput_bps(count, 0.0) == 0.0
+
+    def test_zero_burst_cannot_meet_any_rate(self):
+        mac = PollingMAC(link_rate_bps=4e6)
+        assert mac.max_nodes_for_rate(1.0, 0.0) == 0
+
+    def test_free_polls_zero_burst_degenerate_cycle(self):
+        """Zero overhead, zero turnaround, zero burst: the cycle is empty."""
+        mac = PollingMAC(link_rate_bps=4e6, poll_overhead_bits=0.0,
+                         turnaround_seconds=0.0)
+        assert mac.cycle_time_seconds(10, 0.0) == 0.0
+        assert mac.per_node_goodput_bps(10, 0.0) == 0.0

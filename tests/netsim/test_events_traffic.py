@@ -90,6 +90,84 @@ class TestEventQueue:
         event.cancel()
         assert len(queue) == 1
 
+    def test_len_is_constant_time_bookkeeping(self):
+        """len() reads counters; cancelling updates them incrementally."""
+        queue = EventQueue()
+        handles = [queue.schedule_at(float(index), lambda: None)
+                   for index in range(100)]
+        assert len(queue) == 100
+        for handle in handles[:30]:
+            handle.cancel()
+        assert len(queue) == 70
+
+    def test_cancelled_majority_triggers_compaction(self):
+        """The heap never carries more cancelled entries than live ones."""
+        queue = EventQueue()
+        handles = [queue.schedule_at(float(index), lambda: None)
+                   for index in range(1000)]
+        for handle in handles[:501]:
+            handle.cancel()
+        # Compaction has physically removed the cancelled events.
+        assert len(queue._heap) == 499
+        assert len(queue) == 499
+
+    def test_double_cancel_counts_once(self):
+        queue = EventQueue()
+        keep = queue.schedule_at(1.0, lambda: None)
+        event = queue.schedule_at(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+        assert keep is not None
+
+    def test_cancel_after_firing_does_not_corrupt_count(self):
+        queue = EventQueue()
+        fired = []
+        early = queue.schedule_at(1.0, lambda: fired.append("early"))
+        queue.schedule_at(2.0, lambda: fired.append("late"))
+        queue.run_until(1.5)
+        early.cancel()  # stale handle: the event already fired
+        queue.run_until(3.0)
+        assert fired == ["early", "late"]
+        assert len(queue) == 0
+
+    def test_compaction_preserves_firing_order(self):
+        queue = EventQueue()
+        fired: list[int] = []
+        handles = [queue.schedule_at(float(index % 7),
+                                     lambda index=index: fired.append(index))
+                   for index in range(50)]
+        for handle in handles[::2]:
+            handle.cancel()
+        queue.run_until(10.0)
+        survivors = [index for index in range(50) if index % 2 == 1]
+        expected = sorted(survivors, key=lambda index: (index % 7, index))
+        assert fired == expected
+
+    def test_many_simultaneous_events_fire_in_scheduling_order(self):
+        """Determinism satellite: equal-time events keep insertion order."""
+        queue = EventQueue()
+        fired: list[int] = []
+        for index in range(200):
+            queue.schedule_at(1.0, lambda index=index: fired.append(index))
+        queue.run_until(2.0)
+        assert fired == list(range(200))
+
+    def test_simultaneous_events_deterministic_across_runs(self):
+        def run_once() -> list[int]:
+            queue = EventQueue()
+            fired: list[int] = []
+            for index in range(64):
+                queue.schedule_at(0.5, lambda index=index: fired.append(index))
+            handles = [queue.schedule_at(0.5, lambda: fired.append(-1))
+                       for _ in range(8)]
+            for handle in handles[::2]:
+                handle.cancel()
+            queue.run_until(1.0)
+            return fired
+
+        assert run_once() == run_once()
+
 
 class TestPacket:
     def test_latency_requires_delivery(self):

@@ -1,0 +1,98 @@
+"""FIFO regression: the refactored kernel reproduces the legacy bus exactly.
+
+The golden numbers below were captured from the pre-refactor simulator
+(single ``SharedBus``, list-based latency statistics) at the seed
+configurations the experiments actually use.  The Medium/ArbitrationPolicy
+split, the per-node technology plumbing and the streaming latency
+accumulator must all be invisible on the default FIFO path: every value
+is compared bit-for-bit via ``float.hex``.
+"""
+
+from __future__ import annotations
+
+from repro import units
+from repro.comm.eqs_hbc import wir_commercial
+from repro.experiments import network_scaling
+from repro.netsim.simulator import BodyNetworkSimulator
+from repro.netsim.traffic import PeriodicSource, PoissonSource
+
+#: Pre-refactor values for a mixed periodic/Poisson 6-node network,
+#: seed 7, 2 simulated seconds (float.hex for exact comparison).
+DIRECT_GOLDEN = {
+    "mean_latency_seconds": "0x1.b90bca7c1802ap-9",
+    "p99_latency_seconds": "0x1.5feda66128400p-7",
+    "delivered_bits": "0x1.8a5205383b6bdp+19",
+    "hub_rx_energy_joules": "0x1.52b7f8a39f153p-14",
+    "leaf0_power": "0x1.3006194b2b1bep-15",
+    "events_power": "0x1.475b58b49ea94p-17",
+}
+
+#: Pre-refactor ``network_scaling.run`` row values (seed 0, 1.0 s and the
+#: default sweep point 0.5 s) keyed by node count.
+SCALING_GOLDEN = {
+    1.0: {
+        1: 2.148000000000019,
+        8: 9.666000000000086,
+        32: 35.44200000000031,
+    },
+    0.5: {
+        1: 2.1479999999999926,
+        8: 9.665999999999967,
+        32: 35.44199999999987,
+    },
+}
+
+
+def test_direct_simulator_bit_identical():
+    simulator = BodyNetworkSimulator(wir_commercial(), rng=7)
+    for index in range(5):
+        simulator.add_node(
+            f"leaf{index}",
+            PeriodicSource.from_rate(units.kilobit_per_second(64.0)),
+            sensing_power_watts=units.microwatt(30.0),
+        )
+    simulator.add_node("events", PoissonSource(
+        mean_interarrival_seconds=0.02, mean_bits_per_packet=2048.0))
+    result = simulator.run(2.0)
+
+    assert result.delivered_packets == 172
+    assert result.dropped_packets == 0
+    assert result.mean_latency_seconds.hex() == \
+        DIRECT_GOLDEN["mean_latency_seconds"]
+    assert result.p99_latency_seconds.hex() == \
+        DIRECT_GOLDEN["p99_latency_seconds"]
+    assert float(result.delivered_bits).hex() == \
+        DIRECT_GOLDEN["delivered_bits"]
+    assert float(result.hub_rx_energy_joules).hex() == \
+        DIRECT_GOLDEN["hub_rx_energy_joules"]
+    assert float(result.per_node_average_power_watts["leaf0"]).hex() == \
+        DIRECT_GOLDEN["leaf0_power"]
+    assert float(result.per_node_average_power_watts["events"]).hex() == \
+        DIRECT_GOLDEN["events_power"]
+
+
+def test_network_scaling_fifo_rows_bit_identical():
+    """The E8 driver's FIFO rows match the pre-refactor values exactly.
+
+    Seeds 0/1/2 produced identical rows pre-refactor (periodic sources
+    draw nothing from the RNG), so seed 0 at both durations pins every
+    existing seed config of the default grid.
+    """
+    for simulated_seconds, golden in SCALING_GOLDEN.items():
+        result = network_scaling.run(simulated_seconds=simulated_seconds,
+                                     seed=0, mac_policy="fifo")
+        by_count = {row["nodes"]: row for row in result.rows()}
+        for count, mean_latency_ms in golden.items():
+            row = by_count[count]
+            # Bitwise equality, not approx: the refactor must be invisible.
+            assert float(row["mean_latency_ms"]).hex() == \
+                float(mean_latency_ms).hex()
+            assert row["delivered_fraction"] == 1.0
+        assert result.mac_policy == "fifo"
+
+
+def test_scaling_seed_invariant_rows_match_across_seeds():
+    """Seeds are interchangeable for periodic-only populations (as before)."""
+    first = network_scaling.run(simulated_seconds=0.5, seed=1)
+    second = network_scaling.run(simulated_seconds=0.5, seed=2)
+    assert first.rows() == second.rows()

@@ -1,0 +1,121 @@
+"""Tests for repro.netsim.stats (bounded/streaming latency statistics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.stats import LatencyAccumulator
+
+
+class TestExactWindow:
+    def test_matches_numpy_exactly_under_capacity(self):
+        accumulator = LatencyAccumulator(exact_capacity=1000)
+        rng = np.random.default_rng(0)
+        samples = rng.exponential(0.01, size=500).tolist()
+        for sample in samples:
+            accumulator.add(sample)
+        assert accumulator.is_exact
+        assert accumulator.count == 500
+        assert accumulator.mean == float(np.mean(samples))
+        for percentile in (50.0, 90.0, 99.0):
+            assert accumulator.percentile(percentile) == \
+                float(np.percentile(samples, percentile))
+
+    def test_min_max_tracked(self):
+        accumulator = LatencyAccumulator()
+        for value in (0.3, 0.1, 0.2):
+            accumulator.add(value)
+        assert accumulator.min_seconds == 0.1
+        assert accumulator.max_seconds == 0.3
+
+    def test_empty_accumulator_raises(self):
+        accumulator = LatencyAccumulator()
+        with pytest.raises(SimulationError):
+            _ = accumulator.mean
+        with pytest.raises(SimulationError):
+            accumulator.percentile(99.0)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(SimulationError):
+            LatencyAccumulator(exact_capacity=0)
+        with pytest.raises(SimulationError):
+            LatencyAccumulator(bins=1)
+        accumulator = LatencyAccumulator()
+        with pytest.raises(SimulationError):
+            accumulator.add(-1.0)
+        accumulator.add(0.5)
+        with pytest.raises(SimulationError):
+            accumulator.percentile(101.0)
+
+
+class TestStreamingSpill:
+    def make_spilled(self, n: int = 5000,
+                     capacity: int = 256) -> tuple[LatencyAccumulator, list]:
+        accumulator = LatencyAccumulator(exact_capacity=capacity)
+        rng = np.random.default_rng(7)
+        samples = rng.lognormal(mean=-6.0, sigma=0.8, size=n).tolist()
+        for sample in samples:
+            accumulator.add(sample)
+        return accumulator, samples
+
+    def test_memory_bounded_after_spill(self):
+        accumulator, samples = self.make_spilled()
+        assert not accumulator.is_exact
+        assert accumulator.retained_samples == 0
+        assert accumulator.count == len(samples)
+
+    def test_streaming_mean_close_to_exact(self):
+        accumulator, samples = self.make_spilled()
+        assert accumulator.mean == pytest.approx(float(np.mean(samples)),
+                                                 rel=1e-9)
+
+    def test_streaming_percentiles_close_to_exact(self):
+        accumulator, samples = self.make_spilled()
+        # Interior bins interpolate by rank: near-exact.
+        for percentile in (50.0, 90.0):
+            exact = float(np.percentile(samples, percentile))
+            assert accumulator.percentile(percentile) == \
+                pytest.approx(exact, rel=0.05)
+        # p99 falls in the open-ended top bin (the warm-up window saw
+        # only ~98.7% of the distribution): coarser, but bounded by the
+        # frozen top edge and the exactly tracked max.
+        exact_p99 = float(np.percentile(samples, 99.0))
+        estimate_p99 = accumulator.percentile(99.0)
+        assert estimate_p99 == pytest.approx(exact_p99, rel=0.35)
+        assert exact_p99 * 0.9 <= estimate_p99 <= max(samples)
+        assert accumulator.percentile(100.0) == max(samples)
+
+    def test_percentiles_clamped_to_observed_range(self):
+        accumulator, samples = self.make_spilled()
+        assert accumulator.percentile(0.0) >= min(samples)
+        assert accumulator.percentile(100.0) <= max(samples)
+
+    def test_out_of_range_samples_after_spill_land_in_edge_bins(self):
+        accumulator, samples = self.make_spilled(capacity=128)
+        accumulator.add(min(samples) / 100.0)
+        accumulator.add(max(samples) * 100.0)
+        assert accumulator.count == len(samples) + 2
+        assert accumulator.max_seconds == max(samples) * 100.0
+
+    def test_tail_growth_after_spill_not_capped_at_warmup_range(self):
+        """Congestion onset after warm-up must move the top percentiles."""
+        accumulator = LatencyAccumulator(exact_capacity=64)
+        for _ in range(100):
+            accumulator.add(0.001)  # calm warm-up, then latency explodes
+        for _ in range(100):
+            accumulator.add(1.0)
+        assert accumulator.percentile(100.0) == 1.0
+        # The 1000x tail is visible (the frozen warm-up edges top out at
+        # 0.001; the open bin reaches towards the tracked max).
+        assert accumulator.percentile(99.0) > 0.5
+        assert accumulator.percentile(0.0) == 0.001
+
+    def test_identical_samples_spill_safely(self):
+        accumulator = LatencyAccumulator(exact_capacity=4)
+        for _ in range(10):
+            accumulator.add(0.002)
+        assert not accumulator.is_exact
+        assert accumulator.mean == pytest.approx(0.002)
+        assert accumulator.percentile(99.0) == pytest.approx(0.002)

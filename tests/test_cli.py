@@ -191,6 +191,92 @@ class TestSweepCommand:
         assert "error:" in out.getvalue()
 
 
+class TestRunGridAlias:
+    def test_run_with_default_grid_sweeps_all_policies(self):
+        out = io.StringIO()
+        assert main(["run", "network_scaling", "--grid", "--out", "none"],
+                    out=out) == 0
+        text = out.getvalue()
+        assert "sweep scaling: 9 tasks" in text
+        for policy in ("fifo", "tdma", "polling"):
+            assert policy in text
+
+    def test_run_with_explicit_grid(self):
+        out = io.StringIO()
+        assert main(["run", "scaling", "--grid", "mac_policy=tdma",
+                     "seed=0", "simulated_seconds=0.25",
+                     "node_counts=(1,2)", "--out", "none"], out=out) == 0
+        assert "sweep scaling: 1 tasks" in out.getvalue()
+
+    def test_run_all_with_grid_rejected(self):
+        out = io.StringIO()
+        assert main(["run", "all", "--grid", "--out", "none"], out=out) == 2
+        assert "error:" in out.getvalue()
+
+
+class TestScenariosCommand:
+    def test_scenarios_list_names_all_registered(self):
+        from repro.scenarios import scenario_names
+
+        out = io.StringIO()
+        assert main(["scenarios", "list"], out=out) == 0
+        text = out.getvalue()
+        for name in scenario_names():
+            assert name in text
+
+    def test_scenarios_run_writes_schema_versioned_artifact(self, tmp_path):
+        out = io.StringIO()
+        assert main(["scenarios", "run", "clinical_ward", "--duration", "5",
+                     "--out", str(tmp_path)], out=out) == 0
+        assert "clinical_ward" in out.getvalue()
+        artifacts = list(tmp_path.glob("scenario-clinical_ward-*.json"))
+        assert len(artifacts) == 1
+        document = json.loads(artifacts[0].read_text())
+        assert document["schema_version"] == 1
+        assert document["experiment"] == "scenario:clinical_ward"
+        assert document["rows"][0]["scenario"] == "clinical_ward"
+
+    def test_scenarios_run_all_scaled(self, tmp_path):
+        from repro.scenarios import scenario_names
+
+        out = io.StringIO()
+        assert main(["scenarios", "run", "all", "--scale", "0.005",
+                     "--out", str(tmp_path)], out=out) == 0
+        text = out.getvalue()
+        for name in scenario_names():
+            assert name in text
+        assert len(list(tmp_path.glob("scenario-*.json"))) == \
+            len(scenario_names())
+
+    def test_scenarios_run_artifacts_render_in_report(self, tmp_path):
+        assert main(["scenarios", "run", "sleep_night", "--duration", "5",
+                     "--out", str(tmp_path)], out=io.StringIO()) == 0
+        out = io.StringIO()
+        assert main(["report", str(tmp_path)], out=out) == 0
+        assert "scenario:sleep_night" in out.getvalue()
+
+    def test_scenarios_run_out_none_writes_nothing(self, tmp_path):
+        out = io.StringIO()
+        assert main(["scenarios", "run", "sleep_night", "--duration", "5",
+                     "--out", "none"], out=out) == 0
+        assert "sleep_night" in out.getvalue()
+
+    def test_unknown_scenario_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scenarios", "run", "nope"])
+
+    def test_invalid_scale_reported_cleanly(self):
+        out = io.StringIO()
+        assert main(["scenarios", "run", "sleep_night", "--scale", "0",
+                     "--out", "none"], out=out) == 2
+        assert "error:" in out.getvalue()
+
+    def test_scenarios_without_subcommand_prints_usage(self):
+        out = io.StringIO()
+        assert main(["scenarios"], out=out) == 1
+        assert "scenarios" in out.getvalue()
+
+
 class TestReportCommand:
     def test_report_reprints_saved_tables(self, tmp_path):
         assert main(["run", "fig2", "--out", str(tmp_path)],
