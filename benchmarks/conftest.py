@@ -5,11 +5,39 @@ corresponding :mod:`repro.experiments` driver, prints the reproduced rows
 (the same rows/series the paper reports) and asserts the shape checks
 documented in DESIGN.md, while pytest-benchmark records the runtime.
 Run with ``pytest benchmarks/ --benchmark-only``.
+
+Setting ``REPRO_BENCH_SYNTHETIC_SLOWDOWN`` (e.g. ``2.0``) inflates the
+wall time of every discrete-event run by that factor without touching
+product code — the dry-run lever that proves the CI benchmark-regression
+gate actually fails on a slowdown (see docs/cohort-engine.md).
 """
 
 from __future__ import annotations
 
+import os
+import time
+
+import pytest
+
 from repro.analysis.reporting import format_table
+from repro.netsim.events import EventQueue
+
+
+@pytest.fixture(autouse=True)
+def synthetic_slowdown(monkeypatch):
+    """Optionally slow the DES hot path for benchmark-gate dry runs."""
+    factor = float(os.environ.get("REPRO_BENCH_SYNTHETIC_SLOWDOWN", "0") or 0.0)
+    if factor > 1.0:
+        real_run_until = EventQueue.run_until
+
+        def slowed(self, end_time):
+            started = time.perf_counter()
+            result = real_run_until(self, end_time)
+            time.sleep((factor - 1.0) * (time.perf_counter() - started))
+            return result
+
+        monkeypatch.setattr(EventQueue, "run_until", slowed)
+    yield
 
 
 def emit(title: str, rows: list[dict[str, object]],

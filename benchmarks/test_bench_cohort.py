@@ -1,0 +1,64 @@
+"""Cohort-engine benchmarks: population-scale throughput and flat memory.
+
+Two timings guard the cohort hot path:
+
+* the 10k-member analytic cohort — the headline acceptance target
+  (seconds, not hours): sampling 10 000 wearers, evaluating them through
+  the vectorised steady-state fast path, cross-validating a sampled
+  subset on the DES, and streaming everything into bounded accumulators.
+* a sharded DES cohort — the reference path under shard merge, asserting
+  that the packet-level latency distribution survives aggregation.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.cohort import CohortSpec, run_cohort
+
+
+def run_cohort_10k_analytic():
+    spec = CohortSpec(population=10_000, seed=0)
+    return run_cohort(spec, fast_path="analytic", shard_count=8,
+                      parallel=1, validate_stride=2500)
+
+
+def test_bench_cohort_10k_analytic(benchmark):
+    result = benchmark.pedantic(run_cohort_10k_analytic, rounds=1,
+                                iterations=1)
+
+    emit("cohort hot path — 10k members, analytic fast path",
+         [result.overview()])
+
+    assert result.accumulator.population == 10_000
+    # The acceptance bound: a 10k cohort is a seconds-scale workload.
+    assert result.elapsed_seconds < 60.0
+    # Flat memory: every metric accumulator is bounded by its exact
+    # window regardless of population; no per-member result list exists.
+    for accumulator in result.accumulator.metrics.values():
+        assert accumulator.retained_samples <= accumulator.exact_capacity
+    # The sampled DES cross-check keeps the fast path honest.
+    errors = result.max_validation_errors()
+    assert errors["leaf_power_rel_error"] < 0.10
+    assert errors["delivered_fraction_abs_error"] < 0.05
+    assert errors["mean_latency_factor"] < 3.0
+
+
+def run_cohort_des_sharded():
+    spec = CohortSpec(population=60, seed=1, member_duration_seconds=30.0)
+    return run_cohort(spec, fast_path="des", shard_count=4, parallel=1)
+
+
+def test_bench_cohort_des_sharded(benchmark):
+    result = benchmark.pedantic(run_cohort_des_sharded, rounds=1,
+                                iterations=1)
+
+    emit("cohort reference path — 60 members on the DES, 4 shards",
+         [result.overview()])
+
+    assert result.accumulator.population == 60
+    assert result.accumulator.by_source == {"des": 60}
+    # Shard-merged packet statistics stay live across the merge.
+    packets = result.accumulator.packet_latency
+    assert packets.count == result.accumulator.delivered_packets
+    assert packets.percentile(99.0) > packets.percentile(50.0) > 0.0

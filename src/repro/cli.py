@@ -16,6 +16,8 @@ and tables can be regenerated without writing any Python:
     repro scenarios list                    # named body-network scenarios
     repro scenarios run sleep_night         # compile + simulate one scenario
     repro scenarios run all --scale 0.1     # whole gallery, 10% duration
+    repro cohort run --population 10000     # sampled population, streaming
+    repro cohort summarize artifacts        # re-print cohort artifacts
 
 Every ``run``/``sweep`` execution writes one schema-versioned JSON
 artifact per task into ``--out`` (default ``artifacts/``); re-running an
@@ -208,6 +210,41 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="DIR",
                               help="artifact directory (default 'artifacts'); "
                                    "'none' disables artifacts")
+
+    cohort_parser = subparsers.add_parser(
+        "cohort", help="run or summarize population-scale cohorts")
+    cohort_sub = cohort_parser.add_subparsers(dest="cohort_command")
+    cohort_run = cohort_sub.add_parser(
+        "run", help="sample and execute a cohort with streaming aggregation")
+    cohort_run.add_argument("--population", type=int, default=1000,
+                            metavar="N", help="cohort size (default 1000)")
+    cohort_run.add_argument("--fast-path", choices=("analytic", "des"),
+                            default="analytic", dest="fast_path",
+                            help="per-member execution: vectorized "
+                                 "steady-state approximation (default) or "
+                                 "full discrete-event simulation")
+    cohort_run.add_argument("--shards", type=int, default=None, metavar="K",
+                            help="member shards (default: one per worker)")
+    cohort_run.add_argument("--parallel", type=int, default=1, metavar="N",
+                            help="worker processes (default 1 = in-process)")
+    cohort_run.add_argument("--seed", type=int, default=0,
+                            help="cohort seed; member seeds derive from it "
+                                 "(default 0)")
+    cohort_run.add_argument("--duration", type=float, default=60.0,
+                            metavar="SECONDS",
+                            help="simulated seconds per member (default 60)")
+    cohort_run.add_argument("--validate-stride", type=int, default=1000,
+                            dest="validate_stride", metavar="K",
+                            help="cross-check every K-th analytic member "
+                                 "against the DES (0 disables; default 1000)")
+    cohort_run.add_argument("--out", default=str(DEFAULT_OUT_DIR),
+                            metavar="DIR",
+                            help="artifact directory (default 'artifacts'); "
+                                 "'none' disables artifacts")
+    cohort_summarize = cohort_sub.add_parser(
+        "summarize", help="re-print cohort artifacts from a directory")
+    cohort_summarize.add_argument("artifact_dir",
+                                  help="directory of JSON artifacts")
     return parser
 
 
@@ -360,6 +397,70 @@ def _command_scenarios_run(scenario: str, out, duration: float | None,
     return 0
 
 
+def _command_cohort_run(out, population: int, fast_path: str,
+                        shards: int | None, parallel: int, seed: int,
+                        duration: float, validate_stride: int,
+                        out_dir: Path | None) -> int:
+    from .cohort import CohortSpec, run_cohort
+
+    spec = CohortSpec(population=population, seed=seed,
+                      member_duration_seconds=duration)
+    result = run_cohort(spec, fast_path=fast_path, shard_count=shards,
+                        parallel=parallel, validate_stride=validate_stride)
+    rows = result.rows()
+    summary = result.summary_lines()
+    title = f"cohort of {population} ({fast_path} path)"
+    print(format_table([result.overview()], title=title), file=out)
+    print(format_table(rows, title="member-metric distribution"), file=out)
+    for line in summary:
+        print(line, file=out)
+    if result.validations:
+        print(format_table(result.validation_rows(),
+                           title="analytic-vs-DES validation"), file=out)
+    if out_dir is not None:
+        kwargs = {"population": population, "fast_path": fast_path,
+                  "seed": seed, "member_duration_seconds": duration,
+                  "validate_stride": validate_stride}
+        digest = digest_key("cohort", kwargs)
+        path = write_artifact(
+            out_dir / f"cohort-{digest}.json",
+            {
+                "experiment": "cohort",
+                "eid": "E14",
+                "title": title,
+                "digest": digest,
+                "params": kwargs,
+                "kwargs": kwargs,
+                "overview": result.overview(),
+                "rows": rows,
+                "summary": summary,
+                "validation": result.validation_rows(),
+            },
+        )
+        print(f"artifact: {path}", file=out)
+    return 0
+
+
+def _command_cohort_summarize(artifact_dir: str, out) -> int:
+    documents, _ = scan_artifacts(artifact_dir)
+    cohort_documents = [document for document in documents
+                        if document.get("experiment") == "cohort"]
+    if not cohort_documents:
+        print(f"no cohort artifacts found in {artifact_dir}", file=out)
+        return 1
+    for document in cohort_documents:
+        header = f"{document.get('title', 'cohort')} [{document.get('digest', '')}]"
+        overview = document.get("overview")
+        if overview:
+            print(format_table([overview], title=header), file=out)
+        print(format_table(document.get("rows") or [],
+                           title="member-metric distribution"), file=out)
+        for line in document.get("summary") or []:
+            print(line, file=out)
+        print(file=out)
+    return 0
+
+
 def _command_links(out) -> int:
     from .comm.ble import ble_1m_phy
     from .comm.eqs_hbc import eqs_hbc_bodywire, eqs_hbc_sub_uw, wir_commercial
@@ -420,6 +521,17 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
                     arguments.scale, arguments.seed,
                     _out_dir(arguments.out))
             print("usage: repro scenarios {list,run}", file=out)
+            return 1
+        if arguments.command == "cohort":
+            if arguments.cohort_command == "run":
+                return _command_cohort_run(
+                    out, arguments.population, arguments.fast_path,
+                    arguments.shards, arguments.parallel, arguments.seed,
+                    arguments.duration, arguments.validate_stride,
+                    _out_dir(arguments.out))
+            if arguments.cohort_command == "summarize":
+                return _command_cohort_summarize(arguments.artifact_dir, out)
+            print("usage: repro cohort {run,summarize}", file=out)
             return 1
     except (ReproError, ValueError, TypeError) as error:
         # ReproError is the library's own contract; ValueError/TypeError

@@ -1,0 +1,47 @@
+"""Population-scale cohort engine: thousands of wearers as one workload.
+
+This package turns the single-body scenario machinery into a population
+tool: a :class:`CohortSpec` declares statistical distributions (adoption
+rates, link-technology and MAC mixes, body sizes, duty cycles), expands
+deterministically into per-member
+:class:`~repro.scenarios.spec.ScenarioSpec` workloads, and executes them
+as sharded batches with streaming aggregation — cohort percentiles and
+energy distributions come out, raw per-member results are never
+materialised.  A vectorised analytic fast path evaluates 10k members in
+seconds and is continuously cross-validated against the discrete-event
+simulator on a sampled subset.
+
+Backed by ``repro cohort run/summarize`` on the CLI and the
+``cohort_study`` experiment (E14) in the registry; design notes live in
+``docs/cohort-engine.md``.
+"""
+
+from .aggregate import MEMBER_METRIC_FIELDS, CohortAccumulator, MemberMetrics
+from .analytic import evaluate_member, evaluate_members
+from .distributions import Bernoulli, Categorical, LogUniform, Uniform
+from .engine import (
+    CohortResult,
+    ValidationRecord,
+    run_cohort,
+    shard_bounds,
+)
+from .spec import DEFAULT_ADOPTION, CohortMember, CohortSpec
+
+__all__ = [
+    "DEFAULT_ADOPTION",
+    "MEMBER_METRIC_FIELDS",
+    "Bernoulli",
+    "Categorical",
+    "CohortAccumulator",
+    "CohortMember",
+    "CohortResult",
+    "CohortSpec",
+    "LogUniform",
+    "MemberMetrics",
+    "Uniform",
+    "ValidationRecord",
+    "evaluate_member",
+    "evaluate_members",
+    "run_cohort",
+    "shard_bounds",
+]

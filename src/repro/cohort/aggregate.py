@@ -1,0 +1,172 @@
+"""Streaming cohort aggregation: flat memory at any population.
+
+A shard worker never returns its members' ``SimulationResult`` objects —
+it folds each member into a :class:`CohortAccumulator` and ships only the
+accumulator back.  Accumulators merge associatively *in member order*:
+every per-member metric is held by a
+:class:`~repro.netsim.stats.LatencyAccumulator`, which is an exact
+concatenation while the population fits its exact window (so shard-merged
+summaries are bit-identical to a serial run) and a bounded log-histogram
+beyond it (so memory stays flat however large the cohort grows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ScenarioError
+from ..netsim.simulator import SimulationResult
+from ..netsim.stats import DEFAULT_EXACT_CAPACITY, LatencyAccumulator
+from ..scenarios.spec import ScenarioSpec
+
+#: Per-member metrics summarised across the cohort, in report order.
+MEMBER_METRIC_FIELDS = (
+    "mean_latency_seconds",
+    "p99_latency_seconds",
+    "delivered_fraction",
+    "bus_utilization",
+    "leaf_power_watts",
+    "hub_power_watts",
+    "leaf_energy_joules",
+)
+
+#: Percentiles reported for each member metric.
+SUMMARY_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+@dataclass(frozen=True)
+class MemberMetrics:
+    """One member's outcome, reduced to the scalars the cohort keeps."""
+
+    index: int
+    scenario: str
+    source: str  # "des" or "analytic"
+    arbitration: str
+    node_count: int
+    duration_seconds: float
+    delivered_packets: int
+    delivered_fraction: float
+    mean_latency_seconds: float
+    p99_latency_seconds: float
+    bus_utilization: float
+    leaf_power_watts: float
+    hub_power_watts: float
+    leaf_energy_joules: float
+    hub_energy_joules: float
+
+    @classmethod
+    def from_simulation(cls, index: int, spec: ScenarioSpec,
+                        result: SimulationResult) -> "MemberMetrics":
+        """Reduce one discrete-event run to its cohort scalars."""
+        leaf_power = result.total_leaf_power_watts
+        return cls(
+            index=index,
+            scenario=spec.name,
+            source="des",
+            arbitration=spec.arbitration,
+            node_count=spec.leaf_count,
+            duration_seconds=result.duration_seconds,
+            delivered_packets=result.delivered_packets,
+            delivered_fraction=result.delivered_fraction,
+            mean_latency_seconds=result.mean_latency_seconds,
+            p99_latency_seconds=result.p99_latency_seconds,
+            bus_utilization=result.bus_utilization,
+            leaf_power_watts=leaf_power,
+            hub_power_watts=result.hub_average_power_watts,
+            leaf_energy_joules=leaf_power * result.duration_seconds,
+            hub_energy_joules=result.hub_energy_joules,
+        )
+
+
+class CohortAccumulator:
+    """Mergeable, bounded-memory summary of a (partial) cohort.
+
+    Counters are integers (exactly associative); every float metric lives
+    in a :class:`LatencyAccumulator` so merging shard accumulators in
+    member order reproduces the serial statistics bit-for-bit while the
+    population fits the exact window, and degrades to a documented
+    histogram approximation beyond it.
+    """
+
+    def __init__(self, exact_capacity: int = DEFAULT_EXACT_CAPACITY) -> None:
+        self.population = 0
+        self.node_count = 0
+        self.delivered_packets = 0
+        self.by_policy: dict[str, int] = {}
+        self.by_source: dict[str, int] = {}
+        self.metrics: dict[str, LatencyAccumulator] = {
+            name: LatencyAccumulator(exact_capacity=exact_capacity)
+            for name in MEMBER_METRIC_FIELDS
+        }
+        #: Packet-level latency distribution, merged from the per-run
+        #: accumulators of members that executed on the DES (the analytic
+        #: path has no packets to contribute).
+        self.packet_latency = LatencyAccumulator()
+
+    # -- recording ---------------------------------------------------------
+
+    def add(self, metrics: MemberMetrics) -> None:
+        """Fold one member into the aggregate."""
+        self.population += 1
+        self.node_count += metrics.node_count
+        self.delivered_packets += metrics.delivered_packets
+        self.by_policy[metrics.arbitration] = (
+            self.by_policy.get(metrics.arbitration, 0) + 1)
+        self.by_source[metrics.source] = (
+            self.by_source.get(metrics.source, 0) + 1)
+        for name in MEMBER_METRIC_FIELDS:
+            self.metrics[name].add(getattr(metrics, name))
+
+    def merge(self, other: "CohortAccumulator") -> None:
+        """Fold another (later-member-range) accumulator into this one."""
+        self.population += other.population
+        self.node_count += other.node_count
+        self.delivered_packets += other.delivered_packets
+        for key, value in other.by_policy.items():
+            self.by_policy[key] = self.by_policy.get(key, 0) + value
+        for key, value in other.by_source.items():
+            self.by_source[key] = self.by_source.get(key, 0) + value
+        for name in MEMBER_METRIC_FIELDS:
+            self.metrics[name].merge(other.metrics[name])
+        self.packet_latency.merge(other.packet_latency)
+
+    # -- queries -----------------------------------------------------------
+
+    def summary_rows(self) -> list[dict[str, object]]:
+        """One report row per member metric: mean and cross-member percentiles."""
+        if self.population == 0:
+            raise ScenarioError("cohort accumulator is empty")
+        rows: list[dict[str, object]] = []
+        for name in MEMBER_METRIC_FIELDS:
+            accumulator = self.metrics[name]
+            row: dict[str, object] = {
+                "metric": name,
+                "mean": accumulator.mean,
+                "min": accumulator.min_seconds,
+            }
+            for percentile in SUMMARY_PERCENTILES:
+                row[f"p{percentile:.0f}"] = accumulator.percentile(percentile)
+            row["max"] = accumulator.max_seconds
+            rows.append(row)
+        return rows
+
+    def overview(self) -> dict[str, object]:
+        """Headline aggregate numbers for a one-line report."""
+        if self.population == 0:
+            raise ScenarioError("cohort accumulator is empty")
+        overview: dict[str, object] = {
+            "population": self.population,
+            "nodes": self.node_count,
+            "delivered_packets": self.delivered_packets,
+            "policies": ",".join(f"{key}:{value}" for key, value
+                                 in sorted(self.by_policy.items())),
+            "sources": ",".join(f"{key}:{value}" for key, value
+                                in sorted(self.by_source.items())),
+            "mean_leaf_power_uw": self.metrics["leaf_power_watts"].mean * 1e6,
+            "mean_member_p99_ms":
+                self.metrics["p99_latency_seconds"].mean * 1e3,
+        }
+        if self.packet_latency.count:
+            overview["packet_p99_ms"] = (
+                self.packet_latency.percentile(99.0) * 1e3)
+        return overview

@@ -1,0 +1,293 @@
+"""Sharded cohort execution with streaming merge.
+
+The engine expands a :class:`~repro.cohort.spec.CohortSpec` into
+contiguous member shards, runs each shard through a worker (on the same
+process pool the sweep runner uses), and merges the per-shard
+:class:`~repro.cohort.aggregate.CohortAccumulator` objects in shard
+order.  Because member seeds depend only on the member index and shard
+ranges are contiguous, the merged statistics are bit-identical to a
+single-process run at the same seed (while the population fits the
+accumulators' exact window) — the property the shard-parallel tests pin.
+
+Each member executes either on the discrete-event simulator
+(``fast_path="des"``) or through the vectorised steady-state
+approximation (``fast_path="analytic"``); with the analytic path, every
+``validate_stride``-th member is *also* simulated and the deviation
+recorded, so a cohort run carries its own evidence that the fast path is
+inside its validity envelope.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..errors import ScenarioError
+from ..runner.sweep import PoolFailure, run_pool
+from .aggregate import CohortAccumulator, MemberMetrics
+from .analytic import evaluate_members
+from .spec import CohortMember, CohortSpec
+
+#: Recognised execution paths.
+FAST_PATHS = ("analytic", "des")
+
+#: Default sampling stride of the analytic path's DES cross-check; one
+#: validated member per ``VALIDATE_STRIDE`` keeps the overhead marginal.
+DEFAULT_VALIDATE_STRIDE = 1000
+
+
+@dataclass(frozen=True)
+class ValidationRecord:
+    """Analytic-vs-DES deviation of one sampled member."""
+
+    index: int
+    scenario: str
+    arbitration: str
+    analytic_leaf_power_watts: float
+    des_leaf_power_watts: float
+    analytic_delivered_fraction: float
+    des_delivered_fraction: float
+    analytic_mean_latency_seconds: float
+    des_mean_latency_seconds: float
+
+    @property
+    def leaf_power_rel_error(self) -> float:
+        if self.des_leaf_power_watts == 0.0:
+            return 0.0
+        return abs(self.analytic_leaf_power_watts
+                   - self.des_leaf_power_watts) / self.des_leaf_power_watts
+
+    @property
+    def delivered_fraction_abs_error(self) -> float:
+        return abs(self.analytic_delivered_fraction
+                   - self.des_delivered_fraction)
+
+    @property
+    def mean_latency_ratio(self) -> float:
+        """Analytic/DES mean latency (1.0 when neither saw a packet)."""
+        if self.des_mean_latency_seconds == 0.0:
+            return 1.0 if self.analytic_mean_latency_seconds == 0.0 else float("inf")
+        return (self.analytic_mean_latency_seconds
+                / self.des_mean_latency_seconds)
+
+    @property
+    def mean_latency_factor(self) -> float:
+        """Deviation factor (>= 1) in either direction: an analytic
+        estimate 10x *below* the DES is as wrong as one 10x above."""
+        ratio = self.mean_latency_ratio
+        if ratio == 0.0:
+            return float("inf")
+        return max(ratio, 1.0 / ratio)
+
+    def row(self) -> dict[str, object]:
+        return {
+            "member": self.index,
+            "mac": self.arbitration,
+            "leaf_power_err": round(self.leaf_power_rel_error, 4),
+            "delivered_err": round(self.delivered_fraction_abs_error, 4),
+            "latency_ratio": round(self.mean_latency_ratio, 3),
+        }
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """What one shard worker ships back: aggregates, never raw results."""
+
+    shard_index: int
+    start: int
+    stop: int
+    accumulator: CohortAccumulator
+    validations: tuple[ValidationRecord, ...]
+    elapsed_seconds: float
+
+
+def shard_bounds(population: int, shard_count: int,
+                 shard_index: int) -> tuple[int, int]:
+    """Contiguous member range of one shard (first shards get the slack)."""
+    if shard_count < 1 or not 0 <= shard_index < shard_count:
+        raise ScenarioError(
+            f"shard {shard_index} outside [0, {shard_count})")
+    base, extra = divmod(population, shard_count)
+    start = shard_index * base + min(shard_index, extra)
+    stop = start + base + (1 if shard_index < extra else 0)
+    return start, stop
+
+
+def _simulate_member(member: CohortMember):
+    """Run one member on the DES; returns (metrics, packet accumulator)."""
+    simulator = member.scenario.build(seed=member.seed)
+    result = simulator.run(member.scenario.duration_seconds)
+    metrics = MemberMetrics.from_simulation(member.index, member.scenario,
+                                            result)
+    return metrics, simulator.bus.stats.latency
+
+
+def _run_shard(spec: CohortSpec, shard_index: int, shard_count: int,
+               fast_path: str, validate_stride: int) -> ShardOutcome:
+    """Worker entry point: execute one contiguous member range."""
+    started = time.perf_counter()
+    start, stop = shard_bounds(spec.population, shard_count, shard_index)
+    accumulator = CohortAccumulator()
+    validations: list[ValidationRecord] = []
+
+    if fast_path == "des":
+        for member in spec.members(start, stop):
+            metrics, packets = _simulate_member(member)
+            accumulator.add(metrics)
+            accumulator.packet_latency.merge(packets)
+    else:
+        members = list(spec.members(start, stop))
+        analytic = evaluate_members(
+            [member.scenario for member in members],
+            [member.index for member in members])
+        for member, metrics in zip(members, analytic):
+            accumulator.add(metrics)
+            if validate_stride > 0 and member.index % validate_stride == 0:
+                des_metrics, _ = _simulate_member(member)
+                validations.append(ValidationRecord(
+                    index=member.index,
+                    scenario=member.scenario.name,
+                    arbitration=member.scenario.arbitration,
+                    analytic_leaf_power_watts=metrics.leaf_power_watts,
+                    des_leaf_power_watts=des_metrics.leaf_power_watts,
+                    analytic_delivered_fraction=metrics.delivered_fraction,
+                    des_delivered_fraction=des_metrics.delivered_fraction,
+                    analytic_mean_latency_seconds=(
+                        metrics.mean_latency_seconds),
+                    des_mean_latency_seconds=(
+                        des_metrics.mean_latency_seconds),
+                ))
+
+    return ShardOutcome(
+        shard_index=shard_index,
+        start=start,
+        stop=stop,
+        accumulator=accumulator,
+        validations=tuple(validations),
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+@dataclass(frozen=True)
+class CohortResult:
+    """Outcome of one cohort run: streaming aggregates plus provenance."""
+
+    spec: CohortSpec
+    fast_path: str
+    shard_count: int
+    parallel: int
+    accumulator: CohortAccumulator
+    validations: tuple[ValidationRecord, ...]
+    elapsed_seconds: float
+    shard_elapsed_seconds: tuple[float, ...] = ()
+
+    def rows(self) -> list[dict[str, object]]:
+        """Cohort summary table: one row per member metric."""
+        return self.accumulator.summary_rows()
+
+    def overview(self) -> dict[str, object]:
+        overview = dict(self.accumulator.overview())
+        overview.update({
+            "fast_path": self.fast_path,
+            "shards": self.shard_count,
+            "elapsed_s": round(self.elapsed_seconds, 3),
+        })
+        if self.shard_elapsed_seconds:
+            # Shard balance at a glance: a straggler shard shows up as a
+            # slowest-shard time far above elapsed / shards.
+            overview["slowest_shard_s"] = round(
+                max(self.shard_elapsed_seconds), 3)
+        return overview
+
+    def validation_rows(self) -> list[dict[str, object]]:
+        return [record.row() for record in self.validations]
+
+    def max_validation_errors(self) -> dict[str, float]:
+        """Worst observed analytic-vs-DES deviations (empty when unvalidated)."""
+        if not self.validations:
+            return {}
+        return {
+            "leaf_power_rel_error": max(
+                record.leaf_power_rel_error for record in self.validations),
+            "delivered_fraction_abs_error": max(
+                record.delivered_fraction_abs_error
+                for record in self.validations),
+            "mean_latency_factor": max(
+                record.mean_latency_factor for record in self.validations),
+        }
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"population {self.spec.population} via {self.fast_path} path, "
+            f"{self.shard_count} shard(s), "
+            f"{self.elapsed_seconds:.2f}s wall",
+            "policy mix: " + str(self.accumulator.overview()["policies"]),
+        ]
+        errors = self.max_validation_errors()
+        if errors:
+            lines.append(
+                f"validated {len(self.validations)} member(s) against the "
+                f"DES: leaf power within "
+                f"{errors['leaf_power_rel_error'] * 100.0:.1f}%, delivered "
+                f"fraction within {errors['delivered_fraction_abs_error']:.3f}, "
+                f"latency within {errors['mean_latency_factor']:.2f}x")
+        return lines
+
+
+def run_cohort(spec: CohortSpec, *, fast_path: str = "analytic",
+               shard_count: int | None = None, parallel: int = 1,
+               validate_stride: int = DEFAULT_VALIDATE_STRIDE) -> CohortResult:
+    """Execute a whole cohort as sharded batches and merge the aggregates.
+
+    ``shard_count`` defaults to ``parallel`` (one shard per worker);
+    shards run on the shared runner pool and are merged in shard order,
+    so the result does not depend on scheduling.  ``validate_stride``
+    controls the analytic path's sampled DES cross-check (0 disables it;
+    it is ignored on the DES path, which *is* the reference).
+    """
+    if fast_path not in FAST_PATHS:
+        raise ScenarioError(
+            f"unknown fast path {fast_path!r} (known: "
+            f"{', '.join(FAST_PATHS)})")
+    if parallel < 1:
+        raise ScenarioError("parallel must be >= 1")
+    if validate_stride < 0:
+        raise ScenarioError("validate stride must be >= 0")
+    if shard_count is None:
+        shard_count = parallel
+    elif shard_count < 1:
+        raise ScenarioError("shard count must be >= 1")
+    shard_count = min(shard_count, spec.population)
+
+    started = time.perf_counter()
+    outcomes = run_pool(
+        _run_shard,
+        [(spec, index, shard_count, fast_path, validate_stride)
+         for index in range(shard_count)],
+        parallel,
+    )
+    failures = [(index, outcome) for index, outcome in enumerate(outcomes)
+                if isinstance(outcome, PoolFailure)]
+    if failures:
+        index, failure = failures[0]
+        raise ScenarioError(
+            f"cohort shard {index}/{shard_count} failed: {failure.kind}: "
+            f"{failure.message}\nworker traceback:\n{failure.traceback}")
+
+    merged = CohortAccumulator()
+    validations: list[ValidationRecord] = []
+    for outcome in outcomes:  # run_pool preserves submission (shard) order
+        merged.merge(outcome.accumulator)
+        validations.extend(outcome.validations)
+
+    return CohortResult(
+        spec=spec,
+        fast_path=fast_path,
+        shard_count=shard_count,
+        parallel=parallel,
+        accumulator=merged,
+        validations=tuple(validations),
+        elapsed_seconds=time.perf_counter() - started,
+        shard_elapsed_seconds=tuple(outcome.elapsed_seconds
+                                    for outcome in outcomes),
+    )

@@ -1,0 +1,276 @@
+"""Population cohort specifications: thousands of wearers from one spec.
+
+A :class:`CohortSpec` declares a *population* of instrumented bodies by
+distribution — per-modality adoption rates, a link-technology mix, a MAC
+policy mix, body-size and duty-cycle spreads — and deterministically
+expands any member index into a concrete
+:class:`~repro.scenarios.spec.ScenarioSpec`.  Member ``index`` always
+samples from ``derive_seed(cohort seed, member index)``, never from a
+shared stream, so member 4711 is the same wearer whether it is expanded
+serially, inside shard 3 of 8, or alone for debugging — the property the
+shard-merge bit-identity guarantee of the cohort engine rests on.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from ..errors import ScenarioError
+from ..runner.sweep import derive_seed
+from ..scenarios.spec import (
+    ScenarioEvent,
+    ScenarioNodeSpec,
+    ScenarioSpec,
+    technology_for,
+)
+from ..sensors.catalog import SensorModality, modality_spec
+from .distributions import Bernoulli, Categorical, Uniform
+
+#: Fraction of the population wearing each modality (the "adoption rate").
+#: Video is deliberately absent: first-person video is a hub workload,
+#: not a leaf stream, in the paper's architecture.
+DEFAULT_ADOPTION: Mapping[str, float] = {
+    "temperature": 0.60,
+    "ppg": 0.85,
+    "ecg": 0.35,
+    "emg": 0.10,
+    "eeg": 0.05,
+    "imu": 0.90,
+    "audio": 0.50,
+}
+
+#: Sensing AFE power per modality (same figures as the scenario gallery).
+SENSING_POWER_WATTS: Mapping[str, float] = {
+    "temperature": 2e-6,
+    "ppg": 80e-6,
+    "ecg": 30e-6,
+    "emg": 60e-6,
+    "eeg": 200e-6,
+    "imu": 15e-6,
+    "audio": 140e-6,
+}
+
+#: In-sensor-analytics power for modalities that run a local pipeline.
+ISA_POWER_WATTS: Mapping[str, float] = {
+    "eeg": 40e-6,
+    "audio": 50e-6,
+}
+
+#: Modalities whose wearers duty-cycle them (motion and voice interfaces);
+#: vitals stream continuously.
+DUTY_CYCLED_MODALITIES = ("audio", "imu")
+
+
+@functools.lru_cache(maxsize=None)
+def _technology_rate_bps(key: str) -> float:
+    return technology_for(key).data_rate_bps()
+
+
+@dataclass(frozen=True)
+class CohortMember:
+    """One expanded member: its index, seed and ready-to-run scenario."""
+
+    index: int
+    seed: int
+    scenario: ScenarioSpec
+
+
+@dataclass(frozen=True)
+class CohortSpec:
+    """A population of wearers described by distributions.
+
+    Parameters
+    ----------
+    population:
+        Number of members the cohort expands to.
+    seed:
+        Root of the deterministic per-member seed derivation.
+    member_duration_seconds:
+        Simulated duration of each member's workload.
+    adoption:
+        Mapping of modality name to the probability a member wears it.
+    technologies:
+        Link-technology mix sampled per leaf node.  A sampled technology
+        whose link rate cannot carry the modality's stream falls back to
+        the hub technology (you cannot ship EEG over a sub-µW link).
+    mac_policies:
+        Arbitration-policy mix sampled per member.
+    body_scale:
+        Body-size factor; scales the per-packet MAC guard time (a longer
+        body channel needs more turnaround margin).
+    duty_cycle:
+        Active fraction of duty-cycled modalities (motion, voice); the
+        member sleeps those nodes for the rest of the run.
+    motion_count:
+        Number of IMU pods a motion-instrumented member wears.
+    bits_per_packet:
+        Packet-size mix; clamped per node so even the slowest stream
+        produces several packets within the member duration.
+    implant:
+        Probability a member carries an MQS glucose implant.
+    """
+
+    population: int = 1000
+    name: str = "cohort"
+    seed: int = 0
+    member_duration_seconds: float = 60.0
+    adoption: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_ADOPTION))
+    technologies: Categorical = Categorical(
+        choices=("wir", "wir_leaf", "ble"), weights=(0.60, 0.25, 0.15))
+    mac_policies: Categorical = Categorical(
+        choices=("fifo", "tdma", "polling"), weights=(0.40, 0.35, 0.25))
+    body_scale: Uniform = Uniform(0.85, 1.20)
+    duty_cycle: Uniform = Uniform(0.35, 1.0)
+    motion_count: Categorical = Categorical(choices=(1, 2, 3))
+    bits_per_packet: Categorical = Categorical(
+        choices=(2048.0, 4096.0, 8192.0))
+    implant: Bernoulli = Bernoulli(0.08)
+    hub_technology: str = "wir"
+
+    def __post_init__(self) -> None:
+        if self.population < 1:
+            raise ScenarioError("cohort population must be >= 1")
+        if not self.name:
+            raise ScenarioError("cohort name must be non-empty")
+        if self.member_duration_seconds <= 0:
+            raise ScenarioError("member duration must be positive")
+        if not self.adoption:
+            raise ScenarioError("cohort adoption table must not be empty")
+        for modality_name, probability in self.adoption.items():
+            try:
+                SensorModality(modality_name)
+            except ValueError:
+                known = ", ".join(sorted(m.value for m in SensorModality))
+                raise ScenarioError(
+                    f"unknown modality {modality_name!r} "
+                    f"(known: {known})") from None
+            if not 0.0 <= probability <= 1.0:
+                raise ScenarioError(
+                    f"adoption rate for {modality_name!r} must be in [0, 1]: "
+                    f"{probability}")
+        for policy in self.mac_policies.choices:
+            if policy not in ("fifo", "tdma", "polling"):
+                raise ScenarioError(f"unknown MAC policy {policy!r}")
+        technology_for(self.hub_technology)
+        for key in self.technologies.choices:
+            technology_for(key)
+        if self.body_scale.low <= 0:
+            raise ScenarioError("body scale must be positive")
+        if not 0.0 < self.duty_cycle.low <= self.duty_cycle.high <= 1.0:
+            raise ScenarioError("duty cycle must lie in (0, 1]")
+
+    # -- member expansion --------------------------------------------------
+
+    def member_seed(self, index: int) -> int:
+        """Deterministic seed of one member, independent of shard layout."""
+        if not 0 <= index < self.population:
+            raise ScenarioError(
+                f"member index {index} outside population "
+                f"[0, {self.population})")
+        return derive_seed(self.seed, f"cohort:{self.name}",
+                           {"member": index})
+
+    def member(self, index: int) -> CohortMember:
+        """Expand member *index* into its concrete scenario."""
+        seed = self.member_seed(index)
+        rng = np.random.default_rng(seed)
+        nodes: list[ScenarioNodeSpec] = []
+        events: list[ScenarioEvent] = []
+        hub_rate = _technology_rate_bps(self.hub_technology)
+
+        for modality_name in sorted(self.adoption):
+            if not float(rng.random()) < self.adoption[modality_name]:
+                continue
+            modality = SensorModality(modality_name)
+            rate = modality_spec(modality).compressed_data_rate_bps
+            technology = self.technologies.sample(rng)
+            if rate > _technology_rate_bps(technology) or rate > hub_rate:
+                technology = self.hub_technology
+            count = (int(self.motion_count.sample(rng))
+                     if modality is SensorModality.IMU else 1)
+            bits = float(self.bits_per_packet.sample(rng))
+            # Clamp the packet size so every stream emits at least a
+            # handful of packets inside the member duration; without this
+            # a 16 bit/s temperature stream would never fill one packet.
+            bits = max(64.0, min(bits,
+                                 rate * self.member_duration_seconds / 4.0))
+            nodes.append(ScenarioNodeSpec(
+                name=modality_name,
+                modality=modality,
+                bits_per_packet=bits,
+                technology=technology,
+                count=count,
+                sensing_power_watts=SENSING_POWER_WATTS[modality_name],
+                isa_power_watts=ISA_POWER_WATTS.get(modality_name, 0.0),
+            ))
+            if modality_name in DUTY_CYCLED_MODALITIES:
+                active_fraction = self.duty_cycle.sample(rng)
+                if active_fraction < 1.0:
+                    events.append(ScenarioEvent(
+                        at_fraction=active_fraction, action="sleep",
+                        node_prefixes=(modality_name,)))
+
+        if self.implant.sample(rng):
+            nodes.append(ScenarioNodeSpec(
+                name="glucose_implant",
+                rate_bps=1000.0,
+                bits_per_packet=1024.0,
+                technology="mqs_implant",
+                traffic="poisson",
+                sensing_power_watts=8e-6,
+            ))
+        if not nodes:
+            # Everyone wears *something*: an unlucky adoption draw still
+            # yields a valid (minimal) body network.
+            baseline_rate = modality_spec(
+                SensorModality.TEMPERATURE).compressed_data_rate_bps
+            nodes.append(ScenarioNodeSpec(
+                name="temperature",
+                modality=SensorModality.TEMPERATURE,
+                bits_per_packet=max(
+                    64.0,
+                    baseline_rate * self.member_duration_seconds / 4.0),
+                sensing_power_watts=SENSING_POWER_WATTS["temperature"],
+            ))
+
+        arbitration = self.mac_policies.sample(rng)
+        overhead = 100e-6 * self.body_scale.sample(rng)
+        scenario = ScenarioSpec(
+            name=f"{self.name}-{index:06d}",
+            description=f"sampled member {index} of cohort {self.name!r}",
+            duration_seconds=self.member_duration_seconds,
+            nodes=tuple(nodes),
+            arbitration=arbitration,
+            hub_technology=self.hub_technology,
+            events=tuple(events),
+            per_packet_overhead_seconds=overhead,
+        )
+        return CohortMember(index=index, seed=seed, scenario=scenario)
+
+    def members(self, start: int = 0,
+                stop: int | None = None) -> Iterator[CohortMember]:
+        """Expand a contiguous member range (the unit a shard works on)."""
+        stop = self.population if stop is None else stop
+        if not 0 <= start <= stop <= self.population:
+            raise ScenarioError(
+                f"member range [{start}, {stop}) outside population "
+                f"[0, {self.population})")
+        for index in range(start, stop):
+            yield self.member(index)
+
+    def describe(self) -> dict[str, object]:
+        """Summary row for reports."""
+        return {
+            "cohort": self.name,
+            "population": self.population,
+            "member_seconds": self.member_duration_seconds,
+            "modalities": ",".join(sorted(self.adoption)),
+            "technologies": ",".join(str(c) for c in self.technologies.choices),
+            "mac_policies": ",".join(str(c) for c in self.mac_policies.choices),
+            "seed": self.seed,
+        }

@@ -23,10 +23,12 @@ or paper id) instead of importing driver modules directly.
 | E11| Charging burden vs number of wearables           | ``charging_burden``       |
 | E12| MQS-HBC implant extension (future work)          | ``implant_extension``     |
 | E13| Scenario gallery (MAC policies, link mixes)      | ``scenario_gallery``      |
+| E14| Population-scale cohort study                    | ``cohort_study``          |
 """
 
 from . import (
     charging_burden,
+    cohort_study,
     implant_extension,
     claims,
     fig1_power_breakdown,
@@ -55,4 +57,5 @@ __all__ = [
     "charging_burden",
     "implant_extension",
     "scenario_gallery",
+    "cohort_study",
 ]

@@ -34,6 +34,14 @@ from .packet import Packet
 #: delay (seconds from "medium idle" until its transmission may start).
 Grant = tuple[Packet, float]
 
+#: Default MAC timing parameters.  The analytic cohort fast path
+#: (:mod:`repro.cohort.analytic`) mirrors the DES policies with these
+#: same constants — change them here, never in two places.
+DEFAULT_TDMA_SUPERFRAME_SECONDS = 0.010
+DEFAULT_TDMA_GUARD_SECONDS = 50e-6
+DEFAULT_POLL_OVERHEAD_BITS = 64.0
+DEFAULT_POLL_TURNAROUND_SECONDS = 100e-6
+
 
 @runtime_checkable
 class ArbitrationPolicy(Protocol):
@@ -92,8 +100,8 @@ class TDMAArbitration:
     name = "tdma"
 
     def __init__(self, link_rate_bps: float | None = None,
-                 superframe_seconds: float = 0.010,
-                 guard_seconds: float = 50e-6) -> None:
+                 superframe_seconds: float = DEFAULT_TDMA_SUPERFRAME_SECONDS,
+                 guard_seconds: float = DEFAULT_TDMA_GUARD_SECONDS) -> None:
         if superframe_seconds <= 0:
             raise SimulationError("superframe must be positive")
         if guard_seconds < 0:
@@ -204,8 +212,9 @@ class HubPollingArbitration:
     name = "polling"
 
     def __init__(self, link_rate_bps: float | None = None,
-                 poll_overhead_bits: float = 64.0,
-                 turnaround_seconds: float = 100e-6) -> None:
+                 poll_overhead_bits: float = DEFAULT_POLL_OVERHEAD_BITS,
+                 turnaround_seconds: float = DEFAULT_POLL_TURNAROUND_SECONDS
+                 ) -> None:
         if poll_overhead_bits < 0:
             raise SimulationError("poll overhead must be non-negative")
         if turnaround_seconds < 0:

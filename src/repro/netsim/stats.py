@@ -97,6 +97,69 @@ class LatencyAccumulator:
     def _bin_index(self, value: float) -> int:
         return int(np.searchsorted(self._edges, value, side="right"))
 
+    # -- merging -----------------------------------------------------------
+
+    def merge(self, other: "LatencyAccumulator") -> None:
+        """Fold *other*'s samples into this accumulator, in order.
+
+        While both sides are exact and the union fits the exact window,
+        the merge is a plain concatenation — bit-identical to having
+        added the samples sequentially, which is what makes shard-merged
+        cohort statistics reproduce a serial run exactly.  Once either
+        side has spilled (or the union would), the merge folds into this
+        accumulator's histogram: exact samples land in their true bins,
+        foreign histogram bins are re-binned at their geometric midpoint
+        (the natural representative under log spacing).
+        """
+        if other.count == 0:
+            return
+        if (self._samples is not None and other._samples is not None
+                and self.count + other.count <= self.exact_capacity):
+            self._samples.extend(other._samples)
+            self.count += other.count
+            self._min = min(self._min, other._min)
+            self._max = max(self._max, other._max)
+            return
+        # Merge min/max before spilling so the open-ended outer bins are
+        # bounded by the true combined range.
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        if self.count == 0:
+            # Nothing locally yet: seed the window from other, then retry
+            # (possible spill happens against other's own range).
+            if other._samples is not None:
+                self._samples = []
+                for value in other._samples:
+                    self.add(value)
+                return
+            self._samples = None
+            self.bins = other.bins
+            self._edges = (None if other._edges is None
+                           else other._edges.copy())
+            self._counts = (None if other._counts is None
+                            else other._counts.copy())
+            self._total = other._total
+            self.count = other.count
+            return
+        if self._samples is not None:
+            self._spill()
+        self.count += other.count
+        if other._samples is not None:
+            self._total += math.fsum(other._samples)
+            indices = np.searchsorted(self._edges, np.asarray(other._samples),
+                                      side="right")
+            np.add.at(self._counts, indices, 1)
+            return
+        self._total += other._total
+        midpoints = np.array([
+            math.sqrt(low * high) if low > 0.0 and high > 0.0
+            else 0.5 * (low + high)
+            for low, high in (other._bin_bounds(index)
+                              for index in range(other.bins))
+        ])
+        indices = np.searchsorted(self._edges, midpoints, side="right")
+        np.add.at(self._counts, indices, other._counts)
+
     # -- queries -----------------------------------------------------------
 
     @property

@@ -33,18 +33,21 @@ from .registry import (
 )
 from .sweep import (
     DEFAULT_OUT_DIR,
+    PoolFailure,
     SweepResult,
     SweepRunner,
     SweepTask,
     TaskResult,
     derive_seed,
     expand_grid,
+    run_pool,
 )
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
     "DEFAULT_OUT_DIR",
     "ExperimentSpec",
+    "PoolFailure",
     "SweepResult",
     "SweepRunner",
     "SweepTask",
@@ -60,6 +63,7 @@ __all__ = [
     "load_artifacts",
     "register",
     "resolve",
+    "run_pool",
     "sanitize",
     "write_artifact",
 ]

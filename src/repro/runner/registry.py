@@ -132,7 +132,7 @@ def _ensure_loaded() -> None:
 
 
 def all_specs() -> list[ExperimentSpec]:
-    """Every registered spec, ordered by paper experiment id (E1..E12)."""
+    """Every registered spec, ordered by paper experiment id (E1..E14)."""
     _ensure_loaded()
     return sorted(_REGISTRY.values(), key=lambda spec: int(spec.eid[1:]))
 
@@ -144,7 +144,7 @@ def experiment_ids() -> list[str]:
 
 
 def resolve(name: str) -> ExperimentSpec:
-    """Look up a spec by short name, module name or paper id (E1..E12)."""
+    """Look up a spec by short name, module name or paper id (E1..E14)."""
     _ensure_loaded()
     spec = _REGISTRY.get(name)
     if spec is not None:

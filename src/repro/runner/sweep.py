@@ -17,10 +17,11 @@ import hashlib
 import inspect
 import itertools
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from ..errors import ArtifactError, SweepError
 from .artifacts import (
@@ -47,7 +48,12 @@ def derive_seed(base_seed: int, experiment: str,
 
 
 def expand_grid(grid: Mapping[str, Sequence[object]]) -> list[dict[str, object]]:
-    """Cartesian product of the grid axes, in deterministic key order."""
+    """Cartesian product of the grid axes, in deterministic key order.
+
+    An axis listing the same value twice would expand into duplicate grid
+    points — almost always a typo (``seed=0,0``) that silently halves the
+    intended sweep — so duplicates are rejected rather than deduplicated.
+    """
     if not grid:
         return [{}]
     keys = sorted(grid)
@@ -57,8 +63,64 @@ def expand_grid(grid: Mapping[str, Sequence[object]]) -> list[dict[str, object]]
             raise SweepError(f"grid axis {key!r} must be a sequence of values")
         if len(values) == 0:
             raise SweepError(f"grid axis {key!r} is empty")
+        seen: set[str] = set()
+        for value in values:
+            encoded = canonical_json(value)
+            if encoded in seen:
+                raise SweepError(
+                    f"grid axis {key!r} lists the value {value!r} more than "
+                    "once; duplicate grid points are rejected")
+            seen.add(encoded)
     return [dict(zip(keys, combination))
             for combination in itertools.product(*(grid[key] for key in keys))]
+
+
+@dataclass(frozen=True)
+class PoolFailure:
+    """One worker failure, with the traceback captured inside the worker.
+
+    ``ProcessPoolExecutor`` loses the remote traceback when an exception
+    crosses the process boundary; capturing it as text in the worker and
+    shipping it back keeps the real failure site visible to the caller.
+    """
+
+    kind: str
+    message: str
+    traceback: str
+
+
+def _traced_call(function: Callable[..., object], *args: object) -> object:
+    """Run one payload, converting any exception into a PoolFailure."""
+    try:
+        return function(*args)
+    except Exception as error:  # noqa: BLE001 — every failure must travel back
+        return PoolFailure(kind=type(error).__name__, message=str(error),
+                           traceback=traceback.format_exc())
+
+
+def run_pool(function: Callable[..., object],
+             payloads: Sequence[tuple],
+             parallel: int) -> list[object]:
+    """Map *function* over argument tuples, serially or process-parallel.
+
+    On the process-parallel path the returned list is aligned with
+    *payloads* and each element is either the function's return value or
+    a :class:`PoolFailure` describing what went wrong in that worker —
+    Python drops the remote traceback at the process boundary, so it is
+    captured as text inside the worker, and every payload is attempted
+    so completed work is never discarded.  The serial in-process path
+    simply raises: the exception still carries its own traceback and a
+    clean user-input error must stay a one-line error, not a dump.  This
+    is the pool the sweep runner and the cohort engine share.
+    """
+    if parallel < 1:
+        raise SweepError("parallel must be >= 1")
+    if parallel > 1 and len(payloads) > 1:
+        with ProcessPoolExecutor(max_workers=parallel) as pool:
+            futures = [pool.submit(_traced_call, function, *payload)
+                       for payload in payloads]
+            return [future.result() for future in futures]
+    return [function(*payload) for payload in payloads]
 
 
 @dataclass(frozen=True)
@@ -303,25 +365,29 @@ class SweepRunner:
             specs = {task.experiment: resolve(task.experiment)
                      for task in pending}
             if self.parallel > 1 and len(pending) > 1:
-                with ProcessPoolExecutor(max_workers=self.parallel) as pool:
-                    futures = [pool.submit(_execute, task.experiment, task.kwargs)
-                               for task in pending]
-                    first_error: Exception | None = None
-                    for task, future in zip(pending, futures):
-                        try:
-                            payload = future.result()
-                        except Exception as error:
-                            # Store the other workers' finished results
-                            # before failing, so their compute is cached.
-                            if first_error is None:
-                                first_error = error
-                            continue
-                        results[task.index] = self._store(
-                            specs[task.experiment], task, payload,
-                            payload["elapsed_seconds"])
-                    if first_error is not None:
-                        raise first_error
+                outcomes = run_pool(
+                    _execute,
+                    [(task.experiment, task.kwargs) for task in pending],
+                    self.parallel,
+                )
+                # Store every finished result before failing, so completed
+                # compute is cached even when a sibling task errored.
+                first_error: SweepError | None = None
+                for task, outcome in zip(pending, outcomes):
+                    if isinstance(outcome, PoolFailure):
+                        if first_error is None:
+                            first_error = SweepError(self._describe_failure(
+                                task, outcome))
+                        continue
+                    results[task.index] = self._store(
+                        specs[task.experiment], task, outcome,
+                        outcome["elapsed_seconds"])
+                if first_error is not None:
+                    raise first_error
             else:
+                # Serial: store each result as it completes (a later
+                # failure must not discard earlier compute) and let the
+                # exception propagate with its own clean traceback.
                 for task in pending:
                     payload = _execute(task.experiment, task.kwargs)
                     results[task.index] = self._store(
@@ -335,6 +401,14 @@ class SweepRunner:
                     original, task=twin, deduplicated=True)
 
         return [results[task.index] for task in tasks]
+
+    @staticmethod
+    def _describe_failure(task: SweepTask, failure: PoolFailure) -> str:
+        """Error text naming the failing grid point, with the worker traceback."""
+        where = (f"at grid point {task.params!r} " if task.params else "")
+        return (f"experiment {task.experiment!r} {where}failed: "
+                f"{failure.kind}: {failure.message}\n"
+                f"worker traceback:\n{failure.traceback}")
 
     def run_experiment(self, name: str,
                        overrides: Mapping[str, object] | None = None) -> TaskResult:

@@ -1,0 +1,108 @@
+"""Analytic fast path vs the discrete-event simulator.
+
+The documented tolerance envelope (docs/cohort-engine.md): on workloads
+inside the validity region (utilisation < 0.9), leaf power within 5%,
+hub power within 5%, delivered fraction within 0.05, mean latency within
+a factor of 2.5 and p99 latency within a factor of 3.  All six gallery
+scenarios — three MAC policies, mixed link technologies, duty-cycle
+events, a 50-leaf stress body — must sit inside that envelope.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.cohort import CohortSpec, evaluate_member, evaluate_members
+from repro.cohort.aggregate import MemberMetrics
+from repro.cohort.analytic import active_fractions
+from repro.errors import ScenarioError
+from repro.scenarios import all_scenarios, get_scenario
+
+#: The documented fast-path tolerance envelope.
+LEAF_POWER_REL_TOL = 0.05
+HUB_POWER_REL_TOL = 0.05
+DELIVERED_ABS_TOL = 0.05
+MEAN_LATENCY_FACTOR = 2.5
+P99_LATENCY_FACTOR = 3.0
+
+
+def simulate(spec):
+    simulator = spec.build(seed=0)
+    result = simulator.run(spec.duration_seconds)
+    return MemberMetrics.from_simulation(0, spec, result)
+
+
+@pytest.mark.parametrize("scenario", [spec.name for spec in all_scenarios()])
+def test_analytic_agrees_with_des_on_gallery(scenario):
+    spec = get_scenario(scenario)
+    # A representative slice keeps the DES side fast; the steady state is
+    # reached within seconds of simulated time for every gallery body.
+    scaled = dataclasses.replace(
+        spec, duration_seconds=spec.duration_seconds * 0.05)
+    analytic = evaluate_member(scaled)
+    des = simulate(scaled)
+
+    assert analytic.leaf_power_watts == pytest.approx(
+        des.leaf_power_watts, rel=LEAF_POWER_REL_TOL)
+    assert analytic.hub_power_watts == pytest.approx(
+        des.hub_power_watts, rel=HUB_POWER_REL_TOL)
+    assert abs(analytic.delivered_fraction
+               - des.delivered_fraction) < DELIVERED_ABS_TOL
+    ratio = analytic.mean_latency_seconds / des.mean_latency_seconds
+    assert 1.0 / MEAN_LATENCY_FACTOR < ratio < MEAN_LATENCY_FACTOR
+    p99_ratio = analytic.p99_latency_seconds / des.p99_latency_seconds
+    assert 1.0 / P99_LATENCY_FACTOR < p99_ratio < P99_LATENCY_FACTOR
+    assert abs(analytic.bus_utilization - des.bus_utilization) < 0.02
+
+
+class TestActiveFractions:
+    def test_sleep_and_wake_windows_integrate(self):
+        spec = get_scenario("sleep_night")  # IMU sleeps 10% -> 85%
+        fractions = active_fractions(spec)
+        assert fractions["imu_wrist"] == pytest.approx(0.25)
+        assert fractions["ecg_patch"] == 1.0
+
+    def test_sleep_only_event(self):
+        spec = get_scenario("workout")  # audio wakes at 50%
+        fractions = active_fractions(spec)
+        assert fractions["audio_coach"] == pytest.approx(0.5)
+        assert fractions["imu_limb0"] == 1.0
+
+
+class TestBatchApi:
+    def test_batch_matches_single_member_evaluation(self):
+        cohort = CohortSpec(population=12, seed=5,
+                            member_duration_seconds=20.0)
+        members = [cohort.member(index) for index in range(12)]
+        batch = evaluate_members([m.scenario for m in members],
+                                 [m.index for m in members])
+        for member, metrics in zip(members, batch):
+            alone = evaluate_member(member.scenario, member.index)
+            assert alone == metrics  # bit-identical, any batch layout
+
+    def test_indices_must_match_batch(self):
+        cohort = CohortSpec(population=3, seed=0)
+        with pytest.raises(ScenarioError):
+            evaluate_members([cohort.member(0).scenario], [0, 1])
+
+    def test_empty_batch(self):
+        assert evaluate_members([]) == []
+
+    def test_saturated_member_signals_overload(self):
+        # 80 leaves at 64 kb/s over one 4 Mb/s medium with per-packet
+        # overhead is past saturation: the fast path must report a
+        # delivered fraction clearly below one and utilisation at 1.
+        from repro.scenarios.spec import ScenarioNodeSpec, ScenarioSpec
+
+        spec = ScenarioSpec(
+            name="saturated", description="overload shape",
+            duration_seconds=10.0, arbitration="fifo",
+            nodes=(ScenarioNodeSpec(name="leaf", rate_bps=64000.0,
+                                    count=80),),
+        )
+        metrics = evaluate_member(spec)
+        assert metrics.delivered_fraction < 0.9
+        assert metrics.bus_utilization == pytest.approx(1.0)
+        assert metrics.mean_latency_seconds > 0.01

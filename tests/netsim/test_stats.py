@@ -119,3 +119,97 @@ class TestStreamingSpill:
         assert not accumulator.is_exact
         assert accumulator.mean == pytest.approx(0.002)
         assert accumulator.percentile(99.0) == pytest.approx(0.002)
+
+
+class TestMerge:
+    """Shard-merge semantics: exact concatenation, then histogram folds."""
+
+    def fill(self, samples, capacity=1000) -> LatencyAccumulator:
+        accumulator = LatencyAccumulator(exact_capacity=capacity)
+        for sample in samples:
+            accumulator.add(sample)
+        return accumulator
+
+    def test_exact_merge_is_bit_identical_to_sequential(self):
+        rng = np.random.default_rng(3)
+        samples = rng.exponential(0.01, size=600).tolist()
+        serial = self.fill(samples)
+        left = self.fill(samples[:350])
+        left.merge(self.fill(samples[350:]))
+        assert left.is_exact
+        assert left.count == serial.count
+        assert left.mean == serial.mean
+        assert left.min_seconds == serial.min_seconds
+        assert left.max_seconds == serial.max_seconds
+        for percentile in (0.0, 50.0, 90.0, 99.0, 100.0):
+            assert left.percentile(percentile) == \
+                serial.percentile(percentile)
+
+    def test_merge_into_empty_adopts_other(self):
+        rng = np.random.default_rng(4)
+        samples = rng.exponential(0.01, size=100).tolist()
+        target = LatencyAccumulator(exact_capacity=1000)
+        target.merge(self.fill(samples))
+        assert target.count == 100
+        assert target.percentile(50.0) == \
+            float(np.percentile(samples, 50.0))
+
+    def test_merge_of_empty_is_noop(self):
+        accumulator = self.fill([0.1, 0.2])
+        accumulator.merge(LatencyAccumulator())
+        assert accumulator.count == 2
+        assert accumulator.mean == pytest.approx(0.15)
+
+    def test_merge_spills_when_union_exceeds_capacity(self):
+        rng = np.random.default_rng(5)
+        samples = rng.lognormal(mean=-6.0, sigma=0.5, size=400).tolist()
+        left = self.fill(samples[:200], capacity=256)
+        left.merge(self.fill(samples[200:], capacity=256))
+        assert not left.is_exact
+        assert left.retained_samples == 0
+        assert left.count == 400
+        assert left.mean == pytest.approx(float(np.mean(samples)), rel=1e-9)
+        assert left.percentile(50.0) == pytest.approx(
+            float(np.percentile(samples, 50.0)), rel=0.05)
+
+    def test_merging_two_spilled_histograms_rebins(self):
+        rng = np.random.default_rng(6)
+        low = rng.lognormal(mean=-7.0, sigma=0.4, size=2000).tolist()
+        high = rng.lognormal(mean=-5.0, sigma=0.4, size=2000).tolist()
+        left = self.fill(low, capacity=128)
+        right = self.fill(high, capacity=128)
+        assert not left.is_exact and not right.is_exact
+        left.merge(right)
+        combined = low + high
+        assert left.count == 4000
+        assert left.mean == pytest.approx(float(np.mean(combined)),
+                                          rel=1e-9)
+        assert left.max_seconds == max(combined)
+        assert left.min_seconds == min(combined)
+        assert left.percentile(50.0) == pytest.approx(
+            float(np.percentile(combined, 50.0)), rel=0.25)
+
+    def test_merge_exact_into_spilled_adopts_histogram(self):
+        rng = np.random.default_rng(7)
+        samples = rng.lognormal(mean=-6.0, sigma=0.5, size=3000).tolist()
+        extra = rng.lognormal(mean=-6.0, sigma=0.5, size=50).tolist()
+        spilled = self.fill(samples, capacity=128)
+        spilled.merge(self.fill(extra))
+        combined = samples + extra
+        assert spilled.count == len(combined)
+        assert spilled.mean == pytest.approx(float(np.mean(combined)),
+                                             rel=1e-9)
+
+    def test_empty_adopts_spilled_other(self):
+        rng = np.random.default_rng(8)
+        samples = rng.lognormal(mean=-6.0, sigma=0.5, size=2000).tolist()
+        spilled = self.fill(samples, capacity=128)
+        target = LatencyAccumulator()
+        target.merge(spilled)
+        assert not target.is_exact
+        assert target.count == 2000
+        assert target.mean == pytest.approx(float(np.mean(samples)),
+                                            rel=1e-9)
+        # The adopted histogram is a copy, not a shared buffer.
+        target.add(1.0)
+        assert spilled.count == 2000

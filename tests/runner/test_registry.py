@@ -10,15 +10,15 @@ from repro.runner import ExperimentSpec, all_specs, experiment_ids, resolve
 
 
 class TestRegistryContents:
-    def test_all_thirteen_experiments_registered(self):
+    def test_all_fourteen_experiments_registered(self):
         specs = all_specs()
-        assert len(specs) == 13
-        assert [spec.eid for spec in specs] == [f"E{i}" for i in range(1, 14)]
+        assert len(specs) == 14
+        assert [spec.eid for spec in specs] == [f"E{i}" for i in range(1, 15)]
 
     def test_ids_and_modules_are_unique(self):
         specs = all_specs()
-        assert len({spec.id for spec in specs}) == 13
-        assert len({spec.module for spec in specs}) == 13
+        assert len({spec.id for spec in specs}) == len(specs)
+        assert len({spec.module for spec in specs}) == len(specs)
 
     def test_experiment_ids_sorted(self):
         ids = experiment_ids()

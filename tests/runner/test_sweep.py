@@ -29,6 +29,16 @@ class TestExpandGrid:
         with pytest.raises(SweepError):
             expand_grid({"a": []})
 
+    def test_duplicate_axis_value_rejected(self):
+        with pytest.raises(SweepError, match="more than once"):
+            expand_grid({"seed": [0, 1, 0]})
+
+    def test_equal_but_distinct_typed_values_accepted(self):
+        # 0 and 0.0 compare equal but are distinct configurations (the
+        # digest encoding is type-preserving), so both may be swept.
+        points = expand_grid({"x": [0, 0.0]})
+        assert len(points) == 2
+
 
 class TestDeriveSeed:
     def test_deterministic(self):
@@ -181,20 +191,57 @@ class TestSweepExecution:
         retry = runner.run_tasks(runner.tasks("fig1", {"mode": ["active"]}))
         assert retry[0].cached
 
-    def test_duplicate_grid_points_execute_once(self, tmp_path):
+    def test_duplicate_grid_points_rejected(self, tmp_path):
         runner = SweepRunner(out_dir=tmp_path, parallel=1)
-        sweep = runner.run_sweep("scaling", {"seed": [0, 0, 0],
-                                             "simulated_seconds": [0.25],
-                                             "node_counts": [(1, 2)]})
-        assert len(sweep.results) == 3
-        executed = [result for result in sweep.results
-                    if not result.cached and not result.deduplicated]
-        assert len(executed) == 1  # the two twins reuse the first execution
-        assert sum(1 for result in sweep.results if result.deduplicated) == 2
-        assert sweep.cached_count == 0  # in-batch dedup is not a cache hit
-        assert len({tuple(map(str, result.rows[0].items()))
-                    for result in sweep.results}) == 1
-        assert len(list(tmp_path.glob("scaling-*.json"))) == 1
+        with pytest.raises(SweepError, match="seed"):
+            runner.run_sweep("scaling", {"seed": [0, 0, 0],
+                                         "simulated_seconds": [0.25],
+                                         "node_counts": [(1, 2)]})
+        assert not list(tmp_path.glob("scaling-*.json"))  # nothing executed
+
+    def test_same_digest_within_batch_executes_once(self, tmp_path):
+        # Duplicate *grids* are rejected, but equivalent spellings of one
+        # configuration (enum name vs value) still collapse to a single
+        # execution through the digest-based in-batch dedup.
+        runner = SweepRunner(out_dir=tmp_path, parallel=1)
+        results = runner.run_tasks(
+            runner.tasks("partition",
+                         {"objective": ["leaf_energy", "LEAF_ENERGY"]}))
+        assert len(results) == 2
+        assert sum(1 for result in results if result.deduplicated) == 1
+        assert len(list(tmp_path.glob("partition-*.json"))) == 1
+
+    def test_worker_failure_names_the_grid_point(self, tmp_path):
+        runner = SweepRunner(out_dir=tmp_path, parallel=2)
+        with pytest.raises(SweepError) as excinfo:
+            runner.run_sweep("fig1", {"mode": ["active", "bogus"]})
+        message = str(excinfo.value)
+        assert "'mode': 'bogus'" in message  # the failing grid point
+        assert "worker traceback" in message  # the remote traceback text
+        assert "Traceback (most recent call last)" in message
+
+    def test_serial_failure_preserves_completed_results(self, tmp_path):
+        from repro.errors import ReproError
+
+        runner = SweepRunner(out_dir=tmp_path, parallel=1)
+        with pytest.raises(ReproError):
+            runner.run_sweep("fig1", {"mode": ["active", "bogus"]})
+        # The 'active' task ran first and its artifact survived.
+        assert len(list(tmp_path.glob("fig1-*.json"))) == 1
+        retry = runner.run_tasks(runner.tasks("fig1", {"mode": ["active"]}))
+        assert retry[0].cached
+
+    def test_serial_failure_propagates_the_original_error(self):
+        # In-process failures keep their type and a clean message (the
+        # CLI prints one line, not a traceback dump); only the process
+        # boundary needs traceback capture.
+        from repro.errors import ReproError, SweepError as SweepErrorType
+
+        runner = SweepRunner(out_dir=None, parallel=1)
+        with pytest.raises(ReproError, match="mode") as excinfo:
+            runner.run_experiment("fig1", {"mode": "bogus"})
+        assert not isinstance(excinfo.value, SweepErrorType)
+        assert "worker traceback" not in str(excinfo.value)
 
     def test_rows_prefixed_with_grid_point(self):
         runner = SweepRunner(out_dir=None, parallel=1)

@@ -277,6 +277,68 @@ class TestScenariosCommand:
         assert "scenarios" in out.getvalue()
 
 
+class TestCohortCommand:
+    def test_cohort_run_prints_distribution_and_writes_artifact(self,
+                                                                tmp_path):
+        out = io.StringIO()
+        assert main(["cohort", "run", "--population", "40",
+                     "--duration", "15", "--validate-stride", "20",
+                     "--out", str(tmp_path)], out=out) == 0
+        text = out.getvalue()
+        assert "member-metric distribution" in text
+        assert "mean_latency_seconds" in text
+        assert "analytic-vs-DES validation" in text
+        artifacts = list(tmp_path.glob("cohort-*.json"))
+        assert len(artifacts) == 1
+        document = json.loads(artifacts[0].read_text())
+        assert document["schema_version"] == 1
+        assert document["experiment"] == "cohort"
+        assert document["eid"] == "E14"
+        assert document["overview"]["population"] == 40
+        assert document["rows"]
+
+    def test_cohort_run_des_path(self, tmp_path):
+        out = io.StringIO()
+        assert main(["cohort", "run", "--population", "6",
+                     "--fast-path", "des", "--duration", "10",
+                     "--out", "none"], out=out) == 0
+        assert "des:6" in out.getvalue()
+
+    def test_cohort_summarize_reprints_artifacts(self, tmp_path):
+        assert main(["cohort", "run", "--population", "20",
+                     "--duration", "10", "--validate-stride", "0",
+                     "--out", str(tmp_path)], out=io.StringIO()) == 0
+        out = io.StringIO()
+        assert main(["cohort", "summarize", str(tmp_path)], out=out) == 0
+        text = out.getvalue()
+        assert "member-metric distribution" in text
+        assert "leaf_power_watts" in text
+
+    def test_cohort_summarize_empty_directory_fails(self, tmp_path):
+        out = io.StringIO()
+        assert main(["cohort", "summarize", str(tmp_path)], out=out) == 1
+        assert "no cohort artifacts" in out.getvalue()
+
+    def test_cohort_artifacts_render_in_report(self, tmp_path):
+        assert main(["cohort", "run", "--population", "10",
+                     "--duration", "10", "--validate-stride", "0",
+                     "--out", str(tmp_path)], out=io.StringIO()) == 0
+        out = io.StringIO()
+        assert main(["report", str(tmp_path)], out=out) == 0
+        assert "cohort" in out.getvalue()
+
+    def test_cohort_invalid_population_reported_cleanly(self):
+        out = io.StringIO()
+        assert main(["cohort", "run", "--population", "0",
+                     "--out", "none"], out=out) == 2
+        assert "error:" in out.getvalue()
+
+    def test_cohort_without_subcommand_prints_usage(self):
+        out = io.StringIO()
+        assert main(["cohort"], out=out) == 1
+        assert "cohort" in out.getvalue()
+
+
 class TestReportCommand:
     def test_report_reprints_saved_tables(self, tmp_path):
         assert main(["run", "fig2", "--out", str(tmp_path)],
