@@ -1,4 +1,4 @@
-"""Regenerate every reproduced figure/table (E1-E14) and print the rows.
+"""Regenerate every reproduced figure/table (E1-E15) and print the rows.
 
 This is the one-shot driver behind EXPERIMENTS.md: it walks the central
 experiment registry (:mod:`repro.runner`) — the same code path the CLI,

@@ -16,6 +16,8 @@ and tables can be regenerated without writing any Python:
     repro scenarios list                    # named body-network scenarios
     repro scenarios run sleep_night         # compile + simulate one scenario
     repro scenarios run all --scale 0.1     # whole gallery, 10% duration
+    repro scenarios run harvester_patch --environment outdoor_sun
+    repro run lifetime                      # E15: DES brownout vs closed form
     repro cohort run --population 10000     # sampled population, streaming
     repro cohort summarize artifacts        # re-print cohort artifacts
 
@@ -30,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import ast
+import dataclasses
 import os
 import sys
 from pathlib import Path
@@ -52,7 +55,12 @@ from .runner.artifacts import (
     source_fingerprint,
     write_artifact,
 )
-from .scenarios import all_scenarios, get_scenario, scenario_names
+from .scenarios import (
+    ENVIRONMENTS,
+    all_scenarios,
+    get_scenario,
+    scenario_names,
+)
 
 
 def _split_values(values: str) -> list[str]:
@@ -206,6 +214,12 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(ignored when --duration is given)")
     scenario_run.add_argument("--seed", type=int, default=0,
                               help="traffic RNG seed (default 0)")
+    scenario_run.add_argument("--environment", default=None,
+                              choices=sorted(ENVIRONMENTS),
+                              metavar="ENV",
+                              help="override the harvesting environment "
+                                   "(one of "
+                                   f"{', '.join(sorted(ENVIRONMENTS))})")
     scenario_run.add_argument("--out", default=str(DEFAULT_OUT_DIR),
                               metavar="DIR",
                               help="artifact directory (default 'artifacts'); "
@@ -362,13 +376,16 @@ def _command_scenarios_list(out) -> int:
 
 def _command_scenarios_run(scenario: str, out, duration: float | None,
                            scale: float, seed: int,
-                           out_dir: Path | None) -> int:
+                           out_dir: Path | None,
+                           environment: str | None = None) -> int:
     if scale <= 0:
         raise ReproError("--scale must be positive")
     names = scenario_names() if scenario == "all" else [scenario]
     rows: list[dict[str, object]] = []
     for name in names:
         spec = get_scenario(name)
+        if environment is not None:
+            spec = dataclasses.replace(spec, environment=environment)
         resolved = (duration if duration is not None
                     else spec.duration_seconds * scale)
         result = spec.run(seed=seed, duration_seconds=resolved)
@@ -377,6 +394,8 @@ def _command_scenarios_run(scenario: str, out, duration: float | None,
         if out_dir is not None:
             kwargs = {"scenario": name, "seed": seed,
                       "duration_seconds": resolved}
+            if environment is not None:
+                kwargs["environment"] = environment
             digest = digest_key(f"scenario:{name}", kwargs)
             write_artifact(
                 out_dir / f"scenario-{name}-{digest}.json",
@@ -519,7 +538,7 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
                 return _command_scenarios_run(
                     arguments.scenario, out, arguments.duration,
                     arguments.scale, arguments.seed,
-                    _out_dir(arguments.out))
+                    _out_dir(arguments.out), arguments.environment)
             print("usage: repro scenarios {list,run}", file=out)
             return 1
         if arguments.command == "cohort":

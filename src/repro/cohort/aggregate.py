@@ -12,6 +12,7 @@ beyond it (so memory stays flat however large the cohort grows).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..errors import ScenarioError
@@ -28,6 +29,7 @@ MEMBER_METRIC_FIELDS = (
     "leaf_power_watts",
     "hub_power_watts",
     "leaf_energy_joules",
+    "alive_fraction",
 )
 
 #: Percentiles reported for each member metric.
@@ -53,6 +55,10 @@ class MemberMetrics:
     hub_power_watts: float
     leaf_energy_joules: float
     hub_energy_joules: float
+    #: Fraction of the member's nodes still alive at the horizon.
+    alive_fraction: float = 1.0
+    #: Earliest brownout within the run (``inf`` when none occurred).
+    first_death_seconds: float = math.inf
 
     @classmethod
     def from_simulation(cls, index: int, spec: ScenarioSpec,
@@ -75,6 +81,8 @@ class MemberMetrics:
             hub_power_watts=result.hub_average_power_watts,
             leaf_energy_joules=leaf_power * result.duration_seconds,
             hub_energy_joules=result.hub_energy_joules,
+            alive_fraction=result.alive_fraction,
+            first_death_seconds=result.first_death_seconds,
         )
 
 
@@ -92,6 +100,10 @@ class CohortAccumulator:
         self.population = 0
         self.node_count = 0
         self.delivered_packets = 0
+        #: Members that saw at least one node brown out within the run.
+        self.dead_members = 0
+        #: Earliest brownout across the cohort (``inf`` when none).
+        self.first_death_seconds = math.inf
         self.by_policy: dict[str, int] = {}
         self.by_source: dict[str, int] = {}
         self.metrics: dict[str, LatencyAccumulator] = {
@@ -110,6 +122,10 @@ class CohortAccumulator:
         self.population += 1
         self.node_count += metrics.node_count
         self.delivered_packets += metrics.delivered_packets
+        if metrics.first_death_seconds < math.inf:
+            self.dead_members += 1
+            self.first_death_seconds = min(self.first_death_seconds,
+                                           metrics.first_death_seconds)
         self.by_policy[metrics.arbitration] = (
             self.by_policy.get(metrics.arbitration, 0) + 1)
         self.by_source[metrics.source] = (
@@ -122,6 +138,9 @@ class CohortAccumulator:
         self.population += other.population
         self.node_count += other.node_count
         self.delivered_packets += other.delivered_packets
+        self.dead_members += other.dead_members
+        self.first_death_seconds = min(self.first_death_seconds,
+                                       other.first_death_seconds)
         for key, value in other.by_policy.items():
             self.by_policy[key] = self.by_policy.get(key, 0) + value
         for key, value in other.by_source.items():
@@ -165,7 +184,12 @@ class CohortAccumulator:
             "mean_leaf_power_uw": self.metrics["leaf_power_watts"].mean * 1e6,
             "mean_member_p99_ms":
                 self.metrics["p99_latency_seconds"].mean * 1e3,
+            "dead_members": self.dead_members,
         }
+        if math.isfinite(self.first_death_seconds):
+            # Only present when a brownout occurred: keeps the overview
+            # JSON-serialisable (no Infinity) in artifacts.
+            overview["first_death_s"] = self.first_death_seconds
         if self.packet_latency.count:
             overview["packet_p99_ms"] = (
                 self.packet_latency.percentile(99.0) * 1e3)

@@ -23,6 +23,13 @@ cross-checks and by the gallery tolerance tests:
   polling ring).  Inside the validity envelope it tracks the DES within
   a small constant factor; outside (``ρ ≥ 0.9``) it only signals
   saturation, it does not predict the backlog trajectory.
+* **Lifetime is first-order** — battery rows project time-to-death as
+  usable energy over net drain (average load plus self-discharge minus
+  harvest, the Fig. 3 arithmetic per node), then clip that node's
+  traffic and consumption at its death.  Constant-load members track
+  the DES brownout within the packet-quantisation error; low-battery
+  duty-cycle adaptation is deliberately unmodelled (a throttled node
+  outlives the estimate).
 
 Per-member reductions use ``np.bincount``/``np.maximum.at`` over rows
 that are contiguous per member, so a member's arithmetic involves only
@@ -46,7 +53,13 @@ from ..netsim.arbitration import (
     DEFAULT_TDMA_GUARD_SECONDS as TDMA_GUARD_SECONDS,
     DEFAULT_TDMA_SUPERFRAME_SECONDS as TDMA_SUPERFRAME_SECONDS,
 )
-from ..scenarios.spec import ScenarioSpec, technology_for
+from ..scenarios.spec import (
+    ScenarioSpec,
+    battery_for,
+    environment_for,
+    harvester_for,
+    technology_for,
+)
 from .aggregate import MemberMetrics
 
 #: Utilisation above which the latency estimate is saturation signalling
@@ -73,6 +86,18 @@ def tech_profile(key: str) -> TechProfile:
         rx_energy_per_bit=technology.rx_energy_per_bit(),
         sleep_power_watts=technology.sleep_power(),
     )
+
+
+@functools.lru_cache(maxsize=None)
+def _battery_profile(key: str, scale: float) -> tuple[float, float]:
+    """(usable energy, self-discharge power) of a scaled battery."""
+    spec = battery_for(key, scale)
+    return spec.usable_energy_joules, spec.leakage_power_watts
+
+
+@functools.lru_cache(maxsize=None)
+def _harvest_power(key: str, environment: str) -> float:
+    return harvester_for(key).power_watts(environment_for(environment))
 
 
 def active_fractions(spec: ScenarioSpec) -> dict[str, float]:
@@ -134,6 +159,9 @@ def evaluate_members(specs: Sequence[ScenarioSpec],
     batch_size: list[float] = []      # same-period periodic peers (bursts)
     is_periodic: list[bool] = []
     period_seconds: list[float] = []
+    initial_energy: list[float] = []  # usable battery joules (inf = mains)
+    leak_w: list[float] = []          # battery self-discharge power
+    harvest_w: list[float] = []       # harvested power in the environment
 
     count = len(specs)
     duration = np.empty(count)
@@ -203,6 +231,18 @@ def evaluate_members(specs: Sequence[ScenarioSpec],
                                   if node.traffic == "periodic" else 1.0)
                 is_periodic.append(node.traffic == "periodic")
                 period_seconds.append(period)
+                if node.battery is not None:
+                    usable, leakage = _battery_profile(node.battery,
+                                                       node.battery_scale)
+                    initial_energy.append(usable
+                                          * node.initial_charge_fraction)
+                    leak_w.append(leakage)
+                else:
+                    initial_energy.append(np.inf)
+                    leak_w.append(0.0)
+                harvest_w.append(
+                    _harvest_power(node.harvester, spec.environment)
+                    if node.harvester is not None else 0.0)
 
     member_of = np.asarray(member_of)
     packet_rate = np.asarray(packet_rate)
@@ -219,6 +259,9 @@ def evaluate_members(specs: Sequence[ScenarioSpec],
     batch_size = np.asarray(batch_size)
     is_periodic = np.asarray(is_periodic)
     period_seconds = np.asarray(period_seconds)
+    initial_energy = np.asarray(initial_energy)
+    leak_w = np.asarray(leak_w)
+    harvest_w = np.asarray(harvest_w)
 
     def per_member(weights: np.ndarray) -> np.ndarray:
         return np.bincount(member_of, weights=weights, minlength=count)
@@ -331,23 +374,67 @@ def evaluate_members(specs: Sequence[ScenarioSpec],
             offered > 0.0, 1.0 - per_member(undelivered_row) / offered, 1.0)
     delivered_fraction = np.minimum(saturation_fraction, horizon_fraction)
 
-    delivered_packets = np.rint(
-        total_packet_rate * duration * delivered_fraction).astype(np.int64)
+    # Depletion model: each battery row's average pre-death power
+    # projects its time to death (usable energy over net drain, the
+    # closed-form Fig. 3 arithmetic applied per node); a node past its
+    # death stops generating *and* consuming, so traffic and energy
+    # below use the alive duration instead of the horizon.  Deliberately
+    # unmodelled: low-battery duty-cycle adaptation (a throttled node
+    # outlives this estimate) and state-of-charge trajectories.  A
+    # battery-less batch (the default cohort) skips the extra vector
+    # passes entirely.
+    full_duration = duration[member_of]
+    member_death = np.full(count, np.inf)
+    if np.isfinite(initial_energy).any():
+        bits_tx_full = (packet_rate * bits * full_duration
+                        * saturation_fraction[member_of])
+        tx_seconds_full = bits_tx_full / link_rate
+        energy_full = (static_power * full_duration
+                       + bits_tx_full * tx_epb
+                       + sleep_power * np.maximum(full_duration
+                                                  - tx_seconds_full, 0.0))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            power_full = np.where(full_duration > 0.0,
+                                  energy_full / full_duration, 0.0)
+            net_drain = power_full + leak_w - harvest_w
+            death = np.where(net_drain > 0.0, initial_energy / net_drain,
+                             np.inf)
+        alive_duration = np.minimum(death, full_duration)
+        rows_per_member = per_member(np.ones_like(packet_rate))
+        with np.errstate(invalid="ignore"):
+            alive_fraction = np.where(
+                rows_per_member > 0.0,
+                per_member((death > full_duration).astype(float))
+                / rows_per_member, 1.0)
+        np.minimum.at(member_death, member_of, death)
+        member_death = np.where(member_death <= duration, member_death,
+                                np.inf)
+        delivered_packets = np.rint(
+            per_member(packet_rate * alive_duration)
+            * delivered_fraction).astype(np.int64)
+        busy = (per_member(packet_rate * service * alive_duration)
+                * delivered_fraction)
+    else:
+        alive_duration = full_duration
+        alive_fraction = np.ones(count)
+        delivered_packets = np.rint(
+            total_packet_rate * duration * delivered_fraction
+        ).astype(np.int64)
+        busy = rho_service * duration * delivered_fraction
 
     # Ledger arithmetic, identical to the simulator's accounting: the
     # transmitted bits follow the accepted traffic, the sleep residue is
-    # whatever the link is not serialising.
-    bits_tx = (packet_rate * bits * duration[member_of]
+    # whatever the link is not serialising — both clipped to each node's
+    # alive duration.
+    bits_tx = (packet_rate * bits * alive_duration
                * delivered_fraction[member_of])
     tx_seconds = bits_tx / link_rate
-    node_energy = (static_power * duration[member_of]
+    node_energy = (static_power * alive_duration
                    + bits_tx * tx_epb
-                   + sleep_power * np.maximum(duration[member_of]
+                   + sleep_power * np.maximum(alive_duration
                                               - tx_seconds, 0.0))
     leaf_energy = per_member(node_energy)
     leaf_power = leaf_energy / duration
-
-    busy = rho_service * duration * delivered_fraction
     utilization = np.minimum(np.where(duration > 0, busy / duration, 0.0),
                              1.0)
     hub_rx_energy = per_member(bits_tx * rx_epb)
@@ -373,6 +460,8 @@ def evaluate_members(specs: Sequence[ScenarioSpec],
             hub_power_watts=float(hub_power[position]),
             leaf_energy_joules=float(leaf_energy[position]),
             hub_energy_joules=float(hub_energy[position]),
+            alive_fraction=float(alive_fraction[position]),
+            first_death_seconds=float(member_death[position]),
         ))
     return results
 

@@ -49,6 +49,12 @@ class ValidationRecord:
     des_delivered_fraction: float
     analytic_mean_latency_seconds: float
     des_mean_latency_seconds: float
+    analytic_alive_fraction: float = 1.0
+    des_alive_fraction: float = 1.0
+
+    @property
+    def alive_fraction_abs_error(self) -> float:
+        return abs(self.analytic_alive_fraction - self.des_alive_fraction)
 
     @property
     def leaf_power_rel_error(self) -> float:
@@ -156,6 +162,8 @@ def _run_shard(spec: CohortSpec, shard_index: int, shard_count: int,
                         metrics.mean_latency_seconds),
                     des_mean_latency_seconds=(
                         des_metrics.mean_latency_seconds),
+                    analytic_alive_fraction=metrics.alive_fraction,
+                    des_alive_fraction=des_metrics.alive_fraction,
                 ))
 
     return ShardOutcome(
@@ -214,6 +222,9 @@ class CohortResult:
                 for record in self.validations),
             "mean_latency_factor": max(
                 record.mean_latency_factor for record in self.validations),
+            "alive_fraction_abs_error": max(
+                record.alive_fraction_abs_error
+                for record in self.validations),
         }
 
     def summary_lines(self) -> list[str]:

@@ -13,6 +13,7 @@ shard-merge bit-identity guarantee of the cohort engine rests on.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping
@@ -25,6 +26,8 @@ from ..scenarios.spec import (
     ScenarioEvent,
     ScenarioNodeSpec,
     ScenarioSpec,
+    battery_for,
+    harvester_for,
     technology_for,
 )
 from ..sensors.catalog import SensorModality, modality_spec
@@ -112,6 +115,20 @@ class CohortSpec:
         produces several packets within the member duration.
     implant:
         Probability a member carries an MQS glucose implant.
+    batteries:
+        Optional battery mix sampled once per member and applied to all
+        of that member's leaf nodes.  Choices are
+        :data:`repro.scenarios.spec.BATTERY_FACTORIES` keys; an empty
+        string means "no battery" (mains/hub-powered).  ``None`` (the
+        default) disables battery sampling entirely — no extra RNG
+        draws, so default cohorts expand bit-identically to before the
+        energy runtime existed.
+    battery_scale:
+        Capacity multiplier applied to every sampled cell (compresses
+        long lifetimes into short member runs).
+    harvesters:
+        Optional harvester mix, sampled like ``batteries`` (an empty
+        string means "no harvester").
     """
 
     population: int = 1000
@@ -131,6 +148,9 @@ class CohortSpec:
         choices=(2048.0, 4096.0, 8192.0))
     implant: Bernoulli = Bernoulli(0.08)
     hub_technology: str = "wir"
+    batteries: Categorical | None = None
+    battery_scale: float = 1.0
+    harvesters: Categorical | None = None
 
     def __post_init__(self) -> None:
         if self.population < 1:
@@ -163,6 +183,16 @@ class CohortSpec:
             raise ScenarioError("body scale must be positive")
         if not 0.0 < self.duty_cycle.low <= self.duty_cycle.high <= 1.0:
             raise ScenarioError("duty cycle must lie in (0, 1]")
+        if self.battery_scale <= 0:
+            raise ScenarioError("battery scale must be positive")
+        if self.batteries is not None:
+            for key in self.batteries.choices:
+                if key:
+                    battery_for(str(key))  # raises with the known list
+        if self.harvesters is not None:
+            for key in self.harvesters.choices:
+                if key:
+                    harvester_for(str(key))  # raises with the known list
 
     # -- member expansion --------------------------------------------------
 
@@ -237,6 +267,21 @@ class CohortSpec:
                     baseline_rate * self.member_duration_seconds / 4.0),
                 sensing_power_watts=SENSING_POWER_WATTS["temperature"],
             ))
+
+        # Energy sampling happens after the node draws so that disabling
+        # it (the default) leaves the member's RNG stream — and therefore
+        # every historical cohort — bit-identical.
+        if self.batteries is not None:
+            battery_key = str(self.batteries.sample(rng))
+            if battery_key:
+                nodes = [dataclasses.replace(
+                    node, battery=battery_key,
+                    battery_scale=self.battery_scale) for node in nodes]
+        if self.harvesters is not None:
+            harvester_key = str(self.harvesters.sample(rng))
+            if harvester_key:
+                nodes = [dataclasses.replace(node, harvester=harvester_key)
+                         for node in nodes]
 
         arbitration = self.mac_policies.sample(rng)
         overhead = 100e-6 * self.body_scale.sample(rng)

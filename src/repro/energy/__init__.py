@@ -4,6 +4,10 @@ This package models the energy sources and sinks the paper's battery-life
 projections rely on: coin-cell and Li-Po batteries (Fig. 3 assumes a
 1000 mAh cell), indoor energy harvesting (10--200 uW), DC-DC conversion
 losses, and a ledger that integrates per-component power draw over time.
+The :mod:`~repro.energy.runtime` module closes the loop for the
+discrete-event simulator: :class:`NodeEnergyState` composes a battery,
+an optional harvester and the node's ledger into a streaming
+state-of-charge with brownout (node death) and low-battery signalling.
 """
 
 from .battery import (
@@ -30,6 +34,7 @@ from .harvester import (
 )
 from .converter import DCDCConverter, ldo_regulator, buck_converter
 from .ledger import EnergyLedger, LedgerEntry
+from .runtime import NodeEnergyState
 
 __all__ = [
     "Battery",
@@ -55,4 +60,5 @@ __all__ = [
     "buck_converter",
     "EnergyLedger",
     "LedgerEntry",
+    "NodeEnergyState",
 ]

@@ -233,16 +233,28 @@ class Battery:
 
     @property
     def state_of_charge_fraction(self) -> float:
-        """Remaining charge as a fraction of usable capacity (0..1)."""
+        """Remaining charge as a fraction of usable capacity (0..1).
+
+        Clamped to [0, 1] so float residue at either boundary (a charge
+        landing one ulp above full, a drain one ulp below empty) never
+        leaks out of the contract range.
+        """
         usable = self.spec.usable_energy_joules
         if usable == 0.0:
             return 0.0
-        return self.state_of_charge_joules / usable
+        return min(max(self.state_of_charge_joules / usable, 0.0), 1.0)
 
     @property
     def is_empty(self) -> bool:
-        """Whether the cell has been fully drained."""
-        return self.state_of_charge_joules <= 0.0
+        """Whether the cell has been fully drained.
+
+        Robust to ±1 ulp of residue: a state of charge within one ulp of
+        the usable capacity's zero counts as empty, so a sequence of
+        drains that mathematically exhausts the cell cannot leave it
+        "almost empty" forever on float dust.
+        """
+        return self.state_of_charge_joules <= math.ulp(
+            self.spec.usable_energy_joules)
 
     def drain(self, energy_joules: float, clip: bool = False) -> float:
         """Remove *energy_joules* from the cell.
@@ -255,7 +267,8 @@ class Battery:
         if energy_joules < 0:
             raise EnergyError(f"cannot drain negative energy: {energy_joules}")
         if energy_joules <= self.state_of_charge_joules:
-            self.state_of_charge_joules -= energy_joules
+            self.state_of_charge_joules = max(
+                self.state_of_charge_joules - energy_joules, 0.0)
             return energy_joules
         if not clip:
             raise EnergyError(
@@ -273,9 +286,14 @@ class Battery:
         """
         if energy_joules < 0:
             raise EnergyError(f"cannot charge negative energy: {energy_joules}")
-        headroom = self.spec.usable_energy_joules - self.state_of_charge_joules
+        headroom = max(
+            self.spec.usable_energy_joules - self.state_of_charge_joules, 0.0)
         stored = min(energy_joules, headroom)
-        self.state_of_charge_joules += stored
+        # soc + (usable - soc) can land one ulp above usable; clamp so a
+        # full cell is *exactly* full.
+        self.state_of_charge_joules = min(
+            self.state_of_charge_joules + stored,
+            self.spec.usable_energy_joules)
         return stored
 
     def run(self, load_power_watts: float, duration_seconds: float,
@@ -296,7 +314,8 @@ class Battery:
             return duration_seconds
         required = net * duration_seconds
         if required <= self.state_of_charge_joules:
-            self.state_of_charge_joules -= required
+            self.state_of_charge_joules = max(
+                self.state_of_charge_joules - required, 0.0)
             return duration_seconds
         sustained = self.state_of_charge_joules / net
         self.state_of_charge_joules = 0.0

@@ -5,13 +5,35 @@ node (sensor AFE, ISA block, radio, CPU, ...) has consumed.  The network
 simulator and the architecture comparison both post entries here so that
 the Fig. 1 power breakdown can be regenerated from simulated activity as
 well as from closed-form budgets.
+
+The ledger is dual-mode:
+
+* **streaming** (the default) — only O(1) state is kept per component: a
+  running total, a running grand total and a fixed-width time-bucketed
+  power trace.  Posting is O(1) and memory stays flat however many
+  entries a multi-hour simulation posts.
+* **exact** (``keep_entries=True``) — every :class:`LedgerEntry` is also
+  retained, which figure-regeneration and debugging workflows can replay.
+
+Both modes maintain the same running totals with the same addition
+order, so queries are bit-identical across modes, and exact-mode totals
+are bit-identical to re-summing the entry list.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+import numpy as np
 
 from ..errors import EnergyError
+
+#: Default width of one power-trace bucket (seconds).
+DEFAULT_TRACE_BUCKET_SECONDS = 60.0
+
+#: Default number of power-trace buckets.  Posts beyond the covered
+#: window accumulate into the final bucket, so memory is fixed.
+DEFAULT_TRACE_BUCKETS = 64
 
 
 @dataclass(frozen=True)
@@ -25,11 +47,38 @@ class LedgerEntry:
     note: str = ""
 
 
-@dataclass
 class EnergyLedger:
-    """Accumulates energy per component and exposes breakdown summaries."""
+    """Accumulates energy per component and exposes breakdown summaries.
 
-    entries: list[LedgerEntry] = field(default_factory=list)
+    Parameters
+    ----------
+    keep_entries:
+        Retain the full :class:`LedgerEntry` list (exact mode).  Off by
+        default: the streaming mode keeps only running totals and the
+        bucketed power trace, so memory does not grow with activity.
+    trace_bucket_seconds:
+        Width of one power-trace bucket.
+    trace_buckets:
+        Number of trace buckets.  Energy posted past the covered window
+        lands in the last bucket.
+    """
+
+    def __init__(self, keep_entries: bool = False,
+                 trace_bucket_seconds: float = DEFAULT_TRACE_BUCKET_SECONDS,
+                 trace_buckets: int = DEFAULT_TRACE_BUCKETS) -> None:
+        if trace_bucket_seconds <= 0:
+            raise EnergyError("trace bucket width must be positive")
+        if trace_buckets < 1:
+            raise EnergyError("trace needs at least one bucket")
+        self.trace_bucket_seconds = trace_bucket_seconds
+        self.trace_buckets = trace_buckets
+        self.entries: list[LedgerEntry] | None = [] if keep_entries else None
+        self._totals: dict[str, float] = {}
+        self._grand_total = 0.0
+        self._posted_count = 0
+        self._trace = np.zeros(trace_buckets)
+
+    # -- recording ---------------------------------------------------------
 
     def post(self, component: str, energy_joules: float,
              duration_seconds: float = 0.0,
@@ -46,7 +95,15 @@ class EnergyLedger:
             timestamp_seconds=timestamp_seconds,
             note=note,
         )
-        self.entries.append(entry)
+        if self.entries is not None:
+            self.entries.append(entry)
+        self._totals[component] = (self._totals.get(component, 0.0)
+                                   + energy_joules)
+        self._grand_total += energy_joules
+        self._posted_count += 1
+        bucket = min(int(timestamp_seconds / self.trace_bucket_seconds),
+                     self.trace_buckets - 1)
+        self._trace[max(bucket, 0)] += energy_joules
         return entry
 
     def post_power(self, component: str, power_watts: float,
@@ -63,30 +120,36 @@ class EnergyLedger:
             note=note,
         )
 
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def keeps_entries(self) -> bool:
+        """Whether the ledger retains the exact entry list."""
+        return self.entries is not None
+
+    @property
+    def posted_count(self) -> int:
+        """How many entries have been posted (both modes)."""
+        return self._posted_count
+
+    @property
+    def retained_entries(self) -> int:
+        """Entries currently held in memory (0 in streaming mode)."""
+        return len(self.entries) if self.entries is not None else 0
+
     def total_energy(self, component: str | None = None) -> float:
         """Total posted energy, optionally restricted to one component."""
         if component is None:
-            return sum(entry.energy_joules for entry in self.entries)
-        return sum(
-            entry.energy_joules
-            for entry in self.entries
-            if entry.component == component
-        )
+            return self._grand_total
+        return self._totals.get(component, 0.0)
 
     def components(self) -> list[str]:
         """All component names seen so far, in first-posted order."""
-        seen: list[str] = []
-        for entry in self.entries:
-            if entry.component not in seen:
-                seen.append(entry.component)
-        return seen
+        return list(self._totals)
 
     def breakdown(self) -> dict[str, float]:
         """Energy per component as a dict (component -> joules)."""
-        totals: dict[str, float] = {}
-        for entry in self.entries:
-            totals[entry.component] = totals.get(entry.component, 0.0) + entry.energy_joules
-        return totals
+        return dict(self._totals)
 
     def average_power(self, horizon_seconds: float,
                       component: str | None = None) -> float:
@@ -95,13 +158,57 @@ class EnergyLedger:
             raise EnergyError("horizon must be positive")
         return self.total_energy(component) / horizon_seconds
 
+    def power_trace_watts(self) -> np.ndarray:
+        """Average power per trace bucket (watts; length ``trace_buckets``).
+
+        The final bucket also absorbs everything posted past the covered
+        window, so its value reads as a lower bound on time and an upper
+        bound on power once a run outlives the trace.
+        """
+        return self._trace / self.trace_bucket_seconds
+
+    def trace_energy_joules(self) -> np.ndarray:
+        """Raw per-bucket energy of the power trace (joules)."""
+        return self._trace.copy()
+
+    # -- merging / lifecycle -----------------------------------------------
+
     def merge(self, other: "EnergyLedger") -> "EnergyLedger":
-        """Return a new ledger containing entries from both ledgers."""
-        merged = EnergyLedger()
-        merged.entries.extend(self.entries)
-        merged.entries.extend(other.entries)
+        """Return a new ledger combining both ledgers exactly.
+
+        Per-component and grand totals add exactly (ordinary float sums
+        in self-then-other order); component order is self's components
+        followed by other's unseen ones; trace buckets add elementwise.
+        The merged ledger keeps entries only when both sides do.  Merging
+        requires identical trace configurations — cohort shards built
+        from the same spec always satisfy this.
+        """
+        if (self.trace_bucket_seconds != other.trace_bucket_seconds
+                or self.trace_buckets != other.trace_buckets):
+            raise EnergyError(
+                "cannot merge ledgers with different trace configurations")
+        merged = EnergyLedger(
+            keep_entries=self.keeps_entries and other.keeps_entries,
+            trace_bucket_seconds=self.trace_bucket_seconds,
+            trace_buckets=self.trace_buckets,
+        )
+        if merged.entries is not None:
+            merged.entries.extend(self.entries)
+            merged.entries.extend(other.entries)
+        merged._totals = dict(self._totals)
+        for component, energy in other._totals.items():
+            merged._totals[component] = (merged._totals.get(component, 0.0)
+                                         + energy)
+        merged._grand_total = self._grand_total + other._grand_total
+        merged._posted_count = self._posted_count + other._posted_count
+        merged._trace = self._trace + other._trace
         return merged
 
     def clear(self) -> None:
-        """Drop all entries."""
-        self.entries.clear()
+        """Drop all accumulated state (keeps the configured mode)."""
+        if self.entries is not None:
+            self.entries.clear()
+        self._totals.clear()
+        self._grand_total = 0.0
+        self._posted_count = 0
+        self._trace[:] = 0.0

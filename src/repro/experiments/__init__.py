@@ -24,6 +24,7 @@ or paper id) instead of importing driver modules directly.
 | E12| MQS-HBC implant extension (future work)          | ``implant_extension``     |
 | E13| Scenario gallery (MAC policies, link mixes)      | ``scenario_gallery``      |
 | E14| Population-scale cohort study                    | ``cohort_study``          |
+| E15| Closed-loop lifetime (DES vs closed form)        | ``lifetime``              |
 """
 
 from . import (
@@ -35,6 +36,7 @@ from . import (
     fig2_battery_survey,
     fig3_battery_projection,
     isa_ablation,
+    lifetime,
     network_scaling,
     partitioned_inference,
     perpetual,
@@ -58,4 +60,5 @@ __all__ = [
     "implant_extension",
     "scenario_gallery",
     "cohort_study",
+    "lifetime",
 ]

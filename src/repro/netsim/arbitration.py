@@ -61,6 +61,10 @@ class ArbitrationPolicy(Protocol):
     def pending_count(self) -> int:
         """Number of packets waiting for a grant."""
 
+    def purge_node(self, node_name: str) -> int:
+        """Drop every pending packet of one node (brownout); returns the
+        number of packets discarded."""
+
 
 class FIFOArbitration:
     """First-come-first-served single queue (the legacy bus behaviour)."""
@@ -83,6 +87,13 @@ class FIFOArbitration:
 
     def pending_count(self) -> int:
         return len(self._pending)
+
+    def purge_node(self, node_name: str) -> int:
+        kept = deque(packet for packet in self._pending
+                     if packet.source != node_name)
+        removed = len(self._pending) - len(kept)
+        self._pending = kept
+        return removed
 
 
 class TDMAArbitration:
@@ -130,6 +141,15 @@ class TDMAArbitration:
 
     def pending_count(self) -> int:
         return self._pending
+
+    def purge_node(self, node_name: str) -> int:
+        queue = self._queues.get(node_name)
+        if queue is None:
+            return 0
+        removed = len(queue)
+        queue.clear()
+        self._pending -= removed
+        return removed
 
     def _slot_table(self) -> dict[str, tuple[float, float]]:
         """Per-node ``(offset, width)`` transmit windows in the superframe."""
@@ -241,6 +261,15 @@ class HubPollingArbitration:
 
     def pending_count(self) -> int:
         return self._pending
+
+    def purge_node(self, node_name: str) -> int:
+        queue = self._queues.get(node_name)
+        if queue is None:
+            return 0
+        removed = len(queue)
+        queue.clear()
+        self._pending -= removed
+        return removed
 
     def poll_cost_seconds(self) -> float:
         """Cost of one poll (downlink overhead + turnaround)."""

@@ -147,6 +147,12 @@ class Medium:
         """Register a callback invoked with each delivered packet."""
         self._delivery_callbacks.append(callback)
 
+    def purge_node(self, name: str) -> int:
+        """Drop one node's queued packets (brownout).  Returns how many
+        were discarded.  A transmission already granted or in flight is
+        not recalled — it is already on the medium."""
+        return self.policy.purge_node(name)
+
     # -- data path ---------------------------------------------------------
 
     def submit(self, packet: Packet) -> bool:

@@ -9,23 +9,59 @@ simulated duration.  The result reports per-node average power, per-node
 goodput and latency statistics — the dynamic counterpart of the
 closed-form budgets in :mod:`repro.core`, and the engine behind the
 network-scaling ablation and the scenario gallery.
+
+Nodes may carry a finite battery and an energy harvester (see
+:mod:`repro.energy.runtime`): the simulator then drains the battery on
+every transmission and, through periodic energy-update events on the
+same :class:`~repro.netsim.events.EventQueue`, on every sensing/ISA/
+sleep interval, credits harvested energy back, and reacts to the two
+state-of-charge thresholds — a *low-battery* crossing throttles the
+node's traffic (duty-cycle adaptation), an empty cell *browns the node
+out* (it stops generating and consuming for the rest of the run).
+Nodes without a battery behave exactly as before; a simulation with no
+battery- or harvester-carrying node is bit-identical to the historical
+kernel.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..errors import SimulationError
 from ..comm.link import CommTechnology
+from ..energy.battery import BatterySpec
+from ..energy.harvester import EnergyHarvester, HarvestingEnvironment
 from ..energy.ledger import EnergyLedger
+from ..energy.runtime import NodeEnergyState
 from .. import units
 from .arbitration import ArbitrationPolicy
 from .bus import Medium
 from .events import EventQueue
 from .packet import Packet
 from .traffic import TrafficSource
+
+#: Default spacing of the periodic energy-update events (simulated
+#: seconds).  Only scheduled when at least one node carries a battery or
+#: harvester; brownout times are interpolated inside the interval, so
+#: the default resolves death times far finer than the tick itself.
+DEFAULT_ENERGY_UPDATE_INTERVAL_SECONDS = 1.0
+
+#: Traffic throttle applied on a low-battery crossing: the node emits
+#: one packet out of this many until the end of the run.
+DEFAULT_LOW_BATTERY_STRIDE = 2
+
+
+@dataclass(frozen=True)
+class EnergyEvent:
+    """One energy-state transition observed during a run."""
+
+    kind: str  # "brownout" or "low_battery"
+    node: str
+    time_seconds: float
+    state_of_charge_fraction: float
 
 
 @dataclass
@@ -41,6 +77,13 @@ class SimulatedNode:
     ledger: EnergyLedger = field(default_factory=EnergyLedger)
     packets_sent: int = 0
     bits_sent: float = 0.0
+    energy: NodeEnergyState | None = None
+    packets_delivered: int = 0
+    tx_stride: int = 1
+    low_battery_stride: int = DEFAULT_LOW_BATTERY_STRIDE
+    generated_count: int = 0
+    accounted_bits: float = 0.0
+    energy_settled_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         if self.sensing_power_watts < 0 or self.isa_power_watts < 0:
@@ -65,6 +108,16 @@ class SimulationResult:
     hub_energy_joules: float = 0.0
     hub_average_power_watts: float = 0.0
     offered_packets: int = 0
+    #: Final state of charge of every battery-carrying node (fraction).
+    per_node_state_of_charge: dict[str, float] = field(default_factory=dict)
+    #: Brownout time of every node that died during the run.
+    per_node_first_death_seconds: dict[str, float] = field(default_factory=dict)
+    #: Packets each dead node delivered before its brownout.
+    per_node_delivered_before_death: dict[str, int] = field(default_factory=dict)
+    #: Chronological brownout / low-battery transitions.
+    energy_events: tuple[EnergyEvent, ...] = ()
+    #: Total energy credited by harvesters across all nodes.
+    harvested_joules: float = 0.0
 
     @property
     def total_leaf_power_watts(self) -> float:
@@ -83,6 +136,26 @@ class SimulationResult:
         if self.offered_packets == 0:
             return 1.0
         return self.delivered_packets / self.offered_packets
+
+    @property
+    def first_death_seconds(self) -> float:
+        """Earliest brownout time (``inf`` when every node survived)."""
+        if not self.per_node_first_death_seconds:
+            return math.inf
+        return min(self.per_node_first_death_seconds.values())
+
+    @property
+    def dead_node_count(self) -> int:
+        """Number of nodes that browned out during the run."""
+        return len(self.per_node_first_death_seconds)
+
+    @property
+    def alive_fraction(self) -> float:
+        """Fraction of leaf nodes still alive at the horizon."""
+        total = len(self.per_node_average_power_watts)
+        if total == 0:
+            return 1.0
+        return 1.0 - self.dead_node_count / total
 
 
 class BodyNetworkSimulator:
@@ -104,13 +177,25 @@ class BodyNetworkSimulator:
     latency_exact_capacity:
         Exact-sample capacity of the latency statistics; beyond it the
         accumulator streams with bounded memory (multi-hour runs).
+    energy_update_interval_seconds:
+        Spacing of the periodic energy-update events (harvest credit,
+        static-power drain, threshold checks).  Only used when a node
+        carries a battery or harvester.
+    harvest_environment:
+        Environment every node's harvester operates in.
     """
 
     def __init__(self, technology: CommTechnology,
                  rng: np.random.Generator | int | None = 0,
                  per_packet_overhead_seconds: float = 100e-6,
                  arbitration: ArbitrationPolicy | str | None = None,
-                 latency_exact_capacity: int | None = None) -> None:
+                 latency_exact_capacity: int | None = None,
+                 energy_update_interval_seconds: float =
+                 DEFAULT_ENERGY_UPDATE_INTERVAL_SECONDS,
+                 harvest_environment: HarvestingEnvironment =
+                 HarvestingEnvironment.INDOOR_OFFICE) -> None:
+        if energy_update_interval_seconds <= 0:
+            raise SimulationError("energy update interval must be positive")
         self.technology = technology
         if not isinstance(rng, np.random.Generator):
             rng = np.random.default_rng(rng)
@@ -125,28 +210,54 @@ class BodyNetworkSimulator:
         )
         self.nodes: dict[str, SimulatedNode] = {}
         self.hub_ledger = EnergyLedger()
+        self.energy_update_interval_seconds = energy_update_interval_seconds
+        self.harvest_environment = harvest_environment
+        self.energy_events: list[EnergyEvent] = []
+        self._death_records: dict[str, tuple[float, int]] = {}
         self.bus.on_delivery(self._account_delivery)
 
     def add_node(self, name: str, source: TrafficSource,
                  sensing_power_watts: float = 0.0,
                  isa_power_watts: float = 0.0,
-                 technology: CommTechnology | None = None) -> SimulatedNode:
+                 technology: CommTechnology | None = None,
+                 battery: BatterySpec | None = None,
+                 harvester: EnergyHarvester | None = None,
+                 initial_charge_fraction: float = 1.0,
+                 low_battery_fraction: float | None = None,
+                 low_battery_stride: int = DEFAULT_LOW_BATTERY_STRIDE
+                 ) -> SimulatedNode:
         """Attach a leaf node with its traffic source and static powers.
 
         ``technology`` overrides the simulator default for this node only:
         its packets serialise at that technology's rate and its energy is
         accounted at that technology's per-bit costs (mixed link layers on
-        one body).
+        one body).  ``battery`` gives the node a finite cell (it can brown
+        out mid-run), ``harvester`` credits energy back continuously, and
+        ``low_battery_fraction`` arms duty-cycle adaptation: below that
+        state of charge the node emits only one packet per
+        ``low_battery_stride`` generation opportunities.
         """
         if name in self.nodes:
             raise SimulationError(f"node {name!r} already exists")
+        if low_battery_stride < 1:
+            raise SimulationError("low-battery stride must be >= 1")
         node = SimulatedNode(
             name=name,
             source=source,
             technology=technology if technology is not None else self.technology,
             sensing_power_watts=sensing_power_watts,
             isa_power_watts=isa_power_watts,
+            low_battery_stride=low_battery_stride,
         )
+        if battery is not None or harvester is not None:
+            node.energy = NodeEnergyState.from_spec(
+                battery=battery,
+                harvester=harvester,
+                environment=self.harvest_environment,
+                initial_charge_fraction=initial_charge_fraction,
+                ledger=node.ledger,
+                low_battery_fraction=low_battery_fraction,
+            )
         self.nodes[name] = node
         self.bus.register_node(
             name, source.average_rate_bps(),
@@ -156,18 +267,104 @@ class BodyNetworkSimulator:
         return node
 
     def set_node_active(self, name: str, active: bool) -> None:
-        """Gate a node's traffic generation (duty-cycle / posture events)."""
+        """Gate a node's traffic generation (duty-cycle / posture events).
+
+        A browned-out node cannot be woken: death is terminal for the
+        remainder of the run.
+        """
         try:
-            self.nodes[name].active = active
+            node = self.nodes[name]
         except KeyError:
             raise SimulationError(f"unknown node {name!r}") from None
+        if active and node.energy is not None and not node.energy.alive:
+            return
+        node.active = active
 
     def _account_delivery(self, packet: Packet) -> None:
         node = self.nodes[packet.source]
         tx_energy = packet.bits * node.technology.tx_energy_per_bit()
         rx_energy = packet.bits * node.technology.rx_energy_per_bit()
-        node.ledger.post("wir_tx", tx_energy, timestamp_seconds=self.queue.now)
+        if node.energy is None:
+            node.ledger.post("wir_tx", tx_energy,
+                             timestamp_seconds=self.queue.now)
+            node.packets_delivered += 1
+        else:
+            was_alive = node.energy.alive
+            node.energy.drain("wir_tx", tx_energy, self.queue.now)
+            if was_alive:
+                node.packets_delivered += 1
+            if not node.energy.alive:
+                self._record_death(node)
         self.hub_ledger.post("wir_rx", rx_energy, timestamp_seconds=self.queue.now)
+
+    def _record_death(self, node: SimulatedNode) -> None:
+        """Mark a brownout once: stop traffic, freeze the node's counters.
+
+        The dead node's queued packets are purged from the medium — a
+        browned-out transmitter cannot serialise its backlog.  At most
+        one already-granted transmission may still complete (it was in
+        flight when the cell emptied).
+        """
+        if node.name in self._death_records:
+            return
+        assert node.energy is not None and node.energy.death_seconds is not None
+        self._death_records[node.name] = (node.energy.death_seconds,
+                                          node.packets_delivered)
+        node.active = False
+        self.bus.purge_node(node.name)
+        self.energy_events.append(EnergyEvent(
+            kind="brownout", node=node.name,
+            time_seconds=node.energy.death_seconds,
+            state_of_charge_fraction=0.0))
+
+    def _settle_energy(self, node: SimulatedNode, now: float) -> None:
+        """Serve a node's static loads since its last settlement."""
+        state = node.energy
+        assert state is not None
+        elapsed = now - node.energy_settled_seconds
+        node.energy_settled_seconds = now
+        if elapsed <= 0.0 or not state.alive:
+            return
+        # Transceiver sleep power covers whatever the interval did not
+        # spend serialising — the same split the batteryless path applies
+        # to the whole run at once.
+        delta_bits = node.bits_sent - node.accounted_bits
+        node.accounted_bits = node.bits_sent
+        tx_time = delta_bits / node.technology.data_rate_bps()
+        sleep_time = max(elapsed - tx_time, 0.0)
+        loads = {
+            "sensing": node.sensing_power_watts,
+            "isa": node.isa_power_watts,
+            "wir_sleep": (node.technology.sleep_power()
+                          * sleep_time / elapsed),
+        }
+        state.advance(loads, elapsed, now)
+        if not state.alive:
+            self._record_death(node)
+        elif state.is_low_battery() and node.tx_stride == 1:
+            node.tx_stride = node.low_battery_stride
+            if node.tx_stride > 1:
+                self.energy_events.append(EnergyEvent(
+                    kind="low_battery", node=node.name, time_seconds=now,
+                    state_of_charge_fraction=state.state_of_charge_fraction))
+
+    def _schedule_energy_updates(self, end_time: float) -> None:
+        energy_nodes = [node for node in self.nodes.values()
+                        if node.energy is not None]
+        if not energy_nodes:
+            return
+        interval = self.energy_update_interval_seconds
+
+        def update() -> None:
+            now = self.queue.now
+            for node in energy_nodes:
+                self._settle_energy(node, now)
+            next_time = now + interval
+            if next_time <= end_time:
+                self.queue.schedule_at(next_time, update)
+
+        if interval <= end_time:
+            self.queue.schedule_at(interval, update)
 
     def _schedule_generation(self, node: SimulatedNode, end_time: float) -> None:
         delay = node.source.next_interarrival_seconds(self.rng)
@@ -175,17 +372,20 @@ class BodyNetworkSimulator:
 
         def generate() -> None:
             if node.active:
-                bits = node.source.packet_bits(self.rng)
-                packet = Packet(
-                    source=node.name,
-                    destination="hub",
-                    bits=bits,
-                    created_at=self.queue.now,
-                )
-                accepted = self.bus.submit(packet)
-                if accepted:
-                    node.packets_sent += 1
-                    node.bits_sent += bits
+                opportunity = node.generated_count
+                node.generated_count += 1
+                if opportunity % node.tx_stride == 0:
+                    bits = node.source.packet_bits(self.rng)
+                    packet = Packet(
+                        source=node.name,
+                        destination="hub",
+                        bits=bits,
+                        created_at=self.queue.now,
+                    )
+                    accepted = self.bus.submit(packet)
+                    if accepted:
+                        node.packets_sent += 1
+                        node.bits_sent += bits
             self._schedule_generation(node, end_time)
 
         if next_time <= end_time:
@@ -200,20 +400,33 @@ class BodyNetworkSimulator:
 
         for node in self.nodes.values():
             self._schedule_generation(node, duration_seconds)
+        self._schedule_energy_updates(duration_seconds)
         self.queue.run_until(duration_seconds)
 
         per_node_power: dict[str, float] = {}
         per_node_goodput: dict[str, float] = {}
+        state_of_charge: dict[str, float] = {}
+        harvested = 0.0
         for name, node in self.nodes.items():
-            # Static sensing / ISA power accrues for the whole run.
-            node.ledger.post_power("sensing", node.sensing_power_watts,
-                                   duration_seconds)
-            node.ledger.post_power("isa", node.isa_power_watts, duration_seconds)
-            # Sleep power of the transceiver when not transmitting.
-            tx_time = node.bits_sent / node.technology.data_rate_bps()
-            sleep_time = max(duration_seconds - tx_time, 0.0)
-            node.ledger.post_power("wir_sleep", node.technology.sleep_power(),
-                                   sleep_time)
+            if node.energy is None:
+                # Static sensing / ISA power accrues for the whole run.
+                node.ledger.post_power("sensing", node.sensing_power_watts,
+                                       duration_seconds)
+                node.ledger.post_power("isa", node.isa_power_watts,
+                                       duration_seconds)
+                # Sleep power of the transceiver when not transmitting.
+                tx_time = node.bits_sent / node.technology.data_rate_bps()
+                sleep_time = max(duration_seconds - tx_time, 0.0)
+                node.ledger.post_power("wir_sleep",
+                                       node.technology.sleep_power(),
+                                       sleep_time)
+            else:
+                # Settle the residual interval since the last energy tick.
+                self._settle_energy(node, duration_seconds)
+                harvested += node.energy.harvested_joules
+                if node.energy.battery is not None:
+                    state_of_charge[name] = \
+                        node.energy.state_of_charge_fraction
             per_node_power[name] = node.ledger.average_power(duration_seconds)
             per_node_goodput[name] = node.bits_sent / duration_seconds
 
@@ -249,6 +462,19 @@ class BodyNetworkSimulator:
             offered_packets=(sum(node.packets_sent
                                  for node in self.nodes.values())
                              + stats.dropped_packets),
+            per_node_state_of_charge=state_of_charge,
+            per_node_first_death_seconds={
+                name: death for name, (death, _)
+                in self._death_records.items()},
+            per_node_delivered_before_death={
+                name: delivered for name, (_, delivered)
+                in self._death_records.items()},
+            # Detection order can lag an interpolated brownout time by up
+            # to one tick; sort (stably) so the tuple is chronological as
+            # documented.
+            energy_events=tuple(sorted(
+                self.energy_events, key=lambda event: event.time_seconds)),
+            harvested_joules=harvested,
         )
 
     def describe(self) -> dict[str, object]:
@@ -264,4 +490,8 @@ class BodyNetworkSimulator:
             ),
             "arbitration": self.bus.policy.name,
             "node_technologies": technologies,
+            "battery_nodes": sum(
+                1 for node in self.nodes.values()
+                if node.energy is not None
+                and node.energy.battery is not None),
         }

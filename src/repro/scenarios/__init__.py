@@ -6,16 +6,26 @@ population (sensor-catalog modalities or explicit rates), per-node link
 technologies, the MAC arbitration policy and duty-cycle events, and
 compiles to a ready-to-run simulator.  A registry of named scenarios
 (``sleep_night``, ``workout``, ``clinical_ward``, ``dense_50_leaf``,
-``implant_mix``, ``legacy_ble_island``, ...) backs ``repro scenarios
+``implant_mix``, ``legacy_ble_island``, plus the lifetime pair
+``harvester_patch`` and ``week_wear``) backs ``repro scenarios
 list/run``, the ``scenario_gallery`` experiment and the DES benchmarks.
+Nodes may carry batteries and harvesters (see
+:mod:`repro.energy.runtime`); defaults compile bit-identically to the
+pre-energy-runtime kernel.
 """
 
 from .spec import (
+    BATTERY_FACTORIES,
+    ENVIRONMENTS,
+    HARVESTER_FACTORIES,
     TECHNOLOGY_FACTORIES,
     ScenarioEvent,
     ScenarioNodeSpec,
     ScenarioResult,
     ScenarioSpec,
+    battery_for,
+    environment_for,
+    harvester_for,
     technology_for,
 )
 from .registry import (
@@ -26,7 +36,13 @@ from .registry import (
 )
 
 __all__ = [
+    "BATTERY_FACTORIES",
+    "ENVIRONMENTS",
+    "HARVESTER_FACTORIES",
     "TECHNOLOGY_FACTORIES",
+    "battery_for",
+    "environment_for",
+    "harvester_for",
     "technology_for",
     "ScenarioNodeSpec",
     "ScenarioEvent",

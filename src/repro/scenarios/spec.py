@@ -15,6 +15,8 @@ and reproduced exactly from their parameters.
 
 from __future__ import annotations
 
+import dataclasses
+import math
 from dataclasses import dataclass
 from typing import Callable
 
@@ -27,6 +29,21 @@ from ..comm.eqs_hbc import (
 from ..comm.link import CommTechnology
 from ..comm.mqs_hbc import mqs_implant_link, mqs_wearable_relay
 from ..comm.nfmi import nfmi_hearing_aid
+from ..energy.battery import (
+    BatterySpec,
+    coin_cell_cr2032,
+    coin_cell_high_capacity,
+    lipo_smartwatch,
+)
+from ..energy.harvester import (
+    EnergyHarvester,
+    HarvestingEnvironment,
+    indoor_photovoltaic,
+    kinetic_wrist,
+    outdoor_photovoltaic,
+    rf_ambient,
+    thermoelectric_body,
+)
 from ..errors import ScenarioError
 from ..netsim.arbitration import POLICY_FACTORIES
 from ..netsim.simulator import BodyNetworkSimulator, SimulationResult
@@ -45,6 +62,27 @@ TECHNOLOGY_FACTORIES: dict[str, Callable[[], CommTechnology]] = {
     "nfmi": nfmi_hearing_aid,
 }
 
+#: Battery cells a scenario node may carry, by short name.
+BATTERY_FACTORIES: dict[str, Callable[[], BatterySpec]] = {
+    "cr2032": coin_cell_cr2032,
+    "coin_1000mah": coin_cell_high_capacity,
+    "lipo_watch": lipo_smartwatch,
+}
+
+#: Harvesters a scenario node may carry, by short name.
+HARVESTER_FACTORIES: dict[str, Callable[[], EnergyHarvester]] = {
+    "indoor_pv": indoor_photovoltaic,
+    "outdoor_pv": outdoor_photovoltaic,
+    "teg": thermoelectric_body,
+    "kinetic": kinetic_wrist,
+    "rf": rf_ambient,
+}
+
+#: Harvesting environments, by short name.
+ENVIRONMENTS: dict[str, HarvestingEnvironment] = {
+    environment.value: environment for environment in HarvestingEnvironment
+}
+
 
 def technology_for(key: str) -> CommTechnology:
     """Instantiate the link technology registered under *key*."""
@@ -56,6 +94,44 @@ def technology_for(key: str) -> CommTechnology:
             f"unknown technology {key!r} (known: {known})") from None
 
 
+def battery_for(key: str, scale: float = 1.0) -> BatterySpec:
+    """Instantiate the battery registered under *key*, capacity-scaled.
+
+    ``scale`` shrinks (or grows) the cell's capacity, which is how a
+    scenario compresses a week of battery trajectory into an hour of
+    simulated time (see the ``week_wear`` gallery scenario).
+    """
+    try:
+        spec = BATTERY_FACTORIES[key]()
+    except KeyError:
+        known = ", ".join(sorted(BATTERY_FACTORIES))
+        raise ScenarioError(
+            f"unknown battery {key!r} (known: {known})") from None
+    if scale == 1.0:
+        return spec
+    return dataclasses.replace(spec, capacity_mah=spec.capacity_mah * scale)
+
+
+def harvester_for(key: str) -> EnergyHarvester:
+    """Instantiate the harvester registered under *key*."""
+    try:
+        return HARVESTER_FACTORIES[key]()
+    except KeyError:
+        known = ", ".join(sorted(HARVESTER_FACTORIES))
+        raise ScenarioError(
+            f"unknown harvester {key!r} (known: {known})") from None
+
+
+def environment_for(key: str) -> HarvestingEnvironment:
+    """Resolve a harvesting-environment short name."""
+    try:
+        return ENVIRONMENTS[key]
+    except KeyError:
+        known = ", ".join(sorted(ENVIRONMENTS))
+        raise ScenarioError(
+            f"unknown environment {key!r} (known: {known})") from None
+
+
 @dataclass(frozen=True)
 class ScenarioNodeSpec:
     """One leaf population in a scenario.
@@ -63,6 +139,15 @@ class ScenarioNodeSpec:
     Either ``modality`` (rate taken from the sensor catalog's compressed
     rate) or an explicit ``rate_bps`` must be given.  ``count > 1``
     replicates the node as ``name0..nameN-1``.
+
+    ``battery`` (a :data:`BATTERY_FACTORIES` key) gives the node a finite
+    cell whose capacity is multiplied by ``battery_scale`` — scaling a
+    cell down compresses days of battery trajectory into a short run.
+    ``harvester`` (a :data:`HARVESTER_FACTORIES` key) credits energy back
+    in the scenario's environment, and ``low_battery_fraction`` arms the
+    simulator's duty-cycle adaptation.  All default to off, which keeps
+    the node's compiled behaviour bit-identical to the pre-energy-runtime
+    kernel.
     """
 
     name: str
@@ -74,6 +159,11 @@ class ScenarioNodeSpec:
     count: int = 1
     sensing_power_watts: float = 30e-6
     isa_power_watts: float = 0.0
+    battery: str | None = None
+    battery_scale: float = 1.0
+    initial_charge_fraction: float = 1.0
+    harvester: str | None = None
+    low_battery_fraction: float | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -96,6 +186,20 @@ class ScenarioNodeSpec:
         if self.sensing_power_watts < 0 or self.isa_power_watts < 0:
             raise ScenarioError(
                 f"node {self.name!r} powers must be non-negative")
+        if self.battery_scale <= 0:
+            raise ScenarioError(
+                f"node {self.name!r} battery scale must be positive")
+        if not 0.0 < self.initial_charge_fraction <= 1.0:
+            raise ScenarioError(
+                f"node {self.name!r} initial charge must be in (0, 1]")
+        if self.low_battery_fraction is not None and not (
+                0.0 < self.low_battery_fraction < 1.0):
+            raise ScenarioError(
+                f"node {self.name!r} low-battery fraction must be in (0, 1)")
+        if self.battery is not None:
+            battery_for(self.battery)  # raises with the known list
+        if self.harvester is not None:
+            harvester_for(self.harvester)  # raises with the known list
 
     def resolved_rate_bps(self) -> float:
         """The offered rate: explicit override, else catalog compressed rate."""
@@ -155,9 +259,14 @@ class ScenarioResult:
     simulated: SimulationResult
 
     def row(self) -> dict[str, object]:
-        """One report-table row for this scenario run."""
+        """One report-table row for this scenario run.
+
+        The lifetime columns only appear for battery-carrying scenarios,
+        so the historical gallery rows are byte-identical to before the
+        energy runtime existed.
+        """
         sim = self.simulated
-        return {
+        row: dict[str, object] = {
             "scenario": self.scenario,
             "nodes": self.node_count,
             "mac": self.arbitration,
@@ -171,6 +280,17 @@ class ScenarioResult:
             "leaf_power_uw": sim.total_leaf_power_watts * 1e6,
             "hub_power_uw": sim.hub_average_power_watts * 1e6,
         }
+        if sim.per_node_state_of_charge:
+            row["min_soc"] = round(
+                min(sim.per_node_state_of_charge.values()), 4)
+            row["dead_nodes"] = sim.dead_node_count
+            row["first_death_s"] = (
+                round(sim.first_death_seconds, 2)
+                if math.isfinite(sim.first_death_seconds) else float("inf"))
+        if sim.per_node_state_of_charge or sim.harvested_joules > 0.0:
+            # Harvester-only nodes (no battery) still bank income.
+            row["harvested_j"] = round(sim.harvested_joules, 6)
+        return row
 
 
 @dataclass(frozen=True)
@@ -185,6 +305,8 @@ class ScenarioSpec:
     hub_technology: str = "wir"
     events: tuple[ScenarioEvent, ...] = ()
     per_packet_overhead_seconds: float = 100e-6
+    environment: str = "indoor_office"
+    energy_update_interval_seconds: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -199,6 +321,11 @@ class ScenarioSpec:
                 f"scenario {self.name!r}: unknown arbitration "
                 f"{self.arbitration!r} (known: {known})")
         technology_for(self.hub_technology)
+        environment_for(self.environment)
+        if self.energy_update_interval_seconds <= 0:
+            raise ScenarioError(
+                f"scenario {self.name!r}: energy update interval must be "
+                "positive")
         seen: set[str] = set()
         for node in self.nodes:
             for concrete in node.expanded_names():
@@ -240,6 +367,12 @@ class ScenarioSpec:
         """Sorted set of technology keys used by the leaves."""
         return tuple(sorted({node.technology for node in self.nodes}))
 
+    @property
+    def has_energy_runtime(self) -> bool:
+        """Whether any leaf carries a battery or a harvester."""
+        return any(node.battery is not None or node.harvester is not None
+                   for node in self.nodes)
+
     # -- compilation -------------------------------------------------------
 
     def build(self, seed: int = 0,
@@ -263,10 +396,14 @@ class ScenarioSpec:
             per_packet_overhead_seconds=self.per_packet_overhead_seconds,
             arbitration=self.arbitration,
             latency_exact_capacity=latency_exact_capacity,
+            energy_update_interval_seconds=self.energy_update_interval_seconds,
+            harvest_environment=environment_for(self.environment),
         )
         for node in self.nodes:
             technology = (None if node.technology == self.hub_technology
                           else technology_for(node.technology))
+            battery = (battery_for(node.battery, node.battery_scale)
+                       if node.battery is not None else None)
             for concrete in node.expanded_names():
                 simulator.add_node(
                     concrete,
@@ -274,6 +411,11 @@ class ScenarioSpec:
                     sensing_power_watts=node.sensing_power_watts,
                     isa_power_watts=node.isa_power_watts,
                     technology=technology,
+                    battery=battery,
+                    harvester=(harvester_for(node.harvester)
+                               if node.harvester is not None else None),
+                    initial_charge_fraction=node.initial_charge_fraction,
+                    low_battery_fraction=node.low_battery_fraction,
                 )
         for event in self.events:
             active = event.action == "wake"

@@ -215,3 +215,61 @@ class TestChemistryTables:
             assert chemistry in SELF_DISCHARGE_PER_YEAR
             assert NOMINAL_VOLTAGE[chemistry] > 0
             assert 0 <= SELF_DISCHARGE_PER_YEAR[chemistry] < 1
+
+
+class TestSocBoundaryRobustness:
+    """Satellite: SoC clamps exactly at [0, capacity] and `is_empty`
+    tolerates float residue at the empty boundary."""
+
+    def test_charge_to_exactly_full_is_exact(self):
+        cell = Battery(spec=coin_cell_cr2032())
+        cell.drain(123.456789)
+        cell.charge(1e9)
+        assert cell.state_of_charge_joules == cell.spec.usable_energy_joules
+        assert cell.state_of_charge_fraction == 1.0
+
+    def test_is_empty_tolerates_ulp_residue(self):
+        cell = Battery(spec=coin_cell_cr2032())
+        usable = cell.spec.usable_energy_joules
+        # Drain in three uneven chunks that mathematically sum to the
+        # whole capacity; float rounding may leave ±1 ulp behind.
+        cell.drain(usable * 0.3, clip=True)
+        cell.drain(usable * 0.33, clip=True)
+        cell.drain(usable - usable * 0.3 - usable * 0.33, clip=True)
+        assert cell.state_of_charge_joules <= math.ulp(usable)
+        assert cell.is_empty
+
+    def test_fraction_clamped_even_with_manual_residue(self):
+        cell = Battery(spec=coin_cell_cr2032())
+        cell.state_of_charge_joules = -1e-18  # adversarial residue
+        assert cell.state_of_charge_fraction == 0.0
+        cell.state_of_charge_joules = cell.spec.usable_energy_joules * (1 + 1e-16)
+        assert cell.state_of_charge_fraction == 1.0
+
+    @given(st.lists(
+        st.tuples(
+            st.sampled_from(["drain", "charge", "run", "run_harvest"]),
+            st.floats(min_value=0.0, max_value=100.0,
+                      allow_nan=False, allow_infinity=False),
+            st.floats(min_value=0.0, max_value=1e4,
+                      allow_nan=False, allow_infinity=False),
+        ),
+        max_size=50,
+    ))
+    def test_soc_fraction_never_leaves_unit_interval(self, operations):
+        """Property: arbitrary drain/charge/run sequences keep the state
+        of charge inside [0, capacity] — the satellite's contract."""
+        cell = Battery(spec=BatterySpec(name="prop", capacity_mah=1.0))
+        usable = cell.spec.usable_energy_joules
+        for kind, amount, duration in operations:
+            if kind == "drain":
+                cell.drain(amount, clip=True)
+            elif kind == "charge":
+                cell.charge(amount)
+            elif kind == "run":
+                cell.run(amount * 1e-3, duration)
+            else:
+                cell.run(amount * 1e-3, duration,
+                         harvested_power_watts=amount * 2e-3)
+            assert 0.0 <= cell.state_of_charge_fraction <= 1.0
+            assert 0.0 <= cell.state_of_charge_joules <= usable

@@ -114,3 +114,72 @@ class TestTotalHarvestedPower:
 
     def test_empty_list_is_zero(self):
         assert total_harvested_power([]) == 0.0
+
+
+class TestEnvironmentTransitions:
+    """Satellite coverage: the same harvester moved across environments."""
+
+    def test_indoor_outdoor_pv_ratio_follows_illuminance_table(self):
+        from repro.energy.harvester import ILLUMINANCE_LUX
+
+        harvester = indoor_photovoltaic()
+        for env_a in HarvestingEnvironment:
+            for env_b in HarvestingEnvironment:
+                ratio = (harvester.power_watts(env_a)
+                         / harvester.power_watts(env_b))
+                expected = ILLUMINANCE_LUX[env_a] / ILLUMINANCE_LUX[env_b]
+                assert ratio == pytest.approx(expected)
+
+    def test_stepping_outside_and_back_is_stateless(self):
+        harvester = outdoor_photovoltaic()
+        before = harvester.power_watts(HarvestingEnvironment.INDOOR_OFFICE)
+        harvester.power_watts(HarvestingEnvironment.OUTDOOR_SUN)
+        after = harvester.power_watts(HarvestingEnvironment.INDOOR_OFFICE)
+        assert after == before
+
+    def test_overcast_sits_between_indoor_bright_and_sun(self):
+        harvester = outdoor_photovoltaic()
+        bright = harvester.power_watts(HarvestingEnvironment.INDOOR_BRIGHT)
+        overcast = harvester.power_watts(HarvestingEnvironment.OUTDOOR_OVERCAST)
+        sun = harvester.power_watts(HarvestingEnvironment.OUTDOOR_SUN)
+        assert bright < overcast < sun
+
+    def test_kinetic_intensity_zero_harvests_nothing(self):
+        assert kinetic_wrist(motion_intensity=0.0).power_watts() == 0.0
+
+    def test_kinetic_ignores_environment(self):
+        harvester = kinetic_wrist(motion_intensity=0.5)
+        powers = {harvester.power_watts(environment)
+                  for environment in HarvestingEnvironment}
+        assert len(powers) == 1
+
+    def test_thermoelectric_zero_gradient_harvests_nothing(self):
+        assert thermoelectric_body(delta_t_kelvin=0.0).power_watts() == 0.0
+
+    def test_rf_environment_transition_is_exactly_the_documented_scale(self):
+        harvester = rf_ambient(peak_power_watts=units.microwatt(5.0))
+        indoor = harvester.power_watts(HarvestingEnvironment.INDOOR_DIM)
+        outdoor = harvester.power_watts(HarvestingEnvironment.OUTDOOR_OVERCAST)
+        assert indoor == pytest.approx(units.microwatt(5.0))
+        assert outdoor == pytest.approx(units.microwatt(1.0))
+
+
+class TestTotalHarvestedPowerAcrossEnvironments:
+    def test_total_tracks_environment_for_mixed_stack(self):
+        stack = [indoor_photovoltaic(), thermoelectric_body(),
+                 kinetic_wrist(), rf_ambient()]
+        indoor = total_harvested_power(
+            stack, HarvestingEnvironment.INDOOR_OFFICE)
+        sun = total_harvested_power(stack, HarvestingEnvironment.OUTDOOR_SUN)
+        # PV gains outdoors dominate the RF loss; TEG/kinetic unchanged.
+        assert sun > indoor
+
+    def test_total_is_order_independent(self):
+        stack = [indoor_photovoltaic(), rf_ambient(), thermoelectric_body()]
+        assert total_harvested_power(stack) == pytest.approx(
+            total_harvested_power(list(reversed(stack))))
+
+    def test_generator_input_accepted(self):
+        total = total_harvested_power(
+            harvester for harvester in [indoor_photovoltaic()])
+        assert total == pytest.approx(indoor_photovoltaic().power_watts())

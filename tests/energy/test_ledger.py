@@ -92,3 +92,110 @@ class TestEnergyLedger:
         assert ledger.total_energy() == pytest.approx(
             sum(ledger.breakdown().values())
         )
+
+
+class TestStreamingMode:
+    """The default ledger keeps no entries yet answers identically."""
+
+    def test_default_ledger_retains_no_entries(self):
+        ledger = EnergyLedger()
+        for index in range(1000):
+            ledger.post("radio", 0.001, timestamp_seconds=float(index))
+        assert not ledger.keeps_entries
+        assert ledger.entries is None
+        assert ledger.retained_entries == 0
+        assert ledger.posted_count == 1000
+
+    def test_exact_mode_retains_entries(self):
+        ledger = EnergyLedger(keep_entries=True)
+        ledger.post("radio", 1.0)
+        ledger.post("cpu", 2.0)
+        assert ledger.keeps_entries
+        assert len(ledger.entries) == 2
+        assert ledger.retained_entries == 2
+
+    def test_streaming_totals_bit_identical_to_exact(self):
+        """Running totals add in posting order — the same float sequence
+        the exact mode's entry re-scan would produce."""
+        import random
+
+        rng = random.Random(7)
+        postings = [(rng.choice("abc"), rng.random()) for _ in range(500)]
+        streaming = EnergyLedger()
+        exact = EnergyLedger(keep_entries=True)
+        for component, energy in postings:
+            streaming.post(component, energy)
+            exact.post(component, energy)
+        assert streaming.total_energy() == exact.total_energy()
+        assert streaming.breakdown() == exact.breakdown()
+        assert streaming.components() == exact.components()
+        # And the exact mode's totals equal re-summing its entries.
+        resummed = 0.0
+        for entry in exact.entries:
+            resummed += entry.energy_joules
+        assert exact.total_energy() == resummed
+
+    def test_components_order_first_posted(self):
+        ledger = EnergyLedger()
+        ledger.post("z", 1.0)
+        ledger.post("a", 1.0)
+        ledger.post("z", 1.0)
+        assert ledger.components() == ["z", "a"]
+
+
+class TestPowerTrace:
+    def test_energy_lands_in_time_buckets(self):
+        ledger = EnergyLedger(trace_bucket_seconds=10.0, trace_buckets=4)
+        ledger.post("x", 5.0, timestamp_seconds=0.0)
+        ledger.post("x", 3.0, timestamp_seconds=15.0)
+        trace = ledger.trace_energy_joules()
+        assert trace.tolist() == [5.0, 3.0, 0.0, 0.0]
+        assert ledger.power_trace_watts().tolist() == [0.5, 0.3, 0.0, 0.0]
+
+    def test_overflow_lands_in_last_bucket(self):
+        ledger = EnergyLedger(trace_bucket_seconds=1.0, trace_buckets=2)
+        ledger.post("x", 7.0, timestamp_seconds=100.0)
+        assert ledger.trace_energy_joules().tolist() == [0.0, 7.0]
+
+    def test_invalid_trace_configuration_rejected(self):
+        with pytest.raises(EnergyError):
+            EnergyLedger(trace_bucket_seconds=0.0)
+        with pytest.raises(EnergyError):
+            EnergyLedger(trace_buckets=0)
+
+
+class TestMergeExact:
+    def test_merge_adds_totals_and_traces(self):
+        first = EnergyLedger(trace_bucket_seconds=10.0, trace_buckets=4)
+        second = EnergyLedger(trace_bucket_seconds=10.0, trace_buckets=4)
+        first.post("a", 1.0, timestamp_seconds=5.0)
+        second.post("a", 2.0, timestamp_seconds=5.0)
+        second.post("b", 4.0, timestamp_seconds=25.0)
+        merged = first.merge(second)
+        assert merged.total_energy() == 7.0
+        assert merged.breakdown() == {"a": 3.0, "b": 4.0}
+        assert merged.components() == ["a", "b"]
+        assert merged.posted_count == 3
+        assert merged.trace_energy_joules().tolist() == [3.0, 0.0, 4.0, 0.0]
+
+    def test_merge_mismatched_trace_config_rejected(self):
+        with pytest.raises(EnergyError):
+            EnergyLedger(trace_buckets=4).merge(EnergyLedger(trace_buckets=8))
+
+    def test_merge_keeps_entries_only_when_both_sides_do(self):
+        exact = EnergyLedger(keep_entries=True)
+        exact.post("a", 1.0)
+        streaming = EnergyLedger()
+        streaming.post("b", 2.0)
+        assert not exact.merge(streaming).keeps_entries
+        both = exact.merge(exact)
+        assert both.keeps_entries
+        assert both.retained_entries == 2
+
+    def test_clear_resets_streaming_state(self):
+        ledger = EnergyLedger()
+        ledger.post("a", 1.0, timestamp_seconds=10.0)
+        ledger.clear()
+        assert ledger.total_energy() == 0.0
+        assert ledger.posted_count == 0
+        assert float(ledger.trace_energy_joules().sum()) == 0.0

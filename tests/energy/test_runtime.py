@@ -1,0 +1,164 @@
+"""Tests for repro.energy.runtime (NodeEnergyState)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import units
+from repro.energy.battery import BatterySpec
+from repro.energy.harvester import (
+    HarvestingEnvironment,
+    indoor_photovoltaic,
+    rf_ambient,
+)
+from repro.energy.ledger import EnergyLedger
+from repro.energy.runtime import NodeEnergyState
+from repro.errors import EnergyError
+
+
+def tiny_cell(capacity_mah: float = 1e-4) -> BatterySpec:
+    """A cell small enough to die within a short test interval."""
+    return BatterySpec(name="tiny", capacity_mah=capacity_mah,
+                       self_discharge_per_year=0.0)
+
+
+class TestUnconstrainedState:
+    def test_no_battery_never_dies(self):
+        state = NodeEnergyState()
+        state.drain("tx", 1e9, timestamp_seconds=1.0)
+        state.advance({"sensing": 1.0}, 1e6, 1e6)
+        assert state.alive
+        assert state.state_of_charge_fraction == 1.0
+        assert state.death_seconds is None
+
+    def test_consumption_still_posted(self):
+        state = NodeEnergyState()
+        state.drain("tx", 2.0, timestamp_seconds=0.5)
+        state.advance({"sensing": 3.0}, 2.0, 2.5)
+        assert state.ledger.total_energy("tx") == pytest.approx(2.0)
+        assert state.ledger.total_energy("sensing") == pytest.approx(6.0)
+
+
+class TestBatteryDrain:
+    def test_impulse_drain_reduces_charge(self):
+        state = NodeEnergyState.from_spec(battery=tiny_cell())
+        usable = state.battery.spec.usable_energy_joules
+        delivered = state.drain("tx", usable / 2.0, timestamp_seconds=1.0)
+        assert delivered == pytest.approx(usable / 2.0)
+        assert state.state_of_charge_fraction == pytest.approx(0.5)
+        assert state.alive
+
+    def test_impulse_overdrain_kills_at_timestamp(self):
+        state = NodeEnergyState.from_spec(battery=tiny_cell())
+        state.drain("tx", 1e9, timestamp_seconds=42.0)
+        assert not state.alive
+        assert state.death_seconds == 42.0
+
+    def test_dead_state_consumes_and_posts_nothing(self):
+        state = NodeEnergyState.from_spec(battery=tiny_cell())
+        state.drain("tx", 1e9, timestamp_seconds=1.0)
+        posted = state.ledger.total_energy()
+        assert state.drain("tx", 1.0, timestamp_seconds=2.0) == 0.0
+        assert state.advance({"sensing": 1.0}, 1.0, 3.0) == 0.0
+        assert state.ledger.total_energy() == posted
+
+    def test_interval_death_is_interpolated(self):
+        # 1.08 J usable at a constant 0.1 W dies 10.8 s into an interval.
+        state = NodeEnergyState.from_spec(battery=tiny_cell())
+        usable = state.battery.spec.usable_energy_joules
+        sustained = state.advance({"load": 0.1}, 100.0, 100.0)
+        assert sustained == pytest.approx(usable / 0.1)
+        assert state.death_seconds == pytest.approx(usable / 0.1)
+        # Only the sustained fraction of demand was served and posted.
+        assert state.ledger.total_energy("load") == pytest.approx(usable)
+
+    def test_self_discharge_included_by_default(self):
+        leaky = BatterySpec(name="leaky", capacity_mah=1e-4,
+                            self_discharge_per_year=0.5)
+        state = NodeEnergyState.from_spec(battery=leaky)
+        assert state.leakage_power_watts > 0.0
+        without = NodeEnergyState.from_spec(battery=leaky)
+        without.include_self_discharge = False
+        assert without.leakage_power_watts == 0.0
+
+    def test_initial_charge_fraction(self):
+        state = NodeEnergyState.from_spec(battery=tiny_cell(),
+                                          initial_charge_fraction=0.25)
+        assert state.state_of_charge_fraction == pytest.approx(0.25)
+        with pytest.raises(EnergyError):
+            NodeEnergyState.from_spec(battery=tiny_cell(),
+                                      initial_charge_fraction=0.0)
+
+
+class TestHarvesting:
+    def test_surplus_harvest_recharges_up_to_full(self):
+        state = NodeEnergyState.from_spec(
+            battery=tiny_cell(),
+            harvester=rf_ambient(peak_power_watts=units.microwatt(100.0)),
+            initial_charge_fraction=0.5,
+        )
+        state.advance({"load": units.microwatt(10.0)}, 100.0, 100.0)
+        assert state.state_of_charge_fraction > 0.5
+        assert state.harvested_joules == pytest.approx(
+            units.microwatt(100.0) * 100.0)
+
+    def test_environment_scales_harvest_income(self):
+        indoor = NodeEnergyState.from_spec(
+            battery=tiny_cell(), harvester=indoor_photovoltaic(),
+            environment=HarvestingEnvironment.INDOOR_DIM)
+        sunny = NodeEnergyState.from_spec(
+            battery=tiny_cell(), harvester=indoor_photovoltaic(),
+            environment=HarvestingEnvironment.OUTDOOR_SUN)
+        assert sunny.harvest_power_watts > indoor.harvest_power_watts
+
+    def test_net_positive_node_never_dies(self):
+        state = NodeEnergyState.from_spec(
+            battery=tiny_cell(),
+            harvester=rf_ambient(peak_power_watts=units.microwatt(50.0)))
+        sustained = state.advance(
+            {"load": units.microwatt(10.0)}, 1e5, 1e5)
+        assert sustained == 1e5
+        assert state.alive
+        assert math.isinf(state.projected_life_seconds(
+            units.microwatt(10.0)))
+
+
+class TestLowBatterySignal:
+    def test_threshold_crossing_reported(self):
+        state = NodeEnergyState.from_spec(battery=tiny_cell(),
+                                          low_battery_fraction=0.5)
+        assert not state.is_low_battery()
+        usable = state.battery.spec.usable_energy_joules
+        state.drain("tx", usable * 0.6, timestamp_seconds=1.0)
+        assert state.is_low_battery()
+
+    def test_unarmed_state_never_reports_low(self):
+        state = NodeEnergyState.from_spec(battery=tiny_cell())
+        state.drain("tx", state.battery.spec.usable_energy_joules * 0.99,
+                    timestamp_seconds=1.0)
+        assert not state.is_low_battery()
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(EnergyError):
+            NodeEnergyState.from_spec(battery=tiny_cell(),
+                                      low_battery_fraction=1.5)
+
+
+class TestValidation:
+    def test_negative_interval_rejected(self):
+        state = NodeEnergyState()
+        with pytest.raises(EnergyError):
+            state.advance({}, -1.0, 0.0)
+
+    def test_negative_load_rejected(self):
+        state = NodeEnergyState()
+        with pytest.raises(EnergyError):
+            state.advance({"x": -1.0}, 1.0, 1.0)
+
+    def test_shared_ledger_is_used(self):
+        ledger = EnergyLedger()
+        state = NodeEnergyState.from_spec(battery=tiny_cell(), ledger=ledger)
+        state.drain("tx", 1e-4, timestamp_seconds=0.0)
+        assert ledger.total_energy("tx") == pytest.approx(1e-4)

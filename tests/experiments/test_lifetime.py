@@ -1,0 +1,78 @@
+"""E15 — closed-loop lifetime validation (DES vs closed form)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import lifetime
+from repro.runner import resolve
+
+
+class TestLifetimeExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return lifetime.run()
+
+    def test_acceptance_every_point_within_five_percent(self, result):
+        """The ISSUE acceptance bound: DES-vs-closed-form within ±5%
+        for the Fig. 3 operating points."""
+        assert result.all_within_tolerance()
+        assert result.max_rel_error() <= 0.05
+
+    def test_finite_points_actually_brown_out(self, result):
+        finite = [point for point in result.points if not point.is_perpetual]
+        assert len(finite) >= 4  # every validated device class + harvest
+        for point in finite:
+            assert math.isfinite(point.des_first_death_seconds)
+            assert point.final_state_of_charge == pytest.approx(0.0)
+            assert point.delivered_before_death > 0
+
+    def test_energy_neutral_points_survive(self, result):
+        perpetual = [point for point in result.points if point.is_perpetual]
+        assert perpetual, "harvest sweep produced no energy-neutral point"
+        for point in perpetual:
+            assert math.isinf(point.des_first_death_seconds)
+            assert point.final_state_of_charge == pytest.approx(1.0, abs=0.01)
+
+    def test_harvest_extends_life_monotonically(self, result):
+        patch = [point for point in result.points
+                 if "biopotential" in point.device_class]
+        finite = [point for point in patch if not point.is_perpetual]
+        assert len(finite) >= 2
+        for earlier, later in zip(finite, finite[1:]):
+            assert later.harvest_watts > earlier.harvest_watts
+            assert (later.des_first_death_seconds
+                    > earlier.des_first_death_seconds)
+
+    def test_rows_and_summary(self, result):
+        rows = result.rows()
+        assert rows
+        for row in rows:
+            assert {"device_class", "closed_form_s", "des_death_s",
+                    "rel_error", "perpetual"} <= set(row)
+        summary = lifetime._summary(result)
+        assert any("closed" in line for line in summary)
+
+    def test_registered_as_e15(self):
+        spec = resolve("lifetime")
+        assert spec is resolve("E15")
+        assert spec.eid == "E15"
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lifetime.run(target_life_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            lifetime.run(tolerance=0.0)
+
+    def test_seed_invariance_for_periodic_workload(self):
+        """Periodic sources draw nothing from the RNG: any seed lands on
+        the same brownout times."""
+        a = lifetime.run(target_life_seconds=60.0,
+                         harvest_levels_watts=(0.0,), seed=0)
+        b = lifetime.run(target_life_seconds=60.0,
+                         harvest_levels_watts=(0.0,), seed=99)
+        assert [p.des_first_death_seconds for p in a.points] == \
+            [p.des_first_death_seconds for p in b.points]

@@ -1,0 +1,158 @@
+"""Battery/harvester scenario plumbing and the two lifetime scenarios."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.scenarios import get_scenario, scenario_names
+from repro.scenarios.spec import (
+    BATTERY_FACTORIES,
+    ENVIRONMENTS,
+    HARVESTER_FACTORIES,
+    ScenarioNodeSpec,
+    ScenarioSpec,
+    battery_for,
+    environment_for,
+    harvester_for,
+)
+
+
+class TestEnergyFieldValidation:
+    def test_unknown_battery_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown battery"):
+            ScenarioNodeSpec(name="x", rate_bps=1000.0, battery="aa")
+
+    def test_unknown_harvester_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown harvester"):
+            ScenarioNodeSpec(name="x", rate_bps=1000.0, harvester="fusion")
+
+    def test_invalid_battery_scale_rejected(self):
+        with pytest.raises(ScenarioError, match="battery scale"):
+            ScenarioNodeSpec(name="x", rate_bps=1000.0, battery="cr2032",
+                             battery_scale=0.0)
+
+    def test_invalid_initial_charge_rejected(self):
+        with pytest.raises(ScenarioError, match="initial charge"):
+            ScenarioNodeSpec(name="x", rate_bps=1000.0,
+                             initial_charge_fraction=1.5)
+
+    def test_invalid_low_battery_fraction_rejected(self):
+        with pytest.raises(ScenarioError, match="low-battery"):
+            ScenarioNodeSpec(name="x", rate_bps=1000.0,
+                             low_battery_fraction=1.0)
+
+    def test_unknown_environment_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown environment"):
+            ScenarioSpec(
+                name="x", description="", duration_seconds=1.0,
+                environment="indoors-ish",
+                nodes=(ScenarioNodeSpec(name="n", rate_bps=1000.0),))
+
+    def test_invalid_energy_interval_rejected(self):
+        with pytest.raises(ScenarioError, match="energy update interval"):
+            ScenarioSpec(
+                name="x", description="", duration_seconds=1.0,
+                energy_update_interval_seconds=0.0,
+                nodes=(ScenarioNodeSpec(name="n", rate_bps=1000.0),))
+
+
+class TestFactories:
+    def test_every_registered_battery_instantiates(self):
+        for key in BATTERY_FACTORIES:
+            assert battery_for(key).capacity_mah > 0
+
+    def test_battery_scale_multiplies_capacity(self):
+        full = battery_for("cr2032")
+        half = battery_for("cr2032", 0.5)
+        assert half.capacity_mah == pytest.approx(full.capacity_mah / 2.0)
+
+    def test_every_registered_harvester_instantiates(self):
+        for key in HARVESTER_FACTORIES:
+            assert harvester_for(key).power_watts() >= 0.0
+
+    def test_every_environment_resolves(self):
+        for key in ENVIRONMENTS:
+            assert environment_for(key) is ENVIRONMENTS[key]
+
+
+class TestGalleryLifetimeScenarios:
+    def test_new_scenarios_registered(self):
+        names = scenario_names()
+        assert "harvester_patch" in names
+        assert "week_wear" in names
+
+    def test_week_wear_brownout_and_adaptation(self):
+        """Acceptance: the dense finite-battery hour shows >= 1 brownout."""
+        result = get_scenario("week_wear").run(seed=0)
+        sim = result.simulated
+        assert sim.dead_node_count >= 1
+        assert "audio_pendant" in sim.per_node_first_death_seconds
+        assert math.isfinite(sim.first_death_seconds)
+        kinds = {event.kind for event in sim.energy_events}
+        assert kinds == {"brownout", "low_battery"}
+        row = result.row()
+        assert row["dead_nodes"] >= 1
+        assert row["min_soc"] == 0.0
+
+    def test_harvester_patch_is_perpetual(self):
+        result = get_scenario("harvester_patch").run(seed=0)
+        sim = result.simulated
+        assert sim.dead_node_count == 0
+        assert sim.harvested_joules > 0.0
+        # The PV-harvested patch ends the hour at full charge.
+        assert sim.per_node_state_of_charge["ecg_patch"] == pytest.approx(1.0)
+
+    def test_environment_override_changes_harvest(self):
+        spec = get_scenario("harvester_patch")
+        sunny = dataclasses.replace(spec, environment="outdoor_sun",
+                                    duration_seconds=60.0)
+        indoor = dataclasses.replace(spec, duration_seconds=60.0)
+        assert (sunny.run(seed=0).simulated.harvested_joules
+                > indoor.run(seed=0).simulated.harvested_joules)
+
+    def test_default_scenarios_report_no_lifetime_columns(self):
+        row = get_scenario("clinical_ward").run(
+            seed=0, duration_seconds=5.0).row()
+        assert "min_soc" not in row
+        assert "dead_nodes" not in row
+
+
+class TestBuildWiring:
+    def test_battery_nodes_reach_the_simulator(self):
+        spec = ScenarioSpec(
+            name="wired", description="", duration_seconds=10.0,
+            nodes=(ScenarioNodeSpec(name="n", rate_bps=1000.0,
+                                    battery="cr2032", battery_scale=0.5,
+                                    initial_charge_fraction=0.8,
+                                    harvester="teg"),),
+        )
+        assert spec.has_energy_runtime
+        simulator = spec.build(seed=0)
+        node = simulator.nodes["n"]
+        assert node.energy is not None
+        assert node.energy.battery.spec.capacity_mah == pytest.approx(
+            battery_for("cr2032").capacity_mah / 2.0)
+        assert node.energy.state_of_charge_fraction == pytest.approx(0.8)
+        assert node.energy.harvester is not None
+
+    def test_batteryless_spec_has_no_energy_runtime(self):
+        assert not get_scenario("sleep_night").has_energy_runtime
+
+
+class TestHarvesterOnlyReporting:
+    def test_harvester_without_battery_reports_income(self):
+        spec = ScenarioSpec(
+            name="solar_only", description="", duration_seconds=60.0,
+            nodes=(ScenarioNodeSpec(name="n", rate_bps=1000.0,
+                                    harvester="indoor_pv"),),
+        )
+        result = spec.run(seed=0)
+        row = result.row()
+        assert row["harvested_j"] > 0.0
+        assert "min_soc" not in row  # nothing to deplete or kill
+        assert "dead_nodes" not in row
+        assert result.simulated.per_node_state_of_charge == {}
