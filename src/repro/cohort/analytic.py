@@ -30,6 +30,17 @@ cross-checks and by the gallery tolerance tests:
   the DES brownout within the packet-quantisation error; low-battery
   duty-cycle adaptation is deliberately unmodelled (a throttled node
   outlives the estimate).
+* **Lossy links are closed-form** — a scenario with a
+  :class:`~repro.scenarios.spec.ReliabilitySpec` multiplies each node's
+  offered traffic by the truncated-geometric expected attempt count
+  ``E[attempts] = (1 - PER^(L+1)) / (1 - PER)`` (capped by the ARQ
+  retry limit ``L``) for airtime and transmit energy, and by the ARQ
+  delivery probability ``1 - PER^(L+1)`` for goodput; ack frames charge
+  the medium, the leaf receiver and the hub transmitter per delivered
+  packet.  Posture schedules enter through the spec's time-averaged
+  reliability profile.  Lossless members multiply by exactly 1.0 / add
+  exactly 0.0 everywhere, so their results are bit-identical to the
+  pre-reliability fast path.
 
 Per-member reductions use ``np.bincount``/``np.maximum.at`` over rows
 that are contiguous per member, so a member's arithmetic involves only
@@ -103,30 +114,17 @@ def _harvest_power(key: str, environment: str) -> float:
 def active_fractions(spec: ScenarioSpec) -> dict[str, float]:
     """Fraction of the run each concrete node generates traffic.
 
-    Replays the scenario's sleep/wake events on a per-node timeline —
-    the same prefix matching and same tie order (schedule order at equal
-    fractions) the simulator applies.
+    Integrates :meth:`ScenarioSpec.node_awake_intervals` — the single
+    sleep/wake replay implementation (same prefix matching and same tie
+    order the simulator applies), shared with the reliability profile's
+    awake-time weighting so the two can never drift apart.
     """
-    ordered = sorted(enumerate(spec.events),
-                     key=lambda pair: (pair[1].at_fraction, pair[0]))
-    fractions: dict[str, float] = {}
-    for node in spec.nodes:
-        for concrete in node.expanded_names():
-            active = True
-            last = 0.0
-            total = 0.0
-            for _, event in ordered:
-                if not any(concrete.startswith(prefix)
-                           for prefix in event.node_prefixes):
-                    continue
-                if active:
-                    total += event.at_fraction - last
-                last = event.at_fraction
-                active = event.action == "wake"
-            if active:
-                total += 1.0 - last
-            fractions[concrete] = total
-    return fractions
+    return {
+        concrete: sum(end - start for start, end
+                      in spec.node_awake_intervals(concrete))
+        for node in spec.nodes
+        for concrete in node.expanded_names()
+    }
 
 
 def evaluate_members(specs: Sequence[ScenarioSpec],
@@ -162,6 +160,8 @@ def evaluate_members(specs: Sequence[ScenarioSpec],
     initial_energy: list[float] = []  # usable battery joules (inf = mains)
     leak_w: list[float] = []          # battery self-discharge power
     harvest_w: list[float] = []       # harvested power in the environment
+    delivery_prob: list[float] = []   # ARQ delivery probability (1 = lossless)
+    attempts: list[float] = []        # expected attempts/packet (1 = lossless)
 
     count = len(specs)
     duration = np.empty(count)
@@ -170,6 +170,9 @@ def evaluate_members(specs: Sequence[ScenarioSpec],
     policy_polling = np.zeros(count, dtype=bool)
     poll_cost = np.zeros(count)
     hub_sleep = np.empty(count)
+    hub_tx_epb = np.empty(count)
+    ack_time = np.zeros(count)        # medium time per ack (ARQ only)
+    ack_bits = np.zeros(count)        # ack length (ARQ only)
 
     for position, spec in enumerate(specs):
         duration[position] = spec.duration_seconds
@@ -178,11 +181,22 @@ def evaluate_members(specs: Sequence[ScenarioSpec],
         policy_polling[position] = spec.arbitration == "polling"
         hub = tech_profile(spec.hub_technology)
         hub_sleep[position] = hub.sleep_power_watts
+        hub_tx_epb[position] = hub.tx_energy_per_bit
         if spec.arbitration == "polling":
             mac = PollingMAC(link_rate_bps=hub.rate_bps,
                              poll_overhead_bits=POLL_OVERHEAD_BITS,
                              turnaround_seconds=POLL_TURNAROUND_SECONDS)
             poll_cost[position] = mac.cycle_time_seconds(1, 0.0)
+        reliability_profile = None
+        if spec.reliability is not None:
+            reliability_profile = spec.reliability_profile()
+            arq = spec.reliability.arq_policy()
+            if arq is not None:
+                # Every attempt occupies the medium for the hub's ack
+                # frame plus the turnaround (Medium.service_time_seconds).
+                ack_time[position] = (arq.ack_bits / hub.rate_bps
+                                      + arq.ack_turnaround_seconds)
+                ack_bits[position] = arq.ack_bits
         fractions = active_fractions(spec)
         # Periodic sources all emit their first packet one period after
         # t=0, so equal-period nodes arrive *simultaneously*, every time:
@@ -210,8 +224,22 @@ def evaluate_members(specs: Sequence[ScenarioSpec],
                 active = fractions[concrete]
                 packet_rate.append(active * rate / node.bits_per_packet)
                 bits.append(node.bits_per_packet)
-                service.append(node.bits_per_packet / profile.rate_bps
-                               + spec.per_packet_overhead_seconds)
+                if reliability_profile is None:
+                    delivered_share, mean_attempts = 1.0, 1.0
+                else:
+                    delivered_share, mean_attempts = \
+                        reliability_profile[concrete]
+                delivery_prob.append(delivered_share)
+                attempts.append(mean_attempts)
+                # Effective airtime per offered packet: every attempt
+                # re-serialises the frame, pays the MAC overhead and —
+                # under ARQ — the ack exchange.  ``x * 1.0 + 0.0`` is an
+                # exact identity, so lossless rows keep the historical
+                # service value bit-for-bit.
+                service.append(mean_attempts
+                               * (node.bits_per_packet / profile.rate_bps
+                                  + spec.per_packet_overhead_seconds
+                                  + ack_time[position]))
                 tx_epb.append(profile.tx_energy_per_bit)
                 rx_epb.append(profile.rx_energy_per_bit)
                 sleep_power.append(profile.sleep_power_watts)
@@ -262,6 +290,8 @@ def evaluate_members(specs: Sequence[ScenarioSpec],
     initial_energy = np.asarray(initial_energy)
     leak_w = np.asarray(leak_w)
     harvest_w = np.asarray(harvest_w)
+    delivery_prob = np.asarray(delivery_prob)
+    attempts = np.asarray(attempts)
 
     def per_member(weights: np.ndarray) -> np.ndarray:
         return np.bincount(member_of, weights=weights, minlength=count)
@@ -270,11 +300,14 @@ def evaluate_members(specs: Sequence[ScenarioSpec],
     rho_service = per_member(packet_rate * service)
     # Capacity overheads of the MAC fold into the effective utilisation:
     # TDMA pays a guard slot per node and superframe, polling pays one
-    # poll per delivered packet once the ring is mostly backlogged.
+    # poll per *transmission attempt* (a retransmission re-enters the
+    # ring) once it is mostly backlogged.  ``packet_rate * attempts`` is
+    # bit-identical to ``packet_rate`` for lossless members.
+    attempt_rate = per_member(packet_rate * attempts)
     rho = rho_service.copy()
     rho[policy_tdma] += (node_count[policy_tdma] * TDMA_GUARD_SECONDS
                          / TDMA_SUPERFRAME_SECONDS)
-    rho[policy_polling] += (total_packet_rate[policy_polling]
+    rho[policy_polling] += (attempt_rate[policy_polling]
                             * poll_cost[policy_polling])
 
     with np.errstate(divide="ignore", invalid="ignore"):
@@ -372,7 +405,17 @@ def evaluate_members(specs: Sequence[ScenarioSpec],
     with np.errstate(invalid="ignore"):
         horizon_fraction = np.where(
             offered > 0.0, 1.0 - per_member(undelivered_row) / offered, 1.0)
-    delivered_fraction = np.minimum(saturation_fraction, horizon_fraction)
+    # Admission: what the medium accepts and eventually serialises
+    # (saturation and horizon effects).  The lossy link then drops the
+    # ARQ-unrecoverable share of *admitted* packets; erased attempts
+    # still consumed airtime and energy, so the admission fraction — not
+    # the delivered fraction — drives the serialisation terms below.
+    admission_fraction = np.minimum(saturation_fraction, horizon_fraction)
+    with np.errstate(invalid="ignore"):
+        member_delivery = np.where(
+            total_packet_rate > 0.0,
+            per_member(packet_rate * delivery_prob) / total_packet_rate, 1.0)
+    delivered_fraction = admission_fraction * member_delivery
 
     # Depletion model: each battery row's average pre-death power
     # projects its time to death (usable energy over net drain, the
@@ -387,10 +430,14 @@ def evaluate_members(specs: Sequence[ScenarioSpec],
     member_death = np.full(count, np.inf)
     if np.isfinite(initial_energy).any():
         bits_tx_full = (packet_rate * bits * full_duration
-                        * saturation_fraction[member_of])
+                        * saturation_fraction[member_of] * attempts)
         tx_seconds_full = bits_tx_full / link_rate
+        ack_energy_full = (packet_rate * full_duration
+                           * saturation_fraction[member_of]
+                           * delivery_prob * ack_bits[member_of] * rx_epb)
         energy_full = (static_power * full_duration
                        + bits_tx_full * tx_epb
+                       + ack_energy_full
                        + sleep_power * np.maximum(full_duration
                                                   - tx_seconds_full, 0.0))
         with np.errstate(divide="ignore", invalid="ignore"):
@@ -410,27 +457,34 @@ def evaluate_members(specs: Sequence[ScenarioSpec],
         member_death = np.where(member_death <= duration, member_death,
                                 np.inf)
         delivered_packets = np.rint(
-            per_member(packet_rate * alive_duration)
-            * delivered_fraction).astype(np.int64)
+            per_member(packet_rate * alive_duration * delivery_prob)
+            * admission_fraction).astype(np.int64)
         busy = (per_member(packet_rate * service * alive_duration)
-                * delivered_fraction)
+                * admission_fraction)
     else:
         alive_duration = full_duration
         alive_fraction = np.ones(count)
         delivered_packets = np.rint(
             total_packet_rate * duration * delivered_fraction
         ).astype(np.int64)
-        busy = rho_service * duration * delivered_fraction
+        busy = rho_service * duration * admission_fraction
 
     # Ledger arithmetic, identical to the simulator's accounting: the
-    # transmitted bits follow the accepted traffic, the sleep residue is
-    # whatever the link is not serialising — both clipped to each node's
-    # alive duration.
+    # transmitted bits follow the accepted traffic — every ARQ attempt
+    # re-serialises the frame, so erased attempts burn transmit energy
+    # and hub receive energy too — and the sleep residue is whatever the
+    # link is not serialising, both clipped to each node's alive
+    # duration.  Acks charge the leaf receiver and the hub transmitter
+    # once per delivered packet.
     bits_tx = (packet_rate * bits * alive_duration
-               * delivered_fraction[member_of])
+               * admission_fraction[member_of] * attempts)
     tx_seconds = bits_tx / link_rate
+    delivered_row = (packet_rate * alive_duration
+                     * admission_fraction[member_of] * delivery_prob)
+    ack_rx_energy = delivered_row * ack_bits[member_of] * rx_epb
     node_energy = (static_power * alive_duration
                    + bits_tx * tx_epb
+                   + ack_rx_energy
                    + sleep_power * np.maximum(alive_duration
                                               - tx_seconds, 0.0))
     leaf_energy = per_member(node_energy)
@@ -438,7 +492,8 @@ def evaluate_members(specs: Sequence[ScenarioSpec],
     utilization = np.minimum(np.where(duration > 0, busy / duration, 0.0),
                              1.0)
     hub_rx_energy = per_member(bits_tx * rx_epb)
-    hub_energy = hub_rx_energy + hub_sleep * np.maximum(
+    hub_ack_energy = per_member(delivered_row) * ack_bits * hub_tx_epb
+    hub_energy = hub_rx_energy + hub_ack_energy + hub_sleep * np.maximum(
         duration - np.minimum(busy, duration), 0.0)
     hub_power = hub_energy / duration
 

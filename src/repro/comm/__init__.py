@@ -15,6 +15,8 @@ it champions is Wi-R / electro-quasistatic human body communication
 * :mod:`repro.comm.nfmi` — near-field magnetic induction.
 * :mod:`repro.comm.channel` — physical channel models (EQS body channel
   transfer function, free-space RF path loss, body shadowing).
+* :mod:`repro.comm.budget` — link budgets: channel gain + noise floor
+  composed into SNR → BER → packet error rate.
 * :mod:`repro.comm.security` — physical-security / leakage-range model.
 * :mod:`repro.comm.mac` — TDMA / polling MAC for sharing one hub among
   many leaf nodes.
@@ -33,6 +35,13 @@ from .channel import (
     BodyShadowingModel,
     eqs_channel_gain_db,
     free_space_path_loss_db,
+)
+from .budget import (
+    LinkBudget,
+    eqs_link_budget,
+    packet_error_rate,
+    rf_link_budget,
+    snr_to_bit_error_rate,
 )
 from .eqs_hbc import (
     EQSHBCTransceiver,
@@ -61,6 +70,11 @@ __all__ = [
     "BodyShadowingModel",
     "eqs_channel_gain_db",
     "free_space_path_loss_db",
+    "LinkBudget",
+    "eqs_link_budget",
+    "rf_link_budget",
+    "packet_error_rate",
+    "snr_to_bit_error_rate",
     "EQSHBCTransceiver",
     "WiRLink",
     "wir_commercial",

@@ -1,0 +1,180 @@
+"""Link budgets: channel gain → SNR → BER → packet error rate.
+
+The channel models in :mod:`repro.comm.channel` answer "how much signal
+arrives"; this module closes the loop to "how often does a packet get
+through".  A :class:`LinkBudget` composes a channel gain with a transmit
+level and a noise floor into a signal-to-noise ratio, maps the SNR to a
+bit error rate for coherent binary signalling and folds the BER into a
+packet error rate for a given packet length — the per-packet erasure
+probability the discrete-event simulator draws against (see
+:mod:`repro.netsim.reliability`).
+
+Both families of body channel are covered:
+
+* :func:`eqs_link_budget` — voltage-mode EQS-HBC: the electrode swing
+  through the capacitive body channel against the receiver's
+  input-referred noise.  Posture moves the body-to-ground capacitance
+  (see :mod:`repro.body.posture`), so the same transmit swing yields a
+  posture-dependent SNR.
+* :func:`rf_link_budget` — power-mode radiative RF: transmit power
+  through Friis plus body shadowing against the receiver noise floor
+  (thermal floor plus whatever interference the environment adds — a
+  noisy clinical ward raises the floor, not the path loss).
+
+The BER model is intentionally the textbook coherent-binary curve
+``0.5 * erfc(sqrt(SNR / 2))``: it is monotone, parameter-free and spans
+the full "perfect link" to "unusable link" range the reliability layer
+needs, without pretending to model any particular modem.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ChannelError, LinkBudgetError
+from .channel import EQSChannelModel, RFPathLossModel
+
+#: BER below which a link is treated as error-free: at 1e-15 even a
+#: maximum-length packet has a sub-1e-10 error probability, far below
+#: anything a finite simulation can observe.
+NEGLIGIBLE_BER = 1e-15
+
+
+def snr_to_bit_error_rate(snr_db: float) -> float:
+    """Bit error rate of coherent binary signalling at *snr_db*.
+
+    ``BER = 0.5 * erfc(sqrt(SNR / 2))`` — the classic coherent BPSK
+    waterfall.  Clamped to [0, 0.5]; 0.5 is a link conveying nothing.
+    """
+    snr_linear = 10.0 ** (snr_db / 10.0)
+    ber = 0.5 * math.erfc(math.sqrt(snr_linear / 2.0))
+    if ber < NEGLIGIBLE_BER:
+        return 0.0
+    return min(ber, 0.5)
+
+
+def packet_error_rate(bit_error_rate: float, packet_bits: float) -> float:
+    """Probability that at least one of *packet_bits* bits is corrupted.
+
+    ``PER = 1 - (1 - BER)^bits``, evaluated via ``expm1``/``log1p`` so
+    tiny BERs do not round the PER to zero prematurely.
+    """
+    if not 0.0 <= bit_error_rate <= 1.0:
+        raise LinkBudgetError(
+            f"bit error rate must be in [0, 1], got {bit_error_rate}")
+    if packet_bits < 0:
+        raise LinkBudgetError("packet length must be non-negative")
+    if bit_error_rate == 0.0 or packet_bits == 0.0:
+        return 0.0
+    if bit_error_rate == 1.0:
+        return 1.0
+    return -math.expm1(packet_bits * math.log1p(-bit_error_rate))
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """One link's level arithmetic: received level vs noise, in dB.
+
+    All three level parameters share one dB reference — dBV for a
+    voltage-mode (EQS) budget, dBm for a power-mode (RF) budget; only
+    their differences matter.  ``required_snr_db`` sets the operating
+    margin convention: :attr:`margin_db` is how far the SNR sits above
+    the level a designer would call "link closes" (the reliability
+    experiment sweeps exactly this margin).
+    """
+
+    tx_level_db: float
+    channel_gain_db: float
+    noise_floor_db: float
+    required_snr_db: float = 10.0
+    implementation_loss_db: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.implementation_loss_db < 0:
+            raise LinkBudgetError(
+                "implementation loss must be non-negative, got "
+                f"{self.implementation_loss_db}")
+
+    @classmethod
+    def from_snr_db(cls, snr_db: float,
+                    required_snr_db: float = 10.0) -> "LinkBudget":
+        """A budget specified directly by its SNR (sweeps, tests)."""
+        return cls(tx_level_db=snr_db, channel_gain_db=0.0,
+                   noise_floor_db=0.0, required_snr_db=required_snr_db)
+
+    @property
+    def received_level_db(self) -> float:
+        """Signal level at the receiver input."""
+        return (self.tx_level_db + self.channel_gain_db
+                - self.implementation_loss_db)
+
+    @property
+    def snr_db(self) -> float:
+        """Signal-to-noise ratio at the receiver, in dB."""
+        return self.received_level_db - self.noise_floor_db
+
+    @property
+    def margin_db(self) -> float:
+        """SNR headroom above the required detection threshold."""
+        return self.snr_db - self.required_snr_db
+
+    def closes(self) -> bool:
+        """Whether the link meets its required SNR."""
+        return self.margin_db >= 0.0
+
+    def bit_error_rate(self) -> float:
+        """BER of the link at its operating SNR."""
+        return snr_to_bit_error_rate(self.snr_db)
+
+    def packet_error_rate(self, packet_bits: float) -> float:
+        """Probability a *packet_bits*-long packet arrives corrupted."""
+        return packet_error_rate(self.bit_error_rate(), packet_bits)
+
+
+def eqs_link_budget(channel: EQSChannelModel,
+                    tx_swing_volts: float,
+                    noise_rms_volts: float,
+                    distance_metres: float = 1.5,
+                    frequency_hz: float = 20e6,
+                    termination: str = "high_impedance",
+                    required_snr_db: float = 10.0) -> LinkBudget:
+    """Voltage-mode budget for a capacitive EQS-HBC link.
+
+    The transmit swing rides the channel's voltage gain; the noise is
+    the receiver's input-referred RMS noise.  Swap *channel* for a
+    :func:`repro.body.posture.channel_for_posture` result to get the
+    posture-dependent budget.
+    """
+    if tx_swing_volts <= 0:
+        raise ChannelError("transmit swing must be positive")
+    if noise_rms_volts <= 0:
+        raise ChannelError("receiver noise must be positive")
+    return LinkBudget(
+        tx_level_db=20.0 * math.log10(tx_swing_volts),
+        channel_gain_db=channel.channel_gain_db(distance_metres, frequency_hz,
+                                                termination),
+        noise_floor_db=20.0 * math.log10(noise_rms_volts),
+        required_snr_db=required_snr_db,
+    )
+
+
+def rf_link_budget(path_loss: RFPathLossModel,
+                   tx_power_dbm: float,
+                   noise_floor_dbm: float,
+                   distance_metres: float = 1.5,
+                   required_snr_db: float = 10.0) -> LinkBudget:
+    """Power-mode budget for a radiative RF link (BLE-class).
+
+    ``noise_floor_dbm`` is the in-band noise-plus-interference level —
+    raising it is how a scenario models a congested environment without
+    touching the propagation model.
+    """
+    if distance_metres <= 0:
+        raise ChannelError("distance must be positive")
+    return LinkBudget(
+        tx_level_db=tx_power_dbm,
+        channel_gain_db=-path_loss.path_loss_db(distance_metres),
+        noise_floor_db=noise_floor_dbm,
+        required_snr_db=required_snr_db,
+    )

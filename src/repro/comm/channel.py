@@ -55,19 +55,32 @@ class BodyShadowingModel:
 
     Measurements of around-the-body 2.4 GHz links report 20--40 dB of
     additional loss for non-line-of-sight placements; we model it as a
-    constant penalty plus a per-metre creeping-wave term.
+    constant penalty plus a per-metre creeping-wave term.  Two devices
+    pressed against each other see no torso in the path, so the constant
+    penalty ramps in linearly over the first ``ramp_metres`` instead of
+    appearing as a step the moment the distance is non-zero — the loss is
+    continuous at zero and identical to the historical model beyond the
+    ramp.
     """
 
     base_loss_db: float = 15.0
     per_metre_loss_db: float = 15.0
+    ramp_metres: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.ramp_metres < 0:
+            raise ChannelError("ramp distance must be non-negative")
 
     def loss_db(self, around_body_distance_metres: float) -> float:
         """Shadowing loss for a path that hugs the body for *distance*."""
         if around_body_distance_metres < 0:
             raise ChannelError("distance must be non-negative")
-        if around_body_distance_metres == 0:
-            return 0.0
-        return self.base_loss_db + self.per_metre_loss_db * around_body_distance_metres
+        if self.ramp_metres > 0.0:
+            ramp = min(around_body_distance_metres / self.ramp_metres, 1.0)
+        else:
+            ramp = 0.0 if around_body_distance_metres == 0.0 else 1.0
+        return (ramp * self.base_loss_db
+                + self.per_metre_loss_db * around_body_distance_metres)
 
 
 @dataclass(frozen=True)
@@ -90,20 +103,30 @@ class RFPathLossModel:
         """Received power for a given transmit power and distance."""
         return tx_power_dbm - self.path_loss_db(distance_metres)
 
+    #: Shortest distance the range bisection probes.  Friis diverges at
+    #: zero, so the search needs a positive floor; 1 mm is far below any
+    #: on-body placement and, with the shadowing ramp continuous at zero,
+    #: no longer sits on an artificial loss cliff.
+    MIN_RANGE_METRES = 1e-3
+
     def range_for_sensitivity(self, tx_power_dbm: float,
                               sensitivity_dbm: float,
                               max_distance_metres: float = 100.0) -> float:
         """Largest distance at which the link still closes.
 
         Solved by bisection because the shadowing term makes the loss
-        piecewise; returns 0 if the link cannot close even at 1 cm and
-        *max_distance_metres* if it closes everywhere in range.
+        piecewise.  The total loss (Friis plus the ramped shadowing term)
+        increases monotonically with distance, so bisection converges on
+        the true boundary; returns 0 if the link cannot close even at
+        :attr:`MIN_RANGE_METRES` and *max_distance_metres* if it closes
+        everywhere in range.
         """
-        if self.received_power_dbm(tx_power_dbm, 0.01) < sensitivity_dbm:
+        if self.received_power_dbm(
+                tx_power_dbm, self.MIN_RANGE_METRES) < sensitivity_dbm:
             return 0.0
         if self.received_power_dbm(tx_power_dbm, max_distance_metres) >= sensitivity_dbm:
             return max_distance_metres
-        low, high = 0.01, max_distance_metres
+        low, high = self.MIN_RANGE_METRES, max_distance_metres
         for _ in range(60):
             mid = 0.5 * (low + high)
             if self.received_power_dbm(tx_power_dbm, mid) >= sensitivity_dbm:

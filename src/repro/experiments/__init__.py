@@ -25,6 +25,7 @@ or paper id) instead of importing driver modules directly.
 | E13| Scenario gallery (MAC policies, link mixes)      | ``scenario_gallery``      |
 | E14| Population-scale cohort study                    | ``cohort_study``          |
 | E15| Closed-loop lifetime (DES vs closed form)        | ``lifetime``              |
+| E16| Link margin vs delivery / retransmission energy  | ``reliability``           |
 """
 
 from . import (
@@ -41,6 +42,7 @@ from . import (
     partitioned_inference,
     perpetual,
     quantization_ablation,
+    reliability,
     scenario_gallery,
     termination_ablation,
 )
@@ -61,4 +63,5 @@ __all__ = [
     "scenario_gallery",
     "cohort_study",
     "lifetime",
+    "reliability",
 ]

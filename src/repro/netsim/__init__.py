@@ -23,6 +23,7 @@ from .events import Event, EventQueue
 from .packet import Packet
 from .traffic import PeriodicSource, PoissonSource, TrafficSource
 from .stats import LatencyAccumulator
+from .reliability import ARQPolicy, LinkReliability
 from .arbitration import (
     ArbitrationPolicy,
     FIFOArbitration,
@@ -41,6 +42,8 @@ __all__ = [
     "PeriodicSource",
     "PoissonSource",
     "LatencyAccumulator",
+    "ARQPolicy",
+    "LinkReliability",
     "ArbitrationPolicy",
     "FIFOArbitration",
     "TDMAArbitration",

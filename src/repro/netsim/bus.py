@@ -24,6 +24,7 @@ from ..errors import SimulationError
 from .arbitration import ArbitrationPolicy, FIFOArbitration, make_policy
 from .events import EventQueue
 from .packet import Packet
+from .reliability import LinkReliability
 from .stats import LatencyAccumulator
 
 
@@ -40,6 +41,14 @@ class BusStats:
     delivered_bits: float = 0.0
     dropped_packets: int = 0
     busy_seconds: float = 0.0
+    #: Transmission attempts corrupted by the lossy link (0 on a
+    #: lossless medium).
+    erased_attempts: int = 0
+    #: Erased attempts the ARQ policy retransmitted.
+    retransmissions: int = 0
+    #: Packets abandoned after exhausting their retries (or erased with
+    #: no ARQ attached).
+    lost_packets: int = 0
     latency: LatencyAccumulator = field(default_factory=LatencyAccumulator)
 
     def record_delivery(self, packet: Packet) -> None:
@@ -97,13 +106,20 @@ class Medium:
     latency_exact_capacity:
         Exact-sample capacity of the latency accumulator; beyond it the
         statistics stream with bounded memory.
+    reliability:
+        Optional :class:`~repro.netsim.reliability.LinkReliability`: each
+        completed transmission attempt draws an erasure from the source
+        node's seeded generator, and the attached ARQ policy (if any)
+        retransmits corrupted attempts and charges an ack per attempt.
+        ``None`` keeps the exact historical lossless code path.
     """
 
     def __init__(self, queue: EventQueue, link_rate_bps: float,
                  per_packet_overhead_seconds: float = 100e-6,
                  max_queue_packets: int = 10_000,
                  policy: ArbitrationPolicy | str | None = None,
-                 latency_exact_capacity: int | None = None) -> None:
+                 latency_exact_capacity: int | None = None,
+                 reliability: LinkReliability | None = None) -> None:
         if link_rate_bps <= 0:
             raise SimulationError("link rate must be positive")
         if per_packet_overhead_seconds < 0:
@@ -128,9 +144,13 @@ class Medium:
         else:
             self.stats = BusStats(
                 latency=LatencyAccumulator(exact_capacity=latency_exact_capacity))
+        self.reliability = reliability
         self._node_rates: dict[str, float] = {}
         self._busy = False
         self._delivery_callbacks: list = []
+        self._attempt_callbacks: list = []
+        self._loss_callbacks: list = []
+        self._purged_nodes: set[str] = set()
 
     # -- configuration -----------------------------------------------------
 
@@ -147,10 +167,23 @@ class Medium:
         """Register a callback invoked with each delivered packet."""
         self._delivery_callbacks.append(callback)
 
+    def on_attempt(self, callback) -> None:
+        """Register a callback invoked as ``callback(packet, success)``
+        for every completed transmission attempt (lossy media only —
+        without a reliability model no attempts are reported)."""
+        self._attempt_callbacks.append(callback)
+
+    def on_loss(self, callback) -> None:
+        """Register a callback invoked with each packet declared lost
+        (erased with no ARQ, or after exhausting its retries)."""
+        self._loss_callbacks.append(callback)
+
     def purge_node(self, name: str) -> int:
         """Drop one node's queued packets (brownout).  Returns how many
         were discarded.  A transmission already granted or in flight is
-        not recalled — it is already on the medium."""
+        not recalled — it is already on the medium — but a purged node's
+        in-flight packet is never retransmitted."""
+        self._purged_nodes.add(name)
         return self.policy.purge_node(name)
 
     # -- data path ---------------------------------------------------------
@@ -170,10 +203,17 @@ class Medium:
 
         Serialisation runs at the transmitting node's own link rate when
         one was registered (mixed technologies on one body), else at the
-        medium's default rate.
+        medium's default rate.  When an ARQ policy is attached, every
+        attempt additionally occupies the medium for the hub's ack frame
+        (serialised at the medium rate) plus the turnaround.
         """
         rate = self._node_rates.get(packet.source, self.link_rate_bps)
-        return packet.bits / rate + self.per_packet_overhead_seconds
+        service = packet.bits / rate + self.per_packet_overhead_seconds
+        arq = self.reliability.arq if self.reliability is not None else None
+        if arq is not None:
+            service += (arq.ack_bits / self.link_rate_bps
+                        + arq.ack_turnaround_seconds)
+        return service
 
     def _grant_next(self) -> None:
         grant = self.policy.next_grant(self._queue.now)
@@ -196,10 +236,39 @@ class Medium:
         self._queue.schedule_in(service, lambda p=packet: self._complete(p))
 
     def _complete(self, packet: Packet) -> None:
+        if self.reliability is not None:
+            packet.attempts += 1
+            if self.reliability.draw_erasure(packet.source):
+                self._complete_erased(packet)
+                return
+            for callback in self._attempt_callbacks:
+                callback(packet, True)
         packet.delivered_at = self._queue.now
         self.stats.record_delivery(packet)
         for callback in self._delivery_callbacks:
             callback(packet)
+        self._grant_next()
+
+    def _complete_erased(self, packet: Packet) -> None:
+        """One corrupted attempt: account it, then retransmit or lose."""
+        self.stats.erased_attempts += 1
+        for callback in self._attempt_callbacks:
+            callback(packet, False)
+        arq = self.reliability.arq if self.reliability is not None else None
+        # An attempt callback may have browned the node out (the wasted
+        # transmission drained its cell): its backlog was purged, so the
+        # in-flight packet must not resurrect as a retransmission.
+        if (arq is not None and arq.may_retry(packet.attempts)
+                and packet.source not in self._purged_nodes):
+            self.stats.retransmissions += 1
+            # Retransmissions re-enter the node's queue (stop-and-wait
+            # re-offer) and bypass the admission bound: the packet was
+            # already admitted once and owns its buffer slot.
+            self.policy.enqueue(packet)
+        else:
+            self.stats.lost_packets += 1
+            for callback in self._loss_callbacks:
+                callback(packet)
         self._grant_next()
 
 

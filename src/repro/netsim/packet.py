@@ -17,6 +17,10 @@ class Packet:
     created_at: float
     delivered_at: float | None = None
     queued_at: float | None = None
+    #: Completed transmission attempts.  Only counted on a medium with a
+    #: reliability model attached; the lossless path never touches it,
+    #: so there it stays 0.
+    attempts: int = 0
     metadata: dict[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:

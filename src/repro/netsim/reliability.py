@@ -1,0 +1,168 @@
+"""Per-packet erasures and ARQ for the shared body medium.
+
+The historical simulator delivered every serialised packet perfectly;
+this module makes delivery probabilistic.  A :class:`LinkReliability`
+holds one packet-erasure probability per node — typically derived from a
+:class:`~repro.comm.budget.LinkBudget` at the node's packet length, and
+updated mid-run when a posture event swaps the active channel — plus an
+optional :class:`ARQPolicy` that turns erasures into retransmissions.
+
+Determinism: every node owns a dedicated ``numpy`` generator seeded from
+``(base seed, crc32(node name))``, so erasure draws are reproducible for
+a fixed seed, independent of node-registration order, and completely
+decoupled from the traffic RNG — a lossy run offers bit-identical
+traffic to its lossless twin.  Nodes with a zero error rate draw
+nothing, which keeps the lossless configuration on the exact historical
+code path (golden-hex pinned in ``tests/netsim/test_fifo_regression.py``).
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SimulationError
+
+#: Ack frame length used when an :class:`ARQPolicy` does not override it
+#: (mirrors the polling MAC's poll frame).
+DEFAULT_ACK_BITS = 64.0
+
+#: Hub→leaf turnaround charged per ack.
+DEFAULT_ACK_TURNAROUND_SECONDS = 100e-6
+
+
+@dataclass(frozen=True)
+class ARQPolicy:
+    """Stop-and-wait automatic repeat request.
+
+    Every transmission attempt is acknowledged by the hub: the ack frame
+    (``ack_bits`` at the medium rate, plus a turnaround) is charged as
+    medium time on each attempt, and as hub-transmit / leaf-receive
+    energy by the simulator.  A corrupted attempt is retransmitted up to
+    ``retry_limit`` times (``None`` = unbounded); a packet that exhausts
+    its retries is lost.
+    """
+
+    retry_limit: int | None = 3
+    ack_bits: float = DEFAULT_ACK_BITS
+    ack_turnaround_seconds: float = DEFAULT_ACK_TURNAROUND_SECONDS
+
+    def __post_init__(self) -> None:
+        if self.retry_limit is not None and self.retry_limit < 0:
+            raise SimulationError("retry limit must be >= 0 (or None)")
+        if self.ack_bits < 0:
+            raise SimulationError("ack length must be non-negative")
+        if self.ack_turnaround_seconds < 0:
+            raise SimulationError("ack turnaround must be non-negative")
+
+    @property
+    def max_attempts(self) -> float:
+        """Transmission attempts before a packet is declared lost."""
+        if self.retry_limit is None:
+            return math.inf
+        return self.retry_limit + 1
+
+    def may_retry(self, attempts: int) -> bool:
+        """Whether a packet that failed its *attempts*-th attempt retries."""
+        return attempts < self.max_attempts
+
+    def delivery_probability(self, error_rate: float) -> float:
+        """Probability a packet is eventually delivered at *error_rate*."""
+        _check_error_rate(error_rate)
+        if error_rate == 0.0:
+            return 1.0
+        if self.retry_limit is None:
+            return 1.0 if error_rate < 1.0 else 0.0
+        return 1.0 - error_rate ** (self.retry_limit + 1)
+
+    def expected_attempts(self, error_rate: float) -> float:
+        """Mean transmission attempts per offered packet.
+
+        Truncated-geometric mean: ``(1 - PER^N) / (1 - PER)`` with
+        ``N = retry_limit + 1`` attempts — the closed form the cohort
+        analytic fast path applies per node.
+        """
+        _check_error_rate(error_rate)
+        if error_rate == 0.0:
+            return 1.0
+        if error_rate == 1.0:
+            return float(self.max_attempts) if self.retry_limit is not None \
+                else math.inf
+        if self.retry_limit is None:
+            return 1.0 / (1.0 - error_rate)
+        return (1.0 - error_rate ** (self.retry_limit + 1)) \
+            / (1.0 - error_rate)
+
+
+def _check_error_rate(error_rate: float) -> None:
+    if not 0.0 <= error_rate <= 1.0:
+        raise SimulationError(
+            f"packet error rate must be in [0, 1], got {error_rate}")
+
+
+class LinkReliability:
+    """Per-node packet-erasure process attached to a Medium.
+
+    Parameters
+    ----------
+    seed:
+        Base seed of the per-node erasure generators.
+    arq:
+        Retransmission policy, or ``None`` for a pure erasure channel
+        (a corrupted packet is simply lost).
+    default_error_rate:
+        Erasure probability of nodes without an explicit rate.
+    """
+
+    def __init__(self, seed: int = 0, arq: ARQPolicy | None = None,
+                 default_error_rate: float = 0.0) -> None:
+        _check_error_rate(default_error_rate)
+        self.seed = seed
+        self.arq = arq
+        self.default_error_rate = default_error_rate
+        self._error_rates: dict[str, float] = {}
+        self._rngs: dict[str, np.random.Generator] = {}
+
+    def set_error_rate(self, node_name: str, error_rate: float) -> None:
+        """Set one node's per-packet erasure probability (posture swaps
+        call this mid-run)."""
+        _check_error_rate(error_rate)
+        self._error_rates[node_name] = error_rate
+
+    def error_rate(self, node_name: str) -> float:
+        """The node's current per-packet erasure probability."""
+        return self._error_rates.get(node_name, self.default_error_rate)
+
+    def error_rates(self) -> dict[str, float]:
+        """Snapshot of every explicitly configured node rate."""
+        return dict(self._error_rates)
+
+    def rng_for(self, node_name: str) -> np.random.Generator:
+        """The node's dedicated erasure generator (created on first use).
+
+        Seeded from ``(seed, crc32(name))`` so the stream depends only on
+        the base seed and the node's name — stable across processes and
+        registration orders.
+        """
+        rng = self._rngs.get(node_name)
+        if rng is None:
+            rng = np.random.default_rng(
+                (self.seed, zlib.crc32(node_name.encode("utf-8"))))
+            self._rngs[node_name] = rng
+        return rng
+
+    def draw_erasure(self, node_name: str) -> bool:
+        """Whether the node's next transmission attempt is corrupted.
+
+        A zero-rate node draws nothing, so attaching a reliability model
+        with all-zero rates perturbs no random stream.
+        """
+        error_rate = self.error_rate(node_name)
+        if error_rate <= 0.0:
+            return False
+        if error_rate >= 1.0:
+            return True
+        return float(self.rng_for(node_name).random()) < error_rate

@@ -41,6 +41,7 @@ from .arbitration import ArbitrationPolicy
 from .bus import Medium
 from .events import EventQueue
 from .packet import Packet
+from .reliability import LinkReliability
 from .traffic import TrafficSource
 
 #: Default spacing of the periodic energy-update events (simulated
@@ -84,6 +85,13 @@ class SimulatedNode:
     generated_count: int = 0
     accounted_bits: float = 0.0
     energy_settled_seconds: float = 0.0
+    #: Extra bits serialised beyond one frame per accepted packet
+    #: (retransmission overhead).  Corrupted attempts add their frame; a
+    #: packet declared lost gives one frame back, because its first
+    #: serialisation is already counted in ``bits_sent``.
+    retx_bits: float = 0.0
+    #: Bits of packets the lossy link ultimately failed to deliver.
+    lost_bits: float = 0.0
 
     def __post_init__(self) -> None:
         if self.sensing_power_watts < 0 or self.isa_power_watts < 0:
@@ -118,6 +126,18 @@ class SimulationResult:
     energy_events: tuple[EnergyEvent, ...] = ()
     #: Total energy credited by harvesters across all nodes.
     harvested_joules: float = 0.0
+    #: Whether a lossy-link reliability model was attached to the run.
+    reliability_enabled: bool = False
+    #: Transmission attempts corrupted by the lossy link.
+    erased_attempts: int = 0
+    #: Corrupted attempts the ARQ policy retransmitted.
+    retransmissions: int = 0
+    #: Packets lost after exhausting their retries (or erased, no ARQ).
+    lost_packets: int = 0
+    #: Leaf energy wasted serialising corrupted attempts.
+    retransmission_energy_joules: float = 0.0
+    #: Leaf energy spent receiving ARQ acks.
+    ack_energy_joules: float = 0.0
 
     @property
     def total_leaf_power_watts(self) -> float:
@@ -136,6 +156,21 @@ class SimulationResult:
         if self.offered_packets == 0:
             return 1.0
         return self.delivered_packets / self.offered_packets
+
+    @property
+    def attempts_per_delivered(self) -> float:
+        """Mean transmission attempts per delivered packet (1.0 lossless).
+
+        Counts every serialisation the medium performed — delivered
+        packets plus corrupted attempts — against the deliveries; the
+        retransmission overhead factor the reliability experiment sweeps.
+        A run that erased every attempt delivered nothing at infinite
+        cost, and reports exactly that.
+        """
+        if self.delivered_packets == 0:
+            return math.inf if self.erased_attempts > 0 else 1.0
+        return (self.delivered_packets + self.erased_attempts) \
+            / self.delivered_packets
 
     @property
     def first_death_seconds(self) -> float:
@@ -183,6 +218,11 @@ class BodyNetworkSimulator:
         carries a battery or harvester.
     harvest_environment:
         Environment every node's harvester operates in.
+    reliability:
+        Optional :class:`~repro.netsim.reliability.LinkReliability`
+        driving per-packet erasures (and, via its ARQ policy,
+        retransmissions) on the shared medium.  ``None`` — the default —
+        keeps the exact historical lossless behaviour.
     """
 
     def __init__(self, technology: CommTechnology,
@@ -193,7 +233,8 @@ class BodyNetworkSimulator:
                  energy_update_interval_seconds: float =
                  DEFAULT_ENERGY_UPDATE_INTERVAL_SECONDS,
                  harvest_environment: HarvestingEnvironment =
-                 HarvestingEnvironment.INDOOR_OFFICE) -> None:
+                 HarvestingEnvironment.INDOOR_OFFICE,
+                 reliability: LinkReliability | None = None) -> None:
         if energy_update_interval_seconds <= 0:
             raise SimulationError("energy update interval must be positive")
         self.technology = technology
@@ -201,12 +242,14 @@ class BodyNetworkSimulator:
             rng = np.random.default_rng(rng)
         self.rng = rng
         self.queue = EventQueue()
+        self.reliability = reliability
         self.bus = Medium(
             self.queue,
             link_rate_bps=technology.data_rate_bps(),
             per_packet_overhead_seconds=per_packet_overhead_seconds,
             policy=arbitration,
             latency_exact_capacity=latency_exact_capacity,
+            reliability=reliability,
         )
         self.nodes: dict[str, SimulatedNode] = {}
         self.hub_ledger = EnergyLedger()
@@ -215,6 +258,9 @@ class BodyNetworkSimulator:
         self.energy_events: list[EnergyEvent] = []
         self._death_records: dict[str, tuple[float, int]] = {}
         self.bus.on_delivery(self._account_delivery)
+        if reliability is not None:
+            self.bus.on_attempt(self._account_attempt)
+            self.bus.on_loss(self._account_loss)
 
     def add_node(self, name: str, source: TrafficSource,
                  sensing_power_watts: float = 0.0,
@@ -280,6 +326,19 @@ class BodyNetworkSimulator:
             return
         node.active = active
 
+    def set_node_error_rate(self, name: str, error_rate: float) -> None:
+        """Update one node's packet-erasure probability mid-run.
+
+        Scenario posture events call this when the active body channel
+        (and with it the link budget) changes.
+        """
+        if self.reliability is None:
+            raise SimulationError(
+                "no reliability model attached to this simulator")
+        if name not in self.nodes:
+            raise SimulationError(f"unknown node {name!r}")
+        self.reliability.set_error_rate(name, error_rate)
+
     def _account_delivery(self, packet: Packet) -> None:
         node = self.nodes[packet.source]
         tx_energy = packet.bits * node.technology.tx_energy_per_bit()
@@ -296,6 +355,58 @@ class BodyNetworkSimulator:
             if not node.energy.alive:
                 self._record_death(node)
         self.hub_ledger.post("wir_rx", rx_energy, timestamp_seconds=self.queue.now)
+
+    def _account_attempt(self, packet: Packet, success: bool) -> None:
+        """Energy of one transmission attempt on a lossy medium.
+
+        A successful attempt's frame energy flows through
+        :meth:`_account_delivery`; here it only pays for its ack (leaf
+        receives, hub transmits).  A corrupted attempt pays the full
+        wasted frame — leaf transmit under ``wir_retx``, hub receive —
+        and gets no ack (the leaf times out).
+        """
+        node = self.nodes[packet.source]
+        now = self.queue.now
+        arq = self.reliability.arq if self.reliability is not None else None
+        if success:
+            if arq is None or arq.ack_bits == 0.0:
+                return
+            ack_energy = arq.ack_bits * node.technology.rx_energy_per_bit()
+            if node.energy is None:
+                node.ledger.post("arq_ack", ack_energy, timestamp_seconds=now)
+            else:
+                node.energy.drain("arq_ack", ack_energy, now)
+                if not node.energy.alive:
+                    self._record_death(node)
+            self.hub_ledger.post(
+                "ack_tx", arq.ack_bits * self.technology.tx_energy_per_bit(),
+                timestamp_seconds=now)
+            return
+        node.retx_bits += packet.bits
+        tx_energy = packet.bits * node.technology.tx_energy_per_bit()
+        if node.energy is None:
+            node.ledger.post("wir_retx", tx_energy, timestamp_seconds=now)
+        else:
+            node.energy.drain("wir_retx", tx_energy, now)
+            if not node.energy.alive:
+                self._record_death(node)
+        # The hub listened to the corrupted frame for its full length.
+        self.hub_ledger.post(
+            "wir_rx", packet.bits * node.technology.rx_energy_per_bit(),
+            timestamp_seconds=now)
+
+    def _account_loss(self, packet: Packet) -> None:
+        """A packet the link gave up on: goodput and airtime bookkeeping.
+
+        The attempt-level energy is already correct (every one of its
+        failed serialisations posted ``wir_retx``); here the per-node
+        counters reconcile: the frame ``bits_sent`` charged at submit
+        never serialised *in addition to* the failed attempts, and the
+        payload never became goodput.
+        """
+        node = self.nodes[packet.source]
+        node.retx_bits -= packet.bits
+        node.lost_bits += packet.bits
 
     def _record_death(self, node: SimulatedNode) -> None:
         """Mark a brownout once: stop traffic, freeze the node's counters.
@@ -326,10 +437,11 @@ class BodyNetworkSimulator:
         if elapsed <= 0.0 or not state.alive:
             return
         # Transceiver sleep power covers whatever the interval did not
-        # spend serialising — the same split the batteryless path applies
-        # to the whole run at once.
-        delta_bits = node.bits_sent - node.accounted_bits
-        node.accounted_bits = node.bits_sent
+        # spend serialising (corrupted attempts serialise too) — the same
+        # split the batteryless path applies to the whole run at once.
+        serialised_bits = node.bits_sent + node.retx_bits
+        delta_bits = serialised_bits - node.accounted_bits
+        node.accounted_bits = serialised_bits
         tx_time = delta_bits / node.technology.data_rate_bps()
         sleep_time = max(elapsed - tx_time, 0.0)
         loads = {
@@ -415,7 +527,8 @@ class BodyNetworkSimulator:
                 node.ledger.post_power("isa", node.isa_power_watts,
                                        duration_seconds)
                 # Sleep power of the transceiver when not transmitting.
-                tx_time = node.bits_sent / node.technology.data_rate_bps()
+                tx_time = (node.bits_sent + node.retx_bits) \
+                    / node.technology.data_rate_bps()
                 sleep_time = max(duration_seconds - tx_time, 0.0)
                 node.ledger.post_power("wir_sleep",
                                        node.technology.sleep_power(),
@@ -428,7 +541,10 @@ class BodyNetworkSimulator:
                     state_of_charge[name] = \
                         node.energy.state_of_charge_fraction
             per_node_power[name] = node.ledger.average_power(duration_seconds)
-            per_node_goodput[name] = node.bits_sent / duration_seconds
+            # Accepted minus lost: bits the link actually carried to the
+            # hub (plus at most the final in-flight frame, as before).
+            per_node_goodput[name] = \
+                (node.bits_sent - node.lost_bits) / duration_seconds
 
         stats = self.bus.stats
         # The hub receiver is awake while the medium carries traffic and
@@ -475,6 +591,16 @@ class BodyNetworkSimulator:
             energy_events=tuple(sorted(
                 self.energy_events, key=lambda event: event.time_seconds)),
             harvested_joules=harvested,
+            reliability_enabled=self.reliability is not None,
+            erased_attempts=stats.erased_attempts,
+            retransmissions=stats.retransmissions,
+            lost_packets=stats.lost_packets,
+            retransmission_energy_joules=sum(
+                node.ledger.total_energy("wir_retx")
+                for node in self.nodes.values()),
+            ack_energy_joules=sum(
+                node.ledger.total_energy("arq_ack")
+                for node in self.nodes.values()),
         )
 
     def describe(self) -> dict[str, object]:

@@ -82,6 +82,11 @@ class LatencyAccumulator:
         samples = self._samples
         assert samples is not None
         self._total = math.fsum(samples)
+        # A log-spaced grid cannot include zero, so exact-zero samples
+        # (and anything below 1 ns) deliberately land in the bottom
+        # open-ended bin, whose bounds and merge representative clamp to
+        # the exactly tracked ``_min`` — zeros stay zeros in queries
+        # instead of being silently promoted to the 1 ns floor.
         low = max(self._min, 1e-9)
         high = max(self._max, low * (1.0 + 1e-9))
         # Log-spaced interior edges; the outermost bins are open-ended so
@@ -92,6 +97,7 @@ class LatencyAccumulator:
         indices = np.searchsorted(self._edges, np.asarray(samples),
                                   side="right")
         np.add.at(self._counts, indices, 1)
+        assert int(self._counts.sum()) == len(samples)
         self._samples = None
 
     def _bin_index(self, value: float) -> int:
@@ -108,8 +114,10 @@ class LatencyAccumulator:
         cohort statistics reproduce a serial run exactly.  Once either
         side has spilled (or the union would), the merge folds into this
         accumulator's histogram: exact samples land in their true bins,
-        foreign histogram bins are re-binned at their geometric midpoint
-        (the natural representative under log spacing).
+        foreign interior bins are re-binned at their geometric midpoint
+        (the natural representative under log spacing), and the foreign
+        *open-ended* outer bins — which have no finite midpoint — at the
+        observed ``_min``/``_max`` (see :meth:`_merge_representative`).
         """
         if other.count == 0:
             return
@@ -151,12 +159,9 @@ class LatencyAccumulator:
             np.add.at(self._counts, indices, 1)
             return
         self._total += other._total
-        midpoints = np.array([
-            math.sqrt(low * high) if low > 0.0 and high > 0.0
-            else 0.5 * (low + high)
-            for low, high in (other._bin_bounds(index)
-                              for index in range(other.bins))
-        ])
+        midpoints = np.array([other._merge_representative(index)
+                              for index in range(other.bins)])
+        assert np.isfinite(midpoints).all()
         indices = np.searchsorted(self._edges, midpoints, side="right")
         np.add.at(self._counts, indices, other._counts)
 
@@ -214,6 +219,29 @@ class LatencyAccumulator:
         else:
             estimate = low + fraction * (high - low)
         return float(min(max(estimate, self._min), self._max))
+
+    def _merge_representative(self, index: int) -> float:
+        """The single value standing in for one bin during a merge.
+
+        Interior bins use their geometric midpoint (the natural
+        representative under log spacing).  The outermost bins are
+        open-ended — they collect whatever fell outside the spill-time
+        range and have no meaningful midpoint — so their samples merge
+        at the *observed* extremes: the exactly tracked ``_min`` for the
+        bottom bin and ``_max`` for the top bin.  A post-spill outlier
+        therefore stays in the merged tail instead of being dragged
+        toward the frozen edges.
+        """
+        edges = self._edges
+        assert edges is not None
+        if index == 0:
+            return min(self._min, float(edges[0]))
+        if index >= len(edges):
+            return max(self._max, float(edges[-1]))
+        low, high = float(edges[index - 1]), float(edges[index])
+        if low > 0.0 and high > 0.0:
+            return math.sqrt(low * high)
+        return 0.5 * (low + high)
 
     def _bin_bounds(self, index: int) -> tuple[float, float]:
         """The value range of one bin.

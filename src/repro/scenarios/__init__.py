@@ -18,7 +18,9 @@ from .spec import (
     BATTERY_FACTORIES,
     ENVIRONMENTS,
     HARVESTER_FACTORIES,
+    POSTURES,
     TECHNOLOGY_FACTORIES,
+    ReliabilitySpec,
     ScenarioEvent,
     ScenarioNodeSpec,
     ScenarioResult,
@@ -26,6 +28,7 @@ from .spec import (
     battery_for,
     environment_for,
     harvester_for,
+    posture_for,
     technology_for,
 )
 from .registry import (
@@ -39,10 +42,13 @@ __all__ = [
     "BATTERY_FACTORIES",
     "ENVIRONMENTS",
     "HARVESTER_FACTORIES",
+    "POSTURES",
     "TECHNOLOGY_FACTORIES",
+    "ReliabilitySpec",
     "battery_for",
     "environment_for",
     "harvester_for",
+    "posture_for",
     "technology_for",
     "ScenarioNodeSpec",
     "ScenarioEvent",

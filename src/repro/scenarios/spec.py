@@ -20,8 +20,11 @@ import math
 from dataclasses import dataclass
 from typing import Callable
 
+from ..body.posture import Posture, channel_for_posture
 from ..comm.ble import ble_1m_phy, ble_2m_phy
+from ..comm.budget import eqs_link_budget, rf_link_budget
 from ..comm.eqs_hbc import (
+    EQSHBCTransceiver,
     eqs_hbc_sub_uw,
     wir_commercial,
     wir_leaf_node,
@@ -46,6 +49,7 @@ from ..energy.harvester import (
 )
 from ..errors import ScenarioError
 from ..netsim.arbitration import POLICY_FACTORIES
+from ..netsim.reliability import DEFAULT_ACK_BITS, ARQPolicy, LinkReliability
 from ..netsim.simulator import BodyNetworkSimulator, SimulationResult
 from ..netsim.traffic import PeriodicSource, PoissonSource, TrafficSource
 from ..sensors.catalog import SensorModality, modality_spec
@@ -132,6 +136,100 @@ def environment_for(key: str) -> HarvestingEnvironment:
             f"unknown environment {key!r} (known: {known})") from None
 
 
+#: Whole-body postures, by short name (see :mod:`repro.body.posture`).
+POSTURES: dict[str, Posture] = {posture.value: posture for posture in Posture}
+
+
+def posture_for(key: str) -> Posture:
+    """Resolve a posture short name."""
+    try:
+        return POSTURES[key]
+    except KeyError:
+        known = ", ".join(sorted(POSTURES))
+        raise ScenarioError(
+            f"unknown posture {key!r} (known: {known})") from None
+
+
+@dataclass(frozen=True)
+class ReliabilitySpec:
+    """Lossy-link configuration of a scenario.
+
+    Turns the scenario's per-node link budgets into per-packet erasure
+    probabilities and arms the medium's ARQ.  The physical story:
+
+    * EQS (Wi-R family) nodes ride the capacitive body channel, whose
+      gain depends on ``posture`` (ground coupling) — swap postures with
+      ``action="posture"`` :class:`ScenarioEvent`s.  The receiver's
+      input-referred noise is ``eqs_noise_rms_volts``.
+    * RF (BLE/Wi-Fi family) nodes pay Friis plus body shadowing against
+      ``rf_noise_floor_dbm`` — raise the floor to model an
+      interference-heavy environment (a noisy clinical ward).
+    * Technologies with no modelled channel (MQS implants, NFMI) fall
+      back to ``default_error_rate``.
+
+    ``arq=False`` makes the medium a pure erasure channel (every
+    corrupted packet is lost); otherwise a stop-and-wait ARQ retries up
+    to ``arq_retry_limit`` times with ``ack_bits``-long acks.
+    """
+
+    posture: str = "standing_shoes"
+    eqs_noise_rms_volts: float = 1e-6
+    rf_noise_floor_dbm: float = -94.0
+    default_error_rate: float = 0.0
+    arq: bool = True
+    arq_retry_limit: int | None = 3
+    ack_bits: float = DEFAULT_ACK_BITS
+
+    def __post_init__(self) -> None:
+        posture_for(self.posture)  # raises with the known list
+        if self.eqs_noise_rms_volts <= 0:
+            raise ScenarioError("EQS noise must be positive")
+        if not 0.0 <= self.default_error_rate <= 1.0:
+            raise ScenarioError("default error rate must be in [0, 1]")
+        if self.arq_retry_limit is not None and self.arq_retry_limit < 0:
+            raise ScenarioError("ARQ retry limit must be >= 0 (or None)")
+        if self.ack_bits < 0:
+            raise ScenarioError("ack length must be non-negative")
+
+    def arq_policy(self) -> ARQPolicy | None:
+        """The medium-level ARQ policy this spec compiles to."""
+        if not self.arq:
+            return None
+        return ARQPolicy(retry_limit=self.arq_retry_limit,
+                         ack_bits=self.ack_bits)
+
+    def node_error_rate(self, node: "ScenarioNodeSpec",
+                        posture: str | None = None) -> float:
+        """Per-packet erasure probability of one leaf population.
+
+        *posture* overrides the spec's initial posture (posture events
+        re-derive rates mid-run).  Only EQS nodes feel the posture; RF
+        nodes feel the noise floor; everything else gets the default.
+        """
+        technology = technology_for(node.technology)
+        if isinstance(technology, EQSHBCTransceiver):
+            channel = channel_for_posture(
+                posture_for(posture if posture is not None else self.posture))
+            budget = eqs_link_budget(
+                channel,
+                tx_swing_volts=technology.tx_swing_volts,
+                noise_rms_volts=self.eqs_noise_rms_volts,
+                distance_metres=node.channel_distance_metres,
+                frequency_hz=technology.carrier_frequency_hz,
+            )
+        elif hasattr(technology, "path_loss") and \
+                hasattr(technology, "tx_power_dbm"):
+            budget = rf_link_budget(
+                technology.path_loss,
+                tx_power_dbm=technology.tx_power_dbm,
+                noise_floor_dbm=self.rf_noise_floor_dbm,
+                distance_metres=node.channel_distance_metres,
+            )
+        else:
+            return self.default_error_rate
+        return budget.packet_error_rate(node.bits_per_packet)
+
+
 @dataclass(frozen=True)
 class ScenarioNodeSpec:
     """One leaf population in a scenario.
@@ -164,10 +262,16 @@ class ScenarioNodeSpec:
     initial_charge_fraction: float = 1.0
     harvester: str | None = None
     low_battery_fraction: float | None = None
+    #: On-body channel length to the hub (wrist-to-chest scale); feeds
+    #: the node's link budget when the scenario is lossy.
+    channel_distance_metres: float = 1.5
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ScenarioError("node name must be non-empty")
+        if self.channel_distance_metres <= 0:
+            raise ScenarioError(
+                f"node {self.name!r} channel distance must be positive")
         if self.modality is None and self.rate_bps is None:
             raise ScenarioError(
                 f"node {self.name!r} needs a modality or an explicit rate")
@@ -227,24 +331,38 @@ class ScenarioNodeSpec:
 
 @dataclass(frozen=True)
 class ScenarioEvent:
-    """A duty-cycle / posture event during the run.
+    """A duty-cycle or posture event during the run.
 
-    Fires at ``at_fraction`` of the simulated duration and puts every
-    node whose name starts with one of the ``node_prefixes`` to sleep
-    (``action="sleep"``) or wakes it back up (``action="wake"``).
+    Fires at ``at_fraction`` of the simulated duration and either puts
+    every node whose name starts with one of the ``node_prefixes`` to
+    sleep (``action="sleep"``) / wakes it back up (``action="wake"``),
+    or — ``action="posture"`` with the ``posture`` field set — swaps the
+    active body channel for the matching nodes, re-deriving their
+    packet-erasure probabilities through :class:`ReliabilitySpec` and
+    :func:`repro.body.posture.channel_for_posture`.  A whole-body
+    posture change uses the match-everything prefix ``("",)``.
     """
 
     at_fraction: float
     action: str
     node_prefixes: tuple[str, ...]
+    posture: str | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.at_fraction <= 1.0:
             raise ScenarioError("event fraction must be in [0, 1]")
-        if self.action not in ("sleep", "wake"):
-            raise ScenarioError("event action must be 'sleep' or 'wake'")
+        if self.action not in ("sleep", "wake", "posture"):
+            raise ScenarioError(
+                "event action must be 'sleep', 'wake' or 'posture'")
         if not self.node_prefixes:
             raise ScenarioError("event needs at least one node prefix")
+        if self.action == "posture":
+            if self.posture is None:
+                raise ScenarioError("posture event needs a posture")
+            posture_for(self.posture)  # raises with the known list
+        elif self.posture is not None:
+            raise ScenarioError(
+                "only posture events may carry a posture")
 
 
 @dataclass(frozen=True)
@@ -290,6 +408,15 @@ class ScenarioResult:
         if sim.per_node_state_of_charge or sim.harvested_joules > 0.0:
             # Harvester-only nodes (no battery) still bank income.
             row["harvested_j"] = round(sim.harvested_joules, 6)
+        if sim.reliability_enabled:
+            # Only lossy scenarios grow these columns, so the historical
+            # gallery rows stay byte-identical.
+            row["erased"] = sim.erased_attempts
+            row["retx"] = sim.retransmissions
+            row["lost"] = sim.lost_packets
+            row["attempts_per_pkt"] = round(sim.attempts_per_delivered, 4)
+            row["retx_energy_uj"] = round(
+                sim.retransmission_energy_joules * 1e6, 3)
         return row
 
 
@@ -307,6 +434,7 @@ class ScenarioSpec:
     per_packet_overhead_seconds: float = 100e-6
     environment: str = "indoor_office"
     energy_update_interval_seconds: float = 1.0
+    reliability: ReliabilitySpec | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -350,6 +478,11 @@ class ScenarioSpec:
                 raise ScenarioError(
                     f"scenario {self.name!r}: event prefixes {prefixes!r} "
                     "match no node")
+            if event.action == "posture" and self.reliability is None:
+                raise ScenarioError(
+                    f"scenario {self.name!r}: posture events need a "
+                    "reliability spec (the posture only matters through "
+                    "the link budget)")
 
     # -- derived views -----------------------------------------------------
 
@@ -373,6 +506,115 @@ class ScenarioSpec:
         return any(node.battery is not None or node.harvester is not None
                    for node in self.nodes)
 
+    def node_posture_timeline(self, concrete: str,
+                              node: "ScenarioNodeSpec"
+                              ) -> list[tuple[float, float, str]]:
+        """``(start, end, posture)`` segments one concrete node sees.
+
+        Replays the scenario's posture events in the simulator's order
+        (schedule order at equal fractions).  Requires a reliability
+        spec (which provides the initial posture).
+        """
+        if self.reliability is None:
+            raise ScenarioError(
+                f"scenario {self.name!r} has no reliability spec")
+        segments: list[tuple[float, float, str]] = []
+        current = self.reliability.posture
+        last = 0.0
+        ordered = sorted(enumerate(self.events),
+                         key=lambda pair: (pair[1].at_fraction, pair[0]))
+        for _, event in ordered:
+            if event.action != "posture":
+                continue
+            if not any(concrete.startswith(prefix)
+                       for prefix in event.node_prefixes):
+                continue
+            if event.at_fraction > last:
+                segments.append((last, event.at_fraction, current))
+            last = event.at_fraction
+            current = event.posture
+        if last < 1.0 or not segments:
+            segments.append((last, 1.0, current))
+        return segments
+
+    def node_awake_intervals(self, concrete: str
+                             ) -> list[tuple[float, float]]:
+        """``(start, end)`` fractions during which one node generates.
+
+        The same sleep/wake replay :func:`repro.cohort.analytic.
+        active_fractions` integrates, kept here as intervals so posture
+        segments can be weighted by the traffic that actually flowed in
+        them.
+        """
+        ordered = sorted(enumerate(self.events),
+                         key=lambda pair: (pair[1].at_fraction, pair[0]))
+        intervals: list[tuple[float, float]] = []
+        active = True
+        last = 0.0
+        for _, event in ordered:
+            if event.action not in ("sleep", "wake"):
+                continue
+            if not any(concrete.startswith(prefix)
+                       for prefix in event.node_prefixes):
+                continue
+            if active and event.at_fraction > last:
+                intervals.append((last, event.at_fraction))
+            last = event.at_fraction
+            active = event.action == "wake"
+        if active and last < 1.0:
+            intervals.append((last, 1.0))
+        return intervals
+
+    def reliability_profile(self) -> dict[str, tuple[float, float]]:
+        """Per-packet ``(delivery probability, expected attempts)``
+        averaged over each concrete node's posture schedule.
+
+        The closed-form counterpart of the DES erasure process, used by
+        the cohort analytic fast path: each posture segment contributes
+        its ARQ delivery probability and truncated-geometric attempt
+        count (see :class:`~repro.netsim.reliability.ARQPolicy`),
+        weighted by the node's *awake* time inside the segment — a
+        posture the node slept through offered no packets and must not
+        tilt the average.  Without ARQ a corrupted packet is lost, so
+        delivery probability is ``1 - PER`` and every packet is
+        attempted exactly once.
+        """
+        if self.reliability is None:
+            return {concrete: (1.0, 1.0) for node in self.nodes
+                    for concrete in node.expanded_names()}
+        arq = self.reliability.arq_policy()
+        profile: dict[str, tuple[float, float]] = {}
+        for node in self.nodes:
+            for concrete in node.expanded_names():
+                awake = self.node_awake_intervals(concrete)
+                delivered = 0.0
+                attempts = 0.0
+                total_weight = 0.0
+                for start, end, posture in \
+                        self.node_posture_timeline(concrete, node):
+                    weight = sum(min(end, high) - max(start, low)
+                                 for low, high in awake
+                                 if min(end, high) > max(start, low))
+                    if weight == 0.0:
+                        continue
+                    total_weight += weight
+                    error_rate = self.reliability.node_error_rate(
+                        node, posture)
+                    if arq is None:
+                        delivered += weight * (1.0 - error_rate)
+                        attempts += weight
+                    else:
+                        delivered += weight \
+                            * arq.delivery_probability(error_rate)
+                        attempts += weight \
+                            * arq.expected_attempts(error_rate)
+                if total_weight == 0.0:
+                    profile[concrete] = (1.0, 1.0)  # never awake: no packets
+                else:
+                    profile[concrete] = (delivered / total_weight,
+                                         attempts / total_weight)
+        return profile
+
     # -- compilation -------------------------------------------------------
 
     def build(self, seed: int = 0,
@@ -390,6 +632,13 @@ class ScenarioSpec:
         if duration <= 0:
             raise ScenarioError("duration must be positive")
         hub_technology = technology_for(self.hub_technology)
+        link_reliability = None
+        if self.reliability is not None:
+            link_reliability = LinkReliability(
+                seed=seed,
+                arq=self.reliability.arq_policy(),
+                default_error_rate=self.reliability.default_error_rate,
+            )
         simulator = BodyNetworkSimulator(
             hub_technology,
             rng=seed,
@@ -398,13 +647,16 @@ class ScenarioSpec:
             latency_exact_capacity=latency_exact_capacity,
             energy_update_interval_seconds=self.energy_update_interval_seconds,
             harvest_environment=environment_for(self.environment),
+            reliability=link_reliability,
         )
+        spec_of: dict[str, ScenarioNodeSpec] = {}
         for node in self.nodes:
             technology = (None if node.technology == self.hub_technology
                           else technology_for(node.technology))
             battery = (battery_for(node.battery, node.battery_scale)
                        if node.battery is not None else None)
             for concrete in node.expanded_names():
+                spec_of[concrete] = node
                 simulator.add_node(
                     concrete,
                     node.make_source(),
@@ -417,11 +669,24 @@ class ScenarioSpec:
                     initial_charge_fraction=node.initial_charge_fraction,
                     low_battery_fraction=node.low_battery_fraction,
                 )
+                if link_reliability is not None:
+                    link_reliability.set_error_rate(
+                        concrete,
+                        self.reliability.node_error_rate(node))
         for event in self.events:
-            active = event.action == "wake"
             targets = [name for name in simulator.nodes
                        if any(name.startswith(prefix)
                               for prefix in event.node_prefixes)]
+            if event.action == "posture":
+                def swap_posture(targets=targets, posture=event.posture):
+                    for name in targets:
+                        simulator.set_node_error_rate(
+                            name, self.reliability.node_error_rate(
+                                spec_of[name], posture))
+                simulator.queue.schedule_at(
+                    event.at_fraction * duration, swap_posture)
+                continue
+            active = event.action == "wake"
             simulator.queue.schedule_at(
                 event.at_fraction * duration,
                 lambda targets=targets, active=active: [

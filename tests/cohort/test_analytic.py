@@ -39,8 +39,13 @@ def test_analytic_agrees_with_des_on_gallery(scenario):
     spec = get_scenario(scenario)
     # A representative slice keeps the DES side fast; the steady state is
     # reached within seconds of simulated time for every gallery body.
+    # Lossy scenarios get a longer slice: the envelope bounds are
+    # unchanged, but the sampled erasure process needs a few hundred
+    # packets per node before its observed rate settles near the
+    # closed-form PER the analytic side uses.
+    scale = 0.05 if spec.reliability is None else 0.2
     scaled = dataclasses.replace(
-        spec, duration_seconds=spec.duration_seconds * 0.05)
+        spec, duration_seconds=spec.duration_seconds * scale)
     analytic = evaluate_member(scaled)
     des = simulate(scaled)
 

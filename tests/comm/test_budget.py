@@ -1,0 +1,151 @@
+"""Tests for repro.comm.budget (SNR → BER → packet error rate)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.body.posture import Posture, channel_for_posture
+from repro.comm.budget import (
+    LinkBudget,
+    eqs_link_budget,
+    packet_error_rate,
+    rf_link_budget,
+    snr_to_bit_error_rate,
+)
+from repro.comm.channel import EQSChannelModel, RFPathLossModel
+from repro.errors import ChannelError, LinkBudgetError
+
+
+class TestBerCurve:
+    def test_waterfall_is_monotone_decreasing_in_snr(self):
+        bers = [snr_to_bit_error_rate(snr) for snr in range(-10, 25)]
+        assert all(late <= early for early, late in zip(bers, bers[1:]))
+
+    def test_textbook_point(self):
+        # Coherent BPSK at 9.6 dB SNR (Eb/N0 ~ 6.6 dB): BER ~ 1e-3.
+        assert snr_to_bit_error_rate(9.6) == pytest.approx(1.2e-3, rel=0.2)
+
+    def test_no_signal_conveys_nothing(self):
+        assert snr_to_bit_error_rate(-60.0) == pytest.approx(0.5, abs=1e-3)
+
+    def test_high_snr_is_error_free(self):
+        assert snr_to_bit_error_rate(30.0) == 0.0
+
+
+class TestPacketErrorRate:
+    def test_zero_ber_gives_zero_per(self):
+        assert packet_error_rate(0.0, 8192.0) == 0.0
+
+    def test_certain_bit_error_gives_certain_packet_error(self):
+        assert packet_error_rate(1.0, 1.0) == 1.0
+
+    def test_matches_direct_formula(self):
+        assert packet_error_rate(1e-3, 1000.0) == pytest.approx(
+            1.0 - (1.0 - 1e-3) ** 1000, rel=1e-9)
+
+    def test_tiny_ber_does_not_round_to_zero(self):
+        # 1e-12 over a 8192-bit packet: PER ~ 8.2e-9, not 0.
+        per = packet_error_rate(1e-12, 8192.0)
+        assert per == pytest.approx(8.192e-9, rel=1e-3)
+
+    def test_longer_packets_fail_more(self):
+        assert packet_error_rate(1e-4, 8192.0) > packet_error_rate(1e-4, 128.0)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(LinkBudgetError):
+            packet_error_rate(1.5, 100.0)
+        with pytest.raises(LinkBudgetError):
+            packet_error_rate(0.1, -1.0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1e6))
+    def test_always_a_probability(self, ber, bits):
+        assert 0.0 <= packet_error_rate(ber, bits) <= 1.0
+
+
+class TestLinkBudget:
+    def test_level_arithmetic(self):
+        budget = LinkBudget(tx_level_db=0.0, channel_gain_db=-70.0,
+                            noise_floor_db=-90.0)
+        assert budget.received_level_db == -70.0
+        assert budget.snr_db == 20.0
+        assert budget.margin_db == 10.0
+        assert budget.closes()
+
+    def test_implementation_loss_erodes_margin(self):
+        clean = LinkBudget(tx_level_db=0.0, channel_gain_db=-70.0,
+                           noise_floor_db=-85.0)
+        lossy = LinkBudget(tx_level_db=0.0, channel_gain_db=-70.0,
+                           noise_floor_db=-85.0, implementation_loss_db=6.0)
+        assert lossy.snr_db == clean.snr_db - 6.0
+
+    def test_negative_implementation_loss_rejected(self):
+        with pytest.raises(LinkBudgetError):
+            LinkBudget(tx_level_db=0.0, channel_gain_db=0.0,
+                       noise_floor_db=0.0, implementation_loss_db=-1.0)
+
+    def test_from_snr(self):
+        budget = LinkBudget.from_snr_db(12.0)
+        assert budget.snr_db == 12.0
+        assert budget.packet_error_rate(0.0) == 0.0
+        assert 0.0 < budget.packet_error_rate(4096.0) < 1.0
+
+    def test_per_monotone_in_snr(self):
+        pers = [LinkBudget.from_snr_db(snr).packet_error_rate(4096.0)
+                for snr in (6.0, 9.0, 12.0, 15.0)]
+        assert all(late <= early for early, late in zip(pers, pers[1:]))
+
+
+class TestEqsBudget:
+    def test_wir_class_link_is_clean_at_nominal_noise(self):
+        budget = eqs_link_budget(EQSChannelModel(), tx_swing_volts=1.0,
+                                 noise_rms_volts=1e-6)
+        assert budget.snr_db > 40.0
+        assert budget.packet_error_rate(8192.0) == 0.0
+
+    def test_posture_moves_the_snr(self):
+        """Standing barefoot couples hardest to ground: worst gain."""
+        kwargs = dict(tx_swing_volts=1.0, noise_rms_volts=1e-5)
+        barefoot = eqs_link_budget(
+            channel_for_posture(Posture.STANDING_BAREFOOT), **kwargs)
+        lying = eqs_link_budget(
+            channel_for_posture(Posture.LYING_ON_BED), **kwargs)
+        assert lying.snr_db > barefoot.snr_db + 5.0
+
+    def test_invalid_levels_rejected(self):
+        with pytest.raises(ChannelError):
+            eqs_link_budget(EQSChannelModel(), tx_swing_volts=0.0,
+                            noise_rms_volts=1e-6)
+        with pytest.raises(ChannelError):
+            eqs_link_budget(EQSChannelModel(), tx_swing_volts=1.0,
+                            noise_rms_volts=0.0)
+
+
+class TestRfBudget:
+    def test_body_worn_ble_at_thermal_floor_is_mostly_clean(self):
+        budget = rf_link_budget(RFPathLossModel(), tx_power_dbm=0.0,
+                                noise_floor_dbm=-94.0)
+        assert budget.snr_db > 10.0
+
+    def test_raised_noise_floor_degrades_per(self):
+        quiet = rf_link_budget(RFPathLossModel(), tx_power_dbm=0.0,
+                               noise_floor_dbm=-94.0)
+        ward = rf_link_budget(RFPathLossModel(), tx_power_dbm=0.0,
+                              noise_floor_dbm=-80.0)
+        assert ward.packet_error_rate(2048.0) \
+            > quiet.packet_error_rate(2048.0)
+
+    def test_distance_must_be_positive(self):
+        with pytest.raises(ChannelError):
+            rf_link_budget(RFPathLossModel(), tx_power_dbm=0.0,
+                           noise_floor_dbm=-94.0, distance_metres=0.0)
+
+    def test_snr_tracks_path_loss(self):
+        model = RFPathLossModel()
+        budget = rf_link_budget(model, tx_power_dbm=4.0,
+                                noise_floor_dbm=-90.0, distance_metres=1.2)
+        assert budget.snr_db == pytest.approx(
+            4.0 - model.path_loss_db(1.2) + 90.0)

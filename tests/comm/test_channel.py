@@ -78,6 +78,39 @@ class TestRFPathLossModel:
         with pytest.raises(ChannelError):
             BodyShadowingModel().loss_db(-1.0)
 
+    def test_shadowing_continuous_at_zero(self):
+        """No step at zero: the base loss ramps in over the first cm."""
+        model = BodyShadowingModel()
+        assert model.loss_db(1e-6) == pytest.approx(0.0, abs=1e-3)
+        assert model.loss_db(1e-3) < 1.0
+
+    def test_shadowing_matches_historical_model_beyond_ramp(self):
+        model = BodyShadowingModel()
+        for distance in (model.ramp_metres, 0.3, 1.5, 10.0):
+            assert model.loss_db(distance) == pytest.approx(
+                model.base_loss_db + model.per_metre_loss_db * distance)
+
+    @given(st.floats(min_value=0.0, max_value=5.0),
+           st.floats(min_value=1e-4, max_value=1.0))
+    def test_shadowing_monotone_non_decreasing(self, distance, step):
+        model = BodyShadowingModel()
+        assert model.loss_db(distance + step) >= model.loss_db(distance)
+
+    def test_shadowing_negative_ramp_rejected(self):
+        with pytest.raises(ChannelError):
+            BodyShadowingModel(ramp_metres=-0.01)
+
+    def test_range_bisection_resolves_short_body_worn_links(self):
+        """A link that closes only at a few cm reports that range instead
+        of collapsing to the historical 0-vs-1-cm cliff."""
+        model = RFPathLossModel(body_worn=True)
+        # Budget chosen so the link closes at ~2 cm but not at 10 cm.
+        loss_at_2cm = model.path_loss_db(0.02)
+        sensitivity = -loss_at_2cm  # tx 0 dBm closes exactly at 2 cm
+        distance = model.range_for_sensitivity(0.0, sensitivity)
+        assert 0.015 < distance < 0.025
+        assert model.received_power_dbm(0.0, distance) >= sensitivity - 0.1
+
 
 class TestEQSChannelModel:
     def test_gain_is_negative_db(self):

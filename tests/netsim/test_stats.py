@@ -200,6 +200,43 @@ class TestMerge:
         assert spilled.mean == pytest.approx(float(np.mean(combined)),
                                              rel=1e-9)
 
+    def test_merge_spilled_outliers_stay_in_the_tail(self):
+        """Regression: samples in the open-ended outer bins of a spilled
+        accumulator merge at the observed min/max, not at a 'geometric
+        midpoint' of the artificial clamped span.
+
+        Before the fix, an outlier landing in the open top bin after the
+        spill (e.g. 500 s over ~2 ms edges) was re-binned at
+        sqrt(edge * max) — hundreds of times below its true value — and
+        the merged tail percentiles collapsed toward the warm-up range.
+        """
+        left = self.fill([0.001] * 40, capacity=32)
+        left.add(100.0)     # open top bin of left
+        right = self.fill([0.002] * 40, capacity=32)
+        right.add(500.0)    # open top bin of right
+        right.add(1e-12)    # open bottom bin of right
+        assert not left.is_exact and not right.is_exact
+        left.merge(right)
+        assert left.count == 83
+        assert left.max_seconds == 500.0
+        assert left.min_seconds == 1e-12
+        # ~2.4% of the mass sits at 100/500 s: p99 must stay far above
+        # the ~millisecond bulk instead of collapsing below it.
+        assert left.percentile(99.0) > 1.0
+        # The exact running total is untouched by the re-binning.
+        expected_mean = ([0.001] * 40 + [100.0] + [0.002] * 40
+                         + [500.0] + [1e-12])
+        assert left.mean == pytest.approx(
+            float(np.mean(expected_mean)), rel=1e-9)
+
+    def test_merge_bottom_open_bin_uses_observed_min(self):
+        left = self.fill(np.linspace(0.01, 0.02, 40).tolist(), capacity=32)
+        right = self.fill(np.linspace(0.01, 0.02, 40).tolist(), capacity=32)
+        right.add(1e-7)     # far below right's frozen bottom edge
+        left.merge(right)
+        assert left.min_seconds == 1e-7
+        assert left.percentile(0.0) == pytest.approx(1e-7, rel=1e-6)
+
     def test_empty_adopts_spilled_other(self):
         rng = np.random.default_rng(8)
         samples = rng.lognormal(mean=-6.0, sigma=0.5, size=2000).tolist()
@@ -213,3 +250,48 @@ class TestMerge:
         # The adopted histogram is a copy, not a shared buffer.
         target.add(1.0)
         assert spilled.count == 2000
+
+
+class TestZeroLatencySamples:
+    """Exact zeros survive the spill: a log-spaced histogram cannot hold
+    zero, so zeros land in the bottom open bin whose bounds clamp to the
+    tracked minimum — queries must keep reporting them as (effectively)
+    zero rather than promoting them to the 1 ns edge floor."""
+
+    def spill_with_zeros(self, zeros, others, capacity=32):
+        accumulator = LatencyAccumulator(exact_capacity=capacity)
+        for value in [0.0] * zeros + list(others):
+            accumulator.add(value)
+        assert not accumulator.is_exact
+        return accumulator
+
+    def test_all_zero_samples(self):
+        accumulator = self.spill_with_zeros(40, [])
+        assert accumulator.mean == 0.0
+        assert accumulator.min_seconds == 0.0
+        for percentile in (0.0, 50.0, 100.0):
+            assert accumulator.percentile(percentile) == 0.0
+
+    def test_mixed_zeros_keep_low_percentiles_at_zero(self):
+        accumulator = self.spill_with_zeros(30, [0.01] * 10)
+        assert accumulator.percentile(0.0) == 0.0
+        # Half the mass is exactly zero; the median estimate may sit
+        # anywhere inside the bottom open bin but never above its edge.
+        assert accumulator.percentile(50.0) <= 1e-9
+        assert accumulator.percentile(99.0) == pytest.approx(0.01, rel=0.05)
+        assert accumulator.mean == pytest.approx(0.0025, rel=1e-9)
+
+    def test_zeros_added_after_spill(self):
+        accumulator = self.spill_with_zeros(1, np.linspace(0.01, 0.02, 40))
+        accumulator.add(0.0)
+        assert accumulator.min_seconds == 0.0
+        assert accumulator.percentile(0.0) == 0.0
+
+    def test_merging_spilled_zero_accumulators(self):
+        left = self.spill_with_zeros(20, [0.01] * 20)
+        right = self.spill_with_zeros(20, [0.02] * 20)
+        left.merge(right)
+        assert left.count == 80
+        assert left.min_seconds == 0.0
+        assert left.percentile(0.0) == 0.0
+        assert left.mean == pytest.approx((0.01 + 0.02) * 20 / 80, rel=1e-9)
