@@ -20,23 +20,29 @@ import time
 import pytest
 
 from repro.analysis.reporting import format_table
-from repro.netsim.events import EventQueue
+from repro.netsim.simulator import BodyNetworkSimulator
 
 
 @pytest.fixture(autouse=True)
 def synthetic_slowdown(monkeypatch):
-    """Optionally slow the DES hot path for benchmark-gate dry runs."""
+    """Optionally slow the DES hot path for benchmark-gate dry runs.
+
+    Wraps ``BodyNetworkSimulator.run`` — the batched kernel's single
+    entry point — rather than ``EventQueue.run_until``: the merged
+    three-stream loop drives the calendar queue directly, so only a
+    fraction of kernel time flows through ``run_until`` now.
+    """
     factor = float(os.environ.get("REPRO_BENCH_SYNTHETIC_SLOWDOWN", "0") or 0.0)
     if factor > 1.0:
-        real_run_until = EventQueue.run_until
+        real_run = BodyNetworkSimulator.run
 
-        def slowed(self, end_time):
+        def slowed(self, *args, **kwargs):
             started = time.perf_counter()
-            result = real_run_until(self, end_time)
+            result = real_run(self, *args, **kwargs)
             time.sleep((factor - 1.0) * (time.perf_counter() - started))
             return result
 
-        monkeypatch.setattr(EventQueue, "run_until", slowed)
+        monkeypatch.setattr(BodyNetworkSimulator, "run", slowed)
     yield
 
 

@@ -31,7 +31,6 @@ registry shared with the examples, benchmarks and tests.
 from __future__ import annotations
 
 import argparse
-import ast
 import dataclasses
 import os
 import sys
@@ -42,6 +41,7 @@ from .analysis.reporting import format_table
 from .analysis.survey import survey_rows
 from .comm.link import compare_technologies
 from .errors import ReproError
+from .netsim.simulator import SimulationResult
 from .runner import (
     DEFAULT_OUT_DIR,
     ExperimentSpec,
@@ -49,6 +49,10 @@ from .runner import (
     all_specs,
     resolve,
 )
+# Both ``repro run --grid`` and ``repro sweep --grid`` resolve their
+# grids through the one helper in :mod:`repro.runner.sweep`; re-exported
+# here because this is where CLI users historically imported it from.
+from .runner.sweep import parse_grid
 from .runner.artifacts import (
     digest_key,
     scan_artifacts,
@@ -61,78 +65,6 @@ from .scenarios import (
     get_scenario,
     scenario_names,
 )
-
-
-def _split_values(values: str) -> list[str]:
-    """Split on commas outside brackets and quotes, so tuple values like
-    ``(1,2)`` and quoted strings like ``"a,b"`` survive intact."""
-    tokens: list[str] = []
-    depth = 0
-    quote: str | None = None
-    current = ""
-    for character in values:
-        if quote is not None:
-            if character == quote:
-                quote = None
-        elif character in "'\"":
-            quote = character
-        elif character in "([{":
-            depth += 1
-        elif character in ")]}":
-            depth -= 1
-        if character == "," and depth == 0 and quote is None:
-            tokens.append(current)
-            current = ""
-        else:
-            current += character
-    tokens.append(current)
-    return [token for token in tokens if token.strip()]
-
-
-def parse_grid(assignments: Sequence[str]) -> dict[str, list[object]]:
-    """Parse ``key=v1,v2,...`` CLI assignments into a sweep grid.
-
-    Values are ``ast.literal_eval``-ed when possible (ints, floats,
-    tuples like ``(1,2,4)``) and kept as strings otherwise.
-    """
-    grid: dict[str, list[object]] = {}
-    for assignment in assignments:
-        key, separator, values = assignment.partition("=")
-        key = key.strip()
-        if not separator or not key or not values.strip():
-            raise ReproError(
-                f"grid assignment {assignment!r} is not of the form key=v1,v2,..."
-            )
-        if key in grid:
-            raise ReproError(f"grid key {key!r} given more than once")
-        parsed: list[object] = []
-        for token in _split_values(values):
-            token = token.strip()
-            try:
-                parsed.append(ast.literal_eval(token))
-            except (ValueError, SyntaxError):
-                # Bare words are legitimate string values; anything that
-                # *looks* like a literal (brackets, quotes, leading digit
-                # or sign, float words like inf/nan) but fails to parse is
-                # a user mistake — erroring here beats a TypeError deep
-                # inside the experiment.
-                if token.lstrip("+-").lower() in ("inf", "infinity", "nan"):
-                    try:
-                        parsed.append(float(token))
-                    except ValueError:
-                        raise ReproError(
-                            f"grid value {token!r} for {key!r} is not a "
-                            "valid Python literal"
-                        ) from None
-                elif token[0] in "([{'\"+-" or token[0].isdigit():
-                    raise ReproError(
-                        f"grid value {token!r} for {key!r} is not a valid "
-                        "Python literal"
-                    ) from None
-                else:
-                    parsed.append(token)
-        grid[key] = parsed
-    return grid
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -362,6 +294,23 @@ def _command_report(artifact_dir: str, out, include_stale: bool = False) -> int:
             print(format_table(rows, title=header), file=out)
         else:
             print(f"{header} (no rows)", file=out)
+        result_document = document.get("result")
+        if isinstance(result_document, dict):
+            # Artifacts carrying a full schema-versioned simulation
+            # result get a derived-metrics line computed by the result
+            # class itself, not by poking at raw dict keys here.
+            try:
+                simulated = SimulationResult.from_dict(result_document)
+            except (ReproError, KeyError, TypeError, ValueError):
+                print("note: result payload has an unreadable schema",
+                      file=out)
+            else:
+                print(f"result: {simulated.delivered_packets} delivered "
+                      f"({simulated.delivered_fraction:.1%} of offered), "
+                      f"{simulated.attempts_per_delivered:.3f} attempts/pkt, "
+                      f"mean latency "
+                      f"{simulated.mean_latency_seconds * 1e3:.3f} ms",
+                      file=out)
         for line in document.get("summary") or []:
             print(line, file=out)
         print(file=out)
@@ -407,6 +356,7 @@ def _command_scenarios_run(scenario: str, out, duration: float | None,
                     "params": kwargs,
                     "kwargs": kwargs,
                     "rows": [row],
+                    "result": result.simulated.to_dict(),
                     "summary": [f"arbitration: {spec.arbitration}",
                                 "technologies: "
                                 + ", ".join(spec.technologies())],

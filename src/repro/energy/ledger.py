@@ -76,7 +76,11 @@ class EnergyLedger:
         self._totals: dict[str, float] = {}
         self._grand_total = 0.0
         self._posted_count = 0
-        self._trace = np.zeros(trace_buckets)
+        # Plain Python list, not an ndarray: the simulator kernel posts
+        # per-packet energy millions of times per run, and a list index
+        # add is several times cheaper than a numpy scalar update.  The
+        # float arithmetic is identical (IEEE doubles either way).
+        self._trace: list[float] = [0.0] * trace_buckets
 
     # -- recording ---------------------------------------------------------
 
@@ -105,6 +109,33 @@ class EnergyLedger:
                      self.trace_buckets - 1)
         self._trace[max(bucket, 0)] += energy_joules
         return entry
+
+    def post_fast(self, component: str, energy_joules: float,
+                  timestamp_seconds: float) -> None:
+        """Streaming-mode :meth:`post` without the :class:`LedgerEntry`.
+
+        The simulator kernel posts radio energy once or more per packet;
+        constructing (and immediately discarding) a frozen dataclass per
+        post dominated that path.  This keeps the exact same running
+        totals and trace in the same addition order, but skips entry
+        construction, validation (callers pass non-negative energy by
+        construction) and the unused duration/note fields.  Falls back
+        to :meth:`post` in exact mode so the entry list stays complete.
+        """
+        if self.entries is not None:
+            self.post(component, energy_joules,
+                      timestamp_seconds=timestamp_seconds)
+            return
+        self._totals[component] = (self._totals.get(component, 0.0)
+                                   + energy_joules)
+        self._grand_total += energy_joules
+        self._posted_count += 1
+        bucket = int(timestamp_seconds / self.trace_bucket_seconds)
+        if bucket >= self.trace_buckets:
+            bucket = self.trace_buckets - 1
+        elif bucket < 0:
+            bucket = 0
+        self._trace[bucket] += energy_joules
 
     def post_power(self, component: str, power_watts: float,
                    duration_seconds: float,
@@ -165,11 +196,11 @@ class EnergyLedger:
         window, so its value reads as a lower bound on time and an upper
         bound on power once a run outlives the trace.
         """
-        return self._trace / self.trace_bucket_seconds
+        return np.asarray(self._trace) / self.trace_bucket_seconds
 
     def trace_energy_joules(self) -> np.ndarray:
         """Raw per-bucket energy of the power trace (joules)."""
-        return self._trace.copy()
+        return np.array(self._trace)
 
     # -- merging / lifecycle -----------------------------------------------
 
@@ -201,7 +232,8 @@ class EnergyLedger:
                                          + energy)
         merged._grand_total = self._grand_total + other._grand_total
         merged._posted_count = self._posted_count + other._posted_count
-        merged._trace = self._trace + other._trace
+        merged._trace = [mine + theirs for mine, theirs
+                         in zip(self._trace, other._trace)]
         return merged
 
     def clear(self) -> None:
@@ -211,4 +243,4 @@ class EnergyLedger:
         self._totals.clear()
         self._grand_total = 0.0
         self._posted_count = 0
-        self._trace[:] = 0.0
+        self._trace = [0.0] * self.trace_buckets

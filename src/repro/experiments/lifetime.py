@@ -32,6 +32,7 @@ from ..core.battery_life import (
 )
 from ..energy.battery import battery_life_seconds, coin_cell_high_capacity
 from ..energy.harvester import rf_ambient
+from ..netsim.config import NodeConfig
 from ..netsim.simulator import BodyNetworkSimulator
 from ..netsim.traffic import PeriodicSource
 from ..runner.registry import ExperimentSpec, register
@@ -126,7 +127,7 @@ def _simulate_lifetime(data_rate_bps: float, sensing_power_watts: float,
         # within-interval interpolation.
         energy_update_interval_seconds=max(duration_seconds / 500.0, 1e-3),
     )
-    simulator.add_node(
+    simulator.attach(NodeConfig(
         "node",
         PeriodicSource.from_rate(data_rate_bps,
                                  bits_per_packet=bits_per_packet),
@@ -134,7 +135,7 @@ def _simulate_lifetime(data_rate_bps: float, sensing_power_watts: float,
         battery=battery_spec,
         harvester=(rf_ambient(peak_power_watts=harvest_watts)
                    if harvest_watts > 0.0 else None),
-    )
+    ))
     return simulator.run(duration_seconds)
 
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from ..comm.eqs_hbc import wir_commercial
 from ..comm.link import CommTechnology
 from ..comm.mac import TDMASchedule
+from ..netsim.config import NodeConfig
 from ..netsim.simulator import BodyNetworkSimulator, SimulationResult
 from ..netsim.traffic import PeriodicSource
 from .. import units
@@ -110,11 +111,11 @@ def run(
             simulator = BodyNetworkSimulator(technology, rng=seed,
                                              arbitration=mac_policy)
             for index in range(count):
-                simulator.add_node(
+                simulator.attach(NodeConfig(
                     f"leaf{index}",
                     PeriodicSource.from_rate(per_node_rate_bps),
                     sensing_power_watts=units.microwatt(30.0),
-                )
+                ))
             simulated = simulator.run(simulated_seconds)
 
         points.append(ScalingPoint(

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from ..comm.budget import LinkBudget
 from ..comm.eqs_hbc import wir_commercial
 from ..errors import ConfigurationError
+from ..netsim.config import NodeConfig
 from ..netsim.reliability import ARQPolicy, LinkReliability
 from ..netsim.simulator import BodyNetworkSimulator, SimulationResult
 from ..netsim.traffic import PeriodicSource
@@ -156,12 +157,12 @@ def run(margins_db: tuple[float, ...] = DEFAULT_MARGINS_DB,
                                          arbitration=mac_policy,
                                          reliability=reliability)
         for index in range(node_count):
-            simulator.add_node(
+            simulator.attach(NodeConfig(
                 f"leaf{index}",
                 PeriodicSource.from_rate(per_node_rate_bps,
                                          bits_per_packet=bits_per_packet),
                 sensing_power_watts=units.microwatt(30.0),
-            )
+            ))
             reliability.set_error_rate(f"leaf{index}", error_rate)
         points.append(ReliabilityPoint(
             margin_db=margin,

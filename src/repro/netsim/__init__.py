@@ -32,9 +32,17 @@ from .arbitration import (
     make_policy,
 )
 from .bus import Medium, SharedBus, BusStats
-from .simulator import BodyNetworkSimulator, SimulationResult, SimulatedNode
+from .config import NodeConfig
+from .simulator import (
+    RESULT_SCHEMA_VERSION,
+    BodyNetworkSimulator,
+    SimulationResult,
+    SimulatedNode,
+)
 
 __all__ = [
+    "NodeConfig",
+    "RESULT_SCHEMA_VERSION",
     "Event",
     "EventQueue",
     "Packet",

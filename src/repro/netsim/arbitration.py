@@ -23,6 +23,7 @@ arrives before the granted transmission starts.
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from collections import deque
 from typing import Protocol, runtime_checkable
 
@@ -124,6 +125,15 @@ class TDMAArbitration:
         self._queues: dict[str, deque[Packet]] = {}
         self._windows: dict[str, tuple[float, float]] | None = None
         self._pending = 0
+        #: Slot ring for the fast grant path: per-window ``(offset,
+        #: width, queue)`` sorted by offset, plus the parallel offset
+        #: list ``bisect`` searches.  Only valid (``_ring_fast``) when
+        #: the windows are disjoint and fit one superframe; degenerate
+        #: tables (oversubscription bumping ``minimum_width`` into the
+        #: next slot) fall back to the exhaustive scan.
+        self._ring: list[tuple[float, float, deque[Packet]]] = []
+        self._ring_starts: list[float] = []
+        self._ring_fast = False
 
     def register_node(self, node_name: str, offered_rate_bps: float) -> None:
         if offered_rate_bps < 0:
@@ -188,7 +198,25 @@ class TDMAArbitration:
                 windows[name] = (offset, width)
                 offset += width
         self._windows = windows
+        self._build_ring(windows)
         return windows
+
+    def _build_ring(self, windows: dict[str, tuple[float, float]]) -> None:
+        """Derive the sorted slot ring driving the O(log n) grant path."""
+        ring = sorted(
+            (offset, width, self._queues[name])
+            for name, (offset, width) in windows.items()
+            if name in self._queues)
+        fast = len(ring) == len(self._queues)
+        for index, (offset, width, _) in enumerate(ring):
+            end = (ring[index + 1][0] if index + 1 < len(ring)
+                   else self.superframe_seconds)
+            if offset + width > end:
+                fast = False  # overlapping or frame-spilling windows
+                break
+        self._ring = ring
+        self._ring_starts = [offset for offset, _, _ in ring]
+        self._ring_fast = fast
 
     def _next_access(self, offset: float, width: float, now: float) -> float:
         """Earliest time >= *now* inside the node's window."""
@@ -203,7 +231,45 @@ class TDMAArbitration:
     def next_grant(self, now: float) -> Grant | None:
         if self._pending == 0:
             return None
-        windows = self._slot_table()
+        windows = self._windows
+        if windows is None:
+            windows = self._slot_table()
+        if self._ring_fast:
+            # Slot-ring grant: O(log n) window lookup instead of scanning
+            # every backlogged node.  With disjoint windows, walking the
+            # ring circularly from the window containing ``now`` visits
+            # nodes in non-decreasing next-access order, so the first
+            # backlogged node visited is the exhaustive scan's minimum.
+            # The access arithmetic mirrors :meth:`_next_access` exactly
+            # (inlined: this runs once per granted packet).
+            superframe = self.superframe_seconds
+            frame_start = math.floor(now / superframe) * superframe
+            ring = self._ring
+            count = len(ring)
+            anchor = bisect_right(self._ring_starts, now - frame_start) - 1
+            if anchor >= 0:
+                offset, width, queue = ring[anchor]
+                if queue and now < frame_start + offset + width:
+                    # Inside (or still ahead of the end of) the anchor's
+                    # window: it transmits immediately.
+                    self._pending -= 1
+                    return (queue.popleft(),
+                            max(now, frame_start + offset) - now)
+            for step in range(1, count + 1):
+                offset, width, queue = ring[(anchor + step) % count]
+                if queue:
+                    start = frame_start + offset
+                    if now < start + width:
+                        access = now if now > start else start
+                    else:
+                        start = frame_start + superframe + offset
+                        if now < start + width:
+                            access = now if now > start else start
+                        else:
+                            access = frame_start + 2.0 * superframe + offset
+                    self._pending -= 1
+                    return queue.popleft(), access - now
+            raise SimulationError("pending count out of sync with queues")
         best: tuple[float, str] | None = None
         for name, queue in self._queues.items():
             if not queue:

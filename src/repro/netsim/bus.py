@@ -151,6 +151,19 @@ class Medium:
         self._attempt_callbacks: list = []
         self._loss_callbacks: list = []
         self._purged_nodes: set[str] = set()
+        #: Memoised service times keyed by ``(source, bits)`` — the rate,
+        #: MAC overhead and ack terms are all fixed for the duration of a
+        #: run, so the serialisation math is computed once per distinct
+        #: packet shape instead of once per packet.
+        self._service_cache: dict[tuple[str, float], float] = {}
+        #: Kernel mode (set by the simulator's batched drain loop): when
+        #: on, :meth:`_grant_next` records the next medium event as a
+        #: ``(time, sequence, kind, packet, service)`` tuple in
+        #: ``_chain`` instead of scheduling a queue callback.  ``kind``
+        #: is 0 for a transmission begin, 1 for a completion.  At most
+        #: one chain event exists at a time — the medium serialises.
+        self._kernel = False
+        self._chain: tuple[float, int, int, Packet, float] | None = None
 
     # -- configuration -----------------------------------------------------
 
@@ -162,6 +175,7 @@ class Medium:
             if link_rate_bps <= 0:
                 raise SimulationError("per-node link rate must be positive")
             self._node_rates[name] = link_rate_bps
+        self._service_cache.clear()
 
     def on_delivery(self, callback) -> None:
         """Register a callback invoked with each delivered packet."""
@@ -207,12 +221,21 @@ class Medium:
         attempt additionally occupies the medium for the hub's ack frame
         (serialised at the medium rate) plus the turnaround.
         """
+        key = (packet.source, packet.bits)
+        cached = self._service_cache.get(key)
+        if cached is not None:
+            return cached
         rate = self._node_rates.get(packet.source, self.link_rate_bps)
         service = packet.bits / rate + self.per_packet_overhead_seconds
         arq = self.reliability.arq if self.reliability is not None else None
         if arq is not None:
             service += (arq.ack_bits / self.link_rate_bps
                         + arq.ack_turnaround_seconds)
+        # Bound the memo against pathological size-jittered sources that
+        # never repeat a packet length.
+        if len(self._service_cache) >= 4096:
+            self._service_cache.clear()
+        self._service_cache[key] = service
         return service
 
     def _grant_next(self) -> None:
@@ -222,8 +245,26 @@ class Medium:
             return
         self._busy = True
         packet, access_delay = grant
-        service = self.service_time_seconds(packet)
+        service = self._service_cache.get((packet.source, packet.bits))
+        if service is None:
+            service = self.service_time_seconds(packet)
         self.stats.busy_seconds += service
+        if self._kernel:
+            # Mirror the event-queue schedule exactly, including *when*
+            # sequence numbers are claimed: a zero access delay begins
+            # transmission synchronously (only the completion claims a
+            # sequence, now); a positive delay claims a sequence for the
+            # begin event, and the begin dispatch claims the completion's.
+            queue = self._queue
+            now = queue._now
+            if access_delay == 0.0:
+                packet.queued_at = now
+                self._chain = (now + service, queue.claim_sequence(), 1,
+                               packet, service)
+            else:
+                self._chain = (now + access_delay, queue.claim_sequence(), 0,
+                               packet, service)
+            return
         if access_delay == 0.0:
             self._begin_transmission(packet, service)
         else:

@@ -1,0 +1,58 @@
+"""Declarative node configuration for the body-network simulator.
+
+:class:`NodeConfig` is the front door for describing a leaf node: one
+frozen record carrying everything :class:`~repro.netsim.simulator.
+BodyNetworkSimulator` needs to instantiate the node — its traffic
+source, static power draws, an optional per-node link technology, and
+the optional energy subsystem (battery, harvester, low-battery duty
+cycling).  Pass it to :meth:`BodyNetworkSimulator.attach`::
+
+    simulator.attach(NodeConfig("chest_ecg", PeriodicSource.from_rate(
+        units.kilobit(12.0), bits_per_packet=4096.0)))
+
+The historical keyword soup ``simulator.add_node(name, source, ...)``
+still works but is deprecated; it forwards here and warns once per
+process.  Keeping the record frozen means a config can be shared across
+simulators and sweep tasks without aliasing concerns, and gives node
+descriptions value semantics (hashable, comparable) for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..comm.link import CommTechnology
+from ..energy.battery import BatterySpec
+from ..energy.harvester import EnergyHarvester
+from .traffic import TrafficSource
+
+#: Traffic throttle applied on a low-battery crossing: the node emits
+#: one packet out of this many until the end of the run.  (Re-exported
+#: by :mod:`repro.netsim.simulator` for backwards compatibility.)
+DEFAULT_LOW_BATTERY_STRIDE = 2
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Everything needed to attach one leaf node to a simulator.
+
+    ``technology`` overrides the simulator default for this node only:
+    its packets serialise at that technology's rate and its energy is
+    accounted at that technology's per-bit costs (mixed link layers on
+    one body).  ``battery`` gives the node a finite cell (it can brown
+    out mid-run), ``harvester`` credits energy back continuously, and
+    ``low_battery_fraction`` arms duty-cycle adaptation: below that
+    state of charge the node emits only one packet per
+    ``low_battery_stride`` generation opportunities.
+    """
+
+    name: str
+    source: TrafficSource
+    sensing_power_watts: float = 0.0
+    isa_power_watts: float = 0.0
+    technology: CommTechnology | None = None
+    battery: BatterySpec | None = None
+    harvester: EnergyHarvester | None = None
+    initial_charge_fraction: float = 1.0
+    low_battery_fraction: float | None = None
+    low_battery_stride: int = DEFAULT_LOW_BATTERY_STRIDE

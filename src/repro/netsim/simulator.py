@@ -25,8 +25,13 @@ kernel.
 
 from __future__ import annotations
 
+import dataclasses
 import math
+import warnings
+from bisect import bisect_right
 from dataclasses import dataclass, field
+from typing import Mapping
+from heapq import heapify, heappop, heappush
 
 import numpy as np
 
@@ -37,12 +42,15 @@ from ..energy.harvester import EnergyHarvester, HarvestingEnvironment
 from ..energy.ledger import EnergyLedger
 from ..energy.runtime import NodeEnergyState
 from .. import units
-from .arbitration import ArbitrationPolicy
+from .arbitration import (ArbitrationPolicy, FIFOArbitration,
+                          HubPollingArbitration, TDMAArbitration)
 from .bus import Medium
 from .events import EventQueue
 from .packet import Packet
 from .reliability import LinkReliability
-from .traffic import TrafficSource
+from .config import DEFAULT_LOW_BATTERY_STRIDE, NodeConfig
+from .stats import PENDING_FLUSH_THRESHOLD
+from .traffic import PeriodicSource, TrafficSource
 
 #: Default spacing of the periodic energy-update events (simulated
 #: seconds).  Only scheduled when at least one node carries a battery or
@@ -50,9 +58,16 @@ from .traffic import TrafficSource
 #: the default resolves death times far finer than the tick itself.
 DEFAULT_ENERGY_UPDATE_INTERVAL_SECONDS = 1.0
 
-#: Traffic throttle applied on a low-battery crossing: the node emits
-#: one packet out of this many until the end of the run.
-DEFAULT_LOW_BATTERY_STRIDE = 2
+#: One-shot latch for the :meth:`BodyNetworkSimulator.add_node`
+#: deprecation warning, so sweeps building thousands of nodes do not
+#: drown the console.
+_ADD_NODE_WARNED = False
+
+#: Bump when :meth:`SimulationResult.to_dict`'s layout changes
+#: incompatibly.  Serialised results embed this version so artifacts
+#: written by an older layout are rejected loudly instead of being
+#: misread field-by-field.
+RESULT_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -192,6 +207,88 @@ class SimulationResult:
             return 1.0
         return 1.0 - self.dead_node_count / total
 
+    def to_dict(self) -> dict[str, object]:
+        """Schema-versioned plain-dict form of this result.
+
+        Every field is reduced to JSON-friendly types (energy events
+        become a list of dicts); derived properties are not included —
+        :meth:`from_dict` reconstructs an object that recomputes them.
+        The artifact layer's ``sanitize`` may further spell non-finite
+        floats as ``"nan"``/``"inf"`` strings; :meth:`from_dict` accepts
+        those spellings back.
+        """
+        data: dict[str, object] = {
+            "result_schema_version": RESULT_SCHEMA_VERSION,
+        }
+        for spec in dataclasses.fields(self):
+            data[spec.name] = getattr(self, spec.name)
+        data["per_node_average_power_watts"] = dict(
+            self.per_node_average_power_watts)
+        data["per_node_goodput_bps"] = dict(self.per_node_goodput_bps)
+        data["per_node_state_of_charge"] = dict(self.per_node_state_of_charge)
+        data["per_node_first_death_seconds"] = dict(
+            self.per_node_first_death_seconds)
+        data["per_node_delivered_before_death"] = dict(
+            self.per_node_delivered_before_death)
+        data["energy_events"] = [dataclasses.asdict(event)
+                                 for event in self.energy_events]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Tolerates the JSON/sanitize round-trip: non-finite floats spelt
+        as strings are parsed back, lists come back as tuples where the
+        field wants one.  A missing or different schema version raises
+        :class:`~repro.errors.SimulationError`.
+        """
+        version = data.get("result_schema_version")
+        if version != RESULT_SCHEMA_VERSION:
+            raise SimulationError(
+                f"result document has schema version {version!r}, "
+                f"expected {RESULT_SCHEMA_VERSION}")
+        _float = float  # parses "nan"/"inf"/"-inf" string spellings too
+
+        def float_map(value: object) -> dict[str, float]:
+            return {str(key): _float(item)
+                    for key, item in dict(value).items()}
+
+        kwargs: dict[str, object] = {}
+        for spec in dataclasses.fields(cls):
+            if spec.name not in data:
+                continue  # field left to its dataclass default
+            value = data[spec.name]
+            if spec.name in ("delivered_packets", "dropped_packets",
+                             "offered_packets", "erased_attempts",
+                             "retransmissions", "lost_packets"):
+                kwargs[spec.name] = int(value)
+            elif spec.name == "arbitration":
+                kwargs[spec.name] = str(value)
+            elif spec.name == "reliability_enabled":
+                kwargs[spec.name] = bool(value)
+            elif spec.name == "per_node_delivered_before_death":
+                kwargs[spec.name] = {str(key): int(item)
+                                     for key, item in dict(value).items()}
+            elif spec.name in ("per_node_average_power_watts",
+                               "per_node_goodput_bps",
+                               "per_node_state_of_charge",
+                               "per_node_first_death_seconds"):
+                kwargs[spec.name] = float_map(value)
+            elif spec.name == "energy_events":
+                kwargs[spec.name] = tuple(
+                    EnergyEvent(
+                        kind=str(event["kind"]),
+                        node=str(event["node"]),
+                        time_seconds=_float(event["time_seconds"]),
+                        state_of_charge_fraction=_float(
+                            event["state_of_charge_fraction"]),
+                    )
+                    for event in value)
+            else:
+                kwargs[spec.name] = _float(value)
+        return cls(**kwargs)
+
 
 class BodyNetworkSimulator:
     """Discrete-event simulation of leaves streaming to one hub.
@@ -261,6 +358,47 @@ class BodyNetworkSimulator:
         if reliability is not None:
             self.bus.on_attempt(self._account_attempt)
             self.bus.on_loss(self._account_loss)
+        # The simulator always drains its medium through the batched
+        # kernel loop in :meth:`run`; the bus records its transmission
+        # chain as data instead of scheduling per-packet callbacks.
+        self.bus._kernel = True
+
+    def attach(self, config: NodeConfig) -> SimulatedNode:
+        """Attach a leaf node described by a :class:`NodeConfig`.
+
+        See :class:`~repro.netsim.config.NodeConfig` for the meaning of
+        each field.  Raises :class:`~repro.errors.SimulationError` on a
+        duplicate node name or an invalid low-battery stride.
+        """
+        if config.name in self.nodes:
+            raise SimulationError(f"node {config.name!r} already exists")
+        if config.low_battery_stride < 1:
+            raise SimulationError("low-battery stride must be >= 1")
+        node = SimulatedNode(
+            name=config.name,
+            source=config.source,
+            technology=(config.technology if config.technology is not None
+                        else self.technology),
+            sensing_power_watts=config.sensing_power_watts,
+            isa_power_watts=config.isa_power_watts,
+            low_battery_stride=config.low_battery_stride,
+        )
+        if config.battery is not None or config.harvester is not None:
+            node.energy = NodeEnergyState.from_spec(
+                battery=config.battery,
+                harvester=config.harvester,
+                environment=self.harvest_environment,
+                initial_charge_fraction=config.initial_charge_fraction,
+                ledger=node.ledger,
+                low_battery_fraction=config.low_battery_fraction,
+            )
+        self.nodes[config.name] = node
+        self.bus.register_node(
+            config.name, config.source.average_rate_bps(),
+            link_rate_bps=(config.technology.data_rate_bps()
+                           if config.technology is not None else None),
+        )
+        return node
 
     def add_node(self, name: str, source: TrafficSource,
                  sensing_power_watts: float = 0.0,
@@ -272,45 +410,30 @@ class BodyNetworkSimulator:
                  low_battery_fraction: float | None = None,
                  low_battery_stride: int = DEFAULT_LOW_BATTERY_STRIDE
                  ) -> SimulatedNode:
-        """Attach a leaf node with its traffic source and static powers.
+        """Deprecated keyword-style front end for :meth:`attach`.
 
-        ``technology`` overrides the simulator default for this node only:
-        its packets serialise at that technology's rate and its energy is
-        accounted at that technology's per-bit costs (mixed link layers on
-        one body).  ``battery`` gives the node a finite cell (it can brown
-        out mid-run), ``harvester`` credits energy back continuously, and
-        ``low_battery_fraction`` arms duty-cycle adaptation: below that
-        state of charge the node emits only one packet per
-        ``low_battery_stride`` generation opportunities.
+        Kept as a shim for one release: it builds the equivalent
+        :class:`NodeConfig` and forwards, warning once per process.
         """
-        if name in self.nodes:
-            raise SimulationError(f"node {name!r} already exists")
-        if low_battery_stride < 1:
-            raise SimulationError("low-battery stride must be >= 1")
-        node = SimulatedNode(
+        global _ADD_NODE_WARNED
+        if not _ADD_NODE_WARNED:
+            _ADD_NODE_WARNED = True
+            warnings.warn(
+                "BodyNetworkSimulator.add_node() is deprecated; build a "
+                "repro.netsim.NodeConfig and call attach(config) instead",
+                DeprecationWarning, stacklevel=2)
+        return self.attach(NodeConfig(
             name=name,
             source=source,
-            technology=technology if technology is not None else self.technology,
             sensing_power_watts=sensing_power_watts,
             isa_power_watts=isa_power_watts,
+            technology=technology,
+            battery=battery,
+            harvester=harvester,
+            initial_charge_fraction=initial_charge_fraction,
+            low_battery_fraction=low_battery_fraction,
             low_battery_stride=low_battery_stride,
-        )
-        if battery is not None or harvester is not None:
-            node.energy = NodeEnergyState.from_spec(
-                battery=battery,
-                harvester=harvester,
-                environment=self.harvest_environment,
-                initial_charge_fraction=initial_charge_fraction,
-                ledger=node.ledger,
-                low_battery_fraction=low_battery_fraction,
-            )
-        self.nodes[name] = node
-        self.bus.register_node(
-            name, source.average_rate_bps(),
-            link_rate_bps=(technology.data_rate_bps()
-                           if technology is not None else None),
-        )
-        return node
+        ))
 
     def set_node_active(self, name: str, active: bool) -> None:
         """Gate a node's traffic generation (duty-cycle / posture events).
@@ -373,27 +496,26 @@ class BodyNetworkSimulator:
                 return
             ack_energy = arq.ack_bits * node.technology.rx_energy_per_bit()
             if node.energy is None:
-                node.ledger.post("arq_ack", ack_energy, timestamp_seconds=now)
+                node.ledger.post_fast("arq_ack", ack_energy, now)
             else:
                 node.energy.drain("arq_ack", ack_energy, now)
                 if not node.energy.alive:
                     self._record_death(node)
-            self.hub_ledger.post(
+            self.hub_ledger.post_fast(
                 "ack_tx", arq.ack_bits * self.technology.tx_energy_per_bit(),
-                timestamp_seconds=now)
+                now)
             return
         node.retx_bits += packet.bits
         tx_energy = packet.bits * node.technology.tx_energy_per_bit()
         if node.energy is None:
-            node.ledger.post("wir_retx", tx_energy, timestamp_seconds=now)
+            node.ledger.post_fast("wir_retx", tx_energy, now)
         else:
             node.energy.drain("wir_retx", tx_energy, now)
             if not node.energy.alive:
                 self._record_death(node)
         # The hub listened to the corrupted frame for its full length.
-        self.hub_ledger.post(
-            "wir_rx", packet.bits * node.technology.rx_energy_per_bit(),
-            timestamp_seconds=now)
+        self.hub_ledger.post_fast(
+            "wir_rx", packet.bits * node.technology.rx_energy_per_bit(), now)
 
     def _account_loss(self, packet: Packet) -> None:
         """A packet the link gave up on: goodput and airtime bookkeeping.
@@ -478,30 +600,1003 @@ class BodyNetworkSimulator:
         if interval <= end_time:
             self.queue.schedule_at(interval, update)
 
-    def _schedule_generation(self, node: SimulatedNode, end_time: float) -> None:
-        delay = node.source.next_interarrival_seconds(self.rng)
-        next_time = self.queue.now + delay
+    def _run_kernel(self, end_time: float) -> None:
+        """Drain the simulation with the batched three-stream merge loop.
 
-        def generate() -> None:
-            if node.active:
-                opportunity = node.generated_count
-                node.generated_count += 1
-                if opportunity % node.tx_stride == 0:
-                    bits = node.source.packet_bits(self.rng)
-                    packet = Packet(
-                        source=node.name,
-                        destination="hub",
-                        bits=bits,
-                        created_at=self.queue.now,
-                    )
-                    accepted = self.bus.submit(packet)
+        The kernel merges three event streams by ``(time, sequence)``:
+
+        * **generation** — one heap entry per node holding its next
+          packet-generation instant;
+        * **transmission chain** — the medium's single in-flight begin or
+          completion (the medium serialises, so at most one exists),
+          carried in plain locals while the loop runs;
+        * **control** — the :class:`EventQueue` proper: energy-update
+          ticks, posture events, anything callers scheduled directly.
+
+        All three claim sequence numbers from the queue's shared counter
+        at exactly the points the callback-per-event implementation
+        scheduled its events, so the merged total order — and therefore
+        every RNG draw, float addition and statistic — is bit-identical
+        to running the same workload through ``queue.run_until``.  A
+        begin event whose instant nothing else can reach (no generation,
+        control or horizon crossing before it) is folded into the grant
+        that created it: the begin and completion claim the same counter
+        values the two-dispatch schedule would have claimed, so the
+        merge order is unchanged while the loop runs one iteration per
+        packet instead of two.
+
+        While the loop runs, shared state lives in locals and flat
+        per-node tables: the aggregate counters (delivered packets and
+        bits, medium busy time), the latency accumulator's buffers (its
+        extrema are folded in batch at spill/flush boundaries — min/max
+        are order-independent), the sequence counter, the chain, and
+        each node's traffic counters and fast-path ledger totals.
+        Everything is written back when the loop exits, with every
+        addition replayed in the legacy order.  Control-stream events
+        observe consistent per-node traffic counters and queue state
+        (synced around ``queue.step()``); registered extra callbacks get
+        the full shared state synced around them; aggregate statistics
+        and fast-path ledger totals otherwise sync lazily.
+        """
+        queue = self.queue
+        bus = self.bus
+        policy = bus.policy
+        stats = bus.stats
+        latency = stats.latency
+        reliability = bus.reliability
+        arq = reliability.arq if reliability is not None else None
+        rng = self.rng
+        nodes = self.nodes
+        hub_ledger = self.hub_ledger
+        claim = queue.claim_sequence
+        max_queue = bus.max_queue_packets
+        pending_count = policy.pending_count
+        enqueue = policy.enqueue
+        next_grant = policy.next_grant
+        service_cache = bus._service_cache
+        purged = bus._purged_nodes
+        inf_ = math.inf
+
+        # Callbacks beyond the simulator's own accounting (tests or
+        # embedding code may register extras); the simulator's were
+        # registered first, so running the inline accounting before the
+        # extras preserves the legacy invocation order.
+        delivery_extras = [callback for callback in bus._delivery_callbacks
+                           if callback != self._account_delivery]
+        attempt_extras = [callback for callback in bus._attempt_callbacks
+                          if callback != self._account_attempt]
+        loss_extras = [callback for callback in bus._loss_callbacks
+                       if callback != self._account_loss]
+        extra_hooks = bool(delivery_extras or attempt_extras or loss_extras)
+
+        # The stock arbiters get their admission path inlined (exact type
+        # checks — subclasses keep the method-call path).  FIFO admission
+        # reads the deque fresh each time because a brownout purge
+        # replaces it; the slotted arbiters clear per-node deques in
+        # place, so those aliases stay valid for the whole run.
+        policy_type = type(policy)
+        fifo_fast = policy_type is FIFOArbitration
+        slotted_fast = policy_type in (TDMAArbitration, HubPollingArbitration)
+        # The TDMA slot-ring grant is additionally inlined at the
+        # completion site (the dense-body hour grants once per packet).
+        # The ring and its validity flags are re-read per grant, so a
+        # mid-run slot-table rebuild falls back to the method safely.
+        tdma_fast = policy_type is TDMAArbitration
+        superframe = policy.superframe_seconds if tdma_fast else 0.0
+        floor_ = math.floor
+        bisect_ = bisect_right
+        new_packet = Packet.__new__
+        int_ = int
+        len_ = len
+        max_ = max
+        heappop_ = heappop
+        heappush_ = heappush
+
+        # Per-node state, flattened into index-addressed tables (the
+        # delivery path resolves the index from ``packet._node``).  The
+        # traffic counters start from the node attributes and replay
+        # their additions in the legacy order, so the written-back floats
+        # are bit-identical.
+        node_list = list(nodes.values())
+        n_nodes = len(node_list)
+        node_index = {node.name: i for i, node in enumerate(node_list)}
+        # (period, bits, service, name) for plain periodic sources —
+        # their draws consume no randomness and every packet serialises
+        # in the same time, so both lookups can be skipped outright.
+        periodic: list[tuple[float, float, float, str] | None] = []
+        gen_heap: list[tuple[float, int, int]] = []
+        node_queues: list = []
+        tx_e: list[float] = []
+        rx_e: list[float] = []
+        # A "fast" node's only mid-run ledger traffic is its own posts
+        # (``wir_tx`` deliveries, and on a lossy medium ``wir_retx``
+        # frames and ``arq_ack`` receptions), so they can accrue in
+        # plain table slots and land on the (still fresh) ledger in one
+        # write-back.  ``grand_acc`` replays every post in event order,
+        # so the grand total keeps the per-post float associativity.
+        fast_flags: list[bool] = []
+        wir_acc: list[float] = []
+        retx_acc: list[float] = []
+        ack_acc: list[float] = []
+        grand_acc: list[float] = []
+        tx_posts_l: list[int] = []
+        retx_posts_l: list[int] = []
+        ack_posts_l: list[int] = []
+        ack_e_l: list[float] = []
+        trace_l: list = []
+        trace_w_l: list[float] = []
+        trace_last_l: list[int] = []
+        gen_counts: list[int] = []
+        sent_counts: list[int] = []
+        bits_l: list[float] = []
+        deliv_counts: list[int] = []
+        stride_l: list[int] = []
+        # Ack energies are fixed products, precomputed once (the same
+        # two floats the per-attempt multiplication would produce).
+        arq_ack_bits = arq.ack_bits if arq is not None else 0.0
+        ack_posting = reliability is not None and arq_ack_bits != 0.0
+        hub_ack_e = (arq_ack_bits * self.technology.tx_energy_per_bit()
+                     if ack_posting else 0.0)
+        for index, node in enumerate(node_list):
+            source = node.source
+            tx_e.append(node.technology.tx_energy_per_bit())
+            rx_val = node.technology.rx_energy_per_bit()
+            rx_e.append(rx_val)
+            ack_e_l.append(arq_ack_bits * rx_val)
+            ledger = node.ledger
+            fast_flags.append(not extra_hooks
+                              and node.energy is None
+                              and ledger.entries is None
+                              and ledger._posted_count == 0)
+            wir_acc.append(0.0)
+            retx_acc.append(0.0)
+            ack_acc.append(0.0)
+            grand_acc.append(0.0)
+            tx_posts_l.append(0)
+            retx_posts_l.append(0)
+            ack_posts_l.append(0)
+            trace_l.append(ledger._trace)
+            trace_w_l.append(ledger.trace_bucket_seconds)
+            trace_last_l.append(ledger.trace_buckets - 1)
+            gen_counts.append(node.generated_count)
+            sent_counts.append(node.packets_sent)
+            bits_l.append(node.bits_sent)
+            deliv_counts.append(node.packets_delivered)
+            stride_l.append(node.tx_stride)
+            if type(source) is PeriodicSource:
+                bits = source.bits_per_packet
+                probe = Packet(node.name, "hub", bits, 0.0)
+                periodic.append((source.period_seconds, bits,
+                                 bus.service_time_seconds(probe),
+                                 node.name))
+            else:
+                periodic.append(None)
+            node_queues.append(policy._queues.get(node.name)
+                               if slotted_fast else None)
+            next_time = queue._now + source.next_interarrival_seconds(rng)
+            if next_time <= end_time:
+                gen_heap.append((next_time, claim(), index))
+        heapify(gen_heap)
+        if slotted_fast and any(entry is None for entry in node_queues):
+            slotted_fast = False
+        # The slotted arbiters' backlog counter and the TDMA slot ring
+        # are hoisted into locals; every call that can mutate them (a
+        # method grant, a purge, foreign code) is bracketed by a sync
+        # and re-hoist.  The ring is built up front so the first grant
+        # already takes the inline path (a missing link rate surfaces
+        # identically on that first grant instead).
+        slot_pending = policy._pending if slotted_fast else 0
+        ring = None
+        ring_starts = None
+        ring_ok = False
+        # Per-index (offset, width) windows back the idle-bus grant
+        # shortcut; ``win_src`` tracks the dict they were read from, so
+        # a slot-table rebuild (always a fresh dict) is detected by
+        # identity instead of rebuilding the table on every re-hoist.
+        win_l: list[tuple[float, float] | None] = [None] * n_nodes
+        win_src = None
+        if tdma_fast and slotted_fast:
+            try:
+                policy._slot_table()
+            except SimulationError:
+                pass
+            ring_ok = policy._windows is not None and policy._ring_fast
+            if ring_ok:
+                ring = policy._ring
+                ring_starts = policy._ring_starts
+                win_src = policy._windows
+                for i in range(n_nodes):
+                    win_l[i] = win_src.get(node_list[i].name)
+        self._schedule_energy_updates(end_time)
+
+        # On a lossy medium the attempt accounting posts to the hub too
+        # (wasted frames, ack transmissions); the hub can only go fast
+        # if every node does, otherwise a method-path attempt would
+        # interleave hub posts with the accumulated ones.
+        hub_fast = (not extra_hooks
+                    and hub_ledger.entries is None
+                    and hub_ledger._posted_count == 0
+                    and (reliability is None or all(fast_flags)))
+        hub_rx_acc = 0.0
+        hub_ack_acc = 0.0
+        hub_grand = 0.0
+        hub_posts = 0
+        hub_ack_posts = 0
+        hub_trace = hub_ledger._trace
+        hub_w = hub_ledger.trace_bucket_seconds
+        hub_last = hub_ledger.trace_buckets - 1
+        # Delivery times are nondecreasing, so the hub's trace bucket
+        # only ever moves forward: cache it and recompute only when the
+        # time crosses the cached bucket's upper edge.
+        hub_bucket = 0
+        hub_limit = 0.0
+
+        delivered_cnt = stats.delivered_packets
+        delivered_bits_sum = stats.delivered_bits
+        busy_s = stats.busy_seconds
+        cnt = latency.count
+        lat_min = latency._min
+        lat_max = latency._max
+        lat_list = latency._samples
+        lat_pending = latency._pending
+        lat_cap = latency.exact_capacity
+        lat_flush = PENDING_FLUSH_THRESHOLD
+
+        sentinel = (inf_, inf_)
+        # The in-flight transmission, as loop locals; a previous run may
+        # hand a chain over across the horizon.
+        chain_key = sentinel
+        chain_kind = 0
+        chain_packet = None
+        chain_service = 0.0
+        handoff = bus._chain
+        if handoff is not None:
+            bus._chain = None
+            chain_key = (handoff[0], handoff[1])
+            chain_kind = handoff[2]
+            chain_packet = handoff[3]
+            chain_service = handoff[4]
+        ctrl_key = queue.peek_key() or sentinel
+        # Hoisted after the setup claims above — every in-loop claim is
+        # an inline increment, written back around foreign code.
+        seq = queue._seq
+
+        def _publish_nodes() -> None:
+            for i in range(n_nodes):
+                nd = node_list[i]
+                nd.generated_count = gen_counts[i]
+                nd.packets_sent = sent_counts[i]
+                nd.bits_sent = bits_l[i]
+                if fast_flags[i]:
+                    nd.packets_delivered = deliv_counts[i]
+
+        def _reload_nodes() -> None:
+            for i in range(n_nodes):
+                nd = node_list[i]
+                gen_counts[i] = nd.generated_count
+                sent_counts[i] = nd.packets_sent
+                bits_l[i] = nd.bits_sent
+                stride_l[i] = nd.tx_stride
+                if fast_flags[i]:
+                    deliv_counts[i] = nd.packets_delivered
+
+        def _rehoist_ring() -> None:
+            nonlocal ring, ring_starts, ring_ok, win_src
+            ring_ok = (slotted_fast and tdma_fast
+                       and policy._windows is not None and policy._ring_fast)
+            if ring_ok:
+                ring = policy._ring
+                ring_starts = policy._ring_starts
+                if policy._windows is not win_src:
+                    win_src = policy._windows
+                    for i in range(n_nodes):
+                        win_l[i] = win_src.get(node_list[i].name)
+
+        def _sync_shared(now: float) -> None:
+            """Publish the hoisted state before foreign code runs."""
+            nonlocal lat_min, lat_max
+            queue._now = now
+            queue._seq = seq
+            if slotted_fast:
+                policy._pending = slot_pending
+            stats.delivered_packets = delivered_cnt
+            stats.delivered_bits = delivered_bits_sum
+            stats.busy_seconds = busy_s
+            latency.count = cnt
+            buffered = lat_list if lat_list is not None else lat_pending
+            if buffered:
+                low = min(buffered)
+                if low < lat_min:
+                    lat_min = low
+                high = max(buffered)
+                if high > lat_max:
+                    lat_max = high
+            latency._min = lat_min
+            latency._max = lat_max
+            _publish_nodes()
+
+        def _reload_shared() -> None:
+            """Re-hoist after foreign code may have moved shared state."""
+            nonlocal seq, delivered_cnt, delivered_bits_sum, busy_s
+            nonlocal cnt, lat_min, lat_max, lat_list, lat_pending
+            nonlocal ctrl_key, chain_key, chain_kind, chain_packet
+            nonlocal chain_service, slot_pending
+            seq = queue._seq
+            if slotted_fast:
+                slot_pending = policy._pending
+            _rehoist_ring()
+            delivered_cnt = stats.delivered_packets
+            delivered_bits_sum = stats.delivered_bits
+            busy_s = stats.busy_seconds
+            cnt = latency.count
+            lat_min = latency._min
+            lat_max = latency._max
+            lat_list = latency._samples
+            lat_pending = latency._pending
+            _reload_nodes()
+            ctrl_key = queue.peek_key() or sentinel
+            foreign = bus._chain
+            if foreign is not None:
+                bus._chain = None
+                chain_key = (foreign[0], foreign[1])
+                chain_kind = foreign[2]
+                chain_packet = foreign[3]
+                chain_service = foreign[4]
+
+        # Empty streams are represented by the (inf, inf) sentinel rather
+        # than None so head selection is two plain comparisons.  The
+        # sentinel never wins while an event remains at or before
+        # ``end_time``, and once every stream is the sentinel the loop
+        # exits on the time bound before any identity check runs.
+        while True:
+            # Generations below the chain/control barrier dispatch in a
+            # tight inner loop: nothing a generation does can move the
+            # control stream, and a grant — the only way it arms the
+            # chain — recomputes the barrier in place.  Sequence numbers
+            # are globally unique, so tuple comparison never reaches the
+            # streams' differing trailing elements, and a generation
+            # wins the three-way merge exactly when it sorts below the
+            # minimum of the other two heads.  Generation times never
+            # exceed the horizon (scheduling is gated), so the drain
+            # needs no horizon check.
+            barrier = chain_key if chain_key < ctrl_key else ctrl_key
+            while gen_heap:
+                head = gen_heap[0]
+                if head >= barrier:
+                    break
+                t = head[0]
+                heappop_(gen_heap)
+                index = head[2]
+                node = node_list[index]
+                fast = periodic[index]
+                packet = None
+                if node.active:
+                    opportunity = gen_counts[index]
+                    gen_counts[index] = opportunity + 1
+                    if opportunity % stride_l[index] == 0:
+                        if fast is not None:
+                            # Periodic fast path: build the packet by
+                            # direct slot assignment — ``__init__``'s
+                            # guards are vacuous here (bits and t are
+                            # validated / non-negative by construction).
+                            bits = fast[1]
+                            packet = new_packet(Packet)
+                            packet.source = fast[3]
+                            packet.destination = "hub"
+                            packet.bits = bits
+                            packet.created_at = t
+                            packet.delivered_at = None
+                            packet.queued_at = None
+                            packet.attempts = 0
+                            packet._metadata = None
+                            packet._service = fast[2]
+                            packet._node = index
+                        else:
+                            bits = node.source.packet_bits(rng)
+                            packet = Packet(node.name, "hub", bits, t)
+                            packet._node = index
+                # The interarrival draw moves ahead of admission relative
+                # to the legacy callback, but no other draw sits between
+                # them, so the rng stream is consumed identically; the
+                # grant below needs the next generation instant for its
+                # begin-fusion check.
+                next_time = t + (fast[0] if fast is not None
+                                 else node.source.next_interarrival_seconds(
+                                     rng))
+                fused = False
+                if packet is not None:
+                    if fifo_fast:
+                        fifo_queue = policy._pending
+                        if len_(fifo_queue) < max_queue:
+                            fifo_queue.append(packet)
+                            accepted = True
+                        else:
+                            accepted = False
+                    elif slotted_fast:
+                        if slot_pending < max_queue:
+                            node_queues[index].append(packet)
+                            slot_pending += 1
+                            accepted = True
+                        else:
+                            accepted = False
+                    elif pending_count() < max_queue:
+                        enqueue(packet)
+                        accepted = True
+                    else:
+                        accepted = False
                     if accepted:
-                        node.packets_sent += 1
-                        node.bits_sent += bits
-            self._schedule_generation(node, end_time)
+                        if not bus._busy:
+                            bus._busy = True
+                            if (ring_ok and slot_pending == 1
+                                    and win_l[index] is not None):
+                                # The bus was idle, so nothing else is
+                                # backlogged: the packet just queued is
+                                # the only one the slot-ring walk could
+                                # grant.  Grant it directly from its own
+                                # window (the access arithmetic mirrors
+                                # the ring walk's expressions exactly).
+                                node_queues[index].popleft()
+                                slot_pending = 0
+                                offset, width = win_l[index]
+                                frame_start = (floor_(t / superframe)
+                                               * superframe)
+                                start = frame_start + offset
+                                if t < start + width:
+                                    access = t if t > start else start
+                                else:
+                                    start = (frame_start + superframe
+                                             + offset)
+                                    if t < start + width:
+                                        access = t if t > start else start
+                                    else:
+                                        access = (frame_start
+                                                  + 2.0 * superframe
+                                                  + offset)
+                                grant = (packet, access - t)
+                            else:
+                                if slotted_fast:
+                                    policy._pending = slot_pending
+                                grant = next_grant(t)
+                                if slotted_fast:
+                                    slot_pending = policy._pending
+                                    _rehoist_ring()
+                            if grant is None:
+                                bus._busy = False
+                            else:
+                                packet2, access_delay = grant
+                                service = packet2._service
+                                if service is None:
+                                    service = service_cache.get(
+                                        (packet2.source, packet2.bits))
+                                    if service is None:
+                                        service = \
+                                            bus.service_time_seconds(packet2)
+                                busy_s += service
+                                chain_packet = packet2
+                                chain_service = service
+                                if access_delay == 0.0:
+                                    packet2.queued_at = t
+                                    chain_key = (t + service, seq)
+                                    chain_kind = 1
+                                    seq += 1
+                                else:
+                                    begin_t = t + access_delay
+                                    # Begin fusion, with one extra claim
+                                    # to account for: this node's own
+                                    # reschedule (pushed below) claims
+                                    # before the begin would dispatch.
+                                    if (begin_t <= end_time
+                                            and ctrl_key[0] > begin_t
+                                            and (gen_heap[0][0] if gen_heap
+                                                 else inf_) > begin_t
+                                            and (next_time > begin_t
+                                                 or next_time > end_time)):
+                                        packet2.queued_at = begin_t
+                                        chain_key = (
+                                            begin_t + service,
+                                            seq + (2 if next_time <= end_time
+                                                   else 1))
+                                        chain_kind = 1
+                                        seq += 1
+                                        fused = True
+                                    else:
+                                        chain_key = (begin_t, seq)
+                                        chain_kind = 0
+                                        seq += 1
+                                barrier = (chain_key
+                                           if chain_key < ctrl_key
+                                           else ctrl_key)
+                        sent_counts[index] += 1
+                        bits_l[index] += bits
+                    else:
+                        stats.dropped_packets += 1
+                if next_time <= end_time:
+                    heappush_(gen_heap, (next_time, seq, index))
+                    seq += 1
+                if fused:
+                    seq += 1  # the fused completion's claim
+            t = barrier[0]
+            if t > end_time:
+                break
+            if barrier is chain_key:
+                chain_key = sentinel
+                if chain_kind:
+                    # Transmission completes.
+                    packet = chain_packet
+                    if reliability is not None:
+                        packet.attempts += 1
+                        ridx = packet._node
+                        if ridx is None:
+                            ridx = node_index[packet.source]
+                        if reliability.draw_erasure(packet.source):
+                            stats.erased_attempts += 1
+                            if fast_flags[ridx]:
+                                # Inline failed-attempt accounting
+                                # (mirrors ``_account_attempt``): a
+                                # batteryless node has no drain/brownout
+                                # branch, so the wasted frame is exactly
+                                # two posts, accumulated like the
+                                # delivery path's.
+                                rbits = packet.bits
+                                node_list[ridx].retx_bits += rbits
+                                value = rbits * tx_e[ridx]
+                                retx_acc[ridx] += value
+                                grand_acc[ridx] += value
+                                retx_posts_l[ridx] += 1
+                                bucket = int_(t / trace_w_l[ridx])
+                                last = trace_last_l[ridx]
+                                trace_l[ridx][bucket if bucket < last
+                                              else last] += value
+                                value = rbits * rx_e[ridx]
+                                if hub_fast:
+                                    hub_rx_acc += value
+                                    hub_grand += value
+                                    hub_posts += 1
+                                    q = t / hub_w
+                                    if q >= hub_limit:
+                                        hub_bucket = int_(q)
+                                        if hub_bucket >= hub_last:
+                                            hub_bucket = hub_last
+                                            hub_limit = inf_
+                                        else:
+                                            hub_limit = hub_bucket + 1.0
+                                    hub_trace[hub_bucket] += value
+                                else:
+                                    hub_ledger.post_fast("wir_rx", value,
+                                                         t)
+                            else:
+                                queue._now = t  # the accounting reads it
+                                if slotted_fast:  # the drain may purge
+                                    policy._pending = slot_pending
+                                self._account_attempt(packet, False)
+                                if slotted_fast:
+                                    slot_pending = policy._pending
+                            if attempt_extras:
+                                _sync_shared(t)
+                                for callback in attempt_extras:
+                                    callback(packet, False)
+                                _reload_shared()
+                            if (arq is not None
+                                    and arq.may_retry(packet.attempts)
+                                    and packet.source not in purged):
+                                stats.retransmissions += 1
+                                if slotted_fast:
+                                    # The source is a known node, so
+                                    # ``enqueue`` reduces to an append
+                                    # and a pending bump.
+                                    node_queues[ridx].append(packet)
+                                    slot_pending += 1
+                                else:
+                                    enqueue(packet)
+                            else:
+                                stats.lost_packets += 1
+                                self._account_loss(packet)
+                                if loss_extras:
+                                    _sync_shared(t)
+                                    for callback in loss_extras:
+                                        callback(packet)
+                                    _reload_shared()
+                            # Grant the next transmission — the same
+                            # inline slot-ring walk as the delivery
+                            # site.
+                            packet2 = None
+                            if ring_ok:
+                                if slot_pending == 0:
+                                    bus._busy = False
+                                else:
+                                    frame_start = (floor_(t / superframe)
+                                                   * superframe)
+                                    anchor = bisect_(ring_starts,
+                                                     t - frame_start) - 1
+                                    if anchor >= 0:
+                                        offset, width, nq = ring[anchor]
+                                        if nq and t < (frame_start
+                                                       + offset + width):
+                                            slot_pending -= 1
+                                            packet2 = nq.popleft()
+                                            access_delay = \
+                                                max_(t, frame_start
+                                                     + offset) - t
+                                    if packet2 is None:
+                                        count = len_(ring)
+                                        for step in range(1, count + 1):
+                                            offset, width, nq = \
+                                                ring[(anchor + step)
+                                                     % count]
+                                            if nq:
+                                                start = (frame_start
+                                                         + offset)
+                                                if t < start + width:
+                                                    access = (t
+                                                              if t > start
+                                                              else start)
+                                                else:
+                                                    start = (frame_start
+                                                             + superframe
+                                                             + offset)
+                                                    if t < start + width:
+                                                        access = (
+                                                            t if t > start
+                                                            else start)
+                                                    else:
+                                                        access = (
+                                                            frame_start
+                                                            + 2.0
+                                                            * superframe
+                                                            + offset)
+                                                slot_pending -= 1
+                                                packet2 = nq.popleft()
+                                                access_delay = access - t
+                                                break
+                                        else:
+                                            raise SimulationError(
+                                                "pending count out of "
+                                                "sync with queues")
+                            else:
+                                if slotted_fast:
+                                    policy._pending = slot_pending
+                                grant = next_grant(t)
+                                if slotted_fast:
+                                    slot_pending = policy._pending
+                                    _rehoist_ring()
+                                if grant is None:
+                                    bus._busy = False
+                                else:
+                                    packet2, access_delay = grant
+                            if packet2 is not None:
+                                service = packet2._service
+                                if service is None:
+                                    service = service_cache.get(
+                                        (packet2.source, packet2.bits))
+                                    if service is None:
+                                        service = \
+                                            bus.service_time_seconds(packet2)
+                                busy_s += service
+                                chain_packet = packet2
+                                chain_service = service
+                                if access_delay == 0.0:
+                                    packet2.queued_at = t
+                                    chain_key = (t + service, seq)
+                                    chain_kind = 1
+                                    seq += 1
+                                else:
+                                    begin_t = t + access_delay
+                                    if (begin_t <= end_time
+                                            and ctrl_key[0] > begin_t
+                                            and (gen_heap[0][0] if gen_heap
+                                                 else inf_) > begin_t):
+                                        packet2.queued_at = begin_t
+                                        chain_key = (begin_t + service,
+                                                     seq + 1)
+                                        chain_kind = 1
+                                        seq += 2
+                                    else:
+                                        chain_key = (begin_t, seq)
+                                        chain_kind = 0
+                                        seq += 1
+                            continue
+                        if fast_flags[ridx]:
+                            if ack_posting:
+                                # Inline successful-attempt accounting:
+                                # the frame energy flows through the
+                                # delivery path below; only the ack pair
+                                # posts here.
+                                value = ack_e_l[ridx]
+                                ack_acc[ridx] += value
+                                grand_acc[ridx] += value
+                                ack_posts_l[ridx] += 1
+                                bucket = int_(t / trace_w_l[ridx])
+                                last = trace_last_l[ridx]
+                                trace_l[ridx][bucket if bucket < last
+                                              else last] += value
+                                if hub_fast:
+                                    hub_ack_acc += hub_ack_e
+                                    hub_grand += hub_ack_e
+                                    hub_posts += 1
+                                    hub_ack_posts += 1
+                                    q = t / hub_w
+                                    if q >= hub_limit:
+                                        hub_bucket = int_(q)
+                                        if hub_bucket >= hub_last:
+                                            hub_bucket = hub_last
+                                            hub_limit = inf_
+                                        else:
+                                            hub_limit = hub_bucket + 1.0
+                                    hub_trace[hub_bucket] += hub_ack_e
+                                else:
+                                    hub_ledger.post_fast("ack_tx",
+                                                         hub_ack_e, t)
+                        else:
+                            queue._now = t  # the accounting reads it
+                            if slotted_fast:  # the ack drain may purge
+                                policy._pending = slot_pending
+                            self._account_attempt(packet, True)
+                            if slotted_fast:
+                                slot_pending = policy._pending
+                        if attempt_extras:
+                            _sync_shared(t)
+                            for callback in attempt_extras:
+                                callback(packet, True)
+                            _reload_shared()
+                    packet.delivered_at = t
+                    bits = packet.bits
+                    delivered_cnt += 1
+                    delivered_bits_sum += bits
+                    cnt += 1
+                    value = t - packet.created_at
+                    if lat_list is not None:
+                        lat_list.append(value)
+                        if len_(lat_list) > lat_cap:
+                            # The spill reads the shared extrema; fold the
+                            # window's (min/max are order-independent) and
+                            # sync first.
+                            low = min(lat_list)
+                            if low < lat_min:
+                                lat_min = low
+                            high = max(lat_list)
+                            if high > lat_max:
+                                lat_max = high
+                            latency.count = cnt
+                            latency._min = lat_min
+                            latency._max = lat_max
+                            latency._spill()
+                            lat_list = None
+                    else:
+                        lat_pending.append(value)
+                        if len_(lat_pending) >= lat_flush:
+                            # The flush clears the buffer; fold its
+                            # extrema before they are gone.
+                            low = min(lat_pending)
+                            if low < lat_min:
+                                lat_min = low
+                            high = max(lat_pending)
+                            if high > lat_max:
+                                lat_max = high
+                            latency._flush_pending()
+                    idx = packet._node
+                    if idx is None:
+                        idx = node_index[packet.source]
+                    tx_energy = bits * tx_e[idx]
+                    if fast_flags[idx]:
+                        wir_acc[idx] += tx_energy
+                        grand_acc[idx] += tx_energy
+                        tx_posts_l[idx] += 1
+                        bucket = int_(t / trace_w_l[idx])
+                        last = trace_last_l[idx]
+                        trace_l[idx][bucket if bucket < last else last] \
+                            += tx_energy
+                        deliv_counts[idx] += 1
+                    else:
+                        node = node_list[idx]
+                        if node.energy is None:
+                            node.ledger.post_fast("wir_tx", tx_energy, t)
+                            node.packets_delivered += 1
+                        else:
+                            was_alive = node.energy.alive
+                            node.energy.drain("wir_tx", tx_energy, t)
+                            if was_alive:
+                                node.packets_delivered += 1
+                            if not node.energy.alive:
+                                if slotted_fast:  # the death purges
+                                    policy._pending = slot_pending
+                                self._record_death(node)
+                                if slotted_fast:
+                                    slot_pending = policy._pending
+                    if hub_fast:
+                        rx_energy = bits * rx_e[idx]
+                        hub_rx_acc += rx_energy
+                        hub_grand += rx_energy
+                        hub_posts += 1
+                        q = t / hub_w
+                        if q >= hub_limit:
+                            hub_bucket = int_(q)
+                            if hub_bucket >= hub_last:
+                                hub_bucket = hub_last
+                                hub_limit = inf_
+                            else:
+                                hub_limit = hub_bucket + 1.0
+                        hub_trace[hub_bucket] += rx_energy
+                    else:
+                        hub_ledger.post_fast("wir_rx", bits * rx_e[idx], t)
+                    if delivery_extras:
+                        _sync_shared(t)
+                        for callback in delivery_extras:
+                            callback(packet)
+                        _reload_shared()
+                    # Grant the next transmission.  The TDMA slot-ring
+                    # walk is replicated inline (same expressions, same
+                    # association order as ``TDMAArbitration.next_grant``);
+                    # anything else — including a TDMA whose slot table
+                    # was invalidated or failed the disjoint-windows
+                    # check — takes the method call.
+                    packet2 = None
+                    if ring_ok:
+                        if slot_pending == 0:
+                            bus._busy = False
+                        else:
+                            frame_start = floor_(t / superframe) * superframe
+                            anchor = bisect_(ring_starts,
+                                             t - frame_start) - 1
+                            if anchor >= 0:
+                                offset, width, nq = ring[anchor]
+                                if nq and t < frame_start + offset + width:
+                                    slot_pending -= 1
+                                    packet2 = nq.popleft()
+                                    access_delay = \
+                                        max_(t, frame_start + offset) - t
+                            if packet2 is None:
+                                count = len_(ring)
+                                for step in range(1, count + 1):
+                                    offset, width, nq = \
+                                        ring[(anchor + step) % count]
+                                    if nq:
+                                        start = frame_start + offset
+                                        if t < start + width:
+                                            access = t if t > start else start
+                                        else:
+                                            start = (frame_start + superframe
+                                                     + offset)
+                                            if t < start + width:
+                                                access = (t if t > start
+                                                          else start)
+                                            else:
+                                                access = (frame_start
+                                                          + 2.0 * superframe
+                                                          + offset)
+                                        slot_pending -= 1
+                                        packet2 = nq.popleft()
+                                        access_delay = access - t
+                                        break
+                                else:
+                                    raise SimulationError(
+                                        "pending count out of sync "
+                                        "with queues")
+                    else:
+                        if slotted_fast:
+                            policy._pending = slot_pending
+                        grant = next_grant(t)
+                        if slotted_fast:
+                            slot_pending = policy._pending
+                            _rehoist_ring()
+                        if grant is None:
+                            bus._busy = False
+                        else:
+                            packet2, access_delay = grant
+                    if packet2 is not None:
+                        service = packet2._service
+                        if service is None:
+                            service = service_cache.get(
+                                (packet2.source, packet2.bits))
+                            if service is None:
+                                service = bus.service_time_seconds(packet2)
+                        busy_s += service
+                        chain_packet = packet2
+                        chain_service = service
+                        if access_delay == 0.0:
+                            packet2.queued_at = t
+                            chain_key = (t + service, seq)
+                            chain_kind = 1
+                            seq += 1
+                        else:
+                            begin_t = t + access_delay
+                            # Begin fusion: if no generation or control
+                            # event can dispatch at or before the begin
+                            # instant (and the horizon does not cross
+                            # it), nothing can claim a sequence between
+                            # the grant and the begin dispatch — the
+                            # begin claims now and the completion claims
+                            # the very next number, exactly the values
+                            # the two-dispatch schedule yields.
+                            if (begin_t <= end_time
+                                    and ctrl_key[0] > begin_t
+                                    and (gen_heap[0][0] if gen_heap
+                                         else inf_) > begin_t):
+                                packet2.queued_at = begin_t
+                                chain_key = (begin_t + service, seq + 1)
+                                chain_kind = 1
+                                seq += 2
+                            else:
+                                chain_key = (begin_t, seq)
+                                chain_kind = 0
+                                seq += 1
+                else:
+                    # Transmission begins: re-arm as its own completion.
+                    chain_packet.queued_at = t
+                    chain_key = (t + chain_service, seq)
+                    chain_kind = 1
+                    seq += 1
+            else:
+                # Control callbacks (energy ticks, posture events) see
+                # consistent per-node traffic counters and may schedule
+                # or claim; sync the counters around the dispatch.
+                queue._seq = seq
+                if slotted_fast:
+                    policy._pending = slot_pending
+                _publish_nodes()
+                queue.step()
+                seq = queue._seq
+                if slotted_fast:
+                    slot_pending = policy._pending
+                _rehoist_ring()
+                _reload_nodes()
+                ctrl_key = queue.peek_key() or sentinel
+                foreign = bus._chain
+                if foreign is not None:
+                    bus._chain = None
+                    chain_key = (foreign[0], foreign[1])
+                    chain_kind = foreign[2]
+                    chain_packet = foreign[3]
+                    chain_service = foreign[4]
 
-        if next_time <= end_time:
-            self.queue.schedule_at(next_time, generate)
+        stats.delivered_packets = delivered_cnt
+        stats.delivered_bits = delivered_bits_sum
+        stats.busy_seconds = busy_s
+        latency.count = cnt
+        buffered = lat_list if lat_list is not None else lat_pending
+        if buffered:
+            low = min(buffered)
+            if low < lat_min:
+                lat_min = low
+            high = max(buffered)
+            if high > lat_max:
+                lat_max = high
+        latency._min = lat_min
+        latency._max = lat_max
+        # Fast-path ledgers were fresh at loop entry, so the write-back
+        # totals equal the posts replayed from zero in arrival order —
+        # the same floats the per-post path would have produced.
+        for i in range(n_nodes):
+            nd = node_list[i]
+            nd.generated_count = gen_counts[i]
+            nd.packets_sent = sent_counts[i]
+            nd.bits_sent = bits_l[i]
+            if fast_flags[i]:
+                nd.packets_delivered = deliv_counts[i]
+                posts = tx_posts_l[i] + retx_posts_l[i] + ack_posts_l[i]
+                if posts:
+                    ledger = nd.ledger
+                    if tx_posts_l[i]:
+                        ledger._totals["wir_tx"] = wir_acc[i]
+                    if retx_posts_l[i]:
+                        ledger._totals["wir_retx"] = retx_acc[i]
+                    if ack_posts_l[i]:
+                        ledger._totals["arq_ack"] = ack_acc[i]
+                    ledger._grand_total = grand_acc[i]
+                    ledger._posted_count = posts
+        if hub_fast and hub_posts:
+            if hub_posts - hub_ack_posts:
+                hub_ledger._totals["wir_rx"] = hub_rx_acc
+            if hub_ack_posts:
+                hub_ledger._totals["ack_tx"] = hub_ack_acc
+            hub_ledger._grand_total = hub_grand
+            hub_ledger._posted_count = hub_posts
+        if slotted_fast:
+            policy._pending = slot_pending
+        bus._chain = (None if chain_key is sentinel else
+                      (chain_key[0], chain_key[1], chain_kind, chain_packet,
+                       chain_service))
+        queue._seq = seq
+        queue._now = end_time
 
     def run(self, duration_seconds: float) -> SimulationResult:
         """Run the network for *duration_seconds* of simulated time."""
@@ -510,10 +1605,7 @@ class BodyNetworkSimulator:
         if not self.nodes:
             raise SimulationError("no nodes attached to the simulator")
 
-        for node in self.nodes.values():
-            self._schedule_generation(node, duration_seconds)
-        self._schedule_energy_updates(duration_seconds)
-        self.queue.run_until(duration_seconds)
+        self._run_kernel(duration_seconds)
 
         per_node_power: dict[str, float] = {}
         per_node_goodput: dict[str, float] = {}

@@ -11,6 +11,7 @@ re-run of an unchanged sweep is served entirely from the artifact cache.
 
 from __future__ import annotations
 
+import ast
 import dataclasses
 import enum
 import hashlib
@@ -45,6 +46,81 @@ def derive_seed(base_seed: int, experiment: str,
                            "params": params})
     digest = hashlib.sha256(blob.encode("utf-8")).digest()
     return int.from_bytes(digest[:4], "big")
+
+
+def _split_values(values: str) -> list[str]:
+    """Split on commas outside brackets and quotes, so tuple values like
+    ``(1,2)`` and quoted strings like ``"a,b"`` survive intact."""
+    tokens: list[str] = []
+    depth = 0
+    quote: str | None = None
+    current = ""
+    for character in values:
+        if quote is not None:
+            if character == quote:
+                quote = None
+        elif character in "'\"":
+            quote = character
+        elif character in "([{":
+            depth += 1
+        elif character in ")]}":
+            depth -= 1
+        if character == "," and depth == 0 and quote is None:
+            tokens.append(current)
+            current = ""
+        else:
+            current += character
+    tokens.append(current)
+    return [token for token in tokens if token.strip()]
+
+
+def parse_grid(assignments: Sequence[str]) -> dict[str, list[object]]:
+    """Parse ``key=v1,v2,...`` assignments into a sweep grid.
+
+    The single grid-resolution front end shared by ``repro run --grid``
+    and ``repro sweep --grid``, so both commands accept the same syntax
+    and emit identical error messages.  Values are
+    ``ast.literal_eval``-ed when possible (ints, floats, tuples like
+    ``(1,2,4)``) and kept as strings otherwise.
+    """
+    grid: dict[str, list[object]] = {}
+    for assignment in assignments:
+        key, separator, values = assignment.partition("=")
+        key = key.strip()
+        if not separator or not key or not values.strip():
+            raise SweepError(
+                f"grid assignment {assignment!r} is not of the form key=v1,v2,..."
+            )
+        if key in grid:
+            raise SweepError(f"grid key {key!r} given more than once")
+        parsed: list[object] = []
+        for token in _split_values(values):
+            token = token.strip()
+            try:
+                parsed.append(ast.literal_eval(token))
+            except (ValueError, SyntaxError):
+                # Bare words are legitimate string values; anything that
+                # *looks* like a literal (brackets, quotes, leading digit
+                # or sign, float words like inf/nan) but fails to parse is
+                # a user mistake — erroring here beats a TypeError deep
+                # inside the experiment.
+                if token.lstrip("+-").lower() in ("inf", "infinity", "nan"):
+                    try:
+                        parsed.append(float(token))
+                    except ValueError:
+                        raise SweepError(
+                            f"grid value {token!r} for {key!r} is not a "
+                            "valid Python literal"
+                        ) from None
+                elif token[0] in "([{'\"+-" or token[0].isdigit():
+                    raise SweepError(
+                        f"grid value {token!r} for {key!r} is not a valid "
+                        "Python literal"
+                    ) from None
+                else:
+                    parsed.append(token)
+        grid[key] = parsed
+    return grid
 
 
 def expand_grid(grid: Mapping[str, Sequence[object]]) -> list[dict[str, object]]:
@@ -150,6 +226,11 @@ class TaskResult:
     elapsed_seconds: float
     path: Path | None
     deduplicated: bool = False
+    #: Schema-versioned ``to_dict()`` payload of the experiment result,
+    #: when the result type provides one (e.g.
+    #: :meth:`repro.netsim.simulator.SimulationResult.to_dict`); round-
+    #: trips through the artifact cache so cached tasks keep it too.
+    result_document: dict[str, object] | None = None
 
 
 @dataclass(frozen=True)
@@ -182,10 +263,12 @@ def _execute(experiment: str, kwargs: Mapping[str, object]) -> dict[str, object]
     started = time.perf_counter()
     result = spec.run(**kwargs)
     elapsed = time.perf_counter() - started
+    to_dict = getattr(result, "to_dict", None)
     return {
         "rows": sanitize(spec.extract_rows(result)),
         "summary": spec.summary_lines(result),
         "elapsed_seconds": elapsed,
+        "result": to_dict() if callable(to_dict) else None,
     }
 
 
@@ -304,31 +387,42 @@ class SweepRunner:
             document = load_artifact(path)
         except ArtifactError:
             return None  # corrupted/foreign file: recompute and overwrite
+        result_document = document.get("result")
         return TaskResult(task=task, rows=list(document.get("rows", [])),
                           summary=list(document.get("summary", [])),
-                          cached=True, elapsed_seconds=0.0, path=path)
+                          cached=True, elapsed_seconds=0.0, path=path,
+                          result_document=(result_document
+                                           if isinstance(result_document, dict)
+                                           else None))
 
     def _store(self, spec: ExperimentSpec, task: SweepTask,
                payload: Mapping[str, object], elapsed: float) -> TaskResult:
         path: Path | None = None
+        result_document = payload.get("result")
         if self.out_dir is not None:
+            document = {
+                "experiment": spec.id,
+                "eid": spec.eid,
+                "title": spec.title,
+                "digest": task.digest,
+                "params": task.params,
+                "kwargs": task.kwargs,
+                "rows": payload["rows"],
+                "summary": payload["summary"],
+                "elapsed_seconds": elapsed,
+            }
+            if result_document is not None:
+                document["result"] = result_document
             path = self._write_or_warn(
                 artifact_path(self.out_dir, task.experiment, task.digest),
-                {
-                    "experiment": spec.id,
-                    "eid": spec.eid,
-                    "title": spec.title,
-                    "digest": task.digest,
-                    "params": task.params,
-                    "kwargs": task.kwargs,
-                    "rows": payload["rows"],
-                    "summary": payload["summary"],
-                    "elapsed_seconds": elapsed,
-                },
+                document,
             )
         return TaskResult(task=task, rows=list(payload["rows"]),
                           summary=list(payload["summary"]), cached=False,
-                          elapsed_seconds=elapsed, path=path)
+                          elapsed_seconds=elapsed, path=path,
+                          result_document=(result_document
+                                           if isinstance(result_document, dict)
+                                           else None))
 
     def _write_or_warn(self, path: Path,
                        payload: Mapping[str, object]) -> Path | None:

@@ -50,6 +50,7 @@ from ..energy.harvester import (
 from ..errors import ScenarioError
 from ..netsim.arbitration import POLICY_FACTORIES
 from ..netsim.reliability import DEFAULT_ACK_BITS, ARQPolicy, LinkReliability
+from ..netsim.config import NodeConfig
 from ..netsim.simulator import BodyNetworkSimulator, SimulationResult
 from ..netsim.traffic import PeriodicSource, PoissonSource, TrafficSource
 from ..sensors.catalog import SensorModality, modality_spec
@@ -657,7 +658,7 @@ class ScenarioSpec:
                        if node.battery is not None else None)
             for concrete in node.expanded_names():
                 spec_of[concrete] = node
-                simulator.add_node(
+                simulator.attach(NodeConfig(
                     concrete,
                     node.make_source(),
                     sensing_power_watts=node.sensing_power_watts,
@@ -668,7 +669,7 @@ class ScenarioSpec:
                                if node.harvester is not None else None),
                     initial_charge_fraction=node.initial_charge_fraction,
                     low_battery_fraction=node.low_battery_fraction,
-                )
+                ))
                 if link_reliability is not None:
                     link_reliability.set_error_rate(
                         concrete,

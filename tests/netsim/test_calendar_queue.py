@@ -1,0 +1,159 @@
+"""Calendar-queue edge cases: churn compaction, ties, heap equivalence.
+
+The kernel's :class:`~repro.netsim.events.EventQueue` is a calendar
+queue with lazy cancellation; :class:`~repro.netsim.events.
+HeapEventQueue` is the historical binary heap kept as a reference
+implementation.  These tests pin the behaviours the batched simulator
+kernel depends on: cancelled entries never accumulate past the
+compaction bound, simultaneous timestamps fire in scheduling order even
+across calendar resizes, and any schedule/cancel workload pops in
+exactly the order the heap reference produces.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.netsim.events import EventQueue, HeapEventQueue
+
+
+class TestCancelledEventChurn:
+    def test_compaction_bounds_stored_entries_under_heavy_churn(self):
+        queue = EventQueue()
+        survivors = []
+        for round_index in range(50):
+            events = [queue.schedule_at(float(round_index) + 0.001 * i,
+                                        lambda: None)
+                      for i in range(100)]
+            for event in events[1:]:
+                event.cancel()
+            survivors.append(events[0])
+            # Lazy cancellation may keep dead entries around, but the
+            # compaction trigger caps them at half the physical store.
+            assert queue.stored_events <= 2 * max(len(queue), 1)
+        assert len(queue) == len(survivors)
+
+    def test_cancelled_events_never_fire(self):
+        queue = EventQueue()
+        fired = []
+        keep = [queue.schedule_at(float(i), lambda i=i: fired.append(i))
+                for i in range(0, 100, 2)]
+        drop = [queue.schedule_at(float(i), lambda i=i: fired.append(i))
+                for i in range(1, 100, 2)]
+        for event in drop:
+            event.cancel()
+        queue.run_until(200.0)
+        assert fired == list(range(0, 100, 2))
+        assert len(keep) == len(fired)
+
+    def test_cancelling_everything_empties_the_queue(self):
+        queue = EventQueue()
+        events = [queue.schedule_at(float(i), lambda: None)
+                  for i in range(257)]
+        for event in events:
+            event.cancel()
+        assert len(queue) == 0
+        assert queue.pop_next() is None
+        # Compaction ran at some point, so the store is not 257-deep.
+        assert queue.stored_events <= len(events)
+
+    def test_double_cancel_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.schedule_at(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 0
+
+
+class TestSimultaneousTimestamps:
+    def test_ties_fire_in_scheduling_order_across_resizes(self):
+        queue = EventQueue()
+        fired = []
+        # Enough entries to force the calendar through several resizes;
+        # every event lands on one of only three timestamps.
+        for i in range(600):
+            queue.schedule_at(float(i % 3), lambda i=i: fired.append(i))
+        queue.run_until(10.0)
+        expected = ([i for i in range(600) if i % 3 == 0]
+                    + [i for i in range(600) if i % 3 == 1]
+                    + [i for i in range(600) if i % 3 == 2])
+        assert fired == expected
+
+    def test_tie_order_survives_interleaved_cancellation(self):
+        queue = EventQueue()
+        fired = []
+        events = [queue.schedule_at(1.0, lambda i=i: fired.append(i))
+                  for i in range(200)]
+        for event in events[::2]:
+            event.cancel()
+        queue.run_until(2.0)
+        assert fired == list(range(1, 200, 2))
+
+    def test_pop_next_respects_claimed_sequences(self):
+        # The kernel interleaves externally sequenced streams with the
+        # control queue; a tie between a scheduled event and a claimed
+        # sequence must resolve by sequence number.
+        queue = EventQueue()
+        first = queue.schedule_at(1.0, lambda: None)
+        claimed = queue.claim_sequence()
+        second = queue.schedule_at(1.0, lambda: None)
+        assert first.sequence < claimed < second.sequence
+        assert queue.peek_key() == (1.0, first.sequence)
+        assert queue.pop_next() is first
+        assert queue.pop_next() is second
+
+    def test_past_scheduling_is_rejected(self):
+        queue = EventQueue()
+        queue.schedule_at(5.0, lambda: None)
+        queue.run_until(5.0)
+        with pytest.raises(SimulationError):
+            queue.schedule_at(4.0, lambda: None)
+
+
+_times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                   allow_infinity=False)
+
+
+class TestHeapEquivalence:
+    @given(times=st.lists(_times, min_size=1, max_size=60),
+           cancels=st.lists(st.integers(min_value=0, max_value=59),
+                            max_size=30))
+    @settings(max_examples=80, deadline=None)
+    def test_calendar_and_heap_pop_identical_sequences(self, times, cancels):
+        calendar, heap = EventQueue(), HeapEventQueue()
+        fired: dict[str, list[tuple[float, int]]] = {"cal": [], "heap": []}
+        scheduled = {"cal": [], "heap": []}
+        for kind, queue in (("cal", calendar), ("heap", heap)):
+            for label, time in enumerate(times):
+                scheduled[kind].append(queue.schedule_at(
+                    time,
+                    lambda kind=kind, time=time, label=label:
+                        fired[kind].append((time, label))))
+            for index in cancels:
+                scheduled[kind][index % len(times)].cancel()
+        while calendar.step():
+            pass
+        while heap.step():
+            pass
+        assert fired["cal"] == fired["heap"]
+        assert calendar.now == heap.now
+        assert len(calendar) == len(heap) == 0
+
+    @given(times=st.lists(_times, min_size=1, max_size=40),
+           horizon=_times)
+    @settings(max_examples=60, deadline=None)
+    def test_run_until_fires_the_same_prefix(self, times, horizon):
+        calendar, heap = EventQueue(), HeapEventQueue()
+        fired: dict[str, list[tuple[float, int]]] = {"cal": [], "heap": []}
+        for kind, queue in (("cal", calendar), ("heap", heap)):
+            for label, time in enumerate(times):
+                queue.schedule_at(
+                    time,
+                    lambda kind=kind, time=time, label=label:
+                        fired[kind].append((time, label)))
+            queue.run_until(horizon)
+        assert fired["cal"] == fired["heap"]
+        assert calendar.now == heap.now == horizon
+        assert len(calendar) == len(heap)

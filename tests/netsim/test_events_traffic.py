@@ -101,14 +101,14 @@ class TestEventQueue:
         assert len(queue) == 70
 
     def test_cancelled_majority_triggers_compaction(self):
-        """The heap never carries more cancelled entries than live ones."""
+        """The store never carries more cancelled entries than live ones."""
         queue = EventQueue()
         handles = [queue.schedule_at(float(index), lambda: None)
                    for index in range(1000)]
         for handle in handles[:501]:
             handle.cancel()
         # Compaction has physically removed the cancelled events.
-        assert len(queue._heap) == 499
+        assert queue.stored_events == 499
         assert len(queue) == 499
 
     def test_double_cancel_counts_once(self):

@@ -1,0 +1,89 @@
+"""Tests for the NodeConfig front door and the add_node shim."""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro.comm.eqs_hbc import wir_commercial
+from repro.energy.battery import BatterySpec
+from repro.errors import SimulationError
+from repro.netsim import NodeConfig
+from repro.netsim import simulator as simulator_module
+from repro.netsim.simulator import BodyNetworkSimulator
+from repro.netsim.traffic import PeriodicSource
+
+
+def _source() -> PeriodicSource:
+    return PeriodicSource.from_rate(2000.0,
+                                    bits_per_packet=256.0)
+
+
+def _battery(joules: float = 0.05) -> BatterySpec:
+    return BatterySpec(name="coin", capacity_mah=joules / (3.6 * 3.0),
+                       self_discharge_per_year=0.0)
+
+
+class TestAttach:
+    def test_attach_registers_the_node(self):
+        simulator = BodyNetworkSimulator(wir_commercial())
+        node = simulator.attach(NodeConfig("ecg", _source(),
+                                           sensing_power_watts=1e-6))
+        assert simulator.nodes["ecg"] is node
+        assert node.sensing_power_watts == 1e-6
+
+    def test_duplicate_name_is_rejected(self):
+        simulator = BodyNetworkSimulator(wir_commercial())
+        simulator.attach(NodeConfig("ecg", _source()))
+        with pytest.raises(SimulationError, match="already exists"):
+            simulator.attach(NodeConfig("ecg", _source()))
+
+    def test_invalid_stride_is_rejected(self):
+        simulator = BodyNetworkSimulator(wir_commercial())
+        with pytest.raises(SimulationError, match="stride"):
+            simulator.attach(NodeConfig("ecg", _source(),
+                                        low_battery_stride=0))
+
+    def test_battery_config_arms_the_energy_runtime(self):
+        simulator = BodyNetworkSimulator(wir_commercial())
+        node = simulator.attach(NodeConfig("ecg", _source(),
+                                           battery=_battery(),
+                                           initial_charge_fraction=0.5))
+        assert node.energy is not None
+        assert node.energy.state_of_charge_fraction == pytest.approx(0.5)
+
+    def test_config_is_frozen_and_reusable(self):
+        config = NodeConfig("ecg", _source())
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.name = "other"
+        first = BodyNetworkSimulator(wir_commercial())
+        second = BodyNetworkSimulator(wir_commercial())
+        first.attach(config)
+        second.attach(config)
+        assert "ecg" in first.nodes and "ecg" in second.nodes
+
+
+class TestAddNodeShim:
+    def test_add_node_forwards_and_warns_once(self, monkeypatch):
+        monkeypatch.setattr(simulator_module, "_ADD_NODE_WARNED", False)
+        simulator = BodyNetworkSimulator(wir_commercial())
+        with pytest.warns(DeprecationWarning, match="NodeConfig"):
+            simulator.add_node("ecg", _source())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            simulator.add_node("imu", _source())
+        assert not [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+        assert set(simulator.nodes) == {"ecg", "imu"}
+
+    def test_shim_and_attach_produce_identical_runs(self):
+        via_shim = BodyNetworkSimulator(wir_commercial(), rng=7)
+        via_shim.add_node("ecg", _source(), sensing_power_watts=1e-6)
+        via_config = BodyNetworkSimulator(wir_commercial(), rng=7)
+        via_config.attach(NodeConfig("ecg", _source(),
+                                     sensing_power_watts=1e-6))
+        old = via_shim.run(30.0)
+        new = via_config.run(30.0)
+        assert old == new

@@ -1,0 +1,112 @@
+"""Round-trip tests for SimulationResult.to_dict()/from_dict()."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.comm.eqs_hbc import wir_commercial
+from repro.errors import SimulationError
+from repro.netsim import NodeConfig
+from repro.netsim.simulator import (
+    RESULT_SCHEMA_VERSION,
+    BodyNetworkSimulator,
+    EnergyEvent,
+    SimulationResult,
+)
+from repro.netsim.traffic import PeriodicSource
+from repro.runner.artifacts import sanitize
+
+
+def _run_result() -> SimulationResult:
+    simulator = BodyNetworkSimulator(wir_commercial(), rng=3)
+    for index in range(3):
+        simulator.attach(NodeConfig(f"leaf{index}",
+                                    PeriodicSource.from_rate(
+                                        4000.0, bits_per_packet=512.0),
+                                    sensing_power_watts=3e-6))
+    return simulator.run(60.0)
+
+
+def _synthetic_result() -> SimulationResult:
+    return SimulationResult(
+        duration_seconds=10.0,
+        delivered_packets=0,
+        dropped_packets=2,
+        delivered_bits=0.0,
+        mean_latency_seconds=math.nan,
+        p99_latency_seconds=math.nan,
+        bus_utilization=0.25,
+        per_node_average_power_watts={"a": 1e-6},
+        per_node_goodput_bps={"a": 0.0},
+        hub_rx_energy_joules=0.0,
+        offered_packets=2,
+        per_node_state_of_charge={"a": 0.0},
+        per_node_first_death_seconds={"a": 4.5},
+        per_node_delivered_before_death={"a": 0},
+        energy_events=(
+            EnergyEvent(kind="low_battery", node="a", time_seconds=2.0,
+                        state_of_charge_fraction=0.2),
+            EnergyEvent(kind="brownout", node="a", time_seconds=4.5,
+                        state_of_charge_fraction=0.0),
+        ),
+        reliability_enabled=True,
+        erased_attempts=3,
+        lost_packets=2,
+    )
+
+
+class TestRoundTrip:
+    def test_real_run_round_trips_exactly(self):
+        result = _run_result()
+        assert result.to_dict()["result_schema_version"] \
+            == RESULT_SCHEMA_VERSION
+        assert SimulationResult.from_dict(result.to_dict()) == result
+
+    def test_round_trip_survives_json_and_sanitize(self):
+        result = _synthetic_result()
+        document = json.loads(json.dumps(sanitize(result.to_dict())))
+        rebuilt = SimulationResult.from_dict(document)
+        assert math.isnan(rebuilt.mean_latency_seconds)
+        assert rebuilt.energy_events == result.energy_events
+        assert rebuilt.per_node_first_death_seconds \
+            == result.per_node_first_death_seconds
+        assert rebuilt.delivered_fraction == result.delivered_fraction
+        # NaN fields compare unequal, so compare everything else via dict.
+        original = result.to_dict()
+        restored = rebuilt.to_dict()
+        for key in original:
+            if key in ("mean_latency_seconds", "p99_latency_seconds"):
+                continue
+            assert restored[key] == original[key], key
+
+    def test_derived_properties_recompute_after_round_trip(self):
+        result = _run_result()
+        rebuilt = SimulationResult.from_dict(result.to_dict())
+        assert rebuilt.delivered_fraction == result.delivered_fraction
+        assert rebuilt.attempts_per_delivered == result.attempts_per_delivered
+        assert rebuilt.total_leaf_power_watts == result.total_leaf_power_watts
+        assert rebuilt.alive_fraction == result.alive_fraction
+
+    def test_energy_events_rebuild_as_typed_tuple(self):
+        rebuilt = SimulationResult.from_dict(_synthetic_result().to_dict())
+        assert isinstance(rebuilt.energy_events, tuple)
+        assert all(isinstance(event, EnergyEvent)
+                   for event in rebuilt.energy_events)
+        assert rebuilt.first_death_seconds == 4.5
+
+
+class TestVersionGate:
+    def test_missing_version_is_rejected(self):
+        document = _synthetic_result().to_dict()
+        del document["result_schema_version"]
+        with pytest.raises(SimulationError, match="schema version"):
+            SimulationResult.from_dict(document)
+
+    def test_future_version_is_rejected(self):
+        document = _synthetic_result().to_dict()
+        document["result_schema_version"] = RESULT_SCHEMA_VERSION + 1
+        with pytest.raises(SimulationError, match="schema version"):
+            SimulationResult.from_dict(document)
