@@ -34,11 +34,13 @@ import argparse
 import dataclasses
 import os
 import sys
+import time
 from pathlib import Path
 from typing import Sequence
 
 from .analysis.reporting import format_table
 from .analysis.survey import survey_rows
+from .cohort.codec import SHARD_CODEC_VERSION
 from .comm.link import compare_technologies
 from .errors import ReproError
 from .netsim.simulator import SimulationResult
@@ -55,7 +57,7 @@ from .runner import (
 from .runner.sweep import parse_grid
 from .runner.artifacts import (
     digest_key,
-    scan_artifacts,
+    scan_artifacts_with_paths,
     source_fingerprint,
     write_artifact,
 )
@@ -183,6 +185,16 @@ def build_parser() -> argparse.ArgumentParser:
                             dest="validate_stride", metavar="K",
                             help="cross-check every K-th analytic member "
                                  "against the DES (0 disables; default 1000)")
+    cohort_run.add_argument("--keep-members", action="store_true",
+                            dest="keep_members",
+                            help="retain raw member rows inside the binary "
+                                 "frames (debugging; off by default)")
+    cohort_run.add_argument("--compression",
+                            choices=("zlib", "none", "zstd"),
+                            default="zlib",
+                            help="outer compression of the binary shard "
+                                 "frames (default zlib; zstd needs the "
+                                 "optional zstandard package)")
     cohort_run.add_argument("--out", default=str(DEFAULT_OUT_DIR),
                             metavar="DIR",
                             help="artifact directory (default 'artifacts'); "
@@ -263,25 +275,25 @@ def _print_warnings(runner: SweepRunner, out) -> None:
 
 
 def _command_report(artifact_dir: str, out, include_stale: bool = False) -> int:
-    documents, incompatible = scan_artifacts(artifact_dir)
+    entries, incompatible = scan_artifacts_with_paths(artifact_dir)
     if incompatible:
         print(f"note: skipped {incompatible} artifact(s) written with an "
               "incompatible schema version", file=out)
     current_fingerprint = source_fingerprint()
     if not include_stale:
-        fresh = [document for document in documents
+        fresh = [(path, document) for path, document in entries
                  if document.get("source_fingerprint")
                  in (None, current_fingerprint)]
-        stale_count = len(documents) - len(fresh)
+        stale_count = len(entries) - len(fresh)
         if stale_count:
             print(f"note: skipped {stale_count} stale artifact(s) written "
                   "before the sources last changed; pass --all to include "
                   "them", file=out)
-        documents = fresh
-    if not documents:
+        entries = fresh
+    if not entries:
         print(f"no artifacts found in {artifact_dir}", file=out)
         return 1
-    for document in documents:
+    for path, document in entries:
         rows = document.get("rows") or []
         name = document.get("experiment", "?")
         title = str(document.get("title", ""))
@@ -313,6 +325,17 @@ def _command_report(artifact_dir: str, out, include_stale: bool = False) -> int:
                       file=out)
         for line in document.get("summary") or []:
             print(line, file=out)
+        size_line = f"artifact: {path.name} ({path.stat().st_size} bytes on disk"
+        codec_info = document.get("codec")
+        if isinstance(codec_info, dict) and codec_info.get("binary"):
+            binary_path = path.parent / str(codec_info["binary"])
+            if binary_path.is_file():
+                size_line += (f" + {binary_path.stat().st_size} bytes binary, "
+                              f"encode "
+                              f"{float(codec_info.get('encode_seconds', 0.0)) * 1e3:.1f} ms / "
+                              f"decode "
+                              f"{float(codec_info.get('decode_seconds', 0.0)) * 1e3:.1f} ms")
+        print(size_line + ")", file=out)
         print(file=out)
     return 0
 
@@ -369,13 +392,15 @@ def _command_scenarios_run(scenario: str, out, duration: float | None,
 def _command_cohort_run(out, population: int, fast_path: str,
                         shards: int | None, parallel: int, seed: int,
                         duration: float, validate_stride: int,
-                        out_dir: Path | None) -> int:
-    from .cohort import CohortSpec, run_cohort
+                        out_dir: Path | None, keep_members: bool = False,
+                        compression: str = "zlib") -> int:
+    from .cohort import CohortSpec, run_cohort, write_frames
 
     spec = CohortSpec(population=population, seed=seed,
                       member_duration_seconds=duration)
     result = run_cohort(spec, fast_path=fast_path, shard_count=shards,
-                        parallel=parallel, validate_stride=validate_stride)
+                        parallel=parallel, validate_stride=validate_stride,
+                        keep_members=keep_members, compression=compression)
     rows = result.rows()
     summary = result.summary_lines()
     title = f"cohort of {population} ({fast_path} path)"
@@ -383,14 +408,21 @@ def _command_cohort_run(out, population: int, fast_path: str,
     print(format_table(rows, title="member-metric distribution"), file=out)
     for line in summary:
         print(line, file=out)
+    print(f"codec: encoded {result.encoded_bytes} bytes in "
+          f"{len(result.frames)} frame(s) ({result.compression}), "
+          f"encode {result.encode_seconds * 1e3:.1f} ms, "
+          f"decode {result.decode_seconds * 1e3:.1f} ms", file=out)
     if result.validations:
         print(format_table(result.validation_rows(),
                            title="analytic-vs-DES validation"), file=out)
     if out_dir is not None:
         kwargs = {"population": population, "fast_path": fast_path,
                   "seed": seed, "member_duration_seconds": duration,
-                  "validate_stride": validate_stride}
+                  "validate_stride": validate_stride,
+                  "keep_members": keep_members, "compression": compression}
         digest = digest_key("cohort", kwargs)
+        shards_name = f"cohort-{digest}.shards.bin"
+        shards_path = write_frames(out_dir / shards_name, result.frames)
         path = write_artifact(
             out_dir / f"cohort-{digest}.json",
             {
@@ -404,20 +436,34 @@ def _command_cohort_run(out, population: int, fast_path: str,
                 "rows": rows,
                 "summary": summary,
                 "validation": result.validation_rows(),
+                "codec": {
+                    "binary": shards_name,
+                    "codec_version": SHARD_CODEC_VERSION,
+                    "compression": result.compression,
+                    "frames": len(result.frames),
+                    "encoded_bytes": result.encoded_bytes,
+                    "keep_members": result.keep_members,
+                    "encode_seconds": result.encode_seconds,
+                    "decode_seconds": result.decode_seconds,
+                },
             },
         )
-        print(f"artifact: {path}", file=out)
+        print(f"artifact: {path} "
+              f"({path.stat().st_size} bytes JSON + "
+              f"{shards_path.stat().st_size} bytes binary)", file=out)
     return 0
 
 
 def _command_cohort_summarize(artifact_dir: str, out) -> int:
-    documents, _ = scan_artifacts(artifact_dir)
-    cohort_documents = [document for document in documents
-                        if document.get("experiment") == "cohort"]
-    if not cohort_documents:
+    from .cohort import read_frames, read_summary
+
+    entries, _ = scan_artifacts_with_paths(artifact_dir)
+    cohort_entries = [(path, document) for path, document in entries
+                      if document.get("experiment") == "cohort"]
+    if not cohort_entries:
         print(f"no cohort artifacts found in {artifact_dir}", file=out)
         return 1
-    for document in cohort_documents:
+    for path, document in cohort_entries:
         header = f"{document.get('title', 'cohort')} [{document.get('digest', '')}]"
         overview = document.get("overview")
         if overview:
@@ -426,6 +472,32 @@ def _command_cohort_summarize(artifact_dir: str, out) -> int:
                            title="member-metric distribution"), file=out)
         for line in document.get("summary") or []:
             print(line, file=out)
+        codec_info = document.get("codec")
+        if isinstance(codec_info, dict) and codec_info.get("binary"):
+            binary_path = path.parent / str(codec_info["binary"])
+            if binary_path.is_file():
+                # Stream the binary artifact footer-by-footer: every
+                # number below comes out of the per-shard summary
+                # footers, no member column is ever decoded.
+                started = time.perf_counter()
+                shard_rows = [read_summary(frame).row()
+                              for frame in read_frames(binary_path)]
+                footer_ms = (time.perf_counter() - started) * 1e3
+                print(format_table(shard_rows, title="shard frames"),
+                      file=out)
+                print(f"binary: {binary_path.name} "
+                      f"({binary_path.stat().st_size} bytes on disk, "
+                      f"{codec_info.get('compression', '?')}), "
+                      f"footers read in {footer_ms:.1f} ms; run encode "
+                      f"{float(codec_info.get('encode_seconds', 0.0)) * 1e3:.1f} ms / "
+                      f"decode "
+                      f"{float(codec_info.get('decode_seconds', 0.0)) * 1e3:.1f} ms",
+                      file=out)
+            else:
+                print(f"note: binary artifact {binary_path.name} is missing",
+                      file=out)
+        print(f"artifact: {path.name} ({path.stat().st_size} bytes on disk)",
+              file=out)
         print(file=out)
     return 0
 
@@ -497,7 +569,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
                     out, arguments.population, arguments.fast_path,
                     arguments.shards, arguments.parallel, arguments.seed,
                     arguments.duration, arguments.validate_stride,
-                    _out_dir(arguments.out))
+                    _out_dir(arguments.out), arguments.keep_members,
+                    arguments.compression)
             if arguments.cohort_command == "summarize":
                 return _command_cohort_summarize(arguments.artifact_dir, out)
             print("usage: repro cohort {run,summarize}", file=out)

@@ -1,13 +1,17 @@
 """Streaming cohort aggregation: flat memory at any population.
 
 A shard worker never returns its members' ``SimulationResult`` objects —
-it folds each member into a :class:`CohortAccumulator` and ships only the
-accumulator back.  Accumulators merge associatively *in member order*:
-every per-member metric is held by a
-:class:`~repro.netsim.stats.LatencyAccumulator`, which is an exact
-concatenation while the population fits its exact window (so shard-merged
-summaries are bit-identical to a serial run) and a bounded log-histogram
-beyond it (so memory stays flat however large the cohort grows).
+it folds each member into a :class:`CohortAccumulator` and ships only an
+encoded frame of the accumulator back (see :mod:`repro.cohort.codec`).
+Accumulators merge associatively *in member order*: every per-member
+metric is held by a :class:`~repro.netsim.stats.LatencyAccumulator`,
+which is an exact concatenation while the population fits its exact
+window (so shard-merged summaries are bit-identical to a serial run) and
+a bounded mergeable quantile sketch beyond it (so memory stays flat and
+p50/p99 keep their documented rank error however large the cohort
+grows).  ``keep_members=True`` additionally retains the raw
+:class:`MemberMetrics` rows for debugging — opt-in, mirroring
+``EnergyLedger.keep_entries``.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from dataclasses import dataclass
 from ..errors import ScenarioError
 from ..netsim.simulator import SimulationResult
 from ..netsim.stats import DEFAULT_EXACT_CAPACITY, LatencyAccumulator
+from ..runner.artifacts import sanitize
 from ..scenarios.spec import ScenarioSpec
 
 #: Per-member metrics summarised across the cohort, in report order.
@@ -34,6 +39,11 @@ MEMBER_METRIC_FIELDS = (
 
 #: Percentiles reported for each member metric.
 SUMMARY_PERCENTILES = (50.0, 90.0, 99.0)
+
+#: Post-spill backend of the cohort's metric accumulators.  Sketches
+#: keep cross-member p50/p99 within their documented rank error through
+#: a million-member merge without retaining one value per member.
+DEFAULT_METRIC_BACKEND = "sketch"
 
 
 @dataclass(frozen=True)
@@ -86,17 +96,92 @@ class MemberMetrics:
         )
 
 
+@dataclass(frozen=True)
+class ValidationRecord:
+    """Analytic-vs-DES deviation of one sampled member."""
+
+    index: int
+    scenario: str
+    arbitration: str
+    analytic_leaf_power_watts: float
+    des_leaf_power_watts: float
+    analytic_delivered_fraction: float
+    des_delivered_fraction: float
+    analytic_mean_latency_seconds: float
+    des_mean_latency_seconds: float
+    analytic_alive_fraction: float = 1.0
+    des_alive_fraction: float = 1.0
+
+    @property
+    def alive_fraction_abs_error(self) -> float:
+        return abs(self.analytic_alive_fraction - self.des_alive_fraction)
+
+    @property
+    def leaf_power_rel_error(self) -> float:
+        if self.des_leaf_power_watts == 0.0:
+            return 0.0
+        return abs(self.analytic_leaf_power_watts
+                   - self.des_leaf_power_watts) / self.des_leaf_power_watts
+
+    @property
+    def delivered_fraction_abs_error(self) -> float:
+        return abs(self.analytic_delivered_fraction
+                   - self.des_delivered_fraction)
+
+    @property
+    def mean_latency_ratio(self) -> float:
+        """Analytic/DES mean latency (1.0 when neither saw a packet)."""
+        if self.des_mean_latency_seconds == 0.0:
+            return 1.0 if self.analytic_mean_latency_seconds == 0.0 else float("inf")
+        return (self.analytic_mean_latency_seconds
+                / self.des_mean_latency_seconds)
+
+    @property
+    def mean_latency_factor(self) -> float:
+        """Deviation factor (>= 1) in either direction: an analytic
+        estimate 10x *below* the DES is as wrong as one 10x above."""
+        ratio = self.mean_latency_ratio
+        if ratio == 0.0:
+            return float("inf")
+        return max(ratio, 1.0 / ratio)
+
+    def row(self) -> dict[str, object]:
+        return {
+            "member": self.index,
+            "mac": self.arbitration,
+            "leaf_power_err": round(self.leaf_power_rel_error, 4),
+            "delivered_err": round(self.delivered_fraction_abs_error, 4),
+            "latency_ratio": round(self.mean_latency_ratio, 3),
+        }
+
+
 class CohortAccumulator:
     """Mergeable, bounded-memory summary of a (partial) cohort.
 
     Counters are integers (exactly associative); every float metric lives
     in a :class:`LatencyAccumulator` so merging shard accumulators in
     member order reproduces the serial statistics bit-for-bit while the
-    population fits the exact window, and degrades to a documented
-    histogram approximation beyond it.
+    population fits the exact window, and degrades to the backend's
+    documented approximation beyond it (a mergeable quantile sketch by
+    default).
+
+    Parameters
+    ----------
+    exact_capacity:
+        Exact-window size of every metric accumulator.
+    backend:
+        Post-spill percentile backend (``"sketch"`` default;
+        ``"histogram"`` preserves the pre-codec behaviour).
+    keep_members:
+        Retain the raw :class:`MemberMetrics` rows in :attr:`members`
+        (and ship them inside encoded shard frames) for debugging.
+        Off by default — the whole point of streaming aggregation is
+        that nothing per-member survives the merge.
     """
 
-    def __init__(self, exact_capacity: int = DEFAULT_EXACT_CAPACITY) -> None:
+    def __init__(self, exact_capacity: int = DEFAULT_EXACT_CAPACITY,
+                 backend: str = DEFAULT_METRIC_BACKEND,
+                 keep_members: bool = False) -> None:
         self.population = 0
         self.node_count = 0
         self.delivered_packets = 0
@@ -106,19 +191,26 @@ class CohortAccumulator:
         self.first_death_seconds = math.inf
         self.by_policy: dict[str, int] = {}
         self.by_source: dict[str, int] = {}
+        self.backend = backend
+        self.keep_members = keep_members
+        #: Raw member rows, retained only when ``keep_members`` is set.
+        self.members: list[MemberMetrics] = []
         self.metrics: dict[str, LatencyAccumulator] = {
-            name: LatencyAccumulator(exact_capacity=exact_capacity)
+            name: LatencyAccumulator(exact_capacity=exact_capacity,
+                                     backend=backend)
             for name in MEMBER_METRIC_FIELDS
         }
         #: Packet-level latency distribution, merged from the per-run
         #: accumulators of members that executed on the DES (the analytic
         #: path has no packets to contribute).
-        self.packet_latency = LatencyAccumulator()
+        self.packet_latency = LatencyAccumulator(backend=backend)
 
     # -- recording ---------------------------------------------------------
 
     def add(self, metrics: MemberMetrics) -> None:
         """Fold one member into the aggregate."""
+        if self.keep_members:
+            self.members.append(metrics)
         self.population += 1
         self.node_count += metrics.node_count
         self.delivered_packets += metrics.delivered_packets
@@ -135,6 +227,10 @@ class CohortAccumulator:
 
     def merge(self, other: "CohortAccumulator") -> None:
         """Fold another (later-member-range) accumulator into this one."""
+        if self.keep_members:
+            # Only what the other side actually retained can travel; a
+            # keep_members=False shard contributes aggregates only.
+            self.members.extend(other.members)
         self.population += other.population
         self.node_count += other.node_count
         self.delivered_packets += other.delivered_packets
@@ -149,10 +245,31 @@ class CohortAccumulator:
             self.metrics[name].merge(other.metrics[name])
         self.packet_latency.merge(other.packet_latency)
 
+    def merge_encoded(self, frame: bytes) -> "object":
+        """Decode one binary shard frame and fold it in.
+
+        The streaming-merge entry point: the cohort engine hands each
+        worker's encoded bytes straight here, so no pickled accumulator
+        ever crosses the process boundary.  Returns the decoded
+        :class:`~repro.cohort.codec.ShardFrame` so callers can collect
+        the shard's validations and timing without a second decode.
+        """
+        from .codec import decode_shard  # local: codec imports this module
+        decoded = decode_shard(frame)
+        self.merge(decoded.accumulator)
+        return decoded
+
     # -- queries -----------------------------------------------------------
 
     def summary_rows(self) -> list[dict[str, object]]:
-        """One report row per member metric: mean and cross-member percentiles."""
+        """One report row per member metric: mean and cross-member percentiles.
+
+        Values pass through the artifact layer's ``sanitize`` — the same
+        JSON-tolerant spelling ``SimulationResult.to_dict`` relies on —
+        so a degenerate cohort (zero delivered packets, every member
+        dead) yields ``"inf"``/``"nan"`` strings instead of leaking bare
+        non-finite floats into JSON artifacts.
+        """
         if self.population == 0:
             raise ScenarioError("cohort accumulator is empty")
         rows: list[dict[str, object]] = []
@@ -160,17 +277,23 @@ class CohortAccumulator:
             accumulator = self.metrics[name]
             row: dict[str, object] = {
                 "metric": name,
-                "mean": accumulator.mean,
-                "min": accumulator.min_seconds,
+                "mean": sanitize(accumulator.mean),
+                "min": sanitize(accumulator.min_seconds),
             }
             for percentile in SUMMARY_PERCENTILES:
-                row[f"p{percentile:.0f}"] = accumulator.percentile(percentile)
-            row["max"] = accumulator.max_seconds
+                row[f"p{percentile:.0f}"] = sanitize(
+                    accumulator.percentile(percentile))
+            row["max"] = sanitize(accumulator.max_seconds)
             rows.append(row)
         return rows
 
     def overview(self) -> dict[str, object]:
-        """Headline aggregate numbers for a one-line report."""
+        """Headline aggregate numbers for a one-line report.
+
+        Float values are sanitized like :meth:`summary_rows`: a cohort
+        with zero delivered packets must still produce a valid JSON
+        artifact.
+        """
         if self.population == 0:
             raise ScenarioError("cohort accumulator is empty")
         overview: dict[str, object] = {
@@ -181,16 +304,17 @@ class CohortAccumulator:
                                  in sorted(self.by_policy.items())),
             "sources": ",".join(f"{key}:{value}" for key, value
                                 in sorted(self.by_source.items())),
-            "mean_leaf_power_uw": self.metrics["leaf_power_watts"].mean * 1e6,
-            "mean_member_p99_ms":
-                self.metrics["p99_latency_seconds"].mean * 1e3,
+            "mean_leaf_power_uw": sanitize(
+                self.metrics["leaf_power_watts"].mean * 1e6),
+            "mean_member_p99_ms": sanitize(
+                self.metrics["p99_latency_seconds"].mean * 1e3),
             "dead_members": self.dead_members,
         }
         if math.isfinite(self.first_death_seconds):
             # Only present when a brownout occurred: keeps the overview
-            # JSON-serialisable (no Infinity) in artifacts.
+            # compact (the all-survived case needs no column).
             overview["first_death_s"] = self.first_death_seconds
         if self.packet_latency.count:
-            overview["packet_p99_ms"] = (
+            overview["packet_p99_ms"] = sanitize(
                 self.packet_latency.percentile(99.0) * 1e3)
         return overview

@@ -1,13 +1,20 @@
-"""Sharded cohort execution with streaming merge.
+"""Sharded cohort execution with streaming merge over binary frames.
 
 The engine expands a :class:`~repro.cohort.spec.CohortSpec` into
 contiguous member shards, runs each shard through a worker (on the same
-process pool the sweep runner uses), and merges the per-shard
-:class:`~repro.cohort.aggregate.CohortAccumulator` objects in shard
-order.  Because member seeds depend only on the member index and shard
-ranges are contiguous, the merged statistics are bit-identical to a
+process pool the sweep runner uses), and merges the results in shard
+order.  A worker never ships a pickled accumulator: it encodes its
+:class:`~repro.cohort.aggregate.CohortAccumulator` into one binary
+:mod:`~repro.cohort.codec` frame and returns the bytes, which the
+parent folds in via :meth:`CohortAccumulator.merge_encoded` — so what
+crosses the process boundary is exactly what lands in the on-disk
+artifact, one codepath end to end.
+
+Because member seeds depend only on the member index and shard ranges
+are contiguous, the merged statistics are bit-identical to a
 single-process run at the same seed (while the population fits the
-accumulators' exact window) — the property the shard-parallel tests pin.
+accumulators' exact window) — the property the shard-parallel tests pin,
+now *through* the codec round trip.
 
 Each member executes either on the discrete-event simulator
 (``fast_path="des"``) or through the vectorised steady-state
@@ -24,8 +31,9 @@ from dataclasses import dataclass
 
 from ..errors import ScenarioError
 from ..runner.sweep import PoolFailure, run_pool
-from .aggregate import CohortAccumulator, MemberMetrics
+from .aggregate import CohortAccumulator, MemberMetrics, ValidationRecord
 from .analytic import evaluate_members
+from .codec import DEFAULT_COMPRESSION, ShardFrame, encode_shard
 from .spec import CohortMember, CohortSpec
 
 #: Recognised execution paths.
@@ -34,77 +42,6 @@ FAST_PATHS = ("analytic", "des")
 #: Default sampling stride of the analytic path's DES cross-check; one
 #: validated member per ``VALIDATE_STRIDE`` keeps the overhead marginal.
 DEFAULT_VALIDATE_STRIDE = 1000
-
-
-@dataclass(frozen=True)
-class ValidationRecord:
-    """Analytic-vs-DES deviation of one sampled member."""
-
-    index: int
-    scenario: str
-    arbitration: str
-    analytic_leaf_power_watts: float
-    des_leaf_power_watts: float
-    analytic_delivered_fraction: float
-    des_delivered_fraction: float
-    analytic_mean_latency_seconds: float
-    des_mean_latency_seconds: float
-    analytic_alive_fraction: float = 1.0
-    des_alive_fraction: float = 1.0
-
-    @property
-    def alive_fraction_abs_error(self) -> float:
-        return abs(self.analytic_alive_fraction - self.des_alive_fraction)
-
-    @property
-    def leaf_power_rel_error(self) -> float:
-        if self.des_leaf_power_watts == 0.0:
-            return 0.0
-        return abs(self.analytic_leaf_power_watts
-                   - self.des_leaf_power_watts) / self.des_leaf_power_watts
-
-    @property
-    def delivered_fraction_abs_error(self) -> float:
-        return abs(self.analytic_delivered_fraction
-                   - self.des_delivered_fraction)
-
-    @property
-    def mean_latency_ratio(self) -> float:
-        """Analytic/DES mean latency (1.0 when neither saw a packet)."""
-        if self.des_mean_latency_seconds == 0.0:
-            return 1.0 if self.analytic_mean_latency_seconds == 0.0 else float("inf")
-        return (self.analytic_mean_latency_seconds
-                / self.des_mean_latency_seconds)
-
-    @property
-    def mean_latency_factor(self) -> float:
-        """Deviation factor (>= 1) in either direction: an analytic
-        estimate 10x *below* the DES is as wrong as one 10x above."""
-        ratio = self.mean_latency_ratio
-        if ratio == 0.0:
-            return float("inf")
-        return max(ratio, 1.0 / ratio)
-
-    def row(self) -> dict[str, object]:
-        return {
-            "member": self.index,
-            "mac": self.arbitration,
-            "leaf_power_err": round(self.leaf_power_rel_error, 4),
-            "delivered_err": round(self.delivered_fraction_abs_error, 4),
-            "latency_ratio": round(self.mean_latency_ratio, 3),
-        }
-
-
-@dataclass(frozen=True)
-class ShardOutcome:
-    """What one shard worker ships back: aggregates, never raw results."""
-
-    shard_index: int
-    start: int
-    stop: int
-    accumulator: CohortAccumulator
-    validations: tuple[ValidationRecord, ...]
-    elapsed_seconds: float
 
 
 def shard_bounds(population: int, shard_count: int,
@@ -129,11 +66,12 @@ def _simulate_member(member: CohortMember):
 
 
 def _run_shard(spec: CohortSpec, shard_index: int, shard_count: int,
-               fast_path: str, validate_stride: int) -> ShardOutcome:
-    """Worker entry point: execute one contiguous member range."""
+               fast_path: str, validate_stride: int,
+               keep_members: bool = False) -> ShardFrame:
+    """Execute one contiguous member range into an in-memory frame."""
     started = time.perf_counter()
     start, stop = shard_bounds(spec.population, shard_count, shard_index)
-    accumulator = CohortAccumulator()
+    accumulator = CohortAccumulator(keep_members=keep_members)
     validations: list[ValidationRecord] = []
 
     if fast_path == "des":
@@ -166,7 +104,7 @@ def _run_shard(spec: CohortSpec, shard_index: int, shard_count: int,
                     des_alive_fraction=des_metrics.alive_fraction,
                 ))
 
-    return ShardOutcome(
+    return ShardFrame(
         shard_index=shard_index,
         start=start,
         stop=stop,
@@ -174,6 +112,22 @@ def _run_shard(spec: CohortSpec, shard_index: int, shard_count: int,
         validations=tuple(validations),
         elapsed_seconds=time.perf_counter() - started,
     )
+
+
+def _run_shard_encoded(spec: CohortSpec, shard_index: int, shard_count: int,
+                       fast_path: str, validate_stride: int,
+                       keep_members: bool,
+                       compression: str) -> tuple[bytes, float]:
+    """Worker entry point: run one shard and return its encoded frame.
+
+    Returns ``(frame_bytes, encode_seconds)``; the bytes — not a pickled
+    accumulator — are what travels back over the process pool.
+    """
+    frame = _run_shard(spec, shard_index, shard_count, fast_path,
+                       validate_stride, keep_members)
+    started = time.perf_counter()
+    blob = encode_shard(frame, compression=compression)
+    return blob, time.perf_counter() - started
 
 
 @dataclass(frozen=True)
@@ -188,6 +142,22 @@ class CohortResult:
     validations: tuple[ValidationRecord, ...]
     elapsed_seconds: float
     shard_elapsed_seconds: tuple[float, ...] = ()
+    #: The encoded shard frames, in shard order — exactly the bytes the
+    #: workers returned, ready to be concatenated into a binary artifact.
+    frames: tuple[bytes, ...] = ()
+    #: Whether members were retained (and are present in :attr:`frames`).
+    keep_members: bool = False
+    #: Outer compression of :attr:`frames`.
+    compression: str = DEFAULT_COMPRESSION
+    #: Total wall time spent encoding frames (across workers).
+    encode_seconds: float = 0.0
+    #: Total wall time spent decoding frames during the streaming merge.
+    decode_seconds: float = 0.0
+
+    @property
+    def encoded_bytes(self) -> int:
+        """Total size of the encoded shard frames."""
+        return sum(len(frame) for frame in self.frames)
 
     def rows(self) -> list[dict[str, object]]:
         """Cohort summary table: one row per member metric."""
@@ -234,6 +204,12 @@ class CohortResult:
             f"{self.elapsed_seconds:.2f}s wall",
             "policy mix: " + str(self.accumulator.overview()["policies"]),
         ]
+        if self.frames:
+            lines.append(
+                f"codec: {len(self.frames)} frame(s), "
+                f"{self.encoded_bytes} bytes ({self.compression}), "
+                f"encode {self.encode_seconds * 1e3:.1f}ms / "
+                f"decode {self.decode_seconds * 1e3:.1f}ms")
         errors = self.max_validation_errors()
         if errors:
             lines.append(
@@ -247,14 +223,21 @@ class CohortResult:
 
 def run_cohort(spec: CohortSpec, *, fast_path: str = "analytic",
                shard_count: int | None = None, parallel: int = 1,
-               validate_stride: int = DEFAULT_VALIDATE_STRIDE) -> CohortResult:
+               validate_stride: int = DEFAULT_VALIDATE_STRIDE,
+               keep_members: bool = False,
+               compression: str = DEFAULT_COMPRESSION) -> CohortResult:
     """Execute a whole cohort as sharded batches and merge the aggregates.
 
     ``shard_count`` defaults to ``parallel`` (one shard per worker);
-    shards run on the shared runner pool and are merged in shard order,
-    so the result does not depend on scheduling.  ``validate_stride``
-    controls the analytic path's sampled DES cross-check (0 disables it;
-    it is ignored on the DES path, which *is* the reference).
+    shards run on the shared runner pool, return encoded binary frames,
+    and are merged in shard order via the codec, so the result does not
+    depend on scheduling *or* on whether the shard ran in-process.
+    ``validate_stride`` controls the analytic path's sampled DES
+    cross-check (0 disables it; it is ignored on the DES path, which
+    *is* the reference).  ``keep_members=True`` retains raw member rows
+    inside the frames for debugging; ``compression`` selects the frames'
+    outer compression (``"zlib"`` default, ``"none"``, or ``"zstd"``
+    when the optional package is installed).
     """
     if fast_path not in FAST_PATHS:
         raise ScenarioError(
@@ -272,8 +255,9 @@ def run_cohort(spec: CohortSpec, *, fast_path: str = "analytic",
 
     started = time.perf_counter()
     outcomes = run_pool(
-        _run_shard,
-        [(spec, index, shard_count, fast_path, validate_stride)
+        _run_shard_encoded,
+        [(spec, index, shard_count, fast_path, validate_stride,
+          keep_members, compression)
          for index in range(shard_count)],
         parallel,
     )
@@ -285,11 +269,19 @@ def run_cohort(spec: CohortSpec, *, fast_path: str = "analytic",
             f"cohort shard {index}/{shard_count} failed: {failure.kind}: "
             f"{failure.message}\nworker traceback:\n{failure.traceback}")
 
-    merged = CohortAccumulator()
+    merged = CohortAccumulator(keep_members=keep_members)
     validations: list[ValidationRecord] = []
-    for outcome in outcomes:  # run_pool preserves submission (shard) order
-        merged.merge(outcome.accumulator)
-        validations.extend(outcome.validations)
+    frames: list[bytes] = []
+    shard_elapsed: list[float] = []
+    encode_seconds = 0.0
+    decode_started = time.perf_counter()
+    for blob, shard_encode_seconds in outcomes:  # run_pool keeps shard order
+        decoded = merged.merge_encoded(blob)
+        validations.extend(decoded.validations)
+        frames.append(blob)
+        shard_elapsed.append(decoded.elapsed_seconds)
+        encode_seconds += shard_encode_seconds
+    decode_seconds = time.perf_counter() - decode_started
 
     return CohortResult(
         spec=spec,
@@ -299,6 +291,10 @@ def run_cohort(spec: CohortSpec, *, fast_path: str = "analytic",
         accumulator=merged,
         validations=tuple(validations),
         elapsed_seconds=time.perf_counter() - started,
-        shard_elapsed_seconds=tuple(outcome.elapsed_seconds
-                                    for outcome in outcomes),
+        shard_elapsed_seconds=tuple(shard_elapsed),
+        frames=tuple(frames),
+        keep_members=keep_members,
+        compression=compression,
+        encode_seconds=encode_seconds,
+        decode_seconds=decode_seconds,
     )

@@ -49,6 +49,10 @@ class ArtifactError(ReproError):
     """A result artifact could not be written, read or validated."""
 
 
+class CodecError(ReproError):
+    """A binary shard frame could not be encoded or decoded."""
+
+
 class ShapeError(ReproError):
     """A tensor shape mismatch was detected in the NN engine."""
 

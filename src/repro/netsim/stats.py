@@ -5,15 +5,26 @@ run ``np.percentile`` over the whole history on demand — O(n) memory and
 O(n log n) per query, which makes multi-hour scenario runs slow and
 unbounded.  :class:`LatencyAccumulator` keeps the exact sample window up
 to a fixed capacity (so short runs report *bit-identical* statistics to
-the old list-based code), then spills into a fixed-size log-spaced
-histogram plus running moments and answers percentile queries from the
-histogram from then on.  Memory is bounded by ``exact_capacity`` samples
-plus ``bins`` counters regardless of how long the simulation runs.
+the old list-based code), then spills into one of two bounded streaming
+backends and answers percentile queries from it from then on:
+
+* ``backend="histogram"`` (the default) — a fixed-size log-spaced
+  histogram plus running moments; resolution is frozen at the value
+  range observed at spill time.
+* ``backend="sketch"`` — a mergeable KLL-style
+  :class:`~repro.cohort.sketch.QuantileSketch`, whose rank error is
+  independent of the value range and survives merges; the cohort engine
+  uses this so per-member p50/p99 outlive a 10^6-member merge without
+  retaining members.
+
+Memory is bounded by ``exact_capacity`` samples plus the backend's fixed
+state regardless of how long the simulation runs.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Mapping
 
 import numpy as np
 
@@ -34,6 +45,9 @@ DEFAULT_BINS = 512
 #: ``np.searchsorted`` cost the dense-body hour used to pay.
 PENDING_FLUSH_THRESHOLD = 4096
 
+#: Recognised post-spill streaming backends.
+BACKENDS = ("histogram", "sketch")
+
 
 class LatencyAccumulator:
     """Streaming mean / percentile estimator with an exact warm-up window.
@@ -44,19 +58,32 @@ class LatencyAccumulator:
         Number of samples retained exactly.  While under this bound the
         accumulator behaves identically to keeping a list (``mean`` uses
         ``np.mean``, ``percentile`` uses ``np.percentile``).  Beyond it,
-        the samples are folded into a log-spaced histogram.
+        the samples are folded into the streaming backend.
     bins:
-        Number of histogram bins used after the spill.
+        Number of histogram bins used after the spill (histogram backend).
+    backend:
+        Post-spill percentile machinery: ``"histogram"`` (log-spaced
+        bins, the long-simulation default) or ``"sketch"`` (mergeable
+        KLL quantile sketch, the cohort default).  The two backends are
+        indistinguishable while the accumulator is exact; they merge
+        into each other when mixed (the sketch absorbs histogram bins at
+        their merge representatives and vice versa).
     """
 
     def __init__(self, exact_capacity: int = DEFAULT_EXACT_CAPACITY,
-                 bins: int = DEFAULT_BINS) -> None:
+                 bins: int = DEFAULT_BINS,
+                 backend: str = "histogram") -> None:
         if exact_capacity < 1:
             raise SimulationError("exact capacity must be positive")
         if bins < 2:
             raise SimulationError("histogram needs at least two bins")
+        if backend not in BACKENDS:
+            raise SimulationError(
+                f"unknown accumulator backend {backend!r} "
+                f"(known: {', '.join(BACKENDS)})")
         self.exact_capacity = exact_capacity
         self.bins = bins
+        self.backend = backend
         self.count = 0
         self._samples: list[float] | None = []
         self._total = 0.0
@@ -64,7 +91,9 @@ class LatencyAccumulator:
         self._max = -math.inf
         self._edges: np.ndarray | None = None
         self._counts: np.ndarray | None = None
-        #: Post-spill samples awaiting their vectorised histogram fold.
+        #: Post-spill quantile sketch (``backend="sketch"`` only).
+        self._sketch = None
+        #: Post-spill samples awaiting their vectorised backend fold.
         self._pending: list[float] = []
 
     # -- recording ---------------------------------------------------------
@@ -88,12 +117,12 @@ class LatencyAccumulator:
             self._flush_pending()
 
     def _flush_pending(self) -> None:
-        """Fold buffered post-spill samples into the histogram.
+        """Fold buffered post-spill samples into the backend.
 
         The running total replays the buffered values in arrival order —
         the same sequence of float additions the unbuffered code
-        performed — and the bin counts are applied in one vectorised
-        ``searchsorted`` pass.
+        performed — and the bin counts (histogram) or inserts (sketch)
+        are applied afterwards.
         """
         pending = self._pending
         if not pending:
@@ -102,17 +131,28 @@ class LatencyAccumulator:
         for value in pending:
             total += value
         self._total = total
-        indices = np.searchsorted(self._edges, pending, side="right")
-        np.add.at(self._counts, indices, 1)
+        if self._sketch is not None:
+            for value in pending:
+                self._sketch.add(value)
+        else:
+            indices = np.searchsorted(self._edges, pending, side="right")
+            np.add.at(self._counts, indices, 1)
         # Cleared in place: the simulator kernel holds an alias to this
         # list, which must survive the flush.
         pending.clear()
 
     def _spill(self) -> None:
-        """Fold the exact window into the histogram and drop it."""
+        """Fold the exact window into the streaming backend and drop it."""
         samples = self._samples
         assert samples is not None
         self._total = math.fsum(samples)
+        if self.backend == "sketch":
+            from ..cohort.sketch import QuantileSketch
+            self._sketch = QuantileSketch()
+            for value in samples:
+                self._sketch.add(value)
+            self._samples = None
+            return
         # A log-spaced grid cannot include zero, so exact-zero samples
         # (and anything below 1 ns) deliberately land in the bottom
         # open-ended bin, whose bounds and merge representative clamp to
@@ -144,11 +184,15 @@ class LatencyAccumulator:
         added the samples sequentially, which is what makes shard-merged
         cohort statistics reproduce a serial run exactly.  Once either
         side has spilled (or the union would), the merge folds into this
-        accumulator's histogram: exact samples land in their true bins,
-        foreign interior bins are re-binned at their geometric midpoint
-        (the natural representative under log spacing), and the foreign
-        *open-ended* outer bins — which have no finite midpoint — at the
-        observed ``_min``/``_max`` (see :meth:`_merge_representative`).
+        accumulator's backend.  Histogram backend: exact samples land in
+        their true bins, foreign interior bins are re-binned at their
+        geometric midpoint (the natural representative under log
+        spacing), and the foreign *open-ended* outer bins — which have
+        no finite midpoint — at the observed ``_min``/``_max`` (see
+        :meth:`_merge_representative`).  Sketch backend: exact samples
+        stream in, a foreign sketch merges losslessly level-by-level,
+        and a foreign histogram folds in as weighted merge
+        representatives.
         """
         if other.count == 0:
             return
@@ -177,11 +221,16 @@ class LatencyAccumulator:
                     self.add(value)
                 return
             self._samples = None
+            self.backend = other.backend
             self.bins = other.bins
             self._edges = (None if other._edges is None
                            else other._edges.copy())
             self._counts = (None if other._counts is None
                             else other._counts.copy())
+            if other._sketch is not None:
+                from ..cohort.sketch import QuantileSketch
+                self._sketch = QuantileSketch.from_state(
+                    other._sketch.to_state())
             self._total = other._total
             self.count = other.count
             return
@@ -190,11 +239,41 @@ class LatencyAccumulator:
         self.count += other.count
         if other._samples is not None:
             self._total += math.fsum(other._samples)
-            indices = np.searchsorted(self._edges, np.asarray(other._samples),
-                                      side="right")
-            np.add.at(self._counts, indices, 1)
+            if self._sketch is not None:
+                for value in other._samples:
+                    self._sketch.add(value)
+            else:
+                indices = np.searchsorted(self._edges,
+                                          np.asarray(other._samples),
+                                          side="right")
+                np.add.at(self._counts, indices, 1)
             return
         self._total += other._total
+        if self._sketch is not None:
+            if other._sketch is not None:
+                self._sketch.merge(other._sketch)
+            else:
+                # Foreign histogram: fold each bin at its merge
+                # representative, weighted by its count.
+                for index in range(other.bins):
+                    weight = int(other._counts[index])
+                    if weight:
+                        self._sketch.add_repeated(
+                            other._merge_representative(index), weight)
+            return
+        if other._sketch is not None:
+            # Foreign sketch into a local histogram: every retained value
+            # lands in its true bin, carrying its compaction weight.
+            values, weights = [], []
+            for value, weight in other._sketch.weighted_items():
+                values.append(value)
+                weights.append(weight)
+            if values:
+                indices = np.searchsorted(self._edges, np.asarray(values),
+                                          side="right")
+                np.add.at(self._counts, indices,
+                          np.asarray(weights, dtype=np.int64))
+            return
         midpoints = np.array([other._merge_representative(index)
                               for index in range(other.bins)])
         assert np.isfinite(midpoints).all()
@@ -233,13 +312,16 @@ class LatencyAccumulator:
         return self._total / self.count
 
     def percentile(self, percentile: float) -> float:
-        """Latency percentile; exact before the spill, histogram after."""
+        """Latency percentile; exact before the spill, backend after."""
         self._require_data()
         if not 0.0 <= percentile <= 100.0:
             raise SimulationError("percentile must be in [0, 100]")
         if self._samples is not None:
             return float(np.percentile(self._samples, percentile))
         self._flush_pending()
+        if self._sketch is not None:
+            estimate = self._sketch.percentile(percentile)
+            return float(min(max(estimate, self._min), self._max))
         target = percentile / 100.0 * self.count
         cumulative = np.cumsum(self._counts)
         index = int(np.searchsorted(cumulative, target, side="left"))
@@ -300,3 +382,66 @@ class LatencyAccumulator:
     def _require_data(self) -> None:
         if self.count == 0:
             raise SimulationError("no packets delivered yet")
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_state(self) -> dict[str, object]:
+        """Faithful plain-data snapshot of this accumulator.
+
+        Everything the binary shard codec needs to reconstruct the
+        accumulator *bit-exactly* on the other side of a process or file
+        boundary: the exact window while exact, the histogram or sketch
+        state after the spill.  Pending post-spill samples are flushed
+        first (the flush replays them in arrival order, so it is
+        invisible in the results).
+        """
+        self._flush_pending()
+        state: dict[str, object] = {
+            "exact_capacity": self.exact_capacity,
+            "bins": self.bins,
+            "backend": self.backend,
+            "count": self.count,
+            "min": self._min,
+            "max": self._max,
+        }
+        if self._samples is not None:
+            state["mode"] = "exact"
+            state["samples"] = list(self._samples)
+            return state
+        state["total"] = self._total
+        if self._sketch is not None:
+            state["mode"] = "sketch"
+            state["sketch"] = self._sketch.to_state()
+            return state
+        state["mode"] = "histogram"
+        state["edges"] = self._edges.tolist()
+        state["counts"] = self._counts.tolist()
+        return state
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, object]) -> "LatencyAccumulator":
+        """Rebuild an accumulator exactly from :meth:`to_state` output."""
+        accumulator = cls(exact_capacity=int(state["exact_capacity"]),
+                          bins=int(state["bins"]),
+                          backend=str(state["backend"]))
+        accumulator.count = int(state["count"])
+        accumulator._min = float(state["min"])
+        accumulator._max = float(state["max"])
+        mode = state["mode"]
+        if mode == "exact":
+            accumulator._samples = list(map(float, state["samples"]))
+            if len(accumulator._samples) != accumulator.count:
+                raise SimulationError(
+                    "accumulator state sample count mismatch")
+            return accumulator
+        accumulator._samples = None
+        accumulator._total = float(state["total"])
+        if mode == "sketch":
+            from ..cohort.sketch import QuantileSketch
+            accumulator._sketch = QuantileSketch.from_state(state["sketch"])
+            return accumulator
+        if mode != "histogram":
+            raise SimulationError(f"unknown accumulator state mode {mode!r}")
+        accumulator._edges = np.asarray(state["edges"], dtype=np.float64)
+        accumulator._counts = np.asarray(state["counts"], dtype=np.int64)
+        return accumulator

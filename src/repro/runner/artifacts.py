@@ -163,6 +163,35 @@ def load_artifact(path: Path | str) -> dict[str, object]:
     return document
 
 
+def scan_artifacts_with_paths(
+        directory: Path | str,
+) -> tuple[list[tuple[Path, dict[str, object]]], int]:
+    """Like :func:`scan_artifacts`, but keeps each artifact's file path.
+
+    Callers that report on-disk cost (``repro report``,
+    ``repro cohort summarize``) need the path to ``stat`` the JSON file
+    and to resolve binary sidecars named inside the document.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise ArtifactError(f"{directory} is not a directory")
+    entries = []
+    incompatible = 0
+    for path in sorted(directory.glob("*.json")):
+        try:
+            entries.append((path, load_artifact(path)))
+        except ArtifactError:
+            try:
+                raw = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError):
+                continue
+            if isinstance(raw, dict) and "schema_version" in raw:
+                incompatible += 1
+    entries.sort(key=lambda entry: (str(entry[1].get("experiment", "")),
+                                    str(entry[1].get("digest", ""))))
+    return entries, incompatible
+
+
 def scan_artifacts(
         directory: Path | str) -> tuple[list[dict[str, object]], int]:
     """Valid artifacts in a directory, plus a count of incompatible ones.
@@ -171,24 +200,8 @@ def scan_artifacts(
     artifacts but carry a different schema version are counted so callers
     can tell "empty directory" apart from "artifacts from another version".
     """
-    directory = Path(directory)
-    if not directory.is_dir():
-        raise ArtifactError(f"{directory} is not a directory")
-    documents = []
-    incompatible = 0
-    for path in sorted(directory.glob("*.json")):
-        try:
-            documents.append(load_artifact(path))
-        except ArtifactError:
-            try:
-                raw = json.loads(path.read_text(encoding="utf-8"))
-            except (OSError, json.JSONDecodeError):
-                continue
-            if isinstance(raw, dict) and "schema_version" in raw:
-                incompatible += 1
-    documents.sort(key=lambda doc: (str(doc.get("experiment", "")),
-                                    str(doc.get("digest", ""))))
-    return documents, incompatible
+    entries, incompatible = scan_artifacts_with_paths(directory)
+    return [document for _, document in entries], incompatible
 
 
 def load_artifacts(directory: Path | str) -> list[dict[str, object]]:

@@ -171,3 +171,40 @@ class TestShardedExecution:
         assert not hasattr(result, "results")
         for accumulator in result.accumulator.metrics.values():
             assert accumulator.retained_samples <= accumulator.exact_capacity
+
+
+class TestEncodedFrames:
+    def test_run_returns_frames_and_timings(self):
+        spec = CohortSpec(population=20, seed=4,
+                          member_duration_seconds=10.0)
+        result = run_cohort(spec, fast_path="analytic", shard_count=4,
+                            validate_stride=0)
+        assert len(result.frames) == 4
+        assert result.encoded_bytes == sum(len(f) for f in result.frames)
+        assert result.encoded_bytes > 0
+        assert result.encode_seconds > 0.0
+        assert result.decode_seconds > 0.0
+        assert any("codec:" in line for line in result.summary_lines())
+
+    def test_keep_members_retains_rows_through_frames(self):
+        spec = CohortSpec(population=12, seed=7,
+                          member_duration_seconds=10.0)
+        kept = run_cohort(spec, fast_path="analytic", shard_count=3,
+                          validate_stride=0, keep_members=True)
+        assert kept.keep_members
+        assert [m.index for m in kept.accumulator.members] == list(range(12))
+        dropped = run_cohort(spec, fast_path="analytic", shard_count=3,
+                             validate_stride=0)
+        assert dropped.accumulator.members == []
+        # Aggregates are unaffected by retention.
+        assert kept.rows() == dropped.rows()
+
+    def test_uncompressed_run_matches_compressed(self):
+        spec = CohortSpec(population=15, seed=2,
+                          member_duration_seconds=10.0)
+        zlib_run = run_cohort(spec, fast_path="analytic", shard_count=2,
+                              validate_stride=0, compression="zlib")
+        raw_run = run_cohort(spec, fast_path="analytic", shard_count=2,
+                             validate_stride=0, compression="none")
+        assert zlib_run.rows() == raw_run.rows()
+        assert zlib_run.encoded_bytes < raw_run.encoded_bytes

@@ -295,3 +295,138 @@ class TestZeroLatencySamples:
         assert left.min_seconds == 0.0
         assert left.percentile(0.0) == 0.0
         assert left.mean == pytest.approx((0.01 + 0.02) * 20 / 80, rel=1e-9)
+
+
+class TestSketchBackend:
+    def spilled(self, values, capacity: int = 16) -> LatencyAccumulator:
+        accumulator = LatencyAccumulator(exact_capacity=capacity,
+                                         backend="sketch")
+        for value in values:
+            accumulator.add(float(value))
+        return accumulator
+
+    def test_exact_window_behaviour_unchanged(self):
+        rng = np.random.default_rng(1)
+        samples = rng.uniform(0.0, 1.0, 50)
+        histogram = LatencyAccumulator(backend="histogram")
+        sketch = LatencyAccumulator(backend="sketch")
+        for value in samples:
+            histogram.add(float(value))
+            sketch.add(float(value))
+        # Below the exact window the backend is irrelevant: both answer
+        # from the same sample list, bit for bit.
+        for percentile in (1.0, 50.0, 99.0):
+            assert (sketch.percentile(percentile)
+                    == histogram.percentile(percentile))
+        assert sketch.mean == histogram.mean
+
+    def test_spilled_percentiles_within_rank_error(self):
+        rng = np.random.default_rng(8)
+        samples = rng.lognormal(0.0, 1.5, 20_000)
+        accumulator = self.spilled(samples)
+        ordered = np.sort(samples)
+        for percentile in (10.0, 50.0, 90.0, 99.0):
+            estimate = accumulator.percentile(percentile)
+            left = np.searchsorted(ordered, estimate, "left") / len(ordered)
+            right = np.searchsorted(ordered, estimate, "right") / len(ordered)
+            fraction = percentile / 100.0
+            error = max(0.0, left - fraction, fraction - right)
+            assert error <= 0.02 + 1e-12  # 4/k at the default k = 200
+
+    def test_memory_stays_bounded(self):
+        accumulator = self.spilled(np.linspace(0.0, 1.0, 100_000))
+        assert accumulator._sketch.retained <= 4 * accumulator._sketch.k
+
+    def test_sketch_merges_with_sketch(self):
+        rng = np.random.default_rng(3)
+        samples = rng.uniform(0.0, 1.0, 4000)
+        merged = self.spilled(samples[:2000])
+        merged.merge(self.spilled(samples[2000:]))
+        assert merged.count == 4000
+        assert merged.mean == pytest.approx(float(np.mean(samples)),
+                                            rel=1e-9)
+        assert merged.percentile(50.0) == pytest.approx(0.5, abs=0.03)
+
+    def test_sketch_merges_with_histogram(self):
+        rng = np.random.default_rng(4)
+        samples = rng.uniform(0.0, 1.0, 2000)
+        sketch_side = self.spilled(samples[:1000])
+        histogram_side = LatencyAccumulator(exact_capacity=16,
+                                            backend="histogram")
+        for value in samples[1000:]:
+            histogram_side.add(float(value))
+        sketch_side.merge(histogram_side)
+        assert sketch_side.count == 2000
+        assert sketch_side.percentile(50.0) == pytest.approx(0.5, abs=0.05)
+
+    def test_histogram_absorbs_sketch(self):
+        rng = np.random.default_rng(5)
+        samples = rng.uniform(0.0, 1.0, 2000)
+        histogram_side = LatencyAccumulator(exact_capacity=16,
+                                            backend="histogram")
+        for value in samples[:1000]:
+            histogram_side.add(float(value))
+        sketch_side = self.spilled(samples[1000:])
+        histogram_side.merge(sketch_side)
+        assert histogram_side.count == 2000
+        assert histogram_side.percentile(50.0) == pytest.approx(0.5,
+                                                                abs=0.05)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SimulationError):
+            LatencyAccumulator(backend="theodolite")
+
+
+class TestStateRoundTrip:
+    def round_trip(self, accumulator: LatencyAccumulator):
+        return LatencyAccumulator.from_state(accumulator.to_state())
+
+    def test_exact_state_round_trips_bit_exactly(self):
+        accumulator = LatencyAccumulator()
+        for value in (0.0, 1e-9, 0.5, 0.5, 2.0):
+            accumulator.add(value)
+        restored = self.round_trip(accumulator)
+        assert restored.to_state() == accumulator.to_state()
+        assert restored.percentile(50.0) == accumulator.percentile(50.0)
+
+    def test_histogram_state_round_trips(self):
+        accumulator = LatencyAccumulator(exact_capacity=8,
+                                         backend="histogram")
+        for value in np.linspace(0.001, 1.0, 100):
+            accumulator.add(float(value))
+        restored = self.round_trip(accumulator)
+        assert restored.to_state() == accumulator.to_state()
+        for percentile in (10.0, 50.0, 99.0):
+            assert (restored.percentile(percentile)
+                    == accumulator.percentile(percentile))
+
+    def test_sketch_state_round_trips(self):
+        accumulator = LatencyAccumulator(exact_capacity=8, backend="sketch")
+        for value in np.linspace(0.001, 1.0, 100):
+            accumulator.add(float(value))
+        restored = self.round_trip(accumulator)
+        assert restored.to_state() == accumulator.to_state()
+        for percentile in (10.0, 50.0, 99.0):
+            assert (restored.percentile(percentile)
+                    == accumulator.percentile(percentile))
+
+    def test_empty_state_round_trips(self):
+        restored = self.round_trip(LatencyAccumulator())
+        assert restored.count == 0
+
+    def test_count_mismatch_rejected(self):
+        accumulator = LatencyAccumulator()
+        accumulator.add(0.5)
+        state = accumulator.to_state()
+        state["count"] = 7
+        with pytest.raises(SimulationError):
+            LatencyAccumulator.from_state(state)
+
+    def test_restored_accumulator_keeps_accumulating(self):
+        accumulator = LatencyAccumulator(exact_capacity=8, backend="sketch")
+        for value in np.linspace(0.01, 1.0, 50):
+            accumulator.add(float(value))
+        restored = self.round_trip(accumulator)
+        restored.add(2.0)
+        assert restored.count == 51
+        assert restored.max_seconds == 2.0
