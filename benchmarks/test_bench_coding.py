@@ -1,0 +1,66 @@
+"""Source-coding benchmarks: the coded DES path and the E17 sweep.
+
+Two timings guard the coding layer:
+
+* a 1-hour ``coded_ward`` run — the lossy BLE ward with rate-0.7 coded
+  pump/SpO2 telemetry, so every hot-path table (shortened frames, the
+  lower per-frame erasure probability, the per-node encode-power post)
+  is exercised for a full simulated hour.  Alongside the timing it
+  asserts the layer's contract: the coded body beats the uncoded
+  ``noisy_ward`` on leaf power while the encoder stays a minority
+  share of the budget.
+* E17 ``coding`` — the default rate sweep for the BLE EEG headband
+  (eight DES runs, each cross-checked against the cohort closed form),
+  which must keep locating a strictly interior energy-optimal rate.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro import units
+from repro.experiments import coding
+from repro.scenarios import get_scenario
+
+
+def run_coded_ward_hour():
+    coded = get_scenario("coded_ward").run(seed=0,
+                                           duration_seconds=units.hours(1.0))
+    plain = get_scenario("noisy_ward").run(seed=0,
+                                           duration_seconds=units.hours(1.0))
+    return coded, plain
+
+
+def test_bench_coded_ward_lossy_hour(benchmark):
+    coded, plain = benchmark.pedantic(run_coded_ward_hour, rounds=1,
+                                      iterations=1)
+
+    emit("coding — coded_ward vs noisy_ward, 1 simulated hour",
+         [coded.row(), plain.row()])
+
+    sim = coded.simulated
+    assert sim.coding_enabled
+    assert sim.bit_reduction_factor > 1.2
+    assert 0.0 < sim.encode_energy_fraction < 0.5
+    # The point of the layer: compression beats the lossy radio.
+    assert sim.total_leaf_power_watts \
+        < plain.simulated.total_leaf_power_watts
+    assert sim.delivered_fraction >= plain.simulated.delivered_fraction
+
+
+def run_coding_experiment():
+    return coding.run()
+
+
+def test_bench_coding_rate_sweep(benchmark):
+    result = benchmark.pedantic(run_coding_experiment, rounds=1,
+                                iterations=1)
+
+    emit("E17 — energy per delivered source bit vs coding rate",
+         result.rows())
+
+    # The experiment's own acceptance bounds: the optimum is interior,
+    # it saves real energy, and the closed form tracks every point.
+    assert result.optimal_is_interior()
+    assert result.savings_fraction() > 0.05
+    assert result.max_leaf_power_rel_error() < 0.02

@@ -18,6 +18,7 @@ from repro.analysis.reporting import format_table
 from repro.body.landmarks import BodyLandmark
 from repro.core.designer import ApplicationSpec, NetworkDesigner
 from repro.isa.pipeline import audio_feature_pipeline, mjpeg_video_pipeline
+from repro.netsim.config import NodeConfig
 from repro.netsim.simulator import BodyNetworkSimulator
 from repro.netsim.traffic import PeriodicSource
 from repro.sensors.catalog import SensorModality
@@ -82,11 +83,11 @@ def simulate(designer: NetworkDesigner, plan) -> None:
     """Replay the planned traffic through the discrete-event simulator."""
     simulator = BodyNetworkSimulator(designer.technology, rng=0)
     for node in plan.nodes:
-        simulator.add_node(
-            node.application.name,
-            PeriodicSource.from_rate(max(node.streaming_rate_bps, 64.0)),
+        simulator.attach(NodeConfig(
+            name=node.application.name,
+            source=PeriodicSource.from_rate(max(node.streaming_rate_bps, 64.0)),
             sensing_power_watts=node.sensing_power_watts,
-        )
+        ))
     result = simulator.run(10.0)
     print()
     print("discrete-event replay of the planned traffic (10 s):")

@@ -317,12 +317,21 @@ def _command_report(artifact_dir: str, out, include_stale: bool = False) -> int:
                 print("note: result payload has an unreadable schema",
                       file=out)
             else:
-                print(f"result: {simulated.delivered_packets} delivered "
-                      f"({simulated.delivered_fraction:.1%} of offered), "
-                      f"{simulated.attempts_per_delivered:.3f} attempts/pkt, "
-                      f"mean latency "
-                      f"{simulated.mean_latency_seconds * 1e3:.3f} ms",
-                      file=out)
+                line = (f"result: {simulated.delivered_packets} delivered "
+                        f"({simulated.delivered_fraction:.1%} of offered), "
+                        f"{simulated.attempts_per_delivered:.3f} attempts/pkt, "
+                        f"mean latency "
+                        f"{simulated.mean_latency_seconds * 1e3:.3f} ms")
+                if simulated.coding_enabled:
+                    # Coding metrics come from the reconstructed result's
+                    # own properties (same from_dict path as the rest of
+                    # the line), and only for coded runs so historical
+                    # artifacts render byte-identically.
+                    line += (f", {simulated.bit_reduction_factor:.2f}x bit "
+                             f"reduction, "
+                             f"{simulated.encode_energy_fraction:.1%} "
+                             f"encode energy")
+                print(line, file=out)
         for line in document.get("summary") or []:
             print(line, file=out)
         size_line = f"artifact: {path.name} ({path.stat().st_size} bytes on disk"

@@ -1,0 +1,23 @@
+"""Rate-adaptive source-coding layer.
+
+Models a second-stage entropy coder in each leaf (after the sensor's
+ISA pipeline): per-modality compressibility with an inter-sensor
+correlation knob, a rate–distortion clamp and an encode-effort energy
+model.  See :mod:`repro.coding.model` and ``docs/coding-layer.md``.
+"""
+
+from .model import (
+    COMPRESSIBILITY,
+    DEFAULT_COMPRESSIBILITY,
+    CodingSpec,
+    ModalityCompressibility,
+    compressibility_for,
+)
+
+__all__ = [
+    "COMPRESSIBILITY",
+    "DEFAULT_COMPRESSIBILITY",
+    "CodingSpec",
+    "ModalityCompressibility",
+    "compressibility_for",
+]

@@ -1,0 +1,207 @@
+"""Rate-adaptive source coding for body-sensor traffic.
+
+Short packets from correlated body sensors are the regime where
+low-complexity distributed entropy coders (distributed arithmetic
+coding and friends — Fang, arXiv:1010.3150; Fang & Jeong,
+arXiv:2101.02336) pay off: every coded bit removed from a packet is a
+bit the radio never has to carry, never risks to a packet erasure and
+never retransmits.  The price is CPU energy in the leaf's encoder.
+
+This module models that trade with three ingredients:
+
+* a per-modality :class:`ModalityCompressibility` entry — how far a
+  second-stage entropy coder can squeeze the stream a sensor's ISA
+  pipeline already emits (the catalog's ``compressed_rate_fraction``
+  is the *first* stage; the floors here apply on top of it);
+* a :class:`CodingSpec` rate–distortion knob — the requested coded
+  bits per source bit, clamped at a floor that inter-sensor
+  correlation lowers (a Slepian–Wolf-style side-information gain);
+* an encode-effort model — energy per *source* bit grows exponentially
+  with compression depth, so pushing the rate towards the floor costs
+  real ISA energy and an energy-optimal rate exists strictly inside
+  the feasible interval once the radio is lossy.
+
+Everything here is a pure function of the spec: no state, no RNG.  A
+node with ``coding=None`` never calls into this module, which is how
+the scenario/cohort layers keep the coding-off paths bit-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..sensors.catalog import SensorModality
+
+__all__ = [
+    "COMPRESSIBILITY",
+    "DEFAULT_COMPRESSIBILITY",
+    "CodingSpec",
+    "ModalityCompressibility",
+    "compressibility_for",
+]
+
+
+@dataclass(frozen=True)
+class ModalityCompressibility:
+    """How far one modality's emitted stream can still be compressed.
+
+    ``lossless_floor`` is the achievable coded-bits-per-source-bit with
+    no inter-sensor side information (the stream's residual entropy);
+    ``distortion_floor`` is the hard lower bound below which the
+    distortion contract of the modality would be violated (clinical
+    ECG morphology, IMU gesture fidelity, ...); ``correlation_gain``
+    is the fraction of the gap between the two floors that perfect
+    inter-sensor correlation can unlock.
+    """
+
+    lossless_floor: float
+    distortion_floor: float
+    correlation_gain: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.distortion_floor <= self.lossless_floor <= 1.0:
+            raise ConfigurationError(
+                "floors must satisfy 0 < distortion <= lossless <= 1")
+        if not 0.0 <= self.correlation_gain <= 1.0:
+            raise ConfigurationError(
+                "correlation gain must be in [0, 1]")
+
+    def floor(self, correlation: float) -> float:
+        """Achievable rate floor given inter-sensor *correlation*.
+
+        Correlation moves the floor from ``lossless_floor`` (no side
+        information) towards ``distortion_floor`` (all the redundancy
+        correlation can reach has been removed), linearly in the
+        correlation coefficient.
+        """
+        reachable = (self.lossless_floor - self.distortion_floor) \
+            * self.correlation_gain
+        return self.lossless_floor - reachable * correlation
+
+
+#: Residual compressibility of the catalog modalities *after* their
+#: ISA/codec first stage.  Slowly varying channels (temperature) keep
+#: large headroom; already-whitened streams (audio, video) keep little.
+COMPRESSIBILITY: dict[SensorModality, ModalityCompressibility] = {
+    SensorModality.TEMPERATURE: ModalityCompressibility(
+        lossless_floor=0.30, distortion_floor=0.05, correlation_gain=0.8),
+    SensorModality.PPG: ModalityCompressibility(
+        lossless_floor=0.50, distortion_floor=0.20, correlation_gain=0.7),
+    SensorModality.ECG: ModalityCompressibility(
+        lossless_floor=0.45, distortion_floor=0.15, correlation_gain=0.6),
+    SensorModality.EMG: ModalityCompressibility(
+        lossless_floor=0.65, distortion_floor=0.30, correlation_gain=0.5),
+    SensorModality.EEG: ModalityCompressibility(
+        lossless_floor=0.60, distortion_floor=0.25, correlation_gain=0.7),
+    SensorModality.IMU: ModalityCompressibility(
+        lossless_floor=0.55, distortion_floor=0.25, correlation_gain=0.7),
+    SensorModality.AUDIO: ModalityCompressibility(
+        lossless_floor=0.80, distortion_floor=0.50, correlation_gain=0.3),
+    SensorModality.VIDEO_QVGA: ModalityCompressibility(
+        lossless_floor=0.85, distortion_floor=0.60, correlation_gain=0.2),
+    SensorModality.VIDEO_720P: ModalityCompressibility(
+        lossless_floor=0.85, distortion_floor=0.60, correlation_gain=0.2),
+}
+
+#: Fallback for rate-only nodes with no declared modality.
+DEFAULT_COMPRESSIBILITY = ModalityCompressibility(
+    lossless_floor=0.60, distortion_floor=0.30, correlation_gain=0.5)
+
+
+def compressibility_for(modality: SensorModality | None
+                        ) -> ModalityCompressibility:
+    """The compressibility entry for *modality* (default when None)."""
+    if modality is None:
+        return DEFAULT_COMPRESSIBILITY
+    return COMPRESSIBILITY.get(modality, DEFAULT_COMPRESSIBILITY)
+
+
+#: Encode energy per source bit at zero compression depth (a single
+#: arithmetic-coder pass over the stream on a sub-threshold ISA core).
+DEFAULT_ENERGY_PER_SOURCE_BIT_JOULES = 10e-12
+
+#: Exponential growth of encode effort with compression depth: at the
+#: rate floor the encoder spends ``exp(effort) ~ 20x`` the zero-depth
+#: energy (context modelling, multiple passes, longer codewords).
+DEFAULT_EFFORT_EXPONENT = 3.0
+
+
+@dataclass(frozen=True)
+class CodingSpec:
+    """The rate–distortion knob of one leaf population.
+
+    ``rate`` is the *requested* coded bits per source bit in ``(0, 1]``;
+    the achievable rate is clamped at the modality's correlation-adjusted
+    floor (:meth:`effective_rate`).  ``correlation`` is the inter-sensor
+    correlation coefficient the decoder can exploit as side information.
+    The two energy knobs parameterise the encode-effort model: energy
+    per source bit is
+
+    ``energy_per_source_bit_joules * exp(effort_exponent * depth)``
+
+    where ``depth`` in ``[0, 1]`` measures how far the effective rate
+    sits between "no compression" and the achievable floor (in terms of
+    the expansion ``1/rate``, the natural axis of an arithmetic coder's
+    codeword spectrum).
+    """
+
+    rate: float
+    correlation: float = 0.0
+    energy_per_source_bit_joules: float = DEFAULT_ENERGY_PER_SOURCE_BIT_JOULES
+    effort_exponent: float = DEFAULT_EFFORT_EXPONENT
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.rate <= 1.0:
+            raise ConfigurationError(
+                f"coding rate must be in (0, 1], got {self.rate}")
+        if not 0.0 <= self.correlation < 1.0:
+            raise ConfigurationError(
+                f"correlation must be in [0, 1), got {self.correlation}")
+        if self.energy_per_source_bit_joules < 0.0:
+            raise ConfigurationError(
+                "encode energy per source bit must be non-negative")
+        if self.effort_exponent < 0.0:
+            raise ConfigurationError(
+                "effort exponent must be non-negative")
+
+    def floor(self, modality: SensorModality | None) -> float:
+        """Achievable rate floor for *modality* at this correlation."""
+        return compressibility_for(modality).floor(self.correlation)
+
+    def effective_rate(self, modality: SensorModality | None) -> float:
+        """Requested rate clamped at the achievable floor."""
+        return max(self.rate, self.floor(modality))
+
+    def compression_depth(self, modality: SensorModality | None) -> float:
+        """Where the effective rate sits between 1.0 and the floor.
+
+        Measured on the expansion axis ``1/rate`` so each extra unit of
+        depth removes a comparable share of the remaining redundancy:
+        0.0 means no compression, 1.0 means the coder runs at the
+        correlation-adjusted floor.
+        """
+        floor = self.floor(modality)
+        if floor >= 1.0:
+            return 0.0
+        effective = self.effective_rate(modality)
+        return (1.0 / effective - 1.0) / (1.0 / floor - 1.0)
+
+    def coded_bits(self, source_bits: float,
+                   modality: SensorModality | None) -> float:
+        """Coded payload size for a *source_bits*-long packet."""
+        return source_bits * self.effective_rate(modality)
+
+    def encode_energy_per_source_bit_joules(
+            self, modality: SensorModality | None) -> float:
+        """ISA energy the encoder spends per source bit."""
+        return self.energy_per_source_bit_joules \
+            * math.exp(self.effort_exponent
+                       * self.compression_depth(modality))
+
+    def encode_power_watts(self, source_rate_bps: float,
+                           modality: SensorModality | None) -> float:
+        """Average encoder power for a *source_rate_bps* stream."""
+        return source_rate_bps \
+            * self.encode_energy_per_source_bit_joules(modality)

@@ -41,6 +41,15 @@ cross-checks and by the gallery tolerance tests:
   reliability profile.  Lossless members multiply by exactly 1.0 / add
   exactly 0.0 everywhere, so their results are bit-identical to the
   pre-reliability fast path.
+* **Source coding is closed-form** — a node with a
+  :class:`~repro.coding.CodingSpec` keeps its generation cadence but
+  its on-air payload, per-packet service time, slot sizing and packet
+  erasure rate all use the coded packet size, and the encoder's power
+  draw joins the node's static load — the same compile-time reduction
+  the DES applies, so the two sides agree by construction.  Uncoded
+  members take the plain-attribute paths with no extra float
+  operation, keeping their results bit-identical to the pre-coding
+  fast path.
 
 Per-member reductions use ``np.bincount``/``np.maximum.at`` over rows
 that are contiguous per member, so a member's arithmetic involves only
@@ -219,11 +228,20 @@ def evaluate_members(specs: Sequence[ScenarioSpec],
             cycles = period / TDMA_SUPERFRAME_SECONDS
             locked = (node.traffic == "periodic"
                       and abs(cycles - round(cycles)) < 1e-9)
+            # A coded node keeps its generation cadence but puts shorter
+            # packets on the air: on-air payload, per-packet service,
+            # slot sizing (registration-time rate) and the coded PER the
+            # reliability profile already folded in all use the coded
+            # numbers.  Every accessor returns the plain attribute when
+            # ``coding is None``, so uncoded members stay bit-identical.
+            air_bits = node.coded_bits_per_packet()
+            air_rate = node.air_rate_bps()
+            coding_power = node.coding_power_watts()
             for concrete in node.expanded_names():
                 member_of.append(position)
                 active = fractions[concrete]
                 packet_rate.append(active * rate / node.bits_per_packet)
-                bits.append(node.bits_per_packet)
+                bits.append(air_bits)
                 if reliability_profile is None:
                     delivered_share, mean_attempts = 1.0, 1.0
                 else:
@@ -237,19 +255,23 @@ def evaluate_members(specs: Sequence[ScenarioSpec],
                 # exact identity, so lossless rows keep the historical
                 # service value bit-for-bit.
                 service.append(mean_attempts
-                               * (node.bits_per_packet / profile.rate_bps
+                               * (air_bits / profile.rate_bps
                                   + spec.per_packet_overhead_seconds
                                   + ack_time[position]))
                 tx_epb.append(profile.tx_energy_per_bit)
                 rx_epb.append(profile.rx_energy_per_bit)
                 sleep_power.append(profile.sleep_power_watts)
                 link_rate.append(profile.rate_bps)
-                static_power.append(node.sensing_power_watts
-                                    + node.isa_power_watts)
+                power = node.sensing_power_watts + node.isa_power_watts
+                if coding_power > 0.0:
+                    # Added only when a coder runs: uncoded members see
+                    # the historical sum with no extra float operation.
+                    power += coding_power
+                static_power.append(power)
                 # Slot widths mirror TDMASchedule.build: payload time at
                 # the medium rate plus the guard, sized from the full
                 # (registration-time) offered rate.
-                width = (rate * TDMA_SUPERFRAME_SECONDS / hub.rate_bps
+                width = (air_rate * TDMA_SUPERFRAME_SECONDS / hub.rate_bps
                          + TDMA_GUARD_SECONDS)
                 slot_seconds.append(width)
                 slot_offset.append(slot_cursor)

@@ -26,10 +26,12 @@ or paper id) instead of importing driver modules directly.
 | E14| Population-scale cohort study                    | ``cohort_study``          |
 | E15| Closed-loop lifetime (DES vs closed form)        | ``lifetime``              |
 | E16| Link margin vs delivery / retransmission energy  | ``reliability``           |
+| E17| Energy-optimal source-coding rate per device class| ``coding``               |
 """
 
 from . import (
     charging_burden,
+    coding,
     cohort_study,
     implant_extension,
     claims,
@@ -64,4 +66,5 @@ __all__ = [
     "cohort_study",
     "lifetime",
     "reliability",
+    "coding",
 ]

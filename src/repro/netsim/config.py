@@ -44,6 +44,14 @@ class NodeConfig:
     ``low_battery_fraction`` arms duty-cycle adaptation: below that
     state of charge the node emits only one packet per
     ``low_battery_stride`` generation opportunities.
+
+    ``coding_power_watts`` is the constant encoder draw of a source
+    coder compressing this node's stream (see :mod:`repro.coding`); it
+    is charged to the ``"coding"`` ledger component.  ``coding_rate``
+    records the coded-bits-per-source-bit the attached traffic source
+    already reflects — the simulator uses it only for bookkeeping
+    (source-bit totals, bit-reduction factor), never to rescale
+    packets.  The defaults (0.0 / 1.0) leave everything untouched.
     """
 
     name: str
@@ -56,3 +64,5 @@ class NodeConfig:
     initial_charge_fraction: float = 1.0
     low_battery_fraction: float | None = None
     low_battery_stride: int = DEFAULT_LOW_BATTERY_STRIDE
+    coding_power_watts: float = 0.0
+    coding_rate: float = 1.0

@@ -107,10 +107,19 @@ class SimulatedNode:
     retx_bits: float = 0.0
     #: Bits of packets the lossy link ultimately failed to deliver.
     lost_bits: float = 0.0
+    #: Constant source-coder draw (0.0 = no coder; see repro.coding).
+    coding_power_watts: float = 0.0
+    #: Coded bits per source bit the attached source already reflects;
+    #: bookkeeping only (source-bit totals), never rescales packets.
+    coding_rate: float = 1.0
 
     def __post_init__(self) -> None:
         if self.sensing_power_watts < 0 or self.isa_power_watts < 0:
             raise SimulationError("node powers must be non-negative")
+        if self.coding_power_watts < 0:
+            raise SimulationError("coding power must be non-negative")
+        if not 0.0 < self.coding_rate <= 1.0:
+            raise SimulationError("coding rate must be in (0, 1]")
 
 
 @dataclass
@@ -153,6 +162,31 @@ class SimulationResult:
     retransmission_energy_joules: float = 0.0
     #: Leaf energy spent receiving ARQ acks.
     ack_energy_joules: float = 0.0
+    #: Whether any leaf ran a source coder (see :mod:`repro.coding`).
+    coding_enabled: bool = False
+    #: Total leaf energy spent in source-coder encoders.
+    coding_energy_joules: float = 0.0
+    #: Delivered payload re-expanded to pre-coder source bits.
+    source_bits_delivered: float = 0.0
+
+    @property
+    def bit_reduction_factor(self) -> float:
+        """Source bits per coded bit over the delivered traffic.
+
+        1.0 when no coder ran (delivered bits *are* source bits); a
+        coder compressing 2:1 across the board reads 2.0.
+        """
+        if not self.coding_enabled or self.delivered_bits <= 0.0:
+            return 1.0
+        return self.source_bits_delivered / self.delivered_bits
+
+    @property
+    def encode_energy_fraction(self) -> float:
+        """Share of total leaf energy spent encoding (0.0 uncoded)."""
+        total = self.total_leaf_power_watts * self.duration_seconds
+        if total <= 0.0:
+            return 0.0
+        return self.coding_energy_joules / total
 
     @property
     def total_leaf_power_watts(self) -> float:
@@ -265,7 +299,7 @@ class SimulationResult:
                 kwargs[spec.name] = int(value)
             elif spec.name == "arbitration":
                 kwargs[spec.name] = str(value)
-            elif spec.name == "reliability_enabled":
+            elif spec.name in ("reliability_enabled", "coding_enabled"):
                 kwargs[spec.name] = bool(value)
             elif spec.name == "per_node_delivered_before_death":
                 kwargs[spec.name] = {str(key): int(item)
@@ -382,6 +416,8 @@ class BodyNetworkSimulator:
             sensing_power_watts=config.sensing_power_watts,
             isa_power_watts=config.isa_power_watts,
             low_battery_stride=config.low_battery_stride,
+            coding_power_watts=config.coding_power_watts,
+            coding_rate=config.coding_rate,
         )
         if config.battery is not None or config.harvester is not None:
             node.energy = NodeEnergyState.from_spec(
@@ -572,6 +608,8 @@ class BodyNetworkSimulator:
             "wir_sleep": (node.technology.sleep_power()
                           * sleep_time / elapsed),
         }
+        if node.coding_power_watts > 0.0:
+            loads["coding"] = node.coding_power_watts
         state.advance(loads, elapsed, now)
         if not state.alive:
             self._record_death(node)
@@ -1618,6 +1656,12 @@ class BodyNetworkSimulator:
                                        duration_seconds)
                 node.ledger.post_power("isa", node.isa_power_watts,
                                        duration_seconds)
+                if node.coding_power_watts > 0.0:
+                    # Source-coder draw; gated so uncoded nodes post the
+                    # exact same ledger sequence as before coding existed.
+                    node.ledger.post_power("coding",
+                                           node.coding_power_watts,
+                                           duration_seconds)
                 # Sleep power of the transceiver when not transmitting.
                 tx_time = (node.bits_sent + node.retx_bits) \
                     / node.technology.data_rate_bps()
@@ -1652,6 +1696,9 @@ class BodyNetworkSimulator:
         else:
             mean_latency = 0.0
             p99_latency = 0.0
+        coding_enabled = any(
+            node.coding_power_watts > 0.0 or node.coding_rate != 1.0
+            for node in self.nodes.values())
         return SimulationResult(
             duration_seconds=duration_seconds,
             delivered_packets=stats.delivered_packets,
@@ -1693,6 +1740,15 @@ class BodyNetworkSimulator:
             ack_energy_joules=sum(
                 node.ledger.total_energy("arq_ack")
                 for node in self.nodes.values()),
+            coding_enabled=coding_enabled,
+            coding_energy_joules=(sum(
+                node.ledger.total_energy("coding")
+                for node in self.nodes.values())
+                if coding_enabled else 0.0),
+            source_bits_delivered=(sum(
+                (node.bits_sent - node.lost_bits) / node.coding_rate
+                for node in self.nodes.values())
+                if coding_enabled else 0.0),
         )
 
     def describe(self) -> dict[str, object]:

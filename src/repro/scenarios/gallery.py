@@ -12,6 +12,7 @@ still exercising the streaming-statistics and arbitration machinery.
 from __future__ import annotations
 
 from .. import units
+from ..coding import CodingSpec
 from ..sensors.catalog import SensorModality
 from .registry import register_scenario
 from .spec import (
@@ -388,6 +389,53 @@ def barefoot_yoga() -> ScenarioSpec:
                           posture="standing_barefoot"),
             ScenarioEvent(at_fraction=0.80, action="posture",
                           node_prefixes=("",), posture="lying_on_bed"),
+        ),
+    )
+
+
+@register_scenario
+def coded_ward() -> ScenarioSpec:
+    """The noisy ward again, with source coders in the BLE island.
+
+    Same raised 2.4 GHz noise floor as ``noisy_ward``, but the legacy
+    BLE devices — whose ~27 nJ/bit radios dominate their budget — run
+    the rate-adaptive source coder near its energy-optimal rate (the
+    E17 sweep): packets shrink, the erasure probability drops with
+    them, and the ARQ retries that plagued the uncoded ward fade.  The
+    Wi-R vitals stay uncoded — at ~100 pJ/bit their radio is too cheap
+    for a sub-threshold encoder to beat.
+    """
+    ble_coding = CodingSpec(rate=0.7, correlation=0.5,
+                            energy_per_source_bit_joules=1e-9)
+    return ScenarioSpec(
+        name="coded_ward",
+        description="noisy ward with rate-adaptive coding on the BLE island",
+        duration_seconds=15.0 * 60.0,
+        arbitration="fifo",
+        reliability=ReliabilitySpec(
+            rf_noise_floor_dbm=-92.5,
+            arq_retry_limit=3,
+        ),
+        nodes=(
+            ScenarioNodeSpec(name="ecg_lead", modality=SensorModality.ECG,
+                             count=2, bits_per_packet=4096.0,
+                             sensing_power_watts=units.microwatt(30.0)),
+            ScenarioNodeSpec(name="temp_axilla",
+                             modality=SensorModality.TEMPERATURE,
+                             bits_per_packet=128.0,
+                             sensing_power_watts=units.microwatt(2.0)),
+            ScenarioNodeSpec(name="ble_pump",
+                             rate_bps=units.kilobit_per_second(4.0),
+                             bits_per_packet=2048.0,
+                             technology="ble",
+                             sensing_power_watts=units.microwatt(25.0),
+                             coding=ble_coding),
+            ScenarioNodeSpec(name="ble_spo2",
+                             modality=SensorModality.PPG,
+                             bits_per_packet=2048.0,
+                             technology="ble",
+                             sensing_power_watts=units.microwatt(80.0),
+                             coding=ble_coding),
         ),
     )
 

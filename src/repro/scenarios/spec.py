@@ -47,6 +47,7 @@ from ..energy.harvester import (
     rf_ambient,
     thermoelectric_body,
 )
+from ..coding import CodingSpec
 from ..errors import ScenarioError
 from ..netsim.arbitration import POLICY_FACTORIES
 from ..netsim.reliability import DEFAULT_ACK_BITS, ARQPolicy, LinkReliability
@@ -228,7 +229,9 @@ class ReliabilitySpec:
             )
         else:
             return self.default_error_rate
-        return budget.packet_error_rate(node.bits_per_packet)
+        # Coded nodes put shorter packets on the air, so the same BER
+        # corrupts fewer of them — the PER side of the coding trade.
+        return budget.packet_error_rate(node.coded_bits_per_packet())
 
 
 @dataclass(frozen=True)
@@ -247,6 +250,14 @@ class ScenarioNodeSpec:
     simulator's duty-cycle adaptation.  All default to off, which keeps
     the node's compiled behaviour bit-identical to the pre-energy-runtime
     kernel.
+
+    ``coding`` (a :class:`~repro.coding.CodingSpec`) puts a rate-adaptive
+    source coder between the sensor and the radio: packets keep their
+    generation cadence but carry ``coded_bits_per_packet()`` on the air,
+    the link budget sees the shorter packets (lower PER), and the
+    encoder's power draw (:meth:`coding_power_watts`) is charged to the
+    ``"coding"`` ledger component.  ``coding=None`` (the default) leaves
+    every compiled float bit-identical to the pre-coding layer.
     """
 
     name: str
@@ -266,6 +277,8 @@ class ScenarioNodeSpec:
     #: On-body channel length to the hub (wrist-to-chest scale); feeds
     #: the node's link budget when the scenario is lossy.
     channel_distance_metres: float = 1.5
+    #: Optional rate-adaptive source coder (see :mod:`repro.coding`).
+    coding: CodingSpec | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -318,9 +331,65 @@ class ScenarioNodeSpec:
             return [self.name]
         return [f"{self.name}{index}" for index in range(self.count)]
 
+    # -- source coding -----------------------------------------------------
+    #
+    # When ``coding is None`` every method below returns the plain
+    # attribute (or a literal 0.0 / 1.0) with no arithmetic applied, so
+    # the compiled simulator and the cohort fast path stay bit-identical
+    # to the pre-coding layer.
+
+    def coded_bits_per_packet(self) -> float:
+        """On-air payload per packet (source bits when uncoded)."""
+        if self.coding is None:
+            return self.bits_per_packet
+        return self.coding.coded_bits(self.bits_per_packet, self.modality)
+
+    def effective_coding_rate(self) -> float:
+        """Achieved coded bits per source bit (1.0 when uncoded)."""
+        if self.coding is None:
+            return 1.0
+        return self.coding.effective_rate(self.modality)
+
+    def coding_power_watts(self) -> float:
+        """Average encoder draw for this node's stream (0.0 uncoded)."""
+        if self.coding is None:
+            return 0.0
+        return self.coding.encode_power_watts(self.resolved_rate_bps(),
+                                              self.modality)
+
+    def air_rate_bps(self) -> float:
+        """Average on-air rate after coding.
+
+        Mirrors the attached source's ``average_rate_bps()`` arithmetic
+        exactly (coded payload over the uncoded generation period), so
+        analytic slot sizing agrees bit-for-bit with what the simulator
+        registers on its medium.
+        """
+        if self.coding is None:
+            return self.resolved_rate_bps()
+        return self.coded_bits_per_packet() \
+            / (self.bits_per_packet / self.resolved_rate_bps())
+
     def make_source(self) -> TrafficSource:
-        """Build this node's traffic source."""
+        """Build this node's traffic source.
+
+        A coded node keeps the *generation* cadence of its source stream
+        (one packet per ``bits_per_packet`` source bits) but each packet
+        carries the coded payload — the bit-reduction factor the kernel's
+        service/energy tables fold in.
+        """
         rate = self.resolved_rate_bps()
+        if self.coding is not None:
+            coded_bits = self.coded_bits_per_packet()
+            if self.traffic == "periodic":
+                return PeriodicSource(
+                    period_seconds=self.bits_per_packet / rate,
+                    bits_per_packet=coded_bits,
+                )
+            return PoissonSource(
+                mean_interarrival_seconds=self.bits_per_packet / rate,
+                mean_bits_per_packet=coded_bits,
+            )
         if self.traffic == "periodic":
             return PeriodicSource.from_rate(rate,
                                             bits_per_packet=self.bits_per_packet)
@@ -418,6 +487,13 @@ class ScenarioResult:
             row["attempts_per_pkt"] = round(sim.attempts_per_delivered, 4)
             row["retx_energy_uj"] = round(
                 sim.retransmission_energy_joules * 1e6, 3)
+        if sim.coding_enabled:
+            # Coding columns only appear for coded scenarios, keeping the
+            # historical gallery rows byte-identical (same pattern as the
+            # reliability columns above).
+            row["bit_reduction"] = round(sim.bit_reduction_factor, 4)
+            row["encode_energy_fraction"] = round(
+                sim.encode_energy_fraction, 4)
         return row
 
 
@@ -506,6 +582,11 @@ class ScenarioSpec:
         """Whether any leaf carries a battery or a harvester."""
         return any(node.battery is not None or node.harvester is not None
                    for node in self.nodes)
+
+    @property
+    def has_coding(self) -> bool:
+        """Whether any leaf runs a source coder."""
+        return any(node.coding is not None for node in self.nodes)
 
     def node_posture_timeline(self, concrete: str,
                               node: "ScenarioNodeSpec"
@@ -669,6 +750,8 @@ class ScenarioSpec:
                                if node.harvester is not None else None),
                     initial_charge_fraction=node.initial_charge_fraction,
                     low_battery_fraction=node.low_battery_fraction,
+                    coding_power_watts=node.coding_power_watts(),
+                    coding_rate=node.effective_coding_rate(),
                 ))
                 if link_reliability is not None:
                     link_reliability.set_error_rate(

@@ -1,0 +1,111 @@
+"""Tests for the rate-adaptive source-coding model (repro.coding)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coding import (
+    COMPRESSIBILITY,
+    DEFAULT_COMPRESSIBILITY,
+    CodingSpec,
+    ModalityCompressibility,
+    compressibility_for,
+)
+from repro.errors import ConfigurationError
+from repro.sensors.catalog import SensorModality
+
+
+class TestCompressibility:
+    def test_paper_modalities_have_entries(self):
+        for modality in (SensorModality.IMU, SensorModality.ECG,
+                         SensorModality.TEMPERATURE, SensorModality.PPG):
+            entry = COMPRESSIBILITY[modality]
+            assert 0.0 < entry.distortion_floor <= entry.lossless_floor <= 1.0
+
+    def test_unknown_and_none_fall_back_to_default(self):
+        assert compressibility_for(None) is DEFAULT_COMPRESSIBILITY
+
+    def test_correlation_lowers_the_floor(self):
+        entry = COMPRESSIBILITY[SensorModality.ECG]
+        assert entry.floor(0.8) < entry.floor(0.2) < entry.floor(0.0)
+        assert entry.floor(0.0) == entry.lossless_floor
+
+    def test_floor_never_crosses_the_distortion_bound(self):
+        for entry in COMPRESSIBILITY.values():
+            assert entry.floor(1.0) >= entry.distortion_floor
+
+    def test_invalid_floors_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModalityCompressibility(lossless_floor=0.3,
+                                    distortion_floor=0.5,
+                                    correlation_gain=0.5)
+        with pytest.raises(ConfigurationError):
+            ModalityCompressibility(lossless_floor=0.5,
+                                    distortion_floor=0.2,
+                                    correlation_gain=1.5)
+
+
+class TestCodingSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CodingSpec(rate=0.0)
+        with pytest.raises(ConfigurationError):
+            CodingSpec(rate=1.2)
+        with pytest.raises(ConfigurationError):
+            CodingSpec(rate=0.5, correlation=1.0)
+        with pytest.raises(ConfigurationError):
+            CodingSpec(rate=0.5, energy_per_source_bit_joules=-1.0)
+        with pytest.raises(ConfigurationError):
+            CodingSpec(rate=0.5, effort_exponent=-0.1)
+
+    def test_rate_clamps_at_the_floor(self):
+        spec = CodingSpec(rate=0.05)
+        floor = spec.floor(SensorModality.ECG)
+        assert spec.effective_rate(SensorModality.ECG) == floor
+        assert spec.coded_bits(4096.0, SensorModality.ECG) \
+            == pytest.approx(4096.0 * floor)
+
+    def test_passthrough_rate_is_exact(self):
+        spec = CodingSpec(rate=1.0)
+        assert spec.effective_rate(SensorModality.IMU) == 1.0
+        bits = 4096.0
+        assert spec.coded_bits(bits, SensorModality.IMU) == bits
+        assert spec.compression_depth(SensorModality.IMU) == 0.0
+
+    def test_encode_energy_grows_with_depth(self):
+        energies = [
+            CodingSpec(rate=rate).encode_energy_per_source_bit_joules(
+                SensorModality.ECG)
+            for rate in (1.0, 0.8, 0.6, 0.5)]
+        assert energies == sorted(energies)
+        assert energies[-1] > energies[0]
+
+    def test_zero_depth_energy_is_the_base_scale(self):
+        spec = CodingSpec(rate=1.0, energy_per_source_bit_joules=7e-12)
+        assert spec.encode_energy_per_source_bit_joules(
+            SensorModality.ECG) == 7e-12
+
+    def test_correlation_makes_a_given_rate_cheaper(self):
+        lonely = CodingSpec(rate=0.6, correlation=0.0)
+        helped = CodingSpec(rate=0.6, correlation=0.8)
+        assert helped.encode_energy_per_source_bit_joules(
+            SensorModality.ECG) \
+            < lonely.encode_energy_per_source_bit_joules(SensorModality.ECG)
+
+    def test_correlation_unlocks_lower_rates(self):
+        lonely = CodingSpec(rate=0.01, correlation=0.0)
+        helped = CodingSpec(rate=0.01, correlation=0.9)
+        assert helped.effective_rate(SensorModality.ECG) \
+            < lonely.effective_rate(SensorModality.ECG)
+
+    def test_encode_power_scales_with_source_rate(self):
+        spec = CodingSpec(rate=0.7)
+        one = spec.encode_power_watts(1000.0, SensorModality.IMU)
+        two = spec.encode_power_watts(2000.0, SensorModality.IMU)
+        assert two == pytest.approx(2.0 * one)
+
+    def test_depth_is_bounded(self):
+        for rate in (1.0, 0.7, 0.4, 0.01):
+            spec = CodingSpec(rate=rate, correlation=0.5)
+            depth = spec.compression_depth(SensorModality.PPG)
+            assert 0.0 <= depth <= 1.0
