@@ -154,6 +154,11 @@ def build_parser() -> argparse.ArgumentParser:
                               help="override the harvesting environment "
                                    "(one of "
                                    f"{', '.join(sorted(ENVIRONMENTS))})")
+    scenario_run.add_argument("--fast-path", choices=("exact", "hybrid"),
+                              default=None, dest="fast_path",
+                              help="simulation kernel: exact event loop "
+                                   "(default) or hybrid macro-tick fast path "
+                                   "that leaps over steady-state segments")
     scenario_run.add_argument("--out", default=str(DEFAULT_OUT_DIR),
                               metavar="DIR",
                               help="artifact directory (default 'artifacts'); "
@@ -166,11 +171,13 @@ def build_parser() -> argparse.ArgumentParser:
         "run", help="sample and execute a cohort with streaming aggregation")
     cohort_run.add_argument("--population", type=int, default=1000,
                             metavar="N", help="cohort size (default 1000)")
-    cohort_run.add_argument("--fast-path", choices=("analytic", "des"),
+    cohort_run.add_argument("--fast-path",
+                            choices=("analytic", "des", "hybrid"),
                             default="analytic", dest="fast_path",
                             help="per-member execution: vectorized "
-                                 "steady-state approximation (default) or "
-                                 "full discrete-event simulation")
+                                 "steady-state approximation (default), "
+                                 "full discrete-event simulation, or the "
+                                 "hybrid macro-tick DES kernel")
     cohort_run.add_argument("--shards", type=int, default=None, metavar="K",
                             help="member shards (default: one per worker)")
     cohort_run.add_argument("--parallel", type=int, default=1, metavar="N",
@@ -358,7 +365,8 @@ def _command_scenarios_list(out) -> int:
 def _command_scenarios_run(scenario: str, out, duration: float | None,
                            scale: float, seed: int,
                            out_dir: Path | None,
-                           environment: str | None = None) -> int:
+                           environment: str | None = None,
+                           fast_path: str | None = None) -> int:
     if scale <= 0:
         raise ReproError("--scale must be positive")
     names = scenario_names() if scenario == "all" else [scenario]
@@ -369,7 +377,8 @@ def _command_scenarios_run(scenario: str, out, duration: float | None,
             spec = dataclasses.replace(spec, environment=environment)
         resolved = (duration if duration is not None
                     else spec.duration_seconds * scale)
-        result = spec.run(seed=seed, duration_seconds=resolved)
+        result = spec.run(seed=seed, duration_seconds=resolved,
+                          fast_path=fast_path)
         row = result.row()
         rows.append(row)
         if out_dir is not None:
@@ -377,6 +386,8 @@ def _command_scenarios_run(scenario: str, out, duration: float | None,
                       "duration_seconds": resolved}
             if environment is not None:
                 kwargs["environment"] = environment
+            if fast_path is not None:
+                kwargs["fast_path"] = fast_path
             digest = digest_key(f"scenario:{name}", kwargs)
             write_artifact(
                 out_dir / f"scenario-{name}-{digest}.json",
@@ -569,7 +580,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
                 return _command_scenarios_run(
                     arguments.scenario, out, arguments.duration,
                     arguments.scale, arguments.seed,
-                    _out_dir(arguments.out), arguments.environment)
+                    _out_dir(arguments.out), arguments.environment,
+                    arguments.fast_path)
             print("usage: repro scenarios {list,run}", file=out)
             return 1
         if arguments.command == "cohort":

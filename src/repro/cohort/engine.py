@@ -36,8 +36,11 @@ from .analytic import evaluate_members
 from .codec import DEFAULT_COMPRESSION, ShardFrame, encode_shard
 from .spec import CohortMember, CohortSpec
 
-#: Recognised execution paths.
-FAST_PATHS = ("analytic", "des")
+#: Recognised execution paths.  ``"hybrid"`` runs every member on the
+#: DES with the macro-tick steady-state fast path enabled (see
+#: :mod:`repro.netsim.macrotick`) — exact event replay with closed-form
+#: leaps over stationary segments.
+FAST_PATHS = ("analytic", "des", "hybrid")
 
 #: Default sampling stride of the analytic path's DES cross-check; one
 #: validated member per ``VALIDATE_STRIDE`` keeps the overhead marginal.
@@ -56,10 +59,15 @@ def shard_bounds(population: int, shard_count: int,
     return start, stop
 
 
-def _simulate_member(member: CohortMember):
-    """Run one member on the DES; returns (metrics, packet accumulator)."""
+def _simulate_member(member: CohortMember, fast_path: str | None = None):
+    """Run one member on the DES; returns (metrics, packet accumulator).
+
+    ``fast_path="hybrid"`` enables the macro-tick engine for the run;
+    ``None`` keeps the bit-exact kernel.
+    """
     simulator = member.scenario.build(seed=member.seed)
-    result = simulator.run(member.scenario.duration_seconds)
+    result = simulator.run(member.scenario.duration_seconds,
+                           fast_path=fast_path)
     metrics = MemberMetrics.from_simulation(member.index, member.scenario,
                                             result)
     return metrics, simulator.bus.stats.latency
@@ -74,9 +82,10 @@ def _run_shard(spec: CohortSpec, shard_index: int, shard_count: int,
     accumulator = CohortAccumulator(keep_members=keep_members)
     validations: list[ValidationRecord] = []
 
-    if fast_path == "des":
+    if fast_path in ("des", "hybrid"):
+        member_path = "hybrid" if fast_path == "hybrid" else None
         for member in spec.members(start, stop):
-            metrics, packets = _simulate_member(member)
+            metrics, packets = _simulate_member(member, member_path)
             accumulator.add(metrics)
             accumulator.packet_latency.merge(packets)
     else:
@@ -87,7 +96,11 @@ def _run_shard(spec: CohortSpec, shard_index: int, shard_count: int,
         for member, metrics in zip(members, analytic):
             accumulator.add(metrics)
             if validate_stride > 0 and member.index % validate_stride == 0:
-                des_metrics, _ = _simulate_member(member)
+                # The sampled cross-check runs on the hybrid DES: leaps
+                # keep the validation affordable at population scale and
+                # the hybrid path is itself envelope-validated against
+                # the exact kernel.
+                des_metrics, _ = _simulate_member(member, "hybrid")
                 validations.append(ValidationRecord(
                     index=member.index,
                     scenario=member.scenario.name,

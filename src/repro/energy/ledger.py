@@ -151,6 +151,63 @@ class EnergyLedger:
             note=note,
         )
 
+    def post_interval(self, component: str, energy_joules: float,
+                      start_seconds: float, end_seconds: float,
+                      note: str = "") -> None:
+        """Record energy consumed uniformly over ``[start, end)``.
+
+        The macro-tick fast path posts one entry per component per leap
+        segment; the power trace must nevertheless read as if the energy
+        had been posted packet-by-packet, so the amount is spread over
+        the trace buckets in proportion to how much of the interval each
+        bucket covers.  Bucket edges are half-open on the right: an
+        interval ending exactly on an edge deposits nothing into the
+        bucket that starts there.  Energy past the covered window
+        accumulates into the final bucket (the same clamp point posts
+        use), and a zero-length interval degenerates to a point post.
+        """
+        if energy_joules < 0:
+            raise EnergyError(f"cannot post negative energy: {energy_joules}")
+        if end_seconds < start_seconds:
+            raise EnergyError(
+                f"interval end {end_seconds} precedes start {start_seconds}")
+        duration = end_seconds - start_seconds
+        if self.entries is not None:
+            self.entries.append(LedgerEntry(
+                component=component,
+                energy_joules=energy_joules,
+                duration_seconds=duration,
+                timestamp_seconds=start_seconds,
+                note=note,
+            ))
+        self._totals[component] = (self._totals.get(component, 0.0)
+                                   + energy_joules)
+        self._grand_total += energy_joules
+        self._posted_count += 1
+        width = self.trace_bucket_seconds
+        last = self.trace_buckets - 1
+        if duration <= 0.0:
+            bucket = min(int(start_seconds / width), last)
+            self._trace[max(bucket, 0)] += energy_joules
+            return
+        trace = self._trace
+        density = energy_joules / duration
+        first = max(min(int(start_seconds / width), last), 0)
+        cursor = start_seconds
+        bucket = first
+        while bucket < last:
+            edge = (bucket + 1) * width
+            if end_seconds <= edge:
+                break
+            trace[bucket] += density * (edge - cursor)
+            cursor = edge
+            bucket += 1
+        # Remainder: everything from the cursor to the interval end.  An
+        # end landing exactly on this bucket's right edge stays here —
+        # the half-open convention — and anything beyond the trace
+        # window has already been clamped into the final bucket.
+        trace[bucket] += density * (end_seconds - cursor)
+
     # -- queries -----------------------------------------------------------
 
     @property

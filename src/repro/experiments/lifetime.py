@@ -119,7 +119,8 @@ class LifetimeResult:
 def _simulate_lifetime(data_rate_bps: float, sensing_power_watts: float,
                        battery_spec, harvest_watts: float,
                        duration_seconds: float, seed: int,
-                       bits_per_packet: float):
+                       bits_per_packet: float,
+                       fast_path: str | None = None):
     """One battery-constrained node run to (possible) brownout."""
     simulator = BodyNetworkSimulator(
         wir_commercial(), rng=seed,
@@ -136,14 +137,15 @@ def _simulate_lifetime(data_rate_bps: float, sensing_power_watts: float,
         harvester=(rf_ambient(peak_power_watts=harvest_watts)
                    if harvest_watts > 0.0 else None),
     ))
-    return simulator.run(duration_seconds)
+    return simulator.run(duration_seconds, fast_path=fast_path)
 
 
 def run(target_life_seconds: float = 240.0,
         harvest_levels_watts: tuple[float, ...] | None = None,
         bits_per_packet: float = 4096.0,
         seed: int = 0,
-        tolerance: float = DEFAULT_TOLERANCE) -> LifetimeResult:
+        tolerance: float = DEFAULT_TOLERANCE,
+        fast_path: str | None = None) -> LifetimeResult:
     """Validate the closed-form lifetime numbers against the DES.
 
     Every Fig. 3 device class (up to the audio node) runs to brownout on
@@ -180,7 +182,8 @@ def run(target_life_seconds: float = 240.0,
                         else target_life_seconds)
             result = _simulate_lifetime(
                 placement.data_rate_bps, placement.sensing_power_watts,
-                scaled_cell, harvest, duration, seed, bits_per_packet)
+                scaled_cell, harvest, duration, seed, bits_per_packet,
+                fast_path)
             points.append(LifetimePoint(
                 device_class=placement.name,
                 data_rate_bps=placement.data_rate_bps,

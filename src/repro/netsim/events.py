@@ -265,6 +265,19 @@ class EventQueue:
             return None
         return head.time, head.sequence
 
+    def peek_time(self) -> float | None:
+        """Time of the next live event, or ``None`` when the queue is empty.
+
+        The macro-tick segment detector uses this as the control-stream
+        horizon: no scheduled callback (scenario event, energy tick) can
+        fire strictly before this instant, so a closed-form leap that
+        ends at or before it cannot skip over control work.
+        """
+        head = self._peek()
+        if head is None:
+            return None
+        return head.time
+
     def pop_next(self) -> Event | None:
         """Remove and return the next live event without firing it.
 

@@ -635,8 +635,15 @@ class BodyNetworkSimulator:
             if next_time <= end_time:
                 self.queue.schedule_at(next_time, update)
 
-        if interval <= end_time:
-            self.queue.schedule_at(interval, update)
+        # Anchor the first tick one interval past the *current* clock,
+        # not at the absolute ``interval``: the hybrid driver re-enters
+        # the kernel at arbitrary times, where an absolute first tick
+        # would be in the past.  At a cold start ``now`` is 0.0 and
+        # ``0.0 + interval == interval`` exactly, so the exact path's
+        # tick schedule is bit-identical.
+        first = self.queue.now + interval
+        if first <= end_time:
+            self.queue.schedule_at(first, update)
 
     def _run_kernel(self, end_time: float) -> None:
         """Drain the simulation with the batched three-stream merge loop.
@@ -879,6 +886,11 @@ class BodyNetworkSimulator:
         lat_pending = latency._pending
         lat_cap = latency.exact_capacity
         lat_flush = PENDING_FLUSH_THRESHOLD
+        # Samples already in the window are covered by the hoisted
+        # ``lat_min``/``lat_max`` (every add path maintains them), so
+        # min/max syncs only need to scan entries appended since the
+        # last sync — an index, not a copy.
+        lat_scan = len(lat_list) if lat_list is not None else 0
 
         sentinel = (inf_, inf_)
         # The in-flight transmission, as loop locals; a previous run may
@@ -932,7 +944,7 @@ class BodyNetworkSimulator:
 
         def _sync_shared(now: float) -> None:
             """Publish the hoisted state before foreign code runs."""
-            nonlocal lat_min, lat_max
+            nonlocal lat_min, lat_max, lat_scan
             queue._now = now
             queue._seq = seq
             if slotted_fast:
@@ -941,7 +953,11 @@ class BodyNetworkSimulator:
             stats.delivered_bits = delivered_bits_sum
             stats.busy_seconds = busy_s
             latency.count = cnt
-            buffered = lat_list if lat_list is not None else lat_pending
+            if lat_list is not None:
+                buffered = lat_list[lat_scan:] if lat_scan else lat_list
+                lat_scan = len(lat_list)
+            else:
+                buffered = lat_pending
             if buffered:
                 low = min(buffered)
                 if low < lat_min:
@@ -956,7 +972,7 @@ class BodyNetworkSimulator:
         def _reload_shared() -> None:
             """Re-hoist after foreign code may have moved shared state."""
             nonlocal seq, delivered_cnt, delivered_bits_sum, busy_s
-            nonlocal cnt, lat_min, lat_max, lat_list, lat_pending
+            nonlocal cnt, lat_min, lat_max, lat_list, lat_pending, lat_scan
             nonlocal ctrl_key, chain_key, chain_kind, chain_packet
             nonlocal chain_service, slot_pending
             seq = queue._seq
@@ -971,6 +987,9 @@ class BodyNetworkSimulator:
             lat_max = latency._max
             lat_list = latency._samples
             lat_pending = latency._pending
+            # Foreign adds maintain the accumulator's min/max, so the
+            # re-hoisted window is fully covered again.
+            lat_scan = len(lat_list) if lat_list is not None else 0
             _reload_nodes()
             ctrl_key = queue.peek_key() or sentinel
             foreign = bus._chain
@@ -1590,7 +1609,10 @@ class BodyNetworkSimulator:
         stats.delivered_bits = delivered_bits_sum
         stats.busy_seconds = busy_s
         latency.count = cnt
-        buffered = lat_list if lat_list is not None else lat_pending
+        if lat_list is not None:
+            buffered = lat_list[lat_scan:] if lat_scan else lat_list
+        else:
+            buffered = lat_pending
         if buffered:
             low = min(buffered)
             if low < lat_min:
@@ -1636,14 +1658,91 @@ class BodyNetworkSimulator:
         queue._seq = seq
         queue._now = end_time
 
-    def run(self, duration_seconds: float) -> SimulationResult:
-        """Run the network for *duration_seconds* of simulated time."""
+    def _run_hybrid(self, end_time: float) -> None:
+        """Alternate exact kernel chunks with closed-form macro-tick leaps.
+
+        Builds a :class:`~repro.netsim.macrotick.MacroTickEngine` and, at
+        every point where the bus is quiescent, asks it to leap toward
+        the next control event (``EventQueue.peek_time``) or the run end,
+        whichever is nearer.  When the engine refuses — transient queue
+        state, non-stationary PER, a battery approaching a threshold —
+        the exact kernel runs a short settle chunk and the detector tries
+        again.  A statically ineligible workload (Poisson sources, user
+        callbacks) degenerates to a single exact kernel call, which is
+        bit-identical to ``fast_path`` off.
+        """
+        from .macrotick import MacroTickEngine
+
+        engine = MacroTickEngine(self)
+        queue = self.queue
+        if not engine.eligible:
+            self._run_kernel(end_time)
+            return
+        while queue._now < end_time:
+            now = queue._now
+            if end_time - now < engine.min_leap_seconds:
+                # No leap fits in what remains; one exact call to the
+                # end (bit-identical to the pure kernel from here on).
+                self._run_kernel(end_time)
+                break
+            ctrl = queue.peek_time()
+            horizon = end_time if ctrl is None or ctrl > end_time else ctrl
+            if horizon - now >= engine.min_leap_seconds:
+                leap_end = engine.try_leap(now, horizon)
+                if leap_end is not None:
+                    # Same direct clock advance the kernel performs at
+                    # exit; all per-node state was re-synced in the leap.
+                    queue._now = leap_end
+                    continue
+                if engine.exact_until is not None:
+                    # Battery endgame: one exact chunk straight through
+                    # the projected threshold crossing, after which the
+                    # node is dead (or re-strided) and leaps resume.
+                    self._run_kernel(
+                        min(end_time, max(engine.exact_until,
+                                          now + engine.settle_seconds)))
+                    continue
+                # A refusal caused only by an in-flight transfer left
+                # over from the previous chunk needs just a short
+                # flush, not a full settle chunk.
+                chunk = (engine.flush_seconds if engine.transient_blocked()
+                         else engine.settle_seconds)
+                self._run_kernel(min(end_time, now + chunk))
+                continue
+            # The next control event is too close for a leap: run the
+            # exact kernel straight through it and re-evaluate beyond.
+            self._run_kernel(
+                min(end_time, max(horizon, now + engine.settle_seconds)))
+
+    def run(self, duration_seconds: float,
+            fast_path: str | None = None) -> SimulationResult:
+        """Run the network for *duration_seconds* of simulated time.
+
+        Parameters
+        ----------
+        duration_seconds:
+            Simulated time to cover.
+        fast_path:
+            ``None`` or ``"exact"`` replay every event through the
+            batched kernel (bit-identical, the default).  ``"hybrid"``
+            lets the macro-tick engine leap over steady-state segments
+            in closed form — results then agree with the exact kernel
+            only within the analytic envelope (see
+            :mod:`repro.netsim.macrotick`), not bit-for-bit.
+        """
         if duration_seconds <= 0 or not np.isfinite(duration_seconds):
             raise SimulationError("duration must be positive and finite")
         if not self.nodes:
             raise SimulationError("no nodes attached to the simulator")
+        if fast_path not in (None, "exact", "hybrid"):
+            raise SimulationError(
+                f"unknown fast_path {fast_path!r}; "
+                "expected None, 'exact' or 'hybrid'")
 
-        self._run_kernel(duration_seconds)
+        if fast_path == "hybrid":
+            self._run_hybrid(duration_seconds)
+        else:
+            self._run_kernel(duration_seconds)
 
         per_node_power: dict[str, float] = {}
         per_node_goodput: dict[str, float] = {}

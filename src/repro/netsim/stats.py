@@ -116,6 +116,68 @@ class LatencyAccumulator:
         if len(self._pending) >= PENDING_FLUSH_THRESHOLD:
             self._flush_pending()
 
+    def add_batch(self, values, counts) -> None:
+        """Record ``values[i]`` repeated ``counts[i]`` times, in order.
+
+        Rank queries afterwards return what the equivalent loop of
+        :meth:`add` calls would have produced: the exact window fills —
+        and spills at the same sample index, with the same observed
+        extrema — before any remaining weight folds into the streaming
+        backend with weighted inserts (``QuantileSketch.add_repeated``,
+        or one vectorised histogram update), costing O(distinct values)
+        instead of O(total weight).  The macro-tick fast path ingests a
+        whole steady-state segment's latencies this way.
+        """
+        if len(values) != len(counts):
+            raise SimulationError(
+                "add_batch needs equally many values and counts")
+        for value, count in zip(values, counts):
+            if value < 0:
+                raise SimulationError(
+                    f"latency must be non-negative: {value}")
+            if count < 0:
+                raise SimulationError(
+                    f"count must be non-negative: {count}")
+        spilled: list[tuple[float, int]] = []
+        for value, count in zip(values, counts):
+            count = int(count)
+            if count == 0:
+                continue
+            value = float(value)
+            self.count += count
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            if self._samples is not None:
+                # Mirror add()'s trigger: the window spills on the
+                # sample that pushes it past capacity, seeing exactly
+                # the extrema observed up to that point.
+                space = self.exact_capacity + 1 - len(self._samples)
+                if count < space:
+                    self._samples.extend([value] * count)
+                    continue
+                self._samples.extend([value] * space)
+                self._spill()
+                count -= space
+                if count == 0:
+                    continue
+            spilled.append((value, count))
+        if not spilled:
+            return
+        self._flush_pending()
+        for value, count in spilled:
+            self._total += value * count
+        if self._sketch is not None:
+            for value, count in spilled:
+                self._sketch.add_repeated(value, count)
+        else:
+            indices = np.searchsorted(
+                self._edges, [value for value, _ in spilled], side="right")
+            np.add.at(self._counts, indices,
+                      np.asarray([count for _, count in spilled],
+                                 dtype=np.int64))
+
     def _flush_pending(self) -> None:
         """Fold buffered post-spill samples into the backend.
 

@@ -199,3 +199,58 @@ class TestMergeExact:
         assert ledger.total_energy() == 0.0
         assert ledger.posted_count == 0
         assert float(ledger.trace_energy_joules().sum()) == 0.0
+
+
+class TestPostInterval:
+    def test_spreads_uniformly_across_buckets(self):
+        ledger = EnergyLedger(trace_bucket_seconds=10.0, trace_buckets=4)
+        ledger.post_interval("x", 6.0, 5.0, 35.0)
+        # 30 s at 0.2 J/s: 5 s in bucket 0, 10 s in 1 and 2, 5 s in 3.
+        assert ledger.trace_energy_joules().tolist() == \
+            pytest.approx([1.0, 2.0, 2.0, 1.0])
+        assert ledger.total_energy("x") == pytest.approx(6.0)
+
+    def test_end_on_bucket_edge_does_not_smear(self):
+        """An interval ending exactly on a bucket edge must leave the
+        bucket that starts there untouched (half-open convention)."""
+        ledger = EnergyLedger(trace_bucket_seconds=10.0, trace_buckets=4)
+        ledger.post_interval("x", 4.0, 0.0, 20.0)
+        assert ledger.trace_energy_joules().tolist() == \
+            pytest.approx([2.0, 2.0, 0.0, 0.0])
+
+    def test_overflow_clamps_to_last_bucket(self):
+        ledger = EnergyLedger(trace_bucket_seconds=1.0, trace_buckets=2)
+        ledger.post_interval("x", 9.0, 0.5, 3.5)
+        trace = ledger.trace_energy_joules()
+        assert trace.tolist() == pytest.approx([1.5, 7.5])
+
+    def test_zero_length_degenerates_to_point_post(self):
+        ledger = EnergyLedger(trace_bucket_seconds=10.0, trace_buckets=4)
+        ledger.post_interval("x", 3.0, 15.0, 15.0)
+        assert ledger.trace_energy_joules().tolist() == [0.0, 3.0, 0.0, 0.0]
+
+    def test_exact_mode_retains_interval_entry(self):
+        ledger = EnergyLedger(keep_entries=True)
+        ledger.post_interval("x", 2.0, 1.0, 5.0, note="leap")
+        (entry,) = ledger.entries
+        assert entry.energy_joules == 2.0
+        assert entry.timestamp_seconds == 1.0
+        assert entry.duration_seconds == 4.0
+        assert entry.note == "leap"
+
+    def test_invalid_intervals_rejected(self):
+        ledger = EnergyLedger()
+        with pytest.raises(EnergyError):
+            ledger.post_interval("x", -1.0, 0.0, 1.0)
+        with pytest.raises(EnergyError):
+            ledger.post_interval("x", 1.0, 2.0, 1.0)
+
+    @given(st.floats(min_value=0.0, max_value=100.0),
+           st.floats(min_value=0.0, max_value=200.0),
+           st.floats(min_value=0.0, max_value=50.0))
+    def test_trace_conserves_posted_energy(self, start, span, energy):
+        ledger = EnergyLedger(trace_bucket_seconds=7.0, trace_buckets=6)
+        ledger.post_interval("x", energy, start, start + span)
+        assert float(ledger.trace_energy_joules().sum()) == \
+            pytest.approx(energy)
+        assert ledger.total_energy() == pytest.approx(energy)

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import SimulationError
 from repro.netsim.stats import LatencyAccumulator
@@ -430,3 +432,71 @@ class TestStateRoundTrip:
         restored.add(2.0)
         assert restored.count == 51
         assert restored.max_seconds == 2.0
+
+
+class TestAddBatch:
+    """add_batch(values, counts) must equal the equivalent add() loop."""
+
+    @staticmethod
+    def loop_reference(pairs, capacity, backend):
+        reference = LatencyAccumulator(exact_capacity=capacity,
+                                       backend=backend)
+        for value, count in pairs:
+            for _ in range(count):
+                reference.add(value)
+        return reference
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(
+        st.tuples(st.floats(min_value=1e-6, max_value=10.0,
+                            allow_nan=False, allow_infinity=False),
+                  st.integers(min_value=1, max_value=40)),
+        min_size=1, max_size=30),
+        st.sampled_from(["sketch", "histogram"]))
+    def test_batch_matches_loop(self, pairs, backend):
+        # Capacity 16 exercises all three regimes in one strategy:
+        # staying exact, spilling mid-batch, and all-streaming.
+        batched = LatencyAccumulator(exact_capacity=16, backend=backend)
+        batched.add_batch([value for value, _ in pairs],
+                          [count for _, count in pairs])
+        reference = self.loop_reference(pairs, 16, backend)
+        assert batched.count == reference.count
+        assert batched.min_seconds == reference.min_seconds
+        assert batched.max_seconds == reference.max_seconds
+        assert batched.mean == pytest.approx(reference.mean)
+        assert batched.is_exact == reference.is_exact
+        if backend == "histogram" or batched.is_exact:
+            # Deterministic binning (and the exact window) admit strict
+            # equality with the per-sample loop.
+            for percentile in (10.0, 50.0, 90.0, 99.0):
+                assert batched.percentile(percentile) == \
+                    reference.percentile(percentile)
+            return
+        # The KLL sketch compacts on different schedules for weighted
+        # and per-sample inserts, so the invariant is its documented
+        # rank bound against the true distribution, not bit equality.
+        samples = np.sort(np.repeat([value for value, _ in pairs],
+                                    [count for _, count in pairs]))
+        epsilon = batched._sketch.rank_error_bound + 1.0 / len(samples)
+        for percentile in (10.0, 50.0, 90.0, 99.0):
+            value = batched.percentile(percentile)
+            below = np.searchsorted(samples, value, side="left")
+            above = np.searchsorted(samples, value, side="right")
+            target = percentile / 100.0
+            assert below / len(samples) - epsilon <= target
+            assert above / len(samples) + epsilon >= target
+
+    def test_empty_batch_is_a_no_op(self):
+        accumulator = LatencyAccumulator()
+        accumulator.add_batch([], [])
+        assert accumulator.count == 0
+
+    def test_mismatched_lengths_rejected(self):
+        accumulator = LatencyAccumulator()
+        with pytest.raises(SimulationError):
+            accumulator.add_batch([0.1, 0.2], [1])
+
+    def test_negative_values_rejected(self):
+        accumulator = LatencyAccumulator()
+        with pytest.raises(SimulationError):
+            accumulator.add_batch([-0.1], [1])

@@ -1,0 +1,70 @@
+"""The per-spec compile cache (service times, TDMA slot tables).
+
+``ScenarioSpec`` is frozen and fully hashable, so it keys a process-wide
+cache of derived tables: per-node bus service times and, for TDMA
+bodies, the slot ring.  A sweep runner that builds the same spec
+thousands of times (one member per cohort draw, one point per grid
+cell) then skips the re-derivation — and a warm build must behave
+bit-identically to a cold one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.scenarios import get_scenario
+from repro.scenarios.spec import _COMPILE_CACHE, _COMPILE_CACHE_LIMIT
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    _COMPILE_CACHE.clear()
+    yield
+    _COMPILE_CACHE.clear()
+
+
+class TestCompileCache:
+    def test_build_populates_cache_once(self):
+        spec = get_scenario("clinical_ward")
+        spec.build(seed=0)
+        assert len(_COMPILE_CACHE) == 1
+        spec.build(seed=1)
+        assert len(_COMPILE_CACHE) == 1
+
+    def test_warm_build_is_bit_identical(self):
+        spec = get_scenario("sleep_night")
+        cold = spec.build(seed=0).run(30.0)
+        assert spec in _COMPILE_CACHE
+        warm = spec.build(seed=0).run(30.0)
+        assert warm.to_dict() == cold.to_dict()
+
+    def test_tdma_slot_table_cached_and_identical(self):
+        spec = get_scenario("workout")  # TDMA arbitration
+        cold = spec.build(seed=0).run(30.0)
+        cached = _COMPILE_CACHE[spec]
+        assert "windows" in cached
+        warm = spec.build(seed=0).run(30.0)
+        assert warm.to_dict() == cold.to_dict()
+
+    def test_distinct_specs_get_distinct_entries(self):
+        get_scenario("clinical_ward").build(seed=0)
+        get_scenario("workout").build(seed=0)
+        assert len(_COMPILE_CACHE) == 2
+
+    def test_modified_spec_misses_the_cache(self):
+        spec = get_scenario("clinical_ward")
+        spec.build(seed=0)
+        shorter = dataclasses.replace(spec, duration_seconds=10.0)
+        shorter.build(seed=0)
+        assert len(_COMPILE_CACHE) == 2
+
+    def test_cache_clears_at_limit(self):
+        spec = get_scenario("clinical_ward")
+        for index in range(_COMPILE_CACHE_LIMIT):
+            _COMPILE_CACHE[dataclasses.replace(
+                spec, duration_seconds=1000.0 + index)] = {}
+        spec.build(seed=0)
+        assert len(_COMPILE_CACHE) == 1
+        assert spec in _COMPILE_CACHE
