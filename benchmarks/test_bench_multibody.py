@@ -1,0 +1,74 @@
+"""Multi-body environment benchmark: a packed gym hour.
+
+The shared-RF environment layer co-schedules N bodies by pre-scheduling
+interference swaps and then running each body's unmodified kernel once.
+Its cost contract is linearity: a room of N bodies must cost about N
+standalone runs — the epoch plumbing (geometry, schedule drain, swap
+closures) has to stay off the per-packet hot path.  This benchmark
+times a 10-body gym hour against one standalone body of the same
+scenario and gates the ratio.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import emit
+
+from repro.scenarios import BodyPlacement, EnvironmentSpec, get_scenario
+
+BODIES = 10
+SIMULATED_SECONDS = 3600.0
+
+#: The environment may cost at most this factor over N standalone
+#: bodies (swap scheduling + timing noise headroom on a linear bound).
+LINEARITY_SLACK = 2.0
+
+
+def run_gym_hour():
+    spec = get_scenario("barefoot_yoga")
+    started = time.perf_counter()
+    solo = spec.run(seed=0, duration_seconds=SIMULATED_SECONDS)
+    solo_seconds = time.perf_counter() - started
+
+    environment = EnvironmentSpec(
+        name="bench_gym",
+        description="10 yoga bodies sharing one floor for an hour",
+        bodies=(BodyPlacement(scenario="barefoot_yoga", count=BODIES,
+                              name="yogi"),),
+        spacing_metres=1.5,
+        duration_seconds=SIMULATED_SECONDS,
+    )
+    started = time.perf_counter()
+    crowded = environment.run(seed=0)
+    crowd_seconds = time.perf_counter() - started
+    return solo, crowded, solo_seconds, crowd_seconds
+
+
+def test_bench_multibody_gym_hour(benchmark):
+    solo, crowded, solo_seconds, crowd_seconds = benchmark.pedantic(
+        run_gym_hour, rounds=1, iterations=1)
+
+    emit("Multi-body gym — 10 bodies, 1 simulated hour",
+         [{"bodies": 1, "wall_s": round(solo_seconds, 3),
+           "delivered": solo.simulated.delivered_packets,
+           "erased": solo.simulated.erased_attempts},
+          {"bodies": BODIES, "wall_s": round(crowd_seconds, 3),
+           "delivered": crowded.simulated.delivered_packets,
+           "erased": sum(result.erased_attempts
+                         for result in crowded.simulated.body_results)}])
+
+    # Every body ran the full hour and delivered traffic.
+    assert len(crowded.simulated.body_results) == BODIES
+    for result in crowded.simulated.body_results:
+        assert result.duration_seconds == SIMULATED_SECONDS
+        assert result.delivered_packets > 0
+    # The shared room hurts: aggregate erasures exceed N isolated runs.
+    crowd_erasures = sum(result.erased_attempts
+                         for result in crowded.simulated.body_results)
+    assert crowd_erasures > BODIES * solo.simulated.erased_attempts
+    # Linearity gate: the environment costs ~N standalone bodies, not
+    # N^2 (per-packet interference evaluation would blow this bound).
+    assert crowd_seconds <= LINEARITY_SLACK * BODIES * solo_seconds, (
+        f"10-body hour took {crowd_seconds:.2f}s vs "
+        f"{solo_seconds:.2f}s solo")

@@ -17,6 +17,7 @@ and tables can be regenerated without writing any Python:
     repro scenarios run sleep_night         # compile + simulate one scenario
     repro scenarios run all --scale 0.1     # whole gallery, 10% duration
     repro scenarios run harvester_patch --environment outdoor_sun
+    repro scenarios run gym_floor           # multi-body shared-RF environment
     repro run lifetime                      # E15: DES brownout vs closed form
     repro cohort run --population 10000     # sampled population, streaming
     repro cohort summarize artifacts        # re-print cohort artifacts
@@ -63,7 +64,10 @@ from .runner.artifacts import (
 )
 from .scenarios import (
     ENVIRONMENTS,
+    all_environments,
     all_scenarios,
+    environment_names,
+    get_environment,
     get_scenario,
     scenario_names,
 )
@@ -131,14 +135,18 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios_parser = subparsers.add_parser(
         "scenarios", help="list or run named body-network scenarios")
     scenarios_sub = scenarios_parser.add_subparsers(dest="scenarios_command")
-    scenarios_sub.add_parser("list", help="list the registered scenarios")
+    scenarios_sub.add_parser(
+        "list", help="list the registered scenarios and multi-body "
+                     "environments with their capability tags")
     scenario_run = scenarios_sub.add_parser(
-        "run", help="compile and simulate one scenario (or 'all')")
+        "run", help="compile and simulate one scenario, one multi-body "
+                    "environment, or 'all' single-body scenarios")
     scenario_run.add_argument("scenario",
-                              choices=scenario_names() + ["all"],
+                              choices=(scenario_names()
+                                       + environment_names() + ["all"]),
                               metavar="scenario",
-                              help="scenario name (see 'scenarios list') "
-                                   "or 'all'")
+                              help="scenario or environment name (see "
+                                   "'scenarios list') or 'all'")
     scenario_run.add_argument("--duration", type=float, default=None,
                               metavar="SECONDS",
                               help="override the simulated duration")
@@ -357,7 +365,12 @@ def _command_report(artifact_dir: str, out, include_stale: bool = False) -> int:
 
 
 def _command_scenarios_list(out) -> int:
+    # One navigable gallery: single-body scenarios first, then the
+    # multi-body environments; both describe to the same columns, and
+    # the capability tags (lossy / coded / battery / multi-body) say
+    # which subsystems each entry exercises.
     rows = [spec.describe() for spec in all_scenarios()]
+    rows += [spec.describe() for spec in all_environments()]
     print(format_table(rows, title="registered scenarios"), file=out)
     return 0
 
@@ -372,6 +385,43 @@ def _command_scenarios_run(scenario: str, out, duration: float | None,
     names = scenario_names() if scenario == "all" else [scenario]
     rows: list[dict[str, object]] = []
     for name in names:
+        if name in environment_names():
+            if environment is not None:
+                raise ReproError(
+                    "--environment overrides a scenario's harvesting "
+                    "environment; multi-body environments configure "
+                    "their bodies themselves")
+            env_spec = get_environment(name)
+            resolved = (duration if duration is not None
+                        else env_spec.resolved_duration() * scale)
+            env_result = env_spec.run(seed=seed, duration_seconds=resolved,
+                                      fast_path=fast_path)
+            body_rows = env_result.rows()
+            rows.extend(body_rows)
+            if out_dir is not None:
+                kwargs = {"environment_spec": name, "seed": seed,
+                          "duration_seconds": resolved}
+                if fast_path is not None:
+                    kwargs["fast_path"] = fast_path
+                digest = digest_key(f"environment:{name}", kwargs)
+                write_artifact(
+                    out_dir / f"environment-{name}-{digest}.json",
+                    {
+                        "experiment": f"environment:{name}",
+                        "eid": "E18",
+                        "title": env_spec.description,
+                        "digest": digest,
+                        "params": kwargs,
+                        "kwargs": kwargs,
+                        "rows": body_rows,
+                        "summary": [
+                            f"bodies: {env_spec.body_count}",
+                            "mean delivered fraction: "
+                            f"{env_result.mean_delivered_fraction:.4f}",
+                        ],
+                    },
+                )
+            continue
         spec = get_scenario(name)
         if environment is not None:
             spec = dataclasses.replace(spec, environment=environment)

@@ -137,16 +137,32 @@ def active_fractions(spec: ScenarioSpec) -> dict[str, float]:
 
 
 def evaluate_members(specs: Sequence[ScenarioSpec],
-                     indices: Sequence[int] | None = None
-                     ) -> list[MemberMetrics]:
+                     indices: Sequence[int] | None = None,
+                     interference: Sequence[tuple[float, float] | None]
+                     | None = None) -> list[MemberMetrics]:
     """Steady-state metrics for a batch of member scenarios.
 
     *indices* labels the returned metrics (member indices within the
     cohort); it defaults to the batch positions.
+
+    *interference* is the multi-body correction: one
+    ``(rf_interference_dbm, eqs_interference_volts)`` pair per member —
+    the aggregate co-channel power and coupled voltage the member's
+    body receives from the rest of its room — or ``None`` for a member
+    alone in its room.  A member's reliability profile is then derived
+    through :meth:`~repro.scenarios.spec.ScenarioSpec.
+    reliability_profile_adjusted`, which feeds interference-raised
+    erasure rates into the same vectorised attempt/delivery columns
+    below; every other float is untouched.  ``interference=None`` (the
+    default, and any all-``None`` sequence) is exactly the standalone
+    evaluation — bit-identical, the cohort side of the one-body
+    neutrality contract.
     """
     indices = list(indices) if indices is not None else list(range(len(specs)))
     if len(indices) != len(specs):
         raise ScenarioError("indices must match the batch length")
+    if interference is not None and len(interference) != len(specs):
+        raise ScenarioError("interference must match the batch length")
     if not specs:
         return []
 
@@ -198,7 +214,15 @@ def evaluate_members(specs: Sequence[ScenarioSpec],
             poll_cost[position] = mac.cycle_time_seconds(1, 0.0)
         reliability_profile = None
         if spec.reliability is not None:
-            reliability_profile = spec.reliability_profile()
+            ambient = (interference[position]
+                       if interference is not None else None)
+            if ambient is None:
+                reliability_profile = spec.reliability_profile()
+            else:
+                rf_dbm, eqs_volts = ambient
+                reliability_profile = spec.reliability_profile_adjusted(
+                    rf_interference_dbm=rf_dbm,
+                    eqs_interference_volts=eqs_volts)
             arq = spec.reliability.arq_policy()
             if arq is not None:
                 # Every attempt occupies the medium for the hub's ack

@@ -159,6 +159,59 @@ def eqs_link_budget(channel: EQSChannelModel,
     )
 
 
+def power_sum_db(levels_db: list[float] | tuple[float, ...]) -> float:
+    """Sum incoherent contributions given in dB: ``10·log10(Σ 10^(x/10))``.
+
+    The multi-body interference primitive: independent transmitters add
+    in *power*, so the aggregate level is the dB of the linear sum.  An
+    empty (or all ``-inf``) contribution list is no power at all —
+    ``-inf`` dB — and adding any contributor can only raise the result,
+    which is what makes interference-adjusted noise floors monotone
+    non-decreasing in the number of co-located bodies.
+    """
+    total = 0.0
+    for level in levels_db:
+        if level == -math.inf:
+            continue
+        total += 10.0 ** (level / 10.0)
+    if total <= 0.0:
+        return -math.inf
+    return 10.0 * math.log10(total)
+
+
+def interference_adjusted_noise_floor_dbm(
+        noise_floor_dbm: float,
+        interference_dbm: float = -math.inf) -> float:
+    """Noise floor with an aggregate interference level folded in.
+
+    Power-sums the thermal/ambient floor with the co-channel
+    interference arriving from other bodies.  ``-inf`` interference
+    (an empty room) returns *noise_floor_dbm* exactly — no float is
+    touched, so a one-body environment keeps every golden-hex pin.
+    """
+    if interference_dbm == -math.inf:
+        return noise_floor_dbm
+    return power_sum_db([noise_floor_dbm, interference_dbm])
+
+
+def interference_adjusted_noise_volts(
+        noise_rms_volts: float,
+        interference_rms_volts: float = 0.0) -> float:
+    """Receiver-referred noise with a coupled interference voltage.
+
+    Independent noise voltages add root-sum-square.  Zero interference
+    returns *noise_rms_volts* exactly (the EQS side of the one-body
+    neutrality contract); any non-zero coupling strictly raises the
+    effective noise, preserving monotonicity through the BER waterfall.
+    """
+    if interference_rms_volts < 0.0:
+        raise LinkBudgetError("interference voltage must be non-negative")
+    if interference_rms_volts == 0.0:
+        return noise_rms_volts
+    return math.sqrt(noise_rms_volts * noise_rms_volts
+                     + interference_rms_volts * interference_rms_volts)
+
+
 def rf_link_budget(path_loss: RFPathLossModel,
                    tx_power_dbm: float,
                    noise_floor_dbm: float,

@@ -1,0 +1,123 @@
+"""The shipped controllers: static hold, PER backoff, SoC throttle.
+
+Each is a small FSM over the :class:`~repro.control.controller.
+Observation` stream; the runtime owns scheduling and actuation, so
+these classes are plain synchronous objects that are trivial to unit
+test in isolation.
+"""
+
+from __future__ import annotations
+
+from .controller import Action, Controller, ControllerSpec, Observation
+
+
+class StaticController:
+    """The exactly-neutral default: observe nothing, actuate nothing.
+
+    ``cadence_seconds`` is ``None``, so attaching this controller
+    schedules no events, claims no sequence numbers and perturbs no
+    float — an attached-but-static run is bit-identical to a run with
+    no controller at all (pinned by the golden-hex regression tests).
+    """
+
+    cadence_seconds: float | None = None
+
+    def __init__(self, spec: ControllerSpec | None = None) -> None:
+        self.spec = spec
+
+    def evaluate(self, observation: Observation) -> Action | None:
+        return None
+
+
+class PERBackoffController:
+    """Hysteresis loop from windowed PER to a tx-power offset.
+
+    Every cadence window: if the observed erasure fraction exceeds
+    ``per_threshold``, raise the node's transmit level by ``step_db``
+    (capped at ``max_offset_db``); once it falls below
+    ``per_recover_threshold``, step back down toward zero.  In between
+    — or whenever an offset is already applied — the current offset is
+    re-asserted, so a posture event that re-derived the erasure rate at
+    nominal power is corrected within one cadence.
+
+    A window that carried no traffic (no deliveries, no erasures) is
+    ignored: silence is not evidence the channel improved.
+    """
+
+    def __init__(self, spec: ControllerSpec) -> None:
+        self.spec = spec
+        self.cadence_seconds: float | None = spec.cadence_seconds
+
+    def evaluate(self, observation: Observation) -> Action | None:
+        if observation.kind == "low_battery":
+            # Keep the default duty-cycle throttle: backing off on PER
+            # must not cost a battery node its low-battery protection.
+            if observation.low_battery:
+                return Action(tx_stride=observation.low_battery_stride)
+            return None
+        if observation.kind != "cadence":
+            return None
+        spec = self.spec
+        offset = observation.tx_power_offset_db
+        attempts = observation.erased_attempts + observation.delivered_packets
+        if attempts > 0:
+            per = observation.packet_error_rate
+            if per > spec.per_threshold and offset < spec.max_offset_db:
+                return Action(tx_power_offset_db=min(
+                    offset + spec.step_db, spec.max_offset_db))
+            if per < spec.per_recover_threshold and offset > 0.0:
+                return Action(tx_power_offset_db=max(
+                    offset - spec.step_db, 0.0))
+        if offset > 0.0:
+            return Action(tx_power_offset_db=offset)  # re-assert
+        return None
+
+
+class SoCThrottleController:
+    """Duty-cycle throttle on the low-battery crossing.
+
+    Subsumes the historical hardcoded 1-in-``low_battery_stride``
+    throttle: on the first energy tick whose state of charge is below
+    the node's low-battery fraction, request the throttled stride.  The
+    default configuration (``throttle_stride=None`` → the node's own
+    ``low_battery_stride``) reproduces the legacy arithmetic and event
+    record bit-identically; a spec-level ``throttle_stride`` overrides
+    the per-node value.
+
+    ``cadence_seconds`` is ``None``: the controller is purely
+    crossing-triggered and schedules nothing, so arming it — including
+    the implicit default on every battery node — keeps lossless and
+    energy golden pins unchanged.
+    """
+
+    cadence_seconds: float | None = None
+
+    def __init__(self, spec: ControllerSpec | None = None) -> None:
+        self.spec = spec
+
+    def evaluate(self, observation: Observation) -> Action | None:
+        if observation.kind != "low_battery" or not observation.low_battery:
+            return None
+        stride = (self.spec.throttle_stride
+                  if self.spec is not None
+                  and self.spec.throttle_stride is not None
+                  else observation.low_battery_stride)
+        return Action(tx_stride=stride)
+
+
+#: Spec ``kind`` → controller class (the :meth:`ControllerSpec.build`
+#: dispatch table).
+CONTROLLER_KINDS: dict[str, type] = {
+    "static": StaticController,
+    "per_backoff": PERBackoffController,
+    "soc_throttle": SoCThrottleController,
+}
+
+
+def make_controller(spec: ControllerSpec | str | None) -> Controller:
+    """Build a controller from a spec, a bare kind name, or ``None``."""
+    if spec is None:
+        return StaticController()
+    if isinstance(spec, str):
+        spec = ControllerSpec(kind=spec)
+    return spec.build()

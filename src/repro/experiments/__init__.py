@@ -27,12 +27,14 @@ or paper id) instead of importing driver modules directly.
 | E15| Closed-loop lifetime (DES vs closed form)        | ``lifetime``              |
 | E16| Link margin vs delivery / retransmission energy  | ``reliability``           |
 | E17| Energy-optimal source-coding rate per device class| ``coding``               |
+| E18| Crowded-room occupancy sweep with per-node control| ``crowd``                |
 """
 
 from . import (
     charging_burden,
     coding,
     cohort_study,
+    crowd,
     implant_extension,
     claims,
     fig1_power_breakdown,
@@ -67,4 +69,5 @@ __all__ = [
     "lifetime",
     "reliability",
     "coding",
+    "crowd",
 ]

@@ -11,8 +11,8 @@ cycling).  Pass it to :meth:`BodyNetworkSimulator.attach`::
         units.kilobit(12.0), bits_per_packet=4096.0)))
 
 The historical keyword soup ``simulator.add_node(name, source, ...)``
-still works but is deprecated; it forwards here and warns once per
-process.  Keeping the record frozen means a config can be shared across
+went through its deprecation cycle and has been removed; ``attach`` is
+the only front door.  Keeping the record frozen means a config can be shared across
 simulators and sweep tasks without aliasing concerns, and gives node
 descriptions value semantics (hashable, comparable) for free.
 """

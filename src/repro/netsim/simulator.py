@@ -27,18 +27,18 @@ from __future__ import annotations
 
 import dataclasses
 import math
-import warnings
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import Callable, Mapping
 from heapq import heapify, heappop, heappush
 
 import numpy as np
 
 from ..errors import SimulationError
 from ..comm.link import CommTechnology
-from ..energy.battery import BatterySpec
-from ..energy.harvester import EnergyHarvester, HarvestingEnvironment
+from ..control import (Controller, ControllerRuntime, Observation,
+                       SoCThrottleController, make_controller)
+from ..energy.harvester import HarvestingEnvironment
 from ..energy.ledger import EnergyLedger
 from ..energy.runtime import NodeEnergyState
 from .. import units
@@ -58,10 +58,12 @@ from .traffic import PeriodicSource, TrafficSource
 #: the default resolves death times far finer than the tick itself.
 DEFAULT_ENERGY_UPDATE_INTERVAL_SECONDS = 1.0
 
-#: One-shot latch for the :meth:`BodyNetworkSimulator.add_node`
-#: deprecation warning, so sweeps building thousands of nodes do not
-#: drown the console.
-_ADD_NODE_WARNED = False
+#: The implicit low-battery policy of every energy node that has no
+#: controller attached: the historical 1-in-``low_battery_stride``
+#: throttle, now expressed as the default
+#: :class:`~repro.control.SoCThrottleController` configuration.  The
+#: instance is stateless, so one shared object serves every node.
+_DEFAULT_SOC_THROTTLE = SoCThrottleController()
 
 #: Bump when :meth:`SimulationResult.to_dict`'s layout changes
 #: incompatibly.  Serialised results embed this version so artifacts
@@ -107,6 +109,13 @@ class SimulatedNode:
     retx_bits: float = 0.0
     #: Bits of packets the lossy link ultimately failed to deliver.
     lost_bits: float = 0.0
+    #: Transmission attempts the lossy link erased (monotone counter;
+    #: controllers difference it into windowed PER observations).
+    erased_attempts: int = 0
+    #: Closed-loop policy attached to this node (``None`` → the default
+    #: low-battery throttle; see :meth:`BodyNetworkSimulator.
+    #: attach_controller`).
+    controller: Controller | None = None
     #: Constant source-coder draw (0.0 = no coder; see repro.coding).
     coding_power_watts: float = 0.0
     #: Coded bits per source bit the attached source already reflects;
@@ -388,6 +397,14 @@ class BodyNetworkSimulator:
         self.harvest_environment = harvest_environment
         self.energy_events: list[EnergyEvent] = []
         self._death_records: dict[str, tuple[float, int]] = {}
+        #: Per-node controller runtimes, keyed by node name.
+        self.controllers: dict[str, ControllerRuntime] = {}
+        #: Callables ``hook(duration_seconds)`` run by :meth:`run` after
+        #: the kernel's ledger write-back and before the static-power
+        #: accounting — the only safe point for post-hoc ledger posts
+        #: against fast-path nodes (the kernel write-back would clobber
+        #: anything posted mid-run).
+        self._pre_account_hooks: list[Callable[[float], None]] = []
         self.bus.on_delivery(self._account_delivery)
         if reliability is not None:
             self.bus.on_attempt(self._account_attempt)
@@ -436,40 +453,43 @@ class BodyNetworkSimulator:
         )
         return node
 
-    def add_node(self, name: str, source: TrafficSource,
-                 sensing_power_watts: float = 0.0,
-                 isa_power_watts: float = 0.0,
-                 technology: CommTechnology | None = None,
-                 battery: BatterySpec | None = None,
-                 harvester: EnergyHarvester | None = None,
-                 initial_charge_fraction: float = 1.0,
-                 low_battery_fraction: float | None = None,
-                 low_battery_stride: int = DEFAULT_LOW_BATTERY_STRIDE
-                 ) -> SimulatedNode:
-        """Deprecated keyword-style front end for :meth:`attach`.
+    def attach_controller(self, name: str,
+                          controller: Controller | str | None = None,
+                          error_rate_fn: Callable[[float], float]
+                          | None = None) -> ControllerRuntime:
+        """Bind a closed-loop controller to one attached node.
 
-        Kept as a shim for one release: it builds the equivalent
-        :class:`NodeConfig` and forwards, warning once per process.
+        *controller* may be a live :class:`~repro.control.Controller`,
+        a :class:`~repro.control.ControllerSpec`, a bare kind name
+        (``"static"``, ``"per_backoff"``, ``"soc_throttle"``) or
+        ``None`` for the neutral static policy.  *error_rate_fn* maps a
+        tx-power offset (dB) to the node's re-derived per-packet
+        erasure probability; without it, tx-power actions settle their
+        energy premium but cannot move the link.
+
+        A controller with a cadence schedules its evaluation ticks on
+        the simulator's control stream immediately (deterministically
+        interleaved with energy ticks and scenario events); a
+        cadence-free controller perturbs nothing until a low-battery
+        crossing observes it.
         """
-        global _ADD_NODE_WARNED
-        if not _ADD_NODE_WARNED:
-            _ADD_NODE_WARNED = True
-            warnings.warn(
-                "BodyNetworkSimulator.add_node() is deprecated; build a "
-                "repro.netsim.NodeConfig and call attach(config) instead",
-                DeprecationWarning, stacklevel=2)
-        return self.attach(NodeConfig(
-            name=name,
-            source=source,
-            sensing_power_watts=sensing_power_watts,
-            isa_power_watts=isa_power_watts,
-            technology=technology,
-            battery=battery,
-            harvester=harvester,
-            initial_charge_fraction=initial_charge_fraction,
-            low_battery_fraction=low_battery_fraction,
-            low_battery_stride=low_battery_stride,
-        ))
+        try:
+            node = self.nodes[name]
+        except KeyError:
+            raise SimulationError(f"unknown node {name!r}") from None
+        if name in self.controllers:
+            raise SimulationError(
+                f"node {name!r} already has a controller")
+        if not isinstance(controller, Controller):
+            # None, a bare kind name, or a ControllerSpec: instantiate.
+            controller = make_controller(controller)
+        runtime = ControllerRuntime(self, node, controller,
+                                    error_rate_fn=error_rate_fn)
+        node.controller = controller
+        self.controllers[name] = runtime
+        self._pre_account_hooks.append(runtime.finalize)
+        runtime.schedule()
+        return runtime
 
     def set_node_active(self, name: str, active: bool) -> None:
         """Gate a node's traffic generation (duty-cycle / posture events).
@@ -614,11 +634,24 @@ class BodyNetworkSimulator:
         if not state.alive:
             self._record_death(node)
         elif state.is_low_battery() and node.tx_stride == 1:
-            node.tx_stride = node.low_battery_stride
-            if node.tx_stride > 1:
-                self.energy_events.append(EnergyEvent(
-                    kind="low_battery", node=node.name, time_seconds=now,
-                    state_of_charge_fraction=state.state_of_charge_fraction))
+            # The threshold crossing is a controller observation: the
+            # node's policy (default: the legacy 1-in-stride throttle,
+            # bit-identically) decides the throttled stride.
+            controller = node.controller
+            if controller is None:
+                controller = _DEFAULT_SOC_THROTTLE
+            action = controller.evaluate(Observation(
+                kind="low_battery", time_seconds=now,
+                state_of_charge=state.state_of_charge_fraction,
+                low_battery=True, tx_stride=node.tx_stride,
+                low_battery_stride=node.low_battery_stride))
+            if action is not None and action.tx_stride is not None:
+                node.tx_stride = action.tx_stride
+                if node.tx_stride > 1:
+                    self.energy_events.append(EnergyEvent(
+                        kind="low_battery", node=node.name, time_seconds=now,
+                        state_of_charge_fraction=state.
+                        state_of_charge_fraction))
 
     def _schedule_energy_updates(self, end_time: float) -> None:
         energy_nodes = [node for node in self.nodes.values()
@@ -1187,6 +1220,7 @@ class BodyNetworkSimulator:
                             ridx = node_index[packet.source]
                         if reliability.draw_erasure(packet.source):
                             stats.erased_attempts += 1
+                            node_list[ridx].erased_attempts += 1
                             if fast_flags[ridx]:
                                 # Inline failed-attempt accounting
                                 # (mirrors ``_account_attempt``): a
@@ -1743,6 +1777,12 @@ class BodyNetworkSimulator:
             self._run_hybrid(duration_seconds)
         else:
             self._run_kernel(duration_seconds)
+
+        # Post-kernel, pre-accounting: controller premiums and other
+        # deferred ledger posts land here, after the kernel's fast-path
+        # write-back and before the averages read the totals.
+        for hook in self._pre_account_hooks:
+            hook(duration_seconds)
 
         per_node_power: dict[str, float] = {}
         per_node_goodput: dict[str, float] = {}

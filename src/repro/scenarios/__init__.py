@@ -12,6 +12,11 @@ list/run``, the ``scenario_gallery`` experiment and the DES benchmarks.
 Nodes may carry batteries and harvesters (see
 :mod:`repro.energy.runtime`); defaults compile bit-identically to the
 pre-energy-runtime kernel.
+
+Multi-body environments (:mod:`repro.scenarios.environment`) compose N
+scenario bodies into one shared RF room: ``gym_floor``, ``ward_shift``
+and ``commuter_train`` join the gallery with co-channel interference,
+occupancy schedules and optional per-node controllers.
 """
 
 from .spec import (
@@ -37,8 +42,24 @@ from .registry import (
     register_scenario,
     scenario_names,
 )
+from .environment import (
+    BodyPlacement,
+    EnvironmentRunResult,
+    EnvironmentSpec,
+    all_environments,
+    environment_names,
+    get_environment,
+    register_environment,
+)
 
 __all__ = [
+    "BodyPlacement",
+    "EnvironmentRunResult",
+    "EnvironmentSpec",
+    "all_environments",
+    "environment_names",
+    "get_environment",
+    "register_environment",
     "BATTERY_FACTORIES",
     "ENVIRONMENTS",
     "HARVESTER_FACTORIES",

@@ -22,7 +22,10 @@ from typing import Callable
 
 from ..body.posture import Posture, channel_for_posture
 from ..comm.ble import ble_1m_phy, ble_2m_phy
-from ..comm.budget import eqs_link_budget, rf_link_budget
+from ..comm.budget import (eqs_link_budget,
+                           interference_adjusted_noise_floor_dbm,
+                           interference_adjusted_noise_volts,
+                           rf_link_budget)
 from ..comm.eqs_hbc import (
     EQSHBCTransceiver,
     eqs_hbc_sub_uw,
@@ -246,6 +249,56 @@ class ReliabilitySpec:
             return self.default_error_rate
         # Coded nodes put shorter packets on the air, so the same BER
         # corrupts fewer of them — the PER side of the coding trade.
+        return budget.packet_error_rate(node.coded_bits_per_packet())
+
+    def node_error_rate_adjusted(self, node: "ScenarioNodeSpec",
+                                 posture: str | None = None,
+                                 rf_interference_dbm: float = -math.inf,
+                                 eqs_interference_volts: float = 0.0,
+                                 tx_power_offset_db: float = 0.0) -> float:
+        """Erasure probability under interference and a tx-power boost.
+
+        The multi-body/controller entry point: *rf_interference_dbm* is
+        the aggregate co-channel power other bodies put on the air
+        (power-summed onto the thermal floor for RF nodes),
+        *eqs_interference_volts* the receiver-referred voltage their
+        EQS activity couples onto this body (root-sum-squared onto the
+        input noise), and *tx_power_offset_db* a controller's transmit
+        boost (voltage swing for EQS, radiated power for RF).  At the
+        neutral arguments every branch reproduces
+        :meth:`node_error_rate` exactly — same floats, same PER — which
+        is what keeps a one-body environment and a static controller
+        bit-identical to a standalone run.
+        """
+        technology = technology_for(node.technology)
+        if isinstance(technology, EQSHBCTransceiver):
+            swing = technology.tx_swing_volts
+            if tx_power_offset_db != 0.0:
+                swing = swing * 10.0 ** (tx_power_offset_db / 20.0)
+            channel = channel_for_posture(
+                posture_for(posture if posture is not None else self.posture))
+            budget = eqs_link_budget(
+                channel,
+                tx_swing_volts=swing,
+                noise_rms_volts=interference_adjusted_noise_volts(
+                    self.eqs_noise_rms_volts, eqs_interference_volts),
+                distance_metres=node.channel_distance_metres,
+                frequency_hz=technology.carrier_frequency_hz,
+            )
+        elif hasattr(technology, "path_loss") and \
+                hasattr(technology, "tx_power_dbm"):
+            tx_power = technology.tx_power_dbm
+            if tx_power_offset_db != 0.0:
+                tx_power = tx_power + tx_power_offset_db
+            budget = rf_link_budget(
+                technology.path_loss,
+                tx_power_dbm=tx_power,
+                noise_floor_dbm=interference_adjusted_noise_floor_dbm(
+                    self.rf_noise_floor_dbm, rf_interference_dbm),
+                distance_metres=node.channel_distance_metres,
+            )
+        else:
+            return self.default_error_rate
         return budget.packet_error_rate(node.coded_bits_per_packet())
 
 
@@ -603,6 +656,24 @@ class ScenarioSpec:
         """Whether any leaf runs a source coder."""
         return any(node.coding is not None for node in self.nodes)
 
+    def capabilities(self) -> tuple[str, ...]:
+        """Capability tags (``lossy`` / ``coded`` / ``battery``).
+
+        The navigation column of ``repro scenarios list``: which
+        subsystems a scenario exercises — a reliability spec (lossy
+        links), source coders, or batteries/harvesters.  Multi-body
+        environments add their own ``multi-body`` tag on top (see
+        :meth:`repro.scenarios.environment.EnvironmentSpec.capabilities`).
+        """
+        tags = []
+        if self.reliability is not None:
+            tags.append("lossy")
+        if self.has_coding:
+            tags.append("coded")
+        if self.has_energy_runtime:
+            tags.append("battery")
+        return tuple(tags)
+
     def node_posture_timeline(self, concrete: str,
                               node: "ScenarioNodeSpec"
                               ) -> list[tuple[float, float, str]]:
@@ -676,6 +747,24 @@ class ScenarioSpec:
         delivery probability is ``1 - PER`` and every packet is
         attempted exactly once.
         """
+        return self.reliability_profile_adjusted()
+
+    def reliability_profile_adjusted(
+            self, rf_interference_dbm: float = -math.inf,
+            eqs_interference_volts: float = 0.0
+    ) -> dict[str, tuple[float, float]]:
+        """:meth:`reliability_profile` under ambient interference.
+
+        The closed-form interference correction the cohort analytic
+        applies to multi-body members: every posture segment's erasure
+        probability is re-derived through
+        :meth:`ReliabilitySpec.node_error_rate_adjusted` with the given
+        aggregate co-channel power (RF nodes) and coupled voltage (EQS
+        nodes).  At the neutral arguments every segment computes
+        exactly the floats of the plain profile — which is why
+        :meth:`reliability_profile` simply delegates here, and why
+        one-body cohorts stay bit-identical.
+        """
         if self.reliability is None:
             return {concrete: (1.0, 1.0) for node in self.nodes
                     for concrete in node.expanded_names()}
@@ -695,8 +784,10 @@ class ScenarioSpec:
                     if weight == 0.0:
                         continue
                     total_weight += weight
-                    error_rate = self.reliability.node_error_rate(
-                        node, posture)
+                    error_rate = self.reliability.node_error_rate_adjusted(
+                        node, posture,
+                        rf_interference_dbm=rf_interference_dbm,
+                        eqs_interference_volts=eqs_interference_volts)
                     if arq is None:
                         delivered += weight * (1.0 - error_rate)
                         attempts += weight
@@ -866,4 +957,5 @@ class ScenarioSpec:
             "sim_seconds": self.duration_seconds,
             "events": len(self.events),
             "description": self.description,
+            "capabilities": ",".join(self.capabilities()) or "-",
         }

@@ -18,6 +18,7 @@ from repro.netsim.events import EventQueue
 from repro.netsim.packet import Packet
 from repro.netsim.simulator import BodyNetworkSimulator
 from repro.netsim.traffic import PeriodicSource
+from repro.netsim.config import NodeConfig
 
 
 def make_packet(source: str, bits: float = 1e4,
@@ -103,8 +104,8 @@ class TestTDMAArbitration:
                                     arbitration="tdma")
         for simulator in (fifo, tdma):
             for index in range(8):
-                simulator.add_node(f"leaf{index}",
-                                   PeriodicSource.from_rate(64e3))
+                simulator.attach(NodeConfig(f"leaf{index}",
+                                   PeriodicSource.from_rate(64e3)))
         fifo_result = fifo.run(2.0)
         tdma_result = tdma.run(2.0)
         assert tdma_result.delivered_packets == fifo_result.delivered_packets
@@ -153,8 +154,8 @@ class TestHubPollingArbitration:
                                        arbitration="polling")
         for simulator in (fifo, polling):
             for index in range(8):
-                simulator.add_node(f"leaf{index}",
-                                   PeriodicSource.from_rate(64e3))
+                simulator.attach(NodeConfig(f"leaf{index}",
+                                   PeriodicSource.from_rate(64e3)))
         fifo_result = fifo.run(2.0)
         polling_result = polling.run(2.0)
         assert polling_result.delivered_packets == \
@@ -175,9 +176,9 @@ class TestMixedTechnologies:
 
     def test_mixed_simulation_accounts_energy_per_technology(self):
         simulator = BodyNetworkSimulator(wir_commercial(), rng=0)
-        simulator.add_node("wir", PeriodicSource.from_rate(64e3))
-        simulator.add_node("ble", PeriodicSource.from_rate(64e3),
-                           technology=ble_1m_phy())
+        simulator.attach(NodeConfig("wir", PeriodicSource.from_rate(64e3)))
+        simulator.attach(NodeConfig("ble", PeriodicSource.from_rate(64e3),
+                           technology=ble_1m_phy()))
         result = simulator.run(2.0)
         assert result.per_node_goodput_bps["wir"] == \
             pytest.approx(result.per_node_goodput_bps["ble"])
@@ -198,8 +199,8 @@ class TestDeliveredFraction:
         simulator = BodyNetworkSimulator(wir_commercial(), rng=0)
         rate = wir_commercial().data_rate_bps()
         for index in range(5):
-            simulator.add_node(f"leaf{index}",
-                               PeriodicSource.from_rate(0.9 * rate))
+            simulator.attach(NodeConfig(f"leaf{index}",
+                               PeriodicSource.from_rate(0.9 * rate)))
         result = simulator.run(2.0)
         assert result.dropped_packets == 0 or result.delivered_fraction < 1.0
         assert result.offered_packets > result.delivered_packets
@@ -207,7 +208,7 @@ class TestDeliveredFraction:
 
     def test_unloaded_network_delivers_everything_but_in_flight(self):
         simulator = BodyNetworkSimulator(wir_commercial(), rng=0)
-        simulator.add_node("ecg", PeriodicSource.from_rate(3e3))
+        simulator.attach(NodeConfig("ecg", PeriodicSource.from_rate(3e3)))
         result = simulator.run(10.0)
         assert result.offered_packets >= result.delivered_packets
         assert result.delivered_fraction > 0.9
@@ -216,7 +217,7 @@ class TestDeliveredFraction:
 class TestHubIdleAccounting:
     def test_hub_ledger_includes_receiver_sleep(self):
         simulator = BodyNetworkSimulator(wir_commercial(), rng=0)
-        simulator.add_node("ecg", PeriodicSource.from_rate(3e3))
+        simulator.attach(NodeConfig("ecg", PeriodicSource.from_rate(3e3)))
         result = simulator.run(10.0)
         breakdown = simulator.hub_ledger.breakdown()
         assert breakdown["wir_rx"] > 0.0

@@ -12,6 +12,7 @@ from repro.netsim.events import EventQueue
 from repro.netsim.packet import Packet
 from repro.netsim.simulator import BodyNetworkSimulator
 from repro.netsim.traffic import PeriodicSource, PoissonSource
+from repro.netsim.config import NodeConfig
 
 
 def make_bus(rate: float = 1e6, overhead: float = 0.0,
@@ -102,58 +103,58 @@ class TestBodyNetworkSimulator:
 
     def test_runs_and_delivers_packets(self):
         simulator = self.make_simulator()
-        simulator.add_node("ecg", PeriodicSource.from_rate(3_000.0),
-                           sensing_power_watts=units.microwatt(30.0))
+        simulator.attach(NodeConfig("ecg", PeriodicSource.from_rate(3_000.0),
+                           sensing_power_watts=units.microwatt(30.0)))
         result = simulator.run(5.0)
         assert result.delivered_packets > 0
         assert result.dropped_packets == 0
 
     def test_goodput_tracks_offered_rate(self):
         simulator = self.make_simulator()
-        simulator.add_node("audio", PeriodicSource.from_rate(256_000.0))
+        simulator.attach(NodeConfig("audio", PeriodicSource.from_rate(256_000.0)))
         result = simulator.run(5.0)
         assert result.per_node_goodput_bps["audio"] == pytest.approx(256_000.0, rel=0.15)
 
     def test_leaf_power_dominated_by_sensing_for_low_rate_nodes(self):
         """A 3 kb/s ECG leaf on Wi-R: communication adds < 2 uW on average."""
         simulator = self.make_simulator()
-        simulator.add_node("ecg", PeriodicSource.from_rate(3_000.0),
-                           sensing_power_watts=units.microwatt(30.0))
+        simulator.attach(NodeConfig("ecg", PeriodicSource.from_rate(3_000.0),
+                           sensing_power_watts=units.microwatt(30.0)))
         result = simulator.run(10.0)
         power = result.per_node_average_power_watts["ecg"]
         assert units.microwatt(29.0) <= power <= units.microwatt(34.0)
 
     def test_hub_receive_energy_positive(self):
         simulator = self.make_simulator()
-        simulator.add_node("imu", PeriodicSource.from_rate(9_600.0))
+        simulator.attach(NodeConfig("imu", PeriodicSource.from_rate(9_600.0)))
         result = simulator.run(2.0)
         assert result.hub_rx_energy_joules > 0.0
 
     def test_latency_grows_with_contention(self):
         lightly_loaded = self.make_simulator()
-        lightly_loaded.add_node("n0", PeriodicSource.from_rate(100_000.0))
+        lightly_loaded.attach(NodeConfig("n0", PeriodicSource.from_rate(100_000.0)))
         light = lightly_loaded.run(2.0)
 
         heavily_loaded = self.make_simulator()
         for index in range(30):
-            heavily_loaded.add_node(f"n{index}", PeriodicSource.from_rate(100_000.0))
+            heavily_loaded.attach(NodeConfig(f"n{index}", PeriodicSource.from_rate(100_000.0)))
         heavy = heavily_loaded.run(2.0)
         assert heavy.mean_latency_seconds > light.mean_latency_seconds
         assert heavy.bus_utilization > light.bus_utilization
 
     def test_poisson_sources_supported(self):
         simulator = self.make_simulator()
-        simulator.add_node("events", PoissonSource(
+        simulator.attach(NodeConfig("events", PoissonSource(
             mean_interarrival_seconds=0.05, mean_bits_per_packet=4096.0,
-        ))
+        )))
         result = simulator.run(5.0)
         assert result.delivered_packets > 10
 
     def test_duplicate_node_rejected(self):
         simulator = self.make_simulator()
-        simulator.add_node("x", PeriodicSource.from_rate(1000.0))
+        simulator.attach(NodeConfig("x", PeriodicSource.from_rate(1000.0)))
         with pytest.raises(SimulationError):
-            simulator.add_node("x", PeriodicSource.from_rate(1000.0))
+            simulator.attach(NodeConfig("x", PeriodicSource.from_rate(1000.0)))
 
     def test_run_requires_nodes(self):
         with pytest.raises(SimulationError):
@@ -161,7 +162,7 @@ class TestBodyNetworkSimulator:
 
     def test_describe(self):
         simulator = self.make_simulator()
-        simulator.add_node("a", PeriodicSource.from_rate(1000.0))
+        simulator.attach(NodeConfig("a", PeriodicSource.from_rate(1000.0)))
         description = simulator.describe()
         assert description["node_count"] == 1
         assert description["technology"] == wir_commercial().name
@@ -169,9 +170,9 @@ class TestBodyNetworkSimulator:
     def test_deterministic_given_seed(self):
         def run_once() -> float:
             simulator = BodyNetworkSimulator(wir_commercial(), rng=7)
-            simulator.add_node("events", PoissonSource(
+            simulator.attach(NodeConfig("events", PoissonSource(
                 mean_interarrival_seconds=0.02, mean_bits_per_packet=2048.0,
-            ))
+            )))
             return simulator.run(2.0).delivered_bits
 
         assert run_once() == pytest.approx(run_once())

@@ -19,6 +19,7 @@ from repro.errors import SimulationError
 from repro.comm.eqs_hbc import wir_commercial
 from repro.netsim.simulator import BodyNetworkSimulator
 from repro.netsim.traffic import PeriodicSource
+from repro.netsim.config import NodeConfig
 
 
 def small_cell(joules: float) -> BatterySpec:
@@ -32,13 +33,13 @@ def build(duration_budget_joules: float | None = None, **node_kwargs):
                                      energy_update_interval_seconds=1.0)
     battery = (small_cell(duration_budget_joules)
                if duration_budget_joules is not None else None)
-    simulator.add_node(
+    simulator.attach(NodeConfig(
         "leaf",
         PeriodicSource.from_rate(units.kilobit_per_second(8.0)),
         sensing_power_watts=units.microwatt(100.0),
         battery=battery,
         **node_kwargs,
-    )
+    ))
     return simulator
 
 
@@ -84,12 +85,12 @@ class TestBrownout:
                                          energy_update_interval_seconds=0.5)
         # Offered past what one polling ring can carry (~2.4 ms service
         # vs a 2.05 ms interarrival): a standing backlog builds.
-        simulator.add_node(
+        simulator.attach(NodeConfig(
             "hog",
             PeriodicSource.from_rate(units.megabit_per_second(4.0),
                                      bits_per_packet=8192.0),
             sensing_power_watts=units.microwatt(100.0),
-            battery=small_cell(1e-3))
+            battery=small_cell(1e-3)))
         result = simulator.run(30.0)
         assert result.dead_node_count == 1
         frozen = result.per_node_delivered_before_death["hog"]
@@ -103,14 +104,14 @@ class TestBrownout:
                                          energy_update_interval_seconds=5.0)
         # Added first, crosses low battery at a tick; the second node
         # browns out at an interpolated time before that tick.
-        simulator.add_node(
+        simulator.attach(NodeConfig(
             "low", PeriodicSource.from_rate(units.kilobit_per_second(8.0)),
             sensing_power_watts=units.microwatt(100.0),
-            battery=small_cell(4e-3), low_battery_fraction=0.4)
-        simulator.add_node(
+            battery=small_cell(4e-3), low_battery_fraction=0.4))
+        simulator.attach(NodeConfig(
             "dead", PeriodicSource.from_rate(units.kilobit_per_second(8.0)),
             sensing_power_watts=units.microwatt(100.0),
-            battery=small_cell(1.3e-3))
+            battery=small_cell(1.3e-3)))
         result = simulator.run(60.0)
         times = [event.time_seconds for event in result.energy_events]
         assert len(times) >= 2
@@ -145,13 +146,13 @@ class TestDutyCycleAdaptation:
         """
         simulator = BodyNetworkSimulator(wir_commercial(), rng=0,
                                          energy_update_interval_seconds=1.0)
-        simulator.add_node(
+        simulator.attach(NodeConfig(
             "leaf",
             PeriodicSource.from_rate(units.kilobit_per_second(512.0)),
             sensing_power_watts=units.microwatt(5.0),
             battery=small_cell(1.7e-3),
             **node_kwargs,
-        )
+        ))
         return simulator
 
     def test_low_battery_throttles_traffic(self):
@@ -171,9 +172,9 @@ class TestDutyCycleAdaptation:
     def test_invalid_stride_rejected(self):
         simulator = BodyNetworkSimulator(wir_commercial(), rng=0)
         with pytest.raises(SimulationError):
-            simulator.add_node(
+            simulator.attach(NodeConfig(
                 "leaf", PeriodicSource.from_rate(1000.0),
-                battery=small_cell(1.0), low_battery_stride=0)
+                battery=small_cell(1.0), low_battery_stride=0))
 
 
 class TestHarvesting:
@@ -210,8 +211,8 @@ class TestStreamingLedgerMemory:
 
     def test_batteryless_path_ledger_also_flat(self):
         simulator = BodyNetworkSimulator(wir_commercial(), rng=0)
-        simulator.add_node(
-            "leaf", PeriodicSource.from_rate(units.kilobit_per_second(64.0)))
+        simulator.attach(NodeConfig(
+            "leaf", PeriodicSource.from_rate(units.kilobit_per_second(64.0))))
         simulator.run(10.0)
         assert simulator.nodes["leaf"].ledger.retained_entries == 0
         assert simulator.hub_ledger.retained_entries == 0
@@ -223,9 +224,9 @@ class TestEnergyAccountingConsistency:
         whole-run accounting when the battery never limits the node."""
         with_battery = build(duration_budget_joules=10.0).run(60.0)
         without = BodyNetworkSimulator(wir_commercial(), rng=0)
-        without.add_node(
+        without.attach(NodeConfig(
             "leaf", PeriodicSource.from_rate(units.kilobit_per_second(8.0)),
-            sensing_power_watts=units.microwatt(100.0))
+            sensing_power_watts=units.microwatt(100.0)))
         without_result = without.run(60.0)
         assert with_battery.per_node_average_power_watts["leaf"] == \
             pytest.approx(without_result.per_node_average_power_watts["leaf"],

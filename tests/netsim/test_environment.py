@@ -1,0 +1,227 @@
+"""RFEnvironment: geometry, epoch timeline, neutrality, co-simulation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import units
+from repro.comm.eqs_hbc import wir_commercial
+from repro.errors import SimulationError
+from repro.netsim.config import NodeConfig
+from repro.netsim.environment import (
+    MINIMUM_BODY_DISTANCE_METRES,
+    NO_INTERFERENCE,
+    EnvironmentBody,
+    InterferenceState,
+    RFEnvironment,
+)
+from repro.netsim.simulator import BodyNetworkSimulator
+from repro.netsim.traffic import PeriodicSource
+
+
+def make_simulator(seed: int = 0, nodes: int = 2) -> BodyNetworkSimulator:
+    simulator = BodyNetworkSimulator(wir_commercial(), rng=seed)
+    for index in range(nodes):
+        simulator.attach(NodeConfig(
+            f"leaf{index}",
+            PeriodicSource.from_rate(units.kilobit_per_second(64.0)),
+            sensing_power_watts=units.microwatt(30.0),
+        ))
+    return simulator
+
+
+def make_body(name: str, *, seed: int = 0, duration: float = 2.0,
+              **overrides) -> EnvironmentBody:
+    return EnvironmentBody(
+        name=name,
+        simulator=make_simulator(seed=seed),
+        duration_seconds=duration,
+        **overrides,
+    )
+
+
+class TestInterferenceState:
+    def test_default_is_neutral(self):
+        assert NO_INTERFERENCE.neutral
+        assert InterferenceState().neutral
+
+    def test_any_contribution_breaks_neutrality(self):
+        assert not InterferenceState(rf_dbm=-120.0).neutral
+        assert not InterferenceState(eqs_volts=1e-9).neutral
+
+
+class TestEnvironmentBody:
+    def test_occupancy_window_validation(self):
+        with pytest.raises(SimulationError):
+            make_body("a", arrival_fraction=0.7, departure_fraction=0.3)
+
+    def test_presence_window_half_open(self):
+        body = make_body("a", arrival_fraction=0.25,
+                         departure_fraction=0.75)
+        assert not body.present(0.0)
+        assert body.present(0.25)
+        assert body.present(0.5)
+        assert not body.present(0.75)
+
+    def test_full_run_presence_includes_endpoint(self):
+        assert make_body("a").present(1.0)
+
+    def test_duty_fraction_clamped(self):
+        assert make_body("a", airtime_fraction=1.8).duty_fraction == 1.0
+
+
+class TestConstruction:
+    def test_needs_bodies(self):
+        with pytest.raises(SimulationError):
+            RFEnvironment([])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(SimulationError, match="unique"):
+            RFEnvironment([make_body("a"), make_body("a", seed=1)])
+
+    def test_rejects_disagreeing_durations(self):
+        with pytest.raises(SimulationError, match="duration"):
+            RFEnvironment([make_body("a"),
+                           make_body("b", seed=1, duration=3.0)])
+
+
+class TestGeometry:
+    def test_distance_clamped_at_minimum(self):
+        env = RFEnvironment([
+            make_body("a"),
+            make_body("b", seed=1, position_metres=(0.0, 0.01))])
+        assert env.distance_metres(env.bodies[0], env.bodies[1]) \
+            == MINIMUM_BODY_DISTANCE_METRES
+
+    def test_rf_contribution_log_distance(self):
+        env = RFEnvironment(
+            [make_body("a"),
+             make_body("b", seed=1, airtime_fraction=0.1,
+                       rf_level_dbm=-10.0, position_metres=(10.0, 0.0))],
+            rf_reference_loss_db=40.0, rf_path_loss_exponent=3.0)
+        # -10 dBm + 10*log10(0.1) - (40 + 30*log10(10)) = -90 dBm.
+        rf = env._rf_contribution_dbm(env.bodies[0], env.bodies[1])
+        assert rf == pytest.approx(-90.0)
+
+    def test_eqs_contribution_near_field_decay(self):
+        env = RFEnvironment(
+            [make_body("a"),
+             make_body("b", seed=1, airtime_fraction=0.25,
+                       eqs_level_volts=8e-4, position_metres=(2.0, 0.0))],
+            eqs_coupling_exponent=3.0)
+        # 8e-4 * (1/2)^3 * sqrt(0.25) = 5e-5 V.
+        eqs = env._eqs_contribution_volts(env.bodies[0], env.bodies[1])
+        assert eqs == pytest.approx(5e-5)
+
+    def test_silent_interferer_contributes_nothing(self):
+        env = RFEnvironment([
+            make_body("a"),
+            make_body("b", seed=1, airtime_fraction=0.0,
+                      rf_level_dbm=-10.0, eqs_level_volts=1.0,
+                      position_metres=(1.0, 0.0))])
+        assert env.interference_at(0, [True, True]) is NO_INTERFERENCE
+
+
+class TestInterferenceAt:
+    def loud(self, name: str, seed: int,
+             position: tuple[float, float]) -> EnvironmentBody:
+        return make_body(name, seed=seed, airtime_fraction=0.2,
+                         rf_level_dbm=-20.0, eqs_level_volts=5e-4,
+                         position_metres=position)
+
+    def test_lone_body_is_neutral(self):
+        env = RFEnvironment([self.loud("a", 0, (0.0, 0.0))])
+        assert env.interference_at(0, [True]) is NO_INTERFERENCE
+
+    def test_absent_victim_feels_nothing(self):
+        env = RFEnvironment([self.loud("a", 0, (0.0, 0.0)),
+                             self.loud("b", 1, (1.0, 0.0))])
+        assert env.interference_at(0, [False, True]) is NO_INTERFERENCE
+
+    def test_absent_interferer_radiates_nothing(self):
+        env = RFEnvironment([self.loud("a", 0, (0.0, 0.0)),
+                             self.loud("b", 1, (1.0, 0.0))])
+        assert env.interference_at(0, [True, False]) is NO_INTERFERENCE
+
+    def test_contributions_accumulate_in_power(self):
+        pair = RFEnvironment([self.loud("a", 0, (0.0, 0.0)),
+                              self.loud("b", 1, (1.0, 0.0))])
+        trio = RFEnvironment([self.loud("a", 0, (0.0, 0.0)),
+                              self.loud("b", 1, (1.0, 0.0)),
+                              self.loud("c", 2, (0.0, 1.0))])
+        two = pair.interference_at(0, [True, True])
+        three = trio.interference_at(0, [True, True, True])
+        assert three.rf_dbm > two.rf_dbm
+        assert three.eqs_volts > two.eqs_volts
+
+
+class TestEpochTimeline:
+    def test_epochs_from_occupancy_boundaries(self):
+        env = RFEnvironment([
+            make_body("a"),
+            make_body("b", seed=1, arrival_fraction=0.25),
+            make_body("c", seed=2, departure_fraction=0.75),
+        ])
+        assert env.epoch_fractions() == [0.0, 0.25, 0.75]
+
+    def test_schedule_computed_once(self):
+        env = RFEnvironment([make_body("a")])
+        first = env.interference_schedule()
+        assert env.interference_schedule() is first
+
+    def test_one_body_schedule_is_single_neutral_epoch(self):
+        env = RFEnvironment([make_body("a")])
+        schedule = env.interference_schedule()
+        assert schedule == [(0.0, (NO_INTERFERENCE,))]
+
+
+class TestRun:
+    def test_one_body_run_bit_identical_to_standalone(self):
+        standalone = make_simulator(seed=7).run(2.0)
+        env = RFEnvironment([make_body("solo", seed=7)])
+        wrapped = env.run().result_for("solo")
+        assert wrapped.delivered_packets == standalone.delivered_packets
+        for attribute in ("mean_latency_seconds", "p99_latency_seconds",
+                          "hub_energy_joules", "bus_utilization"):
+            assert getattr(wrapped, attribute).hex() \
+                == getattr(standalone, attribute).hex()
+        for name, power in standalone.per_node_average_power_watts.items():
+            assert wrapped.per_node_average_power_watts[name].hex() \
+                == power.hex()
+
+    def test_swap_events_replay_the_schedule(self):
+        seen: list[tuple[float, InterferenceState]] = []
+        late = make_body("late", seed=1, arrival_fraction=0.5,
+                         airtime_fraction=0.2, rf_level_dbm=-20.0)
+        victim = make_body("victim", seed=0)
+        victim.apply_interference = lambda state: seen.append(
+            (victim.simulator.queue.now, state))
+        env = RFEnvironment([victim, late])
+        env.run()
+        # t=0: the late body is absent, the victim stays neutral (no
+        # event, no install).  t=1.0: the arrival swaps the victim's
+        # state in as an ordinary control event on its own queue.
+        assert len(seen) == 1
+        time_seconds, state = seen[0]
+        assert time_seconds == pytest.approx(1.0)
+        assert not state.neutral
+        assert victim.current_interference is state
+
+    def test_occupancy_gates_traffic(self):
+        always = make_simulator(seed=3).run(2.0)
+        env = RFEnvironment([make_body("half", seed=3,
+                                       arrival_fraction=0.5)])
+        half = env.run().result_for("half")
+        assert 0 < half.delivered_packets < always.delivered_packets
+
+    def test_result_accessors(self):
+        env = RFEnvironment([make_body("a"), make_body("b", seed=1)])
+        result = env.run()
+        assert result.body_names == ("a", "b")
+        assert result.result_for("a") is result.body_results[0]
+        with pytest.raises(SimulationError, match="unknown body"):
+            result.result_for("c")
+        assert 0.0 <= result.mean_delivered_fraction <= 1.0
+        assert dict(result)["b"] is result.body_results[1]

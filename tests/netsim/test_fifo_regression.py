@@ -15,6 +15,7 @@ from repro.comm.eqs_hbc import wir_commercial
 from repro.experiments import network_scaling
 from repro.netsim.simulator import BodyNetworkSimulator
 from repro.netsim.traffic import PeriodicSource, PoissonSource
+from repro.netsim.config import NodeConfig
 
 #: Pre-refactor values for a mixed periodic/Poisson 6-node network,
 #: seed 7, 2 simulated seconds (float.hex for exact comparison).
@@ -46,13 +47,13 @@ SCALING_GOLDEN = {
 def test_direct_simulator_bit_identical():
     simulator = BodyNetworkSimulator(wir_commercial(), rng=7)
     for index in range(5):
-        simulator.add_node(
+        simulator.attach(NodeConfig(
             f"leaf{index}",
             PeriodicSource.from_rate(units.kilobit_per_second(64.0)),
             sensing_power_watts=units.microwatt(30.0),
-        )
-    simulator.add_node("events", PoissonSource(
-        mean_interarrival_seconds=0.02, mean_bits_per_packet=2048.0))
+        ))
+    simulator.attach(NodeConfig("events", PoissonSource(
+        mean_interarrival_seconds=0.02, mean_bits_per_packet=2048.0)))
     result = simulator.run(2.0)
 
     assert result.delivered_packets == 172

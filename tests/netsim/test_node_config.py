@@ -1,9 +1,8 @@
-"""Tests for the NodeConfig front door and the add_node shim."""
+"""Tests for the NodeConfig front door (the sole way to attach nodes)."""
 
 from __future__ import annotations
 
 import dataclasses
-import warnings
 
 import pytest
 
@@ -11,7 +10,6 @@ from repro.comm.eqs_hbc import wir_commercial
 from repro.energy.battery import BatterySpec
 from repro.errors import SimulationError
 from repro.netsim import NodeConfig
-from repro.netsim import simulator as simulator_module
 from repro.netsim.simulator import BodyNetworkSimulator
 from repro.netsim.traffic import PeriodicSource
 
@@ -65,25 +63,10 @@ class TestAttach:
         assert "ecg" in first.nodes and "ecg" in second.nodes
 
 
-class TestAddNodeShim:
-    def test_add_node_forwards_and_warns_once(self, monkeypatch):
-        monkeypatch.setattr(simulator_module, "_ADD_NODE_WARNED", False)
+class TestAddNodeRemoved:
+    def test_add_node_shim_is_gone(self):
+        # The deprecation cycle is complete (frozen in PR 8, deleted
+        # here): the keyword-soup front end must not quietly return.
         simulator = BodyNetworkSimulator(wir_commercial())
-        with pytest.warns(DeprecationWarning, match="NodeConfig"):
+        with pytest.raises(AttributeError):
             simulator.add_node("ecg", _source())
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            simulator.add_node("imu", _source())
-        assert not [w for w in caught
-                    if issubclass(w.category, DeprecationWarning)]
-        assert set(simulator.nodes) == {"ecg", "imu"}
-
-    def test_shim_and_attach_produce_identical_runs(self):
-        via_shim = BodyNetworkSimulator(wir_commercial(), rng=7)
-        via_shim.add_node("ecg", _source(), sensing_power_watts=1e-6)
-        via_config = BodyNetworkSimulator(wir_commercial(), rng=7)
-        via_config.attach(NodeConfig("ecg", _source(),
-                                     sensing_power_watts=1e-6))
-        old = via_shim.run(30.0)
-        new = via_config.run(30.0)
-        assert old == new

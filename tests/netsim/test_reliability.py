@@ -26,6 +26,7 @@ from repro.netsim import (
     PoissonSource,
 )
 from repro.energy.battery import BatterySpec
+from repro.netsim.config import NodeConfig
 
 
 def build_simulator(error_rate: float | None = None,
@@ -38,11 +39,11 @@ def build_simulator(error_rate: float | None = None,
     simulator = BodyNetworkSimulator(wir_commercial(), rng=seed,
                                      reliability=reliability)
     for index in range(nodes):
-        simulator.add_node(
+        simulator.attach(NodeConfig(
             f"leaf{index}",
             PeriodicSource.from_rate(units.kilobit_per_second(64.0)),
             sensing_power_watts=units.microwatt(30.0),
-        )
+        ))
         if reliability is not None:
             reliability.set_error_rate(f"leaf{index}", error_rate)
     return simulator
@@ -283,17 +284,17 @@ class TestLossyEnergyAccounting:
         simulator = BodyNetworkSimulator(
             technology, rng=7, reliability=reliability,
             energy_update_interval_seconds=0.01)
-        simulator.add_node(
+        simulator.attach(NodeConfig(
             "leaf0", PeriodicSource.from_rate(rate),
-            sensing_power_watts=units.microwatt(30.0), battery=battery)
+            sensing_power_watts=units.microwatt(30.0), battery=battery))
         reliability.set_error_rate("leaf0", 0.5)
         lossy = simulator.run(5.0)
 
         clean_simulator = BodyNetworkSimulator(
             technology, rng=7, energy_update_interval_seconds=0.01)
-        clean_simulator.add_node(
+        clean_simulator.attach(NodeConfig(
             "leaf0", PeriodicSource.from_rate(rate),
-            sensing_power_watts=units.microwatt(30.0), battery=battery)
+            sensing_power_watts=units.microwatt(30.0), battery=battery))
         clean = clean_simulator.run(5.0)
 
         assert lossy.first_death_seconds < clean.first_death_seconds
@@ -322,13 +323,13 @@ def golden_network(reliability: LinkReliability | None) -> BodyNetworkSimulator:
     simulator = BodyNetworkSimulator(wir_commercial(), rng=7,
                                      reliability=reliability)
     for index in range(5):
-        simulator.add_node(
+        simulator.attach(NodeConfig(
             f"leaf{index}",
             PeriodicSource.from_rate(units.kilobit_per_second(64.0)),
             sensing_power_watts=units.microwatt(30.0),
-        )
-    simulator.add_node("events", PoissonSource(
-        mean_interarrival_seconds=0.02, mean_bits_per_packet=2048.0))
+        ))
+    simulator.attach(NodeConfig("events", PoissonSource(
+        mean_interarrival_seconds=0.02, mean_bits_per_packet=2048.0)))
     return simulator
 
 
@@ -384,11 +385,11 @@ class TestEventualDelivery:
                                       arq=ARQPolicy(retry_limit=None))
         simulator = BodyNetworkSimulator(wir_commercial(), rng=3,
                                          reliability=reliability)
-        simulator.add_node(
+        simulator.attach(NodeConfig(
             "leaf0",
             PeriodicSource.from_rate(units.kilobit_per_second(16.0)),
             sensing_power_watts=units.microwatt(30.0),
-        )
+        ))
         reliability.set_error_rate("leaf0", error_rate)
         result = simulator.run(10.0)
         assert result.lost_packets == 0

@@ -8,17 +8,18 @@ from repro.comm.eqs_hbc import wir_commercial
 from repro.netsim.simulator import BodyNetworkSimulator
 from repro.netsim.traffic import PeriodicSource
 from repro.runner import SweepRunner
+from repro.netsim.config import NodeConfig
 from repro import units
 
 
 def _simulate(seed: int):
     simulator = BodyNetworkSimulator(wir_commercial(), rng=seed)
     for index in range(4):
-        simulator.add_node(
+        simulator.attach(NodeConfig(
             f"leaf{index}",
             PeriodicSource.from_rate(units.kilobit_per_second(64.0)),
             sensing_power_watts=units.microwatt(30.0),
-        )
+        ))
     return simulator.run(0.5)
 
 
@@ -30,8 +31,8 @@ def test_non_finite_duration_rejected():
     from repro.errors import SimulationError
 
     simulator = BodyNetworkSimulator(wir_commercial(), rng=0)
-    simulator.add_node("leaf0", PeriodicSource.from_rate(
-        units.kilobit_per_second(64.0)))
+    simulator.attach(NodeConfig("leaf0", PeriodicSource.from_rate(
+        units.kilobit_per_second(64.0))))
     for bad in (float("inf"), float("nan")):
         with pytest.raises(SimulationError):
             simulator.run(bad)

@@ -10,10 +10,10 @@ from repro.runner import ExperimentSpec, all_specs, experiment_ids, resolve
 
 
 class TestRegistryContents:
-    def test_all_seventeen_experiments_registered(self):
+    def test_all_eighteen_experiments_registered(self):
         specs = all_specs()
-        assert len(specs) == 17
-        assert [spec.eid for spec in specs] == [f"E{i}" for i in range(1, 18)]
+        assert len(specs) == 18
+        assert [spec.eid for spec in specs] == [f"E{i}" for i in range(1, 19)]
 
     def test_ids_and_modules_are_unique(self):
         specs = all_specs()

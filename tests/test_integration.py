@@ -36,6 +36,7 @@ from repro.nn.profile import profile_model
 from repro.nn.zoo import keyword_spotting_cnn
 from repro.sensors.audio import AudioGenerator
 from repro.sensors.catalog import SensorModality
+from repro.netsim.config import NodeConfig
 
 
 class TestAudioToInferencePipeline:
@@ -76,12 +77,12 @@ class TestPartitionFeedsSimulation:
         )
         inference_rate_hz = 2.0
         simulator = BodyNetworkSimulator(wir_commercial(), rng=1)
-        simulator.add_node(
+        simulator.attach(NodeConfig(
             "kws leaf",
             PeriodicSource(period_seconds=1.0 / inference_rate_hz,
                            bits_per_packet=max(decision.best.transfer_bits, 8.0)),
             sensing_power_watts=units.milliwatt(2.0),
-        )
+        ))
         result = simulator.run(10.0)
         assert result.delivered_packets >= 18
         assert result.dropped_packets == 0
@@ -97,9 +98,9 @@ class TestPartitionFeedsSimulation:
             profile, isa_accelerator(), hub_soc(), wir_commercial(),
         )
         simulator = BodyNetworkSimulator(wir_commercial(), rng=2)
-        simulator.add_node("kws leaf", PeriodicSource(
+        simulator.attach(NodeConfig("kws leaf", PeriodicSource(
             period_seconds=1.0, bits_per_packet=max(decision.best.transfer_bits, 8.0),
-        ))
+        )))
         result = simulator.run(10.0)
         assert result.mean_latency_seconds == pytest.approx(
             decision.best.transfer_latency_seconds, rel=0.5, abs=1e-3,
@@ -128,11 +129,11 @@ class TestDesignerAgainstSimulator:
 
         simulator = BodyNetworkSimulator(designer.technology, rng=3)
         for node_plan in plan.nodes:
-            simulator.add_node(
+            simulator.attach(NodeConfig(
                 node_plan.application.name,
                 PeriodicSource.from_rate(max(node_plan.streaming_rate_bps, 64.0)),
                 sensing_power_watts=node_plan.sensing_power_watts,
-            )
+            ))
         result = simulator.run(5.0)
         assert result.dropped_packets == 0
         assert result.bus_utilization < 0.5
@@ -148,11 +149,11 @@ class TestDesignerAgainstSimulator:
         plan = designer.plan_node(application)
 
         simulator = BodyNetworkSimulator(designer.technology, rng=4)
-        simulator.add_node(
+        simulator.attach(NodeConfig(
             "ecg",
             PeriodicSource.from_rate(max(plan.streaming_rate_bps, 64.0)),
             sensing_power_watts=plan.sensing_power_watts,
-        )
+        ))
         result = simulator.run(20.0)
         simulated = result.per_node_average_power_watts["ecg"]
         # Within 3x: the simulator adds sleep power and packet quantisation,
